@@ -1,0 +1,151 @@
+// Command lmi-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	lmi-bench -all            # everything (slow: full Fig. 12 + Fig. 13 sweeps)
+//	lmi-bench -fig 12         # one figure (1, 4, 12, 13)
+//	lmi-bench -table 3        # one table (2, 3, 4, 5, 6)
+//	lmi-bench -sms 8          # scale the simulated GPU
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lmi/internal/experiments"
+	"lmi/internal/hwcost"
+	"lmi/internal/sectest"
+	"lmi/internal/sim"
+	"lmi/internal/stats"
+	"lmi/internal/workloads"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate (1, 4, 12, 13)")
+	table := flag.Int("table", 0, "table to regenerate (1, 2, 3, 4, 5, 6)")
+	all := flag.Bool("all", false, "regenerate everything")
+	sms := flag.Int("sms", experiments.DefaultSimSMs, "simulated SM count (Table IV machine is 80)")
+	flag.Parse()
+
+	cfg := sim.ScaledConfig(*sms)
+	run := func(name string, f func() error) {
+		fmt.Printf("==== %s ====\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "lmi-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	want := func(f, t int) bool {
+		return *all || (*fig == f && f != 0) || (*table == t && t != 0)
+	}
+	any := false
+
+	if want(1, 0) {
+		any = true
+		run("Figure 1: memory instructions per region", func() error {
+			res, err := experiments.Fig01(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Table())
+			return nil
+		})
+	}
+	if want(4, 0) {
+		any = true
+		run("Figure 4: 2^n-alignment memory overhead", func() error {
+			res, err := experiments.Fig04()
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Table())
+			return nil
+		})
+	}
+	if want(0, 1) {
+		any = true
+		run("Table I: pointer life cycle", func() error {
+			fmt.Print(experiments.RenderTable1())
+			return nil
+		})
+	}
+	if want(0, 2) {
+		any = true
+		run("Table II: mechanism comparison", func() error {
+			out, err := experiments.RenderTable2(nil)
+			if err != nil {
+				return err
+			}
+			fmt.Print(out)
+			return nil
+		})
+	}
+	if want(0, 3) {
+		any = true
+		run("Table III: security coverage", func() error {
+			res, err := sectest.RunTable3()
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Table())
+			return nil
+		})
+	}
+	if want(0, 4) {
+		any = true
+		run("Table IV: simulator configuration", func() error {
+			fmt.Println(sim.DefaultConfig().String())
+			fmt.Printf("(experiments run scaled to %d SMs: %s)\n", *sms, cfg.String())
+			return nil
+		})
+	}
+	if want(0, 5) {
+		any = true
+		run("Table V: benchmark suite", func() error {
+			t := stats.NewTable("suite", "benchmark", "grid", "block", "elements")
+			for _, s := range workloads.All() {
+				t.AddRowf(0, s.Suite, s.Name, s.Grid, s.Block, s.N)
+			}
+			fmt.Print(t.String())
+			return nil
+		})
+	}
+	if want(0, 6) {
+		any = true
+		run("Table VI + §XI-C: hardware cost", func() error {
+			fmt.Print(hwcost.RenderTable6(3.0))
+			return nil
+		})
+	}
+	if want(12, 0) {
+		any = true
+		run("Figure 12: hardware/compiler mechanisms", func() error {
+			res, err := experiments.Fig12(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Table())
+			fmt.Printf("\npaper shape: LMI ~0.2%%, GPUShield low with needle/LSTM outliers, Baggy ~87%% avg / ~5x peak\n")
+			return nil
+		})
+	}
+	if want(13, 0) {
+		any = true
+		run("Figure 13: DBI mechanisms", func() error {
+			res, err := experiments.Fig13(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Table())
+			fmt.Printf("\npaper shape: LMI-DBI ~72.95x, memcheck ~32.98x geomean\n")
+			return nil
+		})
+	}
+	if !any {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,43 @@
+// Command lmi-sec runs the Table III security suite: 22 spatial + 16
+// temporal violation scenarios scored against GMOD, GPUShield, cuCatch,
+// LMI, and LMI with §XII-C liveness tracking.
+//
+// Usage:
+//
+//	lmi-sec        # the coverage matrix
+//	lmi-sec -v     # plus per-scenario outcomes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lmi/internal/sectest"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print per-scenario outcomes")
+	flag.Parse()
+
+	res, err := sectest.RunTable3()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lmi-sec: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Table())
+	if *verbose {
+		fmt.Println()
+		for _, cr := range res.Cases {
+			fmt.Printf("%-34s", cr.Scenario.Name)
+			for col := sectest.MechanismColumn(0); col < 5; col++ {
+				mark := "miss"
+				if cr.Detected[col] {
+					mark = "CATCH"
+				}
+				fmt.Printf("  %s=%-5s", col, mark)
+			}
+			fmt.Println()
+		}
+	}
+}

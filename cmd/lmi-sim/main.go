@@ -1,0 +1,80 @@
+// Command lmi-sim runs one Table V benchmark on the simulated GPU under
+// a chosen safety mechanism and prints its statistics.
+//
+// Usage:
+//
+//	lmi-sim -bench needle -variant lmi
+//	lmi-sim -bench bert -variant gpushield -sms 8
+//	lmi-sim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lmi/internal/isa"
+	"lmi/internal/sim"
+	"lmi/internal/workloads"
+)
+
+var variants = map[string]workloads.Variant{
+	"baseline":    workloads.VariantBase,
+	"lmi":         workloads.VariantLMI,
+	"gpushield":   workloads.VariantGPUShield,
+	"baggybounds": workloads.VariantBaggy,
+	"lmi-dbi":     workloads.VariantLMIDBI,
+	"memcheck":    workloads.VariantMemcheck,
+}
+
+func main() {
+	bench := flag.String("bench", "", "benchmark name (see -list)")
+	variant := flag.String("variant", "lmi", "baseline | lmi | gpushield | baggybounds | lmi-dbi | memcheck")
+	sms := flag.Int("sms", 4, "simulated SM count")
+	list := flag.Bool("list", false, "list benchmarks")
+	flag.Parse()
+
+	if *list {
+		for _, s := range workloads.All() {
+			fmt.Printf("%-22s %s\n", s.Name, s.Suite)
+		}
+		return
+	}
+	s := workloads.ByName(*bench)
+	if s == nil {
+		fmt.Fprintf(os.Stderr, "lmi-sim: unknown benchmark %q (try -list)\n", *bench)
+		os.Exit(2)
+	}
+	v, ok := variants[*variant]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "lmi-sim: unknown variant %q\n", *variant)
+		os.Exit(2)
+	}
+	cfg := sim.ScaledConfig(*sms)
+	st, err := workloads.Run(s, v, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lmi-sim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchmark      %s (%s) under %s on %d SMs\n", s.Name, s.Suite, v, *sms)
+	fmt.Printf("cycles         %d\n", st.Cycles)
+	fmt.Printf("warp instrs    %d\n", st.Instrs)
+	fmt.Printf("thread instrs  %d\n", st.ThreadInstrs)
+	fmt.Printf("OCU checks     %d\n", st.PointerChecks)
+	g, sh, lo := st.MemRegionShares()
+	fmt.Printf("mem regions    global %.1f%%  shared %.1f%%  local %.1f%%\n", 100*g, 100*sh, 100*lo)
+	fmt.Printf("L1 hit rate    %.1f%%   L2 hit rate %.1f%%   DRAM fills %d\n",
+		100*st.L1.HitRate(), 100*st.L2.HitRate(), st.DRAMAccesses)
+	for _, op := range []isa.Opcode{isa.LDG, isa.STG, isa.LDS, isa.STS, isa.LDL, isa.STL} {
+		if n := st.MemInstrs[op]; n > 0 {
+			fmt.Printf("  %-4s %d\n", op, n)
+		}
+	}
+	if len(st.Faults) > 0 {
+		fmt.Printf("FAULTS (%d):\n", len(st.Faults))
+		for _, f := range st.Faults {
+			fmt.Printf("  %s\n", f)
+		}
+		os.Exit(1)
+	}
+}

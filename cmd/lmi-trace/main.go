@@ -1,0 +1,120 @@
+// Command lmi-trace is the NVBit-analogue tooling: it records a
+// per-instruction execution trace of a benchmark kernel, and analyzes or
+// cache-replays recorded traces.
+//
+// Usage:
+//
+//	lmi-trace -bench needle -variant lmi -o needle.lmitrace   # record
+//	lmi-trace -analyze needle.lmitrace                        # mix + Fig.1 shares
+//	lmi-trace -replay needle.lmitrace -l1 98304 -l2 262144    # trace-driven caches
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lmi/internal/isa"
+	"lmi/internal/sim"
+	"lmi/internal/trace"
+	"lmi/internal/workloads"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark to record")
+	variant := flag.String("variant", "baseline", "mechanism variant for recording")
+	out := flag.String("o", "", "trace output file")
+	analyze := flag.String("analyze", "", "trace file to summarize")
+	replay := flag.String("replay", "", "trace file to cache-replay")
+	l1 := flag.Uint64("l1", 96<<10, "replay: L1 size per SM")
+	l2 := flag.Uint64("l2", 4608<<10, "replay: L2 size")
+	sms := flag.Int("sms", 4, "recording: simulated SM count")
+	flag.Parse()
+
+	switch {
+	case *analyze != "":
+		r := mustOpen(*analyze)
+		defer r.Close()
+		tr, err := trace.NewReader(r)
+		fail(err)
+		h := tr.Header()
+		mix, err := trace.Analyze(tr)
+		fail(err)
+		fmt.Printf("kernel %s (%s), %dx%d launch\n", h.Kernel, h.Mechanism, h.Grid, h.Block)
+		fmt.Printf("events %d (thread instrs %d), OCU-hinted %d\n", mix.Events, mix.ThreadInstrs, mix.Hinted)
+		g, s, l := mix.RegionShares()
+		fmt.Printf("memory regions: global %.1f%%  shared %.1f%%  local %.1f%%\n", 100*g, 100*s, 100*l)
+		for _, op := range []isa.Opcode{isa.LDG, isa.STG, isa.LDS, isa.STS, isa.LDL, isa.STL,
+			isa.IADD, isa.IADD3, isa.IMUL, isa.FFMA, isa.FADD, isa.BRA} {
+			if n := mix.ByOp[op]; n > 0 {
+				fmt.Printf("  %-6s %d\n", op, n)
+			}
+		}
+
+	case *replay != "":
+		r := mustOpen(*replay)
+		defer r.Close()
+		tr, err := trace.NewReader(r)
+		fail(err)
+		res, err := trace.ReplayCaches(tr, *l1, 4, *l2, 24, 128)
+		fail(err)
+		fmt.Printf("transactions %d\n", res.Transactions)
+		fmt.Printf("L1 hit rate %.1f%% (%d accesses)\n", 100*res.L1.HitRate(), res.L1.Accesses)
+		fmt.Printf("L2 hit rate %.1f%% (%d accesses)\n", 100*res.L2.HitRate(), res.L2.Accesses)
+
+	case *bench != "" && *out != "":
+		s := workloads.ByName(*bench)
+		if s == nil {
+			fail(fmt.Errorf("unknown benchmark %q", *bench))
+		}
+		var v workloads.Variant
+		switch *variant {
+		case "baseline":
+			v = workloads.VariantBase
+		case "lmi":
+			v = workloads.VariantLMI
+		case "gpushield":
+			v = workloads.VariantGPUShield
+		default:
+			fail(fmt.Errorf("unknown variant %q", *variant))
+		}
+		prog, err := s.Compile(v)
+		fail(err)
+		dev, err := sim.NewDevice(sim.ScaledConfig(*sms), workloads.NewMechanism(v))
+		fail(err)
+		f, err := os.Create(*out)
+		fail(err)
+		defer f.Close()
+		col, err := trace.NewCollector(f, trace.Header{
+			Kernel: s.Name, Mechanism: v.String(), Grid: int32(s.Grid), Block: int32(s.Block),
+		})
+		fail(err)
+		dev.Tracer = col
+		in, err := dev.Malloc(s.N * 4)
+		fail(err)
+		outBuf, err := dev.Malloc(s.N * 4)
+		fail(err)
+		st, err := dev.Launch(prog, s.Grid, s.Block, []uint64{in, outBuf, s.N})
+		fail(err)
+		fail(col.Close())
+		fmt.Printf("traced %s/%s: %d events, %d cycles -> %s\n",
+			s.Name, v, col.Events(), st.Cycles, *out)
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func mustOpen(p string) *os.File {
+	f, err := os.Open(p)
+	fail(err)
+	return f
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lmi-trace: %v\n", err)
+		os.Exit(1)
+	}
+}

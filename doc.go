@@ -1,0 +1,27 @@
+// Package lmi is a from-scratch reproduction of "Let-Me-In: (Still)
+// Employing In-pointer Bounds Metadata for Fine-grained GPU Memory
+// Safety" (HPCA 2025).
+//
+// The repository contains the paper's mechanism and every substrate its
+// evaluation depends on, built in pure Go with the standard library only:
+//
+//   - internal/core — the LMI pointer codec, Overflow Checking Unit,
+//     Extent Checker, and pointer-liveness tracker;
+//   - internal/isa, internal/ir, internal/compiler — a SASS-like ISA with
+//     the 128-bit microcode hint bits, a typed IR, and the LMI compiler
+//     passes (pointer-operand analysis, 2^n stack layout, extent
+//     nullification, Baggy/DBI instrumentation);
+//   - internal/mem, internal/alloc, internal/sim — the cycle-level GPU
+//     simulator (SMs, GTO schedulers, SIMT stack, coalescer, caches,
+//     DRAM) and the 2^n-aligned allocators;
+//   - internal/safety — LMI, GPUShield, and Baggy Bounds as pluggable
+//     mechanisms;
+//   - internal/workloads, internal/sectest, internal/hwcost,
+//     internal/experiments — the Table V benchmark suite, the Table III
+//     security scenarios, the Table VI gate model, and the harness that
+//     regenerates every figure and table.
+//
+// The root-level benchmarks (bench_test.go) regenerate each evaluation
+// result; see EXPERIMENTS.md for paper-vs-measured and DESIGN.md for the
+// system inventory.
+package lmi

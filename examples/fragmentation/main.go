@@ -1,0 +1,55 @@
+// Fragmentation walkthrough (paper §IV-E, Figs. 4 and 5): the CUDA
+// device heap already fragments memory through chunked buffer groups, so
+// LMI's 2^n rounding costs little extra — except for the pathological
+// "power-of-two payload plus header" pattern of backprop and needle.
+package main
+
+import (
+	"fmt"
+
+	"lmi/internal/alloc"
+	"lmi/internal/workloads"
+)
+
+func main() {
+	// Fig. 5: the stock kernel malloc() rounds to chunk units (80 B for
+	// small requests, 2208 B for large) and packs buffers into groups
+	// behind a shared header.
+	fmt.Println("Fig. 5 — device-heap layout (stock policy):")
+	h := alloc.NewDefaultDeviceHeap(alloc.PolicyBase)
+	for _, req := range []uint64{24, 80, 500, 1024, 2000, 5000} {
+		b, err := h.Malloc(req)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  malloc(%4d) -> addr %#x, reserved %4d (chunk-rounded), waste %3d B\n",
+			req, b.Addr, b.Reserved, b.Reserved-req)
+	}
+
+	fmt.Println("\nSame requests under LMI's 2^n policy:")
+	h2 := alloc.NewDefaultDeviceHeap(alloc.PolicyPow2)
+	for _, req := range []uint64{24, 80, 500, 1024, 2000, 5000} {
+		b, err := h2.Malloc(req)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  malloc(%4d) -> addr %#x, reserved %4d (class %d), aligned=%v\n",
+			req, b.Addr, b.Reserved, b.Extent, b.Addr%b.Reserved == 0)
+	}
+
+	// Fig. 4: replay each benchmark's allocation trace under both
+	// policies and compare peak resident set.
+	fmt.Println("\nFig. 4 — peak-RSS overhead of 2^n alignment per benchmark:")
+	for _, name := range []string{"hotspot", "srad_v1", "bfs", "bert", "backprop", "needle"} {
+		s := workloads.ByName(name)
+		res, err := alloc.MeasureFragmentation(s.AllocTrace)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  %-10s base %6d KiB -> lmi %6d KiB  (+%5.1f%%)\n",
+			name, res.BasePeak>>10, res.Pow2Peak>>10, 100*res.Overhead)
+	}
+	fmt.Println("\n(backprop and needle allocate power-of-two payloads plus header")
+	fmt.Println(" bytes, which nearly double under 2^n rounding — the paper's 85.9%")
+	fmt.Println(" and 92.9% outliers; the suite geomean stays near 18.7%.)")
+}

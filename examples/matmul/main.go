@@ -1,0 +1,68 @@
+// Matmul: the high-level runtime API (internal/gpu) driving a real
+// shared-memory-tiled matrix multiply (internal/apps) under LMI — and
+// the same kernel attacked with an undersized output buffer.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"lmi/internal/apps"
+	"lmi/internal/gpu"
+)
+
+func main() {
+	const n, tile = 64, 8
+	ctx, err := gpu.NewLMIContext(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	k, err := ctx.Compile(apps.MatMulTiled(tile))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	a, _ := gpu.Alloc[float32](ctx, n*n)
+	b, _ := gpu.Alloc[float32](ctx, n*n)
+	c, _ := gpu.Alloc[float32](ctx, n*n)
+	ha := make([]float32, n*n)
+	hb := make([]float32, n*n)
+	for i := range ha {
+		ha[i] = float32(i % 7)
+		hb[i] = float32(i % 5)
+	}
+	a.CopyIn(ha)
+	b.CopyIn(hb)
+
+	st, err := ctx.Launch(k, gpu.Dim2(n/tile, n/tile), gpu.Dim2(tile, tile),
+		a, b, c, gpu.I32(n))
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, _ := c.CopyOut()
+
+	// Spot-check against the host.
+	var want float32
+	for kk := 0; kk < n; kk++ {
+		want = ha[3*n+kk]*hb[kk*n+5] + want
+	}
+	fmt.Printf("C[3][5] = %v (host: %v) in %d cycles, %d OCU checks\n",
+		out[3*n+5], want, st.Cycles, st.PointerChecks)
+
+	// Now the attack: pass a C buffer sized for half the matrix. (Under
+	// LMI, overflow into a buffer's power-of-two rounding padding is
+	// benign by construction — the attack must cross the size class, so
+	// the undersized buffer is half the rows, one class smaller.) The
+	// OCU clears the pointer's extent at the first out-of-class store
+	// address and the EC blocks the write.
+	small, _ := gpu.Alloc[float32](ctx, n*n/2)
+	_, err = ctx.Launch(k, gpu.Dim2(n/tile, n/tile), gpu.Dim2(tile, tile),
+		a, b, small, gpu.I32(n))
+	var sf *gpu.SafetyError
+	if errors.As(err, &sf) {
+		fmt.Printf("undersized output blocked: %v\n", sf)
+	} else {
+		log.Fatalf("overflow not detected (err=%v)", err)
+	}
+}

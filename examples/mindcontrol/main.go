@@ -1,0 +1,80 @@
+// Mind-control scenario (paper §IV-D): a stack-buffer overflow inside a
+// single thread overwrites an adjacent stack slot — the pattern behind
+// return-address corruption and the Mind Control Attack on DNN inference.
+//
+// Region-based protection (GPUShield) treats the whole per-thread stack
+// as one region and lets the overflow through; LMI's per-buffer size
+// classes catch the very first out-of-class byte.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lmi/internal/compiler"
+	"lmi/internal/ir"
+	"lmi/internal/isa"
+	"lmi/internal/safety"
+	"lmi/internal/sim"
+)
+
+// buildVictim builds a kernel with a 256-byte stack array and a second
+// stack slot standing in for a saved return address. The attacker
+// controls `count` (a kernel parameter) and overflows the array into the
+// adjacent slot.
+func buildVictim() *ir.Func {
+	b := ir.NewBuilder("victim")
+	out := b.Param(ir.PtrGlobal)
+	count := b.Param(ir.I32)
+	buf := b.Alloca(256)     // char buf[256]
+	retSlot := b.Alloca(256) // stands in for the saved return address
+	b.Store(retSlot, b.ConstI(ir.I32, 0x600D), 0)
+	gtid := b.GlobalTID()
+	b.If(b.ICmp(isa.CmpEQ, gtid, b.ConstI(ir.I32, 0)), func() {
+		// memset(buf, i, count) — count is attacker-controlled.
+		b.For(count, func(i ir.Value) {
+			b.Store(b.GEP(buf, i, 4, 0), i, 0)
+		})
+		b.Store(out, b.Load(ir.I32, retSlot, 0), 0) // "return"
+	}, nil)
+	return b.MustFinish()
+}
+
+func runUnder(name string, mech sim.Mechanism, mode compiler.Mode, count uint64) {
+	prog, err := compiler.Compile(buildVictim(), mode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev, err := sim.NewDevice(sim.ScaledConfig(1), mech)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, _ := dev.Malloc(64)
+	st, err := dev.Launch(prog, 1, 32, []uint64{out, count})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ret := uint64(0)
+	if b := dev.ReadGlobal(out, 4); len(b) == 4 {
+		ret = uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24
+	}
+	switch {
+	case len(st.Faults) > 0:
+		fmt.Printf("%-10s count=%3d: BLOCKED — %v\n", name, count, st.FirstFault())
+	case ret != 0x600D:
+		fmt.Printf("%-10s count=%3d: COMPROMISED — return slot now %#x (attack succeeded)\n",
+			name, count, ret)
+	default:
+		fmt.Printf("%-10s count=%3d: clean run, return slot intact\n", name, count)
+	}
+}
+
+func main() {
+	fmt.Println("benign input (count=64 elements = exactly the 256-byte buffer):")
+	runUnder("gpushield", safety.NewGPUShield(), compiler.ModeBase, 64)
+	runUnder("lmi", safety.NewLMI(), compiler.ModeLMI, 64)
+
+	fmt.Println("\nmalicious input (count=80: 64 past the buffer into the next slot):")
+	runUnder("gpushield", safety.NewGPUShield(), compiler.ModeBase, 80)
+	runUnder("lmi", safety.NewLMI(), compiler.ModeLMI, 80)
+}

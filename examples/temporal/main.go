@@ -1,0 +1,84 @@
+// Temporal safety walkthrough: the Fig. 11 scenario. free(A) invalidates
+// the pointer A (the compiler nullifies its extent), so dereferencing A
+// afterwards faults — but a copy C taken before the free keeps a valid
+// extent and slips through. The §XII-C pointer-liveness extension (the
+// UM membership table of Algorithm 1) closes that gap.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lmi/internal/compiler"
+	"lmi/internal/ir"
+	"lmi/internal/isa"
+	"lmi/internal/safety"
+	"lmi/internal/sim"
+)
+
+// buildFig11 reproduces the paper's listing:
+//
+//	int* A = malloc(4*sizeof(int));
+//	B = A[0];        // safe
+//	C = A + 1;
+//	free(A);         // A invalidated
+//	D = A[0];        // error: A is invalid          <- useA
+//	G = C[0];        // UNSAFE but no error (base)   <- useCopy
+func buildFig11(useA, useCopy bool) *ir.Func {
+	b := ir.NewBuilder("fig11")
+	out := b.Param(ir.PtrGlobal)
+	gtid := b.GlobalTID()
+	b.If(b.ICmp(isa.CmpLT, gtid, b.ConstI(ir.I32, 1)), func() {
+		A := b.Malloc(b.ConstI(ir.I32, 256))
+		b.Store(A, b.ConstI(ir.I32, 11), 0)
+		B := b.Load(ir.I32, A, 0) // safe access
+		C := b.GEP(A, b.ConstI(ir.I32, 1), 4, 0)
+		b.Free(A) // A's extent nullified right after this
+		var v ir.Value = B
+		if useA {
+			v = b.Load(ir.I32, A, 0) // D = A[0]
+		}
+		if useCopy {
+			v = b.Load(ir.I32, C, 0) // G = C[0]
+		}
+		b.Store(out, v, 0)
+	}, nil)
+	return b.MustFinish()
+}
+
+func run(label string, f *ir.Func, tracking bool) {
+	var mech sim.Mechanism = safety.NewLMI()
+	mechName := "LMI"
+	if tracking {
+		mech = safety.NewLMIWithTracking(false)
+		mechName = "LMI+tracking"
+	}
+	prog, err := compiler.Compile(f, compiler.ModeLMI)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev, err := sim.NewDevice(sim.ScaledConfig(1), mech)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, _ := dev.Malloc(64)
+	st, err := dev.Launch(prog, 1, 32, []uint64{out})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if fault := st.FirstFault(); fault != nil {
+		fmt.Printf("%-28s %-13s: DETECTED (%s fault)\n", label, mechName, fault.Kind)
+	} else {
+		fmt.Printf("%-28s %-13s: not detected\n", label, mechName)
+	}
+}
+
+func main() {
+	fmt.Println("Fig. 11 — LMI temporal safety and its copied-pointer gap:")
+	run("safe access (B = A[0])", buildFig11(false, false), false)
+	run("UAF via original (D = A[0])", buildFig11(true, false), false)
+	run("UAF via copy (G = C[0])", buildFig11(false, true), false)
+
+	fmt.Println("\nWith Algorithm 1 liveness tracking (§XII-C):")
+	run("UAF via copy (G = C[0])", buildFig11(false, true), true)
+}

@@ -1,0 +1,3 @@
+module lmi
+
+go 1.22

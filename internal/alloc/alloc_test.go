@@ -1,0 +1,412 @@
+package alloc
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"lmi/internal/core"
+)
+
+func TestGlobalAllocBasePolicy(t *testing.T) {
+	a := NewDefaultGlobalAllocator(PolicyBase)
+	b, err := a.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Reserved != 256 || b.Extent != 0 {
+		t.Errorf("base policy block: %+v", b)
+	}
+	if b.Addr%256 != 0 {
+		t.Errorf("base policy alignment: %#x", b.Addr)
+	}
+	b2, _ := a.Alloc(300)
+	if b2.Reserved != 512 {
+		t.Errorf("300B rounds to %d under base policy", b2.Reserved)
+	}
+	if PolicyBase.String() != "base" || PolicyPow2.String() != "pow2" || Policy(7).String() == "" {
+		t.Error("policy names")
+	}
+}
+
+func TestGlobalAllocPow2Policy(t *testing.T) {
+	a := NewDefaultGlobalAllocator(PolicyPow2)
+	if a.Policy() != PolicyPow2 {
+		t.Error("policy accessor")
+	}
+	b, err := a.Alloc(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Reserved != 512 || b.Extent != 2 {
+		t.Errorf("pow2 block: %+v", b)
+	}
+	if b.Addr%512 != 0 {
+		t.Errorf("pow2 alignment: %#x", b.Addr)
+	}
+	// The pointer must be encodable with the block's extent.
+	if _, err := core.DefaultCodec.Encode(b.Addr, b.Extent); err != nil {
+		t.Errorf("block not encodable: %v", err)
+	}
+	big, err := a.Alloc(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Addr%(1<<20) != 0 {
+		t.Errorf("1 MiB block misaligned: %#x", big.Addr)
+	}
+}
+
+func TestGlobalFreeAndReuse(t *testing.T) {
+	a := NewDefaultGlobalAllocator(PolicyPow2)
+	b, _ := a.Alloc(1000)
+	if err := a.Free(b.Addr); err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := a.Alloc(1000)
+	if b2.Addr != b.Addr {
+		t.Errorf("free block not reused: %#x vs %#x", b2.Addr, b.Addr)
+	}
+	s := a.Stats()
+	if s.Allocs != 2 || s.Frees != 1 || s.LiveBytes != 1024 {
+		t.Errorf("stats %+v", s)
+	}
+}
+
+func TestGlobalInvalidAndDoubleFree(t *testing.T) {
+	a := NewDefaultGlobalAllocator(PolicyBase)
+	b, _ := a.Alloc(512)
+	err := a.Free(b.Addr + 8)
+	var f *core.Fault
+	if !errors.As(err, &f) || f.Kind != core.FaultInvalidFree {
+		t.Errorf("invalid free: %v", err)
+	}
+	if err := a.Free(b.Addr); err != nil {
+		t.Fatal(err)
+	}
+	err = a.Free(b.Addr)
+	if !errors.As(err, &f) || f.Kind != core.FaultDoubleFree {
+		t.Errorf("double free: %v", err)
+	}
+	s := a.Stats()
+	if s.InvalidFrees != 1 || s.DoubleFrees != 1 {
+		t.Errorf("stats %+v", s)
+	}
+	if _, err := a.Alloc(0); err == nil {
+		t.Error("zero-size alloc accepted")
+	}
+}
+
+func TestGlobalLookupAndLiveBlocks(t *testing.T) {
+	a := NewDefaultGlobalAllocator(PolicyPow2)
+	b1, _ := a.Alloc(256)
+	b2, _ := a.Alloc(1024)
+	if got, ok := a.Lookup(b1.Addr + 100); !ok || got.Addr != b1.Addr {
+		t.Error("interior lookup failed")
+	}
+	if _, ok := a.Lookup(b2.Addr + b2.Reserved); ok {
+		t.Error("one-past-end lookup should miss")
+	}
+	blocks := a.LiveBlocks()
+	if len(blocks) != 2 || blocks[0].Addr > blocks[1].Addr {
+		t.Errorf("LiveBlocks: %+v", blocks)
+	}
+}
+
+func TestGlobalArenaExhaustion(t *testing.T) {
+	a := NewGlobalAllocator(PolicyPow2, 0x1000, 0x2000) // 4 KiB arena
+	if _, err := a.Alloc(8192); err == nil {
+		t.Error("oversized alloc accepted")
+	}
+}
+
+func TestDeviceHeapChunkRounding(t *testing.T) {
+	cases := []struct{ req, want uint64 }{
+		{1, 80}, {80, 80}, {81, 160}, {500, 560}, {1024, 1040},
+		{1025, 2208}, {2208, 2208}, {2209, 4416}, {5000, 6624},
+	}
+	for _, tc := range cases {
+		if got := ChunkRound(tc.req); got != tc.want {
+			t.Errorf("ChunkRound(%d) = %d, want %d", tc.req, got, tc.want)
+		}
+	}
+}
+
+func TestDeviceHeapGroups(t *testing.T) {
+	h := NewDefaultDeviceHeap(PolicyBase)
+	var addrs []uint64
+	for i := 0; i < slotsPerGroup; i++ {
+		b, err := h.Malloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Reserved != 80 {
+			t.Fatalf("reserved %d", b.Reserved)
+		}
+		addrs = append(addrs, b.Addr)
+	}
+	if h.Groups() != 1 {
+		t.Errorf("groups = %d after filling one group", h.Groups())
+	}
+	// Slots within a group are contiguous multiples of the chunk unit
+	// past the shared header (Fig. 5).
+	for i := 1; i < len(addrs); i++ {
+		if addrs[i]-addrs[i-1] != 80 {
+			t.Errorf("slot stride %d", addrs[i]-addrs[i-1])
+		}
+	}
+	if addrs[0] != HeapBase+groupHeaderSize {
+		t.Errorf("first slot %#x, want header offset", addrs[0])
+	}
+	// One more allocation opens a second group.
+	if _, err := h.Malloc(64); err != nil {
+		t.Fatal(err)
+	}
+	if h.Groups() != 2 {
+		t.Errorf("groups = %d", h.Groups())
+	}
+}
+
+func TestDeviceHeapPow2Alignment(t *testing.T) {
+	h := NewDefaultDeviceHeap(PolicyPow2)
+	b, err := h.Malloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Reserved != 256 || b.Extent != 1 || b.Addr%256 != 0 {
+		t.Errorf("pow2 heap block %+v", b)
+	}
+	b2, _ := h.Malloc(3000)
+	if b2.Reserved != 4096 || b2.Addr%4096 != 0 {
+		t.Errorf("pow2 heap block %+v", b2)
+	}
+	if _, err := h.Malloc(0); err == nil {
+		t.Error("zero-size device malloc accepted")
+	}
+}
+
+func TestDeviceHeapFreeReuseAndFaults(t *testing.T) {
+	h := NewDefaultDeviceHeap(PolicyBase)
+	b, _ := h.Malloc(200)
+	if err := h.Free(b.Addr); err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := h.Malloc(200)
+	if b2.Addr != b.Addr {
+		t.Error("freed slot not reused")
+	}
+	var f *core.Fault
+	if err := h.Free(0xdead); !errors.As(err, &f) || f.Kind != core.FaultInvalidFree {
+		t.Errorf("invalid free: %v", err)
+	}
+	h.Free(b2.Addr)
+	if err := h.Free(b2.Addr); !errors.As(err, &f) || f.Kind != core.FaultDoubleFree {
+		t.Errorf("double free: %v", err)
+	}
+	if _, ok := h.Lookup(b.Addr); ok {
+		t.Error("freed block still live")
+	}
+}
+
+func TestDeviceHeapConcurrency(t *testing.T) {
+	// Device malloc is "invoked concurrently by numerous threads"
+	// (§IV-B1); hammer it from goroutines and verify no block overlaps.
+	h := NewDefaultDeviceHeap(PolicyPow2)
+	var mu sync.Mutex
+	seen := make(map[uint64]bool)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				b, err := h.Malloc(uint64(64 + (g*300+i)%900))
+				if err != nil {
+					t.Errorf("malloc: %v", err)
+					return
+				}
+				mu.Lock()
+				if seen[b.Addr] {
+					t.Errorf("address %#x handed out twice", b.Addr)
+				}
+				seen[b.Addr] = true
+				mu.Unlock()
+				if i%2 == 0 {
+					mu.Lock()
+					delete(seen, b.Addr)
+					mu.Unlock()
+					if err := h.Free(b.Addr); err != nil {
+						t.Errorf("free: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestStackLayoutBase(t *testing.T) {
+	fl, err := LayoutFrame([]uint64{96, 20, 64}, PolicyBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fl.FrameSize != 96+32+64 {
+		t.Errorf("frame %d", fl.FrameSize)
+	}
+	if fl.Buffers[1].Offset != 96 || fl.Buffers[1].Reserved != 32 {
+		t.Errorf("buffer 1: %+v", fl.Buffers[1])
+	}
+	if _, err := LayoutFrame([]uint64{0}, PolicyBase); err == nil {
+		t.Error("zero-size stack buffer accepted")
+	}
+}
+
+func TestStackLayoutPow2(t *testing.T) {
+	// Paper Fig. 7: a 96-byte frame; LMI rounds stack buffers to their
+	// size class (min 256 B).
+	fl, err := LayoutFrame([]uint64{96}, PolicyPow2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fl.FrameSize != 256 || fl.Buffers[0].Reserved != 256 || fl.Buffers[0].Extent != 1 {
+		t.Errorf("layout %+v", fl)
+	}
+	if err := fl.Verify(); err != nil {
+		t.Error(err)
+	}
+	// Mixed sizes: 512 + 256 + 256 → frame multiple of 512, all aligned.
+	fl, err = LayoutFrame([]uint64{300, 100, 200}, PolicyPow2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.Verify(); err != nil {
+		t.Error(err)
+	}
+	if fl.FrameSize%512 != 0 {
+		t.Errorf("frame %d not multiple of largest class", fl.FrameSize)
+	}
+	// Buffers keep caller order in the result.
+	if fl.Buffers[0].Reserved != 512 || fl.Buffers[1].Reserved != 256 || fl.Buffers[2].Reserved != 256 {
+		t.Errorf("buffers %+v", fl.Buffers)
+	}
+	// Over-large frames are rejected.
+	if _, err := LayoutFrame([]uint64{StackTop + 1}, PolicyPow2); err == nil {
+		t.Error("oversized frame accepted")
+	}
+	// Empty frame is fine.
+	fl, err = LayoutFrame(nil, PolicyPow2)
+	if err != nil || fl.FrameSize != 0 {
+		t.Errorf("empty frame: %+v, %v", fl, err)
+	}
+}
+
+// Property: every LMI stack layout yields size-class-aligned absolute
+// addresses and non-overlapping buffers.
+func TestPropertyStackLayoutAligned(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 || len(raw) > 12 {
+			return true
+		}
+		sizes := make([]uint64, len(raw))
+		for i, r := range raw {
+			sizes[i] = uint64(r)%8000 + 1
+		}
+		fl, err := LayoutFrame(sizes, PolicyPow2)
+		if err != nil {
+			return false
+		}
+		if fl.Verify() != nil {
+			return false
+		}
+		// Non-overlap.
+		type span struct{ lo, hi uint64 }
+		spans := make([]span, len(fl.Buffers))
+		for i, b := range fl.Buffers {
+			spans[i] = span{b.Offset, b.Offset + b.Reserved}
+			if spans[i].hi > fl.FrameSize {
+				return false
+			}
+		}
+		for i := range spans {
+			for j := i + 1; j < len(spans); j++ {
+				if spans[i].lo < spans[j].hi && spans[j].lo < spans[i].hi {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeasureFragmentation(t *testing.T) {
+	// Power-of-two-sized buffers: no overhead.
+	var evs []Event
+	for i := 0; i < 8; i++ {
+		evs = append(evs, Event{Op: OpAlloc, ID: i, Size: 1 << 20})
+	}
+	res, err := MeasureFragmentation(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overhead != 0 {
+		t.Errorf("pow2-sized trace overhead %v", res.Overhead)
+	}
+	// Just-over-power-of-two buffers: ~100% overhead (the backprop/needle
+	// pattern: power-of-two payload plus header bytes, §IV-E).
+	evs = nil
+	for i := 0; i < 8; i++ {
+		evs = append(evs, Event{Op: OpAlloc, ID: i, Size: 1<<20 + 64})
+	}
+	res, err = MeasureFragmentation(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overhead < 0.9 || res.Overhead > 1.0 {
+		t.Errorf("header-padded trace overhead %v", res.Overhead)
+	}
+	// Frees reduce the peak; trace errors are reported.
+	evs = []Event{
+		{Op: OpAlloc, ID: 0, Size: 4096},
+		{Op: OpFree, ID: 0},
+		{Op: OpAlloc, ID: 1, Size: 4096},
+		{Op: OpAlloc, ID: 2, Region: RegionHeap, Size: 100},
+		{Op: OpFree, ID: 2},
+	}
+	if _, err := MeasureFragmentation(evs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MeasureFragmentation([]Event{{Op: OpFree, ID: 9}}); err == nil {
+		t.Error("free of unknown ID accepted")
+	}
+	if _, err := MeasureFragmentation([]Event{{Op: EventOp(9)}}); err == nil {
+		t.Error("unknown op accepted")
+	}
+}
+
+// Property: pow2 peak is never below base peak for alloc-only traces, and
+// never more than 2x (each class at most doubles a request >= 256 B; small
+// requests round to 256 vs base granularity 256).
+func TestPropertyFragmentationBounds(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 || len(raw) > 40 {
+			return true
+		}
+		evs := make([]Event, len(raw))
+		for i, r := range raw {
+			evs[i] = Event{Op: OpAlloc, ID: i, Size: uint64(r)%(1<<22) + 1}
+		}
+		res, err := MeasureFragmentation(evs)
+		if err != nil {
+			return false
+		}
+		return res.Pow2Peak >= res.BasePeak && res.Overhead <= 1.0+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

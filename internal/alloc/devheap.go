@@ -1,0 +1,215 @@
+package alloc
+
+import (
+	"fmt"
+	"sync"
+
+	"lmi/internal/core"
+)
+
+// Device-heap group geometry. The CUDA kernel allocator manages buffers
+// "as multiples of a chunk unit, which varies based on the allocation
+// size" (paper §IV-E, Fig. 5): small requests are rounded to 80-byte
+// chunks and larger ones to 2208-byte chunks, with small buffers sharing a
+// common group header.
+const (
+	// smallChunk is the chunk unit for small device-heap requests.
+	smallChunk = 80
+	// largeChunk is the chunk unit for large device-heap requests.
+	largeChunk = 2208
+	// smallCutoff is the largest request served from small chunks.
+	smallCutoff = 1024
+	// groupHeaderSize is the per-group header shared by the group's
+	// buffers.
+	groupHeaderSize = 128
+	// slotsPerGroup is the number of buffers per group.
+	slotsPerGroup = 16
+)
+
+// DeviceHeap is the kernel-side malloc()/free() allocator (paper §V-B
+// "Heap Memory"). It is invoked concurrently by thousands of simulated
+// threads, so all operations are safe for concurrent use.
+//
+// Under PolicyBase it reproduces the chunked group layout of the CUDA
+// device allocator (Fig. 5). Under PolicyPow2 it implements LMI
+// allocation: requests round to their 2^n size class (minimum 256 bytes)
+// and slots are aligned to the class size; the group header is kept
+// out-of-line in allocator metadata so that slot alignment is exact.
+type DeviceHeap struct {
+	mu     sync.Mutex
+	policy Policy
+	codec  core.Codec
+
+	base, limit, bump uint64
+
+	// groups indexes partially-filled groups by slot size.
+	groups map[uint64]*heapGroup
+	free   map[uint64][]uint64
+	live   map[uint64]Block
+	freed  map[uint64]struct{}
+
+	stats AllocStats
+	// GroupCount is the number of groups ever created.
+	groupCount int
+}
+
+type heapGroup struct {
+	slotSize uint64
+	next     uint64 // next un-carved slot address
+	remain   int    // slots not yet carved
+}
+
+// NewDeviceHeap builds a device heap over [base, limit).
+func NewDeviceHeap(policy Policy, base, limit uint64) *DeviceHeap {
+	return &DeviceHeap{
+		policy: policy,
+		codec:  core.DefaultCodec,
+		base:   base,
+		limit:  limit,
+		bump:   base,
+		groups: make(map[uint64]*heapGroup),
+		free:   make(map[uint64][]uint64),
+		live:   make(map[uint64]Block),
+		freed:  make(map[uint64]struct{}),
+	}
+}
+
+// NewDefaultDeviceHeap builds a device heap over the standard heap arena.
+func NewDefaultDeviceHeap(policy Policy) *DeviceHeap {
+	return NewDeviceHeap(policy, HeapBase, HeapLimit)
+}
+
+// ChunkRound returns the reserved size the stock device allocator uses for
+// a request: the next multiple of the size-dependent chunk unit.
+func ChunkRound(size uint64) uint64 {
+	unit := uint64(smallChunk)
+	if size > smallCutoff {
+		unit = largeChunk
+	}
+	return (size + unit - 1) / unit * unit
+}
+
+func (h *DeviceHeap) round(size uint64) (uint64, core.Extent, error) {
+	if size == 0 {
+		return 0, 0, fmt.Errorf("alloc: zero-size device malloc")
+	}
+	if h.policy == PolicyPow2 {
+		e, err := h.codec.ExtentForSize(size)
+		if err != nil {
+			return 0, 0, err
+		}
+		return h.codec.SizeForExtent(e), e, nil
+	}
+	return ChunkRound(size), 0, nil
+}
+
+// Malloc services one thread's device malloc() and returns the block.
+func (h *DeviceHeap) Malloc(size uint64) (Block, error) {
+	reserved, extent, err := h.round(size)
+	if err != nil {
+		return Block{}, err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var addr uint64
+	if lst := h.free[reserved]; len(lst) > 0 {
+		addr = lst[len(lst)-1]
+		h.free[reserved] = lst[:len(lst)-1]
+	} else {
+		g := h.groups[reserved]
+		if g == nil || g.remain == 0 {
+			g, err = h.newGroup(reserved)
+			if err != nil {
+				return Block{}, err
+			}
+			h.groups[reserved] = g
+		}
+		addr = g.next
+		g.next += reserved
+		g.remain--
+	}
+	delete(h.freed, addr)
+	b := Block{Addr: addr, Requested: size, Reserved: reserved, Extent: extent}
+	h.live[addr] = b
+	h.stats.Allocs++
+	h.stats.LiveBytes += reserved
+	h.stats.RequestedLiveBytes += size
+	if h.stats.LiveBytes > h.stats.PeakBytes {
+		h.stats.PeakBytes = h.stats.LiveBytes
+	}
+	if h.stats.RequestedLiveBytes > h.stats.PeakRequestedBytes {
+		h.stats.PeakRequestedBytes = h.stats.RequestedLiveBytes
+	}
+	return b, nil
+}
+
+// newGroup carves a fresh buffer group from the arena. Under PolicyBase
+// the group starts with an in-line header; under PolicyPow2 the first slot
+// is aligned to the slot size and the header lives out-of-line.
+func (h *DeviceHeap) newGroup(slotSize uint64) (*heapGroup, error) {
+	start := h.bump
+	var first uint64
+	if h.policy == PolicyPow2 {
+		first = (start + slotSize - 1) &^ (slotSize - 1)
+	} else {
+		first = start + groupHeaderSize
+	}
+	end := first + slotSize*slotsPerGroup
+	if end > h.limit {
+		return nil, fmt.Errorf("alloc: device heap exhausted")
+	}
+	h.bump = end
+	h.groupCount++
+	return &heapGroup{slotSize: slotSize, next: first, remain: slotsPerGroup}, nil
+}
+
+// Free services one thread's device free().
+func (h *DeviceHeap) Free(addr uint64) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	b, ok := h.live[addr]
+	if !ok {
+		if _, was := h.freed[addr]; was {
+			h.stats.DoubleFrees++
+			return core.NewFault(core.FaultDoubleFree, core.Pointer(addr), addr, "double free")
+		}
+		h.stats.InvalidFrees++
+		return core.NewFault(core.FaultInvalidFree, core.Pointer(addr), addr, "free of non-allocation address")
+	}
+	delete(h.live, addr)
+	h.freed[addr] = struct{}{}
+	h.free[b.Reserved] = append(h.free[b.Reserved], addr)
+	h.stats.Frees++
+	h.stats.LiveBytes -= b.Reserved
+	h.stats.RequestedLiveBytes -= b.Requested
+	return nil
+}
+
+// Lookup returns the live block containing addr, if any.
+func (h *DeviceHeap) Lookup(addr uint64) (Block, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if b, ok := h.live[addr]; ok {
+		return b, true
+	}
+	for _, b := range h.live {
+		if addr >= b.Addr && addr < b.Addr+b.Reserved {
+			return b, true
+		}
+	}
+	return Block{}, false
+}
+
+// Stats returns a snapshot of heap statistics.
+func (h *DeviceHeap) Stats() AllocStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stats
+}
+
+// Groups returns the number of buffer groups created so far.
+func (h *DeviceHeap) Groups() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.groupCount
+}

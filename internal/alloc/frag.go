@@ -1,0 +1,110 @@
+package alloc
+
+import "fmt"
+
+// EventOp is the kind of an allocation-trace event.
+type EventOp int
+
+const (
+	// OpAlloc allocates a buffer with the event's ID and Size.
+	OpAlloc EventOp = iota
+	// OpFree frees the buffer previously allocated with the event's ID.
+	OpFree
+)
+
+// Region selects which allocator services a trace event.
+type Region int
+
+const (
+	// RegionGlobal events go through the cudaMalloc-analogue allocator.
+	RegionGlobal Region = iota
+	// RegionHeap events go through the device-heap allocator.
+	RegionHeap
+)
+
+// Event is one entry of an allocation trace.
+type Event struct {
+	Op     EventOp
+	Region Region
+	// ID names the buffer within the trace.
+	ID int
+	// Size is the requested size for OpAlloc events.
+	Size uint64
+}
+
+// FragResult is the outcome of replaying a trace under both policies —
+// the Fig. 4 measurement: "we measured the peak RSS for both the base and
+// LMI cases, then calculated the relative increase in the LMI case".
+type FragResult struct {
+	// BasePeak is the peak reserved footprint under stock allocation.
+	BasePeak uint64
+	// Pow2Peak is the peak reserved footprint under LMI allocation.
+	Pow2Peak uint64
+	// Overhead is Pow2Peak/BasePeak - 1.
+	Overhead float64
+}
+
+// MeasureFragmentation replays an allocation trace under PolicyBase and
+// PolicyPow2 and reports the relative peak-RSS increase.
+func MeasureFragmentation(events []Event) (FragResult, error) {
+	type pair struct {
+		g *GlobalAllocator
+		h *DeviceHeap
+	}
+	run := func(policy Policy) (uint64, error) {
+		p := pair{
+			g: NewDefaultGlobalAllocator(policy),
+			h: NewDefaultDeviceHeap(policy),
+		}
+		addrs := make(map[int]uint64)
+		regions := make(map[int]Region)
+		for i, ev := range events {
+			switch ev.Op {
+			case OpAlloc:
+				var b Block
+				var err error
+				if ev.Region == RegionHeap {
+					b, err = p.h.Malloc(ev.Size)
+				} else {
+					b, err = p.g.Alloc(ev.Size)
+				}
+				if err != nil {
+					return 0, fmt.Errorf("alloc: trace event %d: %w", i, err)
+				}
+				addrs[ev.ID] = b.Addr
+				regions[ev.ID] = ev.Region
+			case OpFree:
+				addr, ok := addrs[ev.ID]
+				if !ok {
+					return 0, fmt.Errorf("alloc: trace event %d frees unknown ID %d", i, ev.ID)
+				}
+				var err error
+				if regions[ev.ID] == RegionHeap {
+					err = p.h.Free(addr)
+				} else {
+					err = p.g.Free(addr)
+				}
+				if err != nil {
+					return 0, fmt.Errorf("alloc: trace event %d: %w", i, err)
+				}
+				delete(addrs, ev.ID)
+			default:
+				return 0, fmt.Errorf("alloc: trace event %d: unknown op %d", i, ev.Op)
+			}
+		}
+		return p.g.Stats().PeakBytes + p.h.Stats().PeakBytes, nil
+	}
+	basePeak, err := run(PolicyBase)
+	if err != nil {
+		return FragResult{}, err
+	}
+	pow2Peak, err := run(PolicyPow2)
+	if err != nil {
+		return FragResult{}, err
+	}
+	res := FragResult{BasePeak: basePeak, Pow2Peak: pow2Peak}
+	if basePeak > 0 {
+		res.Overhead = float64(pow2Peak)/float64(basePeak) - 1
+	}
+	return res, nil
+}

@@ -1,0 +1,251 @@
+// Package alloc implements the memory allocators of the LMI runtime
+// (paper §V-B): the device-side global allocator (the cudaMalloc
+// analogue), the per-thread device heap (kernel malloc with buffer groups
+// and chunk units, Fig. 5), and the compiler's stack-frame layout.
+//
+// Each allocator supports two policies: PolicyBase reproduces stock CUDA
+// behaviour, and PolicyPow2 implements LMI's 2^n-aligned allocation, in
+// which every buffer is rounded to its power-of-two size class and placed
+// at an address aligned to that class, so the base address is recoverable
+// from any interior pointer (paper §IV-A1). The package also measures
+// resident-set growth under each policy for the Fig. 4 fragmentation
+// experiment.
+package alloc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"lmi/internal/core"
+)
+
+// Virtual-address layout of the simulated device memory.
+const (
+	// GlobalBase is the first address handed out by the global allocator.
+	GlobalBase uint64 = 0x10_0000_0000
+	// GlobalLimit bounds the global arena (8 GB HBM, Table IV).
+	GlobalLimit uint64 = GlobalBase + 8<<30
+	// HeapBase is the first address of the device-heap region (device
+	// malloc carves buffers out of global memory).
+	HeapBase uint64 = 0x30_0000_0000
+	// HeapLimit bounds the device-heap arena.
+	HeapLimit uint64 = HeapBase + 4<<30
+)
+
+// Policy selects the allocation rounding/alignment discipline.
+type Policy int
+
+const (
+	// PolicyBase models stock CUDA allocation: sizes rounded to the
+	// 256-byte allocation granularity, 256-byte alignment.
+	PolicyBase Policy = iota
+	// PolicyPow2 is LMI allocation: sizes rounded to the 2^n size class
+	// and buffers aligned to their own size.
+	PolicyPow2
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case PolicyBase:
+		return "base"
+	case PolicyPow2:
+		return "pow2"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// baseGranularity is the stock CUDA allocation granularity.
+const baseGranularity = 256
+
+// Block describes a live allocation.
+type Block struct {
+	// Addr is the buffer base address.
+	Addr uint64
+	// Requested is the size the caller asked for.
+	Requested uint64
+	// Reserved is the size actually set aside after policy rounding.
+	Reserved uint64
+	// Extent is the LMI size class under PolicyPow2 (0 under PolicyBase).
+	Extent core.Extent
+}
+
+// GlobalAllocator is the cudaMalloc/cudaFree analogue. It is safe for
+// concurrent use.
+type GlobalAllocator struct {
+	mu     sync.Mutex
+	policy Policy
+	codec  core.Codec
+
+	base, limit, bump uint64
+
+	free  map[uint64][]uint64 // reserved size -> free base addresses
+	live  map[uint64]Block    // base address -> block
+	freed map[uint64]struct{} // tombstones for double-free detection
+
+	stats AllocStats
+}
+
+// AllocStats tracks allocator activity and resident-set accounting.
+type AllocStats struct {
+	// Allocs and Frees count successful operations.
+	Allocs, Frees uint64
+	// LiveBytes is the current reserved footprint.
+	LiveBytes uint64
+	// PeakBytes is the peak reserved footprint (the RSS proxy used by the
+	// Fig. 4 fragmentation experiment).
+	PeakBytes uint64
+	// RequestedLiveBytes is the current sum of requested sizes.
+	RequestedLiveBytes uint64
+	// PeakRequestedBytes is the peak of RequestedLiveBytes.
+	PeakRequestedBytes uint64
+	// InvalidFrees and DoubleFrees count rejected frees ("protection
+	// against invalid free and double-free scenarios is provided by basic
+	// CUDA functions", paper §IX-B).
+	InvalidFrees, DoubleFrees uint64
+}
+
+// NewGlobalAllocator builds an allocator over [base, limit) with the given
+// policy. The default LMI pointer codec is used for PolicyPow2 rounding.
+func NewGlobalAllocator(policy Policy, base, limit uint64) *GlobalAllocator {
+	return &GlobalAllocator{
+		policy: policy,
+		codec:  core.DefaultCodec,
+		base:   base,
+		limit:  limit,
+		bump:   base,
+		free:   make(map[uint64][]uint64),
+		live:   make(map[uint64]Block),
+		freed:  make(map[uint64]struct{}),
+	}
+}
+
+// NewDefaultGlobalAllocator builds an allocator over the standard global
+// arena.
+func NewDefaultGlobalAllocator(policy Policy) *GlobalAllocator {
+	return NewGlobalAllocator(policy, GlobalBase, GlobalLimit)
+}
+
+// Policy returns the allocator's policy.
+func (a *GlobalAllocator) Policy() Policy { return a.policy }
+
+// round computes (reserved, extent) for a request.
+func (a *GlobalAllocator) round(size uint64) (uint64, core.Extent, error) {
+	if size == 0 {
+		return 0, 0, fmt.Errorf("alloc: zero-size allocation")
+	}
+	switch a.policy {
+	case PolicyPow2:
+		e, err := a.codec.ExtentForSize(size)
+		if err != nil {
+			return 0, 0, err
+		}
+		return a.codec.SizeForExtent(e), e, nil
+	default:
+		reserved := (size + baseGranularity - 1) &^ uint64(baseGranularity-1)
+		return reserved, 0, nil
+	}
+}
+
+// Alloc reserves a buffer for a size-byte request and returns its block
+// descriptor. Under PolicyPow2 the block's Addr is aligned to Reserved and
+// Extent carries the size class for pointer tagging.
+func (a *GlobalAllocator) Alloc(size uint64) (Block, error) {
+	reserved, extent, err := a.round(size)
+	if err != nil {
+		return Block{}, err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var addr uint64
+	if lst := a.free[reserved]; len(lst) > 0 {
+		addr = lst[len(lst)-1]
+		a.free[reserved] = lst[:len(lst)-1]
+	} else {
+		align := uint64(baseGranularity)
+		if a.policy == PolicyPow2 {
+			align = reserved
+		}
+		addr = (a.bump + align - 1) &^ (align - 1)
+		if addr+reserved > a.limit {
+			return Block{}, fmt.Errorf("alloc: arena exhausted (%d bytes requested)", size)
+		}
+		a.bump = addr + reserved
+	}
+	delete(a.freed, addr)
+	b := Block{Addr: addr, Requested: size, Reserved: reserved, Extent: extent}
+	a.live[addr] = b
+	a.stats.Allocs++
+	a.stats.LiveBytes += reserved
+	a.stats.RequestedLiveBytes += size
+	if a.stats.LiveBytes > a.stats.PeakBytes {
+		a.stats.PeakBytes = a.stats.LiveBytes
+	}
+	if a.stats.RequestedLiveBytes > a.stats.PeakRequestedBytes {
+		a.stats.PeakRequestedBytes = a.stats.RequestedLiveBytes
+	}
+	return b, nil
+}
+
+// Free releases the buffer based at addr. Freeing an address that is not a
+// live base yields a FaultInvalidFree; freeing an already-freed base
+// yields a FaultDoubleFree.
+func (a *GlobalAllocator) Free(addr uint64) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b, ok := a.live[addr]
+	if !ok {
+		if _, was := a.freed[addr]; was {
+			a.stats.DoubleFrees++
+			return core.NewFault(core.FaultDoubleFree, core.Pointer(addr), addr, "double free")
+		}
+		a.stats.InvalidFrees++
+		return core.NewFault(core.FaultInvalidFree, core.Pointer(addr), addr, "free of non-allocation address")
+	}
+	delete(a.live, addr)
+	a.freed[addr] = struct{}{}
+	a.free[b.Reserved] = append(a.free[b.Reserved], addr)
+	a.stats.Frees++
+	a.stats.LiveBytes -= b.Reserved
+	a.stats.RequestedLiveBytes -= b.Requested
+	return nil
+}
+
+// Lookup returns the live block containing addr, if any. It is O(live)
+// only for PolicyBase lookups of interior addresses; base lookups by exact
+// base are O(1).
+func (a *GlobalAllocator) Lookup(addr uint64) (Block, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if b, ok := a.live[addr]; ok {
+		return b, true
+	}
+	for _, b := range a.live {
+		if addr >= b.Addr && addr < b.Addr+b.Reserved {
+			return b, true
+		}
+	}
+	return Block{}, false
+}
+
+// LiveBlocks returns the live blocks sorted by address (for inspection
+// and region-based checkers).
+func (a *GlobalAllocator) LiveBlocks() []Block {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Block, 0, len(a.live))
+	for _, b := range a.live {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// Stats returns a snapshot of allocator statistics.
+func (a *GlobalAllocator) Stats() AllocStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}

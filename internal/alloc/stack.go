@@ -1,0 +1,122 @@
+package alloc
+
+import (
+	"fmt"
+	"sort"
+
+	"lmi/internal/core"
+)
+
+// StackTop is the per-thread local-memory stack top virtual address. All
+// threads share this VA; address translation maps it to distinct physical
+// locations per thread (paper §II-A). It is a power of two so that any
+// frame layout whose size classes divide it yields size-aligned buffer
+// addresses. The GPU driver "identifies the aligned memory address and
+// stores this address within the corresponding constant memory" (§V-B
+// "Stack Memory"); the simulator places it in constant-bank word
+// Program.StackPtrConst.
+const StackTop uint64 = 512 << 10 // 512 KiB per-thread local memory
+
+// FrameBuffer describes one stack buffer's placement within a frame.
+type FrameBuffer struct {
+	// Offset is the byte offset of the buffer base from the decremented
+	// stack pointer (SP = StackTop - FrameSize).
+	Offset uint64
+	// Reserved is the space set aside (2^n-rounded under LMI).
+	Reserved uint64
+	// Extent is the LMI size class (0 under the base policy).
+	Extent core.Extent
+}
+
+// FrameLayout is the computed stack frame for one kernel.
+type FrameLayout struct {
+	// Buffers holds per-buffer placement, in the order the sizes were
+	// given.
+	Buffers []FrameBuffer
+	// FrameSize is the stack-pointer decrement the compiler emits
+	// (IADD3 R1, R1, -FrameSize, Fig. 7).
+	FrameSize uint64
+}
+
+// LayoutFrame places stack buffers of the requested sizes into a frame.
+//
+// Under PolicyBase, buffers are packed at 16-byte alignment and the frame
+// is rounded to 16 bytes, mirroring conventional stack allocation.
+//
+// Under PolicyPow2 (LMI, §V-B "Stack Memory"), each buffer is rounded to
+// its 2^n size class and placed so that its absolute address
+// (StackTop - FrameSize + Offset) is aligned to that class: buffers are
+// laid out in descending class order and the frame is rounded to a
+// multiple of the largest class. Because StackTop is a power of two at
+// least as large as any class, every buffer lands size-aligned.
+func LayoutFrame(sizes []uint64, policy Policy) (FrameLayout, error) {
+	codec := core.DefaultCodec
+	out := FrameLayout{Buffers: make([]FrameBuffer, len(sizes))}
+	if policy == PolicyBase {
+		var off uint64
+		for i, s := range sizes {
+			if s == 0 {
+				return FrameLayout{}, fmt.Errorf("alloc: zero-size stack buffer %d", i)
+			}
+			reserved := (s + 15) &^ 15
+			out.Buffers[i] = FrameBuffer{Offset: off, Reserved: reserved}
+			off += reserved
+		}
+		out.FrameSize = off
+		return out, nil
+	}
+
+	type item struct {
+		idx      int
+		reserved uint64
+		extent   core.Extent
+	}
+	items := make([]item, len(sizes))
+	var total, maxClass uint64
+	for i, s := range sizes {
+		e, err := codec.ExtentForSize(s)
+		if err != nil {
+			return FrameLayout{}, fmt.Errorf("alloc: stack buffer %d: %w", i, err)
+		}
+		r := codec.SizeForExtent(e)
+		items[i] = item{idx: i, reserved: r, extent: e}
+		total += r
+		if r > maxClass {
+			maxClass = r
+		}
+	}
+	if len(items) == 0 {
+		return out, nil
+	}
+	// Descending class order gives natural alignment: every prefix sum of
+	// the larger classes is a multiple of the next class placed.
+	sort.SliceStable(items, func(i, j int) bool { return items[i].reserved > items[j].reserved })
+	frame := (total + maxClass - 1) &^ (maxClass - 1)
+	if frame > StackTop {
+		return FrameLayout{}, fmt.Errorf("alloc: frame %d exceeds per-thread stack %d", frame, StackTop)
+	}
+	var off uint64
+	for _, it := range items {
+		out.Buffers[it.idx] = FrameBuffer{Offset: off, Reserved: it.reserved, Extent: it.extent}
+		off += it.reserved
+	}
+	out.FrameSize = frame
+	return out, nil
+}
+
+// Verify checks the LMI alignment invariant of a layout: each buffer's
+// absolute address is aligned to its size class. It is used by tests and
+// by the compiler's self-checks.
+func (f FrameLayout) Verify() error {
+	base := StackTop - f.FrameSize
+	for i, b := range f.Buffers {
+		if b.Extent == 0 {
+			continue
+		}
+		addr := base + b.Offset
+		if addr%b.Reserved != 0 {
+			return fmt.Errorf("alloc: buffer %d at %#x not aligned to %d", i, addr, b.Reserved)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,276 @@
+package apps
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+
+	"lmi/internal/compiler"
+	"lmi/internal/ir"
+	"lmi/internal/safety"
+	"lmi/internal/sim"
+)
+
+func f32Bytes(v []float32) []byte {
+	out := make([]byte, 4*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(x))
+	}
+	return out
+}
+
+func i32Bytes(v []int32) []byte {
+	out := make([]byte, 4*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(out[4*i:], uint32(x))
+	}
+	return out
+}
+
+func readF32(b []byte) []float32 {
+	out := make([]float32, len(b)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+func readI32(b []byte) []int32 {
+	out := make([]int32, len(b)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+// TestMatMulTiledMatchesReference verifies the tiled matmul against the
+// host reference, bit for bit, under LMI.
+func TestMatMulTiledMatchesReference(t *testing.T) {
+	const n, tile = 32, 8
+	r := rand.New(rand.NewSource(1))
+	a := make([]float32, n*n)
+	bm := make([]float32, n*n)
+	for i := range a {
+		// Small integer-valued floats keep FFMA associativity exact, so
+		// device and host sums agree bit for bit.
+		a[i] = float32(r.Intn(8))
+		bm[i] = float32(r.Intn(8))
+	}
+	// Host reference (k-inner order matches the kernel's accumulation
+	// order, so float rounding is identical).
+	want := make([]float32, n*n)
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			var acc float32
+			for k := 0; k < n; k++ {
+				acc = a[y*n+k]*bm[k*n+x] + acc
+			}
+			want[y*n+x] = acc
+		}
+	}
+
+	f := MatMulTiled(tile)
+	prog, err := compiler.Compile(f, compiler.ModeLMI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := sim.NewDevice(sim.ScaledConfig(2), safety.NewLMI())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, _ := dev.Malloc(4 * n * n)
+	pb, _ := dev.Malloc(4 * n * n)
+	pc, _ := dev.Malloc(4 * n * n)
+	dev.WriteGlobal(pa, f32Bytes(a))
+	dev.WriteGlobal(pb, f32Bytes(bm))
+	st, err := dev.Launch2D(prog, n/tile, n/tile, tile, tile, []uint64{pa, pb, pc, n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Halted || len(st.Faults) > 0 {
+		t.Fatalf("faulted: %+v", st.Faults)
+	}
+	got := readF32(dev.ReadGlobal(pc, 4*n*n))
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("C[%d,%d] = %v, want %v", i/n, i%n, got[i], want[i])
+		}
+	}
+	if st.PointerChecks == 0 {
+		t.Error("matmul ran without OCU checks under LMI")
+	}
+}
+
+// TestReduceSumMatchesReference verifies the tree reduction + atomics.
+func TestReduceSumMatchesReference(t *testing.T) {
+	const n, block, grid = 10000, 128, 6
+	r := rand.New(rand.NewSource(2))
+	in := make([]int32, n)
+	var want int32
+	for i := range in {
+		in[i] = int32(r.Intn(1000) - 500)
+		want += in[i]
+	}
+	f := ReduceSum(block)
+	prog, err := compiler.Compile(f, compiler.ModeLMI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, _ := sim.NewDevice(sim.ScaledConfig(2), safety.NewLMI())
+	pin, _ := dev.Malloc(4 * n)
+	pout, _ := dev.Malloc(64)
+	dev.WriteGlobal(pin, i32Bytes(in))
+	st, err := dev.Launch(prog, grid, block, []uint64{pin, pout, n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Halted || len(st.Faults) > 0 {
+		t.Fatalf("faulted: %+v", st.Faults)
+	}
+	got := readI32(dev.ReadGlobal(pout, 4))[0]
+	if got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}
+
+// TestBFSMatchesReference runs level-synchronous BFS on a random sparse
+// graph across multiple kernel launches and compares all distances.
+func TestBFSMatchesReference(t *testing.T) {
+	const nv = 300
+	r := rand.New(rand.NewSource(3))
+	// Random graph: each vertex gets 1-5 out-edges; plus a chain so a
+	// long BFS frontier exists.
+	adj := make([][]int32, nv)
+	for v := 0; v < nv; v++ {
+		if v+1 < nv {
+			adj[v] = append(adj[v], int32(v+1))
+		}
+		for k := r.Intn(5); k > 0; k-- {
+			adj[v] = append(adj[v], int32(r.Intn(nv)))
+		}
+	}
+	rowPtr := make([]int32, nv+1)
+	var colIdx []int32
+	for v := 0; v < nv; v++ {
+		rowPtr[v] = int32(len(colIdx))
+		colIdx = append(colIdx, adj[v]...)
+	}
+	rowPtr[nv] = int32(len(colIdx))
+
+	// Host BFS.
+	want := make([]int32, nv)
+	for i := range want {
+		want[i] = -1
+	}
+	want[0] = 0
+	queue := []int32{0}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range adj[v] {
+			if want[u] == -1 {
+				want[u] = want[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+
+	// Device BFS: one launch per level until the change flag stays 0.
+	f := BFSLevel()
+	prog, err := compiler.Compile(f, compiler.ModeLMI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, _ := sim.NewDevice(sim.ScaledConfig(2), safety.NewLMI())
+	pRow, _ := dev.Malloc(uint64(4 * (nv + 1)))
+	pCol, _ := dev.Malloc(uint64(4 * len(colIdx)))
+	pDist, _ := dev.Malloc(4 * nv)
+	pChanged, _ := dev.Malloc(64)
+	dev.WriteGlobal(pRow, i32Bytes(rowPtr))
+	dev.WriteGlobal(pCol, i32Bytes(colIdx))
+	dist := make([]int32, nv)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[0] = 0
+	dev.WriteGlobal(pDist, i32Bytes(dist))
+
+	for level := int32(0); level < nv; level++ {
+		dev.WriteGlobal(pChanged, []byte{0, 0, 0, 0})
+		st, err := dev.Launch(prog, (nv+127)/128, 128, []uint64{
+			pRow, pCol, pDist, pChanged, nv, uint64(uint32(level))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Halted || len(st.Faults) > 0 {
+			t.Fatalf("level %d faulted: %+v", level, st.Faults)
+		}
+		if readI32(dev.ReadGlobal(pChanged, 4))[0] == 0 {
+			break
+		}
+	}
+	got := readI32(dev.ReadGlobal(pDist, 4*nv))
+	for v := 0; v < nv; v++ {
+		if got[v] != want[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, got[v], want[v])
+		}
+	}
+}
+
+// TestStencil2DMatchesReference verifies the 2-D Jacobi sweep.
+func TestStencil2DMatchesReference(t *testing.T) {
+	const w, h = 48, 24
+	r := rand.New(rand.NewSource(4))
+	in := make([]float32, w*h)
+	for i := range in {
+		in[i] = float32(r.Intn(64)) // quarter-exact values
+	}
+	want := make([]float32, w*h)
+	copy(want, in)
+	for y := 1; y < h-1; y++ {
+		for x := 1; x < w-1; x++ {
+			want[y*w+x] = 0.25 * ((in[(y-1)*w+x] + in[(y+1)*w+x]) + (in[y*w+x-1] + in[y*w+x+1]))
+		}
+	}
+
+	f := Stencil2D()
+	prog, err := compiler.Compile(f, compiler.ModeLMI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, _ := sim.NewDevice(sim.ScaledConfig(2), safety.NewLMI())
+	pin, _ := dev.Malloc(4 * w * h)
+	pout, _ := dev.Malloc(4 * w * h)
+	dev.WriteGlobal(pin, f32Bytes(in))
+	st, err := dev.Launch2D(prog, (w+15)/16, (h+7)/8, 16, 8, []uint64{pin, pout, w, h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Halted || len(st.Faults) > 0 {
+		t.Fatalf("faulted: %+v", st.Faults)
+	}
+	got := readF32(dev.ReadGlobal(pout, 4*w*h))
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("out[%d,%d] = %v, want %v", i/w, i%w, got[i], want[i])
+		}
+	}
+}
+
+// TestAppsRejectNothingUnderAnalysis: the real kernels satisfy the LMI
+// compile-time restrictions (no int<->ptr casts, no in-memory pointers).
+func TestAppsRejectNothingUnderAnalysis(t *testing.T) {
+	for _, f := range []*ir.Func{MatMulTiled(8), ReduceSum(64), BFSLevel(), Stencil2D()} {
+		facts, err := compiler.Analyze(f)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		if len(facts.Casts) != 0 || len(facts.PtrStores) != 0 {
+			t.Errorf("%s: violates LMI restrictions", f.Name)
+		}
+		if _, err := compiler.Compile(f, compiler.ModeBase); err != nil {
+			t.Errorf("%s base compile: %v", f.Name, err)
+		}
+	}
+}

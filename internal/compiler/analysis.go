@@ -1,0 +1,116 @@
+// Package compiler lowers IR kernels to the SASS-like ISA and implements
+// the LMI compiler support described in the paper:
+//
+//   - the pointer-operand analysis pass that identifies which instructions
+//     perform pointer arithmetic and which operand carries the pointer
+//     (§VI-A, Fig. 8), delivered to the backend as metadata;
+//   - rejection of inttoptr/ptrtoint casts and of pointers stored to
+//     memory, preserving the Correct-by-Construction invariant (§VI-A,
+//     §XII-B);
+//   - 2^n-aligned stack-frame layout and in-register extent tagging of
+//     stack, shared, and heap pointers (§V-B);
+//   - extent nullification after free() and at scope exit (§VIII);
+//   - hint-bit emission into the reserved microcode field (§VI-B);
+//   - instrumentation passes modelling the software baselines: Baggy
+//     Bounds check injection, the LMI DBI implementation, and a
+//     memcheck-style tripwire (§X-A, §X-B).
+package compiler
+
+import (
+	"fmt"
+
+	"lmi/internal/ir"
+)
+
+// PtrFact describes one instruction that manipulates a pointer value and
+// therefore needs OCU verification.
+type PtrFact struct {
+	// Block and Index locate the IR instruction.
+	Block ir.BlockID
+	Index int
+	// Operand is the argument index holding the pointer (the S hint).
+	Operand int
+}
+
+// Facts is the metadata the front-end analysis hands to the backend
+// ("information gathered from the LLVM IR analysis is passed as metadata
+// to the backend", §VI-A).
+type Facts struct {
+	// PtrArith lists pointer-arithmetic and pointer-move instructions
+	// (GEP and pointer Copy) with their pointer operand index.
+	PtrArith []PtrFact
+	// Casts lists inttoptr/ptrtoint instructions (locations only).
+	Casts []PtrFact
+	// PtrStores lists stores whose stored value is a pointer, and loads
+	// producing a pointer — both restricted under LMI ("LMI restricts the
+	// storage of pointers in memory", §VI-A).
+	PtrStores []PtrFact
+}
+
+// Analyze runs the pointer-operand analysis over a verified function.
+//
+// Because the IR is typed and LMI bans pointer<->integer casts, the
+// analysis is a direct type walk: an instruction manipulates a pointer
+// exactly when one of its operands has pointer type. This mirrors the
+// paper's LLVM pass (Fig. 8), which inspects operand types of arithmetic
+// instructions.
+func Analyze(f *ir.Func) (*Facts, error) {
+	if err := ir.Verify(f); err != nil {
+		return nil, err
+	}
+	facts := &Facts{}
+	for _, blk := range f.Blocks {
+		for i := range blk.Instrs {
+			in := &blk.Instrs[i]
+			loc := PtrFact{Block: blk.ID, Index: i}
+			switch in.Op {
+			case ir.OpGEP:
+				loc.Operand = 0
+				facts.PtrArith = append(facts.PtrArith, loc)
+			case ir.OpCopy:
+				if f.TypeOf(in.Dst).IsPtr() {
+					loc.Operand = 0
+					facts.PtrArith = append(facts.PtrArith, loc)
+				}
+			case ir.OpSelect:
+				if f.TypeOf(in.Dst).IsPtr() {
+					// A pointer select produces a pointer from one of two
+					// pointer operands; the backend lowers it to a
+					// verified move of each arm. Record operand 1 (the
+					// first pointer arm).
+					loc.Operand = 1
+					facts.PtrArith = append(facts.PtrArith, loc)
+				}
+			case ir.OpPtrToInt, ir.OpIntToPtr:
+				facts.Casts = append(facts.Casts, loc)
+			case ir.OpStore:
+				if f.TypeOf(in.Args[1]).IsPtr() {
+					facts.PtrStores = append(facts.PtrStores, loc)
+				}
+			case ir.OpLoad:
+				if f.TypeOf(in.Dst).IsPtr() {
+					facts.PtrStores = append(facts.PtrStores, loc)
+				}
+			}
+		}
+	}
+	return facts, nil
+}
+
+// CheckLMIRestrictions returns an error if the function violates the LMI
+// compile-time rules: no int<->ptr casts (a compiler error per §XII-B) and
+// no pointers stored to or loaded from memory (§VI-A).
+func CheckLMIRestrictions(f *ir.Func, facts *Facts) error {
+	if len(facts.Casts) > 0 {
+		c := facts.Casts[0]
+		op := f.Blocks[c.Block].Instrs[c.Index].Op
+		return fmt.Errorf("compiler: %s: b%d[%d]: %s is forbidden under LMI (correct-by-construction, §XII-B)",
+			f.Name, c.Block, c.Index, op)
+	}
+	if len(facts.PtrStores) > 0 {
+		c := facts.PtrStores[0]
+		return fmt.Errorf("compiler: %s: b%d[%d]: storing/loading pointers through memory is restricted under LMI (§VI-A)",
+			f.Name, c.Block, c.Index)
+	}
+	return nil
+}

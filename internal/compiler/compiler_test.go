@@ -1,0 +1,371 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+
+	"lmi/internal/ir"
+	"lmi/internal/isa"
+)
+
+func buildSaxpy(t *testing.T) *ir.Func {
+	t.Helper()
+	b := ir.NewBuilder("saxpy")
+	X := b.Param(ir.PtrGlobal)
+	Y := b.Param(ir.PtrGlobal)
+	n := b.Param(ir.I32)
+	a := b.ConstF(2.0)
+	i := b.GlobalTID()
+	b.If(b.ICmp(isa.CmpLT, i, n), func() {
+		x := b.Load(ir.F32, b.GEP(X, i, 4, 0), 0)
+		y := b.Load(ir.F32, b.GEP(Y, i, 4, 0), 0)
+		b.Store(b.GEP(Y, i, 4, 0), b.FFMA(a, x, y), 0)
+	}, nil)
+	return b.MustFinish()
+}
+
+func TestAnalyzeFindsPointerArithmetic(t *testing.T) {
+	f := buildSaxpy(t)
+	facts, err := Analyze(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(facts.PtrArith) != 3 { // three GEPs
+		t.Errorf("PtrArith = %d, want 3", len(facts.PtrArith))
+	}
+	if len(facts.Casts) != 0 || len(facts.PtrStores) != 0 {
+		t.Errorf("unexpected facts: %+v", facts)
+	}
+	for _, pf := range facts.PtrArith {
+		if pf.Operand != 0 {
+			t.Errorf("GEP pointer operand = %d", pf.Operand)
+		}
+	}
+}
+
+func TestAnalyzeFlagsCastsAndPtrStores(t *testing.T) {
+	b := ir.NewBuilder("casts")
+	p := b.Param(ir.PtrGlobal)
+	x := b.PtrToInt(p)
+	q := b.IntToPtr(x, isa.SpaceGlobal)
+	b.Store(q, b.ConstI(ir.I32, 1), 0)
+	f := b.MustFinish()
+	facts, err := Analyze(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(facts.Casts) != 2 {
+		t.Errorf("Casts = %d, want 2", len(facts.Casts))
+	}
+	if err := CheckLMIRestrictions(f, facts); err == nil {
+		t.Error("casts not rejected under LMI")
+	}
+	if _, err := Compile(f, ModeLMI); err == nil {
+		t.Error("Compile(ModeLMI) accepted int<->ptr casts")
+	}
+	// Base mode compiles it fine.
+	if _, err := Compile(f, ModeBase); err != nil {
+		t.Errorf("Compile(ModeBase): %v", err)
+	}
+
+	// Storing a pointer to memory is restricted too.
+	b2 := ir.NewBuilder("ptrstore")
+	out := b2.Param(ir.PtrGlobal)
+	b2.Store(out, out, 0)
+	f2 := b2.MustFinish()
+	facts2, _ := Analyze(f2)
+	if len(facts2.PtrStores) != 1 {
+		t.Errorf("PtrStores = %d", len(facts2.PtrStores))
+	}
+	if err := CheckLMIRestrictions(f2, facts2); err == nil {
+		t.Error("pointer store not rejected under LMI")
+	}
+}
+
+func TestCompileBaseVsLMI(t *testing.T) {
+	f := buildSaxpy(t)
+	base, err := Compile(f, ModeBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmi, err := Compile(f, ModeLMI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.CountHinted() != 0 {
+		t.Errorf("base compile has %d hinted instructions", base.CountHinted())
+	}
+	if lmi.CountHinted() != 3 {
+		t.Errorf("LMI compile has %d hinted instructions, want 3", lmi.CountHinted())
+	}
+	// Instruction counts match: hint bits live in reserved microcode
+	// space, so LMI adds no instructions for a heap-free kernel.
+	if len(base.Instrs) != len(lmi.Instrs) {
+		t.Errorf("instruction counts differ: base %d, lmi %d", len(base.Instrs), len(lmi.Instrs))
+	}
+	dis := lmi.Disassemble()
+	if !strings.Contains(dis, "[A S=0]") {
+		t.Errorf("disassembly missing hint annotation:\n%s", dis)
+	}
+	if ModeBase.String() != "base" || ModeLMI.String() != "lmi" || Mode(9).String() == "" {
+		t.Error("mode names")
+	}
+}
+
+func TestCompileStackFrame(t *testing.T) {
+	b := ir.NewBuilder("stack")
+	out := b.Param(ir.PtrGlobal)
+	buf := b.Alloca(96) // Fig. 7's 0x60-byte buffer
+	tid := b.TID()
+	b.Store(b.GEP(buf, tid, 4, 0), tid, 0)
+	v := b.Load(ir.I32, b.GEP(buf, tid, 4, 0), 0)
+	b.Store(b.GEP(out, tid, 4, 0), v, 0)
+	f := b.MustFinish()
+
+	base, err := Compile(f, ModeBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.FrameSize != 96 {
+		t.Errorf("base frame = %d, want 96", base.FrameSize)
+	}
+	lmi, err := Compile(f, ModeLMI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LMI rounds the buffer to its 256-byte size class (§V-B).
+	if lmi.FrameSize != 256 {
+		t.Errorf("LMI frame = %d, want 256", lmi.FrameSize)
+	}
+	if len(lmi.StackBuffers) != 1 || lmi.StackBuffers[0].Extent != 1 {
+		t.Errorf("stack buffers: %+v", lmi.StackBuffers)
+	}
+	// The prologue mirrors Fig. 7: load SP from c[0x0][0x28], subtract
+	// the frame.
+	dis := lmi.Disassemble()
+	if !strings.Contains(dis, "LDC.64 R1, [RZ+40]") {
+		t.Errorf("missing SP load:\n%s", dis)
+	}
+	if !strings.Contains(dis, "IADD3 R1, R1, RZ") {
+		t.Errorf("missing frame decrement:\n%s", dis)
+	}
+}
+
+func TestCompileSharedLayout(t *testing.T) {
+	b := ir.NewBuilder("shared")
+	s1 := b.Shared(100)
+	s2 := b.Shared(300)
+	tid := b.TID()
+	b.Store(b.GEP(s1, tid, 4, 0), tid, 0)
+	b.Store(b.GEP(s2, tid, 4, 0), tid, 0)
+	f := b.MustFinish()
+	base, err := Compile(f, ModeBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.SharedSize != 412 { // 100 @0, then 300 @112 (16-aligned)
+		t.Errorf("base shared = %d", base.SharedSize)
+	}
+	lmi, err := Compile(f, ModeLMI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 -> 256-class, 300 -> 512-class, aligned: 0..256, 512..1024.
+	if lmi.SharedSize != 1024 {
+		t.Errorf("LMI shared = %d, want 1024", lmi.SharedSize)
+	}
+}
+
+func TestCompileFreeNullification(t *testing.T) {
+	b := ir.NewBuilder("heap")
+	sz := b.ConstI(ir.I32, 512)
+	p := b.Malloc(sz)
+	b.Store(p, sz, 0)
+	b.Free(p)
+	f := b.MustFinish()
+	lmi, err := Compile(f, ModeLMI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis := lmi.Disassemble()
+	// FREE followed by the SHL/SHR extent-nullification pair (§VIII).
+	i := strings.Index(dis, "FREE")
+	if i < 0 {
+		t.Fatalf("no FREE:\n%s", dis)
+	}
+	rest := dis[i:]
+	if !strings.Contains(rest, "SHL") || !strings.Contains(rest, "SHR") {
+		t.Errorf("missing nullification after FREE:\n%s", rest)
+	}
+	base, _ := Compile(f, ModeBase)
+	if len(base.Instrs)+2 != len(lmi.Instrs) {
+		t.Errorf("LMI should add exactly the 2 nullification instrs: base %d, lmi %d",
+			len(base.Instrs), len(lmi.Instrs))
+	}
+}
+
+func TestCompileControlFlow(t *testing.T) {
+	b := ir.NewBuilder("loops")
+	out := b.Param(ir.PtrGlobal)
+	n := b.ConstI(ir.I32, 10)
+	acc := b.Var(b.ConstI(ir.I32, 0))
+	b.For(n, func(i ir.Value) {
+		b.If(b.ICmp(isa.CmpEQ, b.And(i, b.ConstI(ir.I32, 1)), b.ConstI(ir.I32, 0)), func() {
+			b.Assign(acc, b.Add(acc, i))
+		}, func() {
+			b.Assign(acc, b.Sub(acc, i))
+		})
+	})
+	b.Store(out, acc, 0)
+	f := b.MustFinish()
+	p, err := Compile(f, ModeLMI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every CondBr lowers to SSY + predicated BRA + BRA, with targets
+	// resolved to instruction indices (Validate checks ranges).
+	var ssy, bra int
+	for i := range p.Instrs {
+		switch p.Instrs[i].Op {
+		case isa.SSY:
+			ssy++
+		case isa.BRA:
+			bra++
+		}
+	}
+	if ssy != 2 { // loop head + if
+		t.Errorf("SSY count = %d, want 2", ssy)
+	}
+	if bra < 4 {
+		t.Errorf("BRA count = %d", bra)
+	}
+}
+
+func TestCompileRejectsBoolCopy(t *testing.T) {
+	b := ir.NewBuilder("boolcopy")
+	c := b.ICmp(isa.CmpEQ, b.ConstI(ir.I32, 0), b.ConstI(ir.I32, 0))
+	b.Var(c) // bool Var -> OpCopy of a bool
+	f := b.MustFinish()
+	if _, err := Compile(f, ModeBase); err == nil {
+		t.Error("bool copy accepted")
+	}
+}
+
+func TestCompileHugeConstRejected(t *testing.T) {
+	b := ir.NewBuilder("hugeconst")
+	b.ConstI(ir.I64, 1<<40)
+	f := b.MustFinish()
+	if _, err := Compile(f, ModeBase); err == nil {
+		t.Error("64-bit constant accepted into 32-bit immediate")
+	}
+}
+
+func TestInstrumentBaggy(t *testing.T) {
+	f := buildSaxpy(t)
+	lmi, err := Compile(f, ModeLMI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baggy := InstrumentBaggy(lmi)
+	if err := baggy.Validate(); err != nil {
+		t.Fatalf("instrumented program invalid: %v", err)
+	}
+	// 3 pointer ops * 7 instructions each.
+	if len(baggy.Instrs) != len(lmi.Instrs)+3*7 {
+		t.Errorf("baggy size %d, want %d", len(baggy.Instrs), len(lmi.Instrs)+21)
+	}
+	if baggy.CountHinted() != 0 {
+		t.Error("baggy program must not carry A hints (software-only)")
+	}
+	var traps int
+	for i := range baggy.Instrs {
+		if baggy.Instrs[i].Op == isa.TRAP {
+			traps++
+			if baggy.Instrs[i].Pred != instrPred {
+				t.Error("TRAP must be guarded by the instrumentation predicate")
+			}
+		}
+	}
+	if traps != 3 {
+		t.Errorf("traps = %d", traps)
+	}
+}
+
+func TestInstrumentDBI(t *testing.T) {
+	f := buildSaxpy(t)
+	base, err := Compile(f, ModeBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbi := InstrumentDBI(base, LMIDBIOptions)
+	if err := dbi.Validate(); err != nil {
+		t.Fatalf("DBI program invalid: %v", err)
+	}
+	mc := InstrumentDBI(base, MemcheckOptions)
+	if err := mc.Validate(); err != nil {
+		t.Fatalf("memcheck program invalid: %v", err)
+	}
+	// LMI-DBI instruments int ALU + memory; memcheck only memory — so the
+	// LMI-DBI expansion must be strictly larger.
+	if len(dbi.Instrs) <= len(mc.Instrs) {
+		t.Errorf("LMI-DBI (%d) should exceed memcheck (%d)", len(dbi.Instrs), len(mc.Instrs))
+	}
+	if len(mc.Instrs) <= len(base.Instrs) {
+		t.Error("memcheck added nothing")
+	}
+	// Shadow loads present in memcheck.
+	var shadow int
+	for i := range mc.Instrs {
+		if mc.Instrs[i].Op == isa.LDG && mc.Instrs[i].HasImm == false &&
+			mc.Instrs[i].Dst == regTmp1 {
+			shadow++
+		}
+	}
+	if shadow == 0 {
+		t.Error("memcheck has no shadow-table loads")
+	}
+}
+
+func TestRewritePreservesBranchTargets(t *testing.T) {
+	// A loop program: after expansion, the back-edge must land on the
+	// first inserted instruction of its target group.
+	b := ir.NewBuilder("looptgt")
+	out := b.Param(ir.PtrGlobal)
+	n := b.ConstI(ir.I32, 4)
+	acc := b.Var(b.ConstI(ir.I32, 0))
+	b.For(n, func(i ir.Value) {
+		b.Store(b.GEP(out, i, 4, 0), acc, 0)
+		b.Assign(acc, b.Add(acc, i))
+	})
+	f := b.MustFinish()
+	lmi, err := Compile(f, ModeLMI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baggy := InstrumentBaggy(lmi)
+	if err := baggy.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// All BRA/SSY targets must point at in-range indices and the program
+	// still ends with EXIT (Validate checks both); additionally, no
+	// target may point into the middle of an inserted check (i.e., at a
+	// TRAP or its SETP).
+	for i := range baggy.Instrs {
+		in := &baggy.Instrs[i]
+		if in.Op == isa.BRA || in.Op == isa.SSY {
+			tgt := baggy.Instrs[in.Target]
+			if tgt.Op == isa.TRAP {
+				t.Errorf("branch target %d lands on TRAP", in.Target)
+			}
+		}
+	}
+}
+
+func TestCheckInstructionCounts(t *testing.T) {
+	f := buildSaxpy(t)
+	lmi, _ := Compile(f, ModeLMI)
+	checks, ldst := CheckInstructionCounts(lmi)
+	if checks != 3 || ldst != 3+3 { // 3 data LD/ST + 3 param LDC
+		t.Errorf("checks=%d ldst=%d", checks, ldst)
+	}
+}

@@ -1,0 +1,590 @@
+package compiler
+
+import (
+	"fmt"
+	"math"
+
+	"lmi/internal/alloc"
+	"lmi/internal/core"
+	"lmi/internal/ir"
+	"lmi/internal/isa"
+)
+
+// Mode selects the compilation discipline.
+type Mode int
+
+const (
+	// ModeBase compiles without any safety support: conventional stack
+	// layout, no pointer tagging, no hint bits.
+	ModeBase Mode = iota
+	// ModeLMI compiles with full LMI support: 2^n-aligned stack and
+	// shared layout, extent tagging of stack/shared pointers, hint bits
+	// on pointer operations, extent nullification on free/scope-exit,
+	// and rejection of int<->ptr casts and in-memory pointers.
+	ModeLMI
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeBase:
+		return "base"
+	case ModeLMI:
+		return "lmi"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Constant-bank layout (byte offsets). The stack pointer lives at
+// c[0x0][0x28] as in real SASS (paper Fig. 7); parameters start at
+// c[0x0][0x140] per the CUDA ABI.
+const (
+	// StackPtrConstOffset is the constant-bank byte offset of the
+	// per-thread stack top.
+	StackPtrConstOffset = 0x28
+	// ParamConstBase is the constant-bank byte offset of parameter 0;
+	// parameter i occupies the 8-byte word at ParamConstBase + 8*i.
+	ParamConstBase = 0x140
+)
+
+// Register conventions of the generated code.
+const (
+	regTmp0   = isa.Reg(0)   // lowering scratch
+	regSP     = isa.Reg(1)   // stack pointer, as in SASS
+	regTmp1   = isa.Reg(2)   // lowering scratch
+	regTmp2   = isa.Reg(3)   // scratch reserved for instrumentation
+	regVal0   = isa.Reg(4)   // first allocatable value register
+	regValMax = isa.Reg(254) // last allocatable value register
+)
+
+// lowerer carries compilation state for one kernel.
+type lowerer struct {
+	f     *ir.Func
+	mode  Mode
+	facts *Facts
+
+	regs  map[ir.Value]int // value -> GP register index (0 => regVal0)
+	preds map[ir.Value]int // bool value -> predicate register
+
+	frame      alloc.FrameLayout
+	allocaIdx  map[ir.Value]int // alloca value -> frame buffer index
+	sharedOff  map[ir.Value]uint64
+	sharedExt  map[ir.Value]core.Extent
+	sharedSize uint64
+
+	// ptrArith[blk][idx] = pointer operand index, for hinted instructions.
+	ptrArith map[ir.BlockID]map[int]int
+
+	out        []isa.Instr
+	blockStart map[ir.BlockID]int
+	maxReg     isa.Reg
+}
+
+// Compile lowers a verified IR kernel to an ISA program under the given
+// mode.
+func Compile(f *ir.Func, mode Mode) (*isa.Program, error) {
+	facts, err := Analyze(f)
+	if err != nil {
+		return nil, err
+	}
+	if mode == ModeLMI {
+		if err := CheckLMIRestrictions(f, facts); err != nil {
+			return nil, err
+		}
+	}
+	lw := &lowerer{
+		f:          f,
+		mode:       mode,
+		facts:      facts,
+		allocaIdx:  map[ir.Value]int{},
+		sharedOff:  map[ir.Value]uint64{},
+		sharedExt:  map[ir.Value]core.Extent{},
+		ptrArith:   map[ir.BlockID]map[int]int{},
+		blockStart: map[ir.BlockID]int{},
+	}
+	for _, pf := range facts.PtrArith {
+		m := lw.ptrArith[pf.Block]
+		if m == nil {
+			m = map[int]int{}
+			lw.ptrArith[pf.Block] = m
+		}
+		m[pf.Index] = pf.Operand
+	}
+	if err := lw.allocateRegisters(); err != nil {
+		return nil, err
+	}
+	if err := lw.layoutMemory(); err != nil {
+		return nil, err
+	}
+	if err := lw.emitAll(); err != nil {
+		return nil, err
+	}
+	prog := &isa.Program{
+		Name:          f.Name,
+		Instrs:        lw.out,
+		FrameSize:     uint32(lw.frame.FrameSize),
+		SharedSize:    uint32(lw.sharedSize),
+		NumRegs:       int(lw.maxReg) + 1,
+		NumParams:     len(f.Params),
+		StackPtrConst: StackPtrConstOffset,
+		ParamBase:     ParamConstBase,
+	}
+	for _, b := range lw.frame.Buffers {
+		prog.StackBuffers = append(prog.StackBuffers, isa.StackBuffer{
+			Offset: uint32(b.Offset), Size: uint32(b.Reserved), Extent: uint8(b.Extent),
+		})
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("compiler: generated invalid program: %w", err)
+	}
+	return prog, nil
+}
+
+func (lw *lowerer) allocateRegisters() error {
+	ivs := buildIntervals(lw.f)
+	var err error
+	lw.preds, err = assignRegisters(ivs, isa.NumPredRegs,
+		func(v ir.Value) bool { return lw.f.TypeOf(v).Kind == ir.KindBool }, "predicate")
+	if err != nil {
+		return err
+	}
+	numGP := int(regValMax-regVal0) + 1
+	lw.regs, err = assignRegisters(ivs, numGP,
+		func(v ir.Value) bool {
+			k := lw.f.TypeOf(v).Kind
+			return k != ir.KindBool && k != ir.KindVoid
+		}, "general-purpose")
+	return err
+}
+
+func (lw *lowerer) layoutMemory() error {
+	var allocaSizes []uint64
+	var allocaVals []ir.Value
+	var sharedTop uint64
+	policy := alloc.PolicyBase
+	if lw.mode == ModeLMI {
+		policy = alloc.PolicyPow2
+	}
+	codec := core.DefaultCodec
+	for i := range lw.f.Entry().Instrs {
+		in := &lw.f.Entry().Instrs[i]
+		switch in.Op {
+		case ir.OpAlloca:
+			lw.allocaIdx[in.Dst] = len(allocaSizes)
+			allocaSizes = append(allocaSizes, in.Size)
+			allocaVals = append(allocaVals, in.Dst)
+		case ir.OpShared:
+			if lw.mode == ModeLMI {
+				// LMI protects statically allocated shared objects
+				// (§IX-A): round to the size class and align the offset.
+				e, err := codec.ExtentForSize(in.Size)
+				if err != nil {
+					return fmt.Errorf("compiler: %s: shared buffer: %w", lw.f.Name, err)
+				}
+				sz := codec.SizeForExtent(e)
+				sharedTop = (sharedTop + sz - 1) &^ (sz - 1)
+				lw.sharedOff[in.Dst] = sharedTop
+				lw.sharedExt[in.Dst] = e
+				sharedTop += sz
+			} else {
+				sharedTop = (sharedTop + 15) &^ 15
+				lw.sharedOff[in.Dst] = sharedTop
+				sharedTop += in.Size
+			}
+		}
+	}
+	_ = allocaVals
+	fl, err := alloc.LayoutFrame(allocaSizes, policy)
+	if err != nil {
+		return fmt.Errorf("compiler: %s: %w", lw.f.Name, err)
+	}
+	if lw.mode == ModeLMI {
+		if err := fl.Verify(); err != nil {
+			return fmt.Errorf("compiler: %s: %w", lw.f.Name, err)
+		}
+	}
+	lw.frame = fl
+	lw.sharedSize = sharedTop
+	return nil
+}
+
+// reg returns the physical register of a non-bool value.
+func (lw *lowerer) reg(v ir.Value) isa.Reg {
+	idx, ok := lw.regs[v]
+	if !ok {
+		panic(fmt.Sprintf("compiler: %s: no register for %%v%d", lw.f.Name, v))
+	}
+	r := regVal0 + isa.Reg(idx)
+	if r > lw.maxReg {
+		lw.maxReg = r
+	}
+	return r
+}
+
+// pred returns the predicate register of a bool value.
+func (lw *lowerer) pred(v ir.Value) isa.PredReg {
+	idx, ok := lw.preds[v]
+	if !ok {
+		panic(fmt.Sprintf("compiler: %s: no predicate for %%v%d", lw.f.Name, v))
+	}
+	return isa.PredReg(idx)
+}
+
+func (lw *lowerer) emit(in isa.Instr) {
+	if in.Pred == 0 && !in.PredNeg {
+		// Convention: zero-value Pred means unconditional. Callers that
+		// want P0 set Pred explicitly along with predGuard.
+		in.Pred = isa.PT
+	}
+	if in.Src == ([3]isa.Reg{}) {
+		in.Src = [3]isa.Reg{isa.RZ, isa.RZ, isa.RZ}
+	}
+	lw.out = append(lw.out, in)
+}
+
+// emitG emits with an explicit guard predicate.
+func (lw *lowerer) emitG(in isa.Instr, pred isa.PredReg, neg bool) {
+	in.Pred = pred
+	in.PredNeg = neg
+	if in.Src == ([3]isa.Reg{}) {
+		in.Src = [3]isa.Reg{isa.RZ, isa.RZ, isa.RZ}
+	}
+	lw.out = append(lw.out, in)
+}
+
+// tagExtent emits the pointer-generation sequence that installs an extent
+// into rd's upper bits: MOV tmp,#e; SHL tmp,tmp,#59; OR rd,rd,tmp. These
+// instructions are deliberately unhinted — pointer generation is trusted
+// by construction (§IV-A2).
+func (lw *lowerer) tagExtent(rd isa.Reg, e core.Extent) {
+	lw.emit(isa.Instr{Op: isa.MOV, Dst: regTmp0, HasImm: true, Imm: int32(e)})
+	lw.emit(isa.Instr{Op: isa.SHL, Dst: regTmp0, Aux: isa.AuxW64,
+		Src:    [3]isa.Reg{regTmp0, isa.RZ, isa.RZ},
+		HasImm: true, Imm: int32(core.ExtentShift)})
+	lw.emit(isa.Instr{Op: isa.OR, Dst: rd, Aux: isa.AuxW64,
+		Src: [3]isa.Reg{rd, regTmp0, isa.RZ}})
+}
+
+// nullifyExtent emits the pointer-destruction sequence SHL r,r,#5;
+// SHR r,r,#5 that clears the extent field (§VIII).
+func (lw *lowerer) nullifyExtent(r isa.Reg) {
+	lw.emit(isa.Instr{Op: isa.SHL, Dst: r, Aux: isa.AuxW64,
+		Src:    [3]isa.Reg{r, isa.RZ, isa.RZ},
+		HasImm: true, Imm: int32(core.ExtentFieldBits)})
+	lw.emit(isa.Instr{Op: isa.SHR, Dst: r, Aux: isa.AuxW64,
+		Src:    [3]isa.Reg{r, isa.RZ, isa.RZ},
+		HasImm: true, Imm: int32(core.ExtentFieldBits)})
+}
+
+func (lw *lowerer) emitAll() error {
+	lw.emitPrologue()
+	for _, blk := range lw.f.Blocks {
+		lw.blockStart[blk.ID] = len(lw.out)
+		for i := range blk.Instrs {
+			if err := lw.lowerInstr(blk, i, &blk.Instrs[i]); err != nil {
+				return err
+			}
+		}
+	}
+	// Patch branch targets from block IDs to instruction indices.
+	for i := range lw.out {
+		in := &lw.out[i]
+		if in.Op == isa.BRA || in.Op == isa.SSY {
+			start, ok := lw.blockStart[ir.BlockID(in.Target)]
+			if !ok {
+				return fmt.Errorf("compiler: %s: unresolved block b%d", lw.f.Name, in.Target)
+			}
+			in.Target = int32(start)
+		}
+	}
+	return nil
+}
+
+// emitPrologue sets up the stack frame (Fig. 7) and materialises alloca
+// and shared-buffer pointers.
+func (lw *lowerer) emitPrologue() {
+	if lw.frame.FrameSize > 0 {
+		// Load the stack top from constant memory and secure the frame,
+		// mirroring "MOV R1, c[0x0][0x28]; IADD3 R1, R1, -0x60, RZ".
+		lw.emit(isa.Instr{Op: isa.LDC, Dst: regSP, Src: [3]isa.Reg{isa.RZ, isa.RZ, isa.RZ},
+			Imm: StackPtrConstOffset, Aux: 3})
+		lw.emit(isa.Instr{Op: isa.IADD3, Dst: regSP, Aux: isa.AuxW64,
+			Src:    [3]isa.Reg{regSP, isa.RZ, isa.RZ},
+			HasImm: true, Imm: int32(-int64(lw.frame.FrameSize))})
+	}
+	for i := range lw.f.Entry().Instrs {
+		in := &lw.f.Entry().Instrs[i]
+		switch in.Op {
+		case ir.OpAlloca:
+			fb := lw.frame.Buffers[lw.allocaIdx[in.Dst]]
+			rd := lw.reg(in.Dst)
+			lw.emit(isa.Instr{Op: isa.IADD, Dst: rd, Aux: isa.AuxW64,
+				Src:    [3]isa.Reg{regSP, isa.RZ, isa.RZ},
+				HasImm: true, Imm: int32(fb.Offset)})
+			if lw.mode == ModeLMI {
+				lw.tagExtent(rd, core.Extent(fb.Extent))
+			}
+		case ir.OpShared:
+			rd := lw.reg(in.Dst)
+			lw.emit(isa.Instr{Op: isa.MOV, Dst: rd, HasImm: true, Imm: int32(lw.sharedOff[in.Dst])})
+			if lw.mode == ModeLMI {
+				lw.tagExtent(rd, lw.sharedExt[in.Dst])
+			}
+		}
+	}
+}
+
+// hintFor returns the hint bits for an IR instruction, if the analysis
+// marked it and the mode emits hints.
+func (lw *lowerer) hintFor(blk ir.BlockID, idx int, srcPos int) isa.Hint {
+	if lw.mode != ModeLMI {
+		return isa.Hint{}
+	}
+	if m := lw.ptrArith[blk]; m != nil {
+		if _, ok := m[idx]; ok {
+			return isa.Hint{A: true, S: srcPos == 1}
+		}
+	}
+	return isa.Hint{}
+}
+
+// w64For returns the AuxW64 flag when a value's type requires 64-bit
+// integer arithmetic (i64 and pointers); i32 arithmetic narrows to 32
+// bits with sign extension, as in SASS.
+func w64For(t ir.Type) uint8 {
+	if t.Kind == ir.KindI64 || t.IsPtr() {
+		return isa.AuxW64
+	}
+	return 0
+}
+
+var intOpcode = map[ir.Op]isa.Opcode{
+	ir.OpAdd: isa.IADD, ir.OpSub: isa.IADD, ir.OpMul: isa.IMUL,
+	ir.OpMin: isa.IMNMX, ir.OpMax: isa.IMNMX,
+	ir.OpShl: isa.SHL, ir.OpShr: isa.SHR,
+	ir.OpAnd: isa.AND, ir.OpOr: isa.OR, ir.OpXor: isa.XOR,
+}
+
+var floatOpcode = map[ir.Op]isa.Opcode{
+	ir.OpFAdd: isa.FADD, ir.OpFSub: isa.FADD, ir.OpFMul: isa.FMUL,
+}
+
+var mufuFn = map[ir.Op]isa.MufuFn{
+	ir.OpFRcp: isa.MufuRCP, ir.OpFSqrt: isa.MufuSQRT, ir.OpFExp2: isa.MufuEX2,
+	ir.OpFLog2: isa.MufuLG2, ir.OpFSin: isa.MufuSIN,
+}
+
+var memOpcode = map[isa.Space][2]isa.Opcode{
+	isa.SpaceGlobal: {isa.LDG, isa.STG},
+	isa.SpaceShared: {isa.LDS, isa.STS},
+	isa.SpaceLocal:  {isa.LDL, isa.STL},
+}
+
+// accAux builds the Aux field for a memory access of the given type:
+// log2(size), plus the sign-extension bit for 4-byte integer loads.
+func accAux(t ir.Type, load bool) uint8 {
+	var lg uint8
+	switch t.Size() {
+	case 1:
+		lg = 0
+	case 2:
+		lg = 1
+	case 4:
+		lg = 2
+	default:
+		lg = 3
+	}
+	if load && t.Kind == ir.KindI32 {
+		lg |= isa.AuxSignExt
+	}
+	return lg
+}
+
+func (lw *lowerer) lowerInstr(blk *ir.Block, idx int, in *ir.Instr) error {
+	f := lw.f
+	switch in.Op {
+	case ir.OpConstI:
+		if in.Imm > math.MaxInt32 || in.Imm < math.MinInt32 {
+			return fmt.Errorf("compiler: %s: constant %d exceeds 32-bit immediate", f.Name, in.Imm)
+		}
+		lw.emit(isa.Instr{Op: isa.MOV, Dst: lw.reg(in.Dst), HasImm: true, Imm: int32(in.Imm)})
+	case ir.OpConstF:
+		lw.emit(isa.Instr{Op: isa.MOV, Dst: lw.reg(in.Dst), HasImm: true,
+			Imm: int32(math.Float32bits(in.FImm))})
+	case ir.OpParam:
+		lw.emit(isa.Instr{Op: isa.LDC, Dst: lw.reg(in.Dst), Src: [3]isa.Reg{isa.RZ, isa.RZ, isa.RZ},
+			Imm: int32(ParamConstBase + 8*in.Index), Aux: 3})
+	case ir.OpSpecial:
+		lw.emit(isa.Instr{Op: isa.S2R, Dst: lw.reg(in.Dst), Aux: uint8(in.SReg)})
+	case ir.OpAdd, ir.OpMul, ir.OpShl, ir.OpShr, ir.OpAnd, ir.OpOr, ir.OpXor:
+		lw.emit(isa.Instr{Op: intOpcode[in.Op], Dst: lw.reg(in.Dst),
+			Aux: w64For(lw.f.TypeOf(in.Dst)),
+			Src: [3]isa.Reg{lw.reg(in.Args[0]), lw.reg(in.Args[1]), isa.RZ}})
+	case ir.OpSub:
+		// rd = a + (-b): negate via IMUL by -1 into scratch, then add.
+		wf := w64For(lw.f.TypeOf(in.Dst))
+		lw.emit(isa.Instr{Op: isa.IMUL, Dst: regTmp1, Aux: wf,
+			Src: [3]isa.Reg{lw.reg(in.Args[1]), isa.RZ, isa.RZ}, HasImm: true, Imm: -1})
+		lw.emit(isa.Instr{Op: isa.IADD, Dst: lw.reg(in.Dst), Aux: wf,
+			Src: [3]isa.Reg{lw.reg(in.Args[0]), regTmp1, isa.RZ}})
+	case ir.OpMin, ir.OpMax:
+		aux := w64For(lw.f.TypeOf(in.Dst))
+		if in.Op == ir.OpMax {
+			aux |= 1
+		}
+		lw.emit(isa.Instr{Op: isa.IMNMX, Dst: lw.reg(in.Dst), Aux: aux,
+			Src: [3]isa.Reg{lw.reg(in.Args[0]), lw.reg(in.Args[1]), isa.RZ}})
+	case ir.OpFAdd, ir.OpFMul:
+		lw.emit(isa.Instr{Op: floatOpcode[in.Op], Dst: lw.reg(in.Dst),
+			Src: [3]isa.Reg{lw.reg(in.Args[0]), lw.reg(in.Args[1]), isa.RZ}})
+	case ir.OpFSub:
+		// rd = a + (-b) via FMUL by -1.
+		lw.emit(isa.Instr{Op: isa.FMUL, Dst: regTmp1,
+			Src: [3]isa.Reg{lw.reg(in.Args[1]), isa.RZ, isa.RZ}, HasImm: true,
+			Imm: int32(math.Float32bits(-1))})
+		lw.emit(isa.Instr{Op: isa.FADD, Dst: lw.reg(in.Dst),
+			Src: [3]isa.Reg{lw.reg(in.Args[0]), regTmp1, isa.RZ}})
+	case ir.OpFFMA:
+		lw.emit(isa.Instr{Op: isa.FFMA, Dst: lw.reg(in.Dst),
+			Src: [3]isa.Reg{lw.reg(in.Args[0]), lw.reg(in.Args[1]), lw.reg(in.Args[2])}})
+	case ir.OpFRcp, ir.OpFSqrt, ir.OpFExp2, ir.OpFLog2, ir.OpFSin:
+		lw.emit(isa.Instr{Op: isa.MUFU, Dst: lw.reg(in.Dst), Aux: uint8(mufuFn[in.Op]),
+			Src: [3]isa.Reg{lw.reg(in.Args[0]), isa.RZ, isa.RZ}})
+	case ir.OpI2F:
+		lw.emit(isa.Instr{Op: isa.I2F, Dst: lw.reg(in.Dst),
+			Src: [3]isa.Reg{lw.reg(in.Args[0]), isa.RZ, isa.RZ}})
+	case ir.OpF2I:
+		lw.emit(isa.Instr{Op: isa.F2I, Dst: lw.reg(in.Dst),
+			Src: [3]isa.Reg{lw.reg(in.Args[0]), isa.RZ, isa.RZ}})
+	case ir.OpICmp:
+		lw.emit(isa.Instr{Op: isa.SETP, Dst: isa.Reg(lw.pred(in.Dst)), Aux: uint8(in.Cmp),
+			Src: [3]isa.Reg{lw.reg(in.Args[0]), lw.reg(in.Args[1]), isa.RZ}})
+	case ir.OpFCmp:
+		lw.emit(isa.Instr{Op: isa.FSETP, Dst: isa.Reg(lw.pred(in.Dst)), Aux: uint8(in.Cmp),
+			Src: [3]isa.Reg{lw.reg(in.Args[0]), lw.reg(in.Args[1]), isa.RZ}})
+	case ir.OpSelect:
+		hint := lw.hintFor(blk.ID, idx, 0)
+		lw.emit(isa.Instr{Op: isa.SEL, Dst: lw.reg(in.Dst),
+			Aux:  uint8(lw.pred(in.Args[0])) | w64For(lw.f.TypeOf(in.Dst)),
+			Src:  [3]isa.Reg{lw.reg(in.Args[1]), lw.reg(in.Args[2]), isa.RZ},
+			Hint: hint})
+	case ir.OpCopy:
+		if f.TypeOf(in.Dst).Kind == ir.KindBool {
+			return fmt.Errorf("compiler: %s: bool copies are not supported (restructure with Select)", f.Name)
+		}
+		hint := lw.hintFor(blk.ID, idx, 0)
+		lw.emit(isa.Instr{Op: isa.MOV, Dst: lw.reg(in.Dst),
+			Aux: w64For(lw.f.TypeOf(in.Dst)),
+			Src: [3]isa.Reg{lw.reg(in.Args[0]), isa.RZ, isa.RZ}, Hint: hint})
+	case ir.OpGEP:
+		rd, rp := lw.reg(in.Dst), lw.reg(in.Args[0])
+		hint := lw.hintFor(blk.ID, idx, 0)
+		if in.Off > math.MaxInt32 || in.Off < math.MinInt32 {
+			return fmt.Errorf("compiler: %s: GEP offset %d exceeds immediate", f.Name, in.Off)
+		}
+		if in.Args[1] == ir.NoValue {
+			lw.emit(isa.Instr{Op: isa.IADD, Dst: rd, Aux: isa.AuxW64,
+				Src:    [3]isa.Reg{rp, isa.RZ, isa.RZ},
+				HasImm: true, Imm: int32(in.Off), Hint: hint})
+			break
+		}
+		ri := lw.reg(in.Args[1])
+		scaled := ri
+		if in.Scale != 1 {
+			scaled = regTmp1
+			if in.Scale&(in.Scale-1) == 0 {
+				lw.emit(isa.Instr{Op: isa.SHL, Dst: scaled, Aux: isa.AuxW64,
+					Src:    [3]isa.Reg{ri, isa.RZ, isa.RZ},
+					HasImm: true, Imm: int32(log2(in.Scale))})
+			} else {
+				lw.emit(isa.Instr{Op: isa.IMUL, Dst: scaled, Aux: isa.AuxW64,
+					Src:    [3]isa.Reg{ri, isa.RZ, isa.RZ},
+					HasImm: true, Imm: int32(in.Scale)})
+			}
+		}
+		if in.Off != 0 {
+			lw.emit(isa.Instr{Op: isa.IADD3, Dst: rd, Aux: isa.AuxW64,
+				Src:    [3]isa.Reg{rp, scaled, isa.RZ},
+				HasImm: true, Imm: int32(in.Off), Hint: hint})
+		} else {
+			lw.emit(isa.Instr{Op: isa.IADD, Dst: rd, Aux: isa.AuxW64,
+				Src: [3]isa.Reg{rp, scaled, isa.RZ}, Hint: hint})
+		}
+	case ir.OpLoad:
+		space := f.TypeOf(in.Args[0]).Space
+		ops, ok := memOpcode[space]
+		if !ok {
+			return fmt.Errorf("compiler: %s: load from space %s", f.Name, space)
+		}
+		lw.emit(isa.Instr{Op: ops[0], Dst: lw.reg(in.Dst),
+			Src: [3]isa.Reg{lw.reg(in.Args[0]), isa.RZ, isa.RZ},
+			Imm: int32(in.Off), Aux: accAux(f.TypeOf(in.Dst), true)})
+	case ir.OpStore:
+		space := f.TypeOf(in.Args[0]).Space
+		ops, ok := memOpcode[space]
+		if !ok {
+			return fmt.Errorf("compiler: %s: store to space %s", f.Name, space)
+		}
+		lw.emit(isa.Instr{Op: ops[1], Dst: isa.RZ,
+			Src: [3]isa.Reg{lw.reg(in.Args[0]), lw.reg(in.Args[1]), isa.RZ},
+			Imm: int32(in.Off), Aux: accAux(f.TypeOf(in.Args[1]), false)})
+	case ir.OpAlloca, ir.OpShared:
+		// Materialised in the prologue.
+	case ir.OpMalloc:
+		lw.emit(isa.Instr{Op: isa.MALLOC, Dst: lw.reg(in.Dst),
+			Src: [3]isa.Reg{lw.reg(in.Args[0]), isa.RZ, isa.RZ}})
+	case ir.OpFree:
+		r := lw.reg(in.Args[0])
+		lw.emit(isa.Instr{Op: isa.FREE, Dst: isa.RZ, Src: [3]isa.Reg{r, isa.RZ, isa.RZ}})
+		if lw.mode == ModeLMI {
+			// "The LMI compiler pass inserts instructions to nullify a
+			// pointer's extent field immediately after a free()" (§VIII).
+			lw.nullifyExtent(r)
+		}
+	case ir.OpInvalidate:
+		if lw.mode == ModeLMI {
+			lw.nullifyExtent(lw.reg(in.Args[0]))
+		}
+	case ir.OpAtomicAdd:
+		var op isa.Opcode
+		switch f.TypeOf(in.Args[0]).Space {
+		case isa.SpaceGlobal:
+			op = isa.ATOMG
+		case isa.SpaceShared:
+			op = isa.ATOMS
+		default:
+			return fmt.Errorf("compiler: %s: atomics supported in global and shared memory only", f.Name)
+		}
+		lw.emit(isa.Instr{Op: op, Dst: lw.reg(in.Dst),
+			Src: [3]isa.Reg{lw.reg(in.Args[0]), lw.reg(in.Args[1]), isa.RZ},
+			Imm: int32(in.Off), Aux: 2})
+	case ir.OpBarrier:
+		lw.emit(isa.Instr{Op: isa.BAR})
+	case ir.OpPtrToInt, ir.OpIntToPtr:
+		// Reachable only under ModeBase (ModeLMI rejected earlier).
+		lw.emit(isa.Instr{Op: isa.MOV, Dst: lw.reg(in.Dst), Aux: isa.AuxW64,
+			Src: [3]isa.Reg{lw.reg(in.Args[0]), isa.RZ, isa.RZ}})
+	case ir.OpBr:
+		lw.emit(isa.Instr{Op: isa.BRA, Dst: isa.RZ, Target: int32(in.Target)})
+	case ir.OpCondBr:
+		p := lw.pred(in.Args[0])
+		lw.emit(isa.Instr{Op: isa.SSY, Dst: isa.RZ, Target: int32(in.Join)})
+		lw.emitG(isa.Instr{Op: isa.BRA, Dst: isa.RZ, Target: int32(in.Then)}, p, false)
+		lw.emit(isa.Instr{Op: isa.BRA, Dst: isa.RZ, Target: int32(in.Else)})
+	case ir.OpRet:
+		lw.emit(isa.Instr{Op: isa.EXIT})
+	default:
+		return fmt.Errorf("compiler: %s: unhandled IR op %s", f.Name, in.Op)
+	}
+	return nil
+}
+
+func log2(x uint64) int {
+	n := 0
+	for x > 1 {
+		x >>= 1
+		n++
+	}
+	return n
+}

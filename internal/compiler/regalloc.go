@@ -1,0 +1,144 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"lmi/internal/ir"
+)
+
+// interval is a value's live range over linearised IR positions.
+type interval struct {
+	val        ir.Value
+	start, end int
+}
+
+// buildIntervals computes min/max occurrence intervals for every value,
+// widened so that any interval overlapping a loop region covers the whole
+// region (occurrence intervals alone are unsafe across back-edges).
+// Values materialised in the prologue (alloca/shared/param results) start
+// at position 0 so nothing reuses their registers before the prologue
+// writes them.
+func buildIntervals(f *ir.Func) []interval {
+	type occ struct{ min, max int }
+	occs := make(map[ir.Value]*occ)
+	note := func(v ir.Value, pos int) {
+		if v == ir.NoValue {
+			return
+		}
+		o := occs[v]
+		if o == nil {
+			occs[v] = &occ{min: pos, max: pos}
+			return
+		}
+		if pos < o.min {
+			o.min = pos
+		}
+		if pos > o.max {
+			o.max = pos
+		}
+	}
+
+	pos := 0
+	blockStart := make([]int, len(f.Blocks))
+	blockEnd := make([]int, len(f.Blocks))
+	for _, blk := range f.Blocks {
+		blockStart[blk.ID] = pos
+		for i := range blk.Instrs {
+			in := &blk.Instrs[i]
+			switch in.Op {
+			case ir.OpAlloca, ir.OpShared, ir.OpParam:
+				note(in.Dst, 0)
+				note(in.Dst, pos)
+			default:
+				note(in.Dst, pos)
+			}
+			for _, a := range in.Args {
+				note(a, pos)
+			}
+			pos++
+		}
+		blockEnd[blk.ID] = pos - 1
+	}
+
+	// Loop regions: a Br terminator targeting an earlier (or same) block
+	// is a back-edge; the region spans [target start, branch position].
+	type region struct{ lo, hi int }
+	var regions []region
+	for _, blk := range f.Blocks {
+		t := blk.Terminator()
+		if t != nil && t.Op == ir.OpBr && t.Target <= blk.ID {
+			regions = append(regions, region{blockStart[t.Target], blockEnd[blk.ID]})
+		}
+	}
+	ivs := make([]interval, 0, len(occs))
+	for v, o := range occs {
+		ivs = append(ivs, interval{val: v, start: o.min, end: o.max})
+	}
+	// Widen to loop regions until fixpoint (handles nesting).
+	for changed := true; changed; {
+		changed = false
+		for i := range ivs {
+			for _, r := range regions {
+				if ivs[i].start <= r.hi && ivs[i].end >= r.lo { // overlap
+					if ivs[i].start > r.lo {
+						ivs[i].start = r.lo
+						changed = true
+					}
+					if ivs[i].end < r.hi {
+						ivs[i].end = r.hi
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].start != ivs[j].start {
+			return ivs[i].start < ivs[j].start
+		}
+		return ivs[i].val < ivs[j].val
+	})
+	return ivs
+}
+
+// assignRegisters linear-scans intervals onto numRegs registers,
+// returning value→register-index assignments. pick selects which values
+// participate (general-purpose vs predicate class).
+func assignRegisters(ivs []interval, numRegs int, pick func(ir.Value) bool, class string) (map[ir.Value]int, error) {
+	assignment := make(map[ir.Value]int)
+	freeRegs := make([]int, numRegs)
+	for i := range freeRegs {
+		freeRegs[i] = i
+	}
+	type active struct {
+		end int
+		reg int
+	}
+	var actives []active
+	for _, iv := range ivs {
+		if !pick(iv.val) {
+			continue
+		}
+		// Expire intervals that ended at or before this start.
+		keep := actives[:0]
+		for _, a := range actives {
+			if a.end <= iv.start {
+				freeRegs = append(freeRegs, a.reg)
+			} else {
+				keep = append(keep, a)
+			}
+		}
+		actives = keep
+		if len(freeRegs) == 0 {
+			return nil, fmt.Errorf("compiler: out of %s registers (%d live)", class, len(actives)+1)
+		}
+		// Lowest-numbered free register for determinism.
+		sort.Ints(freeRegs)
+		reg := freeRegs[0]
+		freeRegs = freeRegs[1:]
+		assignment[iv.val] = reg
+		actives = append(actives, active{end: iv.end, reg: reg})
+	}
+	return assignment, nil
+}

@@ -1,0 +1,69 @@
+package core
+
+import "fmt"
+
+// FaultKind classifies memory-safety violations detected by the mechanism.
+type FaultKind int
+
+const (
+	// FaultNone indicates no violation.
+	FaultNone FaultKind = iota
+
+	// FaultSpatial is an out-of-bounds access: the EC observed a
+	// zero-extent pointer whose extent was cleared by the OCU after an
+	// out-of-bounds arithmetic operation, or a bounds check failed.
+	FaultSpatial
+
+	// FaultTemporal is a use-after-free or use-after-scope: the EC
+	// observed a pointer invalidated by free()/scope exit, or the liveness
+	// tracker found the buffer's UM deregistered.
+	FaultTemporal
+
+	// FaultInvalidFree is a free() of a pointer that does not reference a
+	// live allocation's base.
+	FaultInvalidFree
+
+	// FaultDoubleFree is a second free() of an already-freed allocation.
+	FaultDoubleFree
+)
+
+// String returns the fault kind's name.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultSpatial:
+		return "spatial"
+	case FaultTemporal:
+		return "temporal"
+	case FaultInvalidFree:
+		return "invalid-free"
+	case FaultDoubleFree:
+		return "double-free"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// Fault is a detected memory-safety violation. It implements error so it
+// can propagate through runtime and simulator plumbing.
+type Fault struct {
+	Kind FaultKind
+	// Pointer is the offending pointer value as seen by the checker.
+	Pointer Pointer
+	// Addr is the effective address of the faulting access, when known.
+	Addr uint64
+	// Detail is a human-readable explanation.
+	Detail string
+}
+
+// Error implements the error interface.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("memory safety fault: %s at %s (addr %#x): %s",
+		f.Kind, f.Pointer, f.Addr, f.Detail)
+}
+
+// NewFault constructs a fault record.
+func NewFault(kind FaultKind, p Pointer, addr uint64, detail string) *Fault {
+	return &Fault{Kind: kind, Pointer: p, Addr: addr, Detail: detail}
+}

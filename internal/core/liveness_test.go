@@ -1,0 +1,146 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestLivenessRegisterDeregister(t *testing.T) {
+	tr := NewLivenessTracker(false)
+	p, _ := tr.Codec.Encode(0x10000, 3) // 1 KiB
+	if tr.Live(p) {
+		t.Fatal("unregistered buffer reported live")
+	}
+	tr.OnAlloc(p)
+	if !tr.Live(p) {
+		t.Fatal("registered buffer reported dead")
+	}
+	// Derived pointer into the same buffer is also live.
+	inner := Pointer(uint64(p) + 512)
+	if !tr.Live(inner) {
+		t.Fatal("interior pointer reported dead")
+	}
+	tr.OnFree(p)
+	if tr.Live(p) || tr.Live(inner) {
+		t.Fatal("freed buffer reported live")
+	}
+	s := tr.Stats()
+	if s.Registered != 1 || s.Deregistered != 1 || s.Entries != 0 {
+		t.Errorf("stats: %+v", s)
+	}
+}
+
+func TestLivenessPageInvalidation(t *testing.T) {
+	tr := NewLivenessTracker(true)
+	// 128 KiB allocation: > pageSize/2 (32 KiB), so handled by page
+	// invalidation, not the membership table.
+	big, _ := tr.Codec.Encode(0x100000, 10) // 128 KiB
+	tr.OnAlloc(big)
+	if tr.Stats().Registered != 0 {
+		t.Error("large buffer must not enter the membership table")
+	}
+	if !tr.Live(big) {
+		t.Fatal("large buffer dead right after allocation")
+	}
+	tr.OnFree(big)
+	if tr.Live(big) {
+		t.Fatal("large buffer live after page invalidation")
+	}
+	if tr.Stats().PagesInvalidated == 0 {
+		t.Error("no pages invalidated")
+	}
+	// Re-allocating the same region re-validates the pages.
+	tr.OnAlloc(big)
+	if !tr.Live(big) {
+		t.Fatal("re-allocated region still dead")
+	}
+
+	// Small allocations still use the table even with the opt enabled
+	// (Algorithm 1 line 5: allocSize <= pageSize/2).
+	small, _ := tr.Codec.Encode(0x5000, 1)
+	tr.OnAlloc(small)
+	if tr.Stats().Registered != 1 {
+		t.Error("small buffer must use the membership table")
+	}
+	tr.OnFree(small)
+	if tr.Live(small) {
+		t.Error("small buffer live after free")
+	}
+}
+
+func TestLivenessIgnoresInvalidPointers(t *testing.T) {
+	tr := NewLivenessTracker(false)
+	p, _ := tr.Codec.Encode(0x8000, 1)
+	dead := p.Invalidate()
+	tr.OnAlloc(dead) // must be a no-op
+	tr.OnFree(dead)  // must be a no-op
+	if tr.Live(dead) {
+		t.Error("invalid pointer reported live")
+	}
+	if s := tr.Stats(); s.Registered != 0 || s.Deregistered != 0 {
+		t.Errorf("stats: %+v", s)
+	}
+}
+
+func TestLivenessConcurrentSafety(t *testing.T) {
+	// Thousands of threads allocate concurrently in GPU kernels (§IV-B1);
+	// the tracker must tolerate concurrent hook calls.
+	tr := NewLivenessTracker(true)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				addr := uint64(0x100000 + (g*200+i)*256)
+				p, err := tr.Codec.Encode(addr, 1)
+				if err != nil {
+					t.Errorf("encode: %v", err)
+					return
+				}
+				tr.OnAlloc(p)
+				if !tr.Live(p) {
+					t.Error("buffer dead after alloc")
+					return
+				}
+				tr.OnFree(p)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := tr.Stats(); s.Entries != 0 {
+		t.Errorf("leaked entries: %+v", s)
+	}
+	if tr.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+// Property: for any buffer, alloc→live, free→dead, realloc→live again —
+// regardless of size class and pageInvalidOpt setting.
+func TestPropertyLivenessCycle(t *testing.T) {
+	f := func(rawBase uint64, rawExt uint8, opt bool) bool {
+		tr := NewLivenessTracker(opt)
+		e := Extent(rawExt%20 + 1) // up to 64 MiB to keep page loops cheap
+		size := tr.Codec.SizeForExtent(e)
+		base := (rawBase & (AddrMask >> 1)) &^ (size - 1)
+		p, err := tr.Codec.Encode(base, e)
+		if err != nil {
+			return false
+		}
+		tr.OnAlloc(p)
+		if !tr.Live(p) {
+			return false
+		}
+		tr.OnFree(p)
+		if tr.Live(p) {
+			return false
+		}
+		tr.OnAlloc(p)
+		return tr.Live(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestExtentForSizeBoundaries(t *testing.T) {
+	c := DefaultCodec
+	cases := []struct {
+		size uint64
+		want Extent
+	}{
+		{1, 1},
+		{255, 1},
+		{256, 1},
+		{257, 2},
+		{512, 2},
+		{513, 3},
+		{1024, 3},
+		{4096, 5},
+		{1 << 20, 13},         // 1 MiB
+		{1 << 30, 23},         // 1 GiB
+		{uint64(1) << 38, 31}, // 256 GiB, the maximum
+		{uint64(1)<<37 + 1, 31},
+	}
+	for _, tc := range cases {
+		got, err := c.ExtentForSize(tc.size)
+		if err != nil {
+			t.Fatalf("ExtentForSize(%d): %v", tc.size, err)
+		}
+		if got != tc.want {
+			t.Errorf("ExtentForSize(%d) = %d, want %d", tc.size, got, tc.want)
+		}
+	}
+}
+
+func TestExtentForSizeErrors(t *testing.T) {
+	c := DefaultCodec
+	if _, err := c.ExtentForSize(0); err == nil {
+		t.Error("ExtentForSize(0) should fail")
+	}
+	if _, err := c.ExtentForSize(uint64(1)<<38 + 1); err == nil {
+		t.Error("ExtentForSize(256GiB+1) should fail")
+	}
+	// With a practical cap, larger classes are rejected.
+	capped, err := NewCodec(8, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capped.ExtentForSize(uint64(1) << 30); err == nil {
+		t.Error("capped codec should reject 1 GiB allocation")
+	}
+}
+
+func TestSizeForExtentRoundTrip(t *testing.T) {
+	c := DefaultCodec
+	for e := Extent(1); e <= MaxExtent; e++ {
+		size := c.SizeForExtent(e)
+		if size != uint64(1)<<(7+uint(e)) {
+			t.Errorf("SizeForExtent(%d) = %d, want %d", e, size, uint64(1)<<(7+uint(e)))
+		}
+		back, err := c.ExtentForSize(size)
+		if err != nil || back != e {
+			t.Errorf("ExtentForSize(SizeForExtent(%d)) = %d, %v", e, back, err)
+		}
+	}
+	if c.SizeForExtent(ExtentInvalid) != 0 {
+		t.Error("SizeForExtent(invalid) should be 0")
+	}
+}
+
+func TestEncodeDecode(t *testing.T) {
+	c := DefaultCodec
+	p, err := c.Encode(0x12345600, 1) // 256-byte buffer
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Extent() != 1 || p.Addr() != 0x12345600 {
+		t.Fatalf("decode mismatch: %v", p)
+	}
+	if c.Base(p) != 0x12345600 || c.Limit(p) != 0x12345700 {
+		t.Fatalf("bounds mismatch: base %#x limit %#x", c.Base(p), c.Limit(p))
+	}
+	// Paper's worked example (§IV-A1): interior pointer 0x1234567F still
+	// recovers base 0x12345600.
+	interior := Pointer(uint64(p) + 0x7F)
+	if c.Base(interior) != 0x12345600 {
+		t.Errorf("interior base = %#x, want 0x12345600", c.Base(interior))
+	}
+	if !c.InBounds(p, 0x123456FF) || c.InBounds(p, 0x12345700) {
+		t.Error("InBounds boundary wrong")
+	}
+}
+
+func TestEncodeRejectsMisaligned(t *testing.T) {
+	c := DefaultCodec
+	if _, err := c.Encode(0x100, 2); err == nil { // extent 2 = 512B, needs 512B alignment
+		t.Error("misaligned encode should fail")
+	}
+	if _, err := c.Encode(uint64(1)<<60, 1); err == nil {
+		t.Error("address above 59 bits should fail")
+	}
+	if _, err := c.Encode(0x200, ExtentInvalid); err == nil {
+		t.Error("encoding invalid extent should fail")
+	}
+}
+
+func TestInvalidateAndWithExtent(t *testing.T) {
+	c := DefaultCodec
+	p, _ := c.Encode(0x40000, 4)
+	q := p.Invalidate()
+	if q.Valid() {
+		t.Error("invalidated pointer should be invalid")
+	}
+	if q.Addr() != p.Addr() {
+		t.Error("invalidation must preserve the address field")
+	}
+	r := q.WithExtent(4)
+	if r != p {
+		t.Errorf("WithExtent round trip failed: %v != %v", r, p)
+	}
+}
+
+func TestDebugExtents(t *testing.T) {
+	c, err := NewCodec(8, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := c.DebugExtent(0)
+	if err != nil || e != 29 {
+		t.Fatalf("DebugExtent(0) = %d, %v; want 29", e, err)
+	}
+	if !c.IsDebugExtent(e) || c.IsDebugExtent(28) {
+		t.Error("IsDebugExtent misclassifies")
+	}
+	if _, err := c.DebugExtent(3); err == nil {
+		t.Error("debug code beyond reserved range should fail")
+	}
+	if _, err := DefaultCodec.DebugExtent(0); err == nil {
+		t.Error("default codec reserves no debug extents")
+	}
+}
+
+func TestUMUniqueness(t *testing.T) {
+	c := DefaultCodec
+	// Two distinct same-size buffers have distinct UM values; interior
+	// pointers of one buffer share its UM.
+	a, _ := c.Encode(0x10000, 3) // 1 KiB at 0x10000
+	b, _ := c.Encode(0x10400, 3) // 1 KiB at 0x10400
+	if c.UM(a) == c.UM(b) {
+		t.Error("distinct buffers must have distinct UM")
+	}
+	inner := Pointer(uint64(a) + 1023)
+	if c.UM(inner) != c.UM(a) {
+		t.Error("interior pointer must share the buffer's UM")
+	}
+}
+
+// Property: for any size in range, the extent encodes a size class that
+// contains the request and is less than twice it (minimal 2^n cover).
+func TestPropertyExtentCoversSize(t *testing.T) {
+	c := DefaultCodec
+	f := func(raw uint64) bool {
+		size := raw%(uint64(1)<<38) + 1
+		e, err := c.ExtentForSize(size)
+		if err != nil {
+			return false
+		}
+		class := c.SizeForExtent(e)
+		if class < size {
+			return false
+		}
+		if size > 256 && class >= 2*size {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: base/limit derived from any interior pointer match the
+// encoded buffer, for all extents and aligned bases.
+func TestPropertyInteriorPointerRecovery(t *testing.T) {
+	c := DefaultCodec
+	f := func(rawBase, rawOff uint64, rawExt uint8) bool {
+		e := Extent(rawExt%31 + 1)
+		size := c.SizeForExtent(e)
+		base := (rawBase & AddrMask) &^ (size - 1)
+		p, err := c.Encode(base, e)
+		if err != nil {
+			return false
+		}
+		off := rawOff % size
+		interior := Pointer(uint64(p) + off)
+		return c.Base(interior) == base &&
+			c.Limit(interior) == base+size &&
+			interior.Extent() == e
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the modifiable mask has exactly log2(size) low bits set.
+func TestPropertyModifiableMask(t *testing.T) {
+	c := DefaultCodec
+	for e := Extent(1); e <= MaxExtent; e++ {
+		m := c.ModifiableMask(e)
+		if bits.OnesCount64(m) != int(c.MinShift)+int(e)-1 {
+			t.Errorf("mask for extent %d has %d bits", e, bits.OnesCount64(m))
+		}
+		if m+1 != c.SizeForExtent(e) {
+			t.Errorf("mask for extent %d inconsistent with size", e)
+		}
+	}
+}
+
+// Property with a non-default codec: round-tripping respects MinShift.
+func TestPropertyAlternateCodec(t *testing.T) {
+	c, err := NewCodec(5, 0) // K = 32 bytes
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw uint64) bool {
+		size := raw%(uint64(1)<<35) + 1
+		e, err := c.ExtentForSize(size)
+		if err != nil {
+			return false
+		}
+		return c.SizeForExtent(e) >= size && e >= 1 && e <= MaxExtent
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+	if _, err := NewCodec(0, 0); err == nil {
+		t.Error("NewCodec(0) should fail")
+	}
+	if _, err := NewCodec(8, 40); err == nil {
+		t.Error("NewCodec with maxPractical > 31 should fail")
+	}
+}

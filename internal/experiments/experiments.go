@@ -1,0 +1,37 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§IX–§XI). Each experiment returns structured rows plus a
+// rendered table; cmd/lmi-bench and the repository's bench_test.go drive
+// them.
+//
+// Absolute cycle counts come from this repository's simulator, not the
+// authors' testbed, so the *shape* of each result — who wins, by roughly
+// what factor, where the outliers are — is the reproduction target (see
+// EXPERIMENTS.md for paper-vs-measured).
+package experiments
+
+import (
+	"fmt"
+
+	"lmi/internal/sim"
+	"lmi/internal/workloads"
+)
+
+// DefaultSimSMs is the scaled-down core count experiments run on (the
+// Table IV machine has 80 SMs; grids are scaled accordingly, and
+// mechanism overheads are per-SM effects).
+const DefaultSimSMs = 4
+
+// SimConfig returns the experiment simulator configuration.
+func SimConfig() sim.Config { return sim.ScaledConfig(DefaultSimSMs) }
+
+// runVariant executes one benchmark under one variant and returns cycles.
+func runVariant(s *workloads.Spec, v workloads.Variant, cfg sim.Config) (*sim.KernelStats, error) {
+	st, err := workloads.Run(s, v, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s/%s: %w", s.Name, v, err)
+	}
+	if st.Halted || len(st.Faults) > 0 {
+		return nil, fmt.Errorf("experiments: %s/%s: unexpected fault: %v", s.Name, v, st.Faults[0])
+	}
+	return st, nil
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"lmi/internal/sim"
+	"lmi/internal/stats"
+	"lmi/internal/workloads"
+)
+
+// Fig01Row is one benchmark's memory-instruction breakdown by region.
+type Fig01Row struct {
+	Name   string
+	Suite  string
+	Global float64 // LDG/STG share
+	Shared float64 // LDS/STS share
+	Local  float64 // LDL/STL share
+}
+
+// Fig01Result is the Fig. 1 reproduction.
+type Fig01Result struct {
+	Rows []Fig01Row
+}
+
+// Fig01 reproduces "Ratio of memory instructions per region in GPU
+// workloads": each benchmark's dynamic LDG/STG vs LDS/STS vs LDL/STL
+// instruction shares under the unprotected baseline.
+func Fig01(cfg sim.Config) (*Fig01Result, error) {
+	res := &Fig01Result{}
+	for _, s := range workloads.All() {
+		st, err := runVariant(s, workloads.VariantBase, cfg)
+		if err != nil {
+			return nil, err
+		}
+		g, sh, lo := st.MemRegionShares()
+		res.Rows = append(res.Rows, Fig01Row{
+			Name: s.Name, Suite: s.Suite, Global: g, Shared: sh, Local: lo,
+		})
+	}
+	return res, nil
+}
+
+// Table renders the result.
+func (r *Fig01Result) Table() string {
+	t := stats.NewTable("benchmark", "suite", "global", "shared", "local")
+	for _, row := range r.Rows {
+		t.AddRowf(3, row.Name, row.Suite, row.Global, row.Shared, row.Local)
+	}
+	return t.String()
+}

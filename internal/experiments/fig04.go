@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lmi/internal/alloc"
+	"lmi/internal/stats"
+	"lmi/internal/workloads"
+)
+
+// Fig04Row is one benchmark's fragmentation measurement.
+type Fig04Row struct {
+	Name     string
+	Suite    string
+	BasePeak uint64
+	LMIPeak  uint64
+	Overhead float64
+}
+
+// Fig04Result is the Fig. 4 reproduction.
+type Fig04Result struct {
+	Rows []Fig04Row
+	// Geomean is the geometric-mean relative memory overhead (the paper
+	// reports 18.73%).
+	Geomean float64
+}
+
+// Fig04 reproduces "Memory overhead caused by 2^n-aligned memory
+// buffers": each benchmark's allocation trace replayed under the stock
+// and LMI allocators, comparing peak resident set.
+func Fig04() (*Fig04Result, error) {
+	res := &Fig04Result{}
+	var ratios []float64
+	for _, s := range workloads.All() {
+		fr, err := alloc.MeasureFragmentation(s.AllocTrace)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", s.Name, err)
+		}
+		res.Rows = append(res.Rows, Fig04Row{
+			Name: s.Name, Suite: s.Suite,
+			BasePeak: fr.BasePeak, LMIPeak: fr.Pow2Peak, Overhead: fr.Overhead,
+		})
+		ratios = append(ratios, 1+fr.Overhead)
+	}
+	res.Geomean = stats.Geomean(ratios) - 1
+	return res, nil
+}
+
+// Table renders the result.
+func (r *Fig04Result) Table() string {
+	t := stats.NewTable("benchmark", "suite", "base peak (KiB)", "lmi peak (KiB)", "overhead")
+	for _, row := range r.Rows {
+		t.AddRowf(4, row.Name, row.Suite, row.BasePeak>>10, row.LMIPeak>>10, row.Overhead)
+	}
+	t.AddRowf(4, "GEOMEAN", "", "", "", r.Geomean)
+	return t.String()
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"lmi/internal/sim"
+	"lmi/internal/stats"
+	"lmi/internal/workloads"
+)
+
+// Fig12Row is one benchmark's normalized execution time under each
+// hardware/compiler mechanism (baseline = 1.0).
+type Fig12Row struct {
+	Name      string
+	Suite     string
+	Baseline  uint64 // cycles
+	Baggy     float64
+	GPUShield float64
+	LMI       float64
+}
+
+// Fig12Result is the full Fig. 12 reproduction.
+type Fig12Result struct {
+	Rows []Fig12Row
+	// Geomeans of the normalized execution times.
+	BaggyMean, GPUShieldMean, LMIMean float64
+	// Peaks.
+	BaggyPeak float64
+}
+
+// Fig12 reproduces "Performance comparison among Baggy bounds, GPUShield,
+// and LMI" (§XI-A): every Table V benchmark under the three mechanisms,
+// normalized to the unprotected baseline.
+func Fig12(cfg sim.Config) (*Fig12Result, error) {
+	res := &Fig12Result{}
+	var baggyN, shieldN, lmiN []float64
+	for _, s := range workloads.All() {
+		base, err := runVariant(s, workloads.VariantBase, cfg)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig12Row{Name: s.Name, Suite: s.Suite, Baseline: base.Cycles}
+		for _, v := range []workloads.Variant{workloads.VariantBaggy,
+			workloads.VariantGPUShield, workloads.VariantLMI} {
+			st, err := runVariant(s, v, cfg)
+			if err != nil {
+				return nil, err
+			}
+			norm := float64(st.Cycles) / float64(base.Cycles)
+			switch v {
+			case workloads.VariantBaggy:
+				row.Baggy = norm
+				baggyN = append(baggyN, norm)
+			case workloads.VariantGPUShield:
+				row.GPUShield = norm
+				shieldN = append(shieldN, norm)
+			case workloads.VariantLMI:
+				row.LMI = norm
+				lmiN = append(lmiN, norm)
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	res.BaggyMean = stats.Geomean(baggyN)
+	res.GPUShieldMean = stats.Geomean(shieldN)
+	res.LMIMean = stats.Geomean(lmiN)
+	res.BaggyPeak = stats.Max(baggyN)
+	return res, nil
+}
+
+// Table renders the result.
+func (r *Fig12Result) Table() string {
+	t := stats.NewTable("benchmark", "suite", "base cycles", "baggy", "gpushield", "lmi")
+	for _, row := range r.Rows {
+		t.AddRowf(4, row.Name, row.Suite, row.Baseline, row.Baggy, row.GPUShield, row.LMI)
+	}
+	t.AddRowf(4, "GEOMEAN", "", "", r.BaggyMean, r.GPUShieldMean, r.LMIMean)
+	return t.String()
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"lmi/internal/compiler"
+	"lmi/internal/sim"
+	"lmi/internal/stats"
+	"lmi/internal/workloads"
+)
+
+// Fig13Row is one benchmark's DBI slowdown.
+type Fig13Row struct {
+	Name  string
+	Suite string
+	// LMIDBI and Memcheck are normalized execution times (baseline = 1).
+	LMIDBI   float64
+	Memcheck float64
+	// CheckLDSTRatio is the static LMI-check to LD/ST instruction ratio
+	// the paper uses to explain per-benchmark variability (§XI-B).
+	CheckLDSTRatio float64
+}
+
+// Fig13Result is the Fig. 13 reproduction.
+type Fig13Result struct {
+	Rows []Fig13Row
+	// Geomeans (the paper reports 72.95x for LMI-DBI and 32.98x for
+	// memcheck).
+	LMIDBIMean, MemcheckMean float64
+}
+
+// Fig13 reproduces "Performance comparison between LMI with DBI and
+// NVIDIA's Compute Sanitizer" (§XI-B): the software DBI implementation of
+// LMI versus the memcheck tripwire tool, normalized to baseline, on the
+// 24 non-AD benchmarks.
+func Fig13(cfg sim.Config) (*Fig13Result, error) {
+	return Fig13For(workloads.Fig13Set(), cfg)
+}
+
+// Fig13For runs the DBI comparison over an explicit benchmark subset
+// (tests use a small subset; the bench harness runs the full Fig. 13
+// set).
+func Fig13For(specs []*workloads.Spec, cfg sim.Config) (*Fig13Result, error) {
+	res := &Fig13Result{}
+	var dbiN, mcN []float64
+	for _, s := range specs {
+		// DBI experiments run a reduced grid; the baseline must use the
+		// same launch, so run it through the same DBIGrid path by
+		// normalizing against a baseline launched at the DBI grid.
+		base, err := runVariantAtDBIGrid(s, workloads.VariantBase, cfg)
+		if err != nil {
+			return nil, err
+		}
+		dbi, err := runVariantAtDBIGrid(s, workloads.VariantLMIDBI, cfg)
+		if err != nil {
+			return nil, err
+		}
+		mc, err := runVariantAtDBIGrid(s, workloads.VariantMemcheck, cfg)
+		if err != nil {
+			return nil, err
+		}
+		lmiProg, err := s.Compile(workloads.VariantLMI)
+		if err != nil {
+			return nil, err
+		}
+		checks, ldst := compiler.CheckInstructionCounts(lmiProg)
+		row := Fig13Row{
+			Name:     s.Name,
+			Suite:    s.Suite,
+			LMIDBI:   float64(dbi.Cycles) / float64(base.Cycles),
+			Memcheck: float64(mc.Cycles) / float64(base.Cycles),
+		}
+		if ldst > 0 {
+			row.CheckLDSTRatio = float64(checks) / float64(ldst)
+		}
+		res.Rows = append(res.Rows, row)
+		dbiN = append(dbiN, row.LMIDBI)
+		mcN = append(mcN, row.Memcheck)
+	}
+	res.LMIDBIMean = stats.Geomean(dbiN)
+	res.MemcheckMean = stats.Geomean(mcN)
+	return res, nil
+}
+
+// runVariantAtDBIGrid launches a benchmark at its (reduced) DBI grid for
+// any variant, so DBI runs and their baseline share the launch geometry.
+func runVariantAtDBIGrid(s *workloads.Spec, v workloads.Variant, cfg sim.Config) (*sim.KernelStats, error) {
+	prog, err := s.Compile(v)
+	if err != nil {
+		return nil, err
+	}
+	dev, err := sim.NewDevice(cfg, workloads.NewMechanism(v))
+	if err != nil {
+		return nil, err
+	}
+	in, err := dev.Malloc(s.N * 4)
+	if err != nil {
+		return nil, err
+	}
+	out, err := dev.Malloc(s.N * 4)
+	if err != nil {
+		return nil, err
+	}
+	st, err := dev.Launch(prog, s.DBIGrid, s.Block, []uint64{in, out, s.N})
+	if err != nil {
+		return nil, err
+	}
+	if st.Halted || len(st.Faults) > 0 {
+		return nil, &faultErr{spec: s.Name, variant: v.String(), rec: st.Faults[0]}
+	}
+	return st, nil
+}
+
+type faultErr struct {
+	spec, variant string
+	rec           sim.FaultRecord
+}
+
+func (e *faultErr) Error() string {
+	return "experiments: " + e.spec + "/" + e.variant + ": unexpected fault: " + e.rec.String()
+}
+
+// Table renders the result.
+func (r *Fig13Result) Table() string {
+	t := stats.NewTable("benchmark", "suite", "lmi-dbi (x)", "memcheck (x)", "check/ldst")
+	for _, row := range r.Rows {
+		t.AddRowf(2, row.Name, row.Suite, row.LMIDBI, row.Memcheck, row.CheckLDSTRatio)
+	}
+	t.AddRowf(2, "GEOMEAN", "", r.LMIDBIMean, r.MemcheckMean, "")
+	return t.String()
+}

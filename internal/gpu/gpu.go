@@ -1,0 +1,285 @@
+// Package gpu is the high-level runtime veneer of the library — the
+// CUDA-runtime-shaped API a downstream user holds: contexts, typed
+// device buffers, compiled kernels, launches, and safety faults as Go
+// errors. Everything below it (compiler, simulator, mechanisms) remains
+// directly accessible for users who need the knobs.
+//
+//	ctx, _ := gpu.NewLMIContext(4)
+//	a, _ := gpu.Alloc[float32](ctx, 1024)
+//	defer a.Free()
+//	a.CopyIn(host)
+//	k, _ := ctx.Compile(kernelIR)
+//	stats, err := ctx.Launch(k, gpu.Dim(8), gpu.Dim(128), a, gpu.I32(1024))
+//	var sf *gpu.SafetyError
+//	if errors.As(err, &sf) { ... } // the hardware caught a violation
+package gpu
+
+import (
+	"fmt"
+	"math"
+
+	"lmi/internal/compiler"
+	"lmi/internal/ir"
+	"lmi/internal/isa"
+	"lmi/internal/safety"
+	"lmi/internal/sim"
+)
+
+// Scalar is the set of element types device buffers may hold.
+type Scalar interface {
+	~int32 | ~uint32 | ~float32 | ~int64 | ~uint64
+}
+
+// Context owns a simulated device and the compile mode matching its
+// safety mechanism.
+type Context struct {
+	dev  *sim.Device
+	mode compiler.Mode
+}
+
+// NewContext builds a context over an explicit configuration and
+// mechanism. The compile mode is derived from the mechanism: LMI and
+// Baggy Bounds need ModeLMI tagging, everything else compiles ModeBase.
+func NewContext(cfg sim.Config, mech sim.Mechanism) (*Context, error) {
+	dev, err := sim.NewDevice(cfg, mech)
+	if err != nil {
+		return nil, err
+	}
+	mode := compiler.ModeBase
+	switch mech.(type) {
+	case *safety.LMI, *safety.Baggy:
+		mode = compiler.ModeLMI
+	}
+	return &Context{dev: dev, mode: mode}, nil
+}
+
+// NewLMIContext builds an LMI-protected context on a GPU scaled to the
+// given SM count.
+func NewLMIContext(sms int) (*Context, error) {
+	return NewContext(sim.ScaledConfig(sms), safety.NewLMI())
+}
+
+// NewBaselineContext builds an unprotected context.
+func NewBaselineContext(sms int) (*Context, error) {
+	return NewContext(sim.ScaledConfig(sms), sim.Baseline{})
+}
+
+// Device exposes the underlying simulated device.
+func (c *Context) Device() *sim.Device { return c.dev }
+
+// Mode exposes the compile mode the context uses.
+func (c *Context) Mode() compiler.Mode { return c.mode }
+
+// Buffer is a typed device allocation.
+type Buffer[T Scalar] struct {
+	ctx   *Context
+	ptr   uint64
+	n     int
+	freed bool
+}
+
+// Alloc reserves a device buffer of n elements of T. Under LMI the
+// returned handle wraps an extent-tagged pointer.
+func Alloc[T Scalar](ctx *Context, n int) (*Buffer[T], error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("gpu: non-positive element count %d", n)
+	}
+	var zero T
+	ptr, err := ctx.dev.Malloc(uint64(n) * uint64(sizeOf(zero)))
+	if err != nil {
+		return nil, err
+	}
+	return &Buffer[T]{ctx: ctx, ptr: ptr, n: n}, nil
+}
+
+func sizeOf[T Scalar](v T) int {
+	switch any(v).(type) {
+	case int64, uint64:
+		return 8
+	default:
+		return 4
+	}
+}
+
+// Len returns the element count.
+func (b *Buffer[T]) Len() int { return b.n }
+
+// Ptr returns the (tagged) device pointer value — what a kernel
+// parameter receives.
+func (b *Buffer[T]) Ptr() uint64 { return b.ptr }
+
+// CopyIn writes host elements to the device (at most Len elements).
+func (b *Buffer[T]) CopyIn(host []T) error {
+	if b.freed {
+		return fmt.Errorf("gpu: use of freed buffer")
+	}
+	if len(host) > b.n {
+		return fmt.Errorf("gpu: CopyIn of %d elements into %d-element buffer", len(host), b.n)
+	}
+	var zero T
+	es := sizeOf(zero)
+	raw := make([]byte, len(host)*es)
+	for i, v := range host {
+		putScalar(raw[i*es:], v)
+	}
+	b.ctx.dev.WriteGlobal(b.ptr, raw)
+	return nil
+}
+
+// CopyOut reads the whole buffer back to the host.
+func (b *Buffer[T]) CopyOut() ([]T, error) {
+	if b.freed {
+		return nil, fmt.Errorf("gpu: use of freed buffer")
+	}
+	var zero T
+	es := sizeOf(zero)
+	raw := b.ctx.dev.ReadGlobal(b.ptr, b.n*es)
+	out := make([]T, b.n)
+	for i := range out {
+		out[i] = getScalar[T](raw[i*es:])
+	}
+	return out, nil
+}
+
+// Free releases the buffer (cudaFree). Double frees surface the
+// allocator's fault as an error.
+func (b *Buffer[T]) Free() error {
+	err := b.ctx.dev.Free(b.ptr)
+	b.freed = true
+	return err
+}
+
+func putScalar[T Scalar](dst []byte, v T) {
+	switch x := any(v).(type) {
+	case int64:
+		put64(dst, uint64(x))
+	case uint64:
+		put64(dst, x)
+	case int32:
+		put32(dst, uint32(x))
+	case uint32:
+		put32(dst, x)
+	case float32:
+		put32(dst, f32bits(x))
+	}
+}
+
+func getScalar[T Scalar](src []byte) T {
+	var v T
+	switch any(v).(type) {
+	case int64:
+		v = any(int64(get64(src))).(T)
+	case uint64:
+		v = any(get64(src)).(T)
+	case int32:
+		v = any(int32(get32(src))).(T)
+	case uint32:
+		v = any(get32(src)).(T)
+	case float32:
+		v = any(f32frombits(get32(src))).(T)
+	}
+	return v
+}
+
+// Kernel is a compiled program bound to a context's compile mode.
+type Kernel struct {
+	prog *isa.Program
+}
+
+// Program exposes the compiled ISA program (for disassembly etc.).
+func (k *Kernel) Program() *isa.Program { return k.prog }
+
+// Compile lowers an IR kernel under the context's mode.
+func (c *Context) Compile(f *ir.Func) (*Kernel, error) {
+	prog, err := compiler.Compile(f, c.mode)
+	if err != nil {
+		return nil, err
+	}
+	return &Kernel{prog: prog}, nil
+}
+
+// Dims is a 2-D launch extent.
+type Dims struct{ X, Y int }
+
+// Dim is a 1-D extent.
+func Dim(x int) Dims { return Dims{X: x, Y: 1} }
+
+// Dim2 is a 2-D extent.
+func Dim2(x, y int) Dims { return Dims{X: x, Y: y} }
+
+// Arg is a launch argument: a *Buffer[T] or a scalar wrapped by I32/U64.
+type Arg interface{ argWord() uint64 }
+
+// I32 wraps a 32-bit integer launch argument.
+type I32 int32
+
+func (v I32) argWord() uint64 { return uint64(uint32(v)) }
+
+// U64 wraps a raw 64-bit launch argument (e.g. a stale pointer in a
+// security test).
+type U64 uint64
+
+func (v U64) argWord() uint64 { return uint64(v) }
+
+// argWord implements Arg for buffers.
+func (b *Buffer[T]) argWord() uint64 { return b.ptr }
+
+// SafetyError is returned by Launch when the mechanism detected one or
+// more memory-safety violations during the kernel.
+type SafetyError struct {
+	// Stats is the kernel's statistics, including the fault records.
+	Stats *sim.KernelStats
+}
+
+// Error implements error.
+func (e *SafetyError) Error() string {
+	if len(e.Stats.Faults) == 0 {
+		return "gpu: safety fault"
+	}
+	return fmt.Sprintf("gpu: %d safety fault(s); first: %s",
+		len(e.Stats.Faults), e.Stats.Faults[0].String())
+}
+
+// Launch runs a kernel. Grid and block may be 1-D (Dim) or 2-D (Dim2);
+// args are buffers and wrapped scalars in parameter order. Detected
+// safety violations come back as a *SafetyError (with the stats still
+// attached); infrastructure failures come back as plain errors.
+func (c *Context) Launch(k *Kernel, grid, block Dims, args ...Arg) (*sim.KernelStats, error) {
+	params := make([]uint64, len(args))
+	for i, a := range args {
+		params[i] = a.argWord()
+	}
+	st, err := c.dev.Launch2D(k.prog, grid.X, grid.Y, block.X, block.Y, params)
+	if err != nil {
+		return nil, err
+	}
+	if len(st.Faults) > 0 {
+		return st, &SafetyError{Stats: st}
+	}
+	return st, nil
+}
+
+// Tiny endian helpers (avoiding an encoding/binary import for two
+// fixed-width accessors would be false economy; these stay next to their
+// scalar switch for readability).
+func put32(b []byte, v uint32) {
+	_ = b[3]
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func put64(b []byte, v uint64) {
+	put32(b, uint32(v))
+	put32(b[4:], uint32(v>>32))
+}
+
+func get32(b []byte) uint32 {
+	_ = b[3]
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func get64(b []byte) uint64 {
+	return uint64(get32(b)) | uint64(get32(b[4:]))<<32
+}
+
+func f32bits(f float32) uint32     { return math.Float32bits(f) }
+func f32frombits(u uint32) float32 { return math.Float32frombits(u) }

@@ -1,0 +1,87 @@
+package hwcost
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestOCUMatchesPaperEnvelope(t *testing.T) {
+	o := OCU()
+	// Paper §XI-C / Table VI: 153 GE per thread, 0.63 ns critical path,
+	// f_max 1.587 GHz, two register slices at 3 GHz -> 3-cycle latency.
+	if ge := o.TotalGE(); ge < 140 || ge > 175 {
+		t.Errorf("OCU area %.1f GE, want near 153", ge)
+	}
+	if ps := o.CriticalPathPs(); ps < 580 || ps > 720 {
+		t.Errorf("critical path %d ps, want near 630", ps)
+	}
+	if f := o.FMaxGHz(); f < 1.3 || f > 1.8 {
+		t.Errorf("f_max %.3f GHz, want near 1.587", f)
+	}
+	if s := o.RegisterSlices(3.0); s != 2 {
+		t.Errorf("register slices at 3 GHz = %d, want 2", s)
+	}
+	if l := o.PipelineLatencyCycles(3.0); l != 3 {
+		t.Errorf("check latency at 3 GHz = %d cycles, want 3", l)
+	}
+	// The simulator's OCU latency constant must agree with this model.
+	// (safety.OCULatencyCycles = 3; asserted indirectly to avoid an
+	// import cycle in coverage tooling.)
+	if o.PipelineLatencyCycles(3.0) != 3 {
+		t.Error("model inconsistent with safety.OCULatencyCycles")
+	}
+}
+
+func TestOCUHasNoSRAM(t *testing.T) {
+	// LMI's defining hardware property: no memory-backed metadata at all;
+	// the design is pure combinational logic plus pipeline registers.
+	for _, c := range OCU().Components {
+		if strings.Contains(strings.ToLower(c.Name), "sram") ||
+			strings.Contains(strings.ToLower(c.Name), "cache") {
+			t.Errorf("OCU contains storage component %q", c.Name)
+		}
+	}
+}
+
+func TestECTiny(t *testing.T) {
+	ec := EC()
+	if ge := ec.TotalGE(); ge > 20 {
+		t.Errorf("EC area %.1f GE, should be trivial", ge)
+	}
+	if ec.CriticalPathPs() >= OCU().CriticalPathPs() {
+		t.Error("EC path should be far shorter than the OCU's")
+	}
+}
+
+func TestDesignHelpers(t *testing.T) {
+	empty := &Design{Name: "empty"}
+	if !math.IsInf(empty.FMaxGHz(), 1) {
+		t.Error("empty design f_max should be +Inf")
+	}
+	if empty.RegisterSlices(3.0) != 0 || empty.PipelineLatencyCycles(3.0) != 1 {
+		t.Error("empty design pipeline accounting")
+	}
+	// A unit slower than the target clock needs at least one slice.
+	slow := &Design{Components: []Component{{Name: "x", GE: 1, PathPs: 1000}}}
+	if slow.RegisterSlices(2.0) != 1 {
+		t.Errorf("slices = %d", slow.RegisterSlices(2.0))
+	}
+}
+
+func TestTable6Rendering(t *testing.T) {
+	rows := Table6()
+	if len(rows) != 5 {
+		t.Fatalf("Table VI rows = %d", len(rows))
+	}
+	if rows[4].Name != "LMI" || rows[4].SRAM != "0" {
+		t.Errorf("LMI row: %+v", rows[4])
+	}
+	out := RenderTable6(3.0)
+	for _, want := range []string{"No-Fat", "C3", "IMT", "GPUShield", "LMI",
+		"register slices", "3-cycle"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table VI output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,413 @@
+package ir
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"lmi/internal/isa"
+	"lmi/internal/mem"
+)
+
+// buildVecAdd builds C[i] = A[i] + B[i] over n elements, one element per
+// thread, guarded by i < n.
+func buildVecAdd(t *testing.T) *Func {
+	t.Helper()
+	b := NewBuilder("vecadd")
+	A := b.Param(PtrGlobal)
+	B := b.Param(PtrGlobal)
+	C := b.Param(PtrGlobal)
+	n := b.Param(I32)
+	i := b.GlobalTID()
+	b.If(b.ICmp(isa.CmpLT, i, n), func() {
+		av := b.Load(F32, b.GEP(A, i, 4, 0), 0)
+		bv := b.Load(F32, b.GEP(B, i, 4, 0), 0)
+		b.Store(b.GEP(C, i, 4, 0), b.FAdd(av, bv), 0)
+	}, nil)
+	f, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(f); err != nil {
+		t.Fatalf("verify: %v\n%s", err, f)
+	}
+	return f
+}
+
+func TestInterpVecAdd(t *testing.T) {
+	f := buildVecAdd(t)
+	g := mem.NewAddrSpace()
+	const n = 100
+	baseA, baseB, baseC := uint64(0x1000), uint64(0x2000), uint64(0x3000)
+	for i := 0; i < n; i++ {
+		g.Write(baseA+uint64(i)*4, uint64(math.Float32bits(float32(i))), 4)
+		g.Write(baseB+uint64(i)*4, uint64(math.Float32bits(float32(2*i))), 4)
+	}
+	ip := NewInterp(f, g, []uint64{baseA, baseB, baseC, n}, 4, 32)
+	if err := ip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		got := math.Float32frombits(uint32(g.Read(baseC+uint64(i)*4, 4)))
+		if got != float32(3*i) {
+			t.Fatalf("C[%d] = %v, want %v", i, got, float32(3*i))
+		}
+	}
+	// Out-of-range threads (grid covers 128 > n) must not write.
+	if g.Read(baseC+n*4, 4) != 0 {
+		t.Error("guard failed: wrote past n")
+	}
+}
+
+func TestInterpLoopAndLocal(t *testing.T) {
+	// Each thread sums 0..9 through a local stack array and writes the
+	// result to out[gtid].
+	b := NewBuilder("localsum")
+	out := b.Param(PtrGlobal)
+	buf := b.Alloca(64)
+	gtid := b.GlobalTID()
+	ten := b.ConstI(I32, 10)
+	b.For(ten, func(i Value) {
+		b.Store(b.GEP(buf, i, 4, 0), i, 0)
+	})
+	sum := b.Var(b.ConstI(I32, 0))
+	b.For(ten, func(i Value) {
+		b.Assign(sum, b.Add(sum, b.Load(I32, b.GEP(buf, i, 4, 0), 0)))
+	})
+	b.Store(b.GEP(out, gtid, 4, 0), sum, 0)
+	f := b.MustFinish()
+	if err := Verify(f); err != nil {
+		t.Fatalf("%v\n%s", err, f)
+	}
+	g := mem.NewAddrSpace()
+	ip := NewInterp(f, g, []uint64{0x1000}, 2, 8)
+	if err := ip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for tIdx := 0; tIdx < 16; tIdx++ {
+		if got := int32(uint32(g.Read(0x1000+uint64(tIdx)*4, 4))); got != 45 {
+			t.Fatalf("out[%d] = %d", tIdx, got)
+		}
+	}
+}
+
+func TestInterpSharedReduction(t *testing.T) {
+	// Block-wide tree reduction through shared memory with barriers.
+	b := NewBuilder("reduce")
+	out := b.Param(PtrGlobal)
+	sh := b.Shared(32 * 4)
+	tid := b.TID()
+	b.Store(b.GEP(sh, tid, 4, 0), b.Add(tid, b.ConstI(I32, 1)), 0)
+	b.Barrier()
+	stride := b.Var(b.ConstI(I32, 16))
+	zero := b.ConstI(I32, 0)
+	b.While(func() Value {
+		return b.ICmp(isa.CmpGT, stride, zero)
+	}, func() {
+		b.If(b.ICmp(isa.CmpLT, tid, stride), func() {
+			mine := b.Load(I32, b.GEP(sh, tid, 4, 0), 0)
+			other := b.Load(I32, b.GEP(sh, b.Add(tid, stride), 4, 0), 0)
+			b.Store(b.GEP(sh, tid, 4, 0), b.Add(mine, other), 0)
+		}, nil)
+		b.Barrier()
+		b.Assign(stride, b.Shr(stride, b.ConstI(I32, 1)))
+	})
+	b.If(b.ICmp(isa.CmpEQ, tid, zero), func() {
+		b.Store(b.GEP(out, b.CTAID(), 4, 0), b.Load(I32, sh, 0), 0)
+	}, nil)
+	f := b.MustFinish()
+	if err := Verify(f); err != nil {
+		t.Fatalf("%v\n%s", err, f)
+	}
+	g := mem.NewAddrSpace()
+	ip := NewInterp(f, g, []uint64{0x9000}, 3, 32)
+	if err := ip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for cta := 0; cta < 3; cta++ {
+		if got := g.Read(0x9000+uint64(cta)*4, 4); got != 528 { // sum 1..32
+			t.Fatalf("block %d sum = %d, want 528", cta, got)
+		}
+	}
+}
+
+func TestInterpMallocFree(t *testing.T) {
+	b := NewBuilder("heapuse")
+	out := b.Param(PtrGlobal)
+	gtid := b.GlobalTID()
+	size := b.ConstI(I32, 256)
+	p := b.Malloc(size)
+	b.Store(p, b.Mul(gtid, gtid), 0)
+	v := b.Load(I32, p, 0)
+	b.Store(b.GEP(out, gtid, 4, 0), v, 0)
+	b.Free(p)
+	f := b.MustFinish()
+	if err := Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	g := mem.NewAddrSpace()
+	ip := NewInterp(f, g, []uint64{0x4000}, 1, 16)
+	if err := ip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for tIdx := 0; tIdx < 16; tIdx++ {
+		if got := int32(uint32(g.Read(0x4000+uint64(tIdx)*4, 4))); got != int32(tIdx*tIdx) {
+			t.Fatalf("out[%d] = %d", tIdx, got)
+		}
+	}
+}
+
+func TestInterpArithAndSelect(t *testing.T) {
+	b := NewBuilder("arith")
+	out := b.Param(PtrGlobal)
+	gtid := b.GlobalTID()
+	two := b.ConstI(I32, 2)
+	odd := b.ICmp(isa.CmpNE, b.And(gtid, b.ConstI(I32, 1)), b.ConstI(I32, 0))
+	v := b.Select(odd, b.Mul(gtid, two), b.Sub(b.ConstI(I32, 0), gtid))
+	v = b.Max(v, b.ConstI(I32, -5))
+	v = b.Min(v, b.ConstI(I32, 100))
+	v = b.Xor(v, b.ConstI(I32, 0))
+	v = b.Or(v, b.ConstI(I32, 0))
+	fv := b.I2F(v)
+	fv = b.FMul(fv, b.ConstF(2.0))
+	fv = b.FSub(fv, b.ConstF(1.0))
+	fv = b.FFMA(fv, b.ConstF(1.0), b.ConstF(1.0))
+	iv := b.F2I(fv)
+	b.Store(b.GEP(out, gtid, 4, 0), iv, 0)
+	f := b.MustFinish()
+	if err := Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	g := mem.NewAddrSpace()
+	ip := NewInterp(f, g, []uint64{0x100}, 1, 8)
+	if err := ip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := func(tid int) int32 {
+		var v int32
+		if tid%2 == 1 {
+			v = int32(tid * 2)
+		} else {
+			v = int32(-tid)
+		}
+		if v < -5 {
+			v = -5
+		}
+		if v > 100 {
+			v = 100
+		}
+		return 2 * v
+	}
+	for tIdx := 0; tIdx < 8; tIdx++ {
+		if got := int32(uint32(g.Read(0x100+uint64(tIdx)*4, 4))); got != want(tIdx) {
+			t.Fatalf("out[%d] = %d want %d", tIdx, got, want(tIdx))
+		}
+	}
+}
+
+func TestInterpAtomicAdd(t *testing.T) {
+	b := NewBuilder("atomic")
+	out := b.Param(PtrGlobal)
+	one := b.ConstI(I32, 1)
+	b.AtomicAdd(out, one, 0)
+	f := b.MustFinish()
+	if err := Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	g := mem.NewAddrSpace()
+	ip := NewInterp(f, g, []uint64{0x500}, 4, 32)
+	if err := ip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Read(0x500, 4); got != 128 {
+		t.Fatalf("counter = %d", got)
+	}
+}
+
+func TestInterpMufuOps(t *testing.T) {
+	b := NewBuilder("mufu")
+	out := b.Param(PtrGlobal)
+	x := b.ConstF(4.0)
+	r := b.FAdd(b.FSqrt(x), b.FRcp(x))  // 2 + 0.25
+	r = b.FAdd(r, b.FExp2(b.ConstF(3))) // + 8
+	r = b.FAdd(r, b.FLog2(b.ConstF(8))) // + 3
+	r = b.FAdd(r, b.FSin(b.ConstF(0)))  // + 0
+	b.Store(out, r, 0)
+	f := b.MustFinish()
+	g := mem.NewAddrSpace()
+	ip := NewInterp(f, g, []uint64{0x700}, 1, 1)
+	if err := ip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := math.Float32frombits(uint32(g.Read(0x700, 4)))
+	if math.Abs(float64(got)-13.25) > 1e-5 {
+		t.Fatalf("mufu chain = %v", got)
+	}
+}
+
+func TestVerifyRejectsBadPrograms(t *testing.T) {
+	// Type mismatch: float add on ints.
+	b := NewBuilder("bad1")
+	x := b.ConstI(I32, 1)
+	v := b.F.NewValue(F32)
+	b.Block().Instrs = append(b.Block().Instrs, Instr{Op: OpFAdd, Dst: v, Args: []Value{x, x}})
+	b.Ret()
+	if err := Verify(b.F); err == nil {
+		t.Error("fadd on ints accepted")
+	}
+
+	// Alloca outside entry block.
+	b2 := NewBuilder("bad2")
+	cond := b2.ICmp(isa.CmpEQ, b2.ConstI(I32, 0), b2.ConstI(I32, 0))
+	b2.If(cond, func() {
+		b2.Alloca(64)
+	}, nil)
+	b2.Ret()
+	if err := Verify(b2.F); err == nil {
+		t.Error("alloca in non-entry block accepted")
+	}
+
+	// Missing terminator.
+	f3 := NewFunc("bad3")
+	f3.NewBlock()
+	if err := Verify(f3); err == nil {
+		t.Error("unterminated block accepted")
+	}
+
+	// Use of undefined value.
+	f4 := NewFunc("bad4")
+	blk := f4.NewBlock()
+	v4 := f4.NewValue(I32)
+	ghost := Value(99)
+	blk.Instrs = append(blk.Instrs,
+		Instr{Op: OpAdd, Dst: v4, Args: []Value{ghost, ghost}},
+		Instr{Op: OpRet, Dst: NoValue})
+	if err := Verify(f4); err == nil {
+		t.Error("undefined value accepted")
+	}
+
+	// Store of a bool.
+	b5 := NewBuilder("bad5")
+	p := b5.Param(PtrGlobal)
+	c := b5.ICmp(isa.CmpEQ, b5.ConstI(I32, 0), b5.ConstI(I32, 0))
+	b5.Block().Instrs = append(b5.Block().Instrs,
+		Instr{Op: OpStore, Dst: NoValue, Args: []Value{p, c}})
+	b5.Ret()
+	if err := Verify(b5.F); err == nil {
+		t.Error("bool store accepted")
+	}
+
+	// Terminator in the middle of a block.
+	b6 := NewBuilder("bad6")
+	b6.Ret()
+	b6.Block().Instrs = append(b6.Block().Instrs, Instr{Op: OpRet, Dst: NoValue})
+	if err := Verify(b6.F); err == nil {
+		t.Error("double terminator accepted")
+	}
+
+	// GEP with index but zero scale.
+	b7 := NewBuilder("bad7")
+	p7 := b7.Param(PtrGlobal)
+	i7 := b7.ConstI(I32, 1)
+	v7 := b7.F.NewValue(PtrGlobal)
+	b7.Block().Instrs = append(b7.Block().Instrs,
+		Instr{Op: OpGEP, Dst: v7, Args: []Value{p7, i7}, Scale: 0})
+	b7.Ret()
+	if err := Verify(b7.F); err == nil {
+		t.Error("zero-scale GEP accepted")
+	}
+}
+
+func TestTypeHelpers(t *testing.T) {
+	if !PtrGlobal.IsPtr() || I32.IsPtr() {
+		t.Error("IsPtr")
+	}
+	if !I32.IsInt() || !I64.IsInt() || F32.IsInt() {
+		t.Error("IsInt")
+	}
+	if I32.Size() != 4 || I64.Size() != 8 || PtrShared.Size() != 8 || Bool.Size() != 1 || Void.Size() != 0 {
+		t.Error("Size")
+	}
+	if PtrLocal.String() != "ptr<local>" || F32.String() != "f32" || Void.String() != "void" {
+		t.Error("String")
+	}
+	if (Type{Kind: Kind(99)}).String() == "" {
+		t.Error("unknown kind string")
+	}
+}
+
+func TestFuncStringRendering(t *testing.T) {
+	f := buildVecAdd(t)
+	s := f.String()
+	for _, want := range []string{"func vecadd", "param #0", "gep", "condbr", "ret", "fadd"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+	if OpGEP.String() != "gep" || Op(200).String() == "" {
+		t.Error("op names")
+	}
+}
+
+func TestBuilderIfElse(t *testing.T) {
+	b := NewBuilder("ifelse")
+	out := b.Param(PtrGlobal)
+	gtid := b.GlobalTID()
+	res := b.Var(b.ConstI(I32, 0))
+	cond := b.ICmp(isa.CmpLT, gtid, b.ConstI(I32, 4))
+	b.If(cond, func() {
+		b.Assign(res, b.ConstI(I32, 111))
+	}, func() {
+		b.Assign(res, b.ConstI(I32, 222))
+	})
+	b.Store(b.GEP(out, gtid, 4, 0), res, 0)
+	f := b.MustFinish()
+	if err := Verify(f); err != nil {
+		t.Fatalf("%v\n%s", err, f)
+	}
+	g := mem.NewAddrSpace()
+	if err := NewInterp(f, g, []uint64{0}, 1, 8).Run(); err != nil {
+		t.Fatal(err)
+	}
+	for tIdx := 0; tIdx < 8; tIdx++ {
+		want := uint64(222)
+		if tIdx < 4 {
+			want = 111
+		}
+		if got := g.Read(uint64(tIdx)*4, 4); got != want {
+			t.Fatalf("out[%d] = %d want %d", tIdx, got, want)
+		}
+	}
+}
+
+func TestInterpPtrCastsPassThrough(t *testing.T) {
+	// The interpreter executes int<->ptr casts (they are functionally
+	// identity); only the LMI compiler rejects them.
+	b := NewBuilder("casts")
+	out := b.Param(PtrGlobal)
+	x := b.PtrToInt(out)
+	p := b.IntToPtr(x, isa.SpaceGlobal)
+	b.Store(p, b.ConstI(I32, 7), 0)
+	f := b.MustFinish()
+	if err := Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	g := mem.NewAddrSpace()
+	if err := NewInterp(f, g, []uint64{0x40}, 1, 1).Run(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Read(0x40, 4) != 7 {
+		t.Error("cast round trip failed")
+	}
+}
+
+func TestInterpInfiniteLoopGuard(t *testing.T) {
+	b := NewBuilder("spin")
+	one := b.ConstI(I32, 1)
+	b.While(func() Value { return b.ICmp(isa.CmpEQ, one, one) }, func() {})
+	f := b.MustFinish()
+	g := mem.NewAddrSpace()
+	if err := NewInterp(f, g, nil, 1, 1).Run(); err == nil {
+		t.Error("infinite loop not detected")
+	}
+}

@@ -1,0 +1,107 @@
+// Package ir defines the typed intermediate representation the LMI
+// compiler consumes.
+//
+// The IR plays the role LLVM IR plays in the paper (§VI): kernels are
+// written against it (the workload suite builds them programmatically),
+// the LMI compiler pass analyses it to find instructions with pointer
+// operands, and the backend lowers it to the SASS-like ISA with the A/S
+// hint bits set on pointer-arithmetic instructions.
+//
+// It is a register-machine IR, not SSA: virtual registers have fixed
+// types and may be reassigned (OpCopy), which keeps loops simple and
+// makes pointer-operand analysis a pure type walk — exactly the property
+// the paper exploits ("the compiler front-end identifies instructions
+// with pointer operands"). inttoptr/ptrtoint exist in the IR solely so
+// the LMI pass can reject them (§XII-B).
+package ir
+
+import (
+	"fmt"
+
+	"lmi/internal/isa"
+)
+
+// Kind is the base kind of a type.
+type Kind uint8
+
+// Type kinds.
+const (
+	KindVoid Kind = iota
+	KindI32
+	KindI64
+	KindF32
+	KindBool
+	KindPtr
+)
+
+// Type is an IR value type. Space is meaningful only for KindPtr.
+type Type struct {
+	Kind  Kind
+	Space isa.Space
+}
+
+// Convenience type values.
+var (
+	Void = Type{Kind: KindVoid}
+	I32  = Type{Kind: KindI32}
+	I64  = Type{Kind: KindI64}
+	F32  = Type{Kind: KindF32}
+	Bool = Type{Kind: KindBool}
+)
+
+// Ptr returns the pointer type for a memory space.
+func Ptr(space isa.Space) Type { return Type{Kind: KindPtr, Space: space} }
+
+// Pointer type shorthands.
+var (
+	PtrGlobal = Ptr(isa.SpaceGlobal)
+	PtrShared = Ptr(isa.SpaceShared)
+	PtrLocal  = Ptr(isa.SpaceLocal)
+)
+
+// IsPtr reports whether the type is a pointer.
+func (t Type) IsPtr() bool { return t.Kind == KindPtr }
+
+// IsInt reports whether the type is an integer (I32 or I64).
+func (t Type) IsInt() bool { return t.Kind == KindI32 || t.Kind == KindI64 }
+
+// Size returns the in-memory size of a value of this type in bytes.
+func (t Type) Size() uint64 {
+	switch t.Kind {
+	case KindI32, KindF32:
+		return 4
+	case KindI64, KindPtr:
+		return 8
+	case KindBool:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// String renders the type.
+func (t Type) String() string {
+	switch t.Kind {
+	case KindVoid:
+		return "void"
+	case KindI32:
+		return "i32"
+	case KindI64:
+		return "i64"
+	case KindF32:
+		return "f32"
+	case KindBool:
+		return "bool"
+	case KindPtr:
+		return fmt.Sprintf("ptr<%s>", t.Space)
+	default:
+		return fmt.Sprintf("Type(%d)", t.Kind)
+	}
+}
+
+// Value names a virtual register. NoValue marks an absent operand or
+// result.
+type Value int
+
+// NoValue is the absent value.
+const NoValue Value = -1

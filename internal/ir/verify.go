@@ -1,0 +1,377 @@
+package ir
+
+import "fmt"
+
+// Verify type-checks the function and validates its control-flow
+// structure. It is the precondition the compiler assumes.
+func Verify(f *Func) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("ir: %s: no blocks", f.Name)
+	}
+	defined := make([]bool, f.NumValues())
+	// First pass: record definitions (register machine: any block may
+	// define; the builder's structured constructs guarantee order).
+	for _, blk := range f.Blocks {
+		for i := range blk.Instrs {
+			if d := blk.Instrs[i].Dst; d != NoValue {
+				if int(d) >= f.NumValues() {
+					return fmt.Errorf("ir: %s: b%d[%d]: dst %%v%d out of range", f.Name, blk.ID, i, d)
+				}
+				defined[d] = true
+			}
+		}
+	}
+	for _, blk := range f.Blocks {
+		if blk.Terminator() == nil {
+			return fmt.Errorf("ir: %s: b%d: missing terminator", f.Name, blk.ID)
+		}
+		for i := range blk.Instrs {
+			in := &blk.Instrs[i]
+			if in.Op.IsTerminator() != (i == len(blk.Instrs)-1) {
+				return fmt.Errorf("ir: %s: b%d[%d]: misplaced terminator %s", f.Name, blk.ID, i, in.Op)
+			}
+			if err := f.checkInstr(blk, i, in, defined); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (f *Func) checkInstr(blk *Block, idx int, in *Instr, defined []bool) error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("ir: %s: b%d[%d] %s: %s", f.Name, blk.ID, idx, in.Op, fmt.Sprintf(format, args...))
+	}
+	use := func(v Value) (Type, error) {
+		if v == NoValue || int(v) >= f.NumValues() || !defined[v] {
+			return Void, fail("use of undefined value %%v%d", v)
+		}
+		return f.TypeOf(v), nil
+	}
+	dst := f.TypeOf(in.Dst)
+	needArgs := func(n int) error {
+		if len(in.Args) != n {
+			return fail("want %d args, have %d", n, len(in.Args))
+		}
+		return nil
+	}
+
+	switch in.Op {
+	case OpConstI:
+		if !dst.IsInt() {
+			return fail("dst must be integer, is %s", dst)
+		}
+	case OpConstF:
+		if dst != F32 {
+			return fail("dst must be f32")
+		}
+	case OpParam:
+		if in.Index < 0 || in.Index >= len(f.Params) {
+			return fail("param index %d out of range", in.Index)
+		}
+		if dst != f.Params[in.Index] {
+			return fail("dst %s != param type %s", dst, f.Params[in.Index])
+		}
+	case OpSpecial:
+		if dst != I32 {
+			return fail("dst must be i32")
+		}
+	case OpAdd, OpSub, OpMul, OpMin, OpMax, OpShl, OpShr, OpAnd, OpOr, OpXor:
+		if err := needArgs(2); err != nil {
+			return err
+		}
+		for _, a := range in.Args {
+			t, err := use(a)
+			if err != nil {
+				return err
+			}
+			if t != dst {
+				return fail("operand %s != dst %s", t, dst)
+			}
+		}
+		if !dst.IsInt() {
+			return fail("integer op on %s", dst)
+		}
+	case OpFAdd, OpFSub, OpFMul:
+		if err := needArgs(2); err != nil {
+			return err
+		}
+		return f.checkAllF32(in, dst, fail, use)
+	case OpFFMA:
+		if err := needArgs(3); err != nil {
+			return err
+		}
+		return f.checkAllF32(in, dst, fail, use)
+	case OpFRcp, OpFSqrt, OpFExp2, OpFLog2, OpFSin:
+		if err := needArgs(1); err != nil {
+			return err
+		}
+		return f.checkAllF32(in, dst, fail, use)
+	case OpI2F:
+		if err := needArgs(1); err != nil {
+			return err
+		}
+		t, err := use(in.Args[0])
+		if err != nil {
+			return err
+		}
+		if !t.IsInt() || dst != F32 {
+			return fail("i2f %s -> %s", t, dst)
+		}
+	case OpF2I:
+		if err := needArgs(1); err != nil {
+			return err
+		}
+		t, err := use(in.Args[0])
+		if err != nil {
+			return err
+		}
+		if t != F32 || !dst.IsInt() {
+			return fail("f2i %s -> %s", t, dst)
+		}
+	case OpICmp:
+		if err := needArgs(2); err != nil {
+			return err
+		}
+		t0, err := use(in.Args[0])
+		if err != nil {
+			return err
+		}
+		t1, err := use(in.Args[1])
+		if err != nil {
+			return err
+		}
+		if !t0.IsInt() || t0 != t1 || dst != Bool {
+			return fail("icmp %s,%s -> %s", t0, t1, dst)
+		}
+	case OpFCmp:
+		if err := needArgs(2); err != nil {
+			return err
+		}
+		for _, a := range in.Args {
+			t, err := use(a)
+			if err != nil {
+				return err
+			}
+			if t != F32 {
+				return fail("fcmp on %s", t)
+			}
+		}
+		if dst != Bool {
+			return fail("fcmp dst %s", dst)
+		}
+	case OpSelect:
+		if err := needArgs(3); err != nil {
+			return err
+		}
+		tc, err := use(in.Args[0])
+		if err != nil {
+			return err
+		}
+		if tc != Bool {
+			return fail("select cond %s", tc)
+		}
+		for _, a := range in.Args[1:] {
+			t, err := use(a)
+			if err != nil {
+				return err
+			}
+			if t != dst {
+				return fail("select arm %s != dst %s", t, dst)
+			}
+		}
+	case OpCopy:
+		if err := needArgs(1); err != nil {
+			return err
+		}
+		t, err := use(in.Args[0])
+		if err != nil {
+			return err
+		}
+		if t != dst {
+			return fail("copy %s -> %s", t, dst)
+		}
+	case OpGEP:
+		if len(in.Args) != 2 {
+			return fail("want 2 args (ptr, idx)")
+		}
+		t, err := use(in.Args[0])
+		if err != nil {
+			return err
+		}
+		if !t.IsPtr() || dst != t {
+			return fail("gep %s -> %s", t, dst)
+		}
+		if in.Args[1] != NoValue {
+			ti, err := use(in.Args[1])
+			if err != nil {
+				return err
+			}
+			if !ti.IsInt() {
+				return fail("gep index %s", ti)
+			}
+			if in.Scale == 0 {
+				return fail("gep with index needs nonzero scale")
+			}
+		}
+	case OpLoad:
+		if err := needArgs(1); err != nil {
+			return err
+		}
+		t, err := use(in.Args[0])
+		if err != nil {
+			return err
+		}
+		if !t.IsPtr() {
+			return fail("load from %s", t)
+		}
+		if dst.Size() == 0 || dst == Bool {
+			return fail("load dst %s", dst)
+		}
+	case OpStore:
+		if err := needArgs(2); err != nil {
+			return err
+		}
+		t, err := use(in.Args[0])
+		if err != nil {
+			return err
+		}
+		if !t.IsPtr() {
+			return fail("store to %s", t)
+		}
+		tv, err := use(in.Args[1])
+		if err != nil {
+			return err
+		}
+		if tv.Size() == 0 || tv == Bool {
+			return fail("store value %s", tv)
+		}
+	case OpAlloca:
+		if blk.ID != 0 {
+			return fail("alloca outside entry block")
+		}
+		if in.Size == 0 {
+			return fail("zero-size alloca")
+		}
+		if dst != PtrLocal {
+			return fail("alloca dst %s", dst)
+		}
+	case OpShared:
+		if blk.ID != 0 {
+			return fail("shared outside entry block")
+		}
+		if in.Size == 0 {
+			return fail("zero-size shared buffer")
+		}
+		if dst != PtrShared {
+			return fail("shared dst %s", dst)
+		}
+	case OpMalloc:
+		if err := needArgs(1); err != nil {
+			return err
+		}
+		t, err := use(in.Args[0])
+		if err != nil {
+			return err
+		}
+		if !t.IsInt() || dst != PtrGlobal {
+			return fail("malloc(%s) -> %s", t, dst)
+		}
+	case OpFree, OpInvalidate:
+		if err := needArgs(1); err != nil {
+			return err
+		}
+		t, err := use(in.Args[0])
+		if err != nil {
+			return err
+		}
+		if !t.IsPtr() {
+			return fail("arg %s", t)
+		}
+	case OpAtomicAdd:
+		if err := needArgs(2); err != nil {
+			return err
+		}
+		t, err := use(in.Args[0])
+		if err != nil {
+			return err
+		}
+		if !t.IsPtr() {
+			return fail("atomic on %s", t)
+		}
+		tv, err := use(in.Args[1])
+		if err != nil {
+			return err
+		}
+		if tv != I32 || dst != I32 {
+			return fail("atomicadd supports i32 only")
+		}
+	case OpBarrier:
+		// no operands
+	case OpPtrToInt:
+		if err := needArgs(1); err != nil {
+			return err
+		}
+		t, err := use(in.Args[0])
+		if err != nil {
+			return err
+		}
+		if !t.IsPtr() || dst != I64 {
+			return fail("ptrtoint %s -> %s", t, dst)
+		}
+	case OpIntToPtr:
+		if err := needArgs(1); err != nil {
+			return err
+		}
+		t, err := use(in.Args[0])
+		if err != nil {
+			return err
+		}
+		if !t.IsInt() || !dst.IsPtr() {
+			return fail("inttoptr %s -> %s", t, dst)
+		}
+	case OpBr:
+		if !f.validBlock(in.Target) {
+			return fail("target b%d", in.Target)
+		}
+	case OpCondBr:
+		if err := needArgs(1); err != nil {
+			return err
+		}
+		t, err := use(in.Args[0])
+		if err != nil {
+			return err
+		}
+		if t != Bool {
+			return fail("cond %s", t)
+		}
+		if !f.validBlock(in.Then) || !f.validBlock(in.Else) || !f.validBlock(in.Join) {
+			return fail("blocks then=b%d else=b%d join=b%d", in.Then, in.Else, in.Join)
+		}
+	case OpRet:
+		// nothing
+	default:
+		return fail("unknown op")
+	}
+	return nil
+}
+
+func (f *Func) checkAllF32(in *Instr, dst Type, fail func(string, ...any) error, use func(Value) (Type, error)) error {
+	for _, a := range in.Args {
+		t, err := use(a)
+		if err != nil {
+			return err
+		}
+		if t != F32 {
+			return fail("operand %s", t)
+		}
+	}
+	if dst != F32 {
+		return fail("dst %s", dst)
+	}
+	return nil
+}
+
+func (f *Func) validBlock(id BlockID) bool {
+	return id >= 0 && int(id) < len(f.Blocks)
+}

@@ -1,0 +1,145 @@
+package isa
+
+import "fmt"
+
+// Word is a 128-bit instruction microcode word.
+//
+// The layout models the format described for Volta-class GPUs (paper
+// §VI-B, citing Jia et al.): one 128-bit word holding the instruction
+// encoding, an 8-bit control-information field used by the static
+// scheduler, and a 14-bit reserved field between them. LMI repurposes two
+// reserved bits as hints for the OCU:
+//
+//	Lo[ 7: 0] opcode
+//	Lo[15: 8] destination register
+//	Lo[18:16] guard predicate register
+//	Lo[19]    guard negate
+//	Lo[20]    immediate form
+//	Lo[34:21] RESERVED (14 bits)
+//	            Lo[27] = S (Selection) hint — pointer operand index
+//	            Lo[28] = A (Activation) hint — OCU check required
+//	Lo[42:35] source register 0
+//	Lo[50:43] source register 1
+//	Lo[58:51] source register 2
+//	Lo[63:59] aux field (5 bits)
+//	Hi[31: 0] immediate
+//	Hi[55:32] branch target / barrier ID (24 bits)
+//	Hi[63:56] control information (8 bits)
+//
+// Bits 27 and 28 match the positions in the paper's Fig. 9. The remaining
+// twelve reserved bits must encode as zero, mirroring real hardware where
+// undefined encodings are rejected.
+type Word struct {
+	Lo, Hi uint64
+}
+
+// Bit positions of the LMI hint bits inside the reserved field (Fig. 9).
+const (
+	// HintBitS is the Selection bit: which operand holds the pointer.
+	HintBitS = 27
+	// HintBitA is the Activation bit: instruction needs a bounds check.
+	HintBitA = 28
+)
+
+const (
+	reservedLoBit = 21
+	reservedBits  = 14
+	reservedMask  = ((uint64(1) << reservedBits) - 1) << reservedLoBit // Lo[34:21]
+	hintMask      = (uint64(1) << HintBitS) | (uint64(1) << HintBitA)
+	maxTarget     = 1<<24 - 1
+	targetShift   = 32
+	ctlShift      = 56
+)
+
+// Encode packs the instruction into its microcode word.
+func Encode(in *Instr) (Word, error) {
+	if err := in.Validate(); err != nil {
+		return Word{}, err
+	}
+	if in.Target < 0 || in.Target > maxTarget {
+		return Word{}, fmt.Errorf("isa: %s: target %d exceeds 24-bit field", in.Op, in.Target)
+	}
+	var w Word
+	w.Lo = uint64(in.Op) |
+		uint64(in.Dst)<<8 |
+		uint64(in.Pred&7)<<16
+	if in.PredNeg {
+		w.Lo |= 1 << 19
+	}
+	if in.HasImm {
+		w.Lo |= 1 << 20
+	}
+	if in.Hint.S {
+		w.Lo |= 1 << HintBitS
+	}
+	if in.Hint.A {
+		w.Lo |= 1 << HintBitA
+	}
+	w.Lo |= uint64(in.Src[0])<<35 | uint64(in.Src[1])<<43 | uint64(in.Src[2])<<51
+	w.Lo |= uint64(in.Aux&0x1f) << 59
+	w.Hi = uint64(uint32(in.Imm)) |
+		uint64(uint32(in.Target)&maxTarget)<<targetShift |
+		uint64(in.Ctl)<<ctlShift
+	return w, nil
+}
+
+// Decode unpacks a microcode word. It rejects words whose reserved bits
+// (other than the two LMI hints) are set, and validates the result.
+func Decode(w Word) (Instr, error) {
+	if w.Lo&reservedMask&^hintMask != 0 {
+		return Instr{}, fmt.Errorf("isa: reserved microcode bits set: %#x", w.Lo&reservedMask&^hintMask)
+	}
+	in := Instr{
+		Op:      Opcode(w.Lo & 0xff),
+		Dst:     Reg(w.Lo >> 8 & 0xff),
+		Pred:    PredReg(w.Lo >> 16 & 7),
+		PredNeg: w.Lo>>19&1 == 1,
+		HasImm:  w.Lo>>20&1 == 1,
+		Hint: Hint{
+			S: w.Lo>>HintBitS&1 == 1,
+			A: w.Lo>>HintBitA&1 == 1,
+		},
+		Src: [3]Reg{
+			Reg(w.Lo >> 35 & 0xff),
+			Reg(w.Lo >> 43 & 0xff),
+			Reg(w.Lo >> 51 & 0xff),
+		},
+		Aux:    uint8(w.Lo >> 59 & 0x1f),
+		Imm:    int32(uint32(w.Hi)),
+		Target: int32(w.Hi >> targetShift & maxTarget),
+		Ctl:    uint8(w.Hi >> ctlShift),
+	}
+	if err := in.Validate(); err != nil {
+		return Instr{}, err
+	}
+	return in, nil
+}
+
+// EncodeProgram encodes every instruction of a program.
+func EncodeProgram(p *Program) ([]Word, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	words := make([]Word, len(p.Instrs))
+	for i := range p.Instrs {
+		w, err := Encode(&p.Instrs[i])
+		if err != nil {
+			return nil, fmt.Errorf("isa: %s[%d]: %w", p.Name, i, err)
+		}
+		words[i] = w
+	}
+	return words, nil
+}
+
+// DecodeProgram decodes a word sequence back into instructions.
+func DecodeProgram(words []Word) ([]Instr, error) {
+	instrs := make([]Instr, len(words))
+	for i, w := range words {
+		in, err := Decode(w)
+		if err != nil {
+			return nil, fmt.Errorf("isa: word %d: %w", i, err)
+		}
+		instrs[i] = in
+	}
+	return instrs, nil
+}

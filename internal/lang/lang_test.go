@@ -1,0 +1,328 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"lmi/internal/gpu"
+)
+
+const saxpySrc = `
+// y = 2x + y, one element per thread
+kernel saxpy(X ptr f32, Y ptr f32, n i32) {
+    var i i32 = ctaid.x * ntid.x + tid.x;
+    if i < n {
+        store Y[i] = 2.0 * X[i] + Y[i];
+    }
+}
+`
+
+func TestSaxpyEndToEnd(t *testing.T) {
+	fns, err := LowerSource(saxpySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fns) != 1 || fns[0].Name != "saxpy" {
+		t.Fatalf("kernels: %v", fns)
+	}
+	ctx, err := gpu.NewLMIContext(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := ctx.Compile(fns[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Program().CountHinted() == 0 {
+		t.Error("no hinted pointer ops from DSL kernel")
+	}
+	const n = 200
+	x, _ := gpu.Alloc[float32](ctx, n)
+	y, _ := gpu.Alloc[float32](ctx, n)
+	hx := make([]float32, n)
+	hy := make([]float32, n)
+	for i := range hx {
+		hx[i] = float32(i)
+		hy[i] = 1
+	}
+	x.CopyIn(hx)
+	y.CopyIn(hy)
+	if _, err := ctx.Launch(k, gpu.Dim(7), gpu.Dim(32), x, y, gpu.I32(n)); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := y.CopyOut()
+	for i := range out {
+		if out[i] != float32(2*i)+1 {
+			t.Fatalf("y[%d] = %v", i, out[i])
+		}
+	}
+}
+
+const reduceSrc = `
+kernel reduce(in ptr i32, out ptr i32, n i32) {
+    shared sh i32[64];
+    var acc i32 = 0;
+    var i i32 = ctaid.x * ntid.x + tid.x;
+    var stride i32 = ntid.x * nctaid.x;
+    while i < n {
+        acc = acc + in[i];
+        i = i + stride;
+    }
+    store sh[tid.x] = acc;
+    barrier;
+    var s i32 = 32;
+    while s > 0 {
+        if tid.x < s {
+            store sh[tid.x] = sh[tid.x] + sh[tid.x + s];
+        }
+        barrier;
+        s = s >> 1;
+    }
+    if tid.x == 0 {
+        atomicadd(out[0], sh[0]);
+    }
+}
+`
+
+func TestReduceEndToEnd(t *testing.T) {
+	fns, err := LowerSource(reduceSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, _ := gpu.NewLMIContext(1)
+	k, err := ctx.Compile(fns[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000
+	in, _ := gpu.Alloc[int32](ctx, n)
+	out, _ := gpu.Alloc[int32](ctx, 16)
+	host := make([]int32, n)
+	var want int32
+	for i := range host {
+		host[i] = int32(i%97 - 40)
+		want += host[i]
+	}
+	in.CopyIn(host)
+	if _, err := ctx.Launch(k, gpu.Dim(4), gpu.Dim(64), in, out, gpu.I32(n)); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := out.CopyOut()
+	if res[0] != want {
+		t.Fatalf("sum = %d, want %d", res[0], want)
+	}
+}
+
+const heapSrc = `
+kernel heapuse(out ptr i32) {
+    var gt i32 = ctaid.x * ntid.x + tid.x;
+    var p ptr i32 = malloc(256);
+    for j in 0..8 {
+        store p[j] = gt * j;
+    }
+    var sum i32 = 0;
+    for j in 0..8 {
+        sum = sum + p[j];
+    }
+    free(p);
+    store out[gt] = sum;
+}
+`
+
+func TestHeapAndForLoop(t *testing.T) {
+	fns, err := LowerSource(heapSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, _ := gpu.NewLMIContext(1)
+	k, err := ctx.Compile(fns[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := gpu.Alloc[int32](ctx, 32)
+	if _, err := ctx.Launch(k, gpu.Dim(1), gpu.Dim(32), out); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := out.CopyOut()
+	for i, v := range res {
+		if v != int32(i*28) { // sum j=0..7 of i*j = 28i
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*28)
+		}
+	}
+}
+
+func TestBoolOperatorsAndLocal(t *testing.T) {
+	// local buffers + boolean operators + select.
+	src := `
+kernel bools(out ptr i32, n i32) {
+    local scratch i32[64];
+    var i i32 = tid.x;
+    store scratch[i] = i * 3;
+    var flag i32 = select((i > 2 && i < 6) || i == 0, 1, 0);
+    var neg i32 = select(!(i < n), 7, 9);
+    store out[i] = flag * 100 + neg + scratch[i];
+}
+`
+	fns, err := LowerSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, _ := gpu.NewLMIContext(1)
+	k, err := ctx.Compile(fns[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := gpu.Alloc[int32](ctx, 32)
+	if _, err := ctx.Launch(k, gpu.Dim(1), gpu.Dim(32), out, gpu.I32(8)); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := out.CopyOut()
+	for i, v := range res {
+		flag := int32(0)
+		if (i > 2 && i < 6) || i == 0 {
+			flag = 1
+		}
+		neg := int32(9)
+		if i >= 8 {
+			neg = 7
+		}
+		want := flag*100 + neg + int32(i*3)
+		if v != want {
+			t.Fatalf("out[%d] = %d, want %d", i, v, want)
+		}
+	}
+}
+
+const mathSrc = `
+kernel mathy(out ptr f32) {
+    var x f32 = sqrt(16.0) + rcp(4.0) + exp2(3.0) + log2(8.0) + sin(0.0);
+    var y f32 = fma(2.0, 3.0, i2f(f2i(1.5)));
+    var m i32 = max(min(9, 5), 2);
+    store out[tid.x] = x + y + i2f(m) - 0.0;
+}
+`
+
+func TestMathBuiltins(t *testing.T) {
+	fns, err := LowerSource(mathSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, _ := gpu.NewLMIContext(1)
+	k, err := ctx.Compile(fns[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := gpu.Alloc[float32](ctx, 32)
+	if _, err := ctx.Launch(k, gpu.Dim(1), gpu.Dim(1), out); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := out.CopyOut()
+	// 4 + 0.25 + 8 + 3 + 0 = 15.25; fma(2,3,1) = 7; max(min(9,5),2) = 5.
+	if res[0] != 15.25+7+5 {
+		t.Fatalf("mathy = %v", res[0])
+	}
+}
+
+func TestLanguageErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"no kernels", `  `, "no kernels"},
+		{"bad char", "kernel k() { @ }", "unexpected character"},
+		{"undefined var", `kernel k(o ptr i32) { store o[0] = zz; }`, "undefined"},
+		{"bad type", `kernel k(o ptr q32) { }`, "bad pointer element"},
+		{"redeclare", `kernel k() { var a i32 = 1; var a i32 = 2; }`, "redeclared"},
+		{"assign undeclared", `kernel k() { a = 1; }`, "undeclared"},
+		{"assign for var", `kernel k() { for i in 0..4 { i = 2; } }`, "not assignable"},
+		{"bool var", `kernel k() { var c i32 = 1 < 2; }`, "comparison in a variable"},
+		{"type mix", `kernel k() { var a i32 = 1; var b f32 = 2.0; var c i32 = a + b; }`, "+ on"},
+		{"store mismatch", `kernel k(o ptr f32) { var a i32 = 1; store o[0] = a; }`, "storing"},
+		{"unknown fn", `kernel k() { var a i32 = frob(1); }`, "unknown function"},
+		{"naked malloc", `kernel k() { var a i32 = malloc(4); }`, "declared pointer type"},
+		{"if non-bool", `kernel k() { var a i32 = 1; if a { } }`, "condition has type"},
+		{"expr stmt", `kernel k() { var a i32 = 1; a + 1; }`, "expression statement"},
+		{"for from 1", `kernel k() { for i in 1..4 { } }`, "start at 0"},
+		{"index non-ptr", `kernel k() { var a i32 = 1; var b i32 = a[0]; }`, "not a pointer"},
+		{"free int", `kernel k() { var a i32 = 1; free(a); }`, "non-pointer"},
+		{"atomic target", `kernel k(o ptr f32) { atomicadd(o[0], 1); }`, "i32 buffer"},
+	}
+	for _, tc := range cases {
+		_, err := LowerSource(tc.src)
+		if err == nil {
+			t.Errorf("%s: no error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestMultipleKernelsAndComments(t *testing.T) {
+	src := `
+// two kernels in one file
+kernel a(o ptr i32) { store o[0] = 1; } // trailing comment
+kernel b(o ptr i32) { store o[0] = 2; }
+`
+	fns, err := LowerSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fns) != 2 || fns[0].Name != "a" || fns[1].Name != "b" {
+		t.Fatalf("kernels: %v", fns)
+	}
+}
+
+// TestHistogramSharedAtomics runs the shared-memory histogram kernel
+// (privatised bins via ATOMS, merged via ATOMG) end to end.
+func TestHistogramSharedAtomics(t *testing.T) {
+	src := `
+kernel histogram(data ptr i32, bins ptr i32, n i32) {
+    shared priv i32[16];
+    if tid.x < 16 {
+        store priv[tid.x] = 0;
+    }
+    barrier;
+    var i i32 = ctaid.x * ntid.x + tid.x;
+    var stride i32 = ntid.x * nctaid.x;
+    while i < n {
+        atomicadd(priv[data[i] & 15], 1);
+        i = i + stride;
+    }
+    barrier;
+    if tid.x < 16 {
+        atomicadd(bins[tid.x], priv[tid.x]);
+    }
+}
+`
+	fns, err := LowerSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, _ := gpu.NewLMIContext(1)
+	k, err := ctx.Compile(fns[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 3000
+	host := make([]int32, n)
+	want := make([]int32, 16)
+	for i := range host {
+		host[i] = int32(i * 7)
+		want[host[i]&15]++
+	}
+	data, _ := gpu.Alloc[int32](ctx, n)
+	bins, _ := gpu.Alloc[int32](ctx, 16)
+	data.CopyIn(host)
+	if _, err := ctx.Launch(k, gpu.Dim(3), gpu.Dim(64), data, bins, gpu.I32(n)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := bins.CopyOut()
+	for b := range want {
+		if got[b] != want[b] {
+			t.Fatalf("bin %d = %d, want %d", b, got[b], want[b])
+		}
+	}
+}

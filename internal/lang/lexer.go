@@ -1,0 +1,148 @@
+// Package lang implements a small textual kernel language — the
+// source-level front door of the compiler pipeline, standing in for the
+// CUDA C++ the paper's toolchain consumes. A kernel written in the
+// language lowers onto the IR builder, runs through the LMI passes
+// (pointer-operand analysis, cast rejection, 2^n stack layout, hint
+// bits), and executes on the simulator.
+//
+// The language is deliberately explicit:
+//
+//	kernel saxpy(X ptr f32, Y ptr f32, n i32) {
+//	    var i i32 = ctaid.x * ntid.x + tid.x;
+//	    if i < n {
+//	        store Y[i] = 2.0 * X[i] + Y[i];
+//	    }
+//	}
+//
+// Pointers carry their element type, so A[i] is a typed load (and a
+// typed store target) with the scale the element implies — the
+// index-based access style GPU code favours (paper §IV-C). Stack and
+// shared buffers are declared with local/shared; device heap via
+// malloc/free; barrier and atomicadd are statements/intrinsics.
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokFloat
+	tokPunct // single/multi-char operators and delimiters
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+// lexer splits source text into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+	toks []token
+}
+
+var punct2 = []string{"<<", ">>", "<=", ">=", "==", "!=", "&&", "||", ".."}
+
+// lex tokenizes src.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1, col: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.advance(1)
+			l.line++
+			l.col = 1
+		case c == ' ' || c == '\t' || c == '\r':
+			l.advance(1)
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance(1)
+			}
+		case isIdentStart(rune(c)):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+				l.advance(1)
+			}
+			// Dotted builtins (tid.x, ctaid.y) lex as one identifier.
+			for l.pos+1 < len(l.src) && l.src[l.pos] == '.' && isIdentStart(rune(l.src[l.pos+1])) {
+				l.advance(1)
+				for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+					l.advance(1)
+				}
+			}
+			l.emit(tokIdent, l.src[start:l.pos])
+		case unicode.IsDigit(rune(c)):
+			start := l.pos
+			kind := tokInt
+			for l.pos < len(l.src) && (unicode.IsDigit(rune(l.src[l.pos])) ||
+				l.src[l.pos] == 'x' || l.src[l.pos] == 'X' ||
+				isHexDigit(l.src[l.pos])) {
+				l.advance(1)
+			}
+			// A '.' followed by a digit makes it a float (but ".." is a
+			// range).
+			if l.pos+1 < len(l.src) && l.src[l.pos] == '.' && unicode.IsDigit(rune(l.src[l.pos+1])) {
+				kind = tokFloat
+				l.advance(1)
+				for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+					l.advance(1)
+				}
+			}
+			l.emit(kind, l.src[start:l.pos])
+		default:
+			two := ""
+			if l.pos+1 < len(l.src) {
+				two = l.src[l.pos : l.pos+2]
+			}
+			matched := false
+			for _, p := range punct2 {
+				if two == p {
+					l.emit(tokPunct, p)
+					l.advance(2)
+					matched = true
+					break
+				}
+			}
+			if matched {
+				break
+			}
+			if strings.ContainsRune("(){}[]+-*/%<>=!&|^,;~", rune(c)) {
+				l.emit(tokPunct, string(c))
+				l.advance(1)
+				break
+			}
+			return nil, fmt.Errorf("lang: line %d:%d: unexpected character %q", l.line, l.col, c)
+		}
+	}
+	l.emit(tokEOF, "")
+	return l.toks, nil
+}
+
+func (l *lexer) advance(n int) {
+	l.pos += n
+	l.col += n
+}
+
+func (l *lexer) emit(kind tokKind, text string) {
+	l.toks = append(l.toks, token{kind: kind, text: text, line: l.line, col: l.col - len(text)})
+}
+
+func isIdentStart(c rune) bool { return unicode.IsLetter(c) || c == '_' }
+func isIdentPart(c rune) bool  { return unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' }
+func isHexDigit(c byte) bool {
+	return (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}

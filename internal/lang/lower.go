@@ -1,0 +1,598 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+
+	"lmi/internal/ir"
+	"lmi/internal/isa"
+)
+
+// valType is the language-level type of an expression.
+type valType struct {
+	base string // "i32" | "i64" | "f32" | "bool" | "ptr"
+	elem string // pointer element type
+}
+
+func (t valType) String() string {
+	if t.base == "ptr" {
+		return "ptr " + t.elem
+	}
+	return t.base
+}
+
+func (t valType) isInt() bool { return t.base == "i32" || t.base == "i64" }
+
+func elemSize(elem string) uint64 {
+	if elem == "i64" {
+		return 8
+	}
+	return 4
+}
+
+func irType(t valType) ir.Type {
+	switch t.base {
+	case "i32":
+		return ir.I32
+	case "i64":
+		return ir.I64
+	case "f32":
+		return ir.F32
+	case "ptr":
+		return ir.PtrGlobal
+	default:
+		return ir.Void
+	}
+}
+
+// sym is a named value in scope.
+type sym struct {
+	v       ir.Value
+	t       valType
+	mutable bool
+}
+
+type scope struct {
+	parent *scope
+	syms   map[string]*sym
+}
+
+func (s *scope) lookup(name string) *sym {
+	for c := s; c != nil; c = c.parent {
+		if v, ok := c.syms[name]; ok {
+			return v
+		}
+	}
+	return nil
+}
+
+func (s *scope) define(name string, v *sym) error {
+	if _, ok := s.syms[name]; ok {
+		return fmt.Errorf("lang: %q redeclared in this scope", name)
+	}
+	s.syms[name] = v
+	return nil
+}
+
+func child(s *scope) *scope { return &scope{parent: s, syms: map[string]*sym{}} }
+
+// builtins maps dotted names to special registers.
+var builtins = map[string]isa.SReg{
+	"tid.x": isa.SRTidX, "tid.y": isa.SRTidY,
+	"ctaid.x": isa.SRCtaidX, "ctaid.y": isa.SRCtaidY,
+	"ntid.x": isa.SRNtidX, "ntid.y": isa.SRNtidY,
+	"nctaid.x": isa.SRNctaidX, "nctaid.y": isa.SRNctaidY,
+	"laneid": isa.SRLaneID, "warpid": isa.SRWarpID,
+}
+
+// lowerer carries per-kernel lowering state.
+type lowerer struct {
+	b *ir.Builder
+}
+
+// Lower converts a parsed file into IR kernels.
+func Lower(f *File) ([]*ir.Func, error) {
+	var out []*ir.Func
+	for _, k := range f.Kernels {
+		fn, err := lowerKernel(k)
+		if err != nil {
+			return nil, fmt.Errorf("lang: kernel %s: %w", k.Name, err)
+		}
+		if err := ir.Verify(fn); err != nil {
+			return nil, fmt.Errorf("lang: kernel %s: %w", k.Name, err)
+		}
+		out = append(out, fn)
+	}
+	return out, nil
+}
+
+// LowerSource parses and lowers in one step.
+func LowerSource(src string) ([]*ir.Func, error) {
+	f, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Lower(f)
+}
+
+func lowerKernel(k *KernelDecl) (*ir.Func, error) {
+	lw := &lowerer{b: ir.NewBuilder(k.Name)}
+	sc := &scope{syms: map[string]*sym{}}
+	for _, p := range k.Params {
+		t := valType{base: p.Type.Base, elem: p.Type.Elem}
+		v := lw.b.Param(irType(t))
+		if err := sc.define(p.Name, &sym{v: v, t: t}); err != nil {
+			return nil, err
+		}
+	}
+	if err := lw.stmts(k.Body, sc); err != nil {
+		return nil, err
+	}
+	return lw.b.Finish()
+}
+
+func (lw *lowerer) stmts(list []Stmt, sc *scope) error {
+	for _, s := range list {
+		if err := lw.stmt(s, sc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (lw *lowerer) stmt(s Stmt, sc *scope) error {
+	b := lw.b
+	switch st := s.(type) {
+	case *VarDecl:
+		var want *valType
+		if st.Type != nil {
+			want = &valType{base: st.Type.Base, elem: st.Type.Elem}
+		}
+		v, t, err := lw.exprWant(st.Init, sc, want)
+		if err != nil {
+			return err
+		}
+		if t.base == "bool" {
+			return fmt.Errorf("lang: cannot store a comparison in a variable; use select(cond, a, b)")
+		}
+		return sc.define(st.Name, &sym{v: b.Var(v), t: t, mutable: true})
+	case *AssignStmt:
+		dst := sc.lookup(st.Name)
+		if dst == nil {
+			return fmt.Errorf("lang: assignment to undeclared %q", st.Name)
+		}
+		if !dst.mutable {
+			return fmt.Errorf("lang: %q is not assignable", st.Name)
+		}
+		v, t, err := lw.exprWant(st.Value, sc, &dst.t)
+		if err != nil {
+			return err
+		}
+		if t != dst.t {
+			return fmt.Errorf("lang: assigning %s to %s %q", t, dst.t, st.Name)
+		}
+		b.Assign(dst.v, v)
+		return nil
+	case *StoreStmt:
+		base := sc.lookup(st.Base)
+		if base == nil || base.t.base != "ptr" {
+			return fmt.Errorf("lang: store target %q is not a pointer", st.Base)
+		}
+		idx, it, err := lw.expr(st.Index, sc)
+		if err != nil {
+			return err
+		}
+		if !it.isInt() {
+			return fmt.Errorf("lang: index of %q has type %s", st.Base, it)
+		}
+		want := valType{base: base.t.elem}
+		v, vt, err := lw.exprWant(st.Value, sc, &want)
+		if err != nil {
+			return err
+		}
+		if vt.base != base.t.elem {
+			return fmt.Errorf("lang: storing %s into %s buffer %q", vt, base.t, st.Base)
+		}
+		b.Store(b.GEP(base.v, idx, elemSize(base.t.elem), 0), v, 0)
+		return nil
+	case *BufferDecl:
+		if st.Elem != "i32" && st.Elem != "i64" && st.Elem != "f32" {
+			return fmt.Errorf("lang: buffer %q has bad element type %q", st.Name, st.Elem)
+		}
+		size := uint64(st.Count) * elemSize(st.Elem)
+		var v ir.Value
+		if st.Shared {
+			v = b.Shared(size)
+		} else {
+			v = b.Alloca(size)
+		}
+		return sc.define(st.Name, &sym{v: v, t: valType{base: "ptr", elem: st.Elem}})
+	case *IfStmt:
+		cond, ct, err := lw.expr(st.Cond, sc)
+		if err != nil {
+			return err
+		}
+		if ct.base != "bool" {
+			return fmt.Errorf("lang: if condition has type %s", ct)
+		}
+		var bodyErr error
+		thenFn := func() {
+			if err := lw.stmts(st.Then, child(sc)); err != nil && bodyErr == nil {
+				bodyErr = err
+			}
+		}
+		var elseFn func()
+		if st.Else != nil {
+			elseFn = func() {
+				if err := lw.stmts(st.Else, child(sc)); err != nil && bodyErr == nil {
+					bodyErr = err
+				}
+			}
+		}
+		b.If(cond, thenFn, elseFn)
+		return bodyErr
+	case *WhileStmt:
+		var bodyErr error
+		b.While(func() ir.Value {
+			cond, ct, err := lw.expr(st.Cond, sc)
+			if err != nil || ct.base != "bool" {
+				if bodyErr == nil {
+					if err == nil {
+						err = fmt.Errorf("lang: while condition has type %s", ct)
+					}
+					bodyErr = err
+				}
+				// Provide a well-typed dummy so lowering can finish.
+				return b.ICmp(isa.CmpNE, b.ConstI(ir.I32, 0), b.ConstI(ir.I32, 0))
+			}
+			return cond
+		}, func() {
+			if err := lw.stmts(st.Body, child(sc)); err != nil && bodyErr == nil {
+				bodyErr = err
+			}
+		})
+		return bodyErr
+	case *ForStmt:
+		hi, ht, err := lw.expr(st.Hi, sc)
+		if err != nil {
+			return err
+		}
+		if ht.base != "i32" {
+			return fmt.Errorf("lang: for bound has type %s, want i32", ht)
+		}
+		var bodyErr error
+		b.For(hi, func(i ir.Value) {
+			inner := child(sc)
+			if err := inner.define(st.Var, &sym{v: i, t: valType{base: "i32"}}); err != nil {
+				bodyErr = err
+				return
+			}
+			if err := lw.stmts(st.Body, inner); err != nil && bodyErr == nil {
+				bodyErr = err
+			}
+		})
+		return bodyErr
+	case *BarrierStmt:
+		b.Barrier()
+		return nil
+	case *RetStmt:
+		b.Ret()
+		return nil
+	case *FreeStmt:
+		v, t, err := lw.expr(st.Ptr, sc)
+		if err != nil {
+			return err
+		}
+		if t.base != "ptr" {
+			return fmt.Errorf("lang: free of non-pointer %s", t)
+		}
+		b.Free(v)
+		return nil
+	case *ExprStmt:
+		call, ok := st.X.(*CallExpr)
+		if !ok || (call.Name != "atomicadd" && call.Name != "invalidate") {
+			return fmt.Errorf("lang: expression statement must be atomicadd(...) or invalidate(...)")
+		}
+		_, _, err := lw.expr(st.X, sc)
+		return err
+	default:
+		return fmt.Errorf("lang: unhandled statement %T", s)
+	}
+}
+
+// exprWant lowers with an optional expected type (used to type integer
+// literals and malloc results).
+func (lw *lowerer) exprWant(e Expr, sc *scope, want *valType) (ir.Value, valType, error) {
+	if n, ok := e.(*NumLit); ok && want != nil {
+		return lw.literal(n, *want)
+	}
+	if c, ok := e.(*CallExpr); ok && c.Name == "malloc" && want != nil && want.base == "ptr" {
+		if len(c.Args) != 1 {
+			return 0, valType{}, fmt.Errorf("lang: malloc takes one size argument")
+		}
+		szV, szT, err := lw.expr(c.Args[0], sc)
+		if err != nil {
+			return 0, valType{}, err
+		}
+		if !szT.isInt() {
+			return 0, valType{}, fmt.Errorf("lang: malloc size has type %s", szT)
+		}
+		return lw.b.Malloc(szV), *want, nil
+	}
+	return lw.expr(e, sc)
+}
+
+func (lw *lowerer) literal(n *NumLit, want valType) (ir.Value, valType, error) {
+	b := lw.b
+	if n.IsFloat || want.base == "f32" {
+		f, err := strconv.ParseFloat(n.Text, 32)
+		if err != nil {
+			return 0, valType{}, fmt.Errorf("lang: bad float literal %q", n.Text)
+		}
+		return b.ConstF(float32(f)), valType{base: "f32"}, nil
+	}
+	v, err := strconv.ParseInt(n.Text, 0, 64)
+	if err != nil {
+		return 0, valType{}, fmt.Errorf("lang: bad integer literal %q", n.Text)
+	}
+	t := want
+	if t.base != "i32" && t.base != "i64" {
+		t = valType{base: "i32"}
+	}
+	return b.ConstI(irType(t), v), t, nil
+}
+
+func (lw *lowerer) expr(e Expr, sc *scope) (ir.Value, valType, error) {
+	b := lw.b
+	switch x := e.(type) {
+	case *NumLit:
+		if x.IsFloat {
+			return lw.literal(x, valType{base: "f32"})
+		}
+		return lw.literal(x, valType{base: "i32"})
+	case *Ref:
+		if sr, ok := builtins[x.Name]; ok {
+			return b.Special(sr), valType{base: "i32"}, nil
+		}
+		s := sc.lookup(x.Name)
+		if s == nil {
+			return 0, valType{}, fmt.Errorf("lang: undefined %q", x.Name)
+		}
+		return s.v, s.t, nil
+	case *IndexExpr:
+		base := sc.lookup(x.Base)
+		if base == nil || base.t.base != "ptr" {
+			return 0, valType{}, fmt.Errorf("lang: %q is not a pointer", x.Base)
+		}
+		idx, it, err := lw.expr(x.Index, sc)
+		if err != nil {
+			return 0, valType{}, err
+		}
+		if !it.isInt() {
+			return 0, valType{}, fmt.Errorf("lang: index has type %s", it)
+		}
+		et := valType{base: base.t.elem}
+		v := b.Load(irType(et), b.GEP(base.v, idx, elemSize(base.t.elem), 0), 0)
+		return v, et, nil
+	case *UnaryExpr:
+		v, t, err := lw.expr(x.X, sc)
+		if err != nil {
+			return 0, valType{}, err
+		}
+		switch x.Op {
+		case "-":
+			switch {
+			case t.isInt():
+				return b.Sub(b.ConstI(irType(t), 0), v), t, nil
+			case t.base == "f32":
+				return b.FSub(b.ConstF(0), v), t, nil
+			}
+		case "!":
+			if t.base == "bool" {
+				return b.ICmp(isa.CmpEQ, lw.boolToInt(v), b.ConstI(ir.I32, 0)),
+					valType{base: "bool"}, nil
+			}
+		}
+		return 0, valType{}, fmt.Errorf("lang: unary %s on %s", x.Op, t)
+	case *BinExpr:
+		return lw.binExpr(x, sc)
+	case *CallExpr:
+		return lw.call(x, sc)
+	default:
+		return 0, valType{}, fmt.Errorf("lang: unhandled expression %T", e)
+	}
+}
+
+// boolToInt materialises a predicate as 0/1.
+func (lw *lowerer) boolToInt(v ir.Value) ir.Value {
+	b := lw.b
+	return b.Select(v, b.ConstI(ir.I32, 1), b.ConstI(ir.I32, 0))
+}
+
+var cmpOps = map[string]isa.CmpOp{
+	"<": isa.CmpLT, "<=": isa.CmpLE, ">": isa.CmpGT,
+	">=": isa.CmpGE, "==": isa.CmpEQ, "!=": isa.CmpNE,
+}
+
+func (lw *lowerer) binExpr(x *BinExpr, sc *scope) (ir.Value, valType, error) {
+	b := lw.b
+	av, at, err := lw.expr(x.A, sc)
+	if err != nil {
+		return 0, valType{}, err
+	}
+	// Integer literals on the right adopt the left operand's type
+	// (ptr arithmetic indexes with the literal as i32).
+	var bv ir.Value
+	var bt valType
+	if n, ok := x.B.(*NumLit); ok && !n.IsFloat && at.base != "ptr" {
+		bv, bt, err = lw.literal(n, at)
+	} else {
+		bv, bt, err = lw.expr(x.B, sc)
+	}
+	if err != nil {
+		return 0, valType{}, err
+	}
+
+	boolT := valType{base: "bool"}
+	switch {
+	case x.Op == "&&" || x.Op == "||":
+		if at.base != "bool" || bt.base != "bool" {
+			return 0, valType{}, fmt.Errorf("lang: %s on %s and %s", x.Op, at, bt)
+		}
+		ai, bi := lw.boolToInt(av), lw.boolToInt(bv)
+		if x.Op == "&&" {
+			return b.ICmp(isa.CmpNE, b.And(ai, bi), b.ConstI(ir.I32, 0)), boolT, nil
+		}
+		return b.ICmp(isa.CmpNE, b.Or(ai, bi), b.ConstI(ir.I32, 0)), boolT, nil
+	case cmpOps[x.Op] != 0 || x.Op == "<":
+		cmp := cmpOps[x.Op]
+		if at != bt {
+			return 0, valType{}, fmt.Errorf("lang: comparing %s with %s", at, bt)
+		}
+		switch {
+		case at.isInt():
+			return b.ICmp(cmp, av, bv), boolT, nil
+		case at.base == "f32":
+			return b.FCmp(cmp, av, bv), boolT, nil
+		}
+		return 0, valType{}, fmt.Errorf("lang: comparison on %s", at)
+	case at.base == "ptr" && (x.Op == "+" || x.Op == "-"):
+		if !bt.isInt() {
+			return 0, valType{}, fmt.Errorf("lang: pointer %s with %s", x.Op, bt)
+		}
+		idx := bv
+		if x.Op == "-" {
+			idx = b.Sub(b.ConstI(irType(bt), 0), bv)
+		}
+		return b.GEP(av, idx, elemSize(at.elem), 0), at, nil
+	case at.isInt() && at == bt:
+		ops := map[string]func(a, c ir.Value) ir.Value{
+			"+": b.Add, "-": b.Sub, "*": b.Mul,
+			"<<": b.Shl, ">>": b.Shr, "&": b.And, "|": b.Or, "^": b.Xor,
+		}
+		fn, ok := ops[x.Op]
+		if !ok {
+			return 0, valType{}, fmt.Errorf("lang: integer operator %q", x.Op)
+		}
+		return fn(av, bv), at, nil
+	case at.base == "f32" && bt.base == "f32":
+		switch x.Op {
+		case "+":
+			return b.FAdd(av, bv), at, nil
+		case "-":
+			return b.FSub(av, bv), at, nil
+		case "*":
+			return b.FMul(av, bv), at, nil
+		}
+		return 0, valType{}, fmt.Errorf("lang: float operator %q", x.Op)
+	default:
+		return 0, valType{}, fmt.Errorf("lang: %s on %s and %s", x.Op, at, bt)
+	}
+}
+
+func (lw *lowerer) call(x *CallExpr, sc *scope) (ir.Value, valType, error) {
+	b := lw.b
+	args := make([]ir.Value, len(x.Args))
+	types := make([]valType, len(x.Args))
+	// atomicadd's first argument is an address expression, handled
+	// specially below.
+	start := 0
+	if x.Name == "atomicadd" {
+		start = 1
+	}
+	for i := start; i < len(x.Args); i++ {
+		v, t, err := lw.expr(x.Args[i], sc)
+		if err != nil {
+			return 0, valType{}, err
+		}
+		args[i], types[i] = v, t
+	}
+	need := func(n int) error {
+		if len(x.Args) != n {
+			return fmt.Errorf("lang: %s takes %d arguments", x.Name, n)
+		}
+		return nil
+	}
+	f32T := valType{base: "f32"}
+	switch x.Name {
+	case "min", "max":
+		if err := need(2); err != nil {
+			return 0, valType{}, err
+		}
+		if !types[0].isInt() || types[0] != types[1] {
+			return 0, valType{}, fmt.Errorf("lang: %s on %s and %s", x.Name, types[0], types[1])
+		}
+		if x.Name == "min" {
+			return b.Min(args[0], args[1]), types[0], nil
+		}
+		return b.Max(args[0], args[1]), types[0], nil
+	case "fma":
+		if err := need(3); err != nil {
+			return 0, valType{}, err
+		}
+		return b.FFMA(args[0], args[1], args[2]), f32T, nil
+	case "sqrt", "rcp", "exp2", "log2", "sin":
+		if err := need(1); err != nil {
+			return 0, valType{}, err
+		}
+		fns := map[string]func(ir.Value) ir.Value{
+			"sqrt": b.FSqrt, "rcp": b.FRcp, "exp2": b.FExp2, "log2": b.FLog2, "sin": b.FSin,
+		}
+		return fns[x.Name](args[0]), f32T, nil
+	case "i2f":
+		if err := need(1); err != nil {
+			return 0, valType{}, err
+		}
+		return b.I2F(args[0]), f32T, nil
+	case "f2i":
+		if err := need(1); err != nil {
+			return 0, valType{}, err
+		}
+		return b.F2I(args[0]), valType{base: "i32"}, nil
+	case "select":
+		if err := need(3); err != nil {
+			return 0, valType{}, err
+		}
+		if types[0].base != "bool" || types[1] != types[2] {
+			return 0, valType{}, fmt.Errorf("lang: select(%s, %s, %s)", types[0], types[1], types[2])
+		}
+		return b.Select(args[0], args[1], args[2]), types[1], nil
+	case "malloc":
+		return 0, valType{}, fmt.Errorf("lang: malloc needs a declared pointer type: var p ptr i32 = malloc(n)")
+	case "invalidate":
+		if err := need(1); err != nil {
+			return 0, valType{}, err
+		}
+		if types[0].base != "ptr" {
+			return 0, valType{}, fmt.Errorf("lang: invalidate of %s", types[0])
+		}
+		b.Invalidate(args[0])
+		return b.ConstI(ir.I32, 0), valType{base: "i32"}, nil
+	case "atomicadd":
+		if err := need(2); err != nil {
+			return 0, valType{}, err
+		}
+		ie, ok := x.Args[0].(*IndexExpr)
+		if !ok {
+			return 0, valType{}, fmt.Errorf("lang: atomicadd target must be buf[idx]")
+		}
+		base := sc.lookup(ie.Base)
+		if base == nil || base.t.base != "ptr" || base.t.elem != "i32" {
+			return 0, valType{}, fmt.Errorf("lang: atomicadd target must be an i32 buffer")
+		}
+		idx, it, err := lw.expr(ie.Index, sc)
+		if err != nil {
+			return 0, valType{}, err
+		}
+		if !it.isInt() {
+			return 0, valType{}, fmt.Errorf("lang: atomicadd index has type %s", it)
+		}
+		if types[1].base != "i32" {
+			return 0, valType{}, fmt.Errorf("lang: atomicadd value has type %s", types[1])
+		}
+		old := b.AtomicAdd(b.GEP(base.v, idx, 4, 0), args[1], 0)
+		return old, valType{base: "i32"}, nil
+	default:
+		return 0, valType{}, fmt.Errorf("lang: unknown function %q", x.Name)
+	}
+}

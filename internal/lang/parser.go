@@ -1,0 +1,546 @@
+package lang
+
+import "fmt"
+
+// ---- AST ----
+
+// File is a parsed source file.
+type File struct {
+	Kernels []*KernelDecl
+}
+
+// KernelDecl is one kernel definition.
+type KernelDecl struct {
+	Name   string
+	Params []Param
+	Body   []Stmt
+}
+
+// Param is a kernel parameter.
+type Param struct {
+	Name string
+	Type TypeRef
+}
+
+// TypeRef names a type: i32, i64, f32, or ptr <elem>.
+type TypeRef struct {
+	Base string // "i32" | "i64" | "f32" | "ptr"
+	Elem string // element type for ptr: "i32" | "i64" | "f32"
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmt() }
+
+// VarDecl: var name [type] = expr;
+type VarDecl struct {
+	Name string
+	Type *TypeRef // optional; required for malloc initialisers
+	Init Expr
+}
+
+// AssignStmt: name = expr;
+type AssignStmt struct {
+	Name  string
+	Value Expr
+}
+
+// StoreStmt: store base[index] = value;
+type StoreStmt struct {
+	Base  string
+	Index Expr
+	Value Expr
+}
+
+// BufferDecl: shared name elem[count]; or local name elem[count];
+type BufferDecl struct {
+	Shared bool
+	Name   string
+	Elem   string
+	Count  int64
+}
+
+// IfStmt: if cond { } [else { }]
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// WhileStmt: while cond { }
+type WhileStmt struct {
+	Cond Expr
+	Body []Stmt
+}
+
+// ForStmt: for name in 0..hi { }
+type ForStmt struct {
+	Var  string
+	Hi   Expr
+	Body []Stmt
+}
+
+// BarrierStmt: barrier;
+type BarrierStmt struct{}
+
+// RetStmt: ret;
+type RetStmt struct{}
+
+// FreeStmt: free(expr);
+type FreeStmt struct{ Ptr Expr }
+
+// ExprStmt: expr; (intrinsic calls with side effects)
+type ExprStmt struct{ X Expr }
+
+func (*VarDecl) stmt()     {}
+func (*AssignStmt) stmt()  {}
+func (*StoreStmt) stmt()   {}
+func (*BufferDecl) stmt()  {}
+func (*IfStmt) stmt()      {}
+func (*WhileStmt) stmt()   {}
+func (*ForStmt) stmt()     {}
+func (*BarrierStmt) stmt() {}
+func (*RetStmt) stmt()     {}
+func (*FreeStmt) stmt()    {}
+func (*ExprStmt) stmt()    {}
+
+// Expr is an expression node.
+type Expr interface{ expr() }
+
+// NumLit is an integer or float literal.
+type NumLit struct {
+	Text    string
+	IsFloat bool
+}
+
+// Ref names a variable or builtin (tid.x, ctaid.y, ...).
+type Ref struct{ Name string }
+
+// IndexExpr: base[index] — a typed load in rvalue position.
+type IndexExpr struct {
+	Base  string
+	Index Expr
+}
+
+// UnaryExpr: -x or !x.
+type UnaryExpr struct {
+	Op string
+	X  Expr
+}
+
+// BinExpr: a op b.
+type BinExpr struct {
+	Op   string
+	A, B Expr
+}
+
+// CallExpr: name(args...).
+type CallExpr struct {
+	Name string
+	Args []Expr
+}
+
+func (*NumLit) expr()    {}
+func (*Ref) expr()       {}
+func (*IndexExpr) expr() {}
+func (*UnaryExpr) expr() {}
+func (*BinExpr) expr()   {}
+func (*CallExpr) expr()  {}
+
+// ---- Parser ----
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses a source file.
+func Parse(src string) (*File, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f := &File{}
+	for !p.at(tokEOF, "") {
+		k, err := p.kernel()
+		if err != nil {
+			return nil, err
+		}
+		f.Kernels = append(f.Kernels, k)
+	}
+	if len(f.Kernels) == 0 {
+		return nil, fmt.Errorf("lang: no kernels in source")
+	}
+	return f, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(text string) bool {
+	if p.cur().text == text && p.cur().kind != tokEOF {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		t := p.cur()
+		return fmt.Errorf("lang: line %d:%d: expected %q, found %q", t.line, t.col, text, t.text)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("lang: line %d:%d: expected identifier, found %q", t.line, t.col, t.text)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+func (p *parser) kernel() (*KernelDecl, error) {
+	if err := p.expect("kernel"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	k := &KernelDecl{Name: name}
+	for !p.accept(")") {
+		if len(k.Params) > 0 {
+			if err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+		pn, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		tr, err := p.typeRef()
+		if err != nil {
+			return nil, err
+		}
+		k.Params = append(k.Params, Param{Name: pn, Type: tr})
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	k.Body = body
+	return k, nil
+}
+
+func (p *parser) typeRef() (TypeRef, error) {
+	base, err := p.ident()
+	if err != nil {
+		return TypeRef{}, err
+	}
+	switch base {
+	case "i32", "i64", "f32":
+		return TypeRef{Base: base}, nil
+	case "ptr":
+		elem, err := p.ident()
+		if err != nil {
+			return TypeRef{}, err
+		}
+		if elem != "i32" && elem != "i64" && elem != "f32" {
+			return TypeRef{}, fmt.Errorf("lang: bad pointer element type %q", elem)
+		}
+		return TypeRef{Base: "ptr", Elem: elem}, nil
+	default:
+		return TypeRef{}, fmt.Errorf("lang: unknown type %q", base)
+	}
+}
+
+func (p *parser) block() ([]Stmt, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var out []Stmt
+	for !p.accept("}") {
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (p *parser) statement() (Stmt, error) {
+	t := p.cur()
+	switch t.text {
+	case "var":
+		p.pos++
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		var tr *TypeRef
+		if !p.at(tokPunct, "=") {
+			trv, err := p.typeRef()
+			if err != nil {
+				return nil, err
+			}
+			tr = &trv
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		init, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		return &VarDecl{Name: name, Type: tr, Init: init}, p.expect(";")
+	case "shared", "local":
+		p.pos++
+		shared := t.text == "shared"
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		elem, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("["); err != nil {
+			return nil, err
+		}
+		n := p.cur()
+		if n.kind != tokInt {
+			return nil, fmt.Errorf("lang: line %d: buffer size must be an integer literal", n.line)
+		}
+		p.pos++
+		var count int64
+		if _, err := fmt.Sscanf(n.text, "%v", &count); err != nil {
+			return nil, fmt.Errorf("lang: line %d: bad buffer size %q", n.line, n.text)
+		}
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		return &BufferDecl{Shared: shared, Name: name, Elem: elem, Count: count}, p.expect(";")
+	case "store":
+		p.pos++
+		base, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("["); err != nil {
+			return nil, err
+		}
+		idx, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		val, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		return &StoreStmt{Base: base, Index: idx, Value: val}, p.expect(";")
+	case "if":
+		p.pos++
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		if p.accept("else") {
+			els, err = p.block()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &IfStmt{Cond: cond, Then: then, Else: els}, nil
+	case "while":
+		p.pos++
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body}, nil
+	case "for":
+		p.pos++
+		v, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("in"); err != nil {
+			return nil, err
+		}
+		lo := p.cur()
+		if lo.kind != tokInt || lo.text != "0" {
+			return nil, fmt.Errorf("lang: line %d: for ranges start at 0", lo.line)
+		}
+		p.pos++
+		if err := p.expect(".."); err != nil {
+			return nil, err
+		}
+		hi, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &ForStmt{Var: v, Hi: hi, Body: body}, nil
+	case "barrier":
+		p.pos++
+		return &BarrierStmt{}, p.expect(";")
+	case "ret":
+		p.pos++
+		return &RetStmt{}, p.expect(";")
+	case "free":
+		p.pos++
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &FreeStmt{Ptr: e}, p.expect(";")
+	}
+	// Assignment or expression statement.
+	if t.kind == tokIdent && p.toks[p.pos+1].text == "=" && p.toks[p.pos+1].kind == tokPunct {
+		name, _ := p.ident()
+		p.pos++ // '='
+		val, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Name: name, Value: val}, p.expect(";")
+	}
+	e, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	return &ExprStmt{X: e}, p.expect(";")
+}
+
+// Precedence levels, lowest first.
+var precedence = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"<":  3, "<=": 3, ">": 3, ">=": 3, "==": 3, "!=": 3,
+	"|": 4, "^": 5, "&": 6,
+	"<<": 7, ">>": 7,
+	"+": 8, "-": 8,
+	"*": 9,
+}
+
+func (p *parser) expression() (Expr, error) { return p.binary(1) }
+
+func (p *parser) binary(minPrec int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.cur().text
+		prec, ok := precedence[op]
+		if !ok || prec < minPrec || p.cur().kind != tokPunct {
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.binary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinExpr{Op: op, A: lhs, B: rhs}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	switch p.cur().text {
+	case "-", "!":
+		op := p.next().text
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: op, X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.text == "(":
+		p.pos++
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expect(")")
+	case t.kind == tokInt:
+		p.pos++
+		return &NumLit{Text: t.text}, nil
+	case t.kind == tokFloat:
+		p.pos++
+		return &NumLit{Text: t.text, IsFloat: true}, nil
+	case t.kind == tokIdent:
+		p.pos++
+		name := t.text
+		if p.accept("(") {
+			call := &CallExpr{Name: name}
+			for !p.accept(")") {
+				if len(call.Args) > 0 {
+					if err := p.expect(","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.expression()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+			}
+			return call, nil
+		}
+		if p.accept("[") {
+			idx, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Base: name, Index: idx}, nil
+		}
+		return &Ref{Name: name}, nil
+	default:
+		return nil, fmt.Errorf("lang: line %d:%d: unexpected token %q", t.line, t.col, t.text)
+	}
+}

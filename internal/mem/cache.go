@@ -1,0 +1,203 @@
+package mem
+
+import "fmt"
+
+// Cache is a set-associative cache timing model with LRU replacement. It
+// tracks tags only — data lives in the functional AddrSpace — so an access
+// answers "hit or miss" and the caller composes latencies.
+type Cache struct {
+	name     string
+	lineSize uint64
+	numSets  uint64
+	assoc    int
+
+	// Latency is the hit latency in cycles.
+	Latency uint64
+
+	sets []cacheSet
+	tick uint64
+
+	stats CacheStats
+}
+
+type cacheSet struct {
+	lines []cacheLine
+}
+
+type cacheLine struct {
+	tag     uint64
+	valid   bool
+	lastUse uint64
+}
+
+// CacheStats counts cache activity.
+type CacheStats struct {
+	Accesses uint64
+	Hits     uint64
+	Misses   uint64
+}
+
+// HitRate returns the fraction of accesses that hit.
+func (s CacheStats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// NewCache builds a cache of the given total size, associativity, line
+// size, and hit latency. Size must be divisible by assoc*lineSize.
+func NewCache(name string, size uint64, assoc int, lineSize uint64, latency uint64) (*Cache, error) {
+	if lineSize == 0 || lineSize&(lineSize-1) != 0 {
+		return nil, fmt.Errorf("mem: %s: line size %d not a power of two", name, lineSize)
+	}
+	if assoc <= 0 {
+		return nil, fmt.Errorf("mem: %s: associativity %d", name, assoc)
+	}
+	numSets := size / (uint64(assoc) * lineSize)
+	if numSets == 0 || size%(uint64(assoc)*lineSize) != 0 {
+		return nil, fmt.Errorf("mem: %s: size %d not divisible into %d-way sets of %d-byte lines",
+			name, size, assoc, lineSize)
+	}
+	c := &Cache{
+		name:     name,
+		lineSize: lineSize,
+		numSets:  numSets,
+		assoc:    assoc,
+		Latency:  latency,
+		sets:     make([]cacheSet, numSets),
+	}
+	for i := range c.sets {
+		c.sets[i].lines = make([]cacheLine, assoc)
+	}
+	return c, nil
+}
+
+// MustCache is NewCache that panics on configuration error; used for
+// static configurations.
+func MustCache(name string, size uint64, assoc int, lineSize uint64, latency uint64) *Cache {
+	c, err := NewCache(name, size, assoc, lineSize, latency)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// LineSize returns the cache line size in bytes.
+func (c *Cache) LineSize() uint64 { return c.lineSize }
+
+// setIndex hashes a line address onto a set. GPUs (and modern CPUs) hash
+// set indices so that power-of-two strides — which LMI's size-aligned
+// buffers naturally produce — do not concentrate on a subset of sets.
+func (c *Cache) setIndex(lineAddr uint64) uint64 {
+	h := lineAddr ^ lineAddr>>7 ^ lineAddr>>13 ^ lineAddr>>19
+	return h % c.numSets
+}
+
+// Access looks up the line containing addr, allocating it on miss, and
+// reports whether it hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.tick++
+	c.stats.Accesses++
+	lineAddr := addr / c.lineSize
+	set := &c.sets[c.setIndex(lineAddr)]
+	tag := lineAddr
+	victim := 0
+	for i := range set.lines {
+		l := &set.lines[i]
+		if l.valid && l.tag == tag {
+			l.lastUse = c.tick
+			c.stats.Hits++
+			return true
+		}
+		if !l.valid {
+			victim = i
+		} else if set.lines[victim].valid && l.lastUse < set.lines[victim].lastUse {
+			victim = i
+		}
+	}
+	c.stats.Misses++
+	set.lines[victim] = cacheLine{tag: tag, valid: true, lastUse: c.tick}
+	return false
+}
+
+// Probe reports whether addr's line is present without touching LRU state
+// or statistics.
+func (c *Cache) Probe(addr uint64) bool {
+	lineAddr := addr / c.lineSize
+	set := &c.sets[c.setIndex(lineAddr)]
+	tag := lineAddr
+	for i := range set.lines {
+		if set.lines[i].valid && set.lines[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns a snapshot of cache statistics.
+func (c *Cache) Stats() CacheStats { return c.stats }
+
+// Reset invalidates all lines and zeroes statistics.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		for j := range c.sets[i].lines {
+			c.sets[i].lines[j] = cacheLine{}
+		}
+	}
+	c.stats = CacheStats{}
+	c.tick = 0
+}
+
+// DRAM models main-memory timing: a fixed access latency plus a
+// bandwidth limiter. Each line fill occupies the device for
+// lineSize/BytesPerCycle cycles; requests arriving while the device is
+// busy queue behind it, so bandwidth-bound phases see growing effective
+// latency, reproducing the roofline behaviour the paper leans on
+// (§IV-B1).
+type DRAM struct {
+	// Latency is the unloaded access latency in cycles.
+	Latency uint64
+	// BytesPerCycle is the sustained fill bandwidth.
+	BytesPerCycle uint64
+
+	nextFree uint64
+	stats    DRAMStats
+}
+
+// DRAMStats counts DRAM activity.
+type DRAMStats struct {
+	Accesses   uint64
+	BusyCycles uint64
+}
+
+// NewDRAM builds a DRAM model.
+func NewDRAM(latency, bytesPerCycle uint64) *DRAM {
+	if bytesPerCycle == 0 {
+		bytesPerCycle = 1
+	}
+	return &DRAM{Latency: latency, BytesPerCycle: bytesPerCycle}
+}
+
+// Access returns the completion latency (relative to now) of a size-byte
+// fill issued at cycle now, accounting for queueing behind earlier fills.
+func (d *DRAM) Access(now uint64, size uint64) uint64 {
+	d.stats.Accesses++
+	occupancy := size / d.BytesPerCycle
+	if occupancy == 0 {
+		occupancy = 1
+	}
+	start := now
+	if d.nextFree > start {
+		start = d.nextFree
+	}
+	d.nextFree = start + occupancy
+	d.stats.BusyCycles += occupancy
+	return (start - now) + occupancy + d.Latency
+}
+
+// Stats returns a snapshot of DRAM statistics.
+func (d *DRAM) Stats() DRAMStats { return d.stats }
+
+// Reset clears timing state and statistics.
+func (d *DRAM) Reset() { d.nextFree = 0; d.stats = DRAMStats{} }

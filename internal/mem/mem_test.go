@@ -1,0 +1,180 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrSpaceReadWrite(t *testing.T) {
+	m := NewAddrSpace()
+	if m.Read(0x1000, 8) != 0 {
+		t.Error("unmapped memory must read zero")
+	}
+	m.Write(0x1000, 0xdeadbeefcafe, 8)
+	if got := m.Read(0x1000, 8); got != 0xdeadbeefcafe {
+		t.Errorf("read back %#x", got)
+	}
+	if got := m.Read(0x1000, 4); got != 0xbeefcafe {
+		t.Errorf("4-byte read %#x", got)
+	}
+	if got := m.Read(0x1004, 2); got != 0xdead {
+		t.Errorf("2-byte read %#x", got)
+	}
+	m.Write(0x1002, 0xff, 1)
+	if got := m.Read(0x1002, 1); got != 0xff {
+		t.Errorf("1-byte read %#x", got)
+	}
+}
+
+func TestAddrSpaceCrossPage(t *testing.T) {
+	m := NewAddrSpace()
+	addr := uint64(pageSize - 3) // straddles page boundary
+	m.Write(addr, 0x1122334455667788, 8)
+	if got := m.Read(addr, 8); got != 0x1122334455667788 {
+		t.Errorf("cross-page read %#x", got)
+	}
+	if m.Pages() != 2 {
+		t.Errorf("pages = %d, want 2", m.Pages())
+	}
+	data := []byte("hello, gpu memory world, crossing pages")
+	m.WriteBytes(2*pageSize-10, data)
+	if got := m.ReadBytes(2*pageSize-10, len(data)); !bytes.Equal(got, data) {
+		t.Errorf("ReadBytes = %q", got)
+	}
+}
+
+// Property: write-then-read returns the written value for all sizes and
+// addresses (value truncated to the access size).
+func TestPropertyAddrSpaceRoundTrip(t *testing.T) {
+	m := NewAddrSpace()
+	f := func(addr uint64, val uint64, szSel uint8) bool {
+		size := []int{1, 2, 4, 8}[szSel%4]
+		addr %= 1 << 30
+		m.Write(addr, val, size)
+		mask := ^uint64(0)
+		if size < 8 {
+			mask = (uint64(1) << (8 * size)) - 1
+		}
+		return m.Read(addr, size) == val&mask
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCacheBasic(t *testing.T) {
+	c, err := NewCache("l1", 1024, 2, 64, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.LineSize() != 64 {
+		t.Error("line size")
+	}
+	if c.Access(0x100) {
+		t.Error("cold access hit")
+	}
+	if !c.Access(0x100) || !c.Access(0x13f) {
+		t.Error("warm same-line access missed")
+	}
+	if c.Access(0x140) {
+		t.Error("adjacent line hit when cold")
+	}
+	s := c.Stats()
+	if s.Accesses != 4 || s.Hits != 2 || s.Misses != 2 {
+		t.Errorf("stats %+v", s)
+	}
+	if s.HitRate() != 0.5 {
+		t.Errorf("hit rate %v", s.HitRate())
+	}
+	if !c.Probe(0x100) || c.Probe(0x100000) {
+		t.Error("probe wrong")
+	}
+	c.Reset()
+	if c.Stats().Accesses != 0 || c.Probe(0x100) {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2-way, 1 set of 64-byte lines: size = 128.
+	c := MustCache("tiny", 128, 2, 64, 1)
+	c.Access(0x000) // A
+	c.Access(0x040) // B
+	c.Access(0x000) // A again: A is MRU
+	c.Access(0x080) // C: evicts B (LRU)
+	if !c.Probe(0x000) {
+		t.Error("A evicted, expected B")
+	}
+	if c.Probe(0x040) {
+		t.Error("B survived, expected eviction")
+	}
+	if !c.Probe(0x080) {
+		t.Error("C not resident")
+	}
+}
+
+func TestCacheConfigErrors(t *testing.T) {
+	if _, err := NewCache("x", 100, 2, 48, 1); err == nil {
+		t.Error("non-power-of-two line accepted")
+	}
+	if _, err := NewCache("x", 100, 0, 64, 1); err == nil {
+		t.Error("zero associativity accepted")
+	}
+	if _, err := NewCache("x", 100, 2, 64, 1); err == nil {
+		t.Error("indivisible size accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCache should panic on bad config")
+		}
+	}()
+	MustCache("x", 100, 2, 48, 1)
+}
+
+func TestDRAMQueueing(t *testing.T) {
+	d := NewDRAM(300, 32)
+	// First 128-byte fill: 4 cycles occupancy + 300 latency.
+	if got := d.Access(0, 128); got != 304 {
+		t.Errorf("first access latency %d", got)
+	}
+	// Second fill issued same cycle queues behind the first.
+	if got := d.Access(0, 128); got != 308 {
+		t.Errorf("queued access latency %d", got)
+	}
+	// An access issued after the device drained sees no queueing.
+	if got := d.Access(100, 128); got != 304 {
+		t.Errorf("drained access latency %d", got)
+	}
+	s := d.Stats()
+	if s.Accesses != 3 || s.BusyCycles != 12 {
+		t.Errorf("stats %+v", s)
+	}
+	d.Reset()
+	if d.Stats().Accesses != 0 {
+		t.Error("reset incomplete")
+	}
+	// Zero bandwidth is clamped.
+	d2 := NewDRAM(10, 0)
+	if got := d2.Access(0, 16); got < 10 {
+		t.Errorf("clamped bandwidth latency %d", got)
+	}
+}
+
+// Property: cache contains at most size/lineSize distinct lines, and a
+// just-accessed line always probes resident.
+func TestPropertyCacheResidency(t *testing.T) {
+	c := MustCache("p", 4096, 4, 128, 1)
+	f := func(addrs []uint32) bool {
+		for _, a := range addrs {
+			c.Access(uint64(a))
+			if !c.Probe(uint64(a)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

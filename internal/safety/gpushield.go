@@ -1,0 +1,197 @@
+package safety
+
+import (
+	"fmt"
+	"sync"
+
+	"lmi/internal/alloc"
+	"lmi/internal/core"
+	"lmi/internal/isa"
+	"lmi/internal/mem"
+	"lmi/internal/sim"
+)
+
+// GPUShield pointer-tag geometry: an 11-bit buffer ID in bits [58:48] of
+// global-buffer pointers (GPUShield stores tags "in unused upper bits in
+// pointers ... for buffers passed through kernel arguments").
+const (
+	shieldIDShift  = 48
+	shieldIDMask   = uint64(0x7FF) << shieldIDShift
+	shieldAddrMask = uint64(1)<<shieldIDShift - 1
+)
+
+// GPUShield models the region-based hardware bounds-checking baseline
+// (Lee et al., ISCA 2022; paper §II-D, §IV-D, §X-A):
+//
+//   - global buffers allocated through cudaMalloc get a buffer ID in the
+//     pointer's upper bits and an entry in a per-kernel bounds table;
+//   - every global access looks its bounds entry up through a small
+//     per-SM RCache; an RCache miss fetches the entry from memory. The
+//     RCache's reach is far below the L1 data cache's, so uncoalesced
+//     workloads whose lines hit in the 96 KB L1 still miss in the RCache —
+//     the effect behind GPUShield's needle/LSTM outliers (§XI-A);
+//   - heap and local (stack) memory are protected as single regions
+//     (§IV-D): overflows within the region go undetected, only accesses
+//     leaving the region fault;
+//   - shared memory and temporal safety are unprotected.
+//
+// Programs run under GPUShield are compiled with compiler.ModeBase; the
+// mechanism needs no hint bits.
+type GPUShield struct {
+	// RCacheEntries is the per-SM RCache capacity in bounds entries
+	// (ID-indexed, fully associative).
+	RCacheEntries int
+	// MissPenalty is the bounds-table memory-fetch latency on an RCache
+	// miss.
+	MissPenalty uint64
+	// TxLookupCost is the serialization cost of one extra bounds lookup:
+	// the RCache is a shared per-SM structure, so each additional
+	// (uncoalesced) memory transaction queues a lookup behind the
+	// previous one. Coalesced transactions share one lookup; 32-way
+	// uncoalesced operations pay ~31 of these, which is the
+	// microarchitectural effect behind GPUShield's needle/LSTM outliers
+	// ("L1 D$ hits and L1 R$ misses frequently for uncoalesced memory
+	// operations", §XI-A).
+	TxLookupCost uint64
+
+	mu      sync.Mutex
+	nextID  uint64
+	bounds  map[uint64][2]uint64 // id -> [base, limit)
+	rcaches map[int]*mem.Cache
+
+	// Stats counts RCache behaviour across SMs.
+	Stats struct {
+		Lookups, Misses uint64
+	}
+}
+
+// NewGPUShield builds the baseline with its default geometry: a 64-entry
+// ID-indexed RCache per SM, a 200-cycle bounds-table fetch on a miss, and
+// a 12-cycle serialization cost per extra uncoalesced lookup.
+func NewGPUShield() *GPUShield {
+	return &GPUShield{
+		RCacheEntries: 64,
+		MissPenalty:   200,
+		TxLookupCost:  16,
+		bounds:        make(map[uint64][2]uint64),
+		rcaches:       make(map[int]*mem.Cache),
+	}
+}
+
+// Name implements sim.Mechanism.
+func (g *GPUShield) Name() string { return "gpushield" }
+
+// AllocPolicy implements sim.Mechanism: stock allocation.
+func (g *GPUShield) AllocPolicy() alloc.Policy { return alloc.PolicyBase }
+
+// TagAlloc implements sim.Mechanism: global buffers get an ID and a
+// bounds-table entry; heap buffers stay untagged (region-based).
+func (g *GPUShield) TagAlloc(b alloc.Block, space isa.Space) uint64 {
+	if space != isa.SpaceGlobal {
+		return b.Addr
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.nextID++
+	id := g.nextID & 0x7FF
+	if id == 0 {
+		id = 1
+	}
+	g.bounds[id] = [2]uint64{b.Addr, b.Addr + b.Reserved}
+	return b.Addr | id<<shieldIDShift
+}
+
+// UntagFree implements sim.Mechanism. The bounds entry is deliberately
+// NOT invalidated: GPUShield "does not support temporal safety" (§II-D),
+// so a stale pointer still passes its per-buffer check after the free.
+func (g *GPUShield) UntagFree(val uint64, space isa.Space) uint64 {
+	if space != isa.SpaceGlobal {
+		return val
+	}
+	return val & shieldAddrMask
+}
+
+// Canonical implements sim.Mechanism: strip the buffer-ID bits.
+func (g *GPUShield) Canonical(val uint64) uint64 { return val & shieldAddrMask }
+
+// CheckPointerOp implements sim.Mechanism: GPUShield does not verify
+// pointer arithmetic.
+func (g *GPUShield) CheckPointerOp(_, out uint64) (uint64, uint64) { return out, 0 }
+
+// rcache returns the SM's bounds cache: ID-indexed, modelled as a
+// fully-associative cache whose "addresses" are buffer IDs.
+func (g *GPUShield) rcache(smID int) *mem.Cache {
+	rc := g.rcaches[smID]
+	if rc == nil {
+		rc = mem.MustCache(fmt.Sprintf("rcache%d", smID),
+			uint64(g.RCacheEntries), g.RCacheEntries, 1, 0)
+		g.rcaches[smID] = rc
+	}
+	return rc
+}
+
+// CheckAccess implements sim.Mechanism.
+func (g *GPUShield) CheckAccess(a sim.Access) (uint64, uint64, *core.Fault) {
+	switch a.Space {
+	case isa.SpaceGlobal:
+		id := (a.Ptr & shieldIDMask) >> shieldIDShift
+		eff := a.Ptr & shieldAddrMask
+		if id == 0 {
+			// Untagged pointer (e.g. device heap): region-based check
+			// over the combined global/heap arenas.
+			if !inRegion(eff, alloc.GlobalBase, alloc.GlobalLimit) &&
+				!inRegion(eff, alloc.HeapBase, alloc.HeapLimit) {
+				return eff, 0, core.NewFault(core.FaultSpatial, core.Pointer(a.Ptr), eff,
+					"gpushield: access outside heap/global region")
+			}
+			return eff, 0, nil
+		}
+		g.mu.Lock()
+		bd, ok := g.bounds[id]
+		extra := uint64(0)
+		// One bounds lookup per memory transaction: lanes coalesced into
+		// the previous lane's line share its lookup. Extra transactions
+		// serialize at the shared RCache port; a capacity miss fetches
+		// the bounds entry from memory.
+		if !a.Coalesced {
+			rc := g.rcache(a.SM)
+			g.Stats.Lookups++
+			extra = g.TxLookupCost
+			if !rc.Access(id) {
+				g.Stats.Misses++
+				extra += g.MissPenalty
+			}
+		}
+		g.mu.Unlock()
+		if !ok {
+			return eff, extra, core.NewFault(core.FaultSpatial, core.Pointer(a.Ptr), eff,
+				"gpushield: stale buffer ID")
+		}
+		if eff < bd[0] || eff+a.Size > bd[1] {
+			return eff, extra, core.NewFault(core.FaultSpatial, core.Pointer(a.Ptr), eff,
+				"gpushield: per-buffer bounds violation")
+		}
+		return eff, extra, nil
+	case isa.SpaceLocal:
+		// Region-based stack protection: the access must stay within the
+		// per-thread local window.
+		if a.Ptr >= alloc.StackTop {
+			return a.Ptr, 0, core.NewFault(core.FaultSpatial, core.Pointer(a.Ptr), a.Ptr,
+				"gpushield: access outside local region")
+		}
+		return a.Ptr, 0, nil
+	default:
+		return a.Ptr, 0, nil
+	}
+}
+
+func inRegion(addr, lo, hi uint64) bool { return addr >= lo && addr < hi }
+
+// Reset implements sim.Mechanism: clear per-kernel RCache state.
+func (g *GPUShield) Reset() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, rc := range g.rcaches {
+		rc.Reset()
+	}
+}

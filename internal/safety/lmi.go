@@ -1,0 +1,117 @@
+// Package safety implements the memory-safety mechanisms evaluated in the
+// paper as sim.Mechanism plug-ins: LMI itself (§IV–§VIII), the
+// hardware baseline GPUShield (region-based bounds checking with a
+// per-SM RCache), and software Baggy Bounds (which shares LMI's aligned
+// allocation but performs its checks with injected instructions).
+//
+// Detection-only models used exclusively by the Table III security suite
+// (GMOD's canary, cuCatch's shadow tags) live in internal/sectest, since
+// they are scored against scenario descriptions rather than run
+// cycle-by-cycle.
+package safety
+
+import (
+	"fmt"
+
+	"lmi/internal/alloc"
+	"lmi/internal/core"
+	"lmi/internal/isa"
+	"lmi/internal/sim"
+)
+
+// OCULatencyCycles is the extra dependent latency of an OCU-checked
+// pointer operation: the two register slices inserted to close timing at
+// 3 GHz give the bounds-checking logic a three-cycle delay (§XI-C).
+const OCULatencyCycles = 3
+
+// LMI is the paper's mechanism: in-pointer extent metadata over
+// 2^n-aligned allocation, verified by the OCU on every hinted pointer
+// operation and by the EC at every dereference.
+//
+// Programs run under LMI must be compiled with compiler.ModeLMI so that
+// allocations are tagged, stack/shared pointers carry extents, and the
+// hint bits are present.
+type LMI struct {
+	// Codec is the pointer format.
+	Codec core.Codec
+	// OCU and EC are the hardware checking units.
+	OCU *core.OCU
+	EC  *core.EC
+	// Tracker, when non-nil, enables the §XII-C pointer-liveness
+	// extension (copied-pointer UAF detection).
+	Tracker *core.LivenessTracker
+}
+
+// NewLMI builds the standard LMI mechanism (no liveness tracking).
+func NewLMI() *LMI {
+	return &LMI{Codec: core.DefaultCodec, OCU: core.NewOCU(), EC: core.NewEC()}
+}
+
+// NewLMIWithTracking builds LMI with the Algorithm 1 liveness extension.
+// Tracking is scoped to allocator-managed memory (global + device heap):
+// Algorithm 1 hooks malloc/free, so stack and shared buffers are outside
+// its membership table.
+func NewLMIWithTracking(pageInvalidOpt bool) *LMI {
+	m := NewLMI()
+	m.Tracker = core.NewLivenessTracker(pageInvalidOpt)
+	m.Tracker.Scope = func(addr uint64) bool { return addr >= alloc.GlobalBase }
+	m.EC.Tracker = m.Tracker
+	return m
+}
+
+// Name implements sim.Mechanism.
+func (m *LMI) Name() string { return "lmi" }
+
+// AllocPolicy implements sim.Mechanism: LMI requires 2^n-aligned
+// allocation.
+func (m *LMI) AllocPolicy() alloc.Policy { return alloc.PolicyPow2 }
+
+// TagAlloc implements sim.Mechanism: install the extent into the upper
+// bits of the returned pointer (§V-B).
+func (m *LMI) TagAlloc(b alloc.Block, _ isa.Space) uint64 {
+	p, err := m.Codec.Encode(b.Addr, b.Extent)
+	if err != nil {
+		// The allocator guarantees alignment; an encode failure is a
+		// programming error in the runtime.
+		panic(fmt.Sprintf("safety: LMI tag: %v", err))
+	}
+	if m.Tracker != nil {
+		m.Tracker.OnAlloc(p)
+	}
+	return uint64(p)
+}
+
+// UntagFree implements sim.Mechanism: strip the extent and record the
+// free for liveness tracking. (The pointer register itself is nullified
+// by compiler-inserted instructions, §VIII.)
+func (m *LMI) UntagFree(val uint64, _ isa.Space) uint64 {
+	p := core.Pointer(val)
+	if m.Tracker != nil {
+		m.Tracker.OnFree(p)
+	}
+	return p.Addr()
+}
+
+// Canonical implements sim.Mechanism: strip the extent bits.
+func (m *LMI) Canonical(val uint64) uint64 { return core.Pointer(val).Addr() }
+
+// CheckPointerOp implements sim.Mechanism: the OCU datapath, with the
+// three-cycle register-slice latency.
+func (m *LMI) CheckPointerOp(in, out uint64) (uint64, uint64) {
+	res, _ := m.OCU.Check(core.Pointer(in), core.Pointer(out))
+	return uint64(res), OCULatencyCycles
+}
+
+// CheckAccess implements sim.Mechanism: the EC check. The extent bits are
+// stripped to form the effective address; a zero extent faults.
+func (m *LMI) CheckAccess(a sim.Access) (uint64, uint64, *core.Fault) {
+	p := core.Pointer(a.Ptr)
+	if err := m.EC.CheckAccess(p, a.Size); err != nil {
+		return p.Addr(), 0, err.(*core.Fault)
+	}
+	return p.Addr(), 0, nil
+}
+
+// Reset implements sim.Mechanism. OCU/EC statistics accumulate across a
+// device's lifetime (they are reported per experiment, not per launch).
+func (m *LMI) Reset() {}

@@ -1,0 +1,262 @@
+package safety
+
+import (
+	"testing"
+
+	"lmi/internal/alloc"
+	"lmi/internal/core"
+	"lmi/internal/isa"
+	"lmi/internal/sim"
+)
+
+// Compile-time interface checks.
+var (
+	_ sim.Mechanism = (*LMI)(nil)
+	_ sim.Mechanism = (*GPUShield)(nil)
+	_ sim.Mechanism = (*Baggy)(nil)
+)
+
+func TestLMITagUntagRoundTrip(t *testing.T) {
+	m := NewLMI()
+	b := alloc.Block{Addr: 0x1000_0000_0000 & ^uint64(1023), Requested: 900, Reserved: 1024, Extent: 3}
+	val := m.TagAlloc(b, isa.SpaceGlobal)
+	p := core.Pointer(val)
+	if p.Extent() != 3 || p.Addr() != b.Addr {
+		t.Fatalf("tagged pointer %v", p)
+	}
+	if m.Canonical(val) != b.Addr {
+		t.Error("Canonical")
+	}
+	if m.UntagFree(val, isa.SpaceHeap) != b.Addr {
+		t.Error("UntagFree")
+	}
+	if m.Name() != "lmi" || m.AllocPolicy() != alloc.PolicyPow2 {
+		t.Error("identity")
+	}
+	m.Reset() // no-op
+}
+
+func TestLMITagPanicsOnMisalignedBlock(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("misaligned block must panic (allocator contract violation)")
+		}
+	}()
+	NewLMI().TagAlloc(alloc.Block{Addr: 0x101, Reserved: 256, Extent: 1}, isa.SpaceGlobal)
+}
+
+func TestLMICheckPointerOpDelaysAndClears(t *testing.T) {
+	m := NewLMI()
+	in, _ := m.Codec.Encode(0x40000, 1) // 256 B
+	res, lat := m.CheckPointerOp(uint64(in), uint64(in)+128)
+	if lat != OCULatencyCycles {
+		t.Errorf("latency %d", lat)
+	}
+	if !core.Pointer(res).Valid() {
+		t.Error("in-bounds op cleared extent")
+	}
+	res, _ = m.CheckPointerOp(uint64(in), uint64(in)+4096)
+	if core.Pointer(res).Valid() {
+		t.Error("out-of-bounds op kept extent")
+	}
+}
+
+func TestLMICheckAccess(t *testing.T) {
+	m := NewLMI()
+	p, _ := m.Codec.Encode(0x40000, 1)
+	eff, extra, fault := m.CheckAccess(sim.Access{Ptr: uint64(p), Size: 4, Space: isa.SpaceGlobal})
+	if fault != nil || eff != 0x40000 || extra != 0 {
+		t.Errorf("valid access: eff=%#x extra=%d fault=%v", eff, extra, fault)
+	}
+	_, _, fault = m.CheckAccess(sim.Access{Ptr: uint64(p.Invalidate()), Size: 4})
+	if fault == nil {
+		t.Error("zero-extent access allowed")
+	}
+}
+
+func TestLMIWithTrackingScope(t *testing.T) {
+	m := NewLMIWithTracking(true)
+	if m.Tracker == nil || m.EC.Tracker != m.Tracker {
+		t.Fatal("tracker not wired")
+	}
+	// Global allocations are tracked...
+	b := alloc.Block{Addr: alloc.GlobalBase, Reserved: 1024, Extent: 3}
+	val := m.TagAlloc(b, isa.SpaceGlobal)
+	if _, _, fault := m.CheckAccess(sim.Access{Ptr: val, Size: 4}); fault != nil {
+		t.Errorf("live tracked buffer faulted: %v", fault)
+	}
+	m.UntagFree(val, isa.SpaceGlobal)
+	if _, _, fault := m.CheckAccess(sim.Access{Ptr: val, Size: 4}); fault == nil {
+		t.Error("freed tracked buffer allowed")
+	}
+	// ...but stack-range pointers (not allocator-managed) are out of
+	// scope and never tabled.
+	sp, _ := m.Codec.Encode(alloc.StackTop-256, 1)
+	if _, _, fault := m.CheckAccess(sim.Access{Ptr: uint64(sp), Size: 4}); fault != nil {
+		t.Errorf("out-of-scope stack pointer faulted: %v", fault)
+	}
+}
+
+func TestGPUShieldTaggingAndBounds(t *testing.T) {
+	g := NewGPUShield()
+	if g.Name() != "gpushield" || g.AllocPolicy() != alloc.PolicyBase {
+		t.Error("identity")
+	}
+	b := alloc.Block{Addr: alloc.GlobalBase, Requested: 1000, Reserved: 1024}
+	val := g.TagAlloc(b, isa.SpaceGlobal)
+	if g.Canonical(val) != b.Addr {
+		t.Error("Canonical must strip the ID")
+	}
+	// In-bounds access passes.
+	if _, _, fault := g.CheckAccess(sim.Access{Ptr: val + 1020, Size: 4, Space: isa.SpaceGlobal}); fault != nil {
+		t.Errorf("in-bounds faulted: %v", fault)
+	}
+	// Out-of-bounds faults.
+	if _, _, fault := g.CheckAccess(sim.Access{Ptr: val + 1024, Size: 4, Space: isa.SpaceGlobal}); fault == nil {
+		t.Error("per-buffer overflow missed")
+	}
+	// Freeing keeps the entry: stale access passes (no temporal safety).
+	g.UntagFree(val, isa.SpaceGlobal)
+	if _, _, fault := g.CheckAccess(sim.Access{Ptr: val, Size: 4, Space: isa.SpaceGlobal}); fault != nil {
+		t.Errorf("GPUShield should not provide temporal safety: %v", fault)
+	}
+}
+
+func TestGPUShieldRegions(t *testing.T) {
+	g := NewGPUShield()
+	// Heap buffers are untagged; in-region accesses pass, escapes fault.
+	hb := alloc.Block{Addr: alloc.HeapBase + 4096, Reserved: 256}
+	val := g.TagAlloc(hb, isa.SpaceHeap)
+	if val != hb.Addr {
+		t.Error("heap blocks must stay untagged")
+	}
+	if _, _, fault := g.CheckAccess(sim.Access{Ptr: val + 100000, Size: 4, Space: isa.SpaceGlobal}); fault != nil {
+		t.Errorf("intra-heap-region overflow should pass: %v", fault)
+	}
+	if _, _, fault := g.CheckAccess(sim.Access{Ptr: 0x123, Size: 4, Space: isa.SpaceGlobal}); fault == nil {
+		t.Error("escape from heap/global regions missed")
+	}
+	// Local region.
+	if _, _, fault := g.CheckAccess(sim.Access{Ptr: alloc.StackTop - 8, Size: 4, Space: isa.SpaceLocal}); fault != nil {
+		t.Errorf("in-region local faulted: %v", fault)
+	}
+	if _, _, fault := g.CheckAccess(sim.Access{Ptr: alloc.StackTop + 8, Size: 4, Space: isa.SpaceLocal}); fault == nil {
+		t.Error("beyond-local missed")
+	}
+	// Shared unprotected.
+	if _, _, fault := g.CheckAccess(sim.Access{Ptr: 1 << 40, Size: 4, Space: isa.SpaceShared}); fault != nil {
+		t.Error("GPUShield must not check shared memory")
+	}
+}
+
+func TestGPUShieldRCacheCosts(t *testing.T) {
+	g := NewGPUShield()
+	val := g.TagAlloc(alloc.Block{Addr: alloc.GlobalBase, Reserved: 1 << 20}, isa.SpaceGlobal)
+	// First (uncoalesced) lookup: compulsory miss -> lookup + penalty.
+	_, extra, _ := g.CheckAccess(sim.Access{Ptr: val, Size: 4, Space: isa.SpaceGlobal, SM: 0})
+	if extra != g.TxLookupCost+g.MissPenalty {
+		t.Errorf("first lookup extra = %d", extra)
+	}
+	// Second: hit -> lookup cost only.
+	_, extra, _ = g.CheckAccess(sim.Access{Ptr: val + 4096, Size: 4, Space: isa.SpaceGlobal, SM: 0})
+	if extra != g.TxLookupCost {
+		t.Errorf("warm lookup extra = %d", extra)
+	}
+	// Coalesced lane: free.
+	_, extra, _ = g.CheckAccess(sim.Access{Ptr: val + 4100, Size: 4, Space: isa.SpaceGlobal, SM: 0, Coalesced: true})
+	if extra != 0 {
+		t.Errorf("coalesced lane extra = %d", extra)
+	}
+	if g.Stats.Lookups != 2 || g.Stats.Misses != 1 {
+		t.Errorf("stats: %+v", g.Stats)
+	}
+	// Reset clears the RCache: next lookup misses again.
+	g.Reset()
+	_, extra, _ = g.CheckAccess(sim.Access{Ptr: val, Size: 4, Space: isa.SpaceGlobal, SM: 0})
+	if extra != g.TxLookupCost+g.MissPenalty {
+		t.Errorf("post-reset extra = %d", extra)
+	}
+}
+
+func TestBaggyMechanism(t *testing.T) {
+	m := NewBaggy()
+	if m.Name() != "baggybounds" || m.AllocPolicy() != alloc.PolicyPow2 {
+		t.Error("identity")
+	}
+	b := alloc.Block{Addr: alloc.GlobalBase, Reserved: 512, Extent: 2}
+	val := m.TagAlloc(b, isa.SpaceGlobal)
+	if core.Pointer(val).Extent() != 2 {
+		t.Error("baggy must tag like LMI")
+	}
+	// No hardware checks: out-of-class access passes the LSU (the
+	// software TRAP sequence is responsible for detection).
+	eff, extra, fault := m.CheckAccess(sim.Access{Ptr: val + 100000, Size: 4})
+	if fault != nil || extra != 0 || eff != b.Addr+100000 {
+		t.Errorf("baggy LSU must only strip: eff=%#x extra=%d fault=%v", eff, extra, fault)
+	}
+	res, lat := m.CheckPointerOp(val, val+100000)
+	if lat != 0 || res != val+100000 {
+		t.Error("baggy has no OCU")
+	}
+	if m.UntagFree(val, isa.SpaceHeap) != b.Addr || m.Canonical(val) != b.Addr {
+		t.Error("untag")
+	}
+	m.Reset()
+
+	defer func() {
+		if recover() == nil {
+			t.Error("misaligned block must panic")
+		}
+	}()
+	m.TagAlloc(alloc.Block{Addr: 3, Reserved: 256, Extent: 1}, isa.SpaceGlobal)
+}
+
+func TestIMTMechanism(t *testing.T) {
+	var _ sim.Mechanism = (*IMT)(nil)
+	m := NewIMT()
+	if m.Name() != "imt" || m.AllocPolicy() != alloc.PolicyBase {
+		t.Error("identity")
+	}
+	b := alloc.Block{Addr: alloc.GlobalBase, Requested: 1000, Reserved: 1024}
+	val := m.TagAlloc(b, isa.SpaceGlobal)
+	if m.Canonical(val) != b.Addr {
+		t.Error("Canonical")
+	}
+	tag := (val >> imtTagShift) & 0xF
+	if tag == 0 {
+		t.Fatal("zero tag assigned")
+	}
+	// In-bounds: tags match.
+	if _, _, fault := m.CheckAccess(sim.Access{Ptr: val + 512, Size: 4, Space: isa.SpaceGlobal}); fault != nil {
+		t.Errorf("in-bounds faulted: %v", fault)
+	}
+	// Adjacent buffer has a different tag: overflow caught.
+	b2 := alloc.Block{Addr: alloc.GlobalBase + 1024, Reserved: 1024}
+	m.TagAlloc(b2, isa.SpaceGlobal)
+	if _, _, fault := m.CheckAccess(sim.Access{Ptr: val + 1024, Size: 4, Space: isa.SpaceGlobal}); fault == nil {
+		t.Error("adjacent overflow missed (tag collision?)")
+	}
+	// Temporal: tag washing catches the stale base pointer.
+	m.UntagFree(val, isa.SpaceGlobal)
+	if _, _, fault := m.CheckAccess(sim.Access{Ptr: val, Size: 4, Space: isa.SpaceGlobal}); fault == nil {
+		t.Error("stale pointer passed after tag wash")
+	}
+	// Non-global spaces unprotected; untagged pointers unchecked.
+	if _, _, fault := m.CheckAccess(sim.Access{Ptr: 1 << 40, Size: 4, Space: isa.SpaceShared}); fault != nil {
+		t.Error("IMT must not check shared")
+	}
+	if _, _, fault := m.CheckAccess(sim.Access{Ptr: alloc.HeapBase, Size: 4, Space: isa.SpaceGlobal}); fault != nil {
+		t.Error("untagged heap pointer must pass")
+	}
+	if m.Stats.Checks == 0 || m.Stats.Mismatches == 0 {
+		t.Errorf("stats: %+v", m.Stats)
+	}
+	m.Reset()
+	if m.UntagFree(123, isa.SpaceHeap) != 123 || m.TagAlloc(alloc.Block{Addr: 5}, isa.SpaceHeap) != 5 {
+		t.Error("non-global allocs must stay untagged")
+	}
+	res, lat := m.CheckPointerOp(1, 2)
+	if res != 2 || lat != 0 {
+		t.Error("IMT must not check arithmetic")
+	}
+}

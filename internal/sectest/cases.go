@@ -1,0 +1,474 @@
+package sectest
+
+import (
+	"lmi/internal/compiler"
+	"lmi/internal/core"
+	"lmi/internal/ir"
+	"lmi/internal/isa"
+	"lmi/internal/sim"
+)
+
+// guard0 wraps body so only thread 0 performs the violation.
+func guard0(b *ir.Builder, body func()) {
+	cond := b.ICmp(isa.CmpEQ, b.GlobalTID(), b.ConstI(ir.I32, 0))
+	b.If(cond, body, nil)
+}
+
+// oobStoreKernel builds a kernel with nBufs global-buffer params that
+// stores through victim-buffer index `idx` (element index, 4-byte
+// elements) on thread 0.
+func oobStoreKernel(nBufs int, victim int, idx int64) func() *ir.Func {
+	return func() *ir.Func {
+		b := ir.NewBuilder("oob_global")
+		bufs := make([]ir.Value, nBufs)
+		for i := range bufs {
+			bufs[i] = b.Param(ir.PtrGlobal)
+		}
+		guard0(b, func() {
+			i := b.ConstI(ir.I32, idx)
+			b.Store(b.GEP(bufs[victim], i, 4, 0), i, 0)
+		})
+		return b.MustFinish()
+	}
+}
+
+// Spatial — global memory (2 cases). Victims are power-of-two sized so
+// "adjacent" means the first byte past the allocation.
+func globalCases() []*Scenario {
+	return []*Scenario{
+		{
+			Name: "global-adjacent-write", Category: CatGlobalOoB,
+			Traits:  Traits{Adjacent: true, Write: true},
+			Execute: kernelScenario(oobStoreKernel(2, 0, 256), []uint64{1024, 1024}, nil),
+		},
+		{
+			Name: "global-nonadjacent-write", Category: CatGlobalOoB,
+			Traits:  Traits{Write: true},
+			Execute: kernelScenario(oobStoreKernel(2, 0, 4096), []uint64{1024, 1024}, nil),
+		},
+	}
+}
+
+// heapOOBKernel allocates two device-heap buffers and stores through the
+// first at element index idx.
+func heapOOBKernel(idx int64) func() *ir.Func {
+	return func() *ir.Func {
+		b := ir.NewBuilder("oob_heap")
+		out := b.Param(ir.PtrGlobal)
+		guard0(b, func() {
+			sz := b.ConstI(ir.I32, 256)
+			p := b.Malloc(sz)
+			q := b.Malloc(sz)
+			b.Store(q, b.ConstI(ir.I32, 1), 0) // keep q live
+			i := b.ConstI(ir.I32, idx)
+			b.Store(b.GEP(p, i, 4, 0), i, 0) // the violation
+			b.Store(out, b.Load(ir.I32, p, 0), 0)
+			b.Free(p)
+			b.Free(q)
+		})
+		return b.MustFinish()
+	}
+}
+
+// Spatial — device heap (3 cases).
+func heapCases() []*Scenario {
+	return []*Scenario{
+		{
+			Name: "heap-adjacent-write", Category: CatHeapOoB,
+			Traits:  Traits{Adjacent: true, Write: true},
+			Execute: kernelScenario(heapOOBKernel(64), []uint64{256}, nil), // byte 256: first past the object
+		},
+		{
+			Name: "heap-nonadjacent-write", Category: CatHeapOoB,
+			Traits:  Traits{Write: true},
+			Execute: kernelScenario(heapOOBKernel(4096), []uint64{256}, nil),
+		},
+		{
+			Name: "heap-beyond-region", Category: CatHeapOoB,
+			Traits: Traits{Write: true, LeavesRegion: true},
+			// Index 2^30 at scale 4 = +4 GiB: past the heap arena.
+			Execute: kernelScenario(heapOOBKernel(1<<30), []uint64{256}, nil),
+		},
+	}
+}
+
+// localOOBKernel declares allocas of the given sizes and stores through
+// the first at element index idx.
+func localOOBKernel(sizes []uint64, idx int64) func() *ir.Func {
+	return func() *ir.Func {
+		b := ir.NewBuilder("oob_local")
+		out := b.Param(ir.PtrGlobal)
+		bufs := make([]ir.Value, len(sizes))
+		for i, s := range sizes {
+			bufs[i] = b.Alloca(s)
+		}
+		guard0(b, func() {
+			for _, p := range bufs {
+				b.Store(p, b.ConstI(ir.I32, 7), 0) // touch every buffer
+			}
+			i := b.ConstI(ir.I32, idx)
+			b.Store(b.GEP(bufs[0], i, 4, 0), i, 0) // the violation
+			b.Store(out, b.Load(ir.I32, bufs[0], 0), 0)
+		})
+		return b.MustFinish()
+	}
+}
+
+// Spatial — local/stack memory (8 cases: single- and multi-buffer;
+// within a frame, across frames, beyond local memory; §IX).
+func localCases() []*Scenario {
+	single := []uint64{256, 256}          // victim + one scratch variable
+	multi := []uint64{256, 256, 256, 256} // victim + several buffers
+	out := []uint64{64}
+	return []*Scenario{
+		{Name: "local-single-adjacent-frame", Category: CatLocalOoB,
+			Traits:  Traits{Adjacent: true, Write: true, SingleBuffer: true, SameFrame: true},
+			Execute: kernelScenario(localOOBKernel(single, 64), out, nil)},
+		{Name: "local-single-nonadjacent-frame", Category: CatLocalOoB,
+			Traits:  Traits{Write: true, SingleBuffer: true, SameFrame: true},
+			Execute: kernelScenario(localOOBKernel(single, 100), out, nil)},
+		// Stacks grow downward: another frame's region lies below the
+		// current stack pointer, hence the negative element indices.
+		{Name: "local-single-across-frame", Category: CatLocalOoB,
+			Traits:  Traits{Write: true, SingleBuffer: true},
+			Execute: kernelScenario(localOOBKernel(single, -1024), out, nil)},
+		{Name: "local-single-beyond-local", Category: CatLocalOoB,
+			Traits:  Traits{Write: true, SingleBuffer: true, LeavesRegion: true},
+			Execute: kernelScenario(localOOBKernel(single, 1<<20), out, nil)},
+		{Name: "local-multi-adjacent", Category: CatLocalOoB,
+			Traits:  Traits{Adjacent: true, Write: true, SameFrame: true},
+			Execute: kernelScenario(localOOBKernel(multi, 64), out, nil)},
+		{Name: "local-multi-nonadjacent", Category: CatLocalOoB,
+			Traits:  Traits{Write: true, SameFrame: true},
+			Execute: kernelScenario(localOOBKernel(multi, 160), out, nil)},
+		{Name: "local-multi-across-frame", Category: CatLocalOoB,
+			Traits:  Traits{Write: true},
+			Execute: kernelScenario(localOOBKernel(multi, -2048), out, nil)},
+		{Name: "local-multi-beyond-local", Category: CatLocalOoB,
+			Traits:  Traits{Write: true, LeavesRegion: true},
+			Execute: kernelScenario(localOOBKernel(multi, 1<<21), out, nil)},
+	}
+}
+
+// sharedOOBKernel declares shared buffers and stores through the one at
+// victim index.
+func sharedOOBKernel(sizes []uint64, victim int, idx int64) func() *ir.Func {
+	return func() *ir.Func {
+		b := ir.NewBuilder("oob_shared")
+		out := b.Param(ir.PtrGlobal)
+		bufs := make([]ir.Value, len(sizes))
+		for i, s := range sizes {
+			bufs[i] = b.Shared(s)
+		}
+		tid := b.TID()
+		b.Store(b.GEP(bufs[victim], tid, 4, 0), tid, 0)
+		b.Barrier()
+		guard0(b, func() {
+			i := b.ConstI(ir.I32, idx)
+			b.Store(b.GEP(bufs[victim], i, 4, 0), i, 0) // the violation
+			b.Store(out, b.Load(ir.I32, bufs[victim], 0), 0)
+		})
+		return b.MustFinish()
+	}
+}
+
+// Spatial — shared memory (6 cases; the last two involve the
+// dynamically allocated pool, which LMI protects coarsely as a whole,
+// §IX-A).
+func sharedCases() []*Scenario {
+	out := []uint64{64}
+	return []*Scenario{
+		{Name: "shared-single-within", Category: CatSharedOoB,
+			Traits:  Traits{Adjacent: true, Write: true, SingleBuffer: true},
+			Execute: kernelScenario(sharedOOBKernel([]uint64{256, 256}, 0, 64), out, nil)},
+		{Name: "shared-single-beyond-region", Category: CatSharedOoB,
+			Traits:  Traits{Write: true, SingleBuffer: true, LeavesRegion: true},
+			Execute: kernelScenario(sharedOOBKernel([]uint64{256, 256}, 0, 50000), out, nil)},
+		{Name: "shared-multi-adjacent", Category: CatSharedOoB,
+			Traits:  Traits{Adjacent: true, Write: true},
+			Execute: kernelScenario(sharedOOBKernel([]uint64{256, 256, 256}, 1, 64), out, nil)},
+		{Name: "shared-multi-nonadjacent", Category: CatSharedOoB,
+			Traits:  Traits{Write: true},
+			Execute: kernelScenario(sharedOOBKernel([]uint64{256, 256, 256}, 0, 128), out, nil)},
+		{Name: "shared-static-into-dynamic", Category: CatSharedOoB,
+			Traits: Traits{Adjacent: true, Write: true},
+			// The last shared buffer stands in for the dynamic pool; the
+			// violation starts from a static (tagged) buffer.
+			Execute: kernelScenario(sharedOOBKernel([]uint64{256, 1024}, 0, 64), out, nil)},
+		{Name: "shared-dynamic-pool-overflow", Category: CatSharedOoB,
+			Traits: Traits{Write: true, DynShared: true},
+			// Overflow out of the dynamic pool as a whole: LMI's coarse
+			// pool-level extent catches it; per-sub-allocation tools that
+			// do not track driver-managed dynamic shared memory miss it.
+			Execute: kernelScenario(sharedOOBKernel([]uint64{1024}, 0, 300), out, nil)},
+	}
+}
+
+// intraKernel overflows between two fields of one structure (an
+// allocation of structSize with a field boundary at fieldEnd).
+func intraKernel(space isa.Space) func() *ir.Func {
+	return func() *ir.Func {
+		b := ir.NewBuilder("oob_intra")
+		out := b.Param(ir.PtrGlobal)
+		var p ir.Value
+		switch space {
+		case isa.SpaceLocal:
+			p = b.Alloca(256)
+		case isa.SpaceShared:
+			p = b.Shared(256)
+		default:
+			p = b.Param(ir.PtrGlobal)
+		}
+		guard0(b, func() {
+			// Field A occupies bytes [0,64); the store at byte 80 crosses
+			// into field B but stays inside the 256-byte object.
+			i := b.ConstI(ir.I32, 20)
+			b.Store(b.GEP(p, i, 4, 0), i, 0)
+			b.Store(out, b.Load(ir.I32, p, 0), 0)
+		})
+		return b.MustFinish()
+	}
+}
+
+// Spatial — intra-object (3 cases): "like other schemes, LMI does not
+// protect against OOB reads/writes across different fields within the
+// same structure" (§IX-A).
+func intraCases() []*Scenario {
+	return []*Scenario{
+		{Name: "intra-global-struct", Category: CatIntraOoB, Traits: Traits{Write: true},
+			Execute: kernelScenario(intraKernel(isa.SpaceGlobal), []uint64{64, 256}, nil)},
+		{Name: "intra-local-struct", Category: CatIntraOoB, Traits: Traits{Write: true},
+			Execute: kernelScenario(intraKernel(isa.SpaceLocal), []uint64{64}, nil)},
+		{Name: "intra-shared-struct", Category: CatIntraOoB, Traits: Traits{Write: true},
+			Execute: kernelScenario(intraKernel(isa.SpaceShared), []uint64{64}, nil)},
+	}
+}
+
+// heapUAFKernel: kernel-side malloc/free then dereference, optionally
+// through a copied pointer and optionally after the allocator reuses the
+// slot.
+func heapUAFKernel(copied, delayed bool) func() *ir.Func {
+	return func() *ir.Func {
+		b := ir.NewBuilder("uaf_heap")
+		out := b.Param(ir.PtrGlobal)
+		guard0(b, func() {
+			sz := b.ConstI(ir.I32, 256)
+			p := b.Malloc(sz)
+			b.Store(p, b.ConstI(ir.I32, 42), 0)
+			c := b.Var(p) // copy taken before the free (Fig. 11's C)
+			b.Free(p)
+			if delayed {
+				// The allocator reuses the freed slot.
+				q := b.Malloc(sz)
+				b.Store(q, b.ConstI(ir.I32, 7), 0)
+			}
+			src := p
+			if copied {
+				src = c
+			}
+			b.Store(out, b.Load(ir.I32, src, 0), 0) // use after free
+		})
+		return b.MustFinish()
+	}
+}
+
+// globalUAF executes the cudaFree variant: allocate, free on the host,
+// then launch a kernel using the stale pointer. For the original-pointer
+// case the host variable is nullified by the runtime (extent cleared,
+// §V-B); the copied-pointer case uses the stale tagged value.
+func globalUAF(copied, delayed bool) func(sim.Mechanism, compiler.Mode) (bool, error) {
+	return func(mech sim.Mechanism, mode compiler.Mode) (bool, error) {
+		b := ir.NewBuilder("uaf_global")
+		out := b.Param(ir.PtrGlobal)
+		stale := b.Param(ir.PtrGlobal)
+		guard0(b, func() {
+			b.Store(out, b.Load(ir.I32, stale, 0), 0)
+		})
+		f := b.MustFinish()
+		prog, err := compiler.Compile(f, mode)
+		if err != nil {
+			return false, err
+		}
+		dev, err := sim.NewDevice(secConfig(), mech)
+		if err != nil {
+			return false, err
+		}
+		outBuf, err := dev.Malloc(64)
+		if err != nil {
+			return false, err
+		}
+		victim, err := dev.Malloc(1024)
+		if err != nil {
+			return false, err
+		}
+		if err := dev.Free(victim); err != nil {
+			return false, err
+		}
+		if delayed {
+			if _, err := dev.Malloc(1024); err != nil { // reuses the region
+				return false, err
+			}
+		}
+		param := victim
+		if !copied {
+			// cudaFree sets the extent bits to 0 to invalidate the
+			// pointer (§V-B): the runtime nullifies the host variable.
+			param = uint64(core.Pointer(victim).Invalidate())
+		}
+		st, err := dev.Launch(prog, 1, 32, []uint64{outBuf, param})
+		if err != nil {
+			return false, err
+		}
+		return len(st.Faults) > 0, nil
+	}
+}
+
+// Temporal — use-after-free (8 cases: {heap, global} x {immediate,
+// delayed} x {original, copied}).
+func uafCases() []*Scenario {
+	var out []*Scenario
+	for _, region := range []string{"heap", "global"} {
+		for _, delayed := range []bool{false, true} {
+			for _, copied := range []bool{false, true} {
+				name := "uaf-" + region
+				tr := Traits{Delayed: delayed, CopiedPointer: copied}
+				if delayed {
+					name += "-delayed"
+				} else {
+					name += "-immediate"
+				}
+				if copied {
+					name += "-copied"
+				} else {
+					name += "-original"
+				}
+				var exec func(sim.Mechanism, compiler.Mode) (bool, error)
+				if region == "heap" {
+					exec = kernelScenario(heapUAFKernel(copied, delayed), []uint64{64}, nil)
+				} else {
+					exec = globalUAF(copied, delayed)
+				}
+				out = append(out, &Scenario{
+					Name: name, Category: CatUAF, Traits: tr, Execute: exec,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// uasKernel: a stack buffer used after its scope ends (the compiler
+// inserts the extent nullification "just before returning to the caller
+// function", §VIII; OpInvalidate marks that point).
+func uasKernel(size uint64, delayed bool) func() *ir.Func {
+	return func() *ir.Func {
+		b := ir.NewBuilder("uas_local")
+		out := b.Param(ir.PtrGlobal)
+		p := b.Alloca(size)
+		scratch := b.Alloca(256)
+		guard0(b, func() {
+			b.Store(p, b.ConstI(ir.I32, 13), 0)
+			b.Invalidate(p) // scope exit
+			if delayed {
+				// The frame region is reused by another variable before
+				// the stale access.
+				b.Store(scratch, b.ConstI(ir.I32, 99), 0)
+				b.Store(b.GEP(scratch, b.ConstI(ir.I32, 8), 4, 0), b.ConstI(ir.I32, 98), 0)
+			}
+			b.Store(out, b.Load(ir.I32, p, 0), 0) // use after scope
+		})
+		return b.MustFinish()
+	}
+}
+
+// Temporal — use-after-scope (4 cases).
+func uasCases() []*Scenario {
+	mk := func(name string, size uint64, delayed bool) *Scenario {
+		return &Scenario{
+			Name: name, Category: CatUAS, Traits: Traits{Delayed: delayed},
+			Execute: kernelScenario(uasKernel(size, delayed), []uint64{64}, nil),
+		}
+	}
+	return []*Scenario{
+		mk("uas-array-immediate", 256, false),
+		mk("uas-array-delayed", 256, true),
+		mk("uas-large-immediate", 1024, false),
+		mk("uas-large-delayed", 1024, true),
+	}
+}
+
+// Temporal — invalid free (2) and double free (2): detected by "basic
+// CUDA functions" (the allocator) under every mechanism (§IX-B).
+func freeCases() []*Scenario {
+	invalidInterior := func() *ir.Func {
+		b := ir.NewBuilder("invalid_free_interior")
+		out := b.Param(ir.PtrGlobal)
+		guard0(b, func() {
+			p := b.Malloc(b.ConstI(ir.I32, 256))
+			b.Store(p, b.ConstI(ir.I32, 1), 0)
+			b.Free(b.GEP(p, b.ConstI(ir.I32, 2), 4, 0)) // interior pointer
+			b.Store(out, b.ConstI(ir.I32, 0), 0)
+		})
+		return b.MustFinish()
+	}
+	doubleFree := func() *ir.Func {
+		b := ir.NewBuilder("double_free")
+		out := b.Param(ir.PtrGlobal)
+		guard0(b, func() {
+			p := b.Malloc(b.ConstI(ir.I32, 256))
+			c := b.Var(p) // the second free uses an un-nullified copy
+			b.Free(p)
+			b.Free(c)
+			b.Store(out, b.ConstI(ir.I32, 0), 0)
+		})
+		return b.MustFinish()
+	}
+	hostInvalid := func(mech sim.Mechanism, _ compiler.Mode) (bool, error) {
+		dev, err := sim.NewDevice(secConfig(), mech)
+		if err != nil {
+			return false, err
+		}
+		err = dev.Free(0xDEAD0000)
+		return isAllocatorFault(err), nil
+	}
+	hostDouble := func(mech sim.Mechanism, _ compiler.Mode) (bool, error) {
+		dev, err := sim.NewDevice(secConfig(), mech)
+		if err != nil {
+			return false, err
+		}
+		p, err := dev.Malloc(512)
+		if err != nil {
+			return false, err
+		}
+		if err := dev.Free(p); err != nil {
+			return false, err
+		}
+		err = dev.Free(p)
+		return isAllocatorFault(err), nil
+	}
+	return []*Scenario{
+		{Name: "invalid-free-interior", Category: CatInvalidFree, Traits: Traits{},
+			Execute: kernelScenario(invalidInterior, []uint64{64}, nil)},
+		{Name: "invalid-free-wild", Category: CatInvalidFree, Traits: Traits{},
+			Execute: hostInvalid},
+		{Name: "double-free-kernel", Category: CatDoubleFree, Traits: Traits{},
+			Execute: kernelScenario(doubleFree, []uint64{64}, nil)},
+		{Name: "double-free-host", Category: CatDoubleFree, Traits: Traits{Delayed: true},
+			Execute: hostDouble},
+	}
+}
+
+// All returns the complete Table III scenario suite: 22 spatial + 16
+// temporal cases.
+func All() []*Scenario {
+	var out []*Scenario
+	out = append(out, globalCases()...)
+	out = append(out, heapCases()...)
+	out = append(out, localCases()...)
+	out = append(out, sharedCases()...)
+	out = append(out, intraCases()...)
+	out = append(out, uafCases()...)
+	out = append(out, uasCases()...)
+	out = append(out, freeCases()...)
+	return out
+}

@@ -1,0 +1,71 @@
+package sectest
+
+// Rule-based detector models for the software tools we do not
+// re-implement end to end. Each encodes its paper's documented detection
+// semantics over scenario traits; the paper's own Table III is likewise
+// "based on the descriptions provided in each paper".
+
+// GMODDetects models GMOD (Di et al., PACT 2018): a canary scheme for
+// global-memory buffers. Canaries catch writes into the guard words
+// adjacent to a buffer; reads and non-adjacent accesses pass, and heap,
+// local and shared memory are unprotected (§IX-A: GMOD "failed to detect
+// non-adjacent access cases in global memory and does not provide
+// protection for heap, local, and shared memory"). Invalid and double
+// frees are caught by the CUDA runtime.
+func GMODDetects(s *Scenario) bool {
+	switch s.Category {
+	case CatGlobalOoB:
+		return s.Traits.Adjacent && s.Traits.Write
+	case CatInvalidFree, CatDoubleFree:
+		return true
+	default:
+		return false
+	}
+}
+
+// CuCatchDetects models cuCatch (Tarek Ibn Ziad et al., PLDI 2023):
+// shadow-tagged per-allocation bounds for global memory and the stack,
+// with documented gaps (§II-D, §IX): no device-heap coverage ("cuCatch
+// does not protect kernel heap memory"), local protection limited to a
+// single buffer or the same frame, no coverage of the driver-managed
+// dynamic shared pool, no intra-object protection, and temporal coverage
+// with "a low probability of missing delayed UAF and UAS errors".
+func CuCatchDetects(s *Scenario) bool {
+	switch s.Category {
+	case CatGlobalOoB:
+		return true
+	case CatHeapOoB:
+		return false
+	case CatLocalOoB:
+		return s.Traits.SingleBuffer || s.Traits.SameFrame
+	case CatSharedOoB:
+		return !s.Traits.DynShared
+	case CatIntraOoB:
+		return false
+	case CatUAF:
+		return s.Traits.Delayed
+	case CatUAS:
+		return true
+	case CatInvalidFree, CatDoubleFree:
+		return true
+	default:
+		return false
+	}
+}
+
+// ClArmorDetects models clArmor (Erb et al., CGO 2017): canary regions
+// placed after OpenCL/CUDA global buffers, checked after kernel
+// completion. Like GMOD it catches only writes immediately past a
+// global buffer; unlike GMOD it does not hook the allocator's free path,
+// so invalid/double frees are left to the runtime as well (still
+// detected, per §IX-B).
+func ClArmorDetects(s *Scenario) bool {
+	switch s.Category {
+	case CatGlobalOoB:
+		return s.Traits.Adjacent && s.Traits.Write
+	case CatInvalidFree, CatDoubleFree:
+		return true
+	default:
+		return false
+	}
+}

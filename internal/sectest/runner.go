@@ -1,0 +1,152 @@
+package sectest
+
+import (
+	"fmt"
+
+	"lmi/internal/compiler"
+	"lmi/internal/stats"
+)
+
+// MechanismColumn identifies one Table III column.
+type MechanismColumn int
+
+// Table III columns.
+const (
+	ColGMOD MechanismColumn = iota
+	ColGPUShield
+	ColCuCatch
+	ColLMI
+	ColLMITracking
+	numColumns
+)
+
+// String returns the column label.
+func (c MechanismColumn) String() string {
+	switch c {
+	case ColGMOD:
+		return "GMOD"
+	case ColGPUShield:
+		return "GPUShield"
+	case ColCuCatch:
+		return "cuCatch"
+	case ColLMI:
+		return "LMI"
+	case ColLMITracking:
+		return "LMI+track"
+	default:
+		return fmt.Sprintf("Column(%d)", int(c))
+	}
+}
+
+// CaseResult records one scenario's detection outcome per mechanism.
+type CaseResult struct {
+	Scenario *Scenario
+	Detected [numColumns]bool
+}
+
+// Table3Result is the Table III reproduction.
+type Table3Result struct {
+	Cases []CaseResult
+}
+
+// Detect runs a single scenario against one column. LMI, LMI+tracking
+// and GPUShield execute on the simulator; GMOD and cuCatch use their
+// rule models.
+func Detect(s *Scenario, col MechanismColumn) (bool, error) {
+	switch col {
+	case ColGMOD:
+		return GMODDetects(s), nil
+	case ColCuCatch:
+		return CuCatchDetects(s), nil
+	case ColGPUShield:
+		return s.Execute(NewGPUShieldMech(), compiler.ModeBase)
+	case ColLMI:
+		return s.Execute(NewLMIMech(false), compiler.ModeLMI)
+	case ColLMITracking:
+		return s.Execute(NewLMIMech(true), compiler.ModeLMI)
+	default:
+		return false, fmt.Errorf("sectest: unknown column %d", col)
+	}
+}
+
+// RunTable3 executes the full suite and assembles the coverage matrix.
+func RunTable3() (*Table3Result, error) {
+	res := &Table3Result{}
+	for _, s := range All() {
+		cr := CaseResult{Scenario: s}
+		for col := MechanismColumn(0); col < numColumns; col++ {
+			det, err := Detect(s, col)
+			if err != nil {
+				return nil, fmt.Errorf("sectest: %s/%s: %w", s.Name, col, err)
+			}
+			cr.Detected[col] = det
+		}
+		res.Cases = append(res.Cases, cr)
+	}
+	return res, nil
+}
+
+// Counts returns detected/total per category for a column.
+func (r *Table3Result) Counts(col MechanismColumn) map[Category][2]int {
+	out := make(map[Category][2]int)
+	for _, cr := range r.Cases {
+		e := out[cr.Scenario.Category]
+		if cr.Detected[col] {
+			e[0]++
+		}
+		e[1]++
+		out[cr.Scenario.Category] = e
+	}
+	return out
+}
+
+// Coverage returns (spatialDetected, spatialTotal, temporalDetected,
+// temporalTotal) for a column.
+func (r *Table3Result) Coverage(col MechanismColumn) (sd, st, td, tt int) {
+	for _, cr := range r.Cases {
+		if cr.Scenario.Category.Spatial() {
+			st++
+			if cr.Detected[col] {
+				sd++
+			}
+		} else {
+			tt++
+			if cr.Detected[col] {
+				td++
+			}
+		}
+	}
+	return
+}
+
+// Table renders the Table III matrix (detected/total per category, plus
+// spatial/temporal coverage rows).
+func (r *Table3Result) Table() string {
+	cats := []Category{CatGlobalOoB, CatHeapOoB, CatLocalOoB, CatSharedOoB,
+		CatIntraOoB, CatUAF, CatUAS, CatInvalidFree, CatDoubleFree}
+	cols := []MechanismColumn{ColGMOD, ColGPUShield, ColCuCatch, ColLMI, ColLMITracking}
+	t := stats.NewTable("violation test", "total", "GMOD", "GPUShield", "cuCatch", "LMI", "LMI+track")
+	for _, cat := range cats {
+		row := []string{cat.String()}
+		total := 0
+		var per []string
+		for _, col := range cols {
+			c := r.Counts(col)[cat]
+			total = c[1]
+			per = append(per, fmt.Sprintf("%d", c[0]))
+		}
+		row = append(row, fmt.Sprintf("%d", total))
+		row = append(row, per...)
+		t.AddRow(row...)
+	}
+	spat := []string{"Spatial coverage", ""}
+	temp := []string{"Temporal coverage", ""}
+	for _, col := range cols {
+		sd, st, td, tt := r.Coverage(col)
+		spat = append(spat, fmt.Sprintf("%.1f%%", 100*float64(sd)/float64(st)))
+		temp = append(temp, fmt.Sprintf("%.1f%%", 100*float64(td)/float64(tt)))
+	}
+	t.AddRow(spat...)
+	t.AddRow(temp...)
+	return t.String()
+}

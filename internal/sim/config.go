@@ -1,0 +1,144 @@
+// Package sim implements the cycle-level GPU simulator the evaluation
+// runs on — the substitute for MacSim in the paper's methodology (§X).
+//
+// The model covers what the paper's results depend on: SM cores with four
+// greedy-then-oldest warp schedulers each, warps of 32 lanes with a SIMT
+// reconvergence stack, a register scoreboard, a memory coalescer, per-SM
+// L1 caches, a shared L2, a bandwidth-limited DRAM, per-thread local
+// memory and stacks, per-block shared memory, a device heap serving
+// in-kernel malloc/free, and pluggable safety mechanisms hooked into the
+// integer ALUs (the OCU site) and the LSU (the EC site).
+package sim
+
+import "fmt"
+
+// Config is the GPU configuration. DefaultConfig reproduces Table IV.
+type Config struct {
+	// NumSMs is the number of streaming multiprocessors.
+	NumSMs int
+	// SchedulersPerSM is the number of warp schedulers per SM (GTO).
+	SchedulersPerSM int
+	// MaxWarpsPerSM bounds resident warps per SM.
+	MaxWarpsPerSM int
+	// MaxBlocksPerSM bounds resident thread blocks per SM.
+	MaxBlocksPerSM int
+	// SharedMemPerSM bounds the shared memory resident blocks may use in
+	// aggregate (an occupancy limiter).
+	SharedMemPerSM uint64
+
+	// LineSize is the cache line / memory transaction size in bytes.
+	LineSize uint64
+	// L1Size and L1Latency configure the per-SM L1 data cache.
+	L1Size    uint64
+	L1Assoc   int
+	L1Latency uint64
+	// L2Size, L2Assoc and L2Latency configure the shared L2.
+	L2Size    uint64
+	L2Assoc   int
+	L2Latency uint64
+	// DRAMLatency and DRAMBandwidth configure HBM (bytes/cycle sustained).
+	DRAMLatency   uint64
+	DRAMBandwidth uint64
+
+	// SharedLatency is the shared-memory access latency ("latency
+	// comparable to L1 cache", §II-A).
+	SharedLatency uint64
+	// ConstLatency is the constant-cache access latency.
+	ConstLatency uint64
+
+	// IntLatency, FPLatency and MufuLatency are ALU dependent latencies.
+	IntLatency  uint64
+	FPLatency   uint64
+	MufuLatency uint64
+
+	// MallocBaseLatency and MallocLaneLatency time device malloc/free:
+	// base cost plus per-active-lane serialisation (threads contend on
+	// the allocator, §IV-B1).
+	MallocBaseLatency uint64
+	MallocLaneLatency uint64
+
+	// HaltOnFault stops the kernel at the first recorded safety fault
+	// (used by the security suite); performance runs never fault.
+	HaltOnFault bool
+
+	// MaxCycles aborts runaway simulations.
+	MaxCycles uint64
+}
+
+// DefaultConfig returns the paper's simulated GPU (Table IV): 80 SMs at
+// 2 GHz, 4 GTO warp schedulers per SM, 96 KB L1 with 30-cycle latency,
+// 4.5 MB 24-way L2 with 200-cycle latency, 8 GB HBM.
+func DefaultConfig() Config {
+	return Config{
+		NumSMs:            80,
+		SchedulersPerSM:   4,
+		MaxWarpsPerSM:     64,
+		MaxBlocksPerSM:    16,
+		SharedMemPerSM:    128 << 10,
+		LineSize:          128,
+		L1Size:            96 << 10,
+		L1Assoc:           4,
+		L1Latency:         30,
+		L2Size:            4608 << 10, // 4.5 MB
+		L2Assoc:           24,
+		L2Latency:         200,
+		DRAMLatency:       330,
+		DRAMBandwidth:     450, // ~900 GB/s HBM at 2 GHz
+		SharedLatency:     26,
+		ConstLatency:      8,
+		IntLatency:        4,
+		FPLatency:         4,
+		MufuLatency:       12,
+		MallocBaseLatency: 200,
+		MallocLaneLatency: 20,
+		HaltOnFault:       true,
+		MaxCycles:         2_000_000_000,
+	}
+}
+
+// ScaledConfig returns the Table IV machine scaled down to numSMs cores
+// with proportionally scaled L2 capacity and DRAM bandwidth, for
+// wall-clock-bounded tests and benches. Grid sizes should be scaled by
+// the same factor; relative mechanism overheads are preserved because
+// per-SM resources are unchanged.
+func ScaledConfig(numSMs int) Config {
+	c := DefaultConfig()
+	if numSMs <= 0 {
+		numSMs = 1
+	}
+	scale := float64(numSMs) / float64(c.NumSMs)
+	c.NumSMs = numSMs
+	l2 := uint64(float64(c.L2Size) * scale)
+	// Keep the L2 divisible into 24-way sets of 128-byte lines.
+	gran := uint64(c.L2Assoc) * c.LineSize
+	if l2 < gran {
+		l2 = gran
+	}
+	c.L2Size = l2 / gran * gran
+	bw := uint64(float64(c.DRAMBandwidth) * scale)
+	if bw == 0 {
+		bw = 1
+	}
+	c.DRAMBandwidth = bw
+	return c
+}
+
+// Validate checks configuration sanity.
+func (c Config) Validate() error {
+	if c.NumSMs <= 0 || c.SchedulersPerSM <= 0 || c.MaxWarpsPerSM <= 0 || c.MaxBlocksPerSM <= 0 {
+		return fmt.Errorf("sim: non-positive core configuration")
+	}
+	if c.LineSize == 0 || c.LineSize&(c.LineSize-1) != 0 {
+		return fmt.Errorf("sim: line size %d not a power of two", c.LineSize)
+	}
+	return nil
+}
+
+// String summarises the configuration in Table IV style.
+func (c Config) String() string {
+	return fmt.Sprintf(
+		"SM Core: %d cores; Scheduler: %d warp schedulers/SM, GTO; "+
+			"L1: %d KB, %d cycles; L2: %.1f MB, %d-way, %d cycles; DRAM: HBM, %d cycles, %d B/cycle",
+		c.NumSMs, c.SchedulersPerSM, c.L1Size>>10, c.L1Latency,
+		float64(c.L2Size)/(1<<20), c.L2Assoc, c.L2Latency, c.DRAMLatency, c.DRAMBandwidth)
+}

@@ -1,0 +1,493 @@
+package sim
+
+import (
+	"fmt"
+
+	"lmi/internal/alloc"
+	"lmi/internal/core"
+	"lmi/internal/isa"
+	"lmi/internal/mem"
+)
+
+// TraceEvent is one dynamically executed warp instruction, delivered to
+// an attached Tracer (the NVBit-style instrumentation point).
+type TraceEvent struct {
+	PC     int
+	Op     isa.Opcode
+	SM     int
+	Warp   int
+	Active uint32
+	HintA  bool
+	// Addrs holds per-active-lane effective addresses for memory
+	// operations. The slice is reused between events; tracers must copy
+	// what they keep.
+	Addrs []uint64
+}
+
+// Tracer observes every executed warp instruction.
+type Tracer interface {
+	Trace(ev *TraceEvent)
+}
+
+// Device is a simulated GPU: memory system, allocators, and a safety
+// mechanism. A Device persists across kernel launches the way a real
+// device does; global memory contents and host-side allocations survive.
+type Device struct {
+	Cfg  Config
+	Mech Mechanism
+
+	// Global is the device global-memory image.
+	Global *mem.AddrSpace
+
+	// Tracer, when non-nil, receives every executed warp instruction.
+	Tracer Tracer
+
+	galloc *alloc.GlobalAllocator
+	heap   *alloc.DeviceHeap
+}
+
+// NewDevice builds a device with the given configuration and mechanism.
+func NewDevice(cfg Config, mech Mechanism) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if mech == nil {
+		mech = Baseline{}
+	}
+	return &Device{
+		Cfg:    cfg,
+		Mech:   mech,
+		Global: mem.NewAddrSpace(),
+		galloc: alloc.NewDefaultGlobalAllocator(mech.AllocPolicy()),
+		heap:   alloc.NewDefaultDeviceHeap(mech.AllocPolicy()),
+	}, nil
+}
+
+// Malloc is the cudaMalloc analogue: it allocates device global memory
+// and returns the (mechanism-tagged) pointer value to pass as a kernel
+// parameter.
+func (d *Device) Malloc(size uint64) (uint64, error) {
+	b, err := d.galloc.Alloc(size)
+	if err != nil {
+		return 0, err
+	}
+	return d.Mech.TagAlloc(b, isa.SpaceGlobal), nil
+}
+
+// Free is the cudaFree analogue.
+func (d *Device) Free(ptr uint64) error {
+	return d.galloc.Free(d.Mech.UntagFree(ptr, isa.SpaceGlobal))
+}
+
+// GlobalAllocator exposes the device's global allocator (used by
+// region-based mechanisms that need the live-buffer table).
+func (d *Device) GlobalAllocator() *alloc.GlobalAllocator { return d.galloc }
+
+// Heap exposes the device heap.
+func (d *Device) Heap() *alloc.DeviceHeap { return d.heap }
+
+// WriteGlobal copies host data into device global memory at a pointer
+// returned by Malloc (tag bits are stripped via the mechanism).
+func (d *Device) WriteGlobal(ptr uint64, data []byte) {
+	d.Global.WriteBytes(d.Mech.Canonical(ptr), data)
+}
+
+// ReadGlobal copies device global memory back to the host.
+func (d *Device) ReadGlobal(ptr uint64, size int) []byte {
+	return d.Global.ReadBytes(d.Mech.Canonical(ptr), size)
+}
+
+// simtEntry is one SIMT reconvergence-stack entry.
+type simtEntry struct {
+	pc, rpc int32
+	mask    uint32
+}
+
+// warp is a resident warp's execution state.
+type warp struct {
+	globalID int // launch order, for GTO ageing
+	block    *blockCtx
+	warpIdx  int // index within the block
+	sm       *smCtx
+
+	launchMask uint32
+	regs       [][]uint64 // [lane][reg]
+	preds      [][8]bool
+	locals     []*mem.AddrSpace
+
+	stack      []simtEntry
+	pendingSSY int32
+	exited     uint32
+
+	regReady  []uint64
+	predReady [8]uint64
+	nextIssue uint64
+
+	atBarrier bool
+	done      bool
+}
+
+// blockCtx is a resident thread block.
+type blockCtx struct {
+	ctaid  int
+	shared *mem.AddrSpace
+	warps  []*warp
+}
+
+// smCtx is one SM's runtime state.
+type smCtx struct {
+	id     int
+	l1     *mem.Cache
+	blocks []*blockCtx
+	warps  []*warp
+	greedy []int // per-scheduler greedy warp (index into warps), -1 none
+}
+
+// launch is the transient state of one kernel execution.
+type launch struct {
+	dev   *Device
+	prog  *isa.Program
+	grid  int // total blocks (gridX * gridY)
+	bdim  int // total threads per block (blockX * blockY)
+	gridX int
+	bdimX int
+	cbank *mem.AddrSpace
+
+	l2   *mem.Cache
+	dram *mem.DRAM
+
+	sms       []*smCtx
+	nextBlock int
+	liveBlk   int
+
+	cycle  uint64
+	stats  KernelStats
+	halted bool
+	runErr error
+
+	// traceEv is the reusable event delivered to an attached tracer.
+	traceEv TraceEvent
+}
+
+// Launch runs a kernel to completion and returns its statistics with a
+// 1-D grid; params are the kernel parameter words (pointers from Malloc,
+// scalars).
+func (d *Device) Launch(p *isa.Program, gridDim, blockDim int, params []uint64) (*KernelStats, error) {
+	return d.Launch2D(p, gridDim, 1, blockDim, 1, params)
+}
+
+// Launch2D runs a kernel with a 2-D grid and 2-D blocks. Threads are
+// linearised row-major within a block (tid = tidY*blockDimX + tidX), as
+// on real hardware; special registers expose both coordinates.
+func (d *Device) Launch2D(p *isa.Program, gridX, gridY, blockX, blockY int, params []uint64) (*KernelStats, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if gridX <= 0 || gridY <= 0 || blockX <= 0 || blockY <= 0 {
+		return nil, fmt.Errorf("sim: bad launch dimensions (%d,%d) x (%d,%d)", gridX, gridY, blockX, blockY)
+	}
+	gridDim, blockDim := gridX*gridY, blockX*blockY
+	if blockDim > 1024 {
+		return nil, fmt.Errorf("sim: block %d x %d exceeds 1024 threads", blockX, blockY)
+	}
+	if len(params) < p.NumParams {
+		return nil, fmt.Errorf("sim: kernel %s expects %d params, got %d", p.Name, p.NumParams, len(params))
+	}
+	d.Mech.Reset()
+
+	cbank := mem.NewAddrSpace()
+	cbank.Write(uint64(p.StackPtrConst), alloc.StackTop, 8)
+	for i, v := range params {
+		cbank.Write(uint64(p.ParamBase+8*i), v, 8)
+	}
+
+	ls := &launch{
+		dev:   d,
+		prog:  p,
+		grid:  gridDim,
+		bdim:  blockDim,
+		gridX: gridX,
+		bdimX: blockX,
+		cbank: cbank,
+		l2:    mem.MustCache("L2", d.Cfg.L2Size, d.Cfg.L2Assoc, d.Cfg.LineSize, d.Cfg.L2Latency),
+		dram:  mem.NewDRAM(d.Cfg.DRAMLatency, d.Cfg.DRAMBandwidth),
+	}
+	ls.stats.MemInstrs = make(map[isa.Opcode]uint64)
+	for i := 0; i < d.Cfg.NumSMs; i++ {
+		ls.sms = append(ls.sms, &smCtx{
+			id:     i,
+			l1:     mem.MustCache("L1", d.Cfg.L1Size, d.Cfg.L1Assoc, d.Cfg.LineSize, d.Cfg.L1Latency),
+			greedy: make([]int, d.Cfg.SchedulersPerSM),
+		})
+		for s := range ls.sms[i].greedy {
+			ls.sms[i].greedy[s] = -1
+		}
+	}
+	ls.fillSMs()
+	if err := ls.run(); err != nil {
+		return nil, err
+	}
+	st := ls.stats
+	st.Cycles = ls.cycle
+	st.Halted = ls.halted
+	st.L2 = ls.l2.Stats()
+	st.DRAMAccesses = ls.dram.Stats().Accesses
+	for _, sm := range ls.sms {
+		s := sm.l1.Stats()
+		st.L1.Accesses += s.Accesses
+		st.L1.Hits += s.Hits
+		st.L1.Misses += s.Misses
+	}
+	return &st, nil
+}
+
+// warpsPerBlock returns the warp count for the launch's block dimension.
+func (ls *launch) warpsPerBlock() int { return (ls.bdim + 31) / 32 }
+
+// smHasRoom reports whether an SM can host one more block of this
+// launch, considering block slots, warp slots, and shared-memory
+// occupancy.
+func (ls *launch) smHasRoom(sm *smCtx) bool {
+	cfg := &ls.dev.Cfg
+	if len(sm.blocks) >= cfg.MaxBlocksPerSM {
+		return false
+	}
+	if len(sm.warps)+ls.warpsPerBlock() > cfg.MaxWarpsPerSM {
+		return false
+	}
+	if cfg.SharedMemPerSM > 0 && ls.prog.SharedSize > 0 {
+		used := uint64(len(sm.blocks)) * uint64(ls.prog.SharedSize)
+		if used+uint64(ls.prog.SharedSize) > cfg.SharedMemPerSM {
+			return false
+		}
+	}
+	return true
+}
+
+// fillSMs assigns pending blocks to SMs with free slots.
+func (ls *launch) fillSMs() {
+	for _, sm := range ls.sms {
+		for ls.nextBlock < ls.grid && ls.smHasRoom(sm) {
+			ls.placeBlock(sm, ls.nextBlock)
+			ls.nextBlock++
+			ls.liveBlk++
+		}
+	}
+}
+
+// placeBlock instantiates block ctaid on an SM.
+func (ls *launch) placeBlock(sm *smCtx, ctaid int) {
+	blk := &blockCtx{ctaid: ctaid, shared: mem.NewAddrSpace()}
+	wpb := ls.warpsPerBlock()
+	numRegs := ls.prog.NumRegs
+	if numRegs < 8 {
+		numRegs = 8
+	}
+	for wi := 0; wi < wpb; wi++ {
+		lanes := ls.bdim - wi*32
+		if lanes > 32 {
+			lanes = 32
+		}
+		w := &warp{
+			globalID:   ctaid*wpb + wi,
+			block:      blk,
+			warpIdx:    wi,
+			sm:         sm,
+			launchMask: uint32(1)<<uint(lanes) - 1,
+			pendingSSY: -1,
+			regReady:   make([]uint64, 256),
+		}
+		w.stack = []simtEntry{{pc: 0, rpc: -1, mask: w.launchMask}}
+		w.regs = make([][]uint64, lanes)
+		w.preds = make([][8]bool, lanes)
+		w.locals = make([]*mem.AddrSpace, lanes)
+		for l := 0; l < lanes; l++ {
+			w.regs[l] = make([]uint64, numRegs)
+			w.preds[l][isa.PT] = true
+		}
+		blk.warps = append(blk.warps, w)
+		sm.warps = append(sm.warps, w)
+	}
+	sm.blocks = append(sm.blocks, blk)
+}
+
+// run executes the cycle loop.
+func (ls *launch) run() error {
+	cfg := ls.dev.Cfg
+	for ls.liveBlk > 0 || ls.nextBlock < ls.grid {
+		if ls.halted {
+			break
+		}
+		if ls.cycle > cfg.MaxCycles {
+			return fmt.Errorf("sim: kernel %s exceeded %d cycles", ls.prog.Name, cfg.MaxCycles)
+		}
+		for _, sm := range ls.sms {
+			ls.stepSM(sm)
+			if ls.halted {
+				break
+			}
+		}
+		ls.cycle++
+	}
+	return ls.runErr
+}
+
+// stepSM advances one SM by one cycle: barrier release, then one issue per
+// scheduler.
+func (ls *launch) stepSM(sm *smCtx) {
+	// Barrier release: all live warps of a block parked -> release.
+	for _, blk := range sm.blocks {
+		allAt, any := true, false
+		for _, w := range blk.warps {
+			if w.done {
+				continue
+			}
+			any = true
+			if !w.atBarrier {
+				allAt = false
+				break
+			}
+		}
+		if any && allAt {
+			for _, w := range blk.warps {
+				w.atBarrier = false
+			}
+		}
+	}
+	nsched := ls.dev.Cfg.SchedulersPerSM
+	for s := 0; s < nsched; s++ {
+		// GTO: keep issuing the greedy warp while it is ready; otherwise
+		// pick the oldest ready warp.
+		pick := -1
+		if g := sm.greedy[s]; g >= 0 && g < len(sm.warps) && ls.warpReady(sm.warps[g]) &&
+			g%nsched == s {
+			pick = g
+		} else {
+			oldest := -1
+			for i, w := range sm.warps {
+				if i%nsched != s {
+					continue
+				}
+				if ls.warpReady(w) && (oldest == -1 || w.globalID < sm.warps[oldest].globalID) {
+					oldest = i
+				}
+			}
+			pick = oldest
+		}
+		if pick < 0 {
+			continue
+		}
+		sm.greedy[s] = pick
+		ls.issue(sm, sm.warps[pick])
+		if ls.halted {
+			return
+		}
+	}
+	// Retire finished blocks and pull new ones.
+	ls.retireBlocks(sm)
+}
+
+// retireBlocks removes completed blocks from an SM and refills it.
+func (ls *launch) retireBlocks(sm *smCtx) {
+	changed := false
+	keptBlocks := sm.blocks[:0]
+	for _, blk := range sm.blocks {
+		doneAll := true
+		for _, w := range blk.warps {
+			if !w.done {
+				doneAll = false
+				break
+			}
+		}
+		if doneAll {
+			changed = true
+			ls.liveBlk--
+		} else {
+			keptBlocks = append(keptBlocks, blk)
+		}
+	}
+	sm.blocks = keptBlocks
+	if changed {
+		keptWarps := sm.warps[:0]
+		for _, w := range sm.warps {
+			if !w.done {
+				keptWarps = append(keptWarps, w)
+			}
+		}
+		sm.warps = keptWarps
+		for s := range sm.greedy {
+			sm.greedy[s] = -1
+		}
+		for ls.nextBlock < ls.grid && ls.smHasRoom(sm) {
+			ls.placeBlock(sm, ls.nextBlock)
+			ls.nextBlock++
+			ls.liveBlk++
+		}
+	}
+}
+
+// syncTop pops reconverged or fully-exited stack entries and reports
+// whether the warp still has work.
+func (w *warp) syncTop() bool {
+	for {
+		if len(w.stack) == 0 {
+			w.done = true
+			return false
+		}
+		top := &w.stack[len(w.stack)-1]
+		if top.mask&^w.exited == 0 {
+			w.stack = w.stack[:len(w.stack)-1]
+			continue
+		}
+		if len(w.stack) > 1 && top.pc == top.rpc {
+			w.stack = w.stack[:len(w.stack)-1]
+			continue
+		}
+		return true
+	}
+}
+
+// warpReady reports whether the warp can issue this cycle (scoreboard and
+// structural checks).
+func (ls *launch) warpReady(w *warp) bool {
+	if w.done || w.atBarrier || w.nextIssue > ls.cycle {
+		return false
+	}
+	if !w.syncTop() {
+		return false
+	}
+	top := &w.stack[len(w.stack)-1]
+	in := &ls.prog.Instrs[top.pc]
+	// Guard predicate readiness.
+	if w.predReady[in.Pred&7] > ls.cycle {
+		return false
+	}
+	// Source and destination register readiness (reads and in-order
+	// writeback).
+	for _, r := range in.Src {
+		if r != isa.RZ && w.regReady[r] > ls.cycle {
+			return false
+		}
+	}
+	if in.Op == isa.SETP || in.Op == isa.FSETP {
+		if w.predReady[in.Dst&7] > ls.cycle {
+			return false
+		}
+	} else if in.Dst != isa.RZ && w.regReady[in.Dst] > ls.cycle {
+		return false
+	}
+	if in.Op == isa.SEL && w.predReady[in.Aux&7] > ls.cycle {
+		return false
+	}
+	return true
+}
+
+// recordFault appends a fault and halts the launch if configured.
+func (ls *launch) recordFault(f *core.Fault, pc int, sm, warpID, lane int) {
+	ls.stats.Faults = append(ls.stats.Faults, FaultRecord{
+		Fault: f, PC: pc, SM: sm, Warp: warpID, Lane: lane,
+	})
+	if ls.dev.Cfg.HaltOnFault {
+		ls.halted = true
+	}
+}

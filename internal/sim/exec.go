@@ -1,0 +1,398 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"lmi/internal/core"
+	"lmi/internal/isa"
+)
+
+// sx32 sign-extends a 32-bit value into the 64-bit register convention:
+// i32 values live sign-extended in 64-bit registers.
+func sx32(x int32) uint64 { return uint64(int64(x)) }
+
+func f32bits(v uint64) float32 { return math.Float32frombits(uint32(v)) }
+func bitsf32(f float32) uint64 { return uint64(math.Float32bits(f)) }
+
+// issue executes one instruction for a warp: functional semantics plus
+// timing bookkeeping (scoreboard updates, memory latencies, mechanism
+// hooks).
+func (ls *launch) issue(sm *smCtx, w *warp) {
+	top := &w.stack[len(w.stack)-1]
+	pc := int(top.pc)
+	in := &ls.prog.Instrs[pc]
+	active := top.mask &^ w.exited
+
+	// Guard predicate per lane.
+	exec := uint32(0)
+	for lane := 0; lane < len(w.regs); lane++ {
+		if active&(1<<uint(lane)) == 0 {
+			continue
+		}
+		p := w.preds[lane][in.Pred&7]
+		if in.PredNeg {
+			p = !p
+		}
+		if p {
+			exec |= 1 << uint(lane)
+		}
+	}
+
+	ls.stats.Instrs++
+	ls.stats.ThreadInstrs += uint64(bits.OnesCount32(exec))
+	if in.Op.IsMemory() && exec != 0 {
+		ls.stats.MemInstrs[in.Op]++
+	}
+	if ls.dev.Tracer != nil {
+		ls.traceEv.Addrs = ls.traceEv.Addrs[:0]
+		defer ls.emitTrace(sm, w, in, pc, exec)
+	}
+
+	w.nextIssue = ls.cycle + 1
+	cfg := &ls.dev.Cfg
+
+	src := func(lane, i int) uint64 {
+		r := in.Src[i]
+		if r == isa.RZ {
+			return 0
+		}
+		return w.regs[lane][r]
+	}
+	// immOr returns source operand i, replaced by the sign-extended
+	// immediate in the immediate form.
+	immOr := func(lane, i int) uint64 {
+		if in.HasImm {
+			return sx32(in.Imm)
+		}
+		return src(lane, i)
+	}
+	writeDst := func(lane int, v uint64) {
+		if in.Dst != isa.RZ {
+			w.regs[lane][in.Dst] = v
+		}
+	}
+	setLat := func(lat uint64) {
+		if in.Dst != isa.RZ {
+			rdy := ls.cycle + lat
+			if w.regReady[in.Dst] < rdy {
+				w.regReady[in.Dst] = rdy
+			}
+		}
+	}
+
+	// Integer ALU body shared by all OCU-eligible opcodes: computes the
+	// raw result per lane (narrowed to 32 bits and sign-extended unless
+	// the W64 flag is set), then runs the mechanism's pointer check when
+	// the Activation hint is set.
+	w64 := in.W64()
+	intOp := func(f func(lane int) uint64) {
+		extraMax := uint64(0)
+		for lane := 0; lane < len(w.regs); lane++ {
+			if exec&(1<<uint(lane)) == 0 {
+				continue
+			}
+			out := f(lane)
+			if !w64 {
+				out = sx32(int32(out))
+			}
+			if in.Hint.A {
+				inVal := src(lane, in.Hint.PointerOperand())
+				res, extra := ls.dev.Mech.CheckPointerOp(inVal, out)
+				out = res
+				if extra > extraMax {
+					extraMax = extra
+				}
+				ls.stats.PointerChecks++
+			}
+			writeDst(lane, out)
+		}
+		setLat(cfg.IntLatency + extraMax)
+	}
+	fpOp := func(lat uint64, f func(lane int) uint64) {
+		for lane := 0; lane < len(w.regs); lane++ {
+			if exec&(1<<uint(lane)) == 0 {
+				continue
+			}
+			writeDst(lane, f(lane))
+		}
+		setLat(lat)
+	}
+
+	advance := true
+	switch in.Op {
+	case isa.NOP, isa.SYNC:
+		// SYNC is a no-op: reconvergence is driven by the rpc check.
+	case isa.SSY:
+		w.pendingSSY = in.Target
+	case isa.MOV:
+		intOp(func(lane int) uint64 { return immOr(lane, 0) })
+	case isa.IADD:
+		intOp(func(lane int) uint64 { return src(lane, 0) + immOr(lane, 1) })
+	case isa.IADD3:
+		intOp(func(lane int) uint64 { return src(lane, 0) + src(lane, 1) + immOr(lane, 2) })
+	case isa.IMUL:
+		intOp(func(lane int) uint64 {
+			return uint64(int64(src(lane, 0)) * int64(immOr(lane, 1)))
+		})
+	case isa.IMAD:
+		intOp(func(lane int) uint64 {
+			return uint64(int64(src(lane, 0))*int64(src(lane, 1)) + int64(immOr(lane, 2)))
+		})
+	case isa.IMNMX:
+		intOp(func(lane int) uint64 {
+			a, b := int64(src(lane, 0)), int64(immOr(lane, 1))
+			if (in.Aux == 1) == (a > b) { // Aux 1 = max
+				return uint64(a)
+			}
+			return uint64(b)
+		})
+	case isa.SHL:
+		intOp(func(lane int) uint64 {
+			if w64 {
+				return src(lane, 0) << (immOr(lane, 1) & 63)
+			}
+			return uint64(uint32(src(lane, 0)) << (immOr(lane, 1) & 31))
+		})
+	case isa.SHR:
+		intOp(func(lane int) uint64 {
+			if w64 {
+				return src(lane, 0) >> (immOr(lane, 1) & 63)
+			}
+			// 32-bit logical shift (the narrowing in intOp sign-extends
+			// the 32-bit result into the register).
+			return uint64(uint32(src(lane, 0)) >> (immOr(lane, 1) & 31))
+		})
+	case isa.AND:
+		intOp(func(lane int) uint64 { return src(lane, 0) & immOr(lane, 1) })
+	case isa.OR:
+		intOp(func(lane int) uint64 { return src(lane, 0) | immOr(lane, 1) })
+	case isa.XOR:
+		intOp(func(lane int) uint64 { return src(lane, 0) ^ immOr(lane, 1) })
+	case isa.SETP:
+		pd := in.Dst & 7
+		for lane := 0; lane < len(w.regs); lane++ {
+			if exec&(1<<uint(lane)) == 0 {
+				continue
+			}
+			w.preds[lane][pd] = cmpSigned(isa.CmpOp(in.Aux), int64(src(lane, 0)), int64(immOr(lane, 1)))
+		}
+		if rdy := ls.cycle + cfg.IntLatency; w.predReady[pd] < rdy {
+			w.predReady[pd] = rdy
+		}
+	case isa.FSETP:
+		pd := in.Dst & 7
+		for lane := 0; lane < len(w.regs); lane++ {
+			if exec&(1<<uint(lane)) == 0 {
+				continue
+			}
+			w.preds[lane][pd] = cmpF32(isa.CmpOp(in.Aux), f32bits(src(lane, 0)), f32bits(immOr(lane, 1)))
+		}
+		if rdy := ls.cycle + cfg.FPLatency; w.predReady[pd] < rdy {
+			w.predReady[pd] = rdy
+		}
+	case isa.SEL:
+		intOp(func(lane int) uint64 {
+			if w.preds[lane][in.Aux&7] {
+				return src(lane, 0)
+			}
+			return immOr(lane, 1)
+		})
+	case isa.FADD:
+		fpOp(cfg.FPLatency, func(lane int) uint64 {
+			return bitsf32(f32bits(src(lane, 0)) + f32bits(immOr(lane, 1)))
+		})
+	case isa.FMUL:
+		fpOp(cfg.FPLatency, func(lane int) uint64 {
+			return bitsf32(f32bits(src(lane, 0)) * f32bits(immOr(lane, 1)))
+		})
+	case isa.FFMA:
+		fpOp(cfg.FPLatency, func(lane int) uint64 {
+			return bitsf32(f32bits(src(lane, 0))*f32bits(src(lane, 1)) + f32bits(immOr(lane, 2)))
+		})
+	case isa.MUFU:
+		fpOp(cfg.MufuLatency, func(lane int) uint64 {
+			x := f32bits(src(lane, 0))
+			switch isa.MufuFn(in.Aux) {
+			case isa.MufuRCP:
+				return bitsf32(1 / x)
+			case isa.MufuSQRT:
+				return bitsf32(float32(math.Sqrt(float64(x))))
+			case isa.MufuEX2:
+				return bitsf32(float32(math.Exp2(float64(x))))
+			case isa.MufuLG2:
+				return bitsf32(float32(math.Log2(float64(x))))
+			case isa.MufuSIN:
+				return bitsf32(float32(math.Sin(float64(x))))
+			default:
+				return 0
+			}
+		})
+	case isa.F2I:
+		fpOp(cfg.FPLatency, func(lane int) uint64 {
+			return sx32(int32(f32bits(src(lane, 0))))
+		})
+	case isa.I2F:
+		fpOp(cfg.FPLatency, func(lane int) uint64 {
+			return bitsf32(float32(int64(src(lane, 0))))
+		})
+	case isa.S2R:
+		for lane := 0; lane < len(w.regs); lane++ {
+			if exec&(1<<uint(lane)) == 0 {
+				continue
+			}
+			writeDst(lane, ls.specialReg(w, lane, isa.SReg(in.Aux)))
+		}
+		setLat(cfg.IntLatency)
+	case isa.LDG, isa.STG, isa.LDS, isa.STS, isa.LDL, isa.STL, isa.ATOMG, isa.ATOMS:
+		ls.memAccess(sm, w, in, exec, pc)
+	case isa.LDC:
+		for lane := 0; lane < len(w.regs); lane++ {
+			if exec&(1<<uint(lane)) == 0 {
+				continue
+			}
+			addr := src(lane, 0) + sx32(in.Imm)
+			writeDst(lane, ls.cbank.Read(addr, int(in.AccSize())))
+		}
+		setLat(cfg.ConstLatency)
+	case isa.MALLOC, isa.FREE:
+		ls.heapOp(sm, w, in, exec, pc)
+	case isa.TRAP:
+		for lane := 0; lane < len(w.regs); lane++ {
+			if exec&(1<<uint(lane)) == 0 {
+				continue
+			}
+			ls.recordFault(core.NewFault(core.FaultSpatial, 0, 0,
+				fmt.Sprintf("software bounds check trap (code %d)", in.Imm)),
+				pc, sm.id, w.globalID, lane)
+			break // one record per warp instruction suffices
+		}
+	case isa.BAR:
+		w.atBarrier = true
+	case isa.EXIT:
+		w.exited |= active
+		top.pc++
+		w.syncTop()
+		return
+	case isa.BRA:
+		advance = false
+		ls.branch(w, top, pc, active, exec)
+	default:
+		ls.runErr = fmt.Errorf("sim: %s: unhandled opcode %s at pc %d", ls.prog.Name, in.Op, pc)
+		ls.halted = true
+		return
+	}
+	if advance {
+		top.pc++
+	}
+}
+
+// emitTrace delivers one executed instruction to the attached tracer
+// (memAccess has already collected the lane addresses into traceEv).
+func (ls *launch) emitTrace(sm *smCtx, w *warp, in *isa.Instr, pc int, exec uint32) {
+	ls.traceEv.PC = pc
+	ls.traceEv.Op = in.Op
+	ls.traceEv.SM = sm.id
+	ls.traceEv.Warp = w.globalID
+	ls.traceEv.Active = exec
+	ls.traceEv.HintA = in.Hint.A
+	ls.dev.Tracer.Trace(&ls.traceEv)
+}
+
+// branch implements the SIMT reconvergence-stack transform for a
+// (possibly divergent) predicated branch.
+func (ls *launch) branch(w *warp, top *simtEntry, pc int, active, taken uint32) {
+	in := &ls.prog.Instrs[pc]
+	switch {
+	case taken == active:
+		top.pc = in.Target
+	case taken == 0:
+		top.pc = int32(pc) + 1
+	default:
+		rpc := w.pendingSSY
+		if rpc < 0 {
+			ls.runErr = fmt.Errorf("sim: %s: divergent branch at pc %d without SSY", ls.prog.Name, pc)
+			ls.halted = true
+			return
+		}
+		// The current entry becomes the reconvergence continuation; the
+		// two paths are pushed above it and each pops when its pc reaches
+		// rpc (GPGPU-Sim style post-dominator stack).
+		top.pc = rpc
+		w.stack = append(w.stack,
+			simtEntry{pc: int32(pc) + 1, rpc: rpc, mask: active &^ taken},
+			simtEntry{pc: in.Target, rpc: rpc, mask: taken},
+		)
+	}
+	w.pendingSSY = -1
+}
+
+// specialReg reads an S2R value for a lane.
+func (ls *launch) specialReg(w *warp, lane int, sr isa.SReg) uint64 {
+	tid := w.warpIdx*32 + lane
+	switch sr {
+	case isa.SRTidX:
+		return uint64(tid % ls.bdimX)
+	case isa.SRTidY:
+		return uint64(tid / ls.bdimX)
+	case isa.SRCtaidX:
+		return uint64(w.block.ctaid % ls.gridX)
+	case isa.SRCtaidY:
+		return uint64(w.block.ctaid / ls.gridX)
+	case isa.SRNtidX:
+		return uint64(ls.bdimX)
+	case isa.SRNtidY:
+		return uint64(ls.bdim / ls.bdimX)
+	case isa.SRNctaidX:
+		return uint64(ls.gridX)
+	case isa.SRNctaidY:
+		return uint64(ls.grid / ls.gridX)
+	case isa.SRLaneID:
+		return uint64(lane)
+	case isa.SRWarpID:
+		return uint64(w.warpIdx)
+	case isa.SRSMID:
+		return uint64(w.sm.id)
+	default:
+		return 0
+	}
+}
+
+func cmpSigned(op isa.CmpOp, a, b int64) bool {
+	switch op {
+	case isa.CmpLT:
+		return a < b
+	case isa.CmpLE:
+		return a <= b
+	case isa.CmpGT:
+		return a > b
+	case isa.CmpGE:
+		return a >= b
+	case isa.CmpEQ:
+		return a == b
+	case isa.CmpNE:
+		return a != b
+	default:
+		return false
+	}
+}
+
+func cmpF32(op isa.CmpOp, a, b float32) bool {
+	switch op {
+	case isa.CmpLT:
+		return a < b
+	case isa.CmpLE:
+		return a <= b
+	case isa.CmpGT:
+		return a > b
+	case isa.CmpGE:
+		return a >= b
+	case isa.CmpEQ:
+		return a == b
+	case isa.CmpNE:
+		return a != b
+	default:
+		return false
+	}
+}

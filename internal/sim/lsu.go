@@ -1,0 +1,273 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"lmi/internal/alloc"
+	"lmi/internal/core"
+	"lmi/internal/isa"
+	"lmi/internal/mem"
+)
+
+// localPhysBase is the physical base of the per-thread local-memory
+// backing region used for cache/DRAM timing. Local memory "resides in
+// DRAM alongside global memory but is separated at the thread level"
+// (§II-A); the hardware interleaves it word-by-word across the lanes of a
+// warp so that warp-uniform local accesses coalesce.
+const localPhysBase uint64 = 0x1000_0000_0000
+
+// localPhys translates a lane's local virtual address to the interleaved
+// physical address used for timing.
+func localPhys(warpGlobalID, lane int, va uint64) uint64 {
+	return localPhysBase +
+		uint64(warpGlobalID)*(alloc.StackTop*32) +
+		(va>>2)*128 + uint64(lane)*4
+}
+
+// memAccess executes one warp-level memory instruction: per-lane safety
+// checks (the EC site), functional access, coalescing, and latency.
+func (ls *launch) memAccess(sm *smCtx, w *warp, in *isa.Instr, exec uint32, pc int) {
+	cfg := &ls.dev.Cfg
+	space := in.Op.MemSpace()
+	size := in.AccSize()
+	isStore := in.Op.IsStore()
+
+	var (
+		lineAddrs   []uint64
+		prevLine    uint64
+		havePrev    bool
+		prevRawLine uint64
+		haveRaw     bool
+		extraSum    uint64
+	)
+	addOne := func(la uint64) {
+		// Dedup against all transactions of this access, not just the
+		// previous lane (lanes may stride across a few lines).
+		for _, e := range lineAddrs {
+			if e == la {
+				return
+			}
+		}
+		lineAddrs = append(lineAddrs, la)
+	}
+	addLine := func(phys uint64) {
+		la := phys / cfg.LineSize
+		if !(havePrev && la == prevLine) {
+			addOne(la)
+		}
+		prevLine, havePrev = la, true
+		// An access straddling a line boundary touches the next line too.
+		if (phys%cfg.LineSize)+size > cfg.LineSize {
+			addOne(la + 1)
+		}
+	}
+
+	for lane := 0; lane < len(w.regs); lane++ {
+		if exec&(1<<uint(lane)) == 0 {
+			continue
+		}
+		raw := uint64(0)
+		if in.Src[0] != isa.RZ {
+			raw = w.regs[lane][in.Src[0]]
+		}
+		raw += sx32(in.Imm)
+
+		// Coalescing is judged on raw (possibly tagged) pointer lines:
+		// tag bits are constant within a buffer, so lanes falling in the
+		// same line compare equal regardless of the tagging scheme.
+		rawLine := raw / cfg.LineSize
+		coalesced := haveRaw && rawLine == prevRawLine
+		prevRawLine, haveRaw = rawLine, true
+		eff, extra, fault := ls.dev.Mech.CheckAccess(Access{
+			SM: sm.id, Space: space, Ptr: raw, Size: size,
+			Store: isStore, Cycle: ls.cycle, Coalesced: coalesced,
+		})
+		// Mechanism costs accumulate across lanes: shared checking
+		// structures (bounds caches, table fetch ports) serialize, which
+		// is exactly what hurts uncoalesced access patterns (§XI-A).
+		// Mechanisms with per-lane hardware (LMI's EC) return zero.
+		extraSum += extra
+		if fault != nil {
+			ls.recordFault(fault, pc, sm.id, w.globalID, lane)
+			if ls.halted {
+				return
+			}
+			continue // access suppressed for this lane
+		}
+		if ls.dev.Tracer != nil {
+			ls.traceEv.Addrs = append(ls.traceEv.Addrs, eff)
+		}
+
+		// Functional access.
+		switch space {
+		case isa.SpaceGlobal:
+			if in.Op == isa.ATOMG {
+				old := ls.dev.Global.Read(eff, int(size))
+				add := uint64(0)
+				if in.Src[1] != isa.RZ {
+					add = w.regs[lane][in.Src[1]]
+				}
+				ls.dev.Global.Write(eff, uint64(uint32(int32(old)+int32(add))), int(size))
+				if in.Dst != isa.RZ {
+					w.regs[lane][in.Dst] = old
+				}
+			} else if isStore {
+				val := uint64(0)
+				if in.Src[1] != isa.RZ {
+					val = w.regs[lane][in.Src[1]]
+				}
+				ls.dev.Global.Write(eff, val, int(size))
+			} else {
+				w.loadInto(lane, in, ls.dev.Global.Read(eff, int(size)))
+			}
+			addLine(eff)
+		case isa.SpaceShared:
+			shm := w.block.shared
+			if in.Op == isa.ATOMS {
+				old := shm.Read(eff, int(size))
+				add := uint64(0)
+				if in.Src[1] != isa.RZ {
+					add = w.regs[lane][in.Src[1]]
+				}
+				shm.Write(eff, uint64(uint32(int32(old)+int32(add))), int(size))
+				if in.Dst != isa.RZ {
+					w.regs[lane][in.Dst] = old
+				}
+			} else if isStore {
+				val := uint64(0)
+				if in.Src[1] != isa.RZ {
+					val = w.regs[lane][in.Src[1]]
+				}
+				shm.Write(eff, val, int(size))
+			} else {
+				w.loadInto(lane, in, shm.Read(eff, int(size)))
+			}
+			addLine(eff)
+		case isa.SpaceLocal:
+			lm := w.locals[lane]
+			if lm == nil {
+				lm = mem.NewAddrSpace()
+				w.locals[lane] = lm
+			}
+			if isStore {
+				val := uint64(0)
+				if in.Src[1] != isa.RZ {
+					val = w.regs[lane][in.Src[1]]
+				}
+				lm.Write(eff, val, int(size))
+			} else {
+				w.loadInto(lane, in, lm.Read(eff, int(size)))
+			}
+			addLine(localPhys(w.globalID, lane, eff))
+		}
+	}
+
+	// Timing: serialize one transaction per cycle at the LSU; each
+	// transaction traverses the hierarchy.
+	var latency uint64
+	switch space {
+	case isa.SpaceShared:
+		latency = cfg.SharedLatency
+		if n := uint64(len(lineAddrs)); n > 1 {
+			latency += n - 1
+		}
+	default: // global and local traverse L1/L2/DRAM
+		for i, la := range lineAddrs {
+			var lat uint64
+			addr := la * cfg.LineSize
+			if sm.l1.Access(addr) {
+				lat = cfg.L1Latency
+			} else if ls.l2.Access(addr) {
+				lat = cfg.L1Latency + cfg.L2Latency
+			} else {
+				lat = cfg.L1Latency + cfg.L2Latency + ls.dram.Access(ls.cycle, cfg.LineSize)
+			}
+			if total := uint64(i) + lat; total > latency {
+				latency = total
+			}
+		}
+		if latency == 0 {
+			latency = cfg.L1Latency // fully-suppressed or zero-lane access
+		}
+	}
+	latency += extraSum
+
+	if in.Op.IsLoad() && in.Dst != isa.RZ {
+		if rdy := ls.cycle + latency; w.regReady[in.Dst] < rdy {
+			w.regReady[in.Dst] = rdy
+		}
+	}
+}
+
+// loadInto writes a loaded value into a lane register, applying the
+// sign-extension flag.
+func (w *warp) loadInto(lane int, in *isa.Instr, v uint64) {
+	if in.Dst == isa.RZ {
+		return
+	}
+	if in.SignExtend() && in.AccSize() == 4 {
+		v = sx32(int32(uint32(v)))
+	}
+	w.regs[lane][in.Dst] = v
+}
+
+// heapOp executes device malloc/free for each active lane (§V-B "Heap
+// Memory"): every thread allocates its own buffer, contending on the
+// device allocator.
+func (ls *launch) heapOp(sm *smCtx, w *warp, in *isa.Instr, exec uint32, pc int) {
+	cfg := &ls.dev.Cfg
+	lanes := uint64(0)
+	for lane := 0; lane < len(w.regs); lane++ {
+		if exec&(1<<uint(lane)) == 0 {
+			continue
+		}
+		lanes++
+		val := uint64(0)
+		if in.Src[0] != isa.RZ {
+			val = w.regs[lane][in.Src[0]]
+		}
+		if in.Op == isa.MALLOC {
+			size := val
+			if int64(size) < 0 {
+				ls.runErr = fmt.Errorf("sim: %s: negative malloc size at pc %d", ls.prog.Name, pc)
+				ls.halted = true
+				return
+			}
+			b, err := ls.dev.heap.Malloc(size)
+			if err != nil {
+				ls.runErr = fmt.Errorf("sim: %s: %w", ls.prog.Name, err)
+				ls.halted = true
+				return
+			}
+			if in.Dst != isa.RZ {
+				w.regs[lane][in.Dst] = ls.dev.Mech.TagAlloc(b, isa.SpaceHeap)
+			}
+		} else { // FREE
+			addr := ls.dev.Mech.UntagFree(val, isa.SpaceHeap)
+			if err := ls.dev.heap.Free(addr); err != nil {
+				var f *core.Fault
+				if errors.As(err, &f) {
+					ls.recordFault(f, pc, sm.id, w.globalID, lane)
+					if ls.halted {
+						return
+					}
+				} else {
+					ls.runErr = err
+					ls.halted = true
+					return
+				}
+			}
+		}
+	}
+	lat := cfg.MallocBaseLatency + cfg.MallocLaneLatency*lanes
+	if in.Op == isa.MALLOC && in.Dst != isa.RZ {
+		if rdy := ls.cycle + lat; w.regReady[in.Dst] < rdy {
+			w.regReady[in.Dst] = rdy
+		}
+	}
+	// Free also occupies the LSU for the same duration.
+	if in.Op == isa.FREE {
+		w.nextIssue = ls.cycle + lat/4
+	}
+}

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"lmi/internal/alloc"
+	"lmi/internal/core"
+	"lmi/internal/isa"
+)
+
+// Access describes one lane's memory access, passed to the mechanism's
+// LSU hook (the EC site).
+type Access struct {
+	// SM is the SM index (mechanisms may keep per-SM state, e.g.
+	// GPUShield's RCache).
+	SM int
+	// Space is the memory space being accessed.
+	Space isa.Space
+	// Ptr is the raw register value used as the address (possibly
+	// tagged).
+	Ptr uint64
+	// Size is the access size in bytes.
+	Size uint64
+	// Store reports whether the access writes memory.
+	Store bool
+	// Cycle is the current simulation cycle.
+	Cycle uint64
+	// Coalesced reports whether this lane's access fell in the same
+	// memory transaction as the previous lane's (mechanisms whose
+	// per-transaction structures are stressed by uncoalesced access use
+	// this).
+	Coalesced bool
+}
+
+// Mechanism is a pluggable memory-safety mechanism. The simulator invokes
+// it at the three LMI lifecycle sites: pointer generation (allocation
+// hooks), pointer update (the integer-ALU hook = the OCU site), and
+// pointer dereference (the LSU hook = the EC site).
+//
+// A mechanism also dictates the allocator policy so that pointer tagging
+// and 2^n alignment stay consistent with the runtime.
+type Mechanism interface {
+	// Name identifies the mechanism in reports.
+	Name() string
+
+	// AllocPolicy selects the allocator rounding/alignment discipline.
+	AllocPolicy() alloc.Policy
+
+	// TagAlloc converts a fresh allocation into the register/parameter
+	// value handed to the program (e.g. LMI installs the extent bits).
+	TagAlloc(b alloc.Block, space isa.Space) uint64
+
+	// UntagFree recovers the allocator-visible base address from the
+	// value passed to free(), and may record temporal-safety state.
+	UntagFree(val uint64, space isa.Space) uint64
+
+	// Canonical strips all tag bits from a pointer value without side
+	// effects (used by host-side memory copies).
+	Canonical(val uint64) uint64
+
+	// CheckPointerOp is the integer-ALU hook, invoked for instructions
+	// carrying the Activation hint. in is the pointer operand selected by
+	// the S hint, out the raw ALU result. It returns the value actually
+	// written back and any extra dependent latency (LMI's OCU register
+	// slices).
+	CheckPointerOp(in, out uint64) (res uint64, extraLatency uint64)
+
+	// CheckAccess is the LSU hook. It returns the effective address the
+	// memory system should use (tag bits stripped), extra cycles charged
+	// to the access, and a fault if the access must be suppressed.
+	CheckAccess(a Access) (effAddr uint64, extra uint64, fault *core.Fault)
+
+	// Reset clears per-kernel microarchitectural state (caches, stats)
+	// before a launch.
+	Reset()
+}
+
+// Baseline is the no-protection mechanism: stock allocator, no tagging,
+// no checks. It is the normalisation baseline of Figs. 12 and 13.
+type Baseline struct{}
+
+// Name implements Mechanism.
+func (Baseline) Name() string { return "baseline" }
+
+// AllocPolicy implements Mechanism.
+func (Baseline) AllocPolicy() alloc.Policy { return alloc.PolicyBase }
+
+// TagAlloc implements Mechanism.
+func (Baseline) TagAlloc(b alloc.Block, _ isa.Space) uint64 { return b.Addr }
+
+// UntagFree implements Mechanism.
+func (Baseline) UntagFree(val uint64, _ isa.Space) uint64 { return val }
+
+// Canonical implements Mechanism.
+func (Baseline) Canonical(val uint64) uint64 { return val }
+
+// CheckPointerOp implements Mechanism.
+func (Baseline) CheckPointerOp(_, out uint64) (uint64, uint64) { return out, 0 }
+
+// CheckAccess implements Mechanism.
+func (Baseline) CheckAccess(a Access) (uint64, uint64, *core.Fault) { return a.Ptr, 0, nil }
+
+// Reset implements Mechanism.
+func (Baseline) Reset() {}

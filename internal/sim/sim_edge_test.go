@@ -1,0 +1,179 @@
+package sim_test
+
+import (
+	"strings"
+	"testing"
+
+	"lmi/internal/compiler"
+	"lmi/internal/ir"
+	"lmi/internal/isa"
+	"lmi/internal/safety"
+	"lmi/internal/sim"
+)
+
+func TestConfigValidation(t *testing.T) {
+	c := sim.DefaultConfig()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumSMs != 80 || c.SchedulersPerSM != 4 || c.L1Size != 96<<10 ||
+		c.L1Latency != 30 || c.L2Assoc != 24 || c.L2Latency != 200 {
+		t.Errorf("Table IV mismatch: %+v", c)
+	}
+	if !strings.Contains(c.String(), "80 cores") || !strings.Contains(c.String(), "GTO") {
+		t.Errorf("config string: %s", c)
+	}
+	bad := c
+	bad.NumSMs = 0
+	if bad.Validate() == nil {
+		t.Error("zero SMs accepted")
+	}
+	bad = c
+	bad.LineSize = 100
+	if bad.Validate() == nil {
+		t.Error("non-pow2 line size accepted")
+	}
+	if _, err := sim.NewDevice(bad, nil); err == nil {
+		t.Error("NewDevice accepted bad config")
+	}
+	// Scaled config stays valid at extremes.
+	for _, n := range []int{-1, 1, 2, 7, 80, 160} {
+		s := sim.ScaledConfig(n)
+		if err := s.Validate(); err != nil {
+			t.Errorf("ScaledConfig(%d): %v", n, err)
+		}
+	}
+}
+
+func TestLaunchErrorPaths(t *testing.T) {
+	b := ir.NewBuilder("trivial")
+	out := b.Param(ir.PtrGlobal)
+	b.Store(out, b.ConstI(ir.I32, 1), 0)
+	prog, err := compiler.Compile(b.MustFinish(), compiler.ModeBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := sim.NewDevice(sim.ScaledConfig(1), nil) // nil mech -> Baseline
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := dev.Malloc(64)
+	if _, err := dev.Launch(prog, 0, 32, []uint64{p}); err == nil {
+		t.Error("zero grid accepted")
+	}
+	if _, err := dev.Launch(prog, 1, 2048, []uint64{p}); err == nil {
+		t.Error("block > 1024 accepted")
+	}
+	if _, err := dev.Launch(prog, 1, 32, nil); err == nil {
+		t.Error("missing params accepted")
+	}
+	bad := &isa.Program{Name: "bad"}
+	if _, err := dev.Launch(bad, 1, 32, nil); err == nil {
+		t.Error("invalid program accepted")
+	}
+	if _, err := dev.Launch(prog, 1, 32, []uint64{p}); err != nil {
+		t.Errorf("valid launch failed: %v", err)
+	}
+}
+
+// TestEarlyExitDivergence: some lanes EXIT inside a divergent branch
+// while others keep working; the warp must finish both paths.
+func TestEarlyExitDivergence(t *testing.T) {
+	b := ir.NewBuilder("earlyexit")
+	out := b.Param(ir.PtrGlobal)
+	gtid := b.GlobalTID()
+	b.If(b.ICmp(isa.CmpLT, gtid, b.ConstI(ir.I32, 16)), func() {
+		b.Ret() // half the warp exits early
+	}, nil)
+	b.Store(b.GEP(out, gtid, 4, 0), b.Add(gtid, b.ConstI(ir.I32, 100)), 0)
+	f := b.MustFinish()
+	res := runKernel(t, f, compiler.ModeLMI, safety.NewLMI(), 1, 32, []uint64{256}, nil, nil)
+	if res.stats.Halted {
+		t.Fatalf("halted: %+v", res.stats.Faults)
+	}
+	got := res.dev.ReadGlobal(res.bufPtr[0], 256)
+	for i := 0; i < 32; i++ {
+		v := uint32(got[4*i]) | uint32(got[4*i+1])<<8
+		if i < 16 && v != 0 {
+			t.Errorf("lane %d exited early but wrote %d", i, v)
+		}
+		if i >= 16 && v != uint32(i+100) {
+			t.Errorf("lane %d wrote %d, want %d", i, v, i+100)
+		}
+	}
+}
+
+// TestWidthSemantics32vs64: i32 arithmetic narrows with sign extension
+// (SASS default) while pointer arithmetic stays 64-bit.
+func TestWidthSemantics32vs64(t *testing.T) {
+	b := ir.NewBuilder("width")
+	out := b.Param(ir.PtrGlobal)
+	gtid := b.GlobalTID()
+	// -1 >> 1 in 32-bit logical semantics = 0x7FFFFFFF.
+	minus1 := b.ConstI(ir.I32, -1)
+	shr := b.Shr(minus1, b.ConstI(ir.I32, 1))
+	// (-5 via subtraction) compared against 3: signed compare must say
+	// less-than even though -5 as raw bits is huge.
+	neg5 := b.Sub(b.ConstI(ir.I32, 0), b.ConstI(ir.I32, 5))
+	isLess := b.ICmp(isa.CmpLT, neg5, b.ConstI(ir.I32, 3))
+	flag := b.Select(isLess, b.ConstI(ir.I32, 1), b.ConstI(ir.I32, 0))
+	b.Store(b.GEP(out, gtid, 4, 0), shr, 0)
+	b.Store(b.GEP(out, gtid, 4, 4), flag, 0)
+	f := b.MustFinish()
+	res := runKernel(t, f, compiler.ModeLMI, safety.NewLMI(), 1, 1, []uint64{256}, nil, nil)
+	got := res.dev.ReadGlobal(res.bufPtr[0], 8)
+	shrGot := uint32(got[0]) | uint32(got[1])<<8 | uint32(got[2])<<16 | uint32(got[3])<<24
+	if shrGot != 0x7FFFFFFF {
+		t.Errorf("-1 >>l 1 = %#x, want 0x7FFFFFFF", shrGot)
+	}
+	if got[4] != 1 {
+		t.Error("signed compare of negative value failed")
+	}
+}
+
+// TestPersistentDeviceAcrossLaunches: global memory and allocations
+// survive between kernels on one device.
+func TestPersistentDeviceAcrossLaunches(t *testing.T) {
+	mk := func(name string, add int64) *isa.Program {
+		b := ir.NewBuilder(name)
+		buf := b.Param(ir.PtrGlobal)
+		gtid := b.GlobalTID()
+		p := b.GEP(buf, gtid, 4, 0)
+		b.Store(p, b.Add(b.Load(ir.I32, p, 0), b.ConstI(ir.I32, add)), 0)
+		prog, err := compiler.Compile(b.MustFinish(), compiler.ModeLMI)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return prog
+	}
+	dev, _ := sim.NewDevice(sim.ScaledConfig(1), safety.NewLMI())
+	p, _ := dev.Malloc(4 * 32)
+	k1, k2 := mk("addfive", 5), mk("addseven", 7)
+	for i := 0; i < 3; i++ {
+		if _, err := dev.Launch(k1, 1, 32, []uint64{p}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dev.Launch(k2, 1, 32, []uint64{p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := dev.ReadGlobal(p, 4)
+	if v := uint32(got[0]); v != 36 {
+		t.Errorf("accumulated %d, want 36", v)
+	}
+}
+
+// TestFaultRecordRendering covers the record formatter.
+func TestFaultRecordRendering(t *testing.T) {
+	b := ir.NewBuilder("oob")
+	A := b.Param(ir.PtrGlobal)
+	b.Store(b.GEP(A, b.ConstI(ir.I32, 1<<20), 4, 0), b.ConstI(ir.I32, 1), 0)
+	res := runKernel(t, b.MustFinish(), compiler.ModeLMI, safety.NewLMI(), 1, 1, []uint64{256}, nil, nil)
+	if len(res.stats.Faults) == 0 {
+		t.Fatal("no fault")
+	}
+	s := res.stats.Faults[0].String()
+	if !strings.Contains(s, "SM0") || !strings.Contains(s, "pc=") {
+		t.Errorf("record: %s", s)
+	}
+}

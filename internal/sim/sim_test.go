@@ -1,0 +1,492 @@
+package sim_test
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"lmi/internal/compiler"
+	"lmi/internal/core"
+	"lmi/internal/ir"
+	"lmi/internal/isa"
+	"lmi/internal/mem"
+	"lmi/internal/safety"
+	"lmi/internal/sim"
+)
+
+// testConfig is a small machine for fast tests.
+func testConfig() sim.Config {
+	c := sim.ScaledConfig(2)
+	return c
+}
+
+// runOn compiles f under mode and launches it on a fresh device with the
+// given mechanism. Buffer params are allocated on the device; bufSizes[i]
+// gives the size of buffer parameter i (0 entries are scalar params taken
+// from scalars in order).
+type launchResult struct {
+	dev    *sim.Device
+	stats  *sim.KernelStats
+	bufPtr []uint64
+}
+
+func runKernel(t *testing.T, f *ir.Func, mode compiler.Mode, mech sim.Mechanism,
+	grid, block int, bufSizes []uint64, scalars []uint64, init map[int][]byte) *launchResult {
+	t.Helper()
+	prog, err := compiler.Compile(f, mode)
+	if err != nil {
+		t.Fatalf("compile %s: %v", f.Name, err)
+	}
+	dev, err := sim.NewDevice(testConfig(), mech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var params []uint64
+	var bufPtr []uint64
+	si := 0
+	for i, sz := range bufSizes {
+		if sz == 0 {
+			params = append(params, scalars[si])
+			si++
+			continue
+		}
+		p, err := dev.Malloc(sz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if data, ok := init[i]; ok {
+			dev.WriteGlobal(p, data)
+		}
+		params = append(params, p)
+		bufPtr = append(bufPtr, p)
+	}
+	stats, err := dev.Launch(prog, grid, block, params)
+	if err != nil {
+		t.Fatalf("launch %s: %v", f.Name, err)
+	}
+	return &launchResult{dev: dev, stats: stats, bufPtr: bufPtr}
+}
+
+func f32le(vals []float32) []byte {
+	out := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(out[i*4:], math.Float32bits(v))
+	}
+	return out
+}
+
+func buildVecAdd() *ir.Func {
+	b := ir.NewBuilder("vecadd")
+	A := b.Param(ir.PtrGlobal)
+	B := b.Param(ir.PtrGlobal)
+	C := b.Param(ir.PtrGlobal)
+	n := b.Param(ir.I32)
+	i := b.GlobalTID()
+	b.If(b.ICmp(isa.CmpLT, i, n), func() {
+		av := b.Load(ir.F32, b.GEP(A, i, 4, 0), 0)
+		bv := b.Load(ir.F32, b.GEP(B, i, 4, 0), 0)
+		b.Store(b.GEP(C, i, 4, 0), b.FAdd(av, bv), 0)
+	}, nil)
+	return b.MustFinish()
+}
+
+// TestDifferentialVecAdd cross-checks the cycle-level simulator against
+// the IR reference interpreter, under both compile modes/mechanisms.
+func TestDifferentialVecAdd(t *testing.T) {
+	f := buildVecAdd()
+	const n = 300
+	a := make([]float32, n)
+	bb := make([]float32, n)
+	for i := range a {
+		a[i] = float32(i) * 0.5
+		bb[i] = float32(n - i)
+	}
+
+	// Reference: interpreter.
+	g := mem.NewAddrSpace()
+	baseA, baseB, baseC := uint64(0x10000), uint64(0x20000), uint64(0x30000)
+	g.WriteBytes(baseA, f32le(a))
+	g.WriteBytes(baseB, f32le(bb))
+	if err := ir.NewInterp(f, g, []uint64{baseA, baseB, baseC, n}, 10, 32).Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := g.ReadBytes(baseC, 4*n)
+
+	for _, tc := range []struct {
+		mode compiler.Mode
+		mech sim.Mechanism
+	}{
+		{compiler.ModeBase, sim.Baseline{}},
+		{compiler.ModeLMI, safety.NewLMI()},
+	} {
+		res := runKernel(t, f, tc.mode, tc.mech, 10, 32,
+			[]uint64{4 * n, 4 * n, 4 * n, 0}, []uint64{n},
+			map[int][]byte{0: f32le(a), 1: f32le(bb)})
+		if res.stats.Halted {
+			t.Fatalf("%s halted: %+v", tc.mech.Name(), res.stats.Faults)
+		}
+		got := res.dev.ReadGlobal(res.bufPtr[2], 4*n)
+		for i := 0; i < 4*n; i++ {
+			if got[i] != want[i] {
+				t.Fatalf("%s: output byte %d: got %d want %d", tc.mech.Name(), i, got[i], want[i])
+			}
+		}
+		if res.stats.Instrs == 0 || res.stats.Cycles == 0 {
+			t.Errorf("%s: empty stats", tc.mech.Name())
+		}
+	}
+}
+
+// TestDivergenceNestedControlFlow checks the SIMT stack with data-
+// dependent loops and nested ifs, differentially against the interpreter.
+func TestDivergenceNestedControlFlow(t *testing.T) {
+	b := ir.NewBuilder("diverge")
+	out := b.Param(ir.PtrGlobal)
+	gtid := b.GlobalTID()
+	// Each thread loops tid%7 times, accumulating i*2 for even i and i
+	// for odd i.
+	trip := b.And(gtid, b.ConstI(ir.I32, 7))
+	acc := b.Var(b.ConstI(ir.I32, 0))
+	b.For(trip, func(i ir.Value) {
+		b.If(b.ICmp(isa.CmpEQ, b.And(i, b.ConstI(ir.I32, 1)), b.ConstI(ir.I32, 0)), func() {
+			b.Assign(acc, b.Add(acc, b.Mul(i, b.ConstI(ir.I32, 2))))
+		}, func() {
+			b.Assign(acc, b.Add(acc, i))
+		})
+	})
+	b.Store(b.GEP(out, gtid, 4, 0), acc, 0)
+	f := b.MustFinish()
+
+	const threads = 128
+	g := mem.NewAddrSpace()
+	if err := ir.NewInterp(f, g, []uint64{0x5000}, 2, 64).Run(); err != nil {
+		t.Fatal(err)
+	}
+	res := runKernel(t, f, compiler.ModeLMI, safety.NewLMI(), 2, 64,
+		[]uint64{4 * threads}, nil, nil)
+	if res.stats.Halted {
+		t.Fatalf("halted: %+v", res.stats.Faults)
+	}
+	got := res.dev.ReadGlobal(res.bufPtr[0], 4*threads)
+	want := g.ReadBytes(0x5000, 4*threads)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("byte %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestBarrierSharedReduction checks BAR + shared memory across warps.
+func TestBarrierSharedReduction(t *testing.T) {
+	b := ir.NewBuilder("reduce")
+	out := b.Param(ir.PtrGlobal)
+	sh := b.Shared(64 * 4)
+	tid := b.TID()
+	b.Store(b.GEP(sh, tid, 4, 0), b.Add(tid, b.ConstI(ir.I32, 1)), 0)
+	b.Barrier()
+	stride := b.Var(b.ConstI(ir.I32, 32))
+	zero := b.ConstI(ir.I32, 0)
+	b.While(func() ir.Value { return b.ICmp(isa.CmpGT, stride, zero) }, func() {
+		b.If(b.ICmp(isa.CmpLT, tid, stride), func() {
+			mine := b.Load(ir.I32, b.GEP(sh, tid, 4, 0), 0)
+			other := b.Load(ir.I32, b.GEP(sh, b.Add(tid, stride), 4, 0), 0)
+			b.Store(b.GEP(sh, tid, 4, 0), b.Add(mine, other), 0)
+		}, nil)
+		b.Barrier()
+		b.Assign(stride, b.Shr(stride, b.ConstI(ir.I32, 1)))
+	})
+	b.If(b.ICmp(isa.CmpEQ, tid, zero), func() {
+		b.Store(b.GEP(out, b.CTAID(), 4, 0), b.Load(ir.I32, sh, 0), 0)
+	}, nil)
+	f := b.MustFinish()
+
+	res := runKernel(t, f, compiler.ModeLMI, safety.NewLMI(), 5, 64, []uint64{5 * 4}, nil, nil)
+	if res.stats.Halted {
+		t.Fatalf("halted: %+v", res.stats.Faults)
+	}
+	got := res.dev.ReadGlobal(res.bufPtr[0], 5*4)
+	for cta := 0; cta < 5; cta++ {
+		v := binary.LittleEndian.Uint32(got[cta*4:])
+		if v != 2080 { // sum 1..64
+			t.Fatalf("block %d sum = %d, want 2080", cta, v)
+		}
+	}
+	if res.stats.MemInstrs[isa.LDS] == 0 || res.stats.MemInstrs[isa.STS] == 0 {
+		t.Error("no shared-memory instructions recorded")
+	}
+}
+
+// TestLocalStackAndHeap exercises LDL/STL and device MALLOC/FREE under
+// LMI: stack buffers are tagged and per-thread heap allocation works.
+func TestLocalStackAndHeap(t *testing.T) {
+	b := ir.NewBuilder("stackheap")
+	out := b.Param(ir.PtrGlobal)
+	buf := b.Alloca(256)
+	gtid := b.GlobalTID()
+	ten := b.ConstI(ir.I32, 10)
+	b.For(ten, func(i ir.Value) {
+		b.Store(b.GEP(buf, i, 4, 0), b.Add(i, gtid), 0)
+	})
+	sum := b.Var(b.ConstI(ir.I32, 0))
+	b.For(ten, func(i ir.Value) {
+		b.Assign(sum, b.Add(sum, b.Load(ir.I32, b.GEP(buf, i, 4, 0), 0)))
+	})
+	hp := b.Malloc(b.ConstI(ir.I32, 512))
+	b.Store(hp, sum, 0)
+	v := b.Load(ir.I32, hp, 0)
+	b.Free(hp)
+	b.Store(b.GEP(out, gtid, 4, 0), v, 0)
+	f := b.MustFinish()
+
+	res := runKernel(t, f, compiler.ModeLMI, safety.NewLMI(), 2, 32, []uint64{64 * 4}, nil, nil)
+	if res.stats.Halted {
+		t.Fatalf("halted: %+v", res.stats.Faults)
+	}
+	got := res.dev.ReadGlobal(res.bufPtr[0], 64*4)
+	for tIdx := 0; tIdx < 64; tIdx++ {
+		v := int32(binary.LittleEndian.Uint32(got[tIdx*4:]))
+		want := int32(45 + 10*tIdx)
+		if v != want {
+			t.Fatalf("out[%d] = %d, want %d", tIdx, v, want)
+		}
+	}
+	if res.stats.MemInstrs[isa.LDL] == 0 || res.stats.MemInstrs[isa.STL] == 0 {
+		t.Error("no local-memory instructions recorded")
+	}
+	if res.dev.Heap().Stats().Allocs != 64 || res.dev.Heap().Stats().Frees != 64 {
+		t.Errorf("heap stats: %+v", res.dev.Heap().Stats())
+	}
+}
+
+// TestLMICatchesGlobalOverflow: thread 0 writes one element past a
+// buffer; the OCU clears the extent and the EC faults at the store.
+func TestLMICatchesGlobalOverflow(t *testing.T) {
+	b := ir.NewBuilder("overflow")
+	A := b.Param(ir.PtrGlobal)
+	idx := b.Param(ir.I32)
+	gtid := b.GlobalTID()
+	b.If(b.ICmp(isa.CmpEQ, gtid, b.ConstI(ir.I32, 0)), func() {
+		b.Store(b.GEP(A, idx, 4, 0), idx, 0)
+	}, nil)
+	f := b.MustFinish()
+
+	// In-bounds index: clean run.
+	res := runKernel(t, f, compiler.ModeLMI, safety.NewLMI(), 1, 32,
+		[]uint64{1024, 0}, []uint64{255}, nil)
+	if len(res.stats.Faults) != 0 {
+		t.Fatalf("clean run faulted: %+v", res.stats.Faults)
+	}
+	// One past the end (index 256 of a 256-element = 1024-byte buffer).
+	res = runKernel(t, f, compiler.ModeLMI, safety.NewLMI(), 1, 32,
+		[]uint64{1024, 0}, []uint64{256}, nil)
+	if len(res.stats.Faults) == 0 {
+		t.Fatal("overflow not detected")
+	}
+	if res.stats.FirstFault().Kind != core.FaultSpatial {
+		t.Errorf("fault kind %v", res.stats.FirstFault().Kind)
+	}
+	if !res.stats.Halted {
+		t.Error("kernel should halt on fault")
+	}
+}
+
+// TestLMIDelayedTermination reproduces Fig. 14: a pointer incremented one
+// past the end without being dereferenced must not fault.
+func TestLMIDelayedTermination(t *testing.T) {
+	b := ir.NewBuilder("pastend")
+	A := b.Param(ir.PtrGlobal)
+	n := b.ConstI(ir.I32, 256) // 256 elements = 1024 B = exactly the class
+	b.For(n, func(i ir.Value) {
+		b.Store(b.GEP(A, i, 4, 0), i, 0)
+	})
+	// The loop's final GEP A+256*4 is computed (extent cleared by the
+	// OCU) but never dereferenced — delayed termination keeps this a
+	// false-positive-free run... the GEP above is inside the body and
+	// always dereferenced in-bounds; additionally compute one past the
+	// end explicitly without a dereference:
+	past := b.GEP(A, n, 4, 0)
+	_ = past
+	f := b.MustFinish()
+
+	res := runKernel(t, f, compiler.ModeLMI, safety.NewLMI(), 1, 1, []uint64{1024}, nil, nil)
+	if len(res.stats.Faults) != 0 {
+		t.Fatalf("false positive: %+v", res.stats.Faults)
+	}
+	if res.stats.PointerChecks == 0 {
+		t.Error("OCU never consulted")
+	}
+}
+
+// TestLMICatchesUAF: dereferencing a freed heap pointer faults via the
+// nullified extent (§VIII).
+func TestLMICatchesUAF(t *testing.T) {
+	b := ir.NewBuilder("uaf")
+	out := b.Param(ir.PtrGlobal)
+	p := b.Malloc(b.ConstI(ir.I32, 256))
+	b.Store(p, b.ConstI(ir.I32, 42), 0)
+	b.Free(p)
+	v := b.Load(ir.I32, p, 0) // use after free
+	b.Store(out, v, 0)
+	f := b.MustFinish()
+
+	res := runKernel(t, f, compiler.ModeLMI, safety.NewLMI(), 1, 1, []uint64{256}, nil, nil)
+	if len(res.stats.Faults) == 0 {
+		t.Fatal("UAF not detected")
+	}
+}
+
+// TestGPUShieldSemantics: per-buffer protection for global memory, only
+// region-level protection for the heap.
+func TestGPUShieldSemantics(t *testing.T) {
+	b := ir.NewBuilder("shield")
+	A := b.Param(ir.PtrGlobal)
+	idx := b.Param(ir.I32)
+	b.Store(b.GEP(A, idx, 4, 0), idx, 0)
+	f := b.MustFinish()
+
+	res := runKernel(t, f, compiler.ModeBase, safety.NewGPUShield(), 1, 1,
+		[]uint64{1024, 0}, []uint64{10}, nil)
+	if len(res.stats.Faults) != 0 {
+		t.Fatalf("clean run faulted: %+v", res.stats.Faults)
+	}
+	res = runKernel(t, f, compiler.ModeBase, safety.NewGPUShield(), 1, 1,
+		[]uint64{1024, 0}, []uint64{300}, nil)
+	if len(res.stats.Faults) == 0 {
+		t.Fatal("global overflow not detected by GPUShield")
+	}
+
+	// Heap: adjacent overflow within the heap region goes UNDETECTED
+	// (region-based), the paper's core criticism (§IV-D).
+	b2 := ir.NewBuilder("shieldheap")
+	out := b2.Param(ir.PtrGlobal)
+	p := b2.Malloc(b2.ConstI(ir.I32, 256))
+	q := b2.Malloc(b2.ConstI(ir.I32, 256))
+	_ = q
+	b2.Store(b2.GEP(p, b2.ConstI(ir.I32, 100), 4, 0), b2.ConstI(ir.I32, 7), 0) // past p
+	b2.Store(out, b2.ConstI(ir.I32, 1), 0)
+	f2 := b2.MustFinish()
+	res = runKernel(t, f2, compiler.ModeBase, safety.NewGPUShield(), 1, 1, []uint64{64}, nil, nil)
+	if len(res.stats.Faults) != 0 {
+		t.Fatalf("GPUShield should miss intra-heap overflow: %+v", res.stats.Faults)
+	}
+	// The same overflow IS caught by LMI.
+	f3Res := runKernel(t, f2, compiler.ModeLMI, safety.NewLMI(), 1, 1, []uint64{64}, nil, nil)
+	if len(f3Res.stats.Faults) == 0 {
+		t.Fatal("LMI should catch intra-heap overflow")
+	}
+}
+
+// TestBaggyTrap: the injected software check raises a TRAP fault on an
+// out-of-bounds pointer operation.
+func TestBaggyTrap(t *testing.T) {
+	b := ir.NewBuilder("baggy")
+	A := b.Param(ir.PtrGlobal)
+	idx := b.Param(ir.I32)
+	b.Store(b.GEP(A, idx, 4, 0), idx, 0)
+	f := b.MustFinish()
+	prog, err := compiler.Compile(f, compiler.ModeLMI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog = compiler.InstrumentBaggy(prog)
+
+	for _, tc := range []struct {
+		idx   uint64
+		fault bool
+	}{{10, false}, {400, true}} {
+		dev, err := sim.NewDevice(testConfig(), safety.NewBaggy())
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := dev.Malloc(1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := dev.Launch(prog, 1, 1, []uint64{p, tc.idx})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (len(stats.Faults) > 0) != tc.fault {
+			t.Errorf("idx %d: faults %+v, want fault=%v", tc.idx, stats.Faults, tc.fault)
+		}
+	}
+}
+
+// TestMultiBlockScheduling: more blocks than fit at once; all complete.
+func TestMultiBlockScheduling(t *testing.T) {
+	b := ir.NewBuilder("manyblocks")
+	out := b.Param(ir.PtrGlobal)
+	gtid := b.GlobalTID()
+	b.Store(b.GEP(out, gtid, 4, 0), b.Mul(gtid, b.ConstI(ir.I32, 3)), 0)
+	f := b.MustFinish()
+
+	const grid, block = 100, 64
+	res := runKernel(t, f, compiler.ModeLMI, safety.NewLMI(), grid, block,
+		[]uint64{grid * block * 4}, nil, nil)
+	if res.stats.Halted {
+		t.Fatalf("halted: %+v", res.stats.Faults)
+	}
+	got := res.dev.ReadGlobal(res.bufPtr[0], grid*block*4)
+	for i := 0; i < grid*block; i++ {
+		v := int32(binary.LittleEndian.Uint32(got[i*4:]))
+		if v != int32(i*3) {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+// TestAtomicAddAcrossWarps: global atomics accumulate exactly.
+func TestAtomicAddAcrossWarps(t *testing.T) {
+	b := ir.NewBuilder("atomics")
+	out := b.Param(ir.PtrGlobal)
+	b.AtomicAdd(out, b.ConstI(ir.I32, 1), 0)
+	f := b.MustFinish()
+	res := runKernel(t, f, compiler.ModeLMI, safety.NewLMI(), 8, 128, []uint64{256}, nil, nil)
+	got := binary.LittleEndian.Uint32(res.dev.ReadGlobal(res.bufPtr[0], 4))
+	if got != 1024 {
+		t.Fatalf("counter = %d, want 1024", got)
+	}
+}
+
+// TestLMITimingOverheadIsSmall: the hallmark result — LMI's cycle count
+// stays within a fraction of a percent of baseline on a memory-streaming
+// kernel (§XI-A reports 0.22% average).
+func TestLMITimingOverheadIsSmall(t *testing.T) {
+	f := buildVecAdd()
+	const n = 4096
+	run := func(mode compiler.Mode, mech sim.Mechanism) uint64 {
+		res := runKernel(t, f, mode, mech, 32, 128,
+			[]uint64{4 * n, 4 * n, 4 * n, 0}, []uint64{n}, nil)
+		if res.stats.Halted {
+			t.Fatalf("halted: %+v", res.stats.Faults)
+		}
+		return res.stats.Cycles
+	}
+	base := run(compiler.ModeBase, sim.Baseline{})
+	lmi := run(compiler.ModeLMI, safety.NewLMI())
+	over := float64(lmi)/float64(base) - 1
+	if over > 0.05 || over < -0.02 {
+		t.Errorf("LMI overhead %.2f%% out of expected range (base %d, lmi %d)",
+			over*100, base, lmi)
+	}
+}
+
+// TestMemRegionShares sanity-checks the Fig. 1 accounting.
+func TestMemRegionShares(t *testing.T) {
+	b := ir.NewBuilder("mix")
+	out := b.Param(ir.PtrGlobal)
+	sh := b.Shared(256)
+	tid := b.TID()
+	b.Store(b.GEP(sh, tid, 4, 0), tid, 0)
+	v := b.Load(ir.I32, b.GEP(sh, tid, 4, 0), 0)
+	b.Store(b.GEP(out, tid, 4, 0), v, 0)
+	f := b.MustFinish()
+	res := runKernel(t, f, compiler.ModeLMI, safety.NewLMI(), 1, 32, []uint64{256}, nil, nil)
+	g, s, l := res.stats.MemRegionShares()
+	if s <= g || l != 0 {
+		t.Errorf("shares global=%v shared=%v local=%v", g, s, l)
+	}
+	if g+s+l < 0.999 || g+s+l > 1.001 {
+		t.Errorf("shares do not sum to 1: %v", g+s+l)
+	}
+}

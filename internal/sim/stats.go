@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"fmt"
+
+	"lmi/internal/core"
+	"lmi/internal/isa"
+	"lmi/internal/mem"
+)
+
+// FaultRecord is one detected safety violation with its location.
+type FaultRecord struct {
+	Fault *core.Fault
+	// PC is the instruction index, SM/Warp/Lane the hardware location.
+	PC   int
+	SM   int
+	Warp int
+	Lane int
+}
+
+// String renders the record.
+func (r FaultRecord) String() string {
+	return fmt.Sprintf("SM%d warp%d lane%d pc=%d: %v", r.SM, r.Warp, r.Lane, r.PC, r.Fault)
+}
+
+// KernelStats is the outcome of one kernel launch.
+type KernelStats struct {
+	// Cycles is the kernel execution time in core cycles.
+	Cycles uint64
+	// Instrs is the number of warp instructions issued.
+	Instrs uint64
+	// ThreadInstrs is the number of lane instructions executed (warp
+	// instructions weighted by active lanes).
+	ThreadInstrs uint64
+	// MemInstrs counts warp-level memory instructions per opcode
+	// (LDG/STG/LDS/STS/LDL/STL/...), the Fig. 1 measurement.
+	MemInstrs map[isa.Opcode]uint64
+	// PointerChecks is the number of OCU-checked pointer operations.
+	PointerChecks uint64
+	// Faults holds detected violations (empty in clean runs).
+	Faults []FaultRecord
+	// Halted reports whether the kernel stopped on a fault.
+	Halted bool
+	// L1 aggregates per-SM L1 statistics; L2 is the shared L2.
+	L1, L2 mem.CacheStats
+	// DRAMAccesses counts line fills from DRAM.
+	DRAMAccesses uint64
+}
+
+// MemRegionShares returns the fraction of memory instructions targeting
+// global (LDG/STG/ATOMG), shared (LDS/STS), and local (LDL/STL) memory —
+// the Fig. 1 breakdown. LDC and heap intrinsics are excluded, matching
+// the paper's LDG/STG/LDS/STS/LDL/STL categorisation.
+func (s *KernelStats) MemRegionShares() (global, shared, local float64) {
+	g := s.MemInstrs[isa.LDG] + s.MemInstrs[isa.STG] + s.MemInstrs[isa.ATOMG]
+	sh := s.MemInstrs[isa.LDS] + s.MemInstrs[isa.STS] + s.MemInstrs[isa.ATOMS]
+	lo := s.MemInstrs[isa.LDL] + s.MemInstrs[isa.STL]
+	total := g + sh + lo
+	if total == 0 {
+		return 0, 0, 0
+	}
+	return float64(g) / float64(total), float64(sh) / float64(total), float64(lo) / float64(total)
+}
+
+// FirstFault returns the first recorded fault, or nil.
+func (s *KernelStats) FirstFault() *core.Fault {
+	if len(s.Faults) == 0 {
+		return nil
+	}
+	return s.Faults[0].Fault
+}

@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if Geomean(nil) != 0 {
+		t.Error("Geomean(nil) != 0")
+	}
+	got := Geomean([]float64{1, 4})
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("Geomean(1,4) = %v", got)
+	}
+	if !math.IsNaN(Geomean([]float64{1, -1})) {
+		t.Error("Geomean with negative entry should be NaN")
+	}
+}
+
+func TestMax(t *testing.T) {
+	if Max(nil) != 0 {
+		t.Error("Max(nil) != 0")
+	}
+	if got := Max([]float64{3, 7, 2}); got != 7 {
+		t.Errorf("Max = %v", got)
+	}
+}
+
+// Property: geomean lies between min and max for positive inputs.
+func TestPropertyGeomeanBounded(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			xs[i] = float64(r)/256 + 0.01
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		g := Geomean(xs)
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRowf(2, "beta", 3.14159)
+	tb.AddRow("short") // padded
+	out := tb.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "3.14") {
+		t.Errorf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Errorf("want 5 lines, got %d:\n%s", len(lines), out)
+	}
+}

@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"lmi/internal/isa"
+	"lmi/internal/mem"
+	"lmi/internal/sim"
+)
+
+// Collector attaches to the simulator and streams every executed warp
+// instruction into a trace Writer. It implements sim.Tracer.
+type Collector struct {
+	w *Writer
+	// Err records the first write error (tracing must not perturb the
+	// simulation, so errors are latched rather than propagated).
+	Err error
+	ev  Event
+}
+
+// NewCollector builds a collector writing to w.
+func NewCollector(w io.Writer, h Header) (*Collector, error) {
+	tw, err := NewWriter(w, h)
+	if err != nil {
+		return nil, err
+	}
+	return &Collector{w: tw}, nil
+}
+
+// Trace implements sim.Tracer.
+func (c *Collector) Trace(ev *sim.TraceEvent) {
+	if c.Err != nil {
+		return
+	}
+	c.ev = Event{
+		PC:         int32(ev.PC),
+		Op:         ev.Op,
+		SM:         int32(ev.SM),
+		Warp:       int32(ev.Warp),
+		ActiveMask: ev.Active,
+		HintA:      ev.HintA,
+		Addrs:      ev.Addrs,
+	}
+	c.w.WriteEvent(&c.ev)
+}
+
+// Close flushes the trace.
+func (c *Collector) Close() error {
+	if c.Err != nil {
+		return c.Err
+	}
+	return c.w.Close()
+}
+
+// Events returns the number of events captured.
+func (c *Collector) Events() uint64 { return c.w.Events() }
+
+// Mix summarises a trace: dynamic instruction counts by opcode and
+// memory region — the measurement Fig. 1 derives from NVBit output.
+type Mix struct {
+	// Events is the number of warp instructions.
+	Events uint64
+	// ThreadInstrs weights by active lanes.
+	ThreadInstrs uint64
+	// ByOp counts warp instructions per opcode.
+	ByOp map[isa.Opcode]uint64
+	// Global, Shared, Local count memory instructions per region.
+	Global, Shared, Local uint64
+	// Hinted counts OCU-checked pointer operations.
+	Hinted uint64
+}
+
+// Analyze reads a whole trace and summarises it.
+func Analyze(r *Reader) (*Mix, error) {
+	m := &Mix{ByOp: make(map[isa.Opcode]uint64)}
+	var e Event
+	for {
+		err := r.Next(&e)
+		if err == io.EOF {
+			return m, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		m.Events++
+		m.ThreadInstrs += uint64(popcount(e.ActiveMask))
+		m.ByOp[e.Op]++
+		if e.HintA {
+			m.Hinted++
+		}
+		switch e.Op {
+		case isa.LDG, isa.STG, isa.ATOMG:
+			m.Global++
+		case isa.LDS, isa.STS:
+			m.Shared++
+		case isa.LDL, isa.STL:
+			m.Local++
+		}
+	}
+}
+
+// RegionShares returns the Fig. 1 breakdown from the mix.
+func (m *Mix) RegionShares() (global, shared, local float64) {
+	total := m.Global + m.Shared + m.Local
+	if total == 0 {
+		return 0, 0, 0
+	}
+	return float64(m.Global) / float64(total),
+		float64(m.Shared) / float64(total),
+		float64(m.Local) / float64(total)
+}
+
+func popcount(x uint32) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// ReplayResult is the outcome of a trace-driven cache replay.
+type ReplayResult struct {
+	L1, L2       mem.CacheStats
+	Transactions uint64
+}
+
+// ReplayCaches re-runs a trace's global-memory addresses through a fresh
+// L1/L2 hierarchy — the trace-driven simulation style of MacSim. It lets
+// cache configurations be explored without re-executing the kernel.
+func ReplayCaches(r *Reader, l1Size uint64, l1Assoc int, l2Size uint64, l2Assoc int, lineSize uint64) (*ReplayResult, error) {
+	l2, err := mem.NewCache("L2", l2Size, l2Assoc, lineSize, 0)
+	if err != nil {
+		return nil, err
+	}
+	l1s := map[int32]*mem.Cache{}
+	res := &ReplayResult{}
+	var e Event
+	for {
+		err := r.Next(&e)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if e.Op.MemSpace() != isa.SpaceGlobal || len(e.Addrs) == 0 {
+			continue
+		}
+		l1 := l1s[e.SM]
+		if l1 == nil {
+			l1, err = mem.NewCache(fmt.Sprintf("L1-%d", e.SM), l1Size, l1Assoc, lineSize, 0)
+			if err != nil {
+				return nil, err
+			}
+			l1s[e.SM] = l1
+		}
+		// Coalesce the event's addresses into line transactions.
+		var lines []uint64
+		for _, a := range e.Addrs {
+			la := a / lineSize
+			dup := false
+			for _, x := range lines {
+				if x == la {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				lines = append(lines, la)
+			}
+		}
+		for _, la := range lines {
+			res.Transactions++
+			if !l1.Access(la * lineSize) {
+				l2.Access(la * lineSize)
+			}
+		}
+	}
+	for _, l1 := range l1s {
+		s := l1.Stats()
+		res.L1.Accesses += s.Accesses
+		res.L1.Hits += s.Hits
+		res.L1.Misses += s.Misses
+	}
+	res.L2 = l2.Stats()
+	return res, nil
+}

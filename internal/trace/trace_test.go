@@ -1,0 +1,206 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+
+	"lmi/internal/compiler"
+	"lmi/internal/ir"
+	"lmi/internal/isa"
+	"lmi/internal/safety"
+	"lmi/internal/sim"
+)
+
+func TestRoundTripEvents(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{Kernel: "k", Mechanism: "lmi", Grid: 3, Block: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(7))
+	var want []Event
+	for i := 0; i < 500; i++ {
+		e := Event{
+			PC:         int32(r.Intn(1000)),
+			Op:         isa.Opcode(r.Intn(int(isa.TRAP))),
+			SM:         int32(r.Intn(8)),
+			Warp:       int32(r.Intn(64)),
+			ActiveMask: r.Uint32(),
+			HintA:      r.Intn(2) == 0,
+		}
+		if r.Intn(3) == 0 {
+			base := uint64(r.Int63n(1 << 40))
+			for k := 0; k < r.Intn(32); k++ {
+				// Deltas both directions, across a wide range.
+				e.Addrs = append(e.Addrs, uint64(int64(base)+int64(r.Intn(100000))-50000))
+			}
+			if len(e.Addrs) == 0 {
+				e.Addrs = append(e.Addrs, base)
+			}
+		}
+		w.WriteEvent(&e)
+		want = append(want, e)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Events() != 500 {
+		t.Errorf("events = %d", w.Events())
+	}
+
+	rd, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := rd.Header()
+	if h.Kernel != "k" || h.Mechanism != "lmi" || h.Grid != 3 || h.Block != 64 {
+		t.Fatalf("header %+v", h)
+	}
+	var got Event
+	for i := range want {
+		if err := rd.Next(&got); err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if got.PC != want[i].PC || got.Op != want[i].Op || got.SM != want[i].SM ||
+			got.Warp != want[i].Warp || got.ActiveMask != want[i].ActiveMask ||
+			got.HintA != want[i].HintA || len(got.Addrs) != len(want[i].Addrs) {
+			t.Fatalf("event %d mismatch:\n got %+v\nwant %+v", i, got, want[i])
+		}
+		for k := range got.Addrs {
+			if got.Addrs[k] != want[i].Addrs[k] {
+				t.Fatalf("event %d addr %d: %#x != %#x", i, k, got.Addrs[k], want[i].Addrs[k])
+			}
+		}
+	}
+	if err := rd.Next(&got); err != io.EOF {
+		t.Errorf("want EOF, got %v", err)
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOTATRACE..."))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := NewReader(bytes.NewReader([]byte("LMI"))); err == nil {
+		t.Error("short header accepted")
+	}
+	// Truncated event body.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, Header{Kernel: "x"})
+	w.WriteEvent(&Event{Op: isa.LDG, Addrs: []uint64{1, 2, 3}})
+	w.Close()
+	trunc := buf.Bytes()[:buf.Len()-2]
+	rd, err := NewReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e Event
+	if err := rd.Next(&e); err == nil {
+		t.Error("truncated event accepted")
+	}
+}
+
+// traceKernel builds a small mixed-region kernel for end-to-end tracing.
+func traceKernel() *ir.Func {
+	b := ir.NewBuilder("traced")
+	out := b.Param(ir.PtrGlobal)
+	sh := b.Shared(256)
+	tid := b.TID()
+	b.Store(b.GEP(sh, tid, 4, 0), tid, 0)
+	v := b.Load(ir.I32, b.GEP(sh, tid, 4, 0), 0)
+	b.Store(b.GEP(out, b.GlobalTID(), 4, 0), v, 0)
+	return b.MustFinish()
+}
+
+// TestEndToEndCollection traces a real simulated launch, then analyzes
+// and cache-replays the trace.
+func TestEndToEndCollection(t *testing.T) {
+	prog, err := compiler.Compile(traceKernel(), compiler.ModeLMI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := sim.NewDevice(sim.ScaledConfig(2), safety.NewLMI())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	col, err := NewCollector(&buf, Header{Kernel: "traced", Mechanism: "lmi", Grid: 4, Block: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.Tracer = col
+	p, _ := dev.Malloc(4 * 256)
+	st, err := dev.Launch(prog, 4, 64, []uint64{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if col.Events() != st.Instrs {
+		t.Errorf("trace has %d events, simulator executed %d", col.Events(), st.Instrs)
+	}
+
+	rd, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix, err := Analyze(rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix.Events != st.Instrs || mix.ThreadInstrs != st.ThreadInstrs {
+		t.Errorf("mix %d/%d, stats %d/%d", mix.Events, mix.ThreadInstrs, st.Instrs, st.ThreadInstrs)
+	}
+	if mix.ByOp[isa.STG] != st.MemInstrs[isa.STG] || mix.ByOp[isa.LDS] != st.MemInstrs[isa.LDS] {
+		t.Errorf("per-op counts disagree with simulator stats")
+	}
+	if mix.Hinted == 0 {
+		t.Error("LMI trace must contain hinted events")
+	}
+	g, s, _ := mix.RegionShares()
+	if g <= 0 || s <= 0 {
+		t.Errorf("region shares: %v %v", g, s)
+	}
+
+	// Replay: with an L1 as big as in the live run, the replayed hit rate
+	// must be sane and the transaction count positive.
+	rd2, _ := NewReader(bytes.NewReader(buf.Bytes()))
+	res, err := ReplayCaches(rd2, 96<<10, 4, 256<<10, 16, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transactions == 0 || res.L1.Accesses == 0 {
+		t.Errorf("empty replay: %+v", res)
+	}
+	if res.L1.HitRate() < 0 || res.L1.HitRate() > 1 {
+		t.Errorf("hit rate %v", res.L1.HitRate())
+	}
+}
+
+// TestTracingDoesNotPerturbTiming: attaching a tracer must leave cycle
+// counts identical (instrumentation-free observation).
+func TestTracingDoesNotPerturbTiming(t *testing.T) {
+	prog, err := compiler.Compile(traceKernel(), compiler.ModeLMI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(traced bool) uint64 {
+		dev, _ := sim.NewDevice(sim.ScaledConfig(2), safety.NewLMI())
+		if traced {
+			col, _ := NewCollector(io.Discard, Header{Kernel: "traced"})
+			dev.Tracer = col
+		}
+		p, _ := dev.Malloc(4 * 256)
+		st, err := dev.Launch(prog, 4, 64, []uint64{p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Cycles
+	}
+	if a, b := run(false), run(true); a != b {
+		t.Errorf("tracing changed timing: %d vs %d cycles", a, b)
+	}
+}

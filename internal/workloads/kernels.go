@@ -1,0 +1,201 @@
+// Package workloads provides the benchmark suite of the evaluation
+// (paper Table V): 15 Rodinia kernels, 4 Tango DNNs, 5 FasterTransformer
+// models, and 4 autonomous-driving models.
+//
+// The original benchmarks are CUDA applications; reproducing their exact
+// computations is neither possible (proprietary models, large inputs)
+// nor necessary — the paper's results depend on each workload's
+// *characteristics*: the mix of memory instructions per region (Fig. 1),
+// allocation-size traces (Fig. 4), pointer-operation density and
+// arithmetic intensity (Figs. 12/13), memory coalescing (GPUShield's
+// RCache behaviour), and divergence. Each spec therefore instantiates a
+// parameterised synthetic kernel calibrated to the real benchmark's
+// published profile, and documents that calibration.
+package workloads
+
+import (
+	"lmi/internal/ir"
+	"lmi/internal/isa"
+)
+
+// KernelParams calibrates one synthetic kernel.
+type KernelParams struct {
+	// ElemsPerThread is the number of global elements each thread
+	// processes.
+	ElemsPerThread int
+	// Stride is the inter-thread element stride: 1 gives coalesced
+	// access, larger values scatter lanes across cache lines.
+	Stride int
+	// RevisitGlobal makes each element pass re-touch the same global
+	// lines (iteration over a resident working set — L1-friendly).
+	RevisitGlobal bool
+	// SharedWords is the per-block shared tile size in 4-byte words
+	// (0 disables shared memory use).
+	SharedWords int
+	// SharedIters is the number of shared-memory compute iterations per
+	// element.
+	SharedIters int
+	// LocalWords is the per-thread local (stack) array size in words.
+	LocalWords int
+	// LocalIters is the number of local-array accesses per element.
+	LocalIters int
+	// Flops is the FFMA-chain length per element (arithmetic intensity).
+	Flops int
+	// PtrOps is the number of extra pointer-arithmetic operations per
+	// element (address re-derivation; drives Baggy/DBI check density).
+	PtrOps int
+	// PtrChain is the number of pure pointer-increment instructions per
+	// element — address computation with no accompanying memory access,
+	// the pattern behind gaussian's 67:1 check-to-LDST ratio (§XI-B).
+	// Chain steps alternate +4/-4 bytes so the pointer stays in bounds.
+	PtrChain int
+	// Divergent makes the per-element loop trip count depend on the
+	// thread ID (warp divergence).
+	Divergent bool
+	// HeapWords, when nonzero, makes each thread malloc/free a device
+	// heap buffer of that many words once per kernel.
+	HeapWords int
+}
+
+// BuildKernel constructs the synthetic kernel for the given parameters.
+// Parameters (in order): in, out (global buffers), n (i32 element
+// count for the guard).
+func BuildKernel(name string, p KernelParams) *ir.Func {
+	b := ir.NewBuilder(name)
+	in := b.Param(ir.PtrGlobal)
+	out := b.Param(ir.PtrGlobal)
+	n := b.Param(ir.I32)
+
+	gtid := b.GlobalTID()
+	nthreads := b.Mul(b.NTID(), b.Special(isa.SRNctaidX))
+
+	var sh ir.Value
+	if p.SharedWords > 0 {
+		sh = b.Shared(uint64(p.SharedWords) * 4)
+	}
+	var loc ir.Value
+	if p.LocalWords > 0 {
+		loc = b.Alloca(uint64(p.LocalWords) * 4)
+	}
+	var heap ir.Value
+	if p.HeapWords > 0 {
+		heap = b.Malloc(b.ConstI(ir.I32, int64(p.HeapWords)*4))
+	}
+
+	one := b.ConstI(ir.I32, 1)
+	acc := b.Var(b.ConstF(0))
+
+	// Seed shared tile (once per block).
+	if p.SharedWords > 0 {
+		tid := b.TID()
+		words := b.ConstI(ir.I32, int64(p.SharedWords))
+		idx := b.Var(tid)
+		b.While(func() ir.Value { return b.ICmp(isa.CmpLT, idx, words) }, func() {
+			b.Store(b.GEP(sh, idx, 4, 0), idx, 0)
+			b.Assign(idx, b.Add(idx, b.NTID()))
+		})
+		b.Barrier()
+	}
+
+	elems := b.ConstI(ir.I32, int64(p.ElemsPerThread))
+	if p.Divergent {
+		// Thread-dependent trip count: (gtid & 7) + ElemsPerThread/2.
+		elems = b.Add(b.And(gtid, b.ConstI(ir.I32, 7)),
+			b.ConstI(ir.I32, int64(p.ElemsPerThread/2+1)))
+	}
+
+	b.For(elems, func(e ir.Value) {
+		// Element index: coalesced (gtid + e*nthreads) or strided
+		// (gtid*stride + e), optionally revisiting the same region.
+		var idx ir.Value
+		if p.Stride <= 1 {
+			idx = b.Add(gtid, b.Mul(e, nthreads))
+		} else {
+			idx = b.Add(b.Mul(gtid, b.ConstI(ir.I32, int64(p.Stride))), e)
+		}
+		if p.RevisitGlobal {
+			idx = b.And(idx, b.Sub(n, one)) // n is a power of two
+		} else {
+			idx = b.Min(idx, b.Sub(n, one))
+		}
+
+		v := b.Load(ir.F32, b.GEP(in, idx, 4, 0), 0)
+		b.Assign(acc, b.FAdd(acc, v))
+
+		// Extra pointer arithmetic: re-derive addresses the way real
+		// kernels recompute row/column pointers. The halved index keeps
+		// the byte offset in bounds for every k.
+		if p.PtrOps > 0 {
+			idxHalf := b.Shr(idx, one)
+			for k := 0; k < p.PtrOps; k++ {
+				q := b.GEP(in, idxHalf, 4, int64(4*(k%4)))
+				v2 := b.Load(ir.F32, q, 0)
+				b.Assign(acc, b.FAdd(acc, v2))
+			}
+		}
+
+		// Pure address-arithmetic ops (no dereference except one final
+		// load that keeps the addresses live). The derivations are
+		// independent — real kernels recompute row/column pointers from a
+		// base, so the OCU's pipelined check latency overlaps across them
+		// rather than serialising.
+		if p.PtrChain > 0 {
+			base := b.GEP(in, b.Shr(idx, one), 4, 0)
+			last := base
+			for k := 0; k < p.PtrChain-1; k++ {
+				last = b.GEP(base, ir.NoValue, 0, int64(4*(k%2)))
+			}
+			vq := b.Load(ir.F32, last, 0)
+			b.Assign(acc, b.FAdd(acc, vq))
+		}
+
+		// Arithmetic intensity.
+		c := b.ConstF(1.0009)
+		d := b.ConstF(0.99991)
+		for k := 0; k < p.Flops; k++ {
+			b.Assign(acc, b.FFMA(acc, c, d))
+		}
+
+		// Shared-memory compute.
+		if p.SharedWords > 0 && p.SharedIters > 0 {
+			tid := b.TID()
+			words1 := b.ConstI(ir.I32, int64(p.SharedWords-1))
+			si := b.Var(b.ConstI(ir.I32, 0))
+			lim := b.ConstI(ir.I32, int64(p.SharedIters))
+			b.While(func() ir.Value { return b.ICmp(isa.CmpLT, si, lim) }, func() {
+				a0 := b.And(b.Add(tid, si), words1)
+				a1 := b.And(b.Add(tid, b.Add(si, one)), words1)
+				x := b.Load(ir.I32, b.GEP(sh, a0, 4, 0), 0)
+				b.Store(b.GEP(sh, a1, 4, 0), b.Add(x, one), 0)
+				b.Assign(si, b.Add(si, one))
+			})
+		}
+
+		// Local (stack) compute.
+		if p.LocalWords > 0 && p.LocalIters > 0 {
+			words1 := b.ConstI(ir.I32, int64(p.LocalWords-1))
+			li := b.Var(b.ConstI(ir.I32, 0))
+			lim := b.ConstI(ir.I32, int64(p.LocalIters))
+			b.While(func() ir.Value { return b.ICmp(isa.CmpLT, li, lim) }, func() {
+				a0 := b.And(b.Add(li, e), words1)
+				x := b.Load(ir.I32, b.GEP(loc, a0, 4, 0), 0)
+				b.Store(b.GEP(loc, a0, 4, 0), b.Add(x, one), 0)
+				b.Assign(li, b.Add(li, one))
+			})
+		}
+
+		// Heap access.
+		if p.HeapWords > 0 {
+			ha := b.And(e, b.ConstI(ir.I32, int64(p.HeapWords-1)))
+			b.Store(b.GEP(heap, ha, 4, 0), e, 0)
+		}
+
+		// Write back.
+		b.Store(b.GEP(out, idx, 4, 0), acc, 0)
+	})
+
+	if p.HeapWords > 0 {
+		b.Free(heap)
+	}
+	return b.MustFinish()
+}

@@ -1,0 +1,185 @@
+package workloads
+
+import (
+	"fmt"
+	"sync"
+
+	"lmi/internal/alloc"
+	"lmi/internal/compiler"
+	"lmi/internal/ir"
+	"lmi/internal/isa"
+	"lmi/internal/safety"
+	"lmi/internal/sim"
+)
+
+// Spec is one benchmark of the Table V suite.
+type Spec struct {
+	// Name and Suite identify the benchmark.
+	Name  string
+	Suite string
+	// Params calibrates the synthetic kernel to the real benchmark's
+	// profile.
+	Params KernelParams
+	// Grid and Block are the launch dimensions.
+	Grid, Block int
+	// DBIGrid is the scaled-down grid used for the DBI experiments
+	// (their 30-70x instruction expansion would otherwise dominate
+	// harness wall-clock); 0 means use Grid. Overheads are ratios and
+	// insensitive to this scaling.
+	DBIGrid int
+	// N is the element count of the in/out buffers. It must be a power
+	// of two when Params.RevisitGlobal is set.
+	N uint64
+	// AllocTrace is the benchmark's allocation trace for the Fig. 4
+	// fragmentation experiment.
+	AllocTrace []alloc.Event
+
+	once    sync.Once
+	kern    *ir.Func
+	kernErr error
+
+	progMu sync.Mutex
+	progs  map[Variant]*progEntry
+}
+
+type progEntry struct {
+	prog *isa.Program
+	err  error
+}
+
+// Kernel returns the benchmark's IR kernel (built once).
+func (s *Spec) Kernel() (*ir.Func, error) {
+	s.once.Do(func() {
+		defer func() {
+			if r := recover(); r != nil {
+				s.kernErr = fmt.Errorf("workloads: %s: %v", s.Name, r)
+			}
+		}()
+		s.kern = BuildKernel(s.Name, s.Params)
+		s.kernErr = ir.Verify(s.kern)
+	})
+	return s.kern, s.kernErr
+}
+
+// Variant selects the safety mechanism (and matching compilation /
+// instrumentation) a benchmark runs under.
+type Variant int
+
+// Variants of the evaluation.
+const (
+	// VariantBase is the unprotected baseline.
+	VariantBase Variant = iota
+	// VariantLMI is the paper's mechanism (Fig. 12).
+	VariantLMI
+	// VariantGPUShield is the hardware baseline (Fig. 12).
+	VariantGPUShield
+	// VariantBaggy is software Baggy Bounds adapted to the GPU (Fig. 12).
+	VariantBaggy
+	// VariantLMIDBI is the NVBit-style DBI implementation of LMI (Fig. 13).
+	VariantLMIDBI
+	// VariantMemcheck is Compute Sanitizer's memcheck (Fig. 13).
+	VariantMemcheck
+)
+
+// String returns the variant name.
+func (v Variant) String() string {
+	switch v {
+	case VariantBase:
+		return "baseline"
+	case VariantLMI:
+		return "lmi"
+	case VariantGPUShield:
+		return "gpushield"
+	case VariantBaggy:
+		return "baggybounds"
+	case VariantLMIDBI:
+		return "lmi-dbi"
+	case VariantMemcheck:
+		return "memcheck"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Compile builds (and caches) the ISA program for a variant: the right
+// compile mode plus any instrumentation pass.
+func (s *Spec) Compile(v Variant) (*isa.Program, error) {
+	s.progMu.Lock()
+	defer s.progMu.Unlock()
+	if s.progs == nil {
+		s.progs = make(map[Variant]*progEntry)
+	}
+	if e, ok := s.progs[v]; ok {
+		return e.prog, e.err
+	}
+	p, err := s.compileUncached(v)
+	s.progs[v] = &progEntry{prog: p, err: err}
+	return p, err
+}
+
+func (s *Spec) compileUncached(v Variant) (*isa.Program, error) {
+	f, err := s.Kernel()
+	if err != nil {
+		return nil, err
+	}
+	mode := compiler.ModeBase
+	if v == VariantLMI || v == VariantBaggy {
+		mode = compiler.ModeLMI
+	}
+	p, err := compiler.Compile(f, mode)
+	if err != nil {
+		return nil, err
+	}
+	switch v {
+	case VariantBaggy:
+		p = compiler.InstrumentBaggy(p)
+	case VariantLMIDBI:
+		p = compiler.InstrumentDBI(p, compiler.LMIDBIOptions)
+	case VariantMemcheck:
+		p = compiler.InstrumentDBI(p, compiler.MemcheckOptions)
+	}
+	return p, nil
+}
+
+// NewMechanism constructs the sim.Mechanism for a variant.
+func NewMechanism(v Variant) sim.Mechanism {
+	switch v {
+	case VariantLMI:
+		return safety.NewLMI()
+	case VariantGPUShield:
+		return safety.NewGPUShield()
+	case VariantBaggy:
+		return safety.NewBaggy()
+	default:
+		// Baseline hardware: DBI variants carry their checks in the
+		// instruction stream.
+		return sim.Baseline{}
+	}
+}
+
+// Run executes the benchmark under a variant on a fresh device with the
+// given configuration and returns the kernel statistics.
+func Run(s *Spec, v Variant, cfg sim.Config) (*sim.KernelStats, error) {
+	prog, err := s.Compile(v)
+	if err != nil {
+		return nil, err
+	}
+	dev, err := sim.NewDevice(cfg, NewMechanism(v))
+	if err != nil {
+		return nil, err
+	}
+	bytes := s.N * 4
+	in, err := dev.Malloc(bytes)
+	if err != nil {
+		return nil, err
+	}
+	out, err := dev.Malloc(bytes)
+	if err != nil {
+		return nil, err
+	}
+	grid := s.Grid
+	if (v == VariantLMIDBI || v == VariantMemcheck) && s.DBIGrid > 0 {
+		grid = s.DBIGrid
+	}
+	return dev.Launch(prog, grid, s.Block, []uint64{in, out, s.N})
+}

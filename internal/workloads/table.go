@@ -1,0 +1,193 @@
+package workloads
+
+import "lmi/internal/alloc"
+
+// fragUnit is the allocation granule of the Fig. 4 traces.
+const fragUnit = 256 << 10
+
+// fragTrace builds an allocation trace mixing "padded" buffers (a power
+// of two plus header bytes — the backprop/needle pattern that nearly
+// doubles under 2^n rounding, §IV-E) with exact power-of-two buffers.
+// The padded:exact byte ratio sets the benchmark's fragmentation
+// overhead: overhead ≈ padded/(padded+exact).
+func fragTrace(padded, exact int) []alloc.Event {
+	var evs []alloc.Event
+	id := 0
+	for i := 0; i < padded; i++ {
+		evs = append(evs, alloc.Event{Op: alloc.OpAlloc, ID: id, Size: fragUnit + 64})
+		id++
+	}
+	for i := 0; i < exact; i++ {
+		evs = append(evs, alloc.Event{Op: alloc.OpAlloc, ID: id, Size: fragUnit})
+		id++
+	}
+	return evs
+}
+
+// Suite names.
+const (
+	SuiteRodinia = "Rodinia"
+	SuiteTango   = "Tango"
+	SuiteFT      = "FasterTransformer"
+	SuiteAD      = "AD"
+)
+
+// defaults for launch geometry.
+const (
+	defGrid  = 48
+	defBlock = 128
+	defN     = 1 << 15
+)
+
+// all is the Table V benchmark suite. Calibration notes:
+//
+//   - Region mixes (Fig. 1): lud_cuda/needle are >80% shared-memory
+//     instructions; bert/decoding are global-dominated; particlefilter
+//     and lavaMD exercise local (stack) memory.
+//   - needle and LSTM use strided (uncoalesced) accesses over an
+//     L1-resident working set: the pattern behind GPUShield's RCache-miss
+//     outliers (§XI-A).
+//   - gaussian is compute-bound with the suite's highest
+//     pointer-op/LDST ratio (the paper reports 67.1) — Baggy's worst
+//     case and LMI-DBI's worst case; swin has the lowest (28.1).
+//   - Fragmentation traces (Fig. 4): hotspot/srad allocate exact powers
+//     of two (≈0% overhead); backprop/needle allocate power-of-two
+//     payloads plus header bytes (85.9% / 92.9%).
+var all = []*Spec{
+	// ---------------------------------------------------------- Rodinia
+	{Name: "backprop", Suite: SuiteRodinia,
+		Params: KernelParams{ElemsPerThread: 6, SharedWords: 512, SharedIters: 3, Flops: 3, PtrOps: 1, PtrChain: 6},
+		Grid:   defGrid, Block: defBlock, N: defN, AllocTrace: fragTrace(86, 14)},
+	{Name: "bfs", Suite: SuiteRodinia,
+		Params: KernelParams{ElemsPerThread: 8, Divergent: true, Flops: 1, PtrOps: 1, PtrChain: 4},
+		Grid:   defGrid, Block: defBlock, N: defN, AllocTrace: fragTrace(10, 90)},
+	{Name: "dwt2d", Suite: SuiteRodinia,
+		Params: KernelParams{ElemsPerThread: 6, SharedWords: 256, SharedIters: 2, Flops: 4, PtrOps: 2, PtrChain: 6},
+		Grid:   defGrid, Block: defBlock, N: defN, AllocTrace: fragTrace(25, 75)},
+	{Name: "gaussian", Suite: SuiteRodinia,
+		Params: KernelParams{ElemsPerThread: 8, RevisitGlobal: true, Flops: 16, PtrOps: 2, PtrChain: 96},
+		Grid:   defGrid, Block: defBlock, N: 1 << 12, AllocTrace: fragTrace(10, 90)},
+	{Name: "hotspot", Suite: SuiteRodinia,
+		Params: KernelParams{ElemsPerThread: 6, SharedWords: 1024, SharedIters: 3, Flops: 6, PtrOps: 2, PtrChain: 8},
+		Grid:   defGrid, Block: defBlock, N: defN, AllocTrace: fragTrace(0, 100)},
+	{Name: "lavaMD", Suite: SuiteRodinia,
+		Params: KernelParams{ElemsPerThread: 4, SharedWords: 512, SharedIters: 6, LocalWords: 32, LocalIters: 4, Flops: 8, PtrChain: 6},
+		Grid:   defGrid, Block: defBlock, N: defN, AllocTrace: fragTrace(20, 80)},
+	{Name: "lud_cuda", Suite: SuiteRodinia,
+		Params: KernelParams{ElemsPerThread: 4, SharedWords: 1024, SharedIters: 12, Flops: 2, PtrOps: 1, PtrChain: 4},
+		Grid:   defGrid, Block: defBlock, N: defN, AllocTrace: fragTrace(15, 85)},
+	{Name: "needle", Suite: SuiteRodinia,
+		Params: KernelParams{ElemsPerThread: 6, SharedWords: 1024, SharedIters: 14, Stride: 32, RevisitGlobal: true, PtrOps: 4, PtrChain: 4},
+		Grid:   defGrid, Block: defBlock, N: 1 << 13, AllocTrace: fragTrace(93, 7)},
+	{Name: "nn", Suite: SuiteRodinia,
+		Params: KernelParams{ElemsPerThread: 8, Flops: 4, PtrOps: 1, PtrChain: 6},
+		Grid:   defGrid, Block: defBlock, N: defN, AllocTrace: fragTrace(5, 95)},
+	{Name: "particlefilter_float", Suite: SuiteRodinia,
+		Params: KernelParams{ElemsPerThread: 6, LocalWords: 64, LocalIters: 6, Flops: 6, PtrOps: 2, PtrChain: 6},
+		Grid:   defGrid, Block: defBlock, N: defN, AllocTrace: fragTrace(30, 70)},
+	{Name: "particlefilter_naive", Suite: SuiteRodinia,
+		Params: KernelParams{ElemsPerThread: 8, Divergent: true, LocalWords: 32, LocalIters: 3, Flops: 3, PtrChain: 4},
+		Grid:   defGrid, Block: defBlock, N: defN, AllocTrace: fragTrace(30, 70)},
+	{Name: "pathfinder", Suite: SuiteRodinia,
+		Params: KernelParams{ElemsPerThread: 6, SharedWords: 512, SharedIters: 8, PtrOps: 1, PtrChain: 4},
+		Grid:   defGrid, Block: defBlock, N: defN, AllocTrace: fragTrace(10, 90)},
+	{Name: "sc_gpu", Suite: SuiteRodinia,
+		Params: KernelParams{ElemsPerThread: 8, Flops: 1, PtrOps: 2, PtrChain: 4, HeapWords: 64},
+		Grid:   defGrid, Block: defBlock, N: defN, AllocTrace: fragTrace(20, 80)},
+	{Name: "srad_v1", Suite: SuiteRodinia,
+		Params: KernelParams{ElemsPerThread: 6, SharedWords: 256, SharedIters: 2, Flops: 8, PtrOps: 2, PtrChain: 6},
+		Grid:   defGrid, Block: defBlock, N: defN, AllocTrace: fragTrace(0, 100)},
+	{Name: "srad_v2", Suite: SuiteRodinia,
+		Params: KernelParams{ElemsPerThread: 6, SharedWords: 256, SharedIters: 3, Flops: 6, PtrOps: 2, PtrChain: 6},
+		Grid:   defGrid, Block: defBlock, N: defN, AllocTrace: fragTrace(0, 100)},
+
+	// ------------------------------------------------------------ Tango
+	{Name: "AlexNet", Suite: SuiteTango,
+		Params: KernelParams{ElemsPerThread: 8, SharedWords: 512, SharedIters: 3, Flops: 12, PtrOps: 2, PtrChain: 8},
+		Grid:   defGrid, Block: defBlock, N: defN, AllocTrace: fragTrace(20, 80)},
+	{Name: "CifarNet", Suite: SuiteTango,
+		Params: KernelParams{ElemsPerThread: 8, SharedWords: 256, SharedIters: 2, Flops: 10, PtrOps: 2, PtrChain: 8},
+		Grid:   defGrid, Block: defBlock, N: defN, AllocTrace: fragTrace(20, 80)},
+	{Name: "GRU", Suite: SuiteTango,
+		Params: KernelParams{ElemsPerThread: 8, Flops: 14, PtrOps: 2, PtrChain: 8},
+		Grid:   defGrid, Block: defBlock, N: defN, AllocTrace: fragTrace(15, 85)},
+	{Name: "LSTM", Suite: SuiteTango,
+		Params: KernelParams{ElemsPerThread: 6, Stride: 16, RevisitGlobal: true, Flops: 4, PtrOps: 2, PtrChain: 4},
+		Grid:   defGrid, Block: defBlock, N: 1 << 13, AllocTrace: fragTrace(15, 85)},
+
+	// ------------------------------------------------- FasterTransformer
+	{Name: "bert", Suite: SuiteFT,
+		Params: KernelParams{ElemsPerThread: 12, Flops: 20, PtrOps: 1, PtrChain: 10},
+		Grid:   defGrid, Block: defBlock, N: 1 << 16, AllocTrace: fragTrace(12, 88)},
+	{Name: "decoding", Suite: SuiteFT,
+		Params: KernelParams{ElemsPerThread: 12, Flops: 18, PtrOps: 1, PtrChain: 10},
+		Grid:   defGrid, Block: defBlock, N: 1 << 16, AllocTrace: fragTrace(12, 88)},
+	{Name: "swin", Suite: SuiteFT,
+		Params: KernelParams{ElemsPerThread: 10, Flops: 16, PtrOps: 1, PtrChain: 4},
+		Grid:   defGrid, Block: defBlock, N: 1 << 16, AllocTrace: fragTrace(12, 88)},
+	{Name: "wenet_decoder", Suite: SuiteFT,
+		Params: KernelParams{ElemsPerThread: 10, Flops: 14, PtrOps: 2, PtrChain: 10},
+		Grid:   defGrid, Block: defBlock, N: 1 << 16, AllocTrace: fragTrace(12, 88)},
+	{Name: "wenet_encoder", Suite: SuiteFT,
+		Params: KernelParams{ElemsPerThread: 10, Flops: 16, PtrOps: 2, PtrChain: 10},
+		Grid:   defGrid, Block: defBlock, N: 1 << 16, AllocTrace: fragTrace(12, 88)},
+
+	// --------------------------------------------------------------- AD
+	{Name: "BEVerse", Suite: SuiteAD,
+		Params: KernelParams{ElemsPerThread: 10, SharedWords: 256, SharedIters: 2, Flops: 14, PtrOps: 2, PtrChain: 8},
+		Grid:   defGrid, Block: defBlock, N: defN, AllocTrace: fragTrace(18, 82)},
+	{Name: "DETR", Suite: SuiteAD,
+		Params: KernelParams{ElemsPerThread: 10, Flops: 12, PtrOps: 2, PtrChain: 8},
+		Grid:   defGrid, Block: defBlock, N: defN, AllocTrace: fragTrace(18, 82)},
+	{Name: "MOTR", Suite: SuiteAD,
+		Params: KernelParams{ElemsPerThread: 10, Flops: 10, PtrOps: 2, PtrChain: 8, Divergent: true},
+		Grid:   defGrid, Block: defBlock, N: defN, AllocTrace: fragTrace(18, 82)},
+	{Name: "segformer", Suite: SuiteAD,
+		Params: KernelParams{ElemsPerThread: 10, SharedWords: 512, SharedIters: 2, Flops: 12, PtrOps: 1, PtrChain: 6},
+		Grid:   defGrid, Block: defBlock, N: defN, AllocTrace: fragTrace(18, 82)},
+}
+
+func init() {
+	for _, s := range all {
+		if s.DBIGrid == 0 {
+			s.DBIGrid = s.Grid / 4
+		}
+	}
+}
+
+// All returns every benchmark of the Table V suite.
+func All() []*Spec { return all }
+
+// BySuite returns the benchmarks of one suite.
+func BySuite(suite string) []*Spec {
+	var out []*Spec
+	for _, s := range all {
+		if s.Suite == suite {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ByName returns one benchmark, or nil.
+func ByName(name string) *Spec {
+	for _, s := range all {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// Fig13Set returns the benchmarks of the DBI experiment: the paper
+// excludes the AD suite "due to compatibility issues with NVBit and
+// out-of-memory errors with compute-sanitizer" (§XI-B footnote).
+func Fig13Set() []*Spec {
+	var out []*Spec
+	for _, s := range all {
+		if s.Suite != SuiteAD {
+			out = append(out, s)
+		}
+	}
+	return out
+}

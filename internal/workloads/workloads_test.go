@@ -1,0 +1,188 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"lmi/internal/alloc"
+	"lmi/internal/compiler"
+	"lmi/internal/sim"
+	"lmi/internal/stats"
+)
+
+func TestSuiteShape(t *testing.T) {
+	if len(All()) != 28 {
+		t.Fatalf("suite has %d benchmarks, want 28 (Table V)", len(All()))
+	}
+	counts := map[string]int{}
+	for _, s := range All() {
+		counts[s.Suite]++
+	}
+	want := map[string]int{SuiteRodinia: 15, SuiteTango: 4, SuiteFT: 5, SuiteAD: 4}
+	for suite, n := range want {
+		if counts[suite] != n {
+			t.Errorf("%s has %d benchmarks, want %d", suite, counts[suite], n)
+		}
+		if len(BySuite(suite)) != n {
+			t.Errorf("BySuite(%s) = %d", suite, len(BySuite(suite)))
+		}
+	}
+	if len(Fig13Set()) != 24 {
+		t.Errorf("Fig13 set = %d, want 24 (AD excluded)", len(Fig13Set()))
+	}
+	if ByName("needle") == nil || ByName("nope") != nil {
+		t.Error("ByName lookup")
+	}
+	for _, s := range All() {
+		if s.DBIGrid <= 0 || s.DBIGrid > s.Grid {
+			t.Errorf("%s: DBIGrid %d", s.Name, s.DBIGrid)
+		}
+		if s.Params.RevisitGlobal && s.N&(s.N-1) != 0 {
+			t.Errorf("%s: RevisitGlobal needs power-of-two N, got %d", s.Name, s.N)
+		}
+	}
+}
+
+// TestAllSpecsCompileAllVariants: every benchmark compiles (and
+// instruments) under every variant; LMI variants carry hint bits.
+func TestAllSpecsCompileAllVariants(t *testing.T) {
+	for _, s := range All() {
+		for _, v := range []Variant{VariantBase, VariantLMI, VariantGPUShield,
+			VariantBaggy, VariantLMIDBI, VariantMemcheck} {
+			p, err := s.Compile(v)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", s.Name, v, err)
+			}
+			if err := p.Validate(); err != nil {
+				t.Fatalf("%s/%s: invalid program: %v", s.Name, v, err)
+			}
+			switch v {
+			case VariantLMI:
+				if p.CountHinted() == 0 {
+					t.Errorf("%s/lmi: no hinted instructions", s.Name)
+				}
+			case VariantBase, VariantBaggy:
+				if p.CountHinted() != 0 {
+					t.Errorf("%s/%s: unexpected hints", s.Name, v)
+				}
+			}
+		}
+	}
+	if VariantBase.String() != "baseline" || Variant(99).String() == "" {
+		t.Error("variant names")
+	}
+}
+
+// TestRunRepresentativeBenchmarks runs a global-heavy, a shared-heavy,
+// and a local-using benchmark under baseline and LMI, checking clean
+// completion and the Fig. 1 region shapes.
+func TestRunRepresentativeBenchmarks(t *testing.T) {
+	cfg := sim.ScaledConfig(2)
+	cases := []struct {
+		name       string
+		wantShared bool
+		wantLocal  bool
+	}{
+		{"bert", false, false},
+		{"lud_cuda", true, false},
+		{"particlefilter_float", false, true},
+	}
+	for _, tc := range cases {
+		s := ByName(tc.name)
+		for _, v := range []Variant{VariantBase, VariantLMI} {
+			st, err := Run(s, v, cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", tc.name, v, err)
+			}
+			if st.Halted || len(st.Faults) > 0 {
+				t.Fatalf("%s/%s: faulted: %+v", tc.name, v, st.Faults)
+			}
+			g, sh, lo := st.MemRegionShares()
+			if tc.wantShared && sh < 0.5 {
+				t.Errorf("%s/%s: shared share %.2f, want > 0.5 (Fig. 1)", tc.name, v, sh)
+			}
+			if !tc.wantShared && !tc.wantLocal && g < 0.8 {
+				t.Errorf("%s/%s: global share %.2f, want > 0.8", tc.name, v, g)
+			}
+			if tc.wantLocal && lo < 0.2 {
+				t.Errorf("%s/%s: local share %.2f, want > 0.2", tc.name, v, lo)
+			}
+		}
+	}
+}
+
+// TestFragmentationCalibration: the headline Fig. 4 anchors.
+func TestFragmentationCalibration(t *testing.T) {
+	check := func(name string, lo, hi float64) {
+		s := ByName(name)
+		res, err := alloc.MeasureFragmentation(s.AllocTrace)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Overhead < lo || res.Overhead > hi {
+			t.Errorf("%s fragmentation %.3f, want in [%.3f, %.3f]", name, res.Overhead, lo, hi)
+		}
+	}
+	check("hotspot", 0, 0.01) // "negligible" (paper)
+	check("srad_v1", 0, 0.01)
+	check("backprop", 0.82, 0.90) // paper: 85.9%
+	check("needle", 0.89, 0.96)   // paper: 92.9%
+
+	// Suite-wide geometric mean of (1+overhead) lands near the paper's
+	// 18.73%.
+	var ratios []float64
+	for _, s := range All() {
+		res, err := alloc.MeasureFragmentation(s.AllocTrace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratios = append(ratios, 1+res.Overhead)
+	}
+	geo := stats.Geomean(ratios) - 1
+	if math.Abs(geo-0.1873) > 0.05 {
+		t.Errorf("suite fragmentation geomean %.4f, want near 0.1873", geo)
+	}
+}
+
+// TestDeviceHeapBenchmark: sc_gpu exercises in-kernel malloc/free under
+// LMI without faults.
+func TestDeviceHeapBenchmark(t *testing.T) {
+	cfg := sim.ScaledConfig(2)
+	st, err := Run(ByName("sc_gpu"), VariantLMI, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Halted || len(st.Faults) > 0 {
+		t.Fatalf("faulted: %+v", st.Faults)
+	}
+	if st.PointerChecks == 0 {
+		t.Error("no OCU checks recorded")
+	}
+}
+
+// TestNoIntPtrCastsInWorkloads is the §XII-B feasibility audit: none of
+// the suite's kernels contain inttoptr/ptrtoint casts or pointers stored
+// through memory, so all compile under LMI's correct-by-construction
+// restrictions (the paper audits 57 Rodinia/HeteroMark/GraphBig/Tango
+// kernels and finds zero such casts).
+func TestNoIntPtrCastsInWorkloads(t *testing.T) {
+	for _, s := range All() {
+		f, err := s.Kernel()
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		facts, err := compiler.Analyze(f)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if len(facts.Casts) != 0 {
+			t.Errorf("%s: %d int<->ptr casts", s.Name, len(facts.Casts))
+		}
+		if len(facts.PtrStores) != 0 {
+			t.Errorf("%s: %d in-memory pointers", s.Name, len(facts.PtrStores))
+		}
+		if len(facts.PtrArith) == 0 {
+			t.Errorf("%s: no pointer arithmetic at all?", s.Name)
+		}
+	}
+}
