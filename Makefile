@@ -1,0 +1,30 @@
+# Convenience targets; scripts/check.sh is the canonical gate.
+
+GO ?= go
+
+.PHONY: build test race vet check check-short bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race -timeout 45m ./...
+
+# The full verification gate: vet + build + tests + race detector.
+check:
+	scripts/check.sh
+
+# Same gate with the slow Fig. 12/13 race sweeps skipped.
+check-short:
+	scripts/check.sh -short
+
+# The evaluation benchmarks; LMI_BENCH_JSON=. also writes BENCH_*.json
+# trajectory points for the fig01/fig12/fig13 sweeps.
+bench:
+	LMI_BENCH_JSON=. $(GO) test -bench=. -benchmem . | tee bench_output.txt

@@ -7,16 +7,35 @@ package lmi
 // bench_output.txt doubles as the reproduction record.
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"lmi/internal/compiler"
 	"lmi/internal/experiments"
 	"lmi/internal/hwcost"
+	"lmi/internal/runner"
 	"lmi/internal/safety"
 	"lmi/internal/sectest"
 	"lmi/internal/sim"
 	"lmi/internal/workloads"
 )
+
+// writeBenchReport emits a sweep's runner report as BENCH_<name>.json in
+// the directory named by LMI_BENCH_JSON, so bench runs leave trajectory
+// points next to bench_output.txt. Unset (the default) writes nothing,
+// keeping `go test -bench` hermetic.
+func writeBenchReport(b *testing.B, name string, rep *runner.Report) {
+	b.Helper()
+	dir := os.Getenv("LMI_BENCH_JSON")
+	if dir == "" || rep == nil {
+		return
+	}
+	path := filepath.Join(dir, "BENCH_"+name+".json")
+	if err := runner.WriteJSONFile(path, []*runner.Report{rep}); err != nil {
+		b.Errorf("write %s: %v", path, err)
+	}
+}
 
 // BenchmarkFig01MemoryRegionMix regenerates Fig. 1: the dynamic
 // LDG/STG / LDS/STS / LDL/STL instruction shares per benchmark. Reported
@@ -39,6 +58,7 @@ func BenchmarkFig01MemoryRegionMix(b *testing.B) {
 		}
 		if i == 0 {
 			b.Log("\n" + res.Table())
+			writeBenchReport(b, "fig01", res.Report)
 		}
 	}
 }
@@ -101,6 +121,7 @@ func BenchmarkFig12HardwareMechanisms(b *testing.B) {
 		b.ReportMetric(res.BaggyPeak, "baggy-peak")
 		if i == 0 {
 			b.Log("\n" + res.Table())
+			writeBenchReport(b, "fig12", res.Report)
 		}
 	}
 }
@@ -118,6 +139,7 @@ func BenchmarkFig13DBIMechanisms(b *testing.B) {
 		b.ReportMetric(res.MemcheckMean, "memcheck-geomean")
 		if i == 0 {
 			b.Log("\n" + res.Table())
+			writeBenchReport(b, "fig13", res.Report)
 		}
 	}
 }

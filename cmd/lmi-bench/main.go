@@ -6,6 +6,18 @@
 //	lmi-bench -fig 12         # one figure (1, 4, 12, 13)
 //	lmi-bench -table 3        # one table (2, 3, 4, 5, 6)
 //	lmi-bench -sms 8          # scale the simulated GPU
+//	lmi-bench -all -jobs 4    # run the sweeps on 4 workers (same output)
+//	lmi-bench -all -timing    # per-run timing report on stderr
+//	lmi-bench -all -json out.json  # runner reports as a JSON trajectory point
+//
+// Sweeps run on internal/runner's deterministic worker pool: -jobs only
+// changes wall-clock, never a rendered byte (results are collected in
+// submission order and each run has its own simulated device). The
+// default pool size is GOMAXPROCS, also overridable via LMI_JOBS.
+//
+// A failing experiment no longer aborts the run: remaining experiments
+// still execute, the failures are summarised on stderr, and the exit
+// status is nonzero.
 package main
 
 import (
@@ -15,6 +27,7 @@ import (
 
 	"lmi/internal/experiments"
 	"lmi/internal/hwcost"
+	"lmi/internal/runner"
 	"lmi/internal/sectest"
 	"lmi/internal/sim"
 	"lmi/internal/stats"
@@ -26,14 +39,29 @@ func main() {
 	table := flag.Int("table", 0, "table to regenerate (1, 2, 3, 4, 5, 6)")
 	all := flag.Bool("all", false, "regenerate everything")
 	sms := flag.Int("sms", experiments.DefaultSimSMs, "simulated SM count (Table IV machine is 80)")
+	jobs := flag.Int("jobs", 0, "simulation worker pool size (0 = GOMAXPROCS or $LMI_JOBS)")
+	timing := flag.Bool("timing", false, "print each sweep's per-run timing report to stderr")
+	jsonPath := flag.String("json", "", "write the runner reports to this file as JSON")
 	flag.Parse()
 
 	cfg := sim.ScaledConfig(*sms)
+	var failed []string
+	var reports []*runner.Report
+	report := func(rep *runner.Report) {
+		if rep == nil {
+			return
+		}
+		reports = append(reports, rep)
+		if *timing {
+			fmt.Fprintf(os.Stderr, "---- %s timing (%d jobs, %d workers, %s wall) ----\n%s",
+				rep.Name, len(rep.Results), rep.Workers, rep.Wall.Round(1e6), rep.Table())
+		}
+	}
 	run := func(name string, f func() error) {
 		fmt.Printf("==== %s ====\n", name)
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "lmi-bench: %s: %v\n", name, err)
-			os.Exit(1)
+			failed = append(failed, name)
 		}
 		fmt.Println()
 	}
@@ -46,10 +74,11 @@ func main() {
 	if want(1, 0) {
 		any = true
 		run("Figure 1: memory instructions per region", func() error {
-			res, err := experiments.Fig01(cfg)
+			res, err := experiments.Fig01Jobs(cfg, *jobs)
 			if err != nil {
 				return err
 			}
+			report(res.Report)
 			fmt.Print(res.Table())
 			return nil
 		})
@@ -75,7 +104,7 @@ func main() {
 	if want(0, 2) {
 		any = true
 		run("Table II: mechanism comparison", func() error {
-			out, err := experiments.RenderTable2(nil)
+			out, err := experiments.RenderTable2Jobs(nil, *jobs)
 			if err != nil {
 				return err
 			}
@@ -123,10 +152,11 @@ func main() {
 	if want(12, 0) {
 		any = true
 		run("Figure 12: hardware/compiler mechanisms", func() error {
-			res, err := experiments.Fig12(cfg)
+			res, err := experiments.Fig12Jobs(cfg, *jobs)
 			if err != nil {
 				return err
 			}
+			report(res.Report)
 			fmt.Print(res.Table())
 			fmt.Printf("\npaper shape: LMI ~0.2%%, GPUShield low with needle/LSTM outliers, Baggy ~87%% avg / ~5x peak\n")
 			return nil
@@ -135,10 +165,11 @@ func main() {
 	if want(13, 0) {
 		any = true
 		run("Figure 13: DBI mechanisms", func() error {
-			res, err := experiments.Fig13(cfg)
+			res, err := experiments.Fig13Jobs(workloads.Fig13Set(), cfg, *jobs)
 			if err != nil {
 				return err
 			}
+			report(res.Report)
 			fmt.Print(res.Table())
 			fmt.Printf("\npaper shape: LMI-DBI ~72.95x, memcheck ~32.98x geomean\n")
 			return nil
@@ -147,5 +178,18 @@ func main() {
 	if !any {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *jsonPath != "" {
+		if err := runner.WriteJSONFile(*jsonPath, reports); err != nil {
+			fmt.Fprintf(os.Stderr, "lmi-bench: write %s: %v\n", *jsonPath, err)
+			failed = append(failed, "json report")
+		}
+	}
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "lmi-bench: %d experiment(s) failed:\n", len(failed))
+		for _, name := range failed {
+			fmt.Fprintf(os.Stderr, "  - %s\n", name)
+		}
+		os.Exit(1)
 	}
 }

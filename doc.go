@@ -19,7 +19,10 @@
 //   - internal/workloads, internal/sectest, internal/hwcost,
 //     internal/experiments — the Table V benchmark suite, the Table III
 //     security scenarios, the Table VI gate model, and the harness that
-//     regenerates every figure and table.
+//     regenerates every figure and table;
+//   - internal/runner — the deterministic fan-out executor the sweeps
+//     run on: a bounded worker pool with submission-ordered results and
+//     a per-run timing/throughput report.
 //
 // The root-level benchmarks (bench_test.go) regenerate each evaluation
 // result; see EXPERIMENTS.md for paper-vs-measured and DESIGN.md for the

@@ -3,6 +3,12 @@
 // rendered table; cmd/lmi-bench and the repository's bench_test.go drive
 // them.
 //
+// The workload x variant sweeps run through internal/runner's
+// deterministic worker pool: results come back in submission order, so
+// rendered tables are byte-identical whatever the pool size. Each
+// sweep's Result carries the runner.Report with per-run wall-time and
+// throughput.
+//
 // Absolute cycle counts come from this repository's simulator, not the
 // authors' testbed, so the *shape* of each result — who wins, by roughly
 // what factor, where the outliers are — is the reproduction target (see
@@ -12,6 +18,7 @@ package experiments
 import (
 	"fmt"
 
+	"lmi/internal/runner"
 	"lmi/internal/sim"
 	"lmi/internal/workloads"
 )
@@ -24,14 +31,25 @@ const DefaultSimSMs = 4
 // SimConfig returns the experiment simulator configuration.
 func SimConfig() sim.Config { return sim.ScaledConfig(DefaultSimSMs) }
 
+// cleanStats guards the harness against fault-reporting gaps: it
+// converts a halted or faulting KernelStats into an error without ever
+// indexing an empty fault slice (a kernel that halts with no recorded
+// fault is itself a reportable harness bug, not a panic).
+func cleanStats(spec string, v workloads.Variant, st *sim.KernelStats) error {
+	if err := runner.FaultError(spec+"/"+v.String(), st); err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	return nil
+}
+
 // runVariant executes one benchmark under one variant and returns cycles.
 func runVariant(s *workloads.Spec, v workloads.Variant, cfg sim.Config) (*sim.KernelStats, error) {
 	st, err := workloads.Run(s, v, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s/%s: %w", s.Name, v, err)
 	}
-	if st.Halted || len(st.Faults) > 0 {
-		return nil, fmt.Errorf("experiments: %s/%s: unexpected fault: %v", s.Name, v, st.Faults[0])
+	if err := cleanStats(s.Name, v, st); err != nil {
+		return nil, err
 	}
 	return st, nil
 }

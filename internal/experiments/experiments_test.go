@@ -6,8 +6,90 @@ import (
 	"testing"
 
 	"lmi/internal/sectest"
+	"lmi/internal/sim"
 	"lmi/internal/workloads"
 )
+
+// TestHaltedNoFaultGuard is the fault-guard regression test: a kernel
+// that halts with an *empty* fault slice must surface a descriptive
+// error. The seed harness indexed st.Faults[0] unconditionally on this
+// path and panicked.
+func TestHaltedNoFaultGuard(t *testing.T) {
+	err := cleanStats("bench", workloads.VariantLMI, &sim.KernelStats{Halted: true})
+	if err == nil || !strings.Contains(err.Error(), "halted with no recorded fault") {
+		t.Errorf("halted-no-fault err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "bench/lmi") {
+		t.Errorf("error does not name the run: %v", err)
+	}
+	err = cleanStats("bench", workloads.VariantLMI, &sim.KernelStats{
+		Halted: true,
+		Faults: []sim.FaultRecord{{SM: 1, Warp: 2, Lane: 3, PC: 4}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "unexpected fault") {
+		t.Errorf("faulting err = %v", err)
+	}
+	// Faults recorded without a halt (HaltOnFault=false) are still an
+	// experiment failure.
+	err = cleanStats("bench", workloads.VariantBase, &sim.KernelStats{
+		Faults: []sim.FaultRecord{{}},
+	})
+	if err == nil {
+		t.Error("unhalted faults accepted")
+	}
+	if err := cleanStats("bench", workloads.VariantBase, &sim.KernelStats{}); err != nil {
+		t.Errorf("clean stats rejected: %v", err)
+	}
+}
+
+// TestUndefinedGeomeanRendersNA: summary rows must print "n/a" for an
+// undefined geomean instead of presenting NaN or 0 as a slowdown ratio.
+func TestUndefinedGeomeanRendersNA(t *testing.T) {
+	r12 := &Fig12Result{
+		Rows:      []Fig12Row{{Name: "x", Suite: "s", Baseline: 1, Baggy: 1, GPUShield: 1, LMI: 1}},
+		BaggyMean: math.NaN(), GPUShieldMean: math.NaN(), LMIMean: math.NaN(),
+	}
+	if !strings.Contains(r12.Table(), "n/a") {
+		t.Errorf("Fig12 table renders NaN geomean:\n%s", r12.Table())
+	}
+	if strings.Contains(r12.Table(), "NaN") {
+		t.Errorf("Fig12 table leaks NaN:\n%s", r12.Table())
+	}
+	r13 := &Fig13Result{LMIDBIMean: math.NaN(), MemcheckMean: math.NaN()}
+	if !strings.Contains(r13.Table(), "n/a") || strings.Contains(r13.Table(), "NaN") {
+		t.Errorf("Fig13 table:\n%s", r13.Table())
+	}
+	if !math.IsNaN(checkedMean(nil)) || !math.IsNaN(checkedMean([]float64{1, 0})) {
+		t.Error("checkedMean should be NaN for empty / non-positive input")
+	}
+	if got := checkedMean([]float64{2, 8}); got != 4 {
+		t.Errorf("checkedMean([2 8]) = %v, want 4", got)
+	}
+}
+
+// TestFig01Deterministic: the parallel sweep renders byte-identically to
+// the sequential one (the tentpole guarantee at the experiment level).
+func TestFig01Deterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("double sweep in -short mode")
+	}
+	cfg := sim.ScaledConfig(2)
+	seq, err := Fig01Jobs(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Fig01Jobs(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Table() != par.Table() {
+		t.Errorf("parallel Fig. 1 differs from sequential:\n--- seq\n%s\n--- par\n%s",
+			seq.Table(), par.Table())
+	}
+	if seq.Report == nil || par.Report == nil || par.Report.Workers != 4 {
+		t.Error("sweep reports missing or mis-sized")
+	}
+}
 
 // TestFig12Shape asserts the Fig. 12 reproduction bands: LMI near-zero,
 // GPUShield low with needle/LSTM as its largest overheads, Baggy high

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"lmi/internal/runner"
 	"lmi/internal/sim"
 	"lmi/internal/stats"
 	"lmi/internal/workloads"
@@ -18,19 +19,31 @@ type Fig01Row struct {
 // Fig01Result is the Fig. 1 reproduction.
 type Fig01Result struct {
 	Rows []Fig01Row
+	// Report is the sweep's per-run timing report.
+	Report *runner.Report
 }
 
 // Fig01 reproduces "Ratio of memory instructions per region in GPU
 // workloads": each benchmark's dynamic LDG/STG vs LDS/STS vs LDL/STL
 // instruction shares under the unprotected baseline.
-func Fig01(cfg sim.Config) (*Fig01Result, error) {
-	res := &Fig01Result{}
-	for _, s := range workloads.All() {
-		st, err := runVariant(s, workloads.VariantBase, cfg)
-		if err != nil {
-			return nil, err
-		}
-		g, sh, lo := st.MemRegionShares()
+func Fig01(cfg sim.Config) (*Fig01Result, error) { return Fig01Jobs(cfg, 0) }
+
+// Fig01Jobs is Fig01 on a worker pool of the given size (<= 0 means
+// runner.DefaultWorkers); the rendered table is identical at any size.
+func Fig01Jobs(cfg sim.Config, workers int) (*Fig01Result, error) {
+	specs := workloads.All()
+	jobs := make([]runner.Job, len(specs))
+	for i, s := range specs {
+		jobs[i] = runner.Job{Spec: s, Variant: workloads.VariantBase, Config: cfg}
+	}
+	rep := runner.RunNamed("fig01", jobs, workers)
+	sts, err := rep.Stats()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig01Result{Report: rep}
+	for i, s := range specs {
+		g, sh, lo := sts[i].MemRegionShares()
 		res.Rows = append(res.Rows, Fig01Row{
 			Name: s.Name, Suite: s.Suite, Global: g, Shared: sh, Local: lo,
 		})

@@ -42,7 +42,7 @@ func Fig04() (*Fig04Result, error) {
 		})
 		ratios = append(ratios, 1+fr.Overhead)
 	}
-	res.Geomean = stats.Geomean(ratios) - 1
+	res.Geomean = checkedMean(ratios) - 1 // NaN ("n/a") when undefined
 	return res, nil
 }
 

@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"math"
+
+	"lmi/internal/runner"
 	"lmi/internal/sim"
 	"lmi/internal/stats"
 	"lmi/internal/workloads"
@@ -20,50 +23,72 @@ type Fig12Row struct {
 // Fig12Result is the full Fig. 12 reproduction.
 type Fig12Result struct {
 	Rows []Fig12Row
-	// Geomeans of the normalized execution times.
+	// Geomeans of the normalized execution times (NaN when undefined —
+	// rendered as "n/a").
 	BaggyMean, GPUShieldMean, LMIMean float64
 	// Peaks.
 	BaggyPeak float64
+	// Report is the sweep's per-run timing report.
+	Report *runner.Report
+}
+
+// fig12Variants is the per-benchmark job order of the Fig. 12 sweep.
+var fig12Variants = []workloads.Variant{
+	workloads.VariantBase,
+	workloads.VariantBaggy,
+	workloads.VariantGPUShield,
+	workloads.VariantLMI,
 }
 
 // Fig12 reproduces "Performance comparison among Baggy bounds, GPUShield,
 // and LMI" (§XI-A): every Table V benchmark under the three mechanisms,
 // normalized to the unprotected baseline.
-func Fig12(cfg sim.Config) (*Fig12Result, error) {
-	res := &Fig12Result{}
+func Fig12(cfg sim.Config) (*Fig12Result, error) { return Fig12Jobs(cfg, 0) }
+
+// Fig12Jobs is Fig12 on a worker pool of the given size (<= 0 means
+// runner.DefaultWorkers); the rendered table is identical at any size.
+func Fig12Jobs(cfg sim.Config, workers int) (*Fig12Result, error) {
+	specs := workloads.All()
+	var jobs []runner.Job
+	for _, s := range specs {
+		for _, v := range fig12Variants {
+			jobs = append(jobs, runner.Job{Spec: s, Variant: v, Config: cfg})
+		}
+	}
+	rep := runner.RunNamed("fig12", jobs, workers)
+	sts, err := rep.Stats()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig12Result{Report: rep}
 	var baggyN, shieldN, lmiN []float64
-	for _, s := range workloads.All() {
-		base, err := runVariant(s, workloads.VariantBase, cfg)
-		if err != nil {
-			return nil, err
-		}
+	for i, s := range specs {
+		group := sts[i*len(fig12Variants) : (i+1)*len(fig12Variants)]
+		base := group[0]
 		row := Fig12Row{Name: s.Name, Suite: s.Suite, Baseline: base.Cycles}
-		for _, v := range []workloads.Variant{workloads.VariantBaggy,
-			workloads.VariantGPUShield, workloads.VariantLMI} {
-			st, err := runVariant(s, v, cfg)
-			if err != nil {
-				return nil, err
-			}
-			norm := float64(st.Cycles) / float64(base.Cycles)
-			switch v {
-			case workloads.VariantBaggy:
-				row.Baggy = norm
-				baggyN = append(baggyN, norm)
-			case workloads.VariantGPUShield:
-				row.GPUShield = norm
-				shieldN = append(shieldN, norm)
-			case workloads.VariantLMI:
-				row.LMI = norm
-				lmiN = append(lmiN, norm)
-			}
-		}
+		row.Baggy = float64(group[1].Cycles) / float64(base.Cycles)
+		row.GPUShield = float64(group[2].Cycles) / float64(base.Cycles)
+		row.LMI = float64(group[3].Cycles) / float64(base.Cycles)
+		baggyN = append(baggyN, row.Baggy)
+		shieldN = append(shieldN, row.GPUShield)
+		lmiN = append(lmiN, row.LMI)
 		res.Rows = append(res.Rows, row)
 	}
-	res.BaggyMean = stats.Geomean(baggyN)
-	res.GPUShieldMean = stats.Geomean(shieldN)
-	res.LMIMean = stats.Geomean(lmiN)
+	res.BaggyMean = checkedMean(baggyN)
+	res.GPUShieldMean = checkedMean(shieldN)
+	res.LMIMean = checkedMean(lmiN)
 	res.BaggyPeak = stats.Max(baggyN)
 	return res, nil
+}
+
+// checkedMean is GeomeanChecked with the undefined case encoded as NaN,
+// which stats.Table renders as "n/a" instead of a fake ratio.
+func checkedMean(xs []float64) float64 {
+	g, ok := stats.GeomeanChecked(xs)
+	if !ok {
+		return math.NaN()
+	}
+	return g
 }
 
 // Table renders the result.

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"lmi/internal/compiler"
+	"lmi/internal/runner"
 	"lmi/internal/sim"
 	"lmi/internal/stats"
 	"lmi/internal/workloads"
@@ -23,8 +24,19 @@ type Fig13Row struct {
 type Fig13Result struct {
 	Rows []Fig13Row
 	// Geomeans (the paper reports 72.95x for LMI-DBI and 32.98x for
-	// memcheck).
+	// memcheck; NaN when undefined — rendered as "n/a").
 	LMIDBIMean, MemcheckMean float64
+	// Report is the sweep's per-run timing report.
+	Report *runner.Report
+}
+
+// fig13Variants is the per-benchmark job order of the Fig. 13 sweep;
+// every run launches at the spec's reduced DBI grid so the baseline and
+// the DBI runs share the launch geometry.
+var fig13Variants = []workloads.Variant{
+	workloads.VariantBase,
+	workloads.VariantLMIDBI,
+	workloads.VariantMemcheck,
 }
 
 // Fig13 reproduces "Performance comparison between LMI with DBI and
@@ -32,31 +44,36 @@ type Fig13Result struct {
 // LMI versus the memcheck tripwire tool, normalized to baseline, on the
 // 24 non-AD benchmarks.
 func Fig13(cfg sim.Config) (*Fig13Result, error) {
-	return Fig13For(workloads.Fig13Set(), cfg)
+	return Fig13Jobs(workloads.Fig13Set(), cfg, 0)
 }
 
 // Fig13For runs the DBI comparison over an explicit benchmark subset
 // (tests use a small subset; the bench harness runs the full Fig. 13
 // set).
 func Fig13For(specs []*workloads.Spec, cfg sim.Config) (*Fig13Result, error) {
-	res := &Fig13Result{}
-	var dbiN, mcN []float64
+	return Fig13Jobs(specs, cfg, 0)
+}
+
+// Fig13Jobs is the DBI comparison over an explicit subset on a worker
+// pool of the given size (<= 0 means runner.DefaultWorkers); the
+// rendered table is identical at any size.
+func Fig13Jobs(specs []*workloads.Spec, cfg sim.Config, workers int) (*Fig13Result, error) {
+	var jobs []runner.Job
 	for _, s := range specs {
-		// DBI experiments run a reduced grid; the baseline must use the
-		// same launch, so run it through the same DBIGrid path by
-		// normalizing against a baseline launched at the DBI grid.
-		base, err := runVariantAtDBIGrid(s, workloads.VariantBase, cfg)
-		if err != nil {
-			return nil, err
+		for _, v := range fig13Variants {
+			jobs = append(jobs, runner.Job{Spec: s, Variant: v, Config: cfg, AtDBIGrid: true})
 		}
-		dbi, err := runVariantAtDBIGrid(s, workloads.VariantLMIDBI, cfg)
-		if err != nil {
-			return nil, err
-		}
-		mc, err := runVariantAtDBIGrid(s, workloads.VariantMemcheck, cfg)
-		if err != nil {
-			return nil, err
-		}
+	}
+	rep := runner.RunNamed("fig13", jobs, workers)
+	sts, err := rep.Stats()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig13Result{Report: rep}
+	var dbiN, mcN []float64
+	for i, s := range specs {
+		group := sts[i*len(fig13Variants) : (i+1)*len(fig13Variants)]
+		base, dbi, mc := group[0], group[1], group[2]
 		lmiProg, err := s.Compile(workloads.VariantLMI)
 		if err != nil {
 			return nil, err
@@ -75,47 +92,9 @@ func Fig13For(specs []*workloads.Spec, cfg sim.Config) (*Fig13Result, error) {
 		dbiN = append(dbiN, row.LMIDBI)
 		mcN = append(mcN, row.Memcheck)
 	}
-	res.LMIDBIMean = stats.Geomean(dbiN)
-	res.MemcheckMean = stats.Geomean(mcN)
+	res.LMIDBIMean = checkedMean(dbiN)
+	res.MemcheckMean = checkedMean(mcN)
 	return res, nil
-}
-
-// runVariantAtDBIGrid launches a benchmark at its (reduced) DBI grid for
-// any variant, so DBI runs and their baseline share the launch geometry.
-func runVariantAtDBIGrid(s *workloads.Spec, v workloads.Variant, cfg sim.Config) (*sim.KernelStats, error) {
-	prog, err := s.Compile(v)
-	if err != nil {
-		return nil, err
-	}
-	dev, err := sim.NewDevice(cfg, workloads.NewMechanism(v))
-	if err != nil {
-		return nil, err
-	}
-	in, err := dev.Malloc(s.N * 4)
-	if err != nil {
-		return nil, err
-	}
-	out, err := dev.Malloc(s.N * 4)
-	if err != nil {
-		return nil, err
-	}
-	st, err := dev.Launch(prog, s.DBIGrid, s.Block, []uint64{in, out, s.N})
-	if err != nil {
-		return nil, err
-	}
-	if st.Halted || len(st.Faults) > 0 {
-		return nil, &faultErr{spec: s.Name, variant: v.String(), rec: st.Faults[0]}
-	}
-	return st, nil
-}
-
-type faultErr struct {
-	spec, variant string
-	rec           sim.FaultRecord
-}
-
-func (e *faultErr) Error() string {
-	return "experiments: " + e.spec + "/" + e.variant + ": unexpected fault: " + e.rec.String()
 }
 
 // Table renders the result.

@@ -105,13 +105,19 @@ func Table2(fig12 *Fig12Result, table3 *sectest.Table3Result) []Table2Row {
 // RenderTable2 runs what Table II needs (the security suite, plus Fig. 12
 // if cfg is non-nil) and renders it.
 func RenderTable2(cfg *sim.Config) (string, error) {
+	return RenderTable2Jobs(cfg, 0)
+}
+
+// RenderTable2Jobs is RenderTable2 with the Fig. 12 sweep on a worker
+// pool of the given size (<= 0 means runner.DefaultWorkers).
+func RenderTable2Jobs(cfg *sim.Config, workers int) (string, error) {
 	t3, err := sectest.RunTable3()
 	if err != nil {
 		return "", err
 	}
 	var f12 *Fig12Result
 	if cfg != nil {
-		f12, err = Fig12(*cfg)
+		f12, err = Fig12Jobs(*cfg, workers)
 		if err != nil {
 			return "", err
 		}

@@ -1,0 +1,127 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"lmi/internal/stats"
+)
+
+// Report is the outcome of one Run call: per-job results in submission
+// order plus the sweep's aggregate timing. It renders as a plain-text
+// timing table (stats.Table) and marshals to JSON for bench trajectory
+// tracking.
+type Report struct {
+	// Name is the experiment the jobs belong to ("" for ad-hoc runs).
+	Name string
+	// Workers is the resolved worker-pool size.
+	Workers int
+	// Wall is the whole sweep's wall-clock time.
+	Wall time.Duration
+	// Results holds one entry per submitted job, in submission order.
+	Results []Result
+}
+
+// Failed returns the results that ended in error.
+func (r *Report) Failed() []Result {
+	var out []Result
+	for _, res := range r.Results {
+		if res.Err != nil {
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
+// TotalCycles sums simulated cycles over the successful jobs.
+func (r *Report) TotalCycles() uint64 {
+	var total uint64
+	for _, res := range r.Results {
+		if res.Stats != nil {
+			total += res.Stats.Cycles
+		}
+	}
+	return total
+}
+
+// Table renders the per-run timing report: one row per job with its
+// outcome, simulated cycles, wall time, and simulation throughput.
+func (r *Report) Table() string {
+	t := stats.NewTable("job", "outcome", "cycles", "wall", "Mcyc/s")
+	for i := range r.Results {
+		res := &r.Results[i]
+		outcome := "ok"
+		cycles := "-"
+		if res.Err != nil {
+			outcome = "error: " + res.Err.Error()
+		} else if res.Stats != nil {
+			cycles = fmt.Sprint(res.Stats.Cycles)
+		}
+		t.AddRow(res.Job.Name(), outcome, cycles,
+			res.Wall.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.1f", res.CyclesPerSec()/1e6))
+	}
+	t.AddRow("TOTAL", fmt.Sprintf("%d jobs, %d workers", len(r.Results), r.Workers),
+		fmt.Sprint(r.TotalCycles()), r.Wall.Round(time.Millisecond).String(),
+		fmt.Sprintf("%.1f", float64(r.TotalCycles())/r.Wall.Seconds()/1e6))
+	return t.String()
+}
+
+// jobJSON is the serialised form of one Result.
+type jobJSON struct {
+	Job          string  `json:"job"`
+	Error        string  `json:"error,omitempty"`
+	Cycles       uint64  `json:"cycles"`
+	Instrs       uint64  `json:"instrs"`
+	WallNS       int64   `json:"wall_ns"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+}
+
+// reportJSON is the serialised form of a Report.
+type reportJSON struct {
+	Name        string    `json:"name,omitempty"`
+	Workers     int       `json:"workers"`
+	WallNS      int64     `json:"wall_ns"`
+	TotalCycles uint64    `json:"total_cycles"`
+	Jobs        []jobJSON `json:"jobs"`
+}
+
+// MarshalJSON serialises the report for trajectory tracking.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	out := reportJSON{
+		Name:        r.Name,
+		Workers:     r.Workers,
+		WallNS:      r.Wall.Nanoseconds(),
+		TotalCycles: r.TotalCycles(),
+		Jobs:        make([]jobJSON, 0, len(r.Results)),
+	}
+	for i := range r.Results {
+		res := &r.Results[i]
+		j := jobJSON{
+			Job:          res.Job.Name(),
+			WallNS:       res.Wall.Nanoseconds(),
+			CyclesPerSec: res.CyclesPerSec(),
+		}
+		if res.Err != nil {
+			j.Error = res.Err.Error()
+		}
+		if res.Stats != nil {
+			j.Cycles = res.Stats.Cycles
+			j.Instrs = res.Stats.Instrs
+		}
+		out.Jobs = append(out.Jobs, j)
+	}
+	return json.Marshal(out)
+}
+
+// WriteJSONFile writes reports as an indented JSON array, the format of
+// the repository's BENCH_*.json trajectory points.
+func WriteJSONFile(path string, reports []*Report) error {
+	data, err := json.MarshalIndent(reports, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,178 @@
+// Package runner is the deterministic fan-out executor for simulation
+// runs. Every sim.Device is fully independent, so the evaluation's
+// workload x variant sweeps (Figs. 1, 12, 13, Tables II-VI inputs) are
+// embarrassingly parallel; the runner executes a job list on a bounded
+// worker pool and returns results in submission order, so every table
+// rendered from runner output is byte-identical to the sequential run.
+//
+// The pool size defaults to GOMAXPROCS, overridable per process via the
+// LMI_JOBS environment variable and per call site via the workers
+// argument (cmd/lmi-bench plumbs its -jobs flag through).
+package runner
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"lmi/internal/sim"
+	"lmi/internal/workloads"
+)
+
+// JobsEnv is the environment variable overriding the default worker
+// count (a positive integer; invalid values are ignored).
+const JobsEnv = "LMI_JOBS"
+
+// DefaultWorkers resolves the worker-pool size used when a caller
+// passes workers <= 0: LMI_JOBS when set to a positive integer, else
+// GOMAXPROCS.
+func DefaultWorkers() int {
+	if s := os.Getenv(JobsEnv); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Job is one simulation run: a benchmark under a variant on a
+// configuration. Each job executes on its own fresh sim.Device.
+type Job struct {
+	Spec    *workloads.Spec
+	Variant workloads.Variant
+	Config  sim.Config
+	// AtDBIGrid launches at the spec's reduced DBI grid regardless of
+	// variant: the Fig. 13 comparison runs its unprotected baseline at
+	// the DBI grid so both sides share the launch geometry.
+	AtDBIGrid bool
+	// AllowFaults returns the KernelStats even when the kernel halted
+	// or recorded faults, instead of converting them into Err (the
+	// default for performance runs, which must be clean).
+	AllowFaults bool
+}
+
+// Name labels the job "benchmark/variant".
+func (j Job) Name() string {
+	name := "?"
+	if j.Spec != nil {
+		name = j.Spec.Name
+	}
+	return name + "/" + j.Variant.String()
+}
+
+// Result is one job's outcome with its measured cost.
+type Result struct {
+	Job   Job
+	Stats *sim.KernelStats
+	Err   error
+	// Wall is the host wall-clock time the simulation took.
+	Wall time.Duration
+}
+
+// CyclesPerSec is the simulation throughput (simulated cycles per host
+// second), or 0 when the job failed or took no measurable time.
+func (r *Result) CyclesPerSec() float64 {
+	if r.Stats == nil || r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Stats.Cycles) / r.Wall.Seconds()
+}
+
+// FaultError converts a halted or faulting KernelStats into an error:
+// nil for a clean run, the first recorded fault when present, and a
+// distinct "halted with no recorded fault" error when the kernel halted
+// without appending a record — guarding the st.Faults[0] panic the
+// sequential harness had.
+func FaultError(name string, st *sim.KernelStats) error {
+	if st == nil {
+		return fmt.Errorf("%s: no kernel statistics", name)
+	}
+	if len(st.Faults) > 0 {
+		return fmt.Errorf("%s: unexpected fault: %v", name, st.Faults[0])
+	}
+	if st.Halted {
+		return fmt.Errorf("%s: halted with no recorded fault", name)
+	}
+	return nil
+}
+
+// runJob executes one job on a fresh device.
+func runJob(j Job) Result {
+	start := time.Now()
+	grid := 0
+	if j.Spec != nil {
+		grid = j.Spec.LaunchGrid(j.Variant)
+		if j.AtDBIGrid && j.Spec.DBIGrid > 0 {
+			grid = j.Spec.DBIGrid
+		}
+	}
+	st, err := workloads.RunAt(j.Spec, j.Variant, j.Config, grid)
+	res := Result{Job: j, Stats: st, Err: err, Wall: time.Since(start)}
+	if res.Err == nil && !j.AllowFaults {
+		if ferr := FaultError(j.Name(), st); ferr != nil {
+			res.Stats, res.Err = nil, ferr
+		}
+	}
+	return res
+}
+
+// Run executes jobs on a pool of workers goroutines (workers <= 0 means
+// DefaultWorkers) and returns the report with results in submission
+// order. Run never fails as a whole; per-job errors are in the results.
+func Run(jobs []Job, workers int) *Report {
+	return RunNamed("", jobs, workers)
+}
+
+// RunNamed is Run with a report name (the experiment the jobs belong
+// to, carried into the JSON trajectory record).
+func RunNamed(name string, jobs []Job, workers int) *Report {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > len(jobs) && len(jobs) > 0 {
+		workers = len(jobs)
+	}
+	rep := &Report{
+		Name:    name,
+		Workers: workers,
+		Results: make([]Result, len(jobs)),
+	}
+	start := time.Now()
+	// Each worker writes only its own indices; results land in
+	// submission order regardless of completion order.
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				rep.Results[i] = runJob(jobs[i])
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	rep.Wall = time.Since(start)
+	return rep
+}
+
+// Stats returns the per-job KernelStats in submission order, failing on
+// the first job error. It is the bridge for experiment code that needs
+// all runs clean before post-processing.
+func (r *Report) Stats() ([]*sim.KernelStats, error) {
+	out := make([]*sim.KernelStats, len(r.Results))
+	for i := range r.Results {
+		if err := r.Results[i].Err; err != nil {
+			return nil, err
+		}
+		out[i] = r.Results[i].Stats
+	}
+	return out, nil
+}

@@ -76,6 +76,67 @@ func TestLaunchErrorPaths(t *testing.T) {
 	}
 }
 
+// TestMaxCyclesExceeded: a simulation that overruns Config.MaxCycles
+// returns a descriptive error and no partial KernelStats — even when
+// faults were recorded before the limit (HaltOnFault=false), the caller
+// must never see stats with Halted unset but faults populated.
+func TestMaxCyclesExceeded(t *testing.T) {
+	spin := func(oob bool) *ir.Func {
+		b := ir.NewBuilder("spin")
+		out := b.Param(ir.PtrGlobal)
+		gtid := b.GlobalTID()
+		b.For(b.ConstI(ir.I32, 1<<20), func(e ir.Value) {
+			idx := gtid
+			if oob {
+				idx = b.Add(gtid, b.ConstI(ir.I32, 1<<20)) // far out of bounds
+			}
+			b.Store(b.GEP(out, idx, 4, 0), e, 0)
+		})
+		return b.MustFinish()
+	}
+
+	cfg := sim.ScaledConfig(1)
+	cfg.MaxCycles = 500
+	prog, err := compiler.Compile(spin(false), compiler.ModeBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := sim.NewDevice(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := dev.Malloc(256)
+	st, err := dev.Launch(prog, 1, 32, []uint64{p})
+	if err == nil || !strings.Contains(err.Error(), "exceeded 500 cycles") {
+		t.Fatalf("err = %v, want MaxCycles message", err)
+	}
+	if st != nil {
+		t.Fatalf("partial stats returned on MaxCycles overrun: %+v", st)
+	}
+
+	// Faults recorded, HaltOnFault off, then the cycle limit hits: still
+	// error + nil stats, not a stats object with Halted=false and a
+	// populated fault slice.
+	cfg.HaltOnFault = false
+	prog, err = compiler.Compile(spin(true), compiler.ModeLMI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err = sim.NewDevice(cfg, safety.NewLMI())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ = dev.Malloc(256)
+	st, err = dev.Launch(prog, 1, 32, []uint64{p})
+	if err == nil || !strings.Contains(err.Error(), "exceeded") {
+		t.Fatalf("faulting overrun err = %v", err)
+	}
+	if st != nil {
+		t.Fatalf("partial stats with faults returned: halted=%v faults=%d",
+			st.Halted, len(st.Faults))
+	}
+}
+
 // TestEarlyExitDivergence: some lanes EXIT inside a divergent branch
 // while others keep working; the warp must finish both paths.
 func TestEarlyExitDivergence(t *testing.T) {

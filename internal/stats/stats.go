@@ -25,17 +25,32 @@ func Mean(xs []float64) float64 {
 // Non-positive entries are invalid and yield NaN, matching the usual
 // definition; callers normalise ratios so entries are positive.
 func Geomean(xs []float64) float64 {
+	g, ok := GeomeanChecked(xs)
+	if !ok {
+		if len(xs) == 0 {
+			return 0
+		}
+		return math.NaN()
+	}
+	return g
+}
+
+// GeomeanChecked returns the geometric mean of xs and whether it is
+// defined. ok is false for an empty slice and for any non-positive
+// entry — the two cases Geomean silently encodes as 0 and NaN, which
+// summary rows must not present as real ratios.
+func GeomeanChecked(xs []float64) (float64, bool) {
 	if len(xs) == 0 {
-		return 0
+		return 0, false
 	}
 	var sum float64
 	for _, x := range xs {
 		if x <= 0 {
-			return math.NaN()
+			return 0, false
 		}
 		sum += math.Log(x)
 	}
-	return math.Exp(sum / float64(len(xs)))
+	return math.Exp(sum / float64(len(xs))), true
 }
 
 // Max returns the maximum of xs, or 0 for an empty slice.
@@ -76,15 +91,25 @@ func (t *Table) AddRow(cells ...string) {
 }
 
 // AddRowf appends a row formatting each value with %v, floats with prec
-// decimal places.
+// decimal places. NaN floats render as "n/a": an undefined summary
+// statistic (e.g. a geomean over invalid ratios) must not be presented
+// as a numeric value.
 func (t *Table) AddRowf(prec int, cells ...any) {
 	ss := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
 		case float64:
-			ss[i] = fmt.Sprintf("%.*f", prec, v)
+			if math.IsNaN(v) {
+				ss[i] = "n/a"
+			} else {
+				ss[i] = fmt.Sprintf("%.*f", prec, v)
+			}
 		case float32:
-			ss[i] = fmt.Sprintf("%.*f", prec, v)
+			if math.IsNaN(float64(v)) {
+				ss[i] = "n/a"
+			} else {
+				ss[i] = fmt.Sprintf("%.*f", prec, v)
+			}
 		default:
 			ss[i] = fmt.Sprint(v)
 		}

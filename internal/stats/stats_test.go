@@ -29,6 +29,22 @@ func TestGeomean(t *testing.T) {
 	}
 }
 
+func TestGeomeanChecked(t *testing.T) {
+	if _, ok := GeomeanChecked(nil); ok {
+		t.Error("GeomeanChecked(nil) should not be ok")
+	}
+	if _, ok := GeomeanChecked([]float64{2, 0, 4}); ok {
+		t.Error("GeomeanChecked with zero entry should not be ok")
+	}
+	if _, ok := GeomeanChecked([]float64{2, -1}); ok {
+		t.Error("GeomeanChecked with negative entry should not be ok")
+	}
+	got, ok := GeomeanChecked([]float64{1, 4})
+	if !ok || math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeomeanChecked(1,4) = %v, %v", got, ok)
+	}
+}
+
 func TestMax(t *testing.T) {
 	if Max(nil) != 0 {
 		t.Error("Max(nil) != 0")
@@ -71,5 +87,23 @@ func TestTableRendering(t *testing.T) {
 	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
 	if len(lines) != 5 {
 		t.Errorf("want 5 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+// NaN cells render as "n/a": undefined summary statistics must not be
+// presented as numbers.
+func TestTableNaNRendersNA(t *testing.T) {
+	tb := NewTable("name", "f64", "f32")
+	tb.AddRowf(2, "GEOMEAN", math.NaN(), float32(math.NaN()))
+	tb.AddRowf(2, "ok", 1.5, float32(2.5))
+	out := tb.String()
+	if strings.Contains(out, "NaN") {
+		t.Errorf("table leaks NaN:\n%s", out)
+	}
+	if strings.Count(out, "n/a") != 2 {
+		t.Errorf("want two n/a cells:\n%s", out)
+	}
+	if !strings.Contains(out, "1.50") || !strings.Contains(out, "2.50") {
+		t.Errorf("numeric cells mangled:\n%s", out)
 	}
 }

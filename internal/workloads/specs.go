@@ -157,9 +157,27 @@ func NewMechanism(v Variant) sim.Mechanism {
 	}
 }
 
+// LaunchGrid returns the grid dimension a variant launches at by
+// default: the spec's grid, scaled down to DBIGrid for the DBI variants
+// (their 30-70x instruction expansion would otherwise dominate harness
+// wall-clock).
+func (s *Spec) LaunchGrid(v Variant) int {
+	if (v == VariantLMIDBI || v == VariantMemcheck) && s.DBIGrid > 0 {
+		return s.DBIGrid
+	}
+	return s.Grid
+}
+
 // Run executes the benchmark under a variant on a fresh device with the
 // given configuration and returns the kernel statistics.
 func Run(s *Spec, v Variant, cfg sim.Config) (*sim.KernelStats, error) {
+	return RunAt(s, v, cfg, s.LaunchGrid(v))
+}
+
+// RunAt executes the benchmark under a variant at an explicit grid
+// dimension (the Fig. 13 DBI comparison launches its baseline at the
+// reduced DBI grid so both runs share the launch geometry).
+func RunAt(s *Spec, v Variant, cfg sim.Config, grid int) (*sim.KernelStats, error) {
 	prog, err := s.Compile(v)
 	if err != nil {
 		return nil, err
@@ -176,10 +194,6 @@ func Run(s *Spec, v Variant, cfg sim.Config) (*sim.KernelStats, error) {
 	out, err := dev.Malloc(bytes)
 	if err != nil {
 		return nil, err
-	}
-	grid := s.Grid
-	if (v == VariantLMIDBI || v == VariantMemcheck) && s.DBIGrid > 0 {
-		grid = s.DBIGrid
 	}
 	return dev.Launch(prog, grid, s.Block, []uint64{in, out, s.N})
 }

@@ -1,0 +1,32 @@
+#!/bin/sh
+# check.sh — the repository's verification gate: vet, build, the full
+# test suite, and the race detector over everything (the runner's
+# parallel sweeps make -race a load-bearing check, not a formality).
+#
+# Usage: scripts/check.sh [-short]
+#   -short   pass -short to the race run (skips the slow Fig. 12/13
+#            sweeps; use for quick iteration, CI runs the full gate)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+short=""
+if [ "${1:-}" = "-short" ]; then
+    short="-short"
+fi
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./..."
+go test ./...
+
+# The race run needs a raised -timeout: the full Fig. 12/13 sweeps under
+# the race detector exceed go test's 10-minute default on small hosts.
+echo "== go test -race -timeout 45m $short ./..."
+go test -race -timeout 45m $short ./...
+
+echo "check: OK"
