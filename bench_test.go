@@ -7,10 +7,12 @@ package lmi
 // bench_output.txt doubles as the reproduction record.
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
 
+	"lmi/internal/chaos"
 	"lmi/internal/compiler"
 	"lmi/internal/experiments"
 	"lmi/internal/hwcost"
@@ -101,6 +103,35 @@ func BenchmarkTable3SecurityCoverage(b *testing.B) {
 		b.ReportMetric(float64(td)/float64(tt), "lmi-temporal-coverage")
 		if i == 0 {
 			b.Log("\n" + res.Table())
+		}
+	}
+}
+
+// BenchmarkChaosCampaign runs the fixed-seed fault-injection campaign
+// (the robustness counterpart of Table III: injected metadata corruption
+// instead of scripted violations) and reports the detection matrix's
+// headline counts. The trial mix is deterministic, so these metrics are
+// exact reproduction targets, not samples.
+func BenchmarkChaosCampaign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := chaos.Campaign{Seed: 1, Trials: 4}.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		counts := map[chaos.Outcome]int{}
+		for _, tr := range rep.Trials {
+			counts[tr.Outcome]++
+		}
+		b.ReportMetric(float64(len(rep.Trials)), "chaos-trials")
+		b.ReportMetric(float64(counts[chaos.OutcomeDetected]), "chaos-detected")
+		b.ReportMetric(float64(len(rep.Undetected())), "chaos-undetected")
+		b.ReportMetric(float64(rep.FalsePositives()), "chaos-false-positives")
+		b.ReportMetric(float64(rep.Degraded()), "chaos-degraded")
+		if i == 0 {
+			b.Log("\n" + rep.Render(false))
+		}
+		if rep.Degraded() > 0 {
+			b.Fatalf("campaign degraded %d trials", rep.Degraded())
 		}
 	}
 }

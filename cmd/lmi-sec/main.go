@@ -1,24 +1,58 @@
-// Command lmi-sec runs the Table III security suite: 22 spatial + 16
-// temporal violation scenarios scored against GMOD, GPUShield, cuCatch,
-// LMI, and LMI with §XII-C liveness tracking.
+// Command lmi-sec runs the security evaluations.
+//
+// The default mode is the Table III suite: 22 spatial + 16 temporal
+// violation scenarios scored against GMOD, GPUShield, cuCatch, LMI, and
+// LMI with §XII-C liveness tracking. With -chaos it instead runs the
+// deterministic fault-injection campaign: seeded corruption of the LMI
+// stack at every pointer lifecycle stage, reported as a detection /
+// false-negative / false-positive matrix with per-cell detection
+// latency and an enumeration of every undetected injection.
 //
 // Usage:
 //
-//	lmi-sec        # the coverage matrix
-//	lmi-sec -v     # plus per-scenario outcomes
+//	lmi-sec                              # the Table III coverage matrix
+//	lmi-sec -v                           # plus per-scenario outcomes
+//	lmi-sec -chaos                       # the fault-injection campaign
+//	lmi-sec -chaos -seed 7 -trials 10    # larger campaign, chosen seed
+//	lmi-sec -chaos -jobs 1               # single worker (same output)
+//
+// The chaos report depends only on -seed and -trials: it is
+// byte-identical for any -jobs value, and a failing trial can be
+// reproduced alone from the seed printed next to it.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"lmi/internal/chaos"
 	"lmi/internal/sectest"
 )
 
 func main() {
-	verbose := flag.Bool("v", false, "print per-scenario outcomes")
+	verbose := flag.Bool("v", false, "print per-scenario outcomes (or the per-trial chaos log)")
+	chaosMode := flag.Bool("chaos", false, "run the fault-injection campaign instead of Table III")
+	seed := flag.Uint64("seed", 1, "chaos campaign master seed")
+	trials := flag.Int("trials", 6, "chaos trials per (mechanism, kind) cell")
+	jobs := flag.Int("jobs", 0, "chaos worker count (0 = GOMAXPROCS; output is identical for any value)")
 	flag.Parse()
+
+	if *chaosMode {
+		rep, err := chaos.Campaign{Seed: *seed, Trials: *trials, Workers: *jobs}.
+			Run(context.Background())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lmi-sec: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.Render(*verbose))
+		if d := rep.Degraded(); d > 0 {
+			fmt.Fprintf(os.Stderr, "lmi-sec: %d trials degraded the simulator (engine failure)\n", d)
+			os.Exit(1)
+		}
+		return
+	}
 
 	res, err := sectest.RunTable3()
 	if err != nil {

@@ -77,4 +77,10 @@ func main() {
 		}
 		os.Exit(1)
 	}
+	if st.Halted {
+		// Halted with an empty fault log means the run stopped without a
+		// recorded cause — a harness or mechanism defect, not a clean pass.
+		fmt.Fprintln(os.Stderr, "lmi-sim: kernel halted with no fault recorded")
+		os.Exit(1)
+	}
 }

@@ -1,0 +1,542 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"lmi/internal/compiler"
+	"lmi/internal/isa"
+	"lmi/internal/runner"
+	"lmi/internal/safety"
+	"lmi/internal/sim"
+)
+
+// mechDef binds a mechanism name to its construction and compilation
+// pipeline plus the injection kinds that are meaningful for it.
+type mechDef struct {
+	name string
+	make func() sim.Mechanism
+	mode compiler.Mode
+	// instrument post-processes the compiled program (software
+	// mechanisms carry their checks in the instruction stream).
+	instrument func(*isa.Program) *isa.Program
+	// hinted marks mechanisms driven by the A/S microcode hints and the
+	// OCU hook; hint and OCU-misdecode injections only apply to these.
+	hinted bool
+	// pow2 marks mechanisms whose metadata encodes 2^n size classes;
+	// the alloc-misround injection only applies to these.
+	pow2 bool
+}
+
+// mechDefs returns the evaluated mechanisms in their fixed campaign
+// order.
+func mechDefs() []mechDef {
+	return []mechDef{
+		{name: "lmi", make: func() sim.Mechanism { return safety.NewLMI() },
+			mode: compiler.ModeLMI, hinted: true, pow2: true},
+		{name: "lmi+track", make: func() sim.Mechanism { return safety.NewLMIWithTracking(false) },
+			mode: compiler.ModeLMI, hinted: true, pow2: true},
+		{name: "baggybounds", make: func() sim.Mechanism { return safety.NewBaggy() },
+			mode: compiler.ModeLMI, instrument: compiler.InstrumentBaggy, pow2: true},
+		{name: "gpushield", make: func() sim.Mechanism { return safety.NewGPUShield() },
+			mode: compiler.ModeBase},
+	}
+}
+
+// eligible reports whether an injection kind is meaningful for the
+// mechanism: hint/OCU kinds need the hinted microcode path, and
+// misround needs size-class metadata to mis-round.
+func (d *mechDef) eligible(k Kind) bool {
+	switch k {
+	case KindHintDrop, KindHintSpurious, KindOCUMisdecode:
+		return d.hinted
+	case KindAllocMisround:
+		return d.pow2
+	}
+	return true
+}
+
+// Campaign configures one fault-injection run.
+type Campaign struct {
+	// Seed is the campaign master seed; every trial derives its private
+	// stream from it and its index.
+	Seed uint64
+	// Trials is the repetition count per (mechanism, kind) cell
+	// (default 6).
+	Trials int
+	// Workers sizes the worker pool (<= 0 uses runner.DefaultWorkers).
+	// The report is byte-identical for any value.
+	Workers int
+	// SMs is the simulated SM count per trial device (default 1).
+	SMs int
+	// Mechs restricts the campaign to the named mechanisms (nil runs
+	// all of lmi, lmi+track, baggybounds, gpushield).
+	Mechs []string
+
+	// wrap, when non-nil, post-processes every trial's mechanism before
+	// the device is built. It is the test hook proving the engine
+	// contains misbehaving (panicking) mechanism plug-ins.
+	wrap func(mech string, m sim.Mechanism) sim.Mechanism
+}
+
+// trialConfig is the per-trial simulator configuration: small device,
+// hard fault halt, and the cycle-based watchdog detectors armed (the
+// wall-clock detector stays off — its firing point is host-dependent
+// and would break the byte-identical-output guarantee).
+func (c *Campaign) trialConfig() sim.Config {
+	sms := c.SMs
+	if sms <= 0 {
+		sms = 1
+	}
+	cfg := sim.ScaledConfig(sms)
+	cfg.HaltOnFault = true
+	cfg.MaxCycles = 50_000_000
+	cfg.Watchdog = sim.WatchdogConfig{
+		BarrierStallCycles: 200_000,
+		NoProgressCycles:   500_000,
+		CheckEveryCycles:   1024,
+	}
+	return cfg
+}
+
+// compiledVictims is one mechanism's compile cache. Programs are
+// immutable; injection kinds that rewrite code clone first.
+type compiledVictims struct {
+	stream *isa.Program
+	oob    *isa.Program
+}
+
+// Report is a completed campaign: every trial in enumeration order.
+type Report struct {
+	// Seed and TrialsPerCell echo the campaign parameters.
+	Seed          uint64
+	TrialsPerCell int
+	// Trials holds every trial in the fixed enumeration order
+	// (mechanism-major, then kind, then repetition).
+	Trials []Trial
+}
+
+// Run executes the campaign and returns the deterministic report. The
+// returned error is non-nil only for setup failures (a victim that does
+// not compile) or context cancellation; per-trial failures — including
+// panics recovered by the worker pool — are Degraded trials in the
+// report, never process faults.
+func (c Campaign) Run(ctx context.Context) (*Report, error) {
+	trials := c.Trials
+	if trials <= 0 {
+		trials = 6
+	}
+	defs := mechDefs()
+	if len(c.Mechs) > 0 {
+		want := make(map[string]bool, len(c.Mechs))
+		for _, m := range c.Mechs {
+			want[m] = true
+		}
+		kept := defs[:0]
+		for _, d := range defs {
+			if want[d.name] {
+				kept = append(kept, d)
+			}
+		}
+		defs = kept
+		if len(defs) == 0 {
+			return nil, fmt.Errorf("chaos: no known mechanism in %v", c.Mechs)
+		}
+	}
+
+	progs := make(map[string]compiledVictims, len(defs))
+	for _, d := range defs {
+		stream, err := compiler.Compile(streamKernel(), d.mode)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: compile stream victim for %s: %w", d.name, err)
+		}
+		oob, err := compiler.Compile(oobKernel(), d.mode)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: compile oob victim for %s: %w", d.name, err)
+		}
+		if d.instrument != nil {
+			stream, oob = d.instrument(stream), d.instrument(oob)
+		}
+		progs[d.name] = compiledVictims{stream: stream, oob: oob}
+	}
+
+	type spec struct {
+		def  mechDef
+		kind Kind
+		rep  int
+	}
+	var specs []spec
+	for _, d := range defs {
+		for _, k := range Kinds() {
+			if !d.eligible(k) {
+				continue
+			}
+			for t := 0; t < trials; t++ {
+				specs = append(specs, spec{def: d, kind: k, rep: t})
+			}
+		}
+	}
+
+	rep := &Report{Seed: c.Seed, TrialsPerCell: trials, Trials: make([]Trial, len(specs))}
+	cfg := c.trialConfig()
+	errs := runner.ForEach(ctx, len(specs), c.Workers, func(i int) error {
+		sp := specs[i]
+		rep.Trials[i] = c.runTrial(i, sp.def, sp.kind, sp.rep,
+			mixSeed(c.Seed, uint64(i)), cfg, progs[sp.def.name])
+		return nil
+	})
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		// A panic that escaped the trial's own containment (recovered by
+		// the pool) or a cancelled context: the slot becomes a Degraded
+		// trial so the report stays complete and ordered.
+		sp := specs[i]
+		rep.Trials[i] = Trial{
+			Index: i, Mech: sp.def.name, Kind: sp.kind, Rep: sp.rep,
+			Seed: mixSeed(c.Seed, uint64(i)), Outcome: OutcomeDegraded,
+			Detail: err.Error(),
+		}
+	}
+	return rep, ctx.Err()
+}
+
+// withDetail appends an observation to a trial's injection description.
+func withDetail(base, extra string) string {
+	if base == "" {
+		return extra
+	}
+	return base + "; " + extra
+}
+
+// runTrial executes one injection on a fresh device and classifies it.
+func (c *Campaign) runTrial(index int, def mechDef, kind Kind, repN int,
+	seed uint64, cfg sim.Config, progs compiledVictims) (tr Trial) {
+	tr = Trial{Index: index, Mech: def.name, Kind: kind, Rep: repN, Seed: seed}
+	degraded := func(detail string) Trial {
+		tr.Outcome, tr.Detail = OutcomeDegraded, withDetail(tr.Detail, detail)
+		return tr
+	}
+	r := newRNG(seed)
+	mech := def.make()
+	if c.wrap != nil {
+		mech = c.wrap(def.name, mech)
+	}
+	var ocu *ocuMisdecode
+	if kind == KindOCUMisdecode {
+		ocu = &ocuMisdecode{Mechanism: mech, seed: splitmix64(seed ^ 0xC0DE)}
+		mech = ocu
+	}
+	dev, err := sim.NewDevice(cfg, mech)
+	if err != nil {
+		return degraded("device: " + err.Error())
+	}
+
+	if kind == KindAllocExhaust {
+		return c.exhaustTrial(tr, dev, r, progs)
+	}
+
+	inPtr, err := dev.Malloc(victimBufBytes)
+	if err != nil {
+		return degraded("malloc in: " + err.Error())
+	}
+	outPtr, err := dev.Malloc(victimBufBytes)
+	if err != nil {
+		return degraded("malloc out: " + err.Error())
+	}
+	dev.WriteGlobal(inPtr, streamInput())
+
+	// The oob victim takes only the output buffer; the stream victim
+	// takes both. Pointer-corruption kinds perturb the copy passed as
+	// the kernel parameter, never the pristine pointer used afterwards
+	// to inspect memory.
+	prog := progs.stream
+	outParam := outPtr
+	oobVictim := false
+	switch kind {
+	case KindControl:
+	case KindAllocMisround:
+		nv, detail := misroundTag(outPtr, r)
+		if detail == "" {
+			tr.Outcome = OutcomeTolerated
+			tr.Detail = "buffer already in the smallest size class; no misround expressible"
+			return tr
+		}
+		outParam, tr.Detail = nv, detail
+	case KindExtentFlip:
+		outParam, tr.Detail = corruptExtentBit(outPtr, r)
+	case KindUMFlip:
+		outParam, tr.Detail = corruptUMBit(outPtr, r)
+	case KindHintDrop:
+		q, detail := dropHint(progs.oob, r)
+		if q == nil {
+			tr.Outcome = OutcomeTolerated
+			tr.Detail = "victim carries no hinted instructions"
+			return tr
+		}
+		prog, tr.Detail, oobVictim = q, detail, true
+	case KindHintSpurious:
+		q, detail := spuriousHint(progs.stream, r)
+		if q == nil {
+			tr.Outcome = OutcomeTolerated
+			tr.Detail = "victim carries no unhinted integer instructions"
+			return tr
+		}
+		prog, tr.Detail = q, detail
+	case KindOCUMisdecode:
+		prog, oobVictim = progs.oob, true
+	case KindFreeSkipNullify:
+		if err := dev.Free(outPtr); err != nil {
+			return degraded("free: " + err.Error())
+		}
+		tr.Detail = "buffer freed, extent nullification skipped, stale tagged pointer launched"
+	}
+
+	params := []uint64{inPtr, outParam}
+	if oobVictim {
+		params = []uint64{outParam}
+	}
+	st, lerr := dev.Launch(prog, 1, victimThreads, params)
+	if ocu != nil {
+		tr.InjectCycle = ocu.injectCycle
+		tr.Detail = fmt.Sprintf("OCU misdecoded %d of %d pointer checks", ocu.skips, ocu.calls)
+	}
+	if lerr != nil {
+		return degraded("launch: " + lerr.Error())
+	}
+	if len(st.Faults) > 0 {
+		tr.HasFault, tr.FaultCycle = true, st.Faults[0].Cycle
+		obs := "fault: " + st.Faults[0].String()
+		switch kind {
+		case KindControl, KindHintSpurious:
+			// No violation was injected that the mechanism should
+			// report; a fault here is a false alarm.
+			tr.Outcome = OutcomeFalsePositive
+		default:
+			tr.Outcome = OutcomeDetected
+		}
+		tr.Detail = withDetail(tr.Detail, obs)
+		return tr
+	}
+	if st.Halted {
+		return degraded("halted without a recorded fault")
+	}
+
+	// Clean completion: classify by the resulting memory state.
+	switch kind {
+	case KindControl:
+		if !streamOutputOK(dev.ReadGlobal(outPtr, victimBufBytes)) {
+			return degraded("control run produced wrong output")
+		}
+		tr.Outcome = OutcomeClean
+	case KindFreeSkipNullify:
+		// Completing at all means the use-after-free executed unflagged.
+		tr.Outcome = OutcomeMissed
+		tr.Detail = withDetail(tr.Detail, "use-after-free executed unflagged")
+	case KindHintDrop, KindOCUMisdecode:
+		base := dev.Mech.Canonical(outPtr)
+		if dev.Global.Read(base+victimBufBytes, 4) == oobMarker {
+			tr.Outcome = OutcomeMissed
+			tr.Detail = withDetail(tr.Detail, "out-of-bounds store landed one word past the buffer")
+		} else {
+			tr.Outcome = OutcomeTolerated
+			tr.Detail = withDetail(tr.Detail, "out-of-bounds store still suppressed")
+		}
+	default: // alloc-misround, extent-flip, um-flip, hint-spurious
+		if streamOutputOK(dev.ReadGlobal(outPtr, victimBufBytes)) {
+			tr.Outcome = OutcomeTolerated
+			tr.Detail = withDetail(tr.Detail, "completed with intact output")
+		} else {
+			tr.Outcome = OutcomeMissed
+			tr.Detail = withDetail(tr.Detail, "silent corruption: output diverges from the clean run")
+		}
+	}
+	return tr
+}
+
+// exhaustTrial drives the allocator into exhaustion and requires
+// graceful degradation: a plain error (no panic) and a device that
+// still runs a clean kernel afterwards.
+func (c *Campaign) exhaustTrial(tr Trial, dev *sim.Device, r *rng, progs compiledVictims) Trial {
+	degraded := func(detail string) Trial {
+		tr.Outcome, tr.Detail = OutcomeDegraded, withDetail(tr.Detail, detail)
+		return tr
+	}
+	// Far beyond the 8 GiB global arena, with per-trial variety in the
+	// overshoot magnitude.
+	size := uint64(1) << (40 + uint(r.intn(5)))
+	_, err := dev.Malloc(size)
+	if err == nil {
+		tr.Outcome = OutcomeMissed
+		tr.Detail = fmt.Sprintf("%d-byte allocation beyond the arena unexpectedly succeeded", size)
+		return tr
+	}
+	var pe *sim.PanicError
+	if errors.As(err, &pe) {
+		return degraded("allocator panicked on exhaustion: " + pe.Error())
+	}
+	tr.Detail = fmt.Sprintf("%d B request refused: %v", size, err)
+
+	// Graceful degradation: the same device must still work.
+	inPtr, err := dev.Malloc(victimBufBytes)
+	if err != nil {
+		return degraded("device wedged after exhaustion: " + err.Error())
+	}
+	outPtr, err := dev.Malloc(victimBufBytes)
+	if err != nil {
+		return degraded("device wedged after exhaustion: " + err.Error())
+	}
+	dev.WriteGlobal(inPtr, streamInput())
+	st, lerr := dev.Launch(progs.stream, 1, victimThreads, []uint64{inPtr, outPtr})
+	if lerr != nil {
+		return degraded("post-exhaustion launch failed: " + lerr.Error())
+	}
+	if st.Halted || len(st.Faults) > 0 || !streamOutputOK(dev.ReadGlobal(outPtr, victimBufBytes)) {
+		return degraded("post-exhaustion run unhealthy")
+	}
+	tr.Outcome = OutcomeDetected
+	tr.Detail = withDetail(tr.Detail, "device healthy afterwards")
+	return tr
+}
+
+// Undetected returns every injection trial the mechanism failed to
+// surface, in campaign order: the silent misses and the architecturally
+// tolerated ones (controls, which inject nothing, are excluded).
+func (r *Report) Undetected() []Trial {
+	var out []Trial
+	for _, t := range r.Trials {
+		if t.Kind == KindControl {
+			continue
+		}
+		if t.Outcome == OutcomeMissed || t.Outcome == OutcomeTolerated {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Degraded counts trials where the simulator itself failed.
+func (r *Report) Degraded() int {
+	n := 0
+	for _, t := range r.Trials {
+		if t.Outcome == OutcomeDegraded {
+			n++
+		}
+	}
+	return n
+}
+
+// FalsePositives counts faults raised on trials that injected no
+// reportable violation.
+func (r *Report) FalsePositives() int {
+	n := 0
+	for _, t := range r.Trials {
+		if t.Outcome == OutcomeFalsePositive {
+			n++
+		}
+	}
+	return n
+}
+
+// CellOutcomes tallies one matrix cell: trials with each outcome for
+// (mech, kind).
+func (r *Report) CellOutcomes(mech string, kind Kind) map[Outcome]int {
+	out := make(map[Outcome]int)
+	for _, t := range r.Trials {
+		if t.Mech == mech && t.Kind == kind {
+			out[t.Outcome]++
+		}
+	}
+	return out
+}
+
+// Render formats the campaign report: the detection matrix, the
+// enumeration of every undetected injection, and (verbose) a per-trial
+// log. The output contains no wall-clock data and is byte-identical
+// for a given seed regardless of worker count.
+func (r *Report) Render(verbose bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos campaign  seed=%#x  trials/cell=%d  total=%d\n\n",
+		r.Seed, r.TrialsPerCell, len(r.Trials))
+
+	type agg struct {
+		n, det, miss, tol, fp, clean, degr int
+		latSum                             uint64
+		latN                               int
+	}
+	type cellKey struct {
+		mech string
+		kind Kind
+	}
+	var order []cellKey
+	cells := make(map[cellKey]*agg)
+	for i := range r.Trials {
+		t := &r.Trials[i]
+		k := cellKey{t.Mech, t.Kind}
+		a := cells[k]
+		if a == nil {
+			a = &agg{}
+			cells[k] = a
+			order = append(order, k)
+		}
+		a.n++
+		switch t.Outcome {
+		case OutcomeDetected:
+			a.det++
+			if t.HasFault {
+				a.latSum += t.Latency()
+				a.latN++
+			}
+		case OutcomeMissed:
+			a.miss++
+		case OutcomeTolerated:
+			a.tol++
+		case OutcomeFalsePositive:
+			a.fp++
+		case OutcomeClean:
+			a.clean++
+		case OutcomeDegraded:
+			a.degr++
+		}
+	}
+	fmt.Fprintf(&b, "%-12s %-18s %-11s %4s %4s %5s %4s %3s %6s %5s %8s\n",
+		"mechanism", "kind", "stage", "n", "det", "miss", "tol", "fp", "clean", "degr", "avg-lat")
+	for _, k := range order {
+		a := cells[k]
+		lat := "-"
+		if a.latN > 0 {
+			lat = fmt.Sprintf("%d", a.latSum/uint64(a.latN))
+		}
+		fmt.Fprintf(&b, "%-12s %-18s %-11s %4d %4d %5d %4d %3d %6d %5d %8s\n",
+			k.mech, k.kind, k.kind.Stage(), a.n, a.det, a.miss, a.tol, a.fp, a.clean, a.degr, lat)
+	}
+
+	und := r.Undetected()
+	fmt.Fprintf(&b, "\nundetected injections: %d\n", len(und))
+	for _, t := range und {
+		fmt.Fprintf(&b, "  [%04d] %-12s %-18s seed=%#016x %-9s %s\n",
+			t.Index, t.Mech, t.Kind, t.Seed, t.Outcome, t.Detail)
+	}
+	if fp := r.FalsePositives(); fp > 0 {
+		fmt.Fprintf(&b, "false positives: %d\n", fp)
+	}
+	if d := r.Degraded(); d > 0 {
+		fmt.Fprintf(&b, "DEGRADED trials (engine failures): %d\n", d)
+	}
+
+	if verbose {
+		fmt.Fprintf(&b, "\nper-trial log:\n")
+		for _, t := range r.Trials {
+			lat := ""
+			if t.HasFault {
+				lat = fmt.Sprintf(" latency=%d", t.Latency())
+			}
+			fmt.Fprintf(&b, "  [%04d] %-12s %-18s rep=%d seed=%#016x %-14s%s %s\n",
+				t.Index, t.Mech, t.Kind, t.Rep, t.Seed, t.Outcome, lat, t.Detail)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,159 @@
+// Package chaos is the deterministic fault-injection campaign engine:
+// it perturbs the LMI stack at every pointer lifecycle stage — metadata
+// generation (allocator faults), propagation (bit flips in live tagged
+// pointers, microcode hint corruption, OCU misdecodes), and destruction
+// (skipped extent nullification on free) — and measures whether each
+// safety mechanism detects the corruption, misses it silently, or
+// degrades the simulator itself.
+//
+// Every trial is driven by a private splitmix64 stream seeded from
+// (campaign seed, trial index), and trials are enumerated and reported
+// in a fixed order, so a campaign's output is byte-identical for any
+// worker count and any failing trial can be reproduced alone from its
+// reported seed.
+package chaos
+
+// Kind identifies one fault-injection class.
+type Kind string
+
+// The injection kinds, grouped by the pointer lifecycle stage they
+// corrupt (paper §IV: generation, propagation/update, destruction).
+const (
+	// KindControl injects nothing: it calibrates the false-positive
+	// column and the healthy baseline of each mechanism.
+	KindControl Kind = "control"
+
+	// KindAllocMisround emulates an allocator that mis-rounds a request:
+	// the reservation stays at the requested class but the pointer's
+	// metadata claims a smaller one, as if the size-class computation
+	// was corrupted. A sound mechanism faults when the program touches
+	// the part of the buffer the metadata disowns.
+	KindAllocMisround Kind = "alloc-misround"
+
+	// KindAllocExhaust drives the global allocator into exhaustion with
+	// an oversized request. The required behaviour is graceful: a typed
+	// error from Malloc, a still-usable device afterwards, and no panic.
+	KindAllocExhaust Kind = "alloc-exhaust"
+
+	// KindExtentFlip flips one bit of the extent field (bits 63:59) in a
+	// live tagged kernel parameter — in-pointer metadata corruption in
+	// flight. Flips that lower the extent shrink the claimed bounds and
+	// should fault; flips that raise it widen the bounds, which LMI
+	// architecturally cannot distinguish from a larger buffer.
+	KindExtentFlip Kind = "extent-flip"
+
+	// KindUMFlip flips one unmodifiable address bit below the extent
+	// field: the pointer silently retargets another congruent region
+	// while its metadata stays self-consistent.
+	KindUMFlip Kind = "um-flip"
+
+	// KindHintDrop clears the Activation microcode hint on one
+	// pointer-arithmetic instruction, so the OCU never sees that
+	// operation (a microcode/compiler integrity fault).
+	KindHintDrop Kind = "hint-drop"
+
+	// KindHintSpurious sets the Activation hint on an instruction that
+	// does not handle pointers, making the OCU check plain data. Under
+	// delayed termination this must not produce a false positive.
+	KindHintSpurious Kind = "hint-spurious"
+
+	// KindOCUMisdecode makes the OCU silently skip a random subset of
+	// its checks (a decode fault inside the checking unit itself).
+	KindOCUMisdecode Kind = "ocu-misdecode"
+
+	// KindFreeSkipNullify frees a buffer but skips the compiler-inserted
+	// extent nullification, then dereferences the stale tagged pointer —
+	// the use-after-free the §VIII instrumentation normally prevents.
+	KindFreeSkipNullify Kind = "free-skip-nullify"
+)
+
+// Kinds returns all injection kinds in their fixed campaign order.
+func Kinds() []Kind {
+	return []Kind{
+		KindControl,
+		KindAllocMisround,
+		KindAllocExhaust,
+		KindExtentFlip,
+		KindUMFlip,
+		KindHintDrop,
+		KindHintSpurious,
+		KindOCUMisdecode,
+		KindFreeSkipNullify,
+	}
+}
+
+// Stage names the pointer lifecycle stage a kind corrupts.
+func (k Kind) Stage() string {
+	switch k {
+	case KindControl:
+		return "control"
+	case KindAllocMisround, KindAllocExhaust:
+		return "generation"
+	case KindExtentFlip, KindUMFlip, KindHintDrop, KindHintSpurious, KindOCUMisdecode:
+		return "propagation"
+	case KindFreeSkipNullify:
+		return "destruction"
+	}
+	return "?"
+}
+
+// Outcome classifies one trial.
+type Outcome string
+
+const (
+	// OutcomeDetected: the mechanism surfaced the injected fault (a
+	// recorded safety fault or a graceful typed error).
+	OutcomeDetected Outcome = "detected"
+	// OutcomeMissed: the injected corruption went unflagged — the run
+	// completed but memory state is wrong, an out-of-bounds write
+	// landed, or a use-after-free executed. These are the campaign's
+	// false negatives; every one is enumerated in the report.
+	OutcomeMissed Outcome = "missed"
+	// OutcomeTolerated: the injection was architecturally benign for
+	// this mechanism — the run completed with correct memory state.
+	OutcomeTolerated Outcome = "tolerated"
+	// OutcomeFalsePositive: a fault fired on a trial that injected no
+	// violation the mechanism should report (controls and spurious-hint
+	// trials, which delayed termination must absorb).
+	OutcomeFalsePositive Outcome = "false-positive"
+	// OutcomeClean: a control trial completed with correct output.
+	OutcomeClean Outcome = "clean"
+	// OutcomeDegraded: the simulator itself failed — watchdog kill,
+	// recovered panic, cycle-limit overrun, or a wedged device. Any
+	// nonzero degraded count is an engine defect, not a mechanism score.
+	OutcomeDegraded Outcome = "degraded"
+)
+
+// Trial is one executed injection with its classification.
+type Trial struct {
+	// Index is the trial's global position in campaign order.
+	Index int
+	// Mech and Kind name the matrix cell the trial belongs to.
+	Mech string
+	Kind Kind
+	// Rep is the repetition number within the cell (0-based).
+	Rep int
+	// Seed is the trial's private RNG seed; re-running the same
+	// mechanism and kind with this seed reproduces the trial exactly.
+	Seed uint64
+	// Outcome is the classification.
+	Outcome Outcome
+	// Detail describes the concrete injection and what was observed.
+	Detail string
+	// InjectCycle is the simulation cycle the corruption took effect
+	// (0 for injections applied before launch).
+	InjectCycle uint64
+	// FaultCycle is the cycle of the first recorded fault (valid when
+	// Outcome is detected or false-positive and a fault was recorded).
+	FaultCycle uint64
+	// HasFault reports whether FaultCycle is meaningful.
+	HasFault bool
+}
+
+// Latency is the detection latency in cycles: injection to first fault.
+func (t *Trial) Latency() uint64 {
+	if !t.HasFault || t.FaultCycle < t.InjectCycle {
+		return 0
+	}
+	return t.FaultCycle - t.InjectCycle
+}

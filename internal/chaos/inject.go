@@ -1,0 +1,150 @@
+package chaos
+
+import (
+	"fmt"
+
+	"lmi/internal/core"
+	"lmi/internal/isa"
+	"lmi/internal/sim"
+)
+
+// Injection primitives: each takes a pristine artefact (tagged pointer,
+// compiled program, mechanism) plus the trial's RNG and returns the
+// perturbed artefact with a human-readable description of exactly what
+// was corrupted, so undetected injections can be enumerated precisely.
+
+// cloneProgram copies a program so its instructions can be mutated
+// without touching the campaign's shared compile cache.
+func cloneProgram(p *isa.Program) *isa.Program {
+	q := *p
+	q.Instrs = append([]isa.Instr(nil), p.Instrs...)
+	q.StackBuffers = append([]isa.StackBuffer(nil), p.StackBuffers...)
+	return &q
+}
+
+// dropHint clears the A/S microcode hints on one randomly chosen hinted
+// instruction — the OCU never sees that pointer operation. It returns
+// nil when the program carries no hints (non-LMI compilation).
+func dropHint(p *isa.Program, r *rng) (*isa.Program, string) {
+	var hinted []int
+	for i := range p.Instrs {
+		if p.Instrs[i].Hint.A {
+			hinted = append(hinted, i)
+		}
+	}
+	if len(hinted) == 0 {
+		return nil, ""
+	}
+	idx := hinted[r.intn(len(hinted))]
+	q := cloneProgram(p)
+	q.Instrs[idx].Hint = isa.Hint{}
+	return q, fmt.Sprintf("A hint cleared on instr %d (%s)", idx, p.Instrs[idx].Op)
+}
+
+// spuriousHintOps are the plain integer-ALU opcodes a spurious
+// Activation hint can be planted on: the set the simulator's shared
+// integer path executes (predicate-writing SETP and SEL are excluded —
+// their results never reach the OCU datapath).
+var spuriousHintOps = map[isa.Opcode]bool{
+	isa.IADD: true, isa.IADD3: true, isa.IMUL: true, isa.IMAD: true,
+	isa.IMNMX: true, isa.SHL: true, isa.SHR: true,
+	isa.AND: true, isa.OR: true, isa.XOR: true, isa.MOV: true,
+}
+
+// spuriousHint sets the Activation hint on one randomly chosen unhinted
+// integer instruction, making the OCU treat a data value as a pointer.
+// Delayed termination should absorb this without a false positive.
+func spuriousHint(p *isa.Program, r *rng) (*isa.Program, string) {
+	var cands []int
+	for i := range p.Instrs {
+		if !p.Instrs[i].Hint.A && spuriousHintOps[p.Instrs[i].Op] {
+			cands = append(cands, i)
+		}
+	}
+	if len(cands) == 0 {
+		return nil, ""
+	}
+	idx := cands[r.intn(len(cands))]
+	q := cloneProgram(p)
+	q.Instrs[idx].Hint = isa.Hint{A: true}
+	return q, fmt.Sprintf("spurious A hint set on instr %d (%s)", idx, p.Instrs[idx].Op)
+}
+
+// corruptExtentBit flips one bit of the extent field (bits 63:59) in a
+// live tagged pointer value.
+func corruptExtentBit(val uint64, r *rng) (uint64, string) {
+	bit := uint(core.ExtentShift + r.intn(core.ExtentFieldBits))
+	nv := val ^ uint64(1)<<bit
+	return nv, fmt.Sprintf("extent bit %d flipped (extent %d -> %d)",
+		bit, core.Pointer(val).Extent(), core.Pointer(nv).Extent())
+}
+
+// corruptUMBit flips one unmodifiable address bit of a tagged pointer:
+// above the 1 KiB victim's modifiable field (bits 9:0) and below
+// GPUShield's buffer-ID field (bits 58:48), so for every mechanism the
+// flip retargets the address while leaving its metadata self-consistent.
+func corruptUMBit(val uint64, r *rng) (uint64, string) {
+	bit := uint(10 + r.intn(38-10+1))
+	return val ^ uint64(1)<<bit, fmt.Sprintf("unmodifiable address bit %d flipped", bit)
+}
+
+// misroundTag emulates a mis-rounding allocator: the reservation keeps
+// its true size but the pointer's metadata claims a class one or two
+// steps smaller, as if the size-class computation was corrupted during
+// pointer generation. Returns the input unchanged (empty description)
+// when the buffer is already in the smallest class.
+func misroundTag(val uint64, r *rng) (uint64, string) {
+	p := core.Pointer(val)
+	e := p.Extent()
+	if e <= 1 {
+		return val, ""
+	}
+	down := core.Extent(1 + r.intn(2))
+	if down >= e {
+		down = e - 1
+	}
+	ne := e - down
+	return uint64(p.WithExtent(ne)), fmt.Sprintf(
+		"tag mis-rounded extent %d -> %d (reserved %d B, metadata claims %d B)",
+		e, ne, core.DefaultCodec.SizeForExtent(e), core.DefaultCodec.SizeForExtent(ne))
+}
+
+// ocuMisdecode wraps a mechanism with a faulty OCU decoder: each
+// CheckPointerOp invocation is skipped with probability 1/8, decided by
+// a hash of the trial seed and the call index, so the same seed skips
+// the same checks regardless of worker count. The wrapper watches the
+// EC hook's cycle stamps to record the (approximate) cycle of the first
+// skipped check, giving the campaign an injection time for its
+// detection-latency measurement.
+type ocuMisdecode struct {
+	sim.Mechanism
+	seed uint64
+
+	calls       uint64
+	skips       uint64
+	lastCycle   uint64
+	injectCycle uint64
+	injected    bool
+}
+
+// CheckPointerOp implements sim.Mechanism with the decode fault.
+func (o *ocuMisdecode) CheckPointerOp(in, out uint64) (uint64, uint64) {
+	i := o.calls
+	o.calls++
+	if splitmix64(o.seed^splitmix64(i+1))%8 == 0 {
+		o.skips++
+		if !o.injected {
+			o.injected = true
+			o.injectCycle = o.lastCycle
+		}
+		// Misdecode: the hint is ignored — no check, no OCU latency.
+		return out, 0
+	}
+	return o.Mechanism.CheckPointerOp(in, out)
+}
+
+// CheckAccess implements sim.Mechanism, recording the current cycle.
+func (o *ocuMisdecode) CheckAccess(a sim.Access) (uint64, uint64, *core.Fault) {
+	o.lastCycle = a.Cycle
+	return o.Mechanism.CheckAccess(a)
+}

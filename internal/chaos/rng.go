@@ -1,0 +1,43 @@
+package chaos
+
+// Deterministic per-trial randomness. Every trial derives its own
+// splitmix64 stream from (campaign seed, trial index), so a trial's
+// behaviour depends only on those two numbers: the campaign is
+// byte-identical across worker counts, and any single trial can be
+// re-run in isolation from its reported seed.
+
+// splitmix64 is one step of Steele et al.'s SplitMix64: a bijective
+// 64-bit finaliser with full avalanche, the standard choice for seeding
+// and cheap deterministic streams.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// mixSeed derives a trial's private seed from the campaign seed and the
+// trial's global index.
+func mixSeed(campaignSeed, trialIndex uint64) uint64 {
+	return splitmix64(splitmix64(campaignSeed) ^ splitmix64(trialIndex*0xA24BAED4963EE407+1))
+}
+
+// rng is a tiny splitmix64-based stream.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed} }
+
+// next returns the next 64-bit value of the stream.
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n). n must be positive. The modulo bias is
+// irrelevant at the tiny ranges used here (bit and instruction picks).
+func (r *rng) intn(n int) int {
+	return int(r.next() % uint64(n))
+}

@@ -1,0 +1,87 @@
+package chaos
+
+import (
+	"encoding/binary"
+
+	"lmi/internal/ir"
+	"lmi/internal/isa"
+)
+
+// Victim kernels. They are intentionally tiny and fully deterministic:
+// one block of 64 threads over 1 KiB buffers (extent 3 under the
+// default codec), with every thread's addresses a pure function of its
+// thread ID, so the memory image after a clean run is known in closed
+// form and any deviation is attributable to the injection.
+const (
+	// victimBufBytes is each victim buffer's size: 1 KiB, a native 2^n
+	// size class (extent 3), so tagging adds no rounding slack and an
+	// extent lowered by one class halves the claimed bounds exactly.
+	victimBufBytes = 1024
+	// victimThreads is the launch size: one warp pair, enough for the
+	// stride pattern to sweep the whole buffer.
+	victimThreads = 64
+	// victimStride spreads the 64 threads over the full 1 KiB so that
+	// any shrink of the claimed bounds is exercised by some thread.
+	victimStride = victimBufBytes / victimThreads
+	// oobMarker is the word the oob victim stores one past its buffer.
+	oobMarker = 0x7A
+)
+
+// streamKernel is the clean victim: out[16*i] = in[16*i] + 1 for each
+// thread i, byte-stride 16, covering the whole 1 KiB of both buffers.
+func streamKernel() *ir.Func {
+	b := ir.NewBuilder("chaos_stream")
+	in := b.Param(ir.PtrGlobal)
+	out := b.Param(ir.PtrGlobal)
+	gtid := b.GlobalTID()
+	v := b.Load(ir.I32, b.GEP(in, gtid, victimStride, 0), 0)
+	b.Store(b.GEP(out, gtid, victimStride, 0), b.Add(v, b.ConstI(ir.I32, 1)), 0)
+	return b.Finalize()
+}
+
+// oobKernel is the spatial-violation victim: thread 0 stores one word
+// past the end of the buffer while every other thread stores in bounds.
+// Under intact LMI the hinted address computation trips the OCU and the
+// EC faults at the store; the hint/OCU injection kinds corrupt exactly
+// that path.
+func oobKernel() *ir.Func {
+	b := ir.NewBuilder("chaos_oob")
+	out := b.Param(ir.PtrGlobal)
+	gtid := b.GlobalTID()
+	b.If(b.ICmp(isa.CmpEQ, gtid, b.ConstI(ir.I32, 0)), func() {
+		b.Store(b.GEP(out, b.ConstI(ir.I32, victimBufBytes/4), 4, 0),
+			b.ConstI(ir.I32, oobMarker), 0)
+	}, func() {
+		b.Store(b.GEP(out, gtid, 4, 0), gtid, 0)
+	})
+	return b.Finalize()
+}
+
+// streamInput is the host image of the stream victim's input buffer:
+// 32-bit word j holds j.
+func streamInput() []byte {
+	buf := make([]byte, victimBufBytes)
+	for j := 0; j < victimBufBytes/4; j++ {
+		binary.LittleEndian.PutUint32(buf[4*j:], uint32(j))
+	}
+	return buf
+}
+
+// streamOutputOK reports whether the stream victim's output buffer holds
+// the clean-run image: word 4i = 4i+1 at each thread's slot, zero
+// elsewhere.
+func streamOutputOK(out []byte) bool {
+	if len(out) != victimBufBytes {
+		return false
+	}
+	for j := 0; j < victimBufBytes/4; j++ {
+		want := uint32(0)
+		if j%(victimStride/4) == 0 {
+			want = uint32(j) + 1
+		}
+		if binary.LittleEndian.Uint32(out[4*j:]) != want {
+			return false
+		}
+	}
+	return true
+}

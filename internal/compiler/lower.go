@@ -79,6 +79,20 @@ type lowerer struct {
 	out        []isa.Instr
 	blockStart map[ir.BlockID]int
 	maxReg     isa.Reg
+
+	// err records the first lowering failure (a value with no assigned
+	// register/predicate). reg/pred have ~50 call sites threaded through
+	// emission; accumulating the error and checking it once after emitAll
+	// keeps them plain accessors while still failing the compile instead
+	// of panicking.
+	err error
+}
+
+// fail records the first lowering error.
+func (lw *lowerer) fail(format string, args ...any) {
+	if lw.err == nil {
+		lw.err = fmt.Errorf(format, args...)
+	}
 }
 
 // Compile lowers a verified IR kernel to an ISA program under the given
@@ -119,6 +133,9 @@ func Compile(f *ir.Func, mode Mode) (*isa.Program, error) {
 	}
 	if err := lw.emitAll(); err != nil {
 		return nil, err
+	}
+	if lw.err != nil {
+		return nil, lw.err
 	}
 	prog := &isa.Program{
 		Name:          f.Name,
@@ -209,11 +226,14 @@ func (lw *lowerer) layoutMemory() error {
 	return nil
 }
 
-// reg returns the physical register of a non-bool value.
+// reg returns the physical register of a non-bool value. A value with no
+// assignment records a compile error and yields RZ so emission can
+// continue to the post-emitAll error check.
 func (lw *lowerer) reg(v ir.Value) isa.Reg {
 	idx, ok := lw.regs[v]
 	if !ok {
-		panic(fmt.Sprintf("compiler: %s: no register for %%v%d", lw.f.Name, v))
+		lw.fail("compiler: %s: no register for %%v%d", lw.f.Name, v)
+		return isa.RZ
 	}
 	r := regVal0 + isa.Reg(idx)
 	if r > lw.maxReg {
@@ -222,11 +242,13 @@ func (lw *lowerer) reg(v ir.Value) isa.Reg {
 	return r
 }
 
-// pred returns the predicate register of a bool value.
+// pred returns the predicate register of a bool value, recording a
+// compile error (and yielding PT) when none was assigned.
 func (lw *lowerer) pred(v ir.Value) isa.PredReg {
 	idx, ok := lw.preds[v]
 	if !ok {
-		panic(fmt.Sprintf("compiler: %s: no predicate for %%v%d", lw.f.Name, v))
+		lw.fail("compiler: %s: no predicate for %%v%d", lw.f.Name, v)
+		return isa.PT
 	}
 	return isa.PredReg(idx)
 }

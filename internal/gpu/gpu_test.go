@@ -190,3 +190,39 @@ func TestDims(t *testing.T) {
 		t.Error("arg words")
 	}
 }
+
+// crashingMech panics inside the access hook the simulator calls
+// mid-launch — the runtime API must contain it as a typed error.
+type crashingMech struct{ sim.Baseline }
+
+func (crashingMech) CheckAccess(sim.Access) (uint64, uint64, *core.Fault) {
+	panic("mechanism bug: CheckAccess")
+}
+
+// TestLaunchContainsMechanismPanic: no panic escapes the gpu API even
+// when a mechanism hook blows up mid-kernel.
+func TestLaunchContainsMechanismPanic(t *testing.T) {
+	ctx, err := NewContext(sim.ScaledConfig(1), crashingMech{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := Alloc[int32](ctx, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := ir.NewBuilder("store1")
+	out := b.Param(ir.PtrGlobal)
+	b.Store(b.GEP(out, b.GlobalTID(), 4, 0), b.ConstI(ir.I32, 1), 0)
+	k, err := ctx.Compile(b.Finalize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ctx.Launch(k, Dim(1), Dim(32), buf)
+	var pe *sim.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *sim.PanicError", err)
+	}
+	if st != nil {
+		t.Errorf("partial stats after panic: %+v", st)
+	}
+}

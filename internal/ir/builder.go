@@ -359,12 +359,20 @@ func (b *Builder) Finish() (*Func, error) {
 	return b.F, nil
 }
 
-// MustFinish is Finish that panics on error; for tests and static
-// workload construction.
-func (b *Builder) MustFinish() *Func {
+// Finalize is Finish for static construction paths that cannot plumb an
+// error: instead of panicking, a structural failure is recorded on the
+// returned Func and reported by Verify (and therefore by compilation).
+// The returned Func is never nil.
+func (b *Builder) Finalize() *Func {
 	f, err := b.Finish()
 	if err != nil {
-		panic(err)
+		b.F.buildErr = err
+		return b.F
 	}
 	return f
 }
+
+// MustFinish is kept as an alias of Finalize for existing construction
+// sites; despite the historical name it no longer panics — the deferred
+// error surfaces at Verify/compile time.
+func (b *Builder) MustFinish() *Func { return b.Finalize() }

@@ -180,7 +180,16 @@ type Func struct {
 
 	// valTypes[v] is the type of virtual register v.
 	valTypes []Type
+
+	// buildErr holds a construction failure deferred by Builder.Finalize;
+	// Verify (and therefore compilation) reports it instead of inspecting
+	// the half-built function.
+	buildErr error
 }
+
+// BuildErr returns the deferred construction error recorded by
+// Builder.Finalize, or nil.
+func (f *Func) BuildErr() error { return f.buildErr }
 
 // NewFunc creates an empty function.
 func NewFunc(name string) *Func { return &Func{Name: name} }

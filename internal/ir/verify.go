@@ -5,6 +5,9 @@ import "fmt"
 // Verify type-checks the function and validates its control-flow
 // structure. It is the precondition the compiler assumes.
 func Verify(f *Func) error {
+	if f.buildErr != nil {
+		return f.buildErr
+	}
 	if len(f.Blocks) == 0 {
 		return fmt.Errorf("ir: %s: no blocks", f.Name)
 	}

@@ -73,16 +73,6 @@ func NewCache(name string, size uint64, assoc int, lineSize uint64, latency uint
 	return c, nil
 }
 
-// MustCache is NewCache that panics on configuration error; used for
-// static configurations.
-func MustCache(name string, size uint64, assoc int, lineSize uint64, latency uint64) *Cache {
-	c, err := NewCache(name, size, assoc, lineSize, latency)
-	if err != nil {
-		panic(err)
-	}
-	return c
-}
-
 // LineSize returns the cache line size in bytes.
 func (c *Cache) LineSize() uint64 { return c.lineSize }
 

@@ -98,7 +98,10 @@ func TestCacheBasic(t *testing.T) {
 
 func TestCacheLRUEviction(t *testing.T) {
 	// 2-way, 1 set of 64-byte lines: size = 128.
-	c := MustCache("tiny", 128, 2, 64, 1)
+	c, err := NewCache("tiny", 128, 2, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	c.Access(0x000) // A
 	c.Access(0x040) // B
 	c.Access(0x000) // A again: A is MRU
@@ -124,12 +127,6 @@ func TestCacheConfigErrors(t *testing.T) {
 	if _, err := NewCache("x", 100, 2, 64, 1); err == nil {
 		t.Error("indivisible size accepted")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("MustCache should panic on bad config")
-		}
-	}()
-	MustCache("x", 100, 2, 48, 1)
 }
 
 func TestDRAMQueueing(t *testing.T) {
@@ -164,7 +161,10 @@ func TestDRAMQueueing(t *testing.T) {
 // Property: cache contains at most size/lineSize distinct lines, and a
 // just-accessed line always probes resident.
 func TestPropertyCacheResidency(t *testing.T) {
-	c := MustCache("p", 4096, 4, 128, 1)
+	c, err := NewCache("p", 4096, 4, 128, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	f := func(addrs []uint32) bool {
 		for _, a := range addrs {
 			c.Access(uint64(a))

@@ -11,9 +11,11 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"time"
@@ -99,9 +101,38 @@ func FaultError(name string, st *sim.KernelStats) error {
 	return nil
 }
 
-// runJob executes one job on a fresh device.
-func runJob(j Job) Result {
+// PanicError is a panic recovered from a worker while it executed one
+// job. The pool converts it into that job's failure instead of letting
+// one bad simulation take down the whole sweep (and every result
+// gathered so far).
+type PanicError struct {
+	// Job names the job that panicked.
+	Job string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the worker's stack at recovery.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("%s: worker panic: %v", e.Job, e.Value)
+}
+
+// runJob executes one job on a fresh device. A panic below (workload
+// construction, compilation, simulation) is recovered into the job's
+// Result.
+func runJob(j Job) (res Result) {
 	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			res = Result{
+				Job:  j,
+				Err:  &PanicError{Job: j.Name(), Value: r, Stack: debug.Stack()},
+				Wall: time.Since(start),
+			}
+		}
+	}()
 	grid := 0
 	if j.Spec != nil {
 		grid = j.Spec.LaunchGrid(j.Variant)
@@ -110,7 +141,7 @@ func runJob(j Job) Result {
 		}
 	}
 	st, err := workloads.RunAt(j.Spec, j.Variant, j.Config, grid)
-	res := Result{Job: j, Stats: st, Err: err, Wall: time.Since(start)}
+	res = Result{Job: j, Stats: st, Err: err, Wall: time.Since(start)}
 	if res.Err == nil && !j.AllowFaults {
 		if ferr := FaultError(j.Name(), st); ferr != nil {
 			res.Stats, res.Err = nil, ferr
@@ -129,6 +160,15 @@ func Run(jobs []Job, workers int) *Report {
 // RunNamed is Run with a report name (the experiment the jobs belong
 // to, carried into the JSON trajectory record).
 func RunNamed(name string, jobs []Job, workers int) *Report {
+	return RunNamedCtx(context.Background(), name, jobs, workers)
+}
+
+// RunNamedCtx is RunNamed with cancellation: once ctx is done, workers
+// finish their in-flight job and every not-yet-started job fails with
+// the context's error. Results stay in submission order, so a cancelled
+// report is still well-formed (completed prefix jobs keep their real
+// results).
+func RunNamedCtx(ctx context.Context, name string, jobs []Job, workers int) *Report {
 	if workers <= 0 {
 		workers = DefaultWorkers()
 	}
@@ -150,6 +190,13 @@ func RunNamed(name string, jobs []Job, workers int) *Report {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				if err := ctx.Err(); err != nil {
+					rep.Results[i] = Result{
+						Job: jobs[i],
+						Err: fmt.Errorf("%s: skipped: %w", jobs[i].Name(), err),
+					}
+					continue
+				}
 				rep.Results[i] = runJob(jobs[i])
 			}
 		}()
@@ -161,6 +208,51 @@ func RunNamed(name string, jobs []Job, workers int) *Report {
 	wg.Wait()
 	rep.Wall = time.Since(start)
 	return rep
+}
+
+// ForEach runs fn(0..n-1) on a bounded worker pool (workers <= 0 means
+// DefaultWorkers) and returns the per-index errors in index order. It is
+// the generic sibling of Run for callers whose work items are not
+// workload Jobs (the chaos campaign's trials). Panics in fn are
+// recovered into that index's error; after ctx is done, remaining
+// indices fail with the context's error without running fn.
+func ForEach(ctx context.Context, n, workers int, fn func(i int) error) []error {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n && n > 0 {
+		workers = n
+	}
+	errs := make([]error, n)
+	call := func(i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = &PanicError{Job: fmt.Sprintf("item %d", i), Value: r, Stack: debug.Stack()}
+			}
+		}()
+		return fn(i)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				errs[i] = call(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return errs
 }
 
 // Stats returns the per-job KernelStats in submission order, failing on

@@ -1,7 +1,9 @@
 package runner
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"os"
 	"reflect"
 	"strings"
@@ -247,5 +249,101 @@ func TestMaxCyclesJob(t *testing.T) {
 	}
 	if res.CyclesPerSec() != 0 {
 		t.Error("throughput computed for a failed job")
+	}
+}
+
+// TestWorkerPanicRecovered: a job that panics mid-execution becomes a
+// per-job *PanicError with a captured stack; sibling jobs complete.
+func TestWorkerPanicRecovered(t *testing.T) {
+	jobs := []Job{
+		{Spec: workloads.ByName("nn"), Variant: workloads.VariantBase, Config: testConfig()},
+		{Spec: nil, Variant: workloads.VariantBase, Config: testConfig()}, // nil spec -> nil deref in RunAt
+	}
+	rep := Run(jobs, 2)
+	if rep.Results[0].Err != nil {
+		t.Errorf("healthy sibling failed: %v", rep.Results[0].Err)
+	}
+	var pe *PanicError
+	if !errors.As(rep.Results[1].Err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", rep.Results[1].Err)
+	}
+	if len(pe.Stack) == 0 || pe.Job != "?/baseline" {
+		t.Errorf("panic context: job=%q stackLen=%d", pe.Job, len(pe.Stack))
+	}
+	if rep.Results[1].Wall <= 0 {
+		t.Error("no wall time recorded for the panicked job")
+	}
+}
+
+// TestRunCancellation: after the context is cancelled, remaining jobs
+// are skipped with the context error while the report stays well-formed
+// and in submission order.
+func TestRunCancellation(t *testing.T) {
+	jobs := testJobs(t, []string{"nn", "bfs", "pathfinder", "sc_gpu"},
+		[]workloads.Variant{workloads.VariantBase})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: every job must be skipped
+	rep := RunNamedCtx(ctx, "cancelled", jobs, 2)
+	if len(rep.Results) != len(jobs) {
+		t.Fatalf("results = %d, want %d", len(rep.Results), len(jobs))
+	}
+	for i, res := range rep.Results {
+		if !errors.Is(res.Err, context.Canceled) {
+			t.Errorf("job %d err = %v, want context.Canceled", i, res.Err)
+		}
+		if res.Job.Name() != jobs[i].Name() {
+			t.Errorf("job %d out of order", i)
+		}
+	}
+	// An un-cancelled context behaves exactly like RunNamed.
+	rep = RunNamedCtx(context.Background(), "live", jobs[:1], 1)
+	if rep.Results[0].Err != nil {
+		t.Errorf("live context run failed: %v", rep.Results[0].Err)
+	}
+}
+
+// TestForEach covers the generic pool: index-ordered errors, panic
+// recovery, and cancellation.
+func TestForEach(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	errs := ForEach(context.Background(), 10, 4, func(i int) error {
+		mu.Lock()
+		seen[i] = true
+		mu.Unlock()
+		switch i {
+		case 3:
+			return errors.New("boom")
+		case 7:
+			panic("worker bug")
+		}
+		return nil
+	})
+	if len(errs) != 10 || len(seen) != 10 {
+		t.Fatalf("ran %d/%d items", len(seen), len(errs))
+	}
+	for i, err := range errs {
+		switch i {
+		case 3:
+			if err == nil || err.Error() != "boom" {
+				t.Errorf("item 3 err = %v", err)
+			}
+		case 7:
+			var pe *PanicError
+			if !errors.As(err, &pe) {
+				t.Errorf("item 7 err = %v, want *PanicError", err)
+			}
+		default:
+			if err != nil {
+				t.Errorf("item %d err = %v", i, err)
+			}
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, err := range ForEach(ctx, 4, 2, func(int) error { return nil }) {
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("cancelled ForEach err = %v", err)
+		}
 	}
 }

@@ -33,12 +33,12 @@ func (b *Baggy) AllocPolicy() alloc.Policy { return alloc.PolicyPow2 }
 
 // TagAlloc implements sim.Mechanism: identical tagging to LMI — the
 // injected software sequence reads the extent from the pointer.
-func (b *Baggy) TagAlloc(blk alloc.Block, _ isa.Space) uint64 {
+func (b *Baggy) TagAlloc(blk alloc.Block, _ isa.Space) (uint64, error) {
 	p, err := b.Codec.Encode(blk.Addr, blk.Extent)
 	if err != nil {
-		panic("safety: baggy tag: " + err.Error())
+		return 0, &TagError{Mechanism: b.Name(), Addr: blk.Addr, Reserved: blk.Reserved, Err: err}
 	}
-	return uint64(p)
+	return uint64(p), nil
 }
 
 // UntagFree implements sim.Mechanism.

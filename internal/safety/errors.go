@@ -1,0 +1,27 @@
+package safety
+
+import "fmt"
+
+// TagError reports that a mechanism could not encode metadata for an
+// allocator block — the block violates the allocator contract the
+// mechanism relies on (mis-rounded size, base not aligned to its size
+// class, extent out of range). It used to be a panic; returning it as a
+// typed error lets fault-injection campaigns and hostile inputs surface
+// as failed allocations instead of killing the process.
+type TagError struct {
+	// Mechanism is the mechanism name (e.g. "lmi").
+	Mechanism string
+	// Addr and Reserved describe the offending block.
+	Addr, Reserved uint64
+	// Err is the underlying encode failure.
+	Err error
+}
+
+// Error implements error.
+func (e *TagError) Error() string {
+	return fmt.Sprintf("safety: %s tag of block addr=%#x reserved=%d: %v",
+		e.Mechanism, e.Addr, e.Reserved, e.Err)
+}
+
+// Unwrap exposes the underlying encode failure.
+func (e *TagError) Unwrap() error { return e.Err }

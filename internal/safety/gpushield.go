@@ -86,9 +86,9 @@ func (g *GPUShield) AllocPolicy() alloc.Policy { return alloc.PolicyBase }
 
 // TagAlloc implements sim.Mechanism: global buffers get an ID and a
 // bounds-table entry; heap buffers stay untagged (region-based).
-func (g *GPUShield) TagAlloc(b alloc.Block, space isa.Space) uint64 {
+func (g *GPUShield) TagAlloc(b alloc.Block, space isa.Space) (uint64, error) {
 	if space != isa.SpaceGlobal {
-		return b.Addr
+		return b.Addr, nil
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -98,7 +98,7 @@ func (g *GPUShield) TagAlloc(b alloc.Block, space isa.Space) uint64 {
 		id = 1
 	}
 	g.bounds[id] = [2]uint64{b.Addr, b.Addr + b.Reserved}
-	return b.Addr | id<<shieldIDShift
+	return b.Addr | id<<shieldIDShift, nil
 }
 
 // UntagFree implements sim.Mechanism. The bounds entry is deliberately
@@ -123,8 +123,12 @@ func (g *GPUShield) CheckPointerOp(_, out uint64) (uint64, uint64) { return out,
 func (g *GPUShield) rcache(smID int) *mem.Cache {
 	rc := g.rcaches[smID]
 	if rc == nil {
-		rc = mem.MustCache(fmt.Sprintf("rcache%d", smID),
-			uint64(g.RCacheEntries), g.RCacheEntries, 1, 0)
+		entries := g.RCacheEntries
+		if entries < 1 {
+			entries = 1
+		}
+		// entries sets of one 1-byte line each: always a valid geometry.
+		rc, _ = mem.NewCache(fmt.Sprintf("rcache%d", smID), uint64(entries), entries, 1, 0)
 		g.rcaches[smID] = rc
 	}
 	return rc

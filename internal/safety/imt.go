@@ -62,16 +62,16 @@ func (m *IMT) paint(base, size uint64, tag uint8) {
 // TagAlloc implements sim.Mechanism: global buffers get a nonzero 4-bit
 // tag, and their sectors' ECC tags are painted to match. Alias-freedom
 // between adjacent buffers comes from cycling tags.
-func (m *IMT) TagAlloc(b alloc.Block, space isa.Space) uint64 {
+func (m *IMT) TagAlloc(b alloc.Block, space isa.Space) (uint64, error) {
 	if space != isa.SpaceGlobal {
-		return b.Addr
+		return b.Addr, nil
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.nextTag++
 	tag := uint8(m.nextTag%15) + 1
 	m.paint(b.Addr, b.Reserved, tag)
-	return b.Addr | uint64(tag)<<imtTagShift
+	return b.Addr | uint64(tag)<<imtTagShift, nil
 }
 
 // UntagFree implements sim.Mechanism: freeing washes the buffer's tags

@@ -11,8 +11,6 @@
 package safety
 
 import (
-	"fmt"
-
 	"lmi/internal/alloc"
 	"lmi/internal/core"
 	"lmi/internal/isa"
@@ -67,18 +65,17 @@ func (m *LMI) Name() string { return "lmi" }
 func (m *LMI) AllocPolicy() alloc.Policy { return alloc.PolicyPow2 }
 
 // TagAlloc implements sim.Mechanism: install the extent into the upper
-// bits of the returned pointer (§V-B).
-func (m *LMI) TagAlloc(b alloc.Block, _ isa.Space) uint64 {
+// bits of the returned pointer (§V-B). A block the codec cannot encode
+// (the allocator contract was violated) comes back as a *TagError.
+func (m *LMI) TagAlloc(b alloc.Block, _ isa.Space) (uint64, error) {
 	p, err := m.Codec.Encode(b.Addr, b.Extent)
 	if err != nil {
-		// The allocator guarantees alignment; an encode failure is a
-		// programming error in the runtime.
-		panic(fmt.Sprintf("safety: LMI tag: %v", err))
+		return 0, &TagError{Mechanism: m.Name(), Addr: b.Addr, Reserved: b.Reserved, Err: err}
 	}
 	if m.Tracker != nil {
 		m.Tracker.OnAlloc(p)
 	}
-	return uint64(p)
+	return uint64(p), nil
 }
 
 // UntagFree implements sim.Mechanism: strip the extent and record the

@@ -1,6 +1,7 @@
 package safety
 
 import (
+	"errors"
 	"testing"
 
 	"lmi/internal/alloc"
@@ -19,7 +20,10 @@ var (
 func TestLMITagUntagRoundTrip(t *testing.T) {
 	m := NewLMI()
 	b := alloc.Block{Addr: 0x1000_0000_0000 & ^uint64(1023), Requested: 900, Reserved: 1024, Extent: 3}
-	val := m.TagAlloc(b, isa.SpaceGlobal)
+	val, err := m.TagAlloc(b, isa.SpaceGlobal)
+	if err != nil {
+		t.Fatalf("TagAlloc: %v", err)
+	}
 	p := core.Pointer(val)
 	if p.Extent() != 3 || p.Addr() != b.Addr {
 		t.Fatalf("tagged pointer %v", p)
@@ -36,13 +40,15 @@ func TestLMITagUntagRoundTrip(t *testing.T) {
 	m.Reset() // no-op
 }
 
-func TestLMITagPanicsOnMisalignedBlock(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("misaligned block must panic (allocator contract violation)")
-		}
-	}()
-	NewLMI().TagAlloc(alloc.Block{Addr: 0x101, Reserved: 256, Extent: 1}, isa.SpaceGlobal)
+func TestLMITagErrorsOnMisalignedBlock(t *testing.T) {
+	_, err := NewLMI().TagAlloc(alloc.Block{Addr: 0x101, Reserved: 256, Extent: 1}, isa.SpaceGlobal)
+	if err == nil {
+		t.Fatal("misaligned block must error (allocator contract violation)")
+	}
+	var te *TagError
+	if !errors.As(err, &te) || te.Mechanism != "lmi" || te.Addr != 0x101 {
+		t.Errorf("want *TagError for lmi addr 0x101, got %#v", err)
+	}
 }
 
 func TestLMICheckPointerOpDelaysAndClears(t *testing.T) {
@@ -81,7 +87,10 @@ func TestLMIWithTrackingScope(t *testing.T) {
 	}
 	// Global allocations are tracked...
 	b := alloc.Block{Addr: alloc.GlobalBase, Reserved: 1024, Extent: 3}
-	val := m.TagAlloc(b, isa.SpaceGlobal)
+	val, err := m.TagAlloc(b, isa.SpaceGlobal)
+	if err != nil {
+		t.Fatalf("TagAlloc: %v", err)
+	}
 	if _, _, fault := m.CheckAccess(sim.Access{Ptr: val, Size: 4}); fault != nil {
 		t.Errorf("live tracked buffer faulted: %v", fault)
 	}
@@ -103,7 +112,10 @@ func TestGPUShieldTaggingAndBounds(t *testing.T) {
 		t.Error("identity")
 	}
 	b := alloc.Block{Addr: alloc.GlobalBase, Requested: 1000, Reserved: 1024}
-	val := g.TagAlloc(b, isa.SpaceGlobal)
+	val, err := g.TagAlloc(b, isa.SpaceGlobal)
+	if err != nil {
+		t.Fatalf("TagAlloc: %v", err)
+	}
 	if g.Canonical(val) != b.Addr {
 		t.Error("Canonical must strip the ID")
 	}
@@ -126,7 +138,7 @@ func TestGPUShieldRegions(t *testing.T) {
 	g := NewGPUShield()
 	// Heap buffers are untagged; in-region accesses pass, escapes fault.
 	hb := alloc.Block{Addr: alloc.HeapBase + 4096, Reserved: 256}
-	val := g.TagAlloc(hb, isa.SpaceHeap)
+	val, _ := g.TagAlloc(hb, isa.SpaceHeap)
 	if val != hb.Addr {
 		t.Error("heap blocks must stay untagged")
 	}
@@ -151,7 +163,7 @@ func TestGPUShieldRegions(t *testing.T) {
 
 func TestGPUShieldRCacheCosts(t *testing.T) {
 	g := NewGPUShield()
-	val := g.TagAlloc(alloc.Block{Addr: alloc.GlobalBase, Reserved: 1 << 20}, isa.SpaceGlobal)
+	val, _ := g.TagAlloc(alloc.Block{Addr: alloc.GlobalBase, Reserved: 1 << 20}, isa.SpaceGlobal)
 	// First (uncoalesced) lookup: compulsory miss -> lookup + penalty.
 	_, extra, _ := g.CheckAccess(sim.Access{Ptr: val, Size: 4, Space: isa.SpaceGlobal, SM: 0})
 	if extra != g.TxLookupCost+g.MissPenalty {
@@ -184,7 +196,10 @@ func TestBaggyMechanism(t *testing.T) {
 		t.Error("identity")
 	}
 	b := alloc.Block{Addr: alloc.GlobalBase, Reserved: 512, Extent: 2}
-	val := m.TagAlloc(b, isa.SpaceGlobal)
+	val, err := m.TagAlloc(b, isa.SpaceGlobal)
+	if err != nil {
+		t.Fatalf("TagAlloc: %v", err)
+	}
 	if core.Pointer(val).Extent() != 2 {
 		t.Error("baggy must tag like LMI")
 	}
@@ -203,12 +218,9 @@ func TestBaggyMechanism(t *testing.T) {
 	}
 	m.Reset()
 
-	defer func() {
-		if recover() == nil {
-			t.Error("misaligned block must panic")
-		}
-	}()
-	m.TagAlloc(alloc.Block{Addr: 3, Reserved: 256, Extent: 1}, isa.SpaceGlobal)
+	if _, err := m.TagAlloc(alloc.Block{Addr: 3, Reserved: 256, Extent: 1}, isa.SpaceGlobal); err == nil {
+		t.Error("misaligned block must error")
+	}
 }
 
 func TestIMTMechanism(t *testing.T) {
@@ -218,7 +230,10 @@ func TestIMTMechanism(t *testing.T) {
 		t.Error("identity")
 	}
 	b := alloc.Block{Addr: alloc.GlobalBase, Requested: 1000, Reserved: 1024}
-	val := m.TagAlloc(b, isa.SpaceGlobal)
+	val, err := m.TagAlloc(b, isa.SpaceGlobal)
+	if err != nil {
+		t.Fatalf("TagAlloc: %v", err)
+	}
 	if m.Canonical(val) != b.Addr {
 		t.Error("Canonical")
 	}
@@ -232,7 +247,9 @@ func TestIMTMechanism(t *testing.T) {
 	}
 	// Adjacent buffer has a different tag: overflow caught.
 	b2 := alloc.Block{Addr: alloc.GlobalBase + 1024, Reserved: 1024}
-	m.TagAlloc(b2, isa.SpaceGlobal)
+	if _, err := m.TagAlloc(b2, isa.SpaceGlobal); err != nil {
+		t.Fatalf("TagAlloc: %v", err)
+	}
 	if _, _, fault := m.CheckAccess(sim.Access{Ptr: val + 1024, Size: 4, Space: isa.SpaceGlobal}); fault == nil {
 		t.Error("adjacent overflow missed (tag collision?)")
 	}
@@ -252,7 +269,8 @@ func TestIMTMechanism(t *testing.T) {
 		t.Errorf("stats: %+v", m.Stats)
 	}
 	m.Reset()
-	if m.UntagFree(123, isa.SpaceHeap) != 123 || m.TagAlloc(alloc.Block{Addr: 5}, isa.SpaceHeap) != 5 {
+	heapVal, _ := m.TagAlloc(alloc.Block{Addr: 5}, isa.SpaceHeap)
+	if m.UntagFree(123, isa.SpaceHeap) != 123 || heapVal != 5 {
 		t.Error("non-global allocs must stay untagged")
 	}
 	res, lat := m.CheckPointerOp(1, 2)

@@ -63,6 +63,11 @@ type Config struct {
 
 	// MaxCycles aborts runaway simulations.
 	MaxCycles uint64
+
+	// Watchdog arms the stuck-launch detectors (wall-clock deadline,
+	// barrier-deadlock, zero-progress). The zero value disables them;
+	// see WatchdogConfig.
+	Watchdog WatchdogConfig
 }
 
 // DefaultConfig returns the paper's simulated GPU (Table IV): 80 SMs at

@@ -2,6 +2,8 @@ package sim
 
 import (
 	"fmt"
+	"runtime/debug"
+	"time"
 
 	"lmi/internal/alloc"
 	"lmi/internal/core"
@@ -66,16 +68,33 @@ func NewDevice(cfg Config, mech Mechanism) (*Device, error) {
 // Malloc is the cudaMalloc analogue: it allocates device global memory
 // and returns the (mechanism-tagged) pointer value to pass as a kernel
 // parameter.
-func (d *Device) Malloc(size uint64) (uint64, error) {
+func (d *Device) Malloc(size uint64) (ptr uint64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ptr, err = 0, &PanicError{Op: "Malloc", Value: r, Stack: debug.Stack()}
+		}
+	}()
 	b, err := d.galloc.Alloc(size)
 	if err != nil {
 		return 0, err
 	}
-	return d.Mech.TagAlloc(b, isa.SpaceGlobal), nil
+	val, err := d.Mech.TagAlloc(b, isa.SpaceGlobal)
+	if err != nil {
+		// Tagging failed — the block is unusable; return it so the arena
+		// does not leak.
+		_ = d.galloc.Free(b.Addr)
+		return 0, err
+	}
+	return val, nil
 }
 
 // Free is the cudaFree analogue.
-func (d *Device) Free(ptr uint64) error {
+func (d *Device) Free(ptr uint64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Op: "Free", Value: r, Stack: debug.Stack()}
+		}
+	}()
 	return d.galloc.Free(d.Mech.UntagFree(ptr, isa.SpaceGlobal))
 }
 
@@ -124,7 +143,10 @@ type warp struct {
 	nextIssue uint64
 
 	atBarrier bool
-	done      bool
+	// barrierSince is the cycle the warp parked at its current barrier
+	// (meaningful only while atBarrier), for deadlock detection.
+	barrierSince uint64
+	done         bool
 }
 
 // blockCtx is a resident thread block.
@@ -165,6 +187,11 @@ type launch struct {
 	halted bool
 	runErr error
 
+	// Watchdog state: launch wall-clock start and the cycle of the last
+	// observable progress event (see WatchdogConfig).
+	wallStart    time.Time
+	lastProgress uint64
+
 	// traceEv is the reusable event delivered to an attached tracer.
 	traceEv TraceEvent
 }
@@ -179,7 +206,15 @@ func (d *Device) Launch(p *isa.Program, gridDim, blockDim int, params []uint64) 
 // Launch2D runs a kernel with a 2-D grid and 2-D blocks. Threads are
 // linearised row-major within a block (tid = tidY*blockDimX + tidX), as
 // on real hardware; special registers expose both coordinates.
-func (d *Device) Launch2D(p *isa.Program, gridX, gridY, blockX, blockY int, params []uint64) (*KernelStats, error) {
+func (d *Device) Launch2D(p *isa.Program, gridX, gridY, blockX, blockY int, params []uint64) (st *KernelStats, err error) {
+	// The launch path executes guest programs through mechanism plug-ins
+	// and the memory model; a panic anywhere below (a buggy mechanism, a
+	// corrupted program) surfaces as a typed error, never a crashed host.
+	defer func() {
+		if r := recover(); r != nil {
+			st, err = nil, &PanicError{Op: "Launch", Value: r, Stack: debug.Stack()}
+		}
+	}()
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -201,6 +236,10 @@ func (d *Device) Launch2D(p *isa.Program, gridX, gridY, blockX, blockY int, para
 		cbank.Write(uint64(p.ParamBase+8*i), v, 8)
 	}
 
+	l2, err := mem.NewCache("L2", d.Cfg.L2Size, d.Cfg.L2Assoc, d.Cfg.LineSize, d.Cfg.L2Latency)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
 	ls := &launch{
 		dev:   d,
 		prog:  p,
@@ -209,14 +248,18 @@ func (d *Device) Launch2D(p *isa.Program, gridX, gridY, blockX, blockY int, para
 		gridX: gridX,
 		bdimX: blockX,
 		cbank: cbank,
-		l2:    mem.MustCache("L2", d.Cfg.L2Size, d.Cfg.L2Assoc, d.Cfg.LineSize, d.Cfg.L2Latency),
+		l2:    l2,
 		dram:  mem.NewDRAM(d.Cfg.DRAMLatency, d.Cfg.DRAMBandwidth),
 	}
 	ls.stats.MemInstrs = make(map[isa.Opcode]uint64)
 	for i := 0; i < d.Cfg.NumSMs; i++ {
+		l1, err := mem.NewCache("L1", d.Cfg.L1Size, d.Cfg.L1Assoc, d.Cfg.LineSize, d.Cfg.L1Latency)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
 		ls.sms = append(ls.sms, &smCtx{
 			id:     i,
-			l1:     mem.MustCache("L1", d.Cfg.L1Size, d.Cfg.L1Assoc, d.Cfg.LineSize, d.Cfg.L1Latency),
+			l1:     l1,
 			greedy: make([]int, d.Cfg.SchedulersPerSM),
 		})
 		for s := range ls.sms[i].greedy {
@@ -227,18 +270,18 @@ func (d *Device) Launch2D(p *isa.Program, gridX, gridY, blockX, blockY int, para
 	if err := ls.run(); err != nil {
 		return nil, err
 	}
-	st := ls.stats
-	st.Cycles = ls.cycle
-	st.Halted = ls.halted
-	st.L2 = ls.l2.Stats()
-	st.DRAMAccesses = ls.dram.Stats().Accesses
+	out := ls.stats
+	out.Cycles = ls.cycle
+	out.Halted = ls.halted
+	out.L2 = ls.l2.Stats()
+	out.DRAMAccesses = ls.dram.Stats().Accesses
 	for _, sm := range ls.sms {
 		s := sm.l1.Stats()
-		st.L1.Accesses += s.Accesses
-		st.L1.Hits += s.Hits
-		st.L1.Misses += s.Misses
+		out.L1.Accesses += s.Accesses
+		out.L1.Hits += s.Hits
+		out.L1.Misses += s.Misses
 	}
-	return &st, nil
+	return &out, nil
 }
 
 // warpsPerBlock returns the warp count for the launch's block dimension.
@@ -314,12 +357,26 @@ func (ls *launch) placeBlock(sm *smCtx, ctaid int) {
 // run executes the cycle loop.
 func (ls *launch) run() error {
 	cfg := ls.dev.Cfg
+	wd := cfg.Watchdog
+	wdArmed := wd.enabled()
+	wdPoll := wd.CheckEveryCycles
+	if wdPoll == 0 {
+		wdPoll = defaultWatchdogPoll
+	}
+	if wdArmed {
+		ls.wallStart = time.Now()
+	}
 	for ls.liveBlk > 0 || ls.nextBlock < ls.grid {
 		if ls.halted {
 			break
 		}
 		if ls.cycle > cfg.MaxCycles {
-			return fmt.Errorf("sim: kernel %s exceeded %d cycles", ls.prog.Name, cfg.MaxCycles)
+			return &CycleLimitError{Kernel: ls.prog.Name, Limit: cfg.MaxCycles}
+		}
+		if wdArmed && ls.cycle%wdPoll == 0 {
+			if err := ls.watchdogCheck(&wd); err != nil {
+				return err
+			}
 		}
 		for _, sm := range ls.sms {
 			ls.stepSM(sm)
@@ -352,6 +409,7 @@ func (ls *launch) stepSM(sm *smCtx) {
 			for _, w := range blk.warps {
 				w.atBarrier = false
 			}
+			ls.progress()
 		}
 	}
 	nsched := ls.dev.Cfg.SchedulersPerSM
@@ -402,6 +460,7 @@ func (ls *launch) retireBlocks(sm *smCtx) {
 		if doneAll {
 			changed = true
 			ls.liveBlk--
+			ls.progress()
 		} else {
 			keptBlocks = append(keptBlocks, blk)
 		}
@@ -485,7 +544,7 @@ func (ls *launch) warpReady(w *warp) bool {
 // recordFault appends a fault and halts the launch if configured.
 func (ls *launch) recordFault(f *core.Fault, pc int, sm, warpID, lane int) {
 	ls.stats.Faults = append(ls.stats.Faults, FaultRecord{
-		Fault: f, PC: pc, SM: sm, Warp: warpID, Lane: lane,
+		Fault: f, PC: pc, SM: sm, Warp: warpID, Lane: lane, Cycle: ls.cycle,
 	})
 	if ls.dev.Cfg.HaltOnFault {
 		ls.halted = true

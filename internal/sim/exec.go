@@ -270,8 +270,10 @@ func (ls *launch) issue(sm *smCtx, w *warp) {
 		}
 	case isa.BAR:
 		w.atBarrier = true
+		w.barrierSince = ls.cycle
 	case isa.EXIT:
 		w.exited |= active
+		ls.progress()
 		top.pc++
 		w.syncTop()
 		return

@@ -28,6 +28,7 @@ func localPhys(warpGlobalID, lane int, va uint64) uint64 {
 // memAccess executes one warp-level memory instruction: per-lane safety
 // checks (the EC site), functional access, coalescing, and latency.
 func (ls *launch) memAccess(sm *smCtx, w *warp, in *isa.Instr, exec uint32, pc int) {
+	ls.progress()
 	cfg := &ls.dev.Cfg
 	space := in.Op.MemSpace()
 	size := in.AccSize()
@@ -216,6 +217,7 @@ func (w *warp) loadInto(lane int, in *isa.Instr, v uint64) {
 // Memory"): every thread allocates its own buffer, contending on the
 // device allocator.
 func (ls *launch) heapOp(sm *smCtx, w *warp, in *isa.Instr, exec uint32, pc int) {
+	ls.progress()
 	cfg := &ls.dev.Cfg
 	lanes := uint64(0)
 	for lane := 0; lane < len(w.regs); lane++ {
@@ -241,7 +243,13 @@ func (ls *launch) heapOp(sm *smCtx, w *warp, in *isa.Instr, exec uint32, pc int)
 				return
 			}
 			if in.Dst != isa.RZ {
-				w.regs[lane][in.Dst] = ls.dev.Mech.TagAlloc(b, isa.SpaceHeap)
+				tagged, err := ls.dev.Mech.TagAlloc(b, isa.SpaceHeap)
+				if err != nil {
+					ls.runErr = fmt.Errorf("sim: %s: %w", ls.prog.Name, err)
+					ls.halted = true
+					return
+				}
+				w.regs[lane][in.Dst] = tagged
 			}
 		} else { // FREE
 			addr := ls.dev.Mech.UntagFree(val, isa.SpaceHeap)

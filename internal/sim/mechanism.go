@@ -45,8 +45,12 @@ type Mechanism interface {
 	AllocPolicy() alloc.Policy
 
 	// TagAlloc converts a fresh allocation into the register/parameter
-	// value handed to the program (e.g. LMI installs the extent bits).
-	TagAlloc(b alloc.Block, space isa.Space) uint64
+	// value handed to the program (e.g. LMI installs the extent bits). A
+	// block the mechanism cannot tag (mis-rounded size, misaligned base —
+	// allocator contract violations) is reported as an error rather than
+	// a panic, so corrupted allocator state surfaces as a failed Malloc
+	// instead of killing the process.
+	TagAlloc(b alloc.Block, space isa.Space) (uint64, error)
 
 	// UntagFree recovers the allocator-visible base address from the
 	// value passed to free(), and may record temporal-safety state.
@@ -84,7 +88,7 @@ func (Baseline) Name() string { return "baseline" }
 func (Baseline) AllocPolicy() alloc.Policy { return alloc.PolicyBase }
 
 // TagAlloc implements Mechanism.
-func (Baseline) TagAlloc(b alloc.Block, _ isa.Space) uint64 { return b.Addr }
+func (Baseline) TagAlloc(b alloc.Block, _ isa.Space) (uint64, error) { return b.Addr, nil }
 
 // UntagFree implements Mechanism.
 func (Baseline) UntagFree(val uint64, _ isa.Space) uint64 { return val }

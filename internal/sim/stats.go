@@ -16,6 +16,9 @@ type FaultRecord struct {
 	SM   int
 	Warp int
 	Lane int
+	// Cycle is the simulated cycle at which the fault was detected,
+	// used by fault-injection campaigns to measure detection latency.
+	Cycle uint64
 }
 
 // String renders the record.

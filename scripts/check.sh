@@ -29,4 +29,14 @@ go test ./...
 echo "== go test -race -timeout 45m $short ./..."
 go test -race -timeout 45m $short ./...
 
+# Chaos determinism smoke: the fault-injection campaign must render
+# byte-identical reports regardless of worker count — any divergence
+# means a scheduling-order dependence crept into the engine.
+echo "== chaos determinism smoke (-jobs 1 vs -jobs 4)"
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+go run ./cmd/lmi-sec -chaos -seed 1 -trials 2 -jobs 1 > "$tmpdir/chaos-j1.txt"
+go run ./cmd/lmi-sec -chaos -seed 1 -trials 2 -jobs 4 > "$tmpdir/chaos-j4.txt"
+cmp "$tmpdir/chaos-j1.txt" "$tmpdir/chaos-j4.txt"
+
 echo "check: OK"
