@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet check check-short bench
+.PHONY: build test race vet lint check check-short bench
 
 build:
 	$(GO) build ./...
@@ -16,7 +16,13 @@ vet:
 race:
 	$(GO) test -race -timeout 45m ./...
 
-# The full verification gate: vet + build + tests + race detector.
+# Static verification of the LMI microcode contract over every lowered
+# kernel (also part of the check gate).
+lint:
+	$(GO) run ./cmd/lmi-lint -all
+
+# The full verification gate: vet + build + tests + race detector +
+# static contract lint.
 check:
 	scripts/check.sh
 

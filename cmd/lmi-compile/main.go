@@ -18,6 +18,7 @@ import (
 	"lmi/internal/ir"
 	"lmi/internal/isa"
 	"lmi/internal/lang"
+	"lmi/internal/lint"
 	"lmi/internal/safety"
 	"lmi/internal/sim"
 	"lmi/internal/workloads"
@@ -31,6 +32,7 @@ func main() {
 	instrument := flag.String("instrument", "", "optional: baggy | lmi-dbi | memcheck")
 	dumpIR := flag.Bool("ir", false, "also print the IR")
 	optimize := flag.Bool("O", false, "run the peephole optimizer")
+	lintIt := flag.Bool("lint", false, "run the static ISA linter on the emitted program; nonzero exit on diagnostics")
 	runIt := flag.Bool("run", false, "also execute the kernel on the simulator (buffers auto-allocated)")
 	grid := flag.Int("grid", 4, "-run: grid blocks")
 	block := flag.Int("block", 128, "-run: threads per block")
@@ -88,7 +90,7 @@ func main() {
 	if *mode == "base" {
 		m = compiler.ModeBase
 	}
-	prog, err := compiler.Compile(f, m)
+	prog, srcMap, err := compiler.CompileWithSourceMap(f, m)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lmi-compile: %v\n", err)
 		os.Exit(1)
@@ -117,6 +119,35 @@ func main() {
 		fmt.Printf("// stack buffer: offset %d, reserved %d, extent %d\n", sb.Offset, sb.Size, sb.Extent)
 	}
 	fmt.Print(prog.Disassemble())
+
+	if *lintIt {
+		// Instrumentation and optimization rewrite the stream, so the
+		// source map (and the differential cross-check it feeds) only
+		// applies to the pristine lowering.
+		rewritten := *instrument != "" || *optimize
+		var diags []lint.Diag
+		if rewritten {
+			diags = lint.Check(prog, m)
+		} else {
+			diags = lint.CheckWithSource(prog, m, srcMap)
+		}
+		for _, d := range diags {
+			pos := ""
+			if !rewritten && d.Instr < len(srcMap) {
+				if loc := srcMap[d.Instr]; loc.Index >= 0 {
+					pos = fmt.Sprintf(" (from b%d[%d])", loc.Block, loc.Index)
+				} else {
+					pos = " (prologue)"
+				}
+			}
+			fmt.Printf("// LINT %s%s\n", d, pos)
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(os.Stderr, "lmi-compile: lint: %d contract violations\n", len(diags))
+			os.Exit(1)
+		}
+		fmt.Println("// lint: clean")
+	}
 
 	// Round-trip through the 128-bit microcode encoder to demonstrate
 	// the reserved-field hint bits (Fig. 9).

@@ -1,0 +1,146 @@
+// Command lmi-lint statically verifies the LMI microcode contract over
+// lowered kernels: every tagged-pointer manipulation carries its
+// Activation hint, no hint sits on a non-pointer value, every memory
+// address traces to a tagged allocation, extent material never leaks
+// through untagged arithmetic or to memory (§VI-A), and every freed
+// pointer is nullified before EXIT (§VIII). Pre-optimizer programs are
+// additionally cross-checked against the compiler's IR-level pointer
+// facts (the differential check).
+//
+// Usage:
+//
+//	lmi-lint -all                 # every workload and app, both modes, pre- and post-optimizer
+//	lmi-lint -bench needle        # one benchmark
+//	lmi-lint -bench bfs -mode base
+//	lmi-lint -all -json           # machine-readable report
+//
+// Exits nonzero when any diagnostic is produced; scripts/check.sh runs
+// `lmi-lint -all` as a CI gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"lmi/internal/apps"
+	"lmi/internal/compiler"
+	"lmi/internal/ir"
+	"lmi/internal/lint"
+	"lmi/internal/workloads"
+)
+
+type target struct {
+	name string
+	f    *ir.Func
+}
+
+// result is one linted program: a kernel in one mode, before or after
+// the optimizer.
+type result struct {
+	Kernel    string      `json:"kernel"`
+	Mode      string      `json:"mode"`
+	Optimized bool        `json:"optimized"`
+	Diags     []lint.Diag `json:"diagnostics"`
+}
+
+func main() {
+	all := flag.Bool("all", false, "lint every Table V workload and every app kernel")
+	bench := flag.String("bench", "", "lint one benchmark by name")
+	modeFlag := flag.String("mode", "both", "base | lmi | both")
+	jsonOut := flag.Bool("json", false, "emit the full report as JSON")
+	flag.Parse()
+
+	if !*all && *bench == "" {
+		fmt.Fprintln(os.Stderr, "lmi-lint: need -all or -bench")
+		os.Exit(2)
+	}
+
+	var modes []compiler.Mode
+	switch *modeFlag {
+	case "base":
+		modes = []compiler.Mode{compiler.ModeBase}
+	case "lmi":
+		modes = []compiler.Mode{compiler.ModeLMI}
+	case "both":
+		modes = []compiler.Mode{compiler.ModeBase, compiler.ModeLMI}
+	default:
+		fmt.Fprintf(os.Stderr, "lmi-lint: unknown mode %q\n", *modeFlag)
+		os.Exit(2)
+	}
+
+	targets, err := gather(*all, *bench)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lmi-lint: %v\n", err)
+		os.Exit(2)
+	}
+
+	var results []result
+	total := 0
+	for _, tg := range targets {
+		for _, m := range modes {
+			p, src, err := compiler.CompileWithSourceMap(tg.f, m)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lmi-lint: %s/%s: compile: %v\n", tg.name, m, err)
+				os.Exit(1)
+			}
+			pre := lint.CheckWithSource(p, m, src)
+			results = append(results, result{tg.name, m.String(), false, pre})
+			post := lint.Check(compiler.Optimize(p), m)
+			results = append(results, result{tg.name, m.String(), true, post})
+			total += len(pre) + len(post)
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintf(os.Stderr, "lmi-lint: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		for _, r := range results {
+			opt := ""
+			if r.Optimized {
+				opt = "+O"
+			}
+			for _, d := range r.Diags {
+				fmt.Printf("%s/%s%s: %s\n", r.Kernel, r.Mode, opt, d)
+			}
+		}
+		fmt.Printf("lmi-lint: %d programs checked, %d diagnostics\n", len(results), total)
+	}
+	if total > 0 {
+		os.Exit(1)
+	}
+}
+
+// gather resolves the kernel set: one benchmark, or the whole corpus
+// (every Table V workload plus every app).
+func gather(all bool, bench string) ([]target, error) {
+	if !all {
+		s := workloads.ByName(bench)
+		if s == nil {
+			return nil, fmt.Errorf("unknown benchmark %q", bench)
+		}
+		f, err := s.Kernel()
+		if err != nil {
+			return nil, err
+		}
+		return []target{{s.Name, f}}, nil
+	}
+	var out []target
+	for _, s := range workloads.All() {
+		f, err := s.Kernel()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", s.Name, err)
+		}
+		out = append(out, target{s.Name, f})
+	}
+	for _, f := range apps.All() {
+		out = append(out, target{f.Name, f})
+	}
+	return out, nil
+}

@@ -182,3 +182,15 @@ func log2i(x int) int64 {
 	}
 	return n
 }
+
+// All returns one instance of every app kernel at the representative
+// configurations the package tests exercise, for tools (the static
+// linter, the compile CLI) that sweep the whole in-tree kernel corpus.
+func All() []*ir.Func {
+	return []*ir.Func{
+		MatMulTiled(8),
+		ReduceSum(128),
+		BFSLevel(),
+		Stencil2D(),
+	}
+}

@@ -22,23 +22,39 @@ func cloneProgram(p *isa.Program) *isa.Program {
 	return &q
 }
 
-// dropHint clears the A/S microcode hints on one randomly chosen hinted
-// instruction — the OCU never sees that pointer operation. It returns
-// nil when the program carries no hints (non-LMI compilation).
-func dropHint(p *isa.Program, r *rng) (*isa.Program, string) {
+// HintedSites returns the instruction indices carrying the A hint — the
+// candidate sites for a hint-drop injection. Empty for non-LMI
+// compilations.
+func HintedSites(p *isa.Program) []int {
 	var hinted []int
 	for i := range p.Instrs {
 		if p.Instrs[i].Hint.A {
 			hinted = append(hinted, i)
 		}
 	}
+	return hinted
+}
+
+// DropHintAt returns a copy of p with the A/S microcode hints cleared on
+// instruction idx — the OCU never sees that pointer operation. The
+// static linter's negative corpus uses this deterministic form; the
+// campaign picks the site by RNG.
+func DropHintAt(p *isa.Program, idx int) *isa.Program {
+	q := cloneProgram(p)
+	q.Instrs[idx].Hint = isa.Hint{}
+	return q
+}
+
+// dropHint clears the A/S microcode hints on one randomly chosen hinted
+// instruction — the OCU never sees that pointer operation. It returns
+// nil when the program carries no hints (non-LMI compilation).
+func dropHint(p *isa.Program, r *rng) (*isa.Program, string) {
+	hinted := HintedSites(p)
 	if len(hinted) == 0 {
 		return nil, ""
 	}
 	idx := hinted[r.intn(len(hinted))]
-	q := cloneProgram(p)
-	q.Instrs[idx].Hint = isa.Hint{}
-	return q, fmt.Sprintf("A hint cleared on instr %d (%s)", idx, p.Instrs[idx].Op)
+	return DropHintAt(p, idx), fmt.Sprintf("A hint cleared on instr %d (%s)", idx, p.Instrs[idx].Op)
 }
 
 // spuriousHintOps are the plain integer-ALU opcodes a spurious
@@ -51,23 +67,93 @@ var spuriousHintOps = map[isa.Opcode]bool{
 	isa.AND: true, isa.OR: true, isa.XOR: true, isa.MOV: true,
 }
 
-// spuriousHint sets the Activation hint on one randomly chosen unhinted
-// integer instruction, making the OCU treat a data value as a pointer.
-// Delayed termination should absorb this without a false positive.
-func spuriousHint(p *isa.Program, r *rng) (*isa.Program, string) {
+// SpuriousSites returns the indices of unhinted integer-ALU
+// instructions a spurious Activation hint can be planted on — the
+// candidate sites for the spurious-hint injection.
+func SpuriousSites(p *isa.Program) []int {
 	var cands []int
 	for i := range p.Instrs {
 		if !p.Instrs[i].Hint.A && spuriousHintOps[p.Instrs[i].Op] {
 			cands = append(cands, i)
 		}
 	}
+	return cands
+}
+
+// PlantSpuriousHintAt returns a copy of p with the Activation hint set
+// on instruction idx, making the OCU treat a data value as a pointer.
+// The static linter's negative corpus uses this deterministic form.
+func PlantSpuriousHintAt(p *isa.Program, idx int) *isa.Program {
+	q := cloneProgram(p)
+	q.Instrs[idx].Hint = isa.Hint{A: true}
+	return q
+}
+
+// spuriousHint sets the Activation hint on one randomly chosen unhinted
+// integer instruction, making the OCU treat a data value as a pointer.
+// Delayed termination should absorb this without a false positive.
+func spuriousHint(p *isa.Program, r *rng) (*isa.Program, string) {
+	cands := SpuriousSites(p)
 	if len(cands) == 0 {
 		return nil, ""
 	}
 	idx := cands[r.intn(len(cands))]
+	return PlantSpuriousHintAt(p, idx), fmt.Sprintf("spurious A hint set on instr %d (%s)", idx, p.Instrs[idx].Op)
+}
+
+// StripNullification returns a copy of p with the SHL/SHR
+// extent-nullification pair removed after every FREE — the program-level
+// form of the campaign's skipped-nullification fault (§VIII), leaving
+// the freed pointer's extent live in its register. Branch targets are
+// remapped around the removed instructions. Returns nil when the
+// program contains no nullification sequence (non-LMI compilation or no
+// FREE).
+func StripNullification(p *isa.Program) *isa.Program {
+	keep := make([]bool, len(p.Instrs))
+	for i := range keep {
+		keep[i] = true
+	}
+	found := false
+	for i := 0; i+2 < len(p.Instrs); i++ {
+		in := &p.Instrs[i]
+		if in.Op != isa.FREE {
+			continue
+		}
+		r := in.Src[0]
+		shl, shr := &p.Instrs[i+1], &p.Instrs[i+2]
+		if shl.Op == isa.SHL && shl.HasImm && shl.Imm == int32(core.ExtentFieldBits) &&
+			shl.Dst == r && shl.Src[0] == r &&
+			shr.Op == isa.SHR && shr.HasImm && shr.Imm == int32(core.ExtentFieldBits) &&
+			shr.Dst == r && shr.Src[0] == r {
+			keep[i+1], keep[i+2] = false, false
+			found = true
+		}
+	}
+	if !found {
+		return nil
+	}
+	newIdx := make([]int32, len(p.Instrs)+1)
+	n := int32(0)
+	for i := range p.Instrs {
+		newIdx[i] = n
+		if keep[i] {
+			n++
+		}
+	}
+	newIdx[len(p.Instrs)] = n
 	q := cloneProgram(p)
-	q.Instrs[idx].Hint = isa.Hint{A: true}
-	return q, fmt.Sprintf("spurious A hint set on instr %d (%s)", idx, p.Instrs[idx].Op)
+	q.Instrs = q.Instrs[:0]
+	for i := range p.Instrs {
+		if !keep[i] {
+			continue
+		}
+		in := p.Instrs[i]
+		if in.Op == isa.BRA || in.Op == isa.SSY {
+			in.Target = newIdx[in.Target]
+		}
+		q.Instrs = append(q.Instrs, in)
+	}
+	return q
 }
 
 // corruptExtentBit flips one bit of the extent field (bits 63:59) in a

@@ -1,0 +1,65 @@
+// Integration between the compiler and the static linter lives in an
+// external test package: lint imports compiler, so an in-package test
+// would be an import cycle.
+package compiler_test
+
+import (
+	"testing"
+
+	"lmi/internal/compiler"
+	"lmi/internal/lint"
+	"lmi/internal/workloads"
+)
+
+// TestCompilerOutputLintsClean is the compiler-side half of the
+// contract: for a sample of real workloads, the lowering plus the
+// source map it emits must satisfy the linter's register-level,
+// IR-level, and hint-bit cross-checks in both modes.
+func TestCompilerOutputLintsClean(t *testing.T) {
+	for _, name := range []string{"bfs", "sc_gpu", "gaussian"} {
+		s := workloads.ByName(name)
+		if s == nil {
+			t.Fatalf("%s: unknown workload", name)
+		}
+		f, err := s.Kernel()
+		if err != nil {
+			t.Fatalf("%s: kernel: %v", name, err)
+		}
+		for _, mode := range []compiler.Mode{compiler.ModeBase, compiler.ModeLMI} {
+			p, src, err := compiler.CompileWithSourceMap(f, mode)
+			if err != nil {
+				t.Fatalf("%s/%s: compile: %v", name, mode, err)
+			}
+			if diags := lint.CheckWithSource(p, mode, src); len(diags) != 0 {
+				for _, d := range diags {
+					t.Errorf("%s/%s: %s", name, mode, d)
+				}
+			}
+		}
+	}
+}
+
+// TestInstrumentationViolatesContract documents that software
+// instrumentation (Baggy bounds checks running on baseline hardware)
+// intentionally breaks the LMI microcode contract: its injected check
+// sequences manipulate addresses unhinted. The linter must see that —
+// if it ever stops flagging instrumented programs, its address tracing
+// has gone soft.
+func TestInstrumentationViolatesContract(t *testing.T) {
+	s := workloads.ByName("bfs")
+	if s == nil {
+		t.Fatal("unknown workload bfs")
+	}
+	f, err := s.Kernel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := compiler.Compile(f, compiler.ModeBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := compiler.InstrumentBaggy(p)
+	if diags := lint.Check(inst, compiler.ModeLMI); len(diags) == 0 {
+		t.Fatal("Baggy-instrumented program lints clean under the LMI contract; the linter's tracing is too permissive")
+	}
+}

@@ -77,8 +77,15 @@ type lowerer struct {
 	ptrArith map[ir.BlockID]map[int]int
 
 	out        []isa.Instr
+	srcMap     []SourceLoc
 	blockStart map[ir.BlockID]int
 	maxReg     isa.Reg
+
+	// curBlock/curIdx locate the IR instruction currently being lowered;
+	// emit records them into srcMap. The prologue runs before any IR
+	// instruction and uses the (-1, -1) sentinel.
+	curBlock ir.BlockID
+	curIdx   int
 
 	// err records the first lowering failure (a value with no assigned
 	// register/predicate). reg/pred have ~50 call sites threaded through
@@ -95,16 +102,44 @@ func (lw *lowerer) fail(format string, args ...any) {
 	}
 }
 
+// SourceLoc is the per-instruction provenance record CompileWithSourceMap
+// emits alongside the program: which IR instruction each ISA instruction
+// was lowered from, and whether the IR-level pointer-operand analysis
+// marked that instruction as a pointer operation (the fact the hint bits
+// encode). Static analyses cross-check the facts against the emitted
+// hints and their own register-level dataflow.
+type SourceLoc struct {
+	// Block and Index locate the originating IR instruction; prologue
+	// instructions (stack setup, alloca/shared materialisation) carry the
+	// (-1, -1) sentinel.
+	Block ir.BlockID
+	Index int
+	// Fact records that the pointer-operand analysis marked the
+	// originating IR instruction and the backend requested hint bits on
+	// this ISA instruction.
+	Fact bool
+	// Operand is the hinted source-operand index when Fact is set.
+	Operand int
+}
+
 // Compile lowers a verified IR kernel to an ISA program under the given
 // mode.
 func Compile(f *ir.Func, mode Mode) (*isa.Program, error) {
+	p, _, err := CompileWithSourceMap(f, mode)
+	return p, err
+}
+
+// CompileWithSourceMap lowers a verified IR kernel and additionally
+// returns the per-instruction source map (parallel to Instrs) linking
+// every emitted instruction to its IR origin and recorded pointer fact.
+func CompileWithSourceMap(f *ir.Func, mode Mode) (*isa.Program, []SourceLoc, error) {
 	facts, err := Analyze(f)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if mode == ModeLMI {
 		if err := CheckLMIRestrictions(f, facts); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	lw := &lowerer{
@@ -116,6 +151,8 @@ func Compile(f *ir.Func, mode Mode) (*isa.Program, error) {
 		sharedExt:  map[ir.Value]core.Extent{},
 		ptrArith:   map[ir.BlockID]map[int]int{},
 		blockStart: map[ir.BlockID]int{},
+		curBlock:   -1,
+		curIdx:     -1,
 	}
 	for _, pf := range facts.PtrArith {
 		m := lw.ptrArith[pf.Block]
@@ -126,16 +163,16 @@ func Compile(f *ir.Func, mode Mode) (*isa.Program, error) {
 		m[pf.Index] = pf.Operand
 	}
 	if err := lw.allocateRegisters(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := lw.layoutMemory(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := lw.emitAll(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if lw.err != nil {
-		return nil, lw.err
+		return nil, nil, lw.err
 	}
 	prog := &isa.Program{
 		Name:          f.Name,
@@ -147,15 +184,18 @@ func Compile(f *ir.Func, mode Mode) (*isa.Program, error) {
 		StackPtrConst: StackPtrConstOffset,
 		ParamBase:     ParamConstBase,
 	}
+	for _, t := range f.Params {
+		prog.ParamPtrs = append(prog.ParamPtrs, t.IsPtr())
+	}
 	for _, b := range lw.frame.Buffers {
 		prog.StackBuffers = append(prog.StackBuffers, isa.StackBuffer{
 			Offset: uint32(b.Offset), Size: uint32(b.Reserved), Extent: uint8(b.Extent),
 		})
 	}
 	if err := prog.Validate(); err != nil {
-		return nil, fmt.Errorf("compiler: generated invalid program: %w", err)
+		return nil, nil, fmt.Errorf("compiler: generated invalid program: %w", err)
 	}
-	return prog, nil
+	return prog, lw.srcMap, nil
 }
 
 func (lw *lowerer) allocateRegisters() error {
@@ -263,6 +303,7 @@ func (lw *lowerer) emit(in isa.Instr) {
 		in.Src = [3]isa.Reg{isa.RZ, isa.RZ, isa.RZ}
 	}
 	lw.out = append(lw.out, in)
+	lw.recordLoc(&in)
 }
 
 // emitG emits with an explicit guard predicate.
@@ -273,6 +314,20 @@ func (lw *lowerer) emitG(in isa.Instr, pred isa.PredReg, neg bool) {
 		in.Src = [3]isa.Reg{isa.RZ, isa.RZ, isa.RZ}
 	}
 	lw.out = append(lw.out, in)
+	lw.recordLoc(&in)
+}
+
+// recordLoc appends the source-map entry for the instruction just
+// emitted. Hint bits are only ever set from the analysis facts
+// (hintFor), so Fact at emission time is exactly "the IR analysis
+// marked this instruction as a pointer operation".
+func (lw *lowerer) recordLoc(in *isa.Instr) {
+	lw.srcMap = append(lw.srcMap, SourceLoc{
+		Block:   lw.curBlock,
+		Index:   lw.curIdx,
+		Fact:    in.Hint.A,
+		Operand: in.Hint.PointerOperand(),
+	})
 }
 
 // tagExtent emits the pointer-generation sequence that installs an extent
@@ -304,6 +359,7 @@ func (lw *lowerer) emitAll() error {
 	for _, blk := range lw.f.Blocks {
 		lw.blockStart[blk.ID] = len(lw.out)
 		for i := range blk.Instrs {
+			lw.curBlock, lw.curIdx = blk.ID, i
 			if err := lw.lowerInstr(blk, i, &blk.Instrs[i]); err != nil {
 				return err
 			}

@@ -73,7 +73,7 @@ func foldImmediates(p *isa.Program) *isa.Program {
 			}
 		}
 		// Then record this instruction's definition.
-		if in.Dst != isa.RZ && writesDst(in) {
+		if in.Dst != isa.RZ && in.WritesDst() {
 			if in.Op == isa.MOV && in.HasImm && in.Pred == isa.PT && !in.PredNeg && !in.Hint.A {
 				reach[in.Dst] = def{imm: in.Imm, ok: true}
 			} else {
@@ -87,19 +87,6 @@ func foldImmediates(p *isa.Program) *isa.Program {
 	q := *p
 	q.Instrs = out
 	return &q
-}
-
-// writesDst reports whether the instruction writes its Dst register (as
-// opposed to using the field for a predicate destination).
-func writesDst(in *isa.Instr) bool {
-	switch in.Op {
-	case isa.SETP, isa.FSETP, isa.BRA, isa.SSY, isa.SYNC, isa.BAR,
-		isa.EXIT, isa.NOP, isa.TRAP, isa.FREE:
-		return false
-	case isa.STG, isa.STS, isa.STL:
-		return false
-	}
-	return true
 }
 
 // removeDeadMoves drops self-copies and never-read unhinted MOVs,

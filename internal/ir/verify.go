@@ -4,6 +4,12 @@ import "fmt"
 
 // Verify type-checks the function and validates its control-flow
 // structure. It is the precondition the compiler assumes.
+//
+// Definition checking is a forward must-be-defined dataflow over the
+// CFG: a use is legal only when its value is defined earlier in the
+// same block or on *every* path from the entry (not merely in some
+// block, which would accept uses that precede their definition on every
+// execution).
 func Verify(f *Func) error {
 	if f.buildErr != nil {
 		return f.buildErr
@@ -11,19 +17,10 @@ func Verify(f *Func) error {
 	if len(f.Blocks) == 0 {
 		return fmt.Errorf("ir: %s: no blocks", f.Name)
 	}
-	defined := make([]bool, f.NumValues())
-	// First pass: record definitions (register machine: any block may
-	// define; the builder's structured constructs guarantee order).
-	for _, blk := range f.Blocks {
-		for i := range blk.Instrs {
-			if d := blk.Instrs[i].Dst; d != NoValue {
-				if int(d) >= f.NumValues() {
-					return fmt.Errorf("ir: %s: b%d[%d]: dst %%v%d out of range", f.Name, blk.ID, i, d)
-				}
-				defined[d] = true
-			}
-		}
-	}
+	// Structural pass: terminators in place, destinations in range. Also
+	// records the "defined anywhere" set the unreachable-block fallback
+	// uses.
+	anyDef := make([]bool, f.NumValues())
 	for _, blk := range f.Blocks {
 		if blk.Terminator() == nil {
 			return fmt.Errorf("ir: %s: b%d: missing terminator", f.Name, blk.ID)
@@ -33,12 +30,100 @@ func Verify(f *Func) error {
 			if in.Op.IsTerminator() != (i == len(blk.Instrs)-1) {
 				return fmt.Errorf("ir: %s: b%d[%d]: misplaced terminator %s", f.Name, blk.ID, i, in.Op)
 			}
-			if err := f.checkInstr(blk, i, in, defined); err != nil {
+			if d := in.Dst; d != NoValue {
+				if int(d) >= f.NumValues() {
+					return fmt.Errorf("ir: %s: b%d[%d]: dst %%v%d out of range", f.Name, blk.ID, i, d)
+				}
+				anyDef[d] = true
+			}
+		}
+	}
+	defIn := mustDefinedAtEntry(f, anyDef)
+	for _, blk := range f.Blocks {
+		cur := append([]bool(nil), defIn[blk.ID]...)
+		for i := range blk.Instrs {
+			in := &blk.Instrs[i]
+			if err := f.checkInstr(blk, i, in, cur); err != nil {
 				return err
+			}
+			if in.Dst != NoValue {
+				cur[in.Dst] = true
 			}
 		}
 	}
 	return nil
+}
+
+// cfgSuccs returns the successor blocks of a terminator. OpCondBr's
+// Join is a reconvergence annotation, not a CFG edge — control reaches
+// the join through the arms, and treating it as an edge would wrongly
+// shrink the must-defined intersection there.
+func cfgSuccs(t *Instr) []BlockID {
+	switch t.Op {
+	case OpBr:
+		return []BlockID{t.Target}
+	case OpCondBr:
+		return []BlockID{t.Then, t.Else}
+	}
+	return nil
+}
+
+// mustDefinedAtEntry computes, per block, the set of values defined on
+// every path from the entry: IN[entry] = ∅, IN[b] = ∩ OUT[preds],
+// OUT[b] = IN[b] ∪ defs(b), iterated to fixpoint (the sets only shrink
+// after first reach, so it terminates). Blocks unreachable from the
+// entry fall back to the "defined anywhere" set: no executable path
+// reaches their uses, so definition order cannot be violated there, and
+// the fallback keeps Verify exactly as permissive as before on dead
+// code.
+func mustDefinedAtEntry(f *Func, anyDef []bool) [][]bool {
+	in := make([][]bool, len(f.Blocks))
+	reached := make([]bool, len(f.Blocks))
+	in[0] = make([]bool, f.NumValues())
+	reached[0] = true
+	work := []BlockID{0}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		blk := f.Blocks[b]
+		out := append([]bool(nil), in[b]...)
+		for i := range blk.Instrs {
+			if d := blk.Instrs[i].Dst; d != NoValue && int(d) < len(out) {
+				out[d] = true
+			}
+		}
+		t := blk.Terminator()
+		if t == nil {
+			continue
+		}
+		for _, s := range cfgSuccs(t) {
+			if !f.validBlock(s) {
+				continue // checkInstr reports the invalid target
+			}
+			if !reached[s] {
+				reached[s] = true
+				in[s] = append([]bool(nil), out...)
+				work = append(work, s)
+				continue
+			}
+			changed := false
+			for v := range in[s] {
+				if in[s][v] && !out[v] {
+					in[s][v] = false
+					changed = true
+				}
+			}
+			if changed {
+				work = append(work, s)
+			}
+		}
+	}
+	for b := range in {
+		if !reached[b] {
+			in[b] = append([]bool(nil), anyDef...)
+		}
+	}
+	return in
 }
 
 func (f *Func) checkInstr(blk *Block, idx int, in *Instr, defined []bool) error {

@@ -1,0 +1,146 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"lmi/internal/isa"
+)
+
+// badCrossArmUse constructs, without the structured builder, a function
+// where %v2 is defined only in the then-arm but used in the else-arm:
+//
+//	b0: %v0 = consti 1; %v1 = icmp %v0,%v0; condbr %v1 b1 b2 join=b3
+//	b1: %v2 = add %v0,%v0; br b3
+//	b2: %v3 = add %v2,%v0; br b3   <- %v2 undefined on this path
+//	b3: ret
+//
+// On every execution reaching b2 the use of %v2 precedes its (never
+// executed) definition, yet the pre-fix Verify accepted it because %v2
+// is defined *somewhere*.
+func badCrossArmUse() *Func {
+	f := NewFunc("bad_cross_arm_use")
+	v0 := f.NewValue(I32)
+	v1 := f.NewValue(Bool)
+	v2 := f.NewValue(I32)
+	v3 := f.NewValue(I32)
+	b0, b1, b2, b3 := f.NewBlock(), f.NewBlock(), f.NewBlock(), f.NewBlock()
+	b0.Instrs = []Instr{
+		{Op: OpConstI, Dst: v0, Imm: 1},
+		{Op: OpICmp, Dst: v1, Args: []Value{v0, v0}, Cmp: isa.CmpEQ},
+		{Op: OpCondBr, Args: []Value{v1}, Then: b1.ID, Else: b2.ID, Join: b3.ID},
+	}
+	b1.Instrs = []Instr{
+		{Op: OpAdd, Dst: v2, Args: []Value{v0, v0}},
+		{Op: OpBr, Target: b3.ID},
+	}
+	b2.Instrs = []Instr{
+		{Op: OpAdd, Dst: v3, Args: []Value{v2, v0}},
+		{Op: OpBr, Target: b3.ID},
+	}
+	b3.Instrs = []Instr{{Op: OpRet}}
+	return f
+}
+
+// legacyDefined reproduces the pre-fix definition pass: a value counts
+// as defined when any block defines it, regardless of path.
+func legacyDefined(f *Func) []bool {
+	defined := make([]bool, f.NumValues())
+	for _, blk := range f.Blocks {
+		for i := range blk.Instrs {
+			if d := blk.Instrs[i].Dst; d != NoValue {
+				defined[d] = true
+			}
+		}
+	}
+	return defined
+}
+
+// TestVerifyRejectsCrossArmUseBeforeDef is the regression test for the
+// def-before-use fix: the old any-block definition pass accepts the
+// function (demonstrated against its reconstruction), the path-aware
+// dataflow rejects it.
+func TestVerifyRejectsCrossArmUseBeforeDef(t *testing.T) {
+	f := badCrossArmUse()
+
+	// The pre-fix pass would have accepted every use in the function.
+	defined := legacyDefined(f)
+	for _, blk := range f.Blocks {
+		for i := range blk.Instrs {
+			for _, a := range blk.Instrs[i].Args {
+				if a != NoValue && !defined[a] {
+					t.Fatalf("b%d[%d]: legacy pass unexpectedly catches %%v%d — regression scenario is broken", blk.ID, i, a)
+				}
+			}
+		}
+	}
+
+	err := Verify(f)
+	if err == nil {
+		t.Fatalf("Verify accepted a function whose %%v2 use precedes its definition on every executing path:\n%s", f.String())
+	}
+	if !strings.Contains(err.Error(), "undefined value %v2") {
+		t.Fatalf("Verify rejected the function for the wrong reason: %v", err)
+	}
+}
+
+// TestVerifyAcceptsDominatingCrossBlockDef checks the dual: a value
+// defined before the branch and used in both arms and the join is legal
+// even though definition and uses live in different blocks.
+func TestVerifyAcceptsDominatingCrossBlockDef(t *testing.T) {
+	f := NewFunc("good_cross_block_use")
+	v0 := f.NewValue(I32)
+	v1 := f.NewValue(Bool)
+	v2 := f.NewValue(I32)
+	v3 := f.NewValue(I32)
+	v4 := f.NewValue(I32)
+	b0, b1, b2, b3 := f.NewBlock(), f.NewBlock(), f.NewBlock(), f.NewBlock()
+	b0.Instrs = []Instr{
+		{Op: OpConstI, Dst: v0, Imm: 7},
+		{Op: OpICmp, Dst: v1, Args: []Value{v0, v0}, Cmp: isa.CmpEQ},
+		{Op: OpCondBr, Args: []Value{v1}, Then: b1.ID, Else: b2.ID, Join: b3.ID},
+	}
+	b1.Instrs = []Instr{
+		{Op: OpAdd, Dst: v2, Args: []Value{v0, v0}},
+		{Op: OpBr, Target: b3.ID},
+	}
+	b2.Instrs = []Instr{
+		{Op: OpAdd, Dst: v3, Args: []Value{v0, v0}},
+		{Op: OpBr, Target: b3.ID},
+	}
+	b3.Instrs = []Instr{
+		{Op: OpMul, Dst: v4, Args: []Value{v0, v0}},
+		{Op: OpRet},
+	}
+	if err := Verify(f); err != nil {
+		t.Fatalf("Verify rejected a legal dominating definition: %v", err)
+	}
+}
+
+// TestVerifyRejectsLoopCarriedFirstUse checks the loop shape: a value
+// whose only definition is inside the loop body cannot be used at the
+// loop head (the first iteration arrives from the preheader without a
+// definition).
+func TestVerifyRejectsLoopCarriedFirstUse(t *testing.T) {
+	f := NewFunc("bad_loop_carried_use")
+	v0 := f.NewValue(I32)  // defined in entry
+	v1 := f.NewValue(Bool) // loop condition
+	v2 := f.NewValue(I32)  // defined only in the body, used at the head
+	b0, b1, b2, b3 := f.NewBlock(), f.NewBlock(), f.NewBlock(), f.NewBlock()
+	b0.Instrs = []Instr{
+		{Op: OpConstI, Dst: v0, Imm: 3},
+		{Op: OpBr, Target: b1.ID},
+	}
+	b1.Instrs = []Instr{ // head: uses v2 before any body execution
+		{Op: OpICmp, Dst: v1, Args: []Value{v2, v0}, Cmp: isa.CmpLT},
+		{Op: OpCondBr, Args: []Value{v1}, Then: b2.ID, Else: b3.ID, Join: b3.ID},
+	}
+	b2.Instrs = []Instr{ // body: the only definition of v2
+		{Op: OpAdd, Dst: v2, Args: []Value{v0, v0}},
+		{Op: OpBr, Target: b1.ID},
+	}
+	b3.Instrs = []Instr{{Op: OpRet}}
+	if err := Verify(f); err == nil {
+		t.Fatalf("Verify accepted a loop whose head uses a body-only definition on the first iteration")
+	}
+}

@@ -110,6 +110,68 @@ const AuxW64 = 0x10
 // W64 reports whether an integer ALU instruction operates on 64 bits.
 func (in *Instr) W64() bool { return in.Aux&AuxW64 != 0 }
 
+// ImmSrcIndex returns the source-operand index the immediate form
+// replaces for this opcode, mirroring the simulator's operand routing,
+// or -1 when the opcode has no immediate-replaceable register operand
+// (memory-op immediates are address offsets, not operand substitutes).
+func (o Opcode) ImmSrcIndex() int {
+	switch o {
+	case MOV, I2F, F2I:
+		return 0
+	case IADD, IMUL, IMNMX, SHL, SHR, AND, OR, XOR, SETP, SEL, FADD, FMUL, FSETP:
+		return 1
+	case IADD3, IMAD, FFMA:
+		return 2
+	}
+	return -1
+}
+
+// numSrcRegs is the number of register source operands each opcode reads
+// in its register form (before immediate substitution).
+func (o Opcode) numSrcRegs() int {
+	switch o {
+	case MOV, I2F, F2I, MUFU, LDG, LDS, LDL, LDC, MALLOC, FREE:
+		return 1
+	case IADD, IMUL, IMNMX, SHL, SHR, AND, OR, XOR, SETP, SEL,
+		FADD, FMUL, FSETP, STG, STS, STL, ATOMG, ATOMS:
+		return 2
+	case IADD3, IMAD, FFMA:
+		return 3
+	}
+	return 0
+}
+
+// SrcRegs appends the register sources the instruction actually reads
+// (honouring the immediate form, which replaces one register operand)
+// and returns the extended slice. RZ sources are included: RZ reads as
+// zero but is still routed through the operand collectors.
+func (in *Instr) SrcRegs(buf []Reg) []Reg {
+	n := in.Op.numSrcRegs()
+	imm := -1
+	if in.HasImm {
+		imm = in.Op.ImmSrcIndex()
+	}
+	for i := 0; i < n; i++ {
+		if i == imm {
+			continue
+		}
+		buf = append(buf, in.Src[i])
+	}
+	return buf
+}
+
+// WritesDst reports whether the instruction writes its Dst register (as
+// opposed to using the field for a predicate destination, or not
+// producing a register result at all).
+func (in *Instr) WritesDst() bool {
+	switch in.Op {
+	case SETP, FSETP, BRA, SSY, SYNC, BAR, EXIT, NOP, TRAP, FREE,
+		STG, STS, STL:
+		return false
+	}
+	return true
+}
+
 // AccSize returns the access size in bytes for memory opcodes.
 func (in *Instr) AccSize() uint64 { return uint64(1) << (in.Aux & 0x7) }
 
@@ -226,6 +288,10 @@ type Program struct {
 	// NumParams is the number of kernel parameters; parameter i is read
 	// from constant bank word ParamBase+i.
 	NumParams int
+	// ParamPtrs marks which parameters are pointers (tagged under LMI
+	// compilation); static analyses use it to classify LDC parameter
+	// loads. nil means unknown (hand-built programs).
+	ParamPtrs []bool
 	// StackPtrConst is the constant-bank word index holding the
 	// per-thread stack top (SASS convention c[0x0][0x28], paper Fig. 7).
 	StackPtrConst int

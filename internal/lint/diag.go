@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"fmt"
+
+	"lmi/internal/isa"
+)
+
+// Kind classifies a contract violation.
+type Kind int
+
+// Diagnostic kinds, one per clause of the LMI microcode contract.
+const (
+	// KindMissingHint: an integer ALU instruction manipulates a tagged
+	// pointer but carries no Activation hint — the OCU never verifies
+	// the operation (a hardware false negative, §VI-B).
+	KindMissingHint Kind = iota
+	// KindSpuriousHint: an instruction carries an Activation hint but
+	// its selected operand is not a tagged pointer (or the opcode is not
+	// a pointer-handling one) — the OCU would "verify", and potentially
+	// corrupt, an integer value.
+	KindSpuriousHint
+	// KindUntracedAddress: a memory instruction's address register
+	// cannot be traced to a tagged allocation (parameter, malloc, or
+	// tagged stack/shared base).
+	KindUntracedAddress
+	// KindExtentLeak: extent material flows through untagged arithmetic
+	// other than the trusted tagging sequence, or a pointer/extent value
+	// escapes to memory (the §VI-A pointer-store ban, re-checked at the
+	// SASS level).
+	KindExtentLeak
+	// KindMissingNullify: a path reaches EXIT with a freed pointer whose
+	// extent was never nullified (§VIII).
+	KindMissingNullify
+	// KindDifferential: the register-level dataflow, the IR-level
+	// pointer-operand facts, and the emitted hint bits disagree about an
+	// instruction — one of the analyses (or a tampered program) is
+	// wrong.
+	KindDifferential
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindMissingHint:
+		return "missing-hint"
+	case KindSpuriousHint:
+		return "spurious-hint"
+	case KindUntracedAddress:
+		return "untraced-address"
+	case KindExtentLeak:
+		return "extent-leak"
+	case KindMissingNullify:
+		return "missing-nullify"
+	case KindDifferential:
+		return "differential"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// MarshalText implements encoding.TextMarshaler so JSON output carries
+// the kind name rather than its ordinal.
+func (k Kind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// Diag is one typed diagnostic anchored to an instruction.
+type Diag struct {
+	// Kind classifies the violation.
+	Kind Kind `json:"kind"`
+	// Instr is the instruction index within the program.
+	Instr int `json:"instr"`
+	// Op is the offending instruction's opcode mnemonic.
+	Op string `json:"op"`
+	// Reg is the register the violation is about (the untraced address,
+	// the leaking pointer, the non-nullified freed pointer); RZ when the
+	// violation is not about a specific register.
+	Reg isa.Reg `json:"reg"`
+	// Detail is the human-readable explanation.
+	Detail string `json:"detail"`
+}
+
+// String renders the diagnostic one-per-line style.
+func (d Diag) String() string {
+	return fmt.Sprintf("instr %d (%s): %s: %s", d.Instr, d.Op, d.Kind, d.Detail)
+}

@@ -1,0 +1,38 @@
+// Package lint statically verifies the LMI microcode contract over
+// lowered isa.Programs: an abstract interpreter dataflows a per-register
+// lattice (data / untagged address / extent material / tagged pointer /
+// freed / nullified) through the SASS-like instruction stream, joining
+// at branch targets until fixpoint, and reports typed diagnostics for
+// every violation of the invariants the paper's Correct-by-Construction
+// argument (§VI) rests on:
+//
+//   - KindMissingHint — an integer ALU instruction manipulates a tagged
+//     pointer without the Activation hint (microcode bit 28), so the OCU
+//     never verifies it (a hardware false negative, §VI-B);
+//   - KindSpuriousHint — an instruction carries an Activation hint whose
+//     S-selected operand (bit 27) is not a tagged pointer, so the OCU
+//     would "verify", and corrupt, an integer;
+//   - KindUntracedAddress — a memory instruction's address register
+//     cannot be traced to a tagged allocation (kernel parameter, MALLOC
+//     result, or tagged stack/shared base);
+//   - KindExtentLeak — extent bits flow through untagged arithmetic
+//     outside the trusted tagging sequence, or a pointer escapes to
+//     memory (the §VI-A pointer-store ban, re-checked at the SASS level
+//     rather than trusting the IR analysis);
+//   - KindMissingNullify — a path reaches EXIT holding a freed pointer
+//     whose extent was never nullified (§VIII);
+//   - KindDifferential — the IR-level compiler.Facts, the emitted hint
+//     bits, and the linter's own register-level dataflow disagree about
+//     an instruction (CheckWithSource only).
+//
+// The trusted unhinted codegen idioms are recognised structurally:
+// pointer generation MOV #e; SHL #59; OR (§IV-A2), pointer destruction
+// SHL #5; SHR #5 (§VIII), and the prologue's stack-pointer setup from
+// c[0x0][0x28]. Everything else that touches a pointer must be hinted.
+//
+// Check runs the register-level analysis alone; CheckWithSource also
+// cross-checks the per-instruction fact provenance recorded by
+// compiler.CompileWithSourceMap. The cmd/lmi-lint command applies the
+// checks to every in-tree kernel, and scripts/check.sh enforces a clean
+// report on every build.
+package lint

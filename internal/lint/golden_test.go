@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"testing"
+
+	"lmi/internal/apps"
+	"lmi/internal/compiler"
+	"lmi/internal/ir"
+	"lmi/internal/workloads"
+)
+
+// TestGoldenAllKernels is the hint-preservation invariant: every in-tree
+// kernel — the full Table V workload suite and every app — must lint
+// clean in both compilation modes, both before and after the peephole
+// optimizer. Any future lowering or optimizer change that drops,
+// misplaces, or fabricates a hint fails here.
+func TestGoldenAllKernels(t *testing.T) {
+	var kernels []*ir.Func
+	for _, s := range workloads.All() {
+		f, err := s.Kernel()
+		if err != nil {
+			t.Fatalf("%s: kernel: %v", s.Name, err)
+		}
+		kernels = append(kernels, f)
+	}
+	kernels = append(kernels, apps.All()...)
+
+	for _, f := range kernels {
+		for _, mode := range []compiler.Mode{compiler.ModeBase, compiler.ModeLMI} {
+			p, src, err := compiler.CompileWithSourceMap(f, mode)
+			if err != nil {
+				t.Fatalf("%s/%s: compile: %v", f.Name, mode, err)
+			}
+			// Pre-optimization, with the differential fact cross-check.
+			if diags := CheckWithSource(p, mode, src); len(diags) != 0 {
+				t.Errorf("%s/%s: %d diagnostics on clean compile:", f.Name, mode, len(diags))
+				for _, d := range diags {
+					t.Errorf("  %s", d)
+				}
+			}
+			// Post-optimization (the source map no longer lines up, so
+			// the register-level analysis stands alone).
+			opt := compiler.Optimize(p)
+			if diags := Check(opt, mode); len(diags) != 0 {
+				t.Errorf("%s/%s: %d diagnostics after Optimize:", f.Name, mode, len(diags))
+				for _, d := range diags {
+					t.Errorf("  %s", d)
+				}
+			}
+		}
+	}
+}

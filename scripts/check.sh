@@ -29,6 +29,13 @@ go test ./...
 echo "== go test -race -timeout 45m $short ./..."
 go test -race -timeout 45m $short ./...
 
+# Static contract verification: every workload and app kernel, in both
+# modes, pre- and post-optimizer, must satisfy the LMI microcode
+# contract (hint placement, address tracing, extent containment,
+# free-path nullification). Nonzero exit on any diagnostic.
+echo "== lmi-lint -all"
+go run ./cmd/lmi-lint -all
+
 # Chaos determinism smoke: the fault-injection campaign must render
 # byte-identical reports regardless of worker count — any divergence
 # means a scheduling-order dependence crept into the engine.
