@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint check check-short bench
+.PHONY: build test race vet lint check check-short bench serve soak
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,17 @@ check:
 # Same gate with the slow Fig. 12/13 race sweeps skipped.
 check-short:
 	scripts/check.sh -short
+
+# The hardened simulation service (POST /run, GET /healthz /readyz
+# /stats; graceful drain on SIGTERM with a JSON shutdown report).
+serve:
+	$(GO) run ./cmd/lmi-serve -addr :8080
+
+# The chaos soak: a seeded request stream replayed through the serving
+# state machines on a virtual timeline; nonzero exit on any robustness
+# violation (also part of the check gate).
+soak:
+	$(GO) run ./cmd/lmi-serve -soak -v
 
 # The evaluation benchmarks; LMI_BENCH_JSON=. also writes BENCH_*.json
 # trajectory points for the fig01/fig12/fig13 sweeps.

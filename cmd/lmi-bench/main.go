@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"os"
 
+	"lmi/internal/cliutil"
 	"lmi/internal/experiments"
 	"lmi/internal/hwcost"
 	"lmi/internal/runner"
@@ -39,10 +40,13 @@ func main() {
 	table := flag.Int("table", 0, "table to regenerate (1, 2, 3, 4, 5, 6)")
 	all := flag.Bool("all", false, "regenerate everything")
 	sms := flag.Int("sms", experiments.DefaultSimSMs, "simulated SM count (Table IV machine is 80)")
-	jobs := flag.Int("jobs", 0, "simulation worker pool size (0 = GOMAXPROCS or $LMI_JOBS)")
+	jobs := flag.Int("jobs", 0, "simulation worker pool size, >= 1 (omit for GOMAXPROCS or $LMI_JOBS)")
 	timing := flag.Bool("timing", false, "print each sweep's per-run timing report to stderr")
 	jsonPath := flag.String("json", "", "write the runner reports to this file as JSON")
 	flag.Parse()
+	cliutil.ValidateOrExit("lmi-bench", flag.CommandLine,
+		cliutil.Check{Name: "sms", Value: *sms},
+		cliutil.Check{Name: "jobs", Value: *jobs, AutoZero: true})
 
 	cfg := sim.ScaledConfig(*sms)
 	var failed []string

@@ -25,6 +25,7 @@ import (
 	"os"
 
 	"lmi/internal/apps"
+	"lmi/internal/cliutil"
 	"lmi/internal/compiler"
 	"lmi/internal/ir"
 	"lmi/internal/lint"
@@ -53,8 +54,7 @@ func main() {
 	flag.Parse()
 
 	if !*all && *bench == "" {
-		fmt.Fprintln(os.Stderr, "lmi-lint: need -all or -bench")
-		os.Exit(2)
+		os.Exit(cliutil.Usage("lmi-lint", cliutil.Errorf("lmi-lint", "need -all or -bench")))
 	}
 
 	var modes []compiler.Mode
@@ -66,8 +66,7 @@ func main() {
 	case "both":
 		modes = []compiler.Mode{compiler.ModeBase, compiler.ModeLMI}
 	default:
-		fmt.Fprintf(os.Stderr, "lmi-lint: unknown mode %q\n", *modeFlag)
-		os.Exit(2)
+		os.Exit(cliutil.Usage("lmi-lint", cliutil.Errorf("lmi-lint", "unknown mode %q", *modeFlag)))
 	}
 
 	targets, err := gather(*all, *bench)

@@ -28,6 +28,7 @@ import (
 	"os"
 
 	"lmi/internal/chaos"
+	"lmi/internal/cliutil"
 	"lmi/internal/sectest"
 )
 
@@ -36,8 +37,11 @@ func main() {
 	chaosMode := flag.Bool("chaos", false, "run the fault-injection campaign instead of Table III")
 	seed := flag.Uint64("seed", 1, "chaos campaign master seed")
 	trials := flag.Int("trials", 6, "chaos trials per (mechanism, kind) cell")
-	jobs := flag.Int("jobs", 0, "chaos worker count (0 = GOMAXPROCS; output is identical for any value)")
+	jobs := flag.Int("jobs", 0, "chaos worker count, >= 1 (omit for GOMAXPROCS; output is identical for any value)")
 	flag.Parse()
+	cliutil.ValidateOrExit("lmi-sec", flag.CommandLine,
+		cliutil.Check{Name: "trials", Value: *trials},
+		cliutil.Check{Name: "jobs", Value: *jobs, AutoZero: true})
 
 	if *chaosMode {
 		rep, err := chaos.Campaign{Seed: *seed, Trials: *trials, Workers: *jobs}.

@@ -1,0 +1,128 @@
+// Command lmi-serve hosts the simulation stack as a hardened
+// long-running service, or replays the chaos soak against the same
+// serving state machines.
+//
+// Usage:
+//
+//	lmi-serve -addr :8080                 # serve HTTP (POST /run, GET /healthz /readyz /stats)
+//	lmi-serve -soak                       # 200-request seeded chaos soak, virtual time
+//	lmi-serve -soak -seed 7 -requests 500 # bigger soak, chosen seed
+//	lmi-serve -soak -jobs 1               # single precompute worker (same report)
+//	lmi-serve -soak -v                    # plus the per-request log
+//
+// The soak report depends only on -seed and -requests: it is
+// byte-identical for any -jobs value, and it exits nonzero if any
+// robustness property is violated (an untyped per-request error, a
+// missing result, an escaped engine panic, an inconsistent breaker
+// log). The live server drains gracefully on SIGTERM/SIGINT: it stops
+// accepting, finishes everything in flight, and flushes a JSON
+// shutdown report to stdout.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lmi/internal/cliutil"
+	"lmi/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address for serve mode")
+	soak := flag.Bool("soak", false, "run the chaos soak instead of serving")
+	seed := flag.Uint64("seed", 1, "soak master seed")
+	requests := flag.Int("requests", 200, "soak request count")
+	jobs := flag.Int("jobs", 0, "worker pool size, >= 1 (omit for GOMAXPROCS or $LMI_JOBS)")
+	queue := flag.Int("queue", 64, "admission queue capacity")
+	sms := flag.Int("sms", 1, "simulated SM count per request")
+	verbose := flag.Bool("v", false, "verbose: per-request soak log / serve request log")
+	flag.Parse()
+	cliutil.ValidateOrExit("lmi-serve", flag.CommandLine,
+		cliutil.Check{Name: "requests", Value: *requests},
+		cliutil.Check{Name: "queue", Value: *queue},
+		cliutil.Check{Name: "sms", Value: *sms},
+		cliutil.Check{Name: "jobs", Value: *jobs, AutoZero: true})
+
+	if *soak {
+		os.Exit(runSoak(*seed, *requests, *jobs, *sms, *verbose))
+	}
+	os.Exit(runServe(*addr, *jobs, *queue, *sms, *verbose))
+}
+
+// runSoak replays the seeded chaos stream and renders the
+// deterministic report; nonzero when the robustness contract is
+// violated.
+func runSoak(seed uint64, requests, jobs, sms int, verbose bool) int {
+	rep, err := serve.Soak(context.Background(), serve.SoakConfig{
+		Seed:     seed,
+		Requests: requests,
+		Workers:  jobs,
+		SMs:      sms,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lmi-serve: soak: %v\n", err)
+		return 1
+	}
+	rep.Render(os.Stdout, verbose)
+	if v := rep.Violations(); len(v) > 0 {
+		fmt.Fprintf(os.Stderr, "lmi-serve: soak violated %d robustness properties\n", len(v))
+		return 1
+	}
+	return 0
+}
+
+// runServe hosts the HTTP service until SIGTERM/SIGINT, then drains and
+// flushes the shutdown report.
+func runServe(addr string, jobs, queue, sms int, verbose bool) int {
+	logf := func(string, ...any) {}
+	if verbose {
+		logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	s, err := serve.NewServer(serve.Config{
+		Workers:       jobs,
+		QueueCapacity: queue,
+		SMs:           sms,
+		Logf:          logf,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lmi-serve: %v\n", err)
+		return 1
+	}
+	hs := &http.Server{Addr: addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "lmi-serve: listening on %s\n", addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "lmi-serve: %v: draining\n", sig)
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "lmi-serve: listener failed: %v\n", err)
+		return 1
+	}
+
+	// Stop the listener first (no new connections), then drain the
+	// admission queue and worker pool, then report.
+	shctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_ = hs.Shutdown(shctx)
+	rep := s.Shutdown(shctx)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "lmi-serve: rendering shutdown report: %v\n", err)
+		return 1
+	}
+	return 0
+}

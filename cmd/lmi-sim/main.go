@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"lmi/internal/cliutil"
 	"lmi/internal/isa"
 	"lmi/internal/sim"
 	"lmi/internal/workloads"
@@ -33,6 +34,8 @@ func main() {
 	sms := flag.Int("sms", 4, "simulated SM count")
 	list := flag.Bool("list", false, "list benchmarks")
 	flag.Parse()
+	cliutil.ValidateOrExit("lmi-sim", flag.CommandLine,
+		cliutil.Check{Name: "sms", Value: *sms})
 
 	if *list {
 		for _, s := range workloads.All() {

@@ -81,12 +81,12 @@ type Campaign struct {
 	wrap func(mech string, m sim.Mechanism) sim.Mechanism
 }
 
-// trialConfig is the per-trial simulator configuration: small device,
+// TrialConfig is the per-trial simulator configuration shared by the
+// campaign and the serving layer: a small device (sms <= 0 means 1),
 // hard fault halt, and the cycle-based watchdog detectors armed (the
 // wall-clock detector stays off — its firing point is host-dependent
 // and would break the byte-identical-output guarantee).
-func (c *Campaign) trialConfig() sim.Config {
-	sms := c.SMs
+func TrialConfig(sms int) sim.Config {
 	if sms <= 0 {
 		sms = 1
 	}
@@ -106,6 +106,106 @@ func (c *Campaign) trialConfig() sim.Config {
 type compiledVictims struct {
 	stream *isa.Program
 	oob    *isa.Program
+}
+
+// Injector owns the compiled victim programs and runs individual
+// injection trials on demand. The campaign engine enumerates the full
+// (mechanism, kind) matrix over one; the serving layer replays single
+// injections per request. Compilation happens once in NewInjector, so
+// per-trial cost is pure simulation.
+type Injector struct {
+	defs  []mechDef
+	progs map[string]compiledVictims
+
+	// wrap, when non-nil, post-processes every trial's mechanism before
+	// the device is built. It is the test hook proving the engine
+	// contains misbehaving (panicking) mechanism plug-ins.
+	wrap func(mech string, m sim.Mechanism) sim.Mechanism
+}
+
+// NewInjector compiles the victim kernels for the named mechanisms
+// (nil or empty runs all of lmi, lmi+track, baggybounds, gpushield).
+func NewInjector(mechs []string) (*Injector, error) {
+	defs := mechDefs()
+	if len(mechs) > 0 {
+		want := make(map[string]bool, len(mechs))
+		for _, m := range mechs {
+			want[m] = true
+		}
+		kept := defs[:0]
+		for _, d := range defs {
+			if want[d.name] {
+				kept = append(kept, d)
+			}
+		}
+		defs = kept
+		if len(defs) == 0 {
+			return nil, fmt.Errorf("chaos: no known mechanism in %v", mechs)
+		}
+	}
+	progs := make(map[string]compiledVictims, len(defs))
+	for _, d := range defs {
+		stream, err := compiler.Compile(streamKernel(), d.mode)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: compile stream victim for %s: %w", d.name, err)
+		}
+		oob, err := compiler.Compile(oobKernel(), d.mode)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: compile oob victim for %s: %w", d.name, err)
+		}
+		if d.instrument != nil {
+			stream, oob = d.instrument(stream), d.instrument(oob)
+		}
+		progs[d.name] = compiledVictims{stream: stream, oob: oob}
+	}
+	return &Injector{defs: defs, progs: progs}, nil
+}
+
+// Mechanisms returns the injector's mechanism names in their fixed
+// campaign order.
+func (inj *Injector) Mechanisms() []string {
+	out := make([]string, len(inj.defs))
+	for i, d := range inj.defs {
+		out[i] = d.name
+	}
+	return out
+}
+
+// EligibleKinds returns the injection kinds meaningful for a mechanism,
+// in their fixed campaign order (nil for an unknown mechanism).
+func (inj *Injector) EligibleKinds(mech string) []Kind {
+	for i := range inj.defs {
+		if inj.defs[i].name != mech {
+			continue
+		}
+		var out []Kind
+		for _, k := range Kinds() {
+			if inj.defs[i].eligible(k) {
+				out = append(out, k)
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// RunTrial executes one injection of the given kind against the named
+// mechanism on a fresh device and classifies it. The trial is a pure
+// function of (mech, kind, seed, cfg); ctx bounds the simulation (a
+// cancellation surfaces as a Degraded trial carrying the typed
+// *sim.ContextError). The returned error is non-nil only for an unknown
+// mechanism or an ineligible kind — caller bugs, not trial outcomes.
+func (inj *Injector) RunTrial(ctx context.Context, mech string, kind Kind, seed uint64, cfg sim.Config) (Trial, error) {
+	for i := range inj.defs {
+		if inj.defs[i].name != mech {
+			continue
+		}
+		if !inj.defs[i].eligible(kind) {
+			return Trial{}, fmt.Errorf("chaos: kind %s is not eligible for mechanism %s", kind, mech)
+		}
+		return inj.runTrial(ctx, inj.defs[i], kind, seed, cfg), nil
+	}
+	return Trial{}, fmt.Errorf("chaos: unknown mechanism %q", mech)
 }
 
 // Report is a completed campaign: every trial in enumeration order.
@@ -128,39 +228,11 @@ func (c Campaign) Run(ctx context.Context) (*Report, error) {
 	if trials <= 0 {
 		trials = 6
 	}
-	defs := mechDefs()
-	if len(c.Mechs) > 0 {
-		want := make(map[string]bool, len(c.Mechs))
-		for _, m := range c.Mechs {
-			want[m] = true
-		}
-		kept := defs[:0]
-		for _, d := range defs {
-			if want[d.name] {
-				kept = append(kept, d)
-			}
-		}
-		defs = kept
-		if len(defs) == 0 {
-			return nil, fmt.Errorf("chaos: no known mechanism in %v", c.Mechs)
-		}
+	inj, err := NewInjector(c.Mechs)
+	if err != nil {
+		return nil, err
 	}
-
-	progs := make(map[string]compiledVictims, len(defs))
-	for _, d := range defs {
-		stream, err := compiler.Compile(streamKernel(), d.mode)
-		if err != nil {
-			return nil, fmt.Errorf("chaos: compile stream victim for %s: %w", d.name, err)
-		}
-		oob, err := compiler.Compile(oobKernel(), d.mode)
-		if err != nil {
-			return nil, fmt.Errorf("chaos: compile oob victim for %s: %w", d.name, err)
-		}
-		if d.instrument != nil {
-			stream, oob = d.instrument(stream), d.instrument(oob)
-		}
-		progs[d.name] = compiledVictims{stream: stream, oob: oob}
-	}
+	inj.wrap = c.wrap
 
 	type spec struct {
 		def  mechDef
@@ -168,7 +240,7 @@ func (c Campaign) Run(ctx context.Context) (*Report, error) {
 		rep  int
 	}
 	var specs []spec
-	for _, d := range defs {
+	for _, d := range inj.defs {
 		for _, k := range Kinds() {
 			if !d.eligible(k) {
 				continue
@@ -180,11 +252,12 @@ func (c Campaign) Run(ctx context.Context) (*Report, error) {
 	}
 
 	rep := &Report{Seed: c.Seed, TrialsPerCell: trials, Trials: make([]Trial, len(specs))}
-	cfg := c.trialConfig()
+	cfg := TrialConfig(c.SMs)
 	errs := runner.ForEach(ctx, len(specs), c.Workers, func(i int) error {
 		sp := specs[i]
-		rep.Trials[i] = c.runTrial(i, sp.def, sp.kind, sp.rep,
-			mixSeed(c.Seed, uint64(i)), cfg, progs[sp.def.name])
+		tr := inj.runTrial(ctx, sp.def, sp.kind, MixSeed(c.Seed, uint64(i)), cfg)
+		tr.Index, tr.Rep = i, sp.rep
+		rep.Trials[i] = tr
 		return nil
 	})
 	for i, err := range errs {
@@ -197,8 +270,8 @@ func (c Campaign) Run(ctx context.Context) (*Report, error) {
 		sp := specs[i]
 		rep.Trials[i] = Trial{
 			Index: i, Mech: sp.def.name, Kind: sp.kind, Rep: sp.rep,
-			Seed: mixSeed(c.Seed, uint64(i)), Outcome: OutcomeDegraded,
-			Detail: err.Error(),
+			Seed: MixSeed(c.Seed, uint64(i)), Outcome: OutcomeDegraded,
+			Detail: err.Error(), Err: err,
 		}
 	}
 	return rep, ctx.Err()
@@ -213,17 +286,23 @@ func withDetail(base, extra string) string {
 }
 
 // runTrial executes one injection on a fresh device and classifies it.
-func (c *Campaign) runTrial(index int, def mechDef, kind Kind, repN int,
-	seed uint64, cfg sim.Config, progs compiledVictims) (tr Trial) {
-	tr = Trial{Index: index, Mech: def.name, Kind: kind, Rep: repN, Seed: seed}
-	degraded := func(detail string) Trial {
-		tr.Outcome, tr.Detail = OutcomeDegraded, withDetail(tr.Detail, detail)
+// The caller fills in Index and Rep; everything else is derived from
+// (def, kind, seed, cfg) alone.
+func (inj *Injector) runTrial(ctx context.Context, def mechDef, kind Kind,
+	seed uint64, cfg sim.Config) (tr Trial) {
+	progs := inj.progs[def.name]
+	tr = Trial{Mech: def.name, Kind: kind, Seed: seed}
+	degraded := func(detail string, cause error) Trial {
+		if cause == nil {
+			cause = errors.New(detail)
+		}
+		tr.Outcome, tr.Detail, tr.Err = OutcomeDegraded, withDetail(tr.Detail, detail), cause
 		return tr
 	}
 	r := newRNG(seed)
 	mech := def.make()
-	if c.wrap != nil {
-		mech = c.wrap(def.name, mech)
+	if inj.wrap != nil {
+		mech = inj.wrap(def.name, mech)
 	}
 	var ocu *ocuMisdecode
 	if kind == KindOCUMisdecode {
@@ -232,20 +311,20 @@ func (c *Campaign) runTrial(index int, def mechDef, kind Kind, repN int,
 	}
 	dev, err := sim.NewDevice(cfg, mech)
 	if err != nil {
-		return degraded("device: " + err.Error())
+		return degraded("device: "+err.Error(), err)
 	}
 
 	if kind == KindAllocExhaust {
-		return c.exhaustTrial(tr, dev, r, progs)
+		return inj.exhaustTrial(ctx, tr, dev, r, progs)
 	}
 
 	inPtr, err := dev.Malloc(victimBufBytes)
 	if err != nil {
-		return degraded("malloc in: " + err.Error())
+		return degraded("malloc in: "+err.Error(), err)
 	}
 	outPtr, err := dev.Malloc(victimBufBytes)
 	if err != nil {
-		return degraded("malloc out: " + err.Error())
+		return degraded("malloc out: "+err.Error(), err)
 	}
 	dev.WriteGlobal(inPtr, streamInput())
 
@@ -290,7 +369,7 @@ func (c *Campaign) runTrial(index int, def mechDef, kind Kind, repN int,
 		prog, oobVictim = progs.oob, true
 	case KindFreeSkipNullify:
 		if err := dev.Free(outPtr); err != nil {
-			return degraded("free: " + err.Error())
+			return degraded("free: "+err.Error(), err)
 		}
 		tr.Detail = "buffer freed, extent nullification skipped, stale tagged pointer launched"
 	}
@@ -299,14 +378,15 @@ func (c *Campaign) runTrial(index int, def mechDef, kind Kind, repN int,
 	if oobVictim {
 		params = []uint64{outParam}
 	}
-	st, lerr := dev.Launch(prog, 1, victimThreads, params)
+	st, lerr := dev.LaunchCtx(ctx, prog, 1, victimThreads, params)
 	if ocu != nil {
 		tr.InjectCycle = ocu.injectCycle
 		tr.Detail = fmt.Sprintf("OCU misdecoded %d of %d pointer checks", ocu.skips, ocu.calls)
 	}
 	if lerr != nil {
-		return degraded("launch: " + lerr.Error())
+		return degraded("launch: "+lerr.Error(), lerr)
 	}
+	tr.Cycles = st.Cycles
 	if len(st.Faults) > 0 {
 		tr.HasFault, tr.FaultCycle = true, st.Faults[0].Cycle
 		obs := "fault: " + st.Faults[0].String()
@@ -322,14 +402,14 @@ func (c *Campaign) runTrial(index int, def mechDef, kind Kind, repN int,
 		return tr
 	}
 	if st.Halted {
-		return degraded("halted without a recorded fault")
+		return degraded("halted without a recorded fault", nil)
 	}
 
 	// Clean completion: classify by the resulting memory state.
 	switch kind {
 	case KindControl:
 		if !streamOutputOK(dev.ReadGlobal(outPtr, victimBufBytes)) {
-			return degraded("control run produced wrong output")
+			return degraded("control run produced wrong output", nil)
 		}
 		tr.Outcome = OutcomeClean
 	case KindFreeSkipNullify:
@@ -360,9 +440,12 @@ func (c *Campaign) runTrial(index int, def mechDef, kind Kind, repN int,
 // exhaustTrial drives the allocator into exhaustion and requires
 // graceful degradation: a plain error (no panic) and a device that
 // still runs a clean kernel afterwards.
-func (c *Campaign) exhaustTrial(tr Trial, dev *sim.Device, r *rng, progs compiledVictims) Trial {
-	degraded := func(detail string) Trial {
-		tr.Outcome, tr.Detail = OutcomeDegraded, withDetail(tr.Detail, detail)
+func (inj *Injector) exhaustTrial(ctx context.Context, tr Trial, dev *sim.Device, r *rng, progs compiledVictims) Trial {
+	degraded := func(detail string, cause error) Trial {
+		if cause == nil {
+			cause = errors.New(detail)
+		}
+		tr.Outcome, tr.Detail, tr.Err = OutcomeDegraded, withDetail(tr.Detail, detail), cause
 		return tr
 	}
 	// Far beyond the 8 GiB global arena, with per-trial variety in the
@@ -376,27 +459,28 @@ func (c *Campaign) exhaustTrial(tr Trial, dev *sim.Device, r *rng, progs compile
 	}
 	var pe *sim.PanicError
 	if errors.As(err, &pe) {
-		return degraded("allocator panicked on exhaustion: " + pe.Error())
+		return degraded("allocator panicked on exhaustion: "+pe.Error(), pe)
 	}
 	tr.Detail = fmt.Sprintf("%d B request refused: %v", size, err)
 
 	// Graceful degradation: the same device must still work.
 	inPtr, err := dev.Malloc(victimBufBytes)
 	if err != nil {
-		return degraded("device wedged after exhaustion: " + err.Error())
+		return degraded("device wedged after exhaustion: "+err.Error(), err)
 	}
 	outPtr, err := dev.Malloc(victimBufBytes)
 	if err != nil {
-		return degraded("device wedged after exhaustion: " + err.Error())
+		return degraded("device wedged after exhaustion: "+err.Error(), err)
 	}
 	dev.WriteGlobal(inPtr, streamInput())
-	st, lerr := dev.Launch(progs.stream, 1, victimThreads, []uint64{inPtr, outPtr})
+	st, lerr := dev.LaunchCtx(ctx, progs.stream, 1, victimThreads, []uint64{inPtr, outPtr})
 	if lerr != nil {
-		return degraded("post-exhaustion launch failed: " + lerr.Error())
+		return degraded("post-exhaustion launch failed: "+lerr.Error(), lerr)
 	}
 	if st.Halted || len(st.Faults) > 0 || !streamOutputOK(dev.ReadGlobal(outPtr, victimBufBytes)) {
-		return degraded("post-exhaustion run unhealthy")
+		return degraded("post-exhaustion run unhealthy", nil)
 	}
+	tr.Cycles = st.Cycles
 	tr.Outcome = OutcomeDetected
 	tr.Detail = withDetail(tr.Detail, "device healthy afterwards")
 	return tr

@@ -148,6 +148,17 @@ type Trial struct {
 	FaultCycle uint64
 	// HasFault reports whether FaultCycle is meaningful.
 	HasFault bool
+	// Cycles is the simulated length of the victim launch when it
+	// produced kernel statistics (completion or halt-on-fault); 0 when
+	// the launch was killed before yielding stats. The serving layer's
+	// virtual-time soak uses it as the request's service cost.
+	Cycles uint64
+	// Err is the underlying runtime error behind a Degraded trial — a
+	// watchdog kill, cycle-limit overrun, recovered panic, or wedged
+	// allocator — preserved with its type so callers (the serving
+	// layer's error classifier) can errors.As on it. Nil for every other
+	// outcome; Detail already carries the human-readable form.
+	Err error
 }
 
 // Latency is the detection latency in cycles: injection to first fault.

@@ -16,10 +16,13 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
-// mixSeed derives a trial's private seed from the campaign seed and the
-// trial's global index.
-func mixSeed(campaignSeed, trialIndex uint64) uint64 {
-	return splitmix64(splitmix64(campaignSeed) ^ splitmix64(trialIndex*0xA24BAED4963EE407+1))
+// MixSeed derives a subordinate seed from a master seed and an index:
+// trial seeds from (campaign seed, trial index), and in the serving
+// layer request seeds from (stream seed, request index) and attempt
+// seeds from (request seed, attempt). The mixing is a pure function, so
+// any derived run is reproducible from the two numbers alone.
+func MixSeed(masterSeed, index uint64) uint64 {
+	return splitmix64(splitmix64(masterSeed) ^ splitmix64(index*0xA24BAED4963EE407+1))
 }
 
 // rng is a tiny splitmix64-based stream.

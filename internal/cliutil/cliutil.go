@@ -1,0 +1,67 @@
+// Package cliutil gives the lmi commands one uniform flag-validation
+// vocabulary, so `-jobs -3`, `-sms 0`, or `-trials -1` fail the same
+// way everywhere — a usage error on stderr and exit status 2 — instead
+// of each tool misbehaving (or panicking deep in the simulator) in its
+// own way.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// Check is one integer flag whose value must be at least 1.
+type Check struct {
+	// Name is the flag name without the dash.
+	Name string
+	// Value is the parsed value.
+	Value int
+	// AutoZero marks flags (the -jobs family) whose zero value is a
+	// documented "pick automatically" sentinel: the check then only
+	// fires when the user passed the flag explicitly.
+	AutoZero bool
+}
+
+// Validate applies the checks against a parsed FlagSet and returns the
+// first violation as a uniform usage error (nil when everything is in
+// range). tool prefixes the message; fs tells explicit flags from
+// untouched defaults.
+func Validate(tool string, fs *flag.FlagSet, checks ...Check) error {
+	explicit := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	for _, c := range checks {
+		if c.Value >= 1 {
+			continue
+		}
+		if c.AutoZero && !explicit[c.Name] {
+			continue
+		}
+		return fmt.Errorf("%s: invalid -%s %d: must be >= 1", tool, c.Name, c.Value)
+	}
+	return nil
+}
+
+// Usage prints a uniform usage error for tool and returns exit status
+// 2 (the conventional flag-error status), leaving the exit itself to
+// the caller so tests can intercept it.
+func Usage(tool string, err error) int {
+	fmt.Fprintf(os.Stderr, "%v\n", err)
+	fmt.Fprintf(os.Stderr, "run '%s -h' for usage\n", tool)
+	return 2
+}
+
+// ValidateOrExit is the main() entry point: validate, and on violation
+// print the uniform usage error and exit 2.
+func ValidateOrExit(tool string, fs *flag.FlagSet, checks ...Check) {
+	if err := Validate(tool, fs, checks...); err != nil {
+		os.Exit(Usage(tool, err))
+	}
+}
+
+// Errorf builds a tool-prefixed usage error for conditions that are
+// not simple minimum checks (missing required flags, unknown enum
+// values), so hand-rolled validations render identically.
+func Errorf(tool, format string, args ...any) error {
+	return fmt.Errorf("%s: %s", tool, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,78 @@
+package cliutil
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+)
+
+// parserFor mirrors how each command declares the flags under test, so
+// the table below exercises the real flag shapes: strict minimums
+// (-sms, -trials) and auto-zero pools (-jobs).
+func parserFor(t *testing.T, args []string) (*flag.FlagSet, []Check) {
+	t.Helper()
+	fs := flag.NewFlagSet("tool", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	sms := fs.Int("sms", 4, "")
+	trials := fs.Int("trials", 6, "")
+	jobs := fs.Int("jobs", 0, "")
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parsing %v: %v", args, err)
+	}
+	return fs, []Check{
+		{Name: "sms", Value: *sms},
+		{Name: "trials", Value: *trials},
+		{Name: "jobs", Value: *jobs, AutoZero: true},
+	}
+}
+
+// TestValidate is the table over the flag parsers: every tool shares
+// these shapes, so one table pins the uniform behaviour.
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string // "" = valid
+	}{
+		{"defaults", nil, ""},
+		{"explicit valid", []string{"-sms", "8", "-trials", "3", "-jobs", "4"}, ""},
+		{"sms zero", []string{"-sms", "0"}, "invalid -sms 0: must be >= 1"},
+		{"sms negative", []string{"-sms", "-2"}, "invalid -sms -2: must be >= 1"},
+		{"trials zero", []string{"-trials", "0"}, "invalid -trials 0: must be >= 1"},
+		{"trials negative", []string{"-trials", "-1"}, "invalid -trials -1: must be >= 1"},
+		{"jobs negative", []string{"-jobs", "-3"}, "invalid -jobs -3: must be >= 1"},
+		{"jobs explicit zero", []string{"-jobs", "0"}, "invalid -jobs 0: must be >= 1"},
+		{"jobs default zero is auto", nil, ""},
+		{"first violation wins", []string{"-sms", "0", "-trials", "0"}, "invalid -sms 0"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs, checks := parserFor(t, tc.args)
+			err := Validate("tool", fs, checks...)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("args %v: unexpected usage error %v", tc.args, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("args %v: accepted, want error containing %q", tc.args, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("args %v: error %q, want it to contain %q", tc.args, err, tc.wantErr)
+			}
+			if !strings.HasPrefix(err.Error(), "tool: ") {
+				t.Fatalf("args %v: error %q lacks the uniform tool prefix", tc.args, err)
+			}
+		})
+	}
+}
+
+// TestErrorf: hand-rolled validations share the same prefix shape.
+func TestErrorf(t *testing.T) {
+	err := Errorf("lmi-lint", "need -all or -bench")
+	if err.Error() != "lmi-lint: need -all or -bench" {
+		t.Fatalf("Errorf = %q", err)
+	}
+}

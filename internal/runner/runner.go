@@ -121,8 +121,10 @@ func (e *PanicError) Error() string {
 
 // runJob executes one job on a fresh device. A panic below (workload
 // construction, compilation, simulation) is recovered into the job's
-// Result.
-func runJob(j Job) (res Result) {
+// Result. The context is threaded into the simulation's watchdog: a
+// cancellation observed mid-kernel aborts the launch with a typed
+// *sim.ContextError instead of letting the job run to MaxCycles.
+func runJob(ctx context.Context, j Job) (res Result) {
 	start := time.Now()
 	defer func() {
 		if r := recover(); r != nil {
@@ -140,7 +142,7 @@ func runJob(j Job) (res Result) {
 			grid = j.Spec.DBIGrid
 		}
 	}
-	st, err := workloads.RunAt(j.Spec, j.Variant, j.Config, grid)
+	st, err := workloads.RunAtCtx(ctx, j.Spec, j.Variant, j.Config, grid)
 	res = Result{Job: j, Stats: st, Err: err, Wall: time.Since(start)}
 	if res.Err == nil && !j.AllowFaults {
 		if ferr := FaultError(j.Name(), st); ferr != nil {
@@ -163,9 +165,10 @@ func RunNamed(name string, jobs []Job, workers int) *Report {
 	return RunNamedCtx(context.Background(), name, jobs, workers)
 }
 
-// RunNamedCtx is RunNamed with cancellation: once ctx is done, workers
-// finish their in-flight job and every not-yet-started job fails with
-// the context's error. Results stay in submission order, so a cancelled
+// RunNamedCtx is RunNamed with cancellation: once ctx is done, in-flight
+// jobs abort mid-kernel at the simulator's watchdog poll (a typed
+// *sim.ContextError) and every not-yet-started job fails with the
+// context's error. Results stay in submission order, so a cancelled
 // report is still well-formed (completed prefix jobs keep their real
 // results).
 func RunNamedCtx(ctx context.Context, name string, jobs []Job, workers int) *Report {
@@ -197,7 +200,7 @@ func RunNamedCtx(ctx context.Context, name string, jobs []Job, workers int) *Rep
 					}
 					continue
 				}
-				rep.Results[i] = runJob(jobs[i])
+				rep.Results[i] = runJob(ctx, jobs[i])
 			}
 		}()
 	}

@@ -1,0 +1,81 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestForEachPanicAfterCancel: the serving layer's soak precompute
+// leans on two ForEach guarantees at once — a job that panics after the
+// context is cancelled still lands as a typed *PanicError for its own
+// index, and indices that never started fail with the context's error
+// instead of running. Neither may take the process down.
+func TestForEachPanicAfterCancel(t *testing.T) {
+	const n, workers = 8, 2
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	started := make(chan int, workers)
+	release := make(chan struct{})
+	done := make(chan []error, 1)
+	go func() {
+		done <- ForEach(ctx, n, workers, func(i int) error {
+			started <- i
+			<-release
+			panic(fmt.Sprintf("item %d exploding after cancel", i))
+		})
+	}()
+	// Both workers are now mid-job; cancel the context underneath them,
+	// then let them panic.
+	<-started
+	<-started
+	cancel()
+	close(release)
+	errs := <-done
+
+	if len(errs) != n {
+		t.Fatalf("got %d errors, want %d", len(errs), n)
+	}
+	var panics, cancelled int
+	for i, err := range errs {
+		var pe *PanicError
+		switch {
+		case errors.As(err, &pe):
+			panics++
+			if !strings.Contains(fmt.Sprint(pe.Value), "exploding after cancel") {
+				t.Errorf("index %d: panic value %v lost", i, pe.Value)
+			}
+			if len(pe.Stack) == 0 {
+				t.Errorf("index %d: panic recovered without a stack", i)
+			}
+		case errors.Is(err, context.Canceled):
+			cancelled++
+		case err == nil:
+			t.Errorf("index %d: nil error; fn can neither succeed nor be skipped silently", i)
+		default:
+			t.Errorf("index %d: untyped error %T: %v", i, err, err)
+		}
+	}
+	if panics != workers {
+		t.Errorf("panics = %d, want %d (one per in-flight worker)", panics, workers)
+	}
+	if cancelled != n-workers {
+		t.Errorf("cancelled = %d, want %d (every index that never started)", cancelled, n-workers)
+	}
+}
+
+// TestForEachPanicErrorIsTyped: a recovered ForEach panic unwraps as
+// *PanicError through wrapping, the contract the serve classifier
+// (terminal, never retried) depends on.
+func TestForEachPanicErrorIsTyped(t *testing.T) {
+	errs := ForEach(context.Background(), 1, 1, func(i int) error {
+		panic("boom")
+	})
+	wrapped := fmt.Errorf("attempt failed: %w", errs[0])
+	var pe *PanicError
+	if !errors.As(wrapped, &pe) {
+		t.Fatalf("wrapped ForEach panic %v does not unwrap to *PanicError", wrapped)
+	}
+}

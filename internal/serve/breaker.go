@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// BreakerState is one circuit-breaker cell's state.
+type BreakerState string
+
+const (
+	// BreakerClosed: requests flow normally; consecutive failures are
+	// counted.
+	BreakerClosed BreakerState = "closed"
+	// BreakerOpen: the cell is in cooldown; requests are rejected
+	// immediately with ErrCircuitOpen.
+	BreakerOpen BreakerState = "open"
+	// BreakerHalfOpen: the cooldown elapsed; single probe requests are
+	// let through to test whether the cell recovered.
+	BreakerHalfOpen BreakerState = "half-open"
+)
+
+// BreakerConfig parameterises the per-(workload, mechanism) breaker.
+type BreakerConfig struct {
+	// FailThreshold opens a closed cell after this many consecutive
+	// failures (default 5).
+	FailThreshold int
+	// Cooldown is how long an open cell rejects before letting a probe
+	// through (default 2s; the soak harness interprets it in virtual
+	// time).
+	Cooldown time.Duration
+	// ProbeSuccesses is how many consecutive successful probes close a
+	// half-open cell again (default 2).
+	ProbeSuccesses int
+}
+
+// withDefaults fills zero fields.
+func (bc BreakerConfig) withDefaults() BreakerConfig {
+	if bc.FailThreshold <= 0 {
+		bc.FailThreshold = 5
+	}
+	if bc.Cooldown <= 0 {
+		bc.Cooldown = 2 * time.Second
+	}
+	if bc.ProbeSuccesses <= 0 {
+		bc.ProbeSuccesses = 2
+	}
+	return bc
+}
+
+// Transition is one recorded breaker state change.
+type Transition struct {
+	// Key is the (workload, mechanism) cell.
+	Key string `json:"key"`
+	// From and To are the states.
+	From BreakerState `json:"from"`
+	To   BreakerState `json:"to"`
+	// At is the service-relative time of the change (virtual time in
+	// the soak harness, elapsed wall time in the live server).
+	At time.Duration `json:"at_ns"`
+	// Cause explains the change.
+	Cause string `json:"cause"`
+}
+
+// breakerCell is one key's state.
+type breakerCell struct {
+	state     BreakerState
+	streak    int // consecutive failures while closed
+	openUntil time.Duration
+	probing   bool // a half-open probe is in flight
+	probeOK   int  // consecutive successful probes
+}
+
+// Breaker is a per-key circuit breaker (closed → open → half-open →
+// closed). Time arrives as a service-relative time.Duration so the
+// same machine runs under the live clock and the soak harness's
+// virtual clock; all transitions are recorded for the reports. Safe
+// for concurrent use.
+type Breaker struct {
+	mu    sync.Mutex
+	cfg   BreakerConfig
+	cells map[string]*breakerCell
+	trans []Transition
+}
+
+// NewBreaker builds a breaker; zero config fields take defaults.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults(), cells: make(map[string]*breakerCell)}
+}
+
+// cell returns the key's cell, creating it closed.
+func (b *Breaker) cell(key string) *breakerCell {
+	c := b.cells[key]
+	if c == nil {
+		c = &breakerCell{state: BreakerClosed}
+		b.cells[key] = c
+	}
+	return c
+}
+
+// transition records a state change.
+func (b *Breaker) transition(key string, c *breakerCell, to BreakerState, now time.Duration, cause string) {
+	b.trans = append(b.trans, Transition{Key: key, From: c.state, To: to, At: now, Cause: cause})
+	c.state = to
+}
+
+// Allow reports whether a request for key may execute at the given
+// time. An open cell whose cooldown elapsed moves to half-open and
+// admits exactly one probe at a time.
+func (b *Breaker) Allow(key string, now time.Duration) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := b.cell(key)
+	switch c.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if now < c.openUntil {
+			return false
+		}
+		b.transition(key, c, BreakerHalfOpen, now, "cooldown elapsed; probing")
+		c.probing, c.probeOK = true, 0
+		return true
+	case BreakerHalfOpen:
+		if c.probing {
+			return false // one probe in flight at a time
+		}
+		c.probing = true
+		return true
+	}
+	return false
+}
+
+// Record folds one execution outcome for key into the breaker state.
+func (b *Breaker) Record(key string, now time.Duration, success bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := b.cell(key)
+	switch c.state {
+	case BreakerClosed:
+		if success {
+			c.streak = 0
+			return
+		}
+		c.streak++
+		if c.streak >= b.cfg.FailThreshold {
+			b.transition(key, c, BreakerOpen, now,
+				fmt.Sprintf("%d consecutive failures", c.streak))
+			c.streak = 0
+			c.openUntil = now + b.cfg.Cooldown
+		}
+	case BreakerHalfOpen:
+		c.probing = false
+		if !success {
+			b.transition(key, c, BreakerOpen, now, "probe failed")
+			c.openUntil = now + b.cfg.Cooldown
+			c.probeOK = 0
+			return
+		}
+		c.probeOK++
+		if c.probeOK >= b.cfg.ProbeSuccesses {
+			b.transition(key, c, BreakerClosed, now,
+				fmt.Sprintf("%d probe successes", c.probeOK))
+			c.probeOK, c.streak = 0, 0
+		}
+	case BreakerOpen:
+		// A late result from a request admitted before the cell opened;
+		// the cooldown already accounts for the failure burst.
+	}
+}
+
+// Transitions returns a copy of the recorded state changes in order.
+func (b *Breaker) Transitions() []Transition {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Transition, len(b.trans))
+	copy(out, b.trans)
+	return out
+}
+
+// Snapshot returns the current state per key, sorted by key (for
+// /stats and shutdown reports).
+func (b *Breaker) Snapshot() map[string]BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]BreakerState, len(b.cells))
+	for k, c := range b.cells {
+		out[k] = c.state
+	}
+	return out
+}
+
+// SortedKeys returns the snapshot keys in deterministic order.
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+
+	"lmi/internal/chaos"
+	"lmi/internal/workloads"
+)
+
+// variantByName maps the serving API's mechanism names for plain
+// benchmark runs onto workload variants (the same vocabulary lmi-sim
+// uses).
+var variantByName = map[string]workloads.Variant{
+	"baseline":    workloads.VariantBase,
+	"lmi":         workloads.VariantLMI,
+	"gpushield":   workloads.VariantGPUShield,
+	"baggybounds": workloads.VariantBaggy,
+	"lmi-dbi":     workloads.VariantLMIDBI,
+	"memcheck":    workloads.VariantMemcheck,
+}
+
+// Outcome is one execution attempt's result.
+type Outcome struct {
+	// Err is nil on success, else a typed error (see Classify).
+	Err error
+	// Cycles is the simulated launch length when stats were produced.
+	Cycles uint64
+	// Outcome is the chaos classification for injection attempts.
+	Outcome chaos.Outcome
+	// Detail describes what happened.
+	Detail string
+}
+
+// Executor runs one request attempt on the simulation stack. It is
+// stateless across requests (every attempt gets a fresh device), so it
+// is safe for concurrent use by the worker pool, and every attempt is
+// a pure function of (request, seed) — the property the soak harness's
+// determinism rests on.
+type Executor struct {
+	inj *chaos.Injector
+	sms int
+}
+
+// NewExecutor builds an executor whose chaos victims are compiled once
+// up front. sms sizes the simulated device for requests that do not
+// specify their own (<= 0 means 1).
+func NewExecutor(sms int) (*Executor, error) {
+	inj, err := chaos.NewInjector(nil)
+	if err != nil {
+		return nil, err
+	}
+	if sms <= 0 {
+		sms = 1
+	}
+	return &Executor{inj: inj, sms: sms}, nil
+}
+
+// Injector exposes the underlying chaos injector (the soak stream
+// generator uses its mechanism/kind tables).
+func (e *Executor) Injector() *chaos.Injector { return e.inj }
+
+// Validate rejects malformed requests with ErrBadRequest before they
+// consume queue capacity or a worker.
+func (e *Executor) Validate(req Request) error {
+	if req.SMs < 0 {
+		return fmt.Errorf("%w: sms %d must be >= 1", ErrBadRequest, req.SMs)
+	}
+	if req.Workload == "" {
+		kind := req.Kind
+		if kind == "" {
+			kind = chaos.KindControl
+		}
+		kinds := e.inj.EligibleKinds(req.Mechanism)
+		if kinds == nil {
+			return fmt.Errorf("%w: unknown mechanism %q", ErrBadRequest, req.Mechanism)
+		}
+		for _, k := range kinds {
+			if k == kind {
+				return nil
+			}
+		}
+		return fmt.Errorf("%w: injection kind %q not eligible for mechanism %q",
+			ErrBadRequest, kind, req.Mechanism)
+	}
+	if workloads.ByName(req.Workload) == nil {
+		return fmt.Errorf("%w: unknown workload %q", ErrBadRequest, req.Workload)
+	}
+	if _, ok := variantByName[req.Mechanism]; !ok {
+		return fmt.Errorf("%w: unknown variant %q", ErrBadRequest, req.Mechanism)
+	}
+	if req.Kind != "" && req.Kind != chaos.KindControl {
+		return fmt.Errorf("%w: injections run on the chaos victims; drop the workload field", ErrBadRequest)
+	}
+	return nil
+}
+
+// Execute runs one attempt. seed is the attempt's private seed (derived
+// from the request seed and the attempt number by the retry loop); ctx
+// carries the attempt deadline into the simulator's watchdog.
+func (e *Executor) Execute(ctx context.Context, req Request, seed uint64) Outcome {
+	if err := e.Validate(req); err != nil {
+		return Outcome{Err: err, Detail: err.Error()}
+	}
+	if req.Workload == "" {
+		return e.executeChaos(ctx, req, seed)
+	}
+	return e.executeBench(ctx, req)
+}
+
+// executeChaos replays one chaos injection as a request.
+func (e *Executor) executeChaos(ctx context.Context, req Request, seed uint64) Outcome {
+	kind := req.Kind
+	if kind == "" {
+		kind = chaos.KindControl
+	}
+	sms := req.SMs
+	if sms == 0 {
+		sms = e.sms
+	}
+	tr, err := e.inj.RunTrial(ctx, req.Mechanism, kind, seed, chaos.TrialConfig(sms))
+	if err != nil {
+		return Outcome{Err: fmt.Errorf("%w: %v", ErrBadRequest, err), Detail: err.Error()}
+	}
+	out := Outcome{Cycles: tr.Cycles, Outcome: tr.Outcome, Detail: tr.Detail}
+	switch tr.Outcome {
+	case chaos.OutcomeDetected, chaos.OutcomeTolerated, chaos.OutcomeClean:
+		// The service did its job: the injection was surfaced or was
+		// architecturally benign, and the run's memory state is sound.
+	case chaos.OutcomeMissed:
+		out.Err = fmt.Errorf("%w: %s", ErrSilentCorruption, tr.Detail)
+	case chaos.OutcomeFalsePositive:
+		out.Err = fmt.Errorf("%w: %s", ErrFalsePositive, tr.Detail)
+	case chaos.OutcomeDegraded:
+		// Keep the underlying typed error: watchdog kills and context
+		// deadlines classify as retryable, panics and wedged devices as
+		// terminal.
+		out.Err = tr.Err
+		if out.Err == nil {
+			out.Err = fmt.Errorf("%w: %s", ErrEngineDegraded, tr.Detail)
+		} else if Classify(out.Err) == ClassTerminal {
+			out.Err = fmt.Errorf("%w: %v", ErrEngineDegraded, out.Err)
+		}
+	default:
+		out.Err = fmt.Errorf("%w: unclassified trial outcome %q", ErrEngineDegraded, tr.Outcome)
+	}
+	return out
+}
+
+// executeBench runs one plain benchmark attempt.
+func (e *Executor) executeBench(ctx context.Context, req Request) Outcome {
+	s := workloads.ByName(req.Workload)
+	v := variantByName[req.Mechanism]
+	sms := req.SMs
+	if sms == 0 {
+		sms = e.sms
+	}
+	cfg := chaos.TrialConfig(sms)
+	st, err := workloads.RunAtCtx(ctx, s, v, cfg, s.LaunchGrid(v))
+	if err != nil {
+		return Outcome{Err: err, Detail: err.Error()}
+	}
+	out := Outcome{Cycles: st.Cycles}
+	switch {
+	case len(st.Faults) > 0:
+		out.Err = fmt.Errorf("%w: %v", ErrSafetyViolation, st.Faults[0])
+		out.Detail = out.Err.Error()
+	case st.Halted:
+		out.Err = fmt.Errorf("%w: kernel halted with no recorded fault", ErrEngineDegraded)
+		out.Detail = out.Err.Error()
+	default:
+		out.Detail = fmt.Sprintf("completed in %d cycles", st.Cycles)
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"lmi/internal/runner"
+	"lmi/internal/sim"
+)
+
+// TestClassify pins the retry classification of every failure family
+// the serving layer can see.
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want Class
+	}{
+		{"nil", nil, ClassOK},
+		{"watchdog", &sim.WatchdogError{Kernel: "k", Kind: sim.WatchdogWallClock}, ClassRetryable},
+		{"wrapped watchdog", fmt.Errorf("attempt: %w", &sim.WatchdogError{Kernel: "k"}), ClassRetryable},
+		{"cycle limit", &sim.CycleLimitError{Kernel: "k", Limit: 10}, ClassRetryable},
+		{"ctx deadline", &sim.ContextError{Kernel: "k", Err: context.DeadlineExceeded}, ClassRetryable},
+		{"bare deadline", fmt.Errorf("virtual: %w", context.DeadlineExceeded), ClassRetryable},
+		{"ctx cancel", &sim.ContextError{Kernel: "k", Err: context.Canceled}, ClassTerminal},
+		{"sim panic", &sim.PanicError{Op: "launch", Value: "boom"}, ClassTerminal},
+		{"runner panic", &runner.PanicError{Job: "j", Value: "boom"}, ClassTerminal},
+		{"silent corruption", fmt.Errorf("%w: detail", ErrSilentCorruption), ClassTerminal},
+		{"false positive", fmt.Errorf("%w: detail", ErrFalsePositive), ClassTerminal},
+		{"safety violation", fmt.Errorf("%w: detail", ErrSafetyViolation), ClassTerminal},
+		{"bad request", fmt.Errorf("%w: detail", ErrBadRequest), ClassTerminal},
+		{"engine degraded", fmt.Errorf("%w: detail", ErrEngineDegraded), ClassTerminal},
+		{"unknown", errors.New("mystery"), ClassTerminal},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.err); got != tc.want {
+			t.Errorf("Classify(%s) = %s, want %s", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestDelayDeterministic: the full retry schedule is a pure function of
+// (seed, policy) — same seed same schedule, different seeds different
+// jitter — and every delay respects the cap. This is exactly what a
+// fake clock would observe, with no goroutines to fake it for.
+func TestDelayDeterministic(t *testing.T) {
+	rc := RetryConfig{MaxAttempts: 5, BackoffBase: 10 * time.Millisecond, BackoffMax: 100 * time.Millisecond}
+	var first []time.Duration
+	for run := 0; run < 3; run++ {
+		var sched []time.Duration
+		for a := 0; a < rc.MaxAttempts; a++ {
+			sched = append(sched, rc.Delay(42, a))
+		}
+		if run == 0 {
+			first = sched
+			continue
+		}
+		for a := range sched {
+			if sched[a] != first[a] {
+				t.Fatalf("run %d attempt %d: delay %v != first run's %v", run, a, sched[a], first[a])
+			}
+		}
+	}
+	for a, d := range first {
+		if d < rc.BackoffBase || d > rc.BackoffMax {
+			t.Errorf("attempt %d: delay %v outside [%v, %v]", a, d, rc.BackoffBase, rc.BackoffMax)
+		}
+	}
+	other := rc.Delay(43, 0)
+	if other == first[0] {
+		t.Errorf("seeds 42 and 43 drew identical jitter %v; jitter is not seeded", other)
+	}
+}
+
+// TestAttemptSeed: attempt 0 reproduces the request exactly; later
+// attempts re-mix so a transient injection does not replay verbatim.
+func TestAttemptSeed(t *testing.T) {
+	if AttemptSeed(7, 0) != 7 {
+		t.Fatalf("attempt 0 must use the request seed verbatim")
+	}
+	if AttemptSeed(7, 1) == 7 || AttemptSeed(7, 1) == AttemptSeed(7, 2) {
+		t.Fatalf("later attempts must draw distinct derived seeds")
+	}
+	if AttemptSeed(7, 1) != AttemptSeed(7, 1) {
+		t.Fatalf("derived seeds must be deterministic")
+	}
+}
+
+// TestBreakerLifecycle walks one cell through the full state machine on
+// a hand-driven clock: closed, open after the failure threshold,
+// rejecting during cooldown, half-open probe (one at a time), and
+// closed again after enough probe successes.
+func TestBreakerLifecycle(t *testing.T) {
+	cfg := BreakerConfig{FailThreshold: 3, Cooldown: 10 * time.Millisecond, ProbeSuccesses: 2}
+	b := NewBreaker(cfg)
+	const key = "chaos/lmi"
+	now := time.Duration(0)
+
+	// Closed: failures below the threshold keep it closed; a success
+	// resets the streak.
+	for i := 0; i < 2; i++ {
+		if !b.Allow(key, now) {
+			t.Fatalf("closed cell refused request %d", i)
+		}
+		b.Record(key, now, false)
+	}
+	b.Record(key, now, true) // streak reset
+	for i := 0; i < 2; i++ {
+		b.Record(key, now, false)
+	}
+	if st := b.Snapshot()[key]; st != BreakerClosed {
+		t.Fatalf("state after reset and 2 failures = %s, want closed", st)
+	}
+
+	// Third consecutive failure opens the cell.
+	b.Record(key, now, false)
+	if st := b.Snapshot()[key]; st != BreakerOpen {
+		t.Fatalf("state after threshold = %s, want open", st)
+	}
+	if b.Allow(key, now+cfg.Cooldown-1) {
+		t.Fatalf("open cell admitted a request inside the cooldown")
+	}
+
+	// Cooldown elapsed: exactly one probe at a time.
+	now += cfg.Cooldown
+	if !b.Allow(key, now) {
+		t.Fatalf("half-open cell refused the first probe")
+	}
+	if b.Allow(key, now) {
+		t.Fatalf("half-open cell admitted a second concurrent probe")
+	}
+
+	// First probe succeeds; still half-open until ProbeSuccesses.
+	b.Record(key, now, true)
+	if st := b.Snapshot()[key]; st != BreakerHalfOpen {
+		t.Fatalf("state after 1 probe success = %s, want half-open", st)
+	}
+	if !b.Allow(key, now) {
+		t.Fatalf("half-open cell refused the second probe")
+	}
+	b.Record(key, now, true)
+	if st := b.Snapshot()[key]; st != BreakerClosed {
+		t.Fatalf("state after %d probe successes = %s, want closed", cfg.ProbeSuccesses, st)
+	}
+
+	// The transition log captured the whole walk in order.
+	want := []BreakerState{BreakerOpen, BreakerHalfOpen, BreakerClosed}
+	trans := b.Transitions()
+	if len(trans) != len(want) {
+		t.Fatalf("got %d transitions %+v, want %d", len(trans), trans, len(want))
+	}
+	for i, tr := range trans {
+		if tr.To != want[i] || tr.Key != key {
+			t.Errorf("transition %d = %s->%s, want ->%s", i, tr.From, tr.To, want[i])
+		}
+	}
+}
+
+// TestBreakerProbeFailureReopens: a failed probe sends the cell back to
+// open for a fresh cooldown.
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	cfg := BreakerConfig{FailThreshold: 1, Cooldown: 5 * time.Millisecond, ProbeSuccesses: 1}
+	b := NewBreaker(cfg)
+	const key = "chaos/gpushield"
+	b.Record(key, 0, false) // opens immediately at threshold 1
+	now := cfg.Cooldown
+	if !b.Allow(key, now) {
+		t.Fatalf("cooldown elapsed but probe refused")
+	}
+	b.Record(key, now, false)
+	if st := b.Snapshot()[key]; st != BreakerOpen {
+		t.Fatalf("state after failed probe = %s, want open", st)
+	}
+	if b.Allow(key, now+cfg.Cooldown-1) {
+		t.Fatalf("re-opened cell admitted a request inside the fresh cooldown")
+	}
+	if !b.Allow(key, now+cfg.Cooldown) {
+		t.Fatalf("re-opened cell refused a probe after its fresh cooldown")
+	}
+}
+
+// TestBreakerKeysIndependent: cells are per (workload, mechanism); one
+// key's meltdown must not reject another's traffic.
+func TestBreakerKeysIndependent(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailThreshold: 1, Cooldown: time.Hour, ProbeSuccesses: 1})
+	b.Record("chaos/lmi", 0, false)
+	if b.Allow("chaos/lmi", 0) {
+		t.Fatalf("failed key still admitting")
+	}
+	if !b.Allow("chaos/baggybounds", 0) {
+		t.Fatalf("healthy key rejected because a sibling opened")
+	}
+}

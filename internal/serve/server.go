@@ -1,0 +1,411 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"lmi/internal/chaos"
+	"lmi/internal/runner"
+)
+
+// defaultServerWorkers sizes the pool like the batch runner does
+// (LMI_JOBS, else GOMAXPROCS).
+func defaultServerWorkers() int { return runner.DefaultWorkers() }
+
+// Config parameterises the live server.
+type Config struct {
+	// Workers is the execution pool size (<= 0 = LMI_JOBS / GOMAXPROCS
+	// via the runner's default).
+	Workers int
+	// QueueCapacity bounds the admission queue; a full queue sheds with
+	// ErrOverloaded (default 64).
+	QueueCapacity int
+	// ReadyWatermark is the queue depth above which /readyz reports 503
+	// so load balancers route elsewhere before the queue sheds
+	// (default QueueCapacity/2).
+	ReadyWatermark int
+	// SMs sizes the simulated device for requests that do not specify
+	// their own (default 1).
+	SMs int
+	// DefaultDeadline bounds one execution attempt when the request
+	// carries no deadline of its own (default 30s).
+	DefaultDeadline time.Duration
+	// Breaker and Retry are the serving policies.
+	Breaker BreakerConfig
+	Retry   RetryConfig
+	// Logf receives operational log lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.QueueCapacity <= 0 {
+		c.QueueCapacity = 64
+	}
+	if c.ReadyWatermark <= 0 {
+		c.ReadyWatermark = c.QueueCapacity / 2
+	}
+	if c.SMs <= 0 {
+		c.SMs = 1
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	c.Breaker = c.Breaker.withDefaults()
+	c.Retry = c.Retry.withDefaults()
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// task is one queued request and its reply channel.
+type task struct {
+	ctx  context.Context
+	req  Request
+	done chan Result
+}
+
+// Stats is the server's counter snapshot (all values monotonic except
+// Depth and InFlight).
+type Stats struct {
+	Accepted  uint64 `json:"accepted"`
+	Shed      uint64 `json:"shed"`
+	Rejected  uint64 `json:"rejected"`
+	OK        uint64 `json:"ok"`
+	Failed    uint64 `json:"failed"`
+	Exhausted uint64 `json:"exhausted"`
+	Retries   uint64 `json:"retries"`
+	Depth     int    `json:"queue_depth"`
+	HighWater int    `json:"queue_high_water"`
+	InFlight  int    `json:"in_flight"`
+}
+
+// Server is the live serving driver: a bounded admission queue feeding
+// a worker pool that runs the classify/retry/breaker state machines
+// against the real clock.
+type Server struct {
+	cfg   Config
+	exec  *Executor
+	brk   *Breaker
+	queue chan task
+	start time.Time
+	wg    sync.WaitGroup
+
+	// Injectable time for tests: now is the service-relative clock fed
+	// to the breaker; sleep waits out retry backoff (ctx-aware).
+	now   func() time.Duration
+	sleep func(ctx context.Context, d time.Duration)
+
+	mu       sync.Mutex
+	draining bool
+	stats    Stats
+}
+
+// NewServer builds and starts the worker pool.
+func NewServer(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	exec, err := NewExecutor(cfg.SMs)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		exec:  exec,
+		brk:   NewBreaker(cfg.Breaker),
+		queue: make(chan task, cfg.QueueCapacity),
+		start: time.Now(),
+	}
+	s.now = func() time.Duration { return time.Since(s.start) }
+	s.sleep = func(ctx context.Context, d time.Duration) {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+		}
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = defaultServerWorkers()
+	}
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// worker drains the admission queue until Shutdown closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for t := range s.queue {
+		s.mu.Lock()
+		s.stats.Depth = len(s.queue)
+		s.stats.InFlight++
+		s.mu.Unlock()
+		res := s.process(t)
+		s.mu.Lock()
+		s.stats.InFlight--
+		switch res.Status {
+		case StatusOK:
+			s.stats.OK++
+		case StatusRejected:
+			s.stats.Rejected++
+		case StatusExhausted:
+			s.stats.Exhausted++
+		default:
+			s.stats.Failed++
+		}
+		s.mu.Unlock()
+		t.done <- res
+	}
+}
+
+// process runs one request to its final Result: breaker admission,
+// then up to MaxAttempts executions with classified retries and
+// deterministic seeded backoff between them.
+func (s *Server) process(t task) Result {
+	req := t.req
+	key := req.Key()
+	res := Result{Req: req}
+	if err := s.exec.Validate(req); err != nil {
+		res.Status, res.Err, res.Class = StatusFailed, err, ClassTerminal
+		return res
+	}
+	deadline := req.Deadline
+	if deadline <= 0 {
+		deadline = s.cfg.DefaultDeadline
+	}
+	for attempt := 0; attempt < s.cfg.Retry.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			d := s.cfg.Retry.Delay(req.Seed, attempt-1)
+			s.cfg.Logf("serve: %s seed=0x%x retrying attempt %d after %v", key, req.Seed, attempt, d)
+			s.sleep(t.ctx, d)
+			s.mu.Lock()
+			s.stats.Retries++
+			s.mu.Unlock()
+		}
+		if !s.brk.Allow(key, s.now()) {
+			res.Status, res.Err, res.Class = StatusRejected, ErrCircuitOpen, ClassTerminal
+			res.Attempts = attempt
+			return res
+		}
+		actx, cancel := context.WithTimeout(t.ctx, deadline)
+		out := s.exec.Execute(actx, req, AttemptSeed(req.Seed, attempt))
+		cancel()
+		s.brk.Record(key, s.now(), out.Err == nil)
+		res.Attempts = attempt + 1
+		res.Outcome, res.Cycles, res.Detail = out.Outcome, out.Cycles, out.Detail
+		cls := Classify(out.Err)
+		switch cls {
+		case ClassOK:
+			res.Status, res.Err, res.Class = StatusOK, nil, ClassOK
+			return res
+		case ClassTerminal:
+			res.Status, res.Err, res.Class = StatusFailed, out.Err, cls
+			return res
+		}
+		res.Err, res.Class = out.Err, cls
+		// If the client itself is gone, stop retrying on its behalf.
+		if t.ctx.Err() != nil {
+			res.Status = StatusFailed
+			res.Err = fmt.Errorf("serve: client gone: %w", t.ctx.Err())
+			res.Class = ClassTerminal
+			return res
+		}
+	}
+	res.Status = StatusExhausted
+	return res
+}
+
+// Submit admits one request: it either queues it (and blocks until the
+// final Result), sheds it with ErrOverloaded, or refuses it with
+// ErrDraining. The returned error is non-nil only when the request
+// never reached a worker.
+func (s *Server) Submit(ctx context.Context, req Request) (Result, error) {
+	t := task{ctx: ctx, req: req, done: make(chan Result, 1)}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return Result{}, ErrDraining
+	}
+	select {
+	case s.queue <- t:
+		s.stats.Accepted++
+		if d := len(s.queue); d > s.stats.HighWater {
+			s.stats.HighWater = d
+		}
+		s.stats.Depth = len(s.queue)
+	default:
+		s.stats.Shed++
+		s.mu.Unlock()
+		return Result{}, ErrOverloaded
+	}
+	s.mu.Unlock()
+	select {
+	case res := <-t.done:
+		return res, nil
+	case <-ctx.Done():
+		// The worker will still finish the attempt (its context is the
+		// same ctx, so the watchdog aborts it) and drop the result into
+		// the buffered channel.
+		return Result{}, fmt.Errorf("serve: client gone: %w", ctx.Err())
+	}
+}
+
+// Draining reports whether graceful shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Stats snapshots the counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Depth = len(s.queue)
+	return st
+}
+
+// ShutdownReport is the JSON document flushed on graceful drain.
+type ShutdownReport struct {
+	Uptime      time.Duration           `json:"uptime_ns"`
+	Stats       Stats                   `json:"stats"`
+	Breakers    map[string]BreakerState `json:"breakers"`
+	Transitions []Transition            `json:"breaker_transitions"`
+}
+
+// Shutdown drains gracefully: stop accepting (Submit returns
+// ErrDraining), let the workers finish everything already queued and
+// in flight, then return the shutdown report. ctx bounds the wait; on
+// expiry the report is returned with whatever completed.
+func (s *Server) Shutdown(ctx context.Context) ShutdownReport {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if !already {
+		close(s.queue)
+	}
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.cfg.Logf("serve: drain deadline expired with work in flight")
+	}
+	return ShutdownReport{
+		Uptime:      time.Since(s.start),
+		Stats:       s.Stats(),
+		Breakers:    s.brk.Snapshot(),
+		Transitions: s.brk.Transitions(),
+	}
+}
+
+// resultJSON is the wire form of a Result.
+type resultJSON struct {
+	Status   Status        `json:"status"`
+	Attempts int           `json:"attempts"`
+	Class    Class         `json:"class,omitempty"`
+	Outcome  chaos.Outcome `json:"outcome,omitempty"`
+	Cycles   uint64        `json:"cycles,omitempty"`
+	Detail   string        `json:"detail,omitempty"`
+	Error    string        `json:"error,omitempty"`
+}
+
+// Handler returns the HTTP surface: POST /run, GET /healthz, /readyz,
+// /stats.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		// The process is alive; that is the whole contract.
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		st := s.Stats()
+		switch {
+		case s.Draining():
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+		case st.Depth > s.cfg.ReadyWatermark:
+			http.Error(w, fmt.Sprintf("queue depth %d above watermark %d", st.Depth, s.cfg.ReadyWatermark),
+				http.StatusServiceUnavailable)
+		default:
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprintln(w, "ready")
+		}
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Uptime   time.Duration           `json:"uptime_ns"`
+			Draining bool                    `json:"draining"`
+			Stats    Stats                   `json:"stats"`
+			Breakers map[string]BreakerState `json:"breakers"`
+		}{time.Since(s.start), s.Draining(), s.Stats(), s.brk.Snapshot()})
+	})
+	return mux
+}
+
+// handleRun is POST /run: decode, submit, map the disposition onto an
+// HTTP status (200 executed-ok, 400 bad request, 429 shed, 503
+// circuit-open or draining, 502 failed/exhausted).
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeResult(w, http.StatusBadRequest, Result{
+			Status: StatusFailed, Class: ClassTerminal,
+			Err: fmt.Errorf("%w: %v", ErrBadRequest, err),
+		})
+		return
+	}
+	res, err := s.Submit(r.Context(), req)
+	if err != nil {
+		code := http.StatusServiceUnavailable
+		if errors.Is(err, ErrOverloaded) {
+			code = http.StatusTooManyRequests
+		}
+		writeResult(w, code, Result{Status: StatusShed, Class: ClassTerminal, Err: err})
+		return
+	}
+	code := http.StatusOK
+	switch res.Status {
+	case StatusOK:
+	case StatusRejected:
+		code = http.StatusServiceUnavailable
+	default:
+		code = http.StatusBadGateway
+		if errors.Is(res.Err, ErrBadRequest) {
+			code = http.StatusBadRequest
+		}
+	}
+	writeResult(w, code, res)
+}
+
+// writeResult renders a Result as JSON with the given HTTP status.
+func writeResult(w http.ResponseWriter, code int, res Result) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(resultJSON{
+		Status:   res.Status,
+		Attempts: res.Attempts,
+		Class:    res.Class,
+		Outcome:  res.Outcome,
+		Cycles:   res.Cycles,
+		Detail:   res.Detail,
+		Error:    errString(res.Err),
+	})
+}

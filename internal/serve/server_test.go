@@ -1,0 +1,270 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"lmi/internal/chaos"
+)
+
+// testServer builds a small live server for HTTP tests.
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := NewServer(Config{Workers: 2, QueueCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s
+}
+
+// postRun sends one request to POST /run and decodes the reply.
+func postRun(t *testing.T, ts *httptest.Server, body string) (int, resultJSON) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rj resultJSON
+	if err := json.NewDecoder(resp.Body).Decode(&rj); err != nil {
+		t.Fatalf("decoding /run reply: %v", err)
+	}
+	return resp.StatusCode, rj
+}
+
+// TestServerRunEndpoint: a clean injection-control request executes and
+// returns 200 with the chaos classification; a missed injection comes
+// back 502 with the typed silent-corruption error; garbage is a 400.
+func TestServerRunEndpoint(t *testing.T) {
+	s := testServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, rj := postRun(t, ts, `{"mechanism":"lmi","kind":"control","seed":7}`)
+	if code != http.StatusOK || rj.Status != StatusOK {
+		t.Fatalf("control run: code=%d result=%+v", code, rj)
+	}
+	if rj.Outcome != chaos.OutcomeClean || rj.Cycles == 0 {
+		t.Fatalf("control run missing chaos outcome/cycles: %+v", rj)
+	}
+
+	// lmi misses free-skip-nullify (use-after-free via skipped nullify):
+	// terminal, typed, one attempt only.
+	code, rj = postRun(t, ts, `{"mechanism":"lmi","kind":"free-skip-nullify","seed":7}`)
+	if code != http.StatusBadGateway || rj.Status != StatusFailed {
+		t.Fatalf("missed injection: code=%d result=%+v", code, rj)
+	}
+	if !strings.Contains(rj.Error, "silent corruption") || rj.Class != ClassTerminal {
+		t.Fatalf("missed injection not typed terminal: %+v", rj)
+	}
+	if rj.Attempts != 1 {
+		t.Fatalf("terminal failure was retried: attempts=%d", rj.Attempts)
+	}
+
+	code, rj = postRun(t, ts, `{"mechanism":"nope","seed":1}`)
+	if code != http.StatusBadRequest || !strings.Contains(rj.Error, "bad request") {
+		t.Fatalf("unknown mechanism: code=%d result=%+v", code, rj)
+	}
+
+	code, _ = postRun(t, ts, `{not json`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("malformed body: code=%d, want 400", code)
+	}
+}
+
+// TestServerBenchRun: plain benchmark requests run through the workload
+// table.
+func TestServerBenchRun(t *testing.T) {
+	s := testServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	code, rj := postRun(t, ts, `{"workload":"nn","mechanism":"lmi","seed":1}`)
+	if code != http.StatusOK || rj.Status != StatusOK || rj.Cycles == 0 {
+		t.Fatalf("bench run: code=%d result=%+v", code, rj)
+	}
+}
+
+// TestServerHealthEndpoints: /healthz is alive unconditionally; /readyz
+// and /run flip to refusing once the drain begins; /stats serves the
+// counters either way.
+func TestServerHealthEndpoints(t *testing.T) {
+	s, err := NewServer(Config{Workers: 1, QueueCapacity: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz = %d", code)
+	}
+	if code := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz before drain = %d", code)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	rep := s.Shutdown(ctx)
+	if rep.Stats.InFlight != 0 {
+		t.Fatalf("shutdown report shows %d in flight after drain", rep.Stats.InFlight)
+	}
+	if code := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz during drain = %d (liveness must not depend on drain)", code)
+	}
+	if code := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz during drain = %d, want 503", code)
+	}
+	if code, rj := postRun(t, ts, `{"mechanism":"lmi","seed":1}`); code != http.StatusServiceUnavailable ||
+		!strings.Contains(rj.Error, "draining") {
+		t.Fatalf("/run during drain: code=%d result=%+v", code, rj)
+	}
+	if code := get("/stats"); code != http.StatusOK {
+		t.Fatalf("/stats during drain = %d", code)
+	}
+}
+
+// idleServer builds a Server whose queue no worker drains, so admission
+// behaviour is deterministic to test.
+func idleServer(t *testing.T, capacity int) *Server {
+	t.Helper()
+	exec, err := NewExecutor(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{QueueCapacity: capacity}.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		exec:  exec,
+		brk:   NewBreaker(cfg.Breaker),
+		queue: make(chan task, capacity),
+		start: time.Now(),
+	}
+	s.now = func() time.Duration { return time.Since(s.start) }
+	s.sleep = func(context.Context, time.Duration) {}
+	return s
+}
+
+// TestServerShedsWhenFull: with the queue at capacity and no worker
+// draining it, the next Submit sheds immediately with ErrOverloaded —
+// it must not block.
+func TestServerShedsWhenFull(t *testing.T) {
+	s := idleServer(t, 1)
+	req := Request{Mechanism: "lmi", Seed: 1}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Fill the only queue slot; the submitter parks waiting for a
+	// result that never comes until we cancel it.
+	parked := make(chan error, 1)
+	go func() {
+		_, err := s.Submit(ctx, req)
+		parked <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.queue) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never reached the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if _, err := s.Submit(ctx, req); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("second submit err = %v, want ErrOverloaded", err)
+	}
+	st := s.Stats()
+	if st.Shed != 1 || st.Accepted != 1 {
+		t.Fatalf("stats = %+v, want accepted=1 shed=1", st)
+	}
+
+	cancel()
+	if err := <-parked; err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("parked submit err = %v, want wrapped context.Canceled", err)
+	}
+}
+
+// TestServerRetriesWithBackoff: a request whose attempts always exceed
+// their deadline is retried MaxAttempts times with the deterministic
+// backoff schedule (captured via the injected sleep) and ends
+// exhausted.
+func TestServerRetriesWithBackoff(t *testing.T) {
+	exec, err := NewExecutor(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Retry: RetryConfig{MaxAttempts: 3, BackoffBase: 10 * time.Millisecond, BackoffMax: 100 * time.Millisecond},
+		// An attempt deadline far below any real trial's runtime: every
+		// attempt dies in the watchdog with a retryable context error.
+		DefaultDeadline: time.Nanosecond,
+	}.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		exec:  exec,
+		brk:   NewBreaker(cfg.Breaker),
+		queue: make(chan task, 1),
+		start: time.Now(),
+	}
+	s.now = func() time.Duration { return time.Since(s.start) }
+	var slept []time.Duration
+	s.sleep = func(_ context.Context, d time.Duration) { slept = append(slept, d) }
+
+	req := Request{Mechanism: "lmi", Kind: "control", Seed: 9}
+	res := s.process(task{ctx: context.Background(), req: req})
+	if res.Status != StatusExhausted || res.Attempts != cfg.Retry.MaxAttempts {
+		t.Fatalf("result = %+v, want exhausted after %d attempts", res, cfg.Retry.MaxAttempts)
+	}
+	if res.Class != ClassRetryable || !errors.Is(res.Err, context.DeadlineExceeded) {
+		t.Fatalf("final error %v (class %s) is not a typed deadline", res.Err, res.Class)
+	}
+	want := []time.Duration{cfg.Retry.Delay(req.Seed, 0), cfg.Retry.Delay(req.Seed, 1)}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %d backoffs", slept, len(want))
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("backoff %d = %v, want %v (deterministic schedule)", i, slept[i], want[i])
+		}
+	}
+}
+
+// TestServerBreakerRejects: once a key's breaker opens, subsequent
+// requests for that key are rejected without executing.
+func TestServerBreakerRejects(t *testing.T) {
+	s := idleServer(t, 4)
+	s.cfg.Breaker = BreakerConfig{FailThreshold: 1, Cooldown: time.Hour, ProbeSuccesses: 1}
+	s.brk = NewBreaker(s.cfg.Breaker)
+
+	// lmi misses free-skip-nullify: one terminal failure opens the cell
+	// at threshold 1.
+	bad := Request{Mechanism: "lmi", Kind: "free-skip-nullify", Seed: 3}
+	res := s.process(task{ctx: context.Background(), req: bad})
+	if res.Status != StatusFailed {
+		t.Fatalf("setup failure run = %+v", res)
+	}
+	res = s.process(task{ctx: context.Background(), req: Request{Mechanism: "lmi", Kind: "control", Seed: 4}})
+	if res.Status != StatusRejected || !errors.Is(res.Err, ErrCircuitOpen) {
+		t.Fatalf("request on open cell = %+v, want rejected with ErrCircuitOpen", res)
+	}
+	if res.Attempts != 0 {
+		t.Fatalf("rejected request still executed %d attempts", res.Attempts)
+	}
+}

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// soakCfg is the pinned configuration the soak assertions run against
+// (the same seed scripts/check.sh smokes from the CLI).
+func soakCfg(workers int) SoakConfig {
+	return SoakConfig{Seed: 1, Requests: 200, Workers: workers}
+}
+
+// TestSoakDeterministicAcrossWorkers is the tentpole guarantee: the
+// rendered soak report — every count, every breaker transition
+// timestamp, every per-request line — is byte-identical whether the
+// precompute pool has one worker or four. Worker count may only change
+// wall-clock time.
+func TestSoakDeterministicAcrossWorkers(t *testing.T) {
+	var bufs [2]bytes.Buffer
+	for i, workers := range []int{1, 4} {
+		rep, err := Soak(context.Background(), soakCfg(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		rep.Render(&bufs[i], true)
+	}
+	if !bytes.Equal(bufs[0].Bytes(), bufs[1].Bytes()) {
+		a, b := bufs[0].String(), bufs[1].String()
+		for i := 0; i < len(a) && i < len(b); i++ {
+			if a[i] != b[i] {
+				lo := i - 80
+				if lo < 0 {
+					lo = 0
+				}
+				t.Fatalf("report diverges at byte %d:\nworkers=1: ...%q\nworkers=4: ...%q", i, a[lo:i+80], b[lo:i+80])
+			}
+		}
+		t.Fatalf("report lengths differ: %d vs %d", len(a), len(b))
+	}
+}
+
+// TestSoakContract asserts the robustness properties of the pinned
+// soak run: the process survives (we are still executing), every
+// request reaches a final disposition with a typed error, every
+// serving dynamic actually fired — load shedding, classified retries,
+// retry exhaustion, terminal failures — and the breaker both opened
+// under a failure burst and recovered through a half-open probe.
+func TestSoakContract(t *testing.T) {
+	rep, err := Soak(context.Background(), soakCfg(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := rep.Violations(); len(v) != 0 {
+		t.Fatalf("robustness contract violated:\n%v", v)
+	}
+	if got := len(rep.Results); got != 200 {
+		t.Fatalf("results = %d, want 200", got)
+	}
+	for st, why := range map[Status]string{
+		StatusOK:        "some requests must succeed",
+		StatusShed:      "the bounded queue must shed under the bursts",
+		StatusRejected:  "an open breaker must reject requests",
+		StatusFailed:    "missed injections must fail terminally",
+		StatusExhausted: "some retryable failures must exhaust their attempts",
+	} {
+		if rep.Counts[st] == 0 {
+			t.Errorf("no %s requests in the pinned soak: %s", st, why)
+		}
+	}
+	if rep.Retries == 0 {
+		t.Errorf("no retries were scheduled; deadlines are not exercising the retry path")
+	}
+	if rep.HighWater == 0 {
+		t.Errorf("queue never filled; arrival pattern is not stressing admission")
+	}
+	var opened, reclosed bool
+	for _, tr := range rep.Transitions {
+		if tr.From == BreakerClosed && tr.To == BreakerOpen {
+			opened = true
+		}
+		if tr.From == BreakerHalfOpen && tr.To == BreakerClosed {
+			reclosed = true
+		}
+	}
+	if !opened {
+		t.Errorf("no breaker cell opened; failure bursts are not tripping the breaker")
+	}
+	if !reclosed {
+		t.Errorf("no breaker cell recovered closed; the half-open probe path never completed")
+	}
+}
+
+// TestSoakEveryFailureTyped spells the per-request error contract out
+// explicitly (Violations covers it, but this is the property the issue
+// names): every non-OK result carries a typed error and a class that
+// matches it, and no engine panic reaches a result.
+func TestSoakEveryFailureTyped(t *testing.T) {
+	rep, err := Soak(context.Background(), soakCfg(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range rep.Results {
+		if res.Status == StatusOK {
+			if res.Err != nil {
+				t.Errorf("request %d: ok with error %v", i, res.Err)
+			}
+			continue
+		}
+		if res.Err == nil {
+			t.Errorf("request %d: %s with nil error", i, res.Status)
+			continue
+		}
+		if !typedError(res.Err) {
+			t.Errorf("request %d: untyped error %T: %v", i, res.Err, res.Err)
+		}
+		if panicError(res.Err) {
+			t.Errorf("request %d: engine panic escaped: %v", i, res.Err)
+		}
+		if res.Class != Classify(res.Err) {
+			t.Errorf("request %d: class %s but Classify says %s", i, res.Class, Classify(res.Err))
+		}
+	}
+}
+
+// TestSoakSeedChangesStream: different seeds draw genuinely different
+// streams (guards against the generator ignoring its seed).
+func TestSoakSeedChangesStream(t *testing.T) {
+	var bufs [2]bytes.Buffer
+	for i, seed := range []uint64{1, 2} {
+		rep, err := Soak(context.Background(), SoakConfig{Seed: seed, Requests: 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep.Render(&bufs[i], true)
+	}
+	if bytes.Equal(bufs[0].Bytes(), bufs[1].Bytes()) {
+		t.Fatalf("seeds 1 and 2 rendered identical reports; the stream ignores its seed")
+	}
+}

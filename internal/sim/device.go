@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"runtime/debug"
 	"time"
@@ -167,6 +168,9 @@ type smCtx struct {
 
 // launch is the transient state of one kernel execution.
 type launch struct {
+	// ctx bounds the launch: cancellation or deadline expiry is observed
+	// at the watchdog polling cadence and aborts with a ContextError.
+	ctx   context.Context
 	dev   *Device
 	prog  *isa.Program
 	grid  int // total blocks (gridX * gridY)
@@ -200,13 +204,25 @@ type launch struct {
 // 1-D grid; params are the kernel parameter words (pointers from Malloc,
 // scalars).
 func (d *Device) Launch(p *isa.Program, gridDim, blockDim int, params []uint64) (*KernelStats, error) {
-	return d.Launch2D(p, gridDim, 1, blockDim, 1, params)
+	return d.Launch2DCtx(context.Background(), p, gridDim, 1, blockDim, 1, params)
+}
+
+// LaunchCtx is Launch bounded by a context: once ctx is cancelled or
+// its deadline expires, the run loop aborts at the next watchdog poll
+// with a typed *ContextError wrapping the context's error.
+func (d *Device) LaunchCtx(ctx context.Context, p *isa.Program, gridDim, blockDim int, params []uint64) (*KernelStats, error) {
+	return d.Launch2DCtx(ctx, p, gridDim, 1, blockDim, 1, params)
 }
 
 // Launch2D runs a kernel with a 2-D grid and 2-D blocks. Threads are
 // linearised row-major within a block (tid = tidY*blockDimX + tidX), as
 // on real hardware; special registers expose both coordinates.
-func (d *Device) Launch2D(p *isa.Program, gridX, gridY, blockX, blockY int, params []uint64) (st *KernelStats, err error) {
+func (d *Device) Launch2D(p *isa.Program, gridX, gridY, blockX, blockY int, params []uint64) (*KernelStats, error) {
+	return d.Launch2DCtx(context.Background(), p, gridX, gridY, blockX, blockY, params)
+}
+
+// Launch2DCtx is Launch2D bounded by a context (see LaunchCtx).
+func (d *Device) Launch2DCtx(ctx context.Context, p *isa.Program, gridX, gridY, blockX, blockY int, params []uint64) (st *KernelStats, err error) {
 	// The launch path executes guest programs through mechanism plug-ins
 	// and the memory model; a panic anywhere below (a buggy mechanism, a
 	// corrupted program) surfaces as a typed error, never a crashed host.
@@ -241,6 +257,7 @@ func (d *Device) Launch2D(p *isa.Program, gridX, gridY, blockX, blockY int, para
 		return nil, fmt.Errorf("sim: %w", err)
 	}
 	ls := &launch{
+		ctx:   ctx,
 		dev:   d,
 		prog:  p,
 		grid:  gridDim,
@@ -358,7 +375,9 @@ func (ls *launch) placeBlock(sm *smCtx, ctaid int) {
 func (ls *launch) run() error {
 	cfg := ls.dev.Cfg
 	wd := cfg.Watchdog
-	wdArmed := wd.enabled()
+	// A context that can actually fire (context.Background cannot) arms
+	// the polling loop even when no other detector is configured.
+	wdArmed := wd.enabled() || (ls.ctx != nil && ls.ctx.Done() != nil)
 	wdPoll := wd.CheckEveryCycles
 	if wdPoll == 0 {
 		wdPoll = defaultWatchdogPoll

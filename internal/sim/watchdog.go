@@ -75,6 +75,30 @@ func (e *WatchdogError) Error() string {
 		e.Kind, e.Kernel, e.Cycle, e.Detail)
 }
 
+// ContextError reports a launch aborted because its context was
+// cancelled or its deadline expired mid-kernel. It wraps the context's
+// error, so errors.Is(err, context.Canceled) and
+// errors.Is(err, context.DeadlineExceeded) both work; the serving layer
+// uses that to separate abandoned requests from deadline overruns. Like
+// the watchdog kills, an aborted launch returns no KernelStats.
+type ContextError struct {
+	Kernel string
+	// Cycle is the simulated cycle at which the cancellation was observed
+	// (quantised to the watchdog polling interval).
+	Cycle uint64
+	// Err is the context's error (context.Canceled or
+	// context.DeadlineExceeded).
+	Err error
+}
+
+// Error implements error.
+func (e *ContextError) Error() string {
+	return fmt.Sprintf("sim: kernel %s aborted at cycle %d: %v", e.Kernel, e.Cycle, e.Err)
+}
+
+// Unwrap exposes the context's error to errors.Is/As.
+func (e *ContextError) Unwrap() error { return e.Err }
+
 // CycleLimitError reports a launch that overran Config.MaxCycles. The
 // message keeps the historical "exceeded N cycles" phrasing.
 type CycleLimitError struct {
@@ -108,8 +132,16 @@ func (e *PanicError) Error() string {
 func (ls *launch) progress() { ls.lastProgress = ls.cycle }
 
 // watchdogCheck runs the armed detectors; a non-nil result aborts the
-// launch. Called every CheckEveryCycles from the run loop.
+// launch. Called every CheckEveryCycles from the run loop. The launch
+// context is the first detector checked: a cancelled or expired request
+// stops mid-kernel with a typed ContextError instead of running to
+// MaxCycles, which is how per-request deadlines reach the simulator.
 func (ls *launch) watchdogCheck(wd *WatchdogConfig) error {
+	if ls.ctx != nil {
+		if err := ls.ctx.Err(); err != nil {
+			return &ContextError{Kernel: ls.prog.Name, Cycle: ls.cycle, Err: err}
+		}
+	}
 	if wd.BarrierStallCycles > 0 {
 		for _, sm := range ls.sms {
 			for _, w := range sm.warps {

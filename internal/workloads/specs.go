@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -178,6 +179,13 @@ func Run(s *Spec, v Variant, cfg sim.Config) (*sim.KernelStats, error) {
 // dimension (the Fig. 13 DBI comparison launches its baseline at the
 // reduced DBI grid so both runs share the launch geometry).
 func RunAt(s *Spec, v Variant, cfg sim.Config, grid int) (*sim.KernelStats, error) {
+	return RunAtCtx(context.Background(), s, v, cfg, grid)
+}
+
+// RunAtCtx is RunAt bounded by a context: a cancelled or expired ctx
+// stops the kernel mid-simulation with a typed *sim.ContextError (the
+// serving layer's per-request deadlines arrive through here).
+func RunAtCtx(ctx context.Context, s *Spec, v Variant, cfg sim.Config, grid int) (*sim.KernelStats, error) {
 	prog, err := s.Compile(v)
 	if err != nil {
 		return nil, err
@@ -195,5 +203,5 @@ func RunAt(s *Spec, v Variant, cfg sim.Config, grid int) (*sim.KernelStats, erro
 	if err != nil {
 		return nil, err
 	}
-	return dev.Launch(prog, grid, s.Block, []uint64{in, out, s.N})
+	return dev.LaunchCtx(ctx, prog, grid, s.Block, []uint64{in, out, s.N})
 }

@@ -46,4 +46,28 @@ go run ./cmd/lmi-sec -chaos -seed 1 -trials 2 -jobs 1 > "$tmpdir/chaos-j1.txt"
 go run ./cmd/lmi-sec -chaos -seed 1 -trials 2 -jobs 4 > "$tmpdir/chaos-j4.txt"
 cmp "$tmpdir/chaos-j1.txt" "$tmpdir/chaos-j4.txt"
 
+# Serving soak smoke: 200 seeded chaos requests replayed through the
+# serving state machines (admission queue, classified retries, circuit
+# breaker) on the virtual timeline. The soak itself exits nonzero on
+# any robustness violation (untyped per-request error, missing result,
+# escaped panic), and the verbose report — every count, timestamp, and
+# per-request line — must be byte-identical across worker counts.
+echo "== serving soak smoke (-jobs 1 vs -jobs 4)"
+go run ./cmd/lmi-serve -soak -seed 1 -requests 200 -jobs 1 -v > "$tmpdir/soak-j1.txt"
+go run ./cmd/lmi-serve -soak -seed 1 -requests 200 -jobs 4 -v > "$tmpdir/soak-j4.txt"
+cmp "$tmpdir/soak-j1.txt" "$tmpdir/soak-j4.txt"
+
+# CLI validation smoke: out-of-range flags must fail with the uniform
+# usage error (exit 2), not silent misbehavior.
+echo "== CLI usage-error smoke"
+for cmdline in "./cmd/lmi-sim -sms 0 -bench nn" \
+               "./cmd/lmi-sec -trials 0" \
+               "./cmd/lmi-bench -jobs -1 -table 2" \
+               "./cmd/lmi-serve -soak -requests 0"; do
+    if go run $cmdline >/dev/null 2>&1; then
+        echo "check: FAIL: 'go run $cmdline' accepted an invalid flag" >&2
+        exit 1
+    fi
+done
+
 echo "check: OK"
