@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint check check-short bench serve soak
+.PHONY: build test race vet lint analyze check check-short bench serve soak
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,14 @@ race:
 # kernel (also part of the check gate).
 lint:
 	$(GO) run ./cmd/lmi-lint -all
+
+# The full static-analysis gate: the microcode contract over the whole
+# corpus plus the elide soundness audit — every workload recompiled with
+# static extent-check elision, every E bit re-derived by the linter's
+# independent value analysis. Fails on any unsound-elide diagnostic or
+# any proven-out-of-bounds access in a shipped workload.
+analyze:
+	$(GO) run ./cmd/lmi-lint -all -elide-audit
 
 # The full verification gate: vet + build + tests + race detector +
 # static contract lint.

@@ -175,6 +175,27 @@ func BenchmarkFig13DBIMechanisms(b *testing.B) {
 	}
 }
 
+// BenchmarkElision measures static extent-check elision: the 28-bench
+// suite under plain LMI and under LMI with the bounds analysis's proven
+// checks elided (E hint). Reported metrics are the mean dynamic
+// checks-elided fraction, the cycle-ratio geomean, and the total EC
+// energy the skipped evaluations save under the hwcost model.
+func BenchmarkElision(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Elide(experiments.SimConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.ElidedFracMean, "elided-frac-mean")
+		b.ReportMetric(res.CycleDeltaMean, "elide-cycle-geomean")
+		b.ReportMetric(res.ECEnergySavedNJ, "ec-energy-saved-nJ")
+		if i == 0 {
+			b.Log("\n" + res.Table())
+			writeBenchReport(b, "elide", res.Report)
+		}
+	}
+}
+
 // BenchmarkTable2MechanismComparison regenerates Table II from the live
 // security run (overhead cells quote Fig. 12; run that benchmark for the
 // measured values).

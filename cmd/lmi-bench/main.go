@@ -5,6 +5,7 @@
 //	lmi-bench -all            # everything (slow: full Fig. 12 + Fig. 13 sweeps)
 //	lmi-bench -fig 12         # one figure (1, 4, 12, 13)
 //	lmi-bench -table 3        # one table (2, 3, 4, 5, 6)
+//	lmi-bench -elide          # static extent-check elision experiment
 //	lmi-bench -sms 8          # scale the simulated GPU
 //	lmi-bench -all -jobs 4    # run the sweeps on 4 workers (same output)
 //	lmi-bench -all -timing    # per-run timing report on stderr
@@ -38,6 +39,7 @@ import (
 func main() {
 	fig := flag.Int("fig", 0, "figure to regenerate (1, 4, 12, 13)")
 	table := flag.Int("table", 0, "table to regenerate (1, 2, 3, 4, 5, 6)")
+	elide := flag.Bool("elide", false, "run the static extent-check elision experiment")
 	all := flag.Bool("all", false, "regenerate everything")
 	sms := flag.Int("sms", experiments.DefaultSimSMs, "simulated SM count (Table IV machine is 80)")
 	jobs := flag.Int("jobs", 0, "simulation worker pool size, >= 1 (omit for GOMAXPROCS or $LMI_JOBS)")
@@ -176,6 +178,19 @@ func main() {
 			report(res.Report)
 			fmt.Print(res.Table())
 			fmt.Printf("\npaper shape: LMI-DBI ~72.95x, memcheck ~32.98x geomean\n")
+			return nil
+		})
+	}
+	if *all || *elide {
+		any = true
+		run("Static extent-check elision", func() error {
+			res, err := experiments.ElideJobs(cfg, *jobs)
+			if err != nil {
+				return err
+			}
+			report(res.Report)
+			fmt.Print(res.Table())
+			fmt.Printf("\nevery E bit is audited by lmi-lint's independent register-level analysis (see EXPERIMENTS.md)\n")
 			return nil
 		})
 	}

@@ -7,6 +7,7 @@
 //	lmi-compile -bench needle            # LMI compile
 //	lmi-compile -bench needle -mode base
 //	lmi-compile -bench gaussian -instrument baggy
+//	lmi-compile -bench needle -elide on  # static bounds proving + check elision
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"lmi/internal/cliutil"
 	"lmi/internal/compiler"
 	"lmi/internal/ir"
 	"lmi/internal/isa"
@@ -29,6 +31,7 @@ func main() {
 	src := flag.String("src", "", "kernel-language source file (.lmik) instead of -bench")
 	kernel := flag.String("kernel", "", "kernel name to compile when -src has several")
 	mode := flag.String("mode", "lmi", "base | lmi")
+	elide := flag.String("elide", "off", "off | on: prove accesses in bounds under the -bench launch contract and set the E hint (LMI mode only)")
 	instrument := flag.String("instrument", "", "optional: baggy | lmi-dbi | memcheck")
 	dumpIR := flag.Bool("ir", false, "also print the IR")
 	optimize := flag.Bool("O", false, "run the peephole optimizer")
@@ -38,8 +41,12 @@ func main() {
 	block := flag.Int("block", 128, "-run: threads per block")
 	n := flag.Int("n", 1024, "-run: elements per auto-allocated buffer / value of scalar params")
 	flag.Parse()
+	cliutil.ValidateEnumOrExit("lmi-compile",
+		cliutil.EnumCheck{Name: "mode", Value: *mode, Allowed: []string{"base", "lmi"}},
+		cliutil.EnumCheck{Name: "elide", Value: *elide, Allowed: []string{"off", "on"}})
 
 	var f *ir.Func
+	var spec *workloads.Spec
 	switch {
 	case *src != "":
 		text, err := os.ReadFile(*src)
@@ -70,6 +77,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "lmi-compile: %v\n", err)
 			os.Exit(1)
 		}
+		spec = s
 	default:
 		fmt.Fprintln(os.Stderr, "lmi-compile: need -bench or -src")
 		os.Exit(2)
@@ -90,10 +98,36 @@ func main() {
 	if *mode == "base" {
 		m = compiler.ModeBase
 	}
-	prog, srcMap, err := compiler.CompileWithSourceMap(f, m)
+	elided := *elide == "on"
+	if elided {
+		switch {
+		case spec == nil:
+			os.Exit(cliutil.Usage("lmi-compile", cliutil.Errorf("lmi-compile",
+				"-elide on needs -bench: the launch contract comes from the benchmark spec")))
+		case m != compiler.ModeLMI:
+			os.Exit(cliutil.Usage("lmi-compile", cliutil.Errorf("lmi-compile",
+				"-elide on requires -mode lmi: the E hint elides the LMI extent check")))
+		case *instrument != "":
+			os.Exit(cliutil.Usage("lmi-compile", cliutil.Errorf("lmi-compile",
+				"-elide on cannot be combined with -instrument")))
+		}
+	}
+	var prog *isa.Program
+	var srcMap []compiler.SourceLoc
+	if elided {
+		// A proven-out-of-bounds access aborts here with its positioned
+		// compile-time diagnostic — before any simulation.
+		prog, srcMap, _, err = compiler.CompileElidedWithSourceMap(f, spec.Contract())
+	} else {
+		prog, srcMap, err = compiler.CompileWithSourceMap(f, m)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lmi-compile: %v\n", err)
 		os.Exit(1)
+	}
+	if elided {
+		fmt.Printf("// elision: %d extent checks proven in bounds under the launch contract (E hint)\n",
+			prog.CountElided())
 	}
 	switch *instrument {
 	case "":
@@ -141,6 +175,16 @@ func main() {
 				}
 			}
 			fmt.Printf("// LINT %s%s\n", d, pos)
+		}
+		if elided {
+			// Cross-audit: the linter re-derives in-bounds-ness from its
+			// own register-level value analysis and must justify every E
+			// bit the compiler planted.
+			audit := lint.ElideAudit(prog, spec.Contract())
+			for _, d := range audit {
+				fmt.Printf("// LINT %s\n", d)
+			}
+			diags = append(diags, audit...)
 		}
 		if len(diags) > 0 {
 			fmt.Fprintf(os.Stderr, "lmi-compile: lint: %d contract violations\n", len(diags))

@@ -12,6 +12,7 @@
 //	lmi-lint -all                 # every workload and app, both modes, pre- and post-optimizer
 //	lmi-lint -bench needle        # one benchmark
 //	lmi-lint -bench bfs -mode base
+//	lmi-lint -all -elide-audit    # also audit every compiler-planted E (elide) hint
 //	lmi-lint -all -json           # machine-readable report
 //
 // Exits nonzero when any diagnostic is produced; scripts/check.sh runs
@@ -35,6 +36,10 @@ import (
 type target struct {
 	name string
 	f    *ir.Func
+	// spec is the owning benchmark spec when the kernel is a Table V
+	// workload (nil for apps); it supplies the launch contract the elide
+	// audit re-derives in-bounds-ness under.
+	spec *workloads.Spec
 }
 
 // result is one linted program: a kernel in one mode, before or after
@@ -50,8 +55,11 @@ func main() {
 	all := flag.Bool("all", false, "lint every Table V workload and every app kernel")
 	bench := flag.String("bench", "", "lint one benchmark by name")
 	modeFlag := flag.String("mode", "both", "base | lmi | both")
+	elideAudit := flag.Bool("elide-audit", false, "also compile each workload with static elision and audit every E bit against the linter's own value analysis")
 	jsonOut := flag.Bool("json", false, "emit the full report as JSON")
 	flag.Parse()
+	cliutil.ValidateEnumOrExit("lmi-lint",
+		cliutil.EnumCheck{Name: "mode", Value: *modeFlag, Allowed: []string{"base", "lmi", "both"}})
 
 	if !*all && *bench == "" {
 		os.Exit(cliutil.Usage("lmi-lint", cliutil.Errorf("lmi-lint", "need -all or -bench")))
@@ -65,8 +73,6 @@ func main() {
 		modes = []compiler.Mode{compiler.ModeLMI}
 	case "both":
 		modes = []compiler.Mode{compiler.ModeBase, compiler.ModeLMI}
-	default:
-		os.Exit(cliutil.Usage("lmi-lint", cliutil.Errorf("lmi-lint", "unknown mode %q", *modeFlag)))
 	}
 
 	targets, err := gather(*all, *bench)
@@ -89,6 +95,19 @@ func main() {
 			post := lint.Check(compiler.Optimize(p), m)
 			results = append(results, result{tg.name, m.String(), true, post})
 			total += len(pre) + len(post)
+		}
+		if *elideAudit && tg.spec != nil {
+			c := tg.spec.Contract()
+			p, _, _, err := compiler.CompileElidedWithSourceMap(tg.f, c)
+			if err != nil {
+				// A proven-out-of-bounds access in a shipped workload is
+				// itself a gate failure, reported with its position.
+				fmt.Fprintf(os.Stderr, "lmi-lint: %s: elided compile: %v\n", tg.name, err)
+				os.Exit(1)
+			}
+			diags := lint.ElideAudit(p, c)
+			results = append(results, result{tg.name, "lmi-elide", false, diags})
+			total += len(diags)
 		}
 	}
 
@@ -128,7 +147,7 @@ func gather(all bool, bench string) ([]target, error) {
 		if err != nil {
 			return nil, err
 		}
-		return []target{{s.Name, f}}, nil
+		return []target{{s.Name, f, s}}, nil
 	}
 	var out []target
 	for _, s := range workloads.All() {
@@ -136,10 +155,10 @@ func gather(all bool, bench string) ([]target, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: %v", s.Name, err)
 		}
-		out = append(out, target{s.Name, f})
+		out = append(out, target{s.Name, f, s})
 	}
 	for _, f := range apps.All() {
-		out = append(out, target{f.Name, f})
+		out = append(out, target{f.Name, f, nil})
 	}
 	return out, nil
 }

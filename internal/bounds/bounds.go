@@ -1,0 +1,222 @@
+// Package bounds implements an interprocedural value-range analysis over
+// the IR that statically classifies every checkable memory access as
+// proven-in-bounds, unknown, or proven-out-of-bounds.
+//
+// The analysis is the compile-time half of the extent-check elision
+// optimisation: LMI's runtime extent check (paper §VI) guards every
+// global/local access, but the dominant GPU addressing idiom — a
+// thread-indexed affine expression clamped by a mask or min against the
+// element count — is statically provably in bounds. For such accesses
+// the compiler sets the E (Elide) microcode hint next to the A/S hints
+// and the LSU skips the extent check entirely, which internal/hwcost
+// converts into energy savings per elided check.
+//
+// Three ingredients make the proofs go through:
+//
+//   - Intervals with saturating arithmetic and explicit 32-bit overflow
+//     clamping (interval.go) bound thread/block-indexed expressions using
+//     the launch geometry carried by the Contract.
+//   - Symbolic affine upper bounds value <= floor((A*n+C)/D) track
+//     guarded indices whose bound scales with the element-count
+//     parameter n, so a proof holds for every valid n, not one value.
+//   - Allocation-site facts: stack/shared/heap sites have known
+//     requested sizes, and pointer parameters are governed by the
+//     Contract (at least PtrBytesPerCount bytes per count element).
+//
+// Soundness is enforced twice: the verdicts here drive hint emission,
+// and internal/lint's elide audit independently re-derives in-bounds-ness
+// from ISA-level dataflow, rejecting any E bit it cannot justify.
+package bounds
+
+import (
+	"fmt"
+
+	"lmi/internal/ir"
+	"lmi/internal/isa"
+)
+
+// Contract states the launch-time guarantees under which a kernel's
+// bounds proofs hold. The elided program is only valid for launches that
+// satisfy the contract; the workload runner launches at exactly the
+// contract's geometry.
+type Contract struct {
+	// CountParam is the index of the i32 element-count parameter n, or
+	// -1 if the kernel has none (pointer parameters then carry no
+	// size guarantee and accesses through them stay unknown).
+	CountParam int
+	// CountMin and CountMax bound the values n takes at launch.
+	CountMin, CountMax int64
+	// PtrBytesPerCount guarantees every pointer parameter references a
+	// buffer of at least PtrBytesPerCount*n bytes.
+	PtrBytesPerCount int64
+	// BlockDimX/Y and GridDimX/Y are the launch dimensions. Zero Y
+	// dimensions default to 1.
+	BlockDimX, GridDimX int64
+	BlockDimY, GridDimY int64
+}
+
+// Validate checks the contract against the kernel signature.
+func (c Contract) Validate(f *ir.Func) error {
+	if c.BlockDimX < 1 || c.BlockDimX > 1024 {
+		return fmt.Errorf("bounds: contract block dim %d outside [1, 1024]", c.BlockDimX)
+	}
+	if c.GridDimX < 1 {
+		return fmt.Errorf("bounds: contract grid dim %d < 1", c.GridDimX)
+	}
+	if c.BlockDimY < 0 || c.GridDimY < 0 {
+		return fmt.Errorf("bounds: negative Y launch dimension")
+	}
+	if c.CountParam >= 0 {
+		if c.CountParam >= len(f.Params) {
+			return fmt.Errorf("bounds: count parameter #%d out of range (%d params)",
+				c.CountParam, len(f.Params))
+		}
+		if !f.Params[c.CountParam].IsInt() {
+			return fmt.Errorf("bounds: count parameter #%d is %s, want integer",
+				c.CountParam, f.Params[c.CountParam])
+		}
+		if c.CountMin < 1 || c.CountMax < c.CountMin {
+			return fmt.Errorf("bounds: count range [%d, %d] invalid (need 1 <= min <= max)",
+				c.CountMin, c.CountMax)
+		}
+		if c.PtrBytesPerCount < 0 {
+			return fmt.Errorf("bounds: negative PtrBytesPerCount")
+		}
+	}
+	return nil
+}
+
+func (c Contract) blockDimY() int64 {
+	if c.BlockDimY == 0 {
+		return 1
+	}
+	return c.BlockDimY
+}
+
+func (c Contract) gridDimY() int64 {
+	if c.GridDimY == 0 {
+		return 1
+	}
+	return c.GridDimY
+}
+
+// Verdict classifies one memory access.
+type Verdict uint8
+
+// Access verdicts, ordered from "no knowledge" to "provably wrong".
+const (
+	// VerdictUnknown: the analysis cannot bound the access; the runtime
+	// extent check stays.
+	VerdictUnknown Verdict = iota
+	// VerdictProven: the access lies within its allocation's requested
+	// size for every contract-conforming launch; the check may be elided.
+	VerdictProven
+	// VerdictOOB: the access lies outside its allocation's requested
+	// size for every contract-conforming launch — a compile-time bug,
+	// reported before any simulation.
+	VerdictOOB
+)
+
+// String renders the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictProven:
+		return "proven-in-bounds"
+	case VerdictOOB:
+		return "proven-oob"
+	default:
+		return "unknown"
+	}
+}
+
+// AccessVerdict is the classification of one IR memory access.
+type AccessVerdict struct {
+	// Block and Index locate the OpLoad/OpStore instruction.
+	Block ir.BlockID
+	Index int
+	// Space is the access's memory space; Size its byte width; Store
+	// whether it writes.
+	Space isa.Space
+	Size  uint64
+	Store bool
+	// Verdict is the classification, Detail a human-readable proof or
+	// failure note.
+	Verdict Verdict
+	Detail  string
+}
+
+// String renders the verdict with its location.
+func (a AccessVerdict) String() string {
+	kind := "load"
+	if a.Store {
+		kind = "store"
+	}
+	return fmt.Sprintf("b%d[%d]: %s.%s %dB: %s (%s)",
+		a.Block, a.Index, kind, a.Space, a.Size, a.Verdict, a.Detail)
+}
+
+// Result is the outcome of analysing one kernel.
+type Result struct {
+	// Func is the kernel name.
+	Func string
+	// Accesses lists every checkable (global or local space) load and
+	// store in program order with its verdict.
+	Accesses []AccessVerdict
+
+	proven map[accessKey]bool
+}
+
+type accessKey struct {
+	block ir.BlockID
+	index int
+}
+
+// Proven reports whether the access at (block, index) was proven
+// in-bounds.
+func (r *Result) Proven(block ir.BlockID, index int) bool {
+	return r.proven[accessKey{block, index}]
+}
+
+// OOB returns the proven-out-of-bounds accesses.
+func (r *Result) OOB() []AccessVerdict {
+	var out []AccessVerdict
+	for _, a := range r.Accesses {
+		if a.Verdict == VerdictOOB {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Counts returns the number of accesses per verdict.
+func (r *Result) Counts() (proven, unknown, oob int) {
+	for _, a := range r.Accesses {
+		switch a.Verdict {
+		case VerdictProven:
+			proven++
+		case VerdictOOB:
+			oob++
+		default:
+			unknown++
+		}
+	}
+	return
+}
+
+// OOBError is the compile-time diagnostic for a proven-out-of-bounds
+// access: the access lies outside its allocation for every
+// contract-conforming launch.
+type OOBError struct {
+	Func   string
+	Access AccessVerdict
+}
+
+// Error renders the diagnostic with its IR position.
+func (e *OOBError) Error() string {
+	kind := "load"
+	if e.Access.Store {
+		kind = "store"
+	}
+	return fmt.Sprintf("bounds: %s: b%d[%d]: %s provably out of bounds: %s",
+		e.Func, e.Access.Block, e.Access.Index, kind, e.Access.Detail)
+}

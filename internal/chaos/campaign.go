@@ -50,7 +50,7 @@ func mechDefs() []mechDef {
 // misround needs size-class metadata to mis-round.
 func (d *mechDef) eligible(k Kind) bool {
 	switch k {
-	case KindHintDrop, KindHintSpurious, KindOCUMisdecode:
+	case KindHintDrop, KindHintSpurious, KindOCUMisdecode, KindSpuriousElide:
 		return d.hinted
 	case KindAllocMisround:
 		return d.pow2
@@ -240,16 +240,23 @@ func (c Campaign) Run(ctx context.Context) (*Report, error) {
 		rep  int
 	}
 	var specs []spec
-	for _, d := range inj.defs {
-		for _, k := range Kinds() {
-			if !d.eligible(k) {
-				continue
-			}
-			for t := 0; t < trials; t++ {
-				specs = append(specs, spec{def: d, kind: k, rep: t})
+	add := func(kinds []Kind) {
+		for _, d := range inj.defs {
+			for _, k := range kinds {
+				if !d.eligible(k) {
+					continue
+				}
+				for t := 0; t < trials; t++ {
+					specs = append(specs, spec{def: d, kind: k, rep: t})
+				}
 			}
 		}
 	}
+	// The legacy kinds enumerate first, in their original order, so the
+	// per-trial seeds MixSeed(Seed, index) of the pre-existing matrix are
+	// unchanged by kind additions; newer kinds append after the block.
+	add(legacyKinds())
+	add([]Kind{KindSpuriousElide})
 
 	rep := &Report{Seed: c.Seed, TrialsPerCell: trials, Trials: make([]Trial, len(specs))}
 	cfg := TrialConfig(c.SMs)
@@ -372,6 +379,14 @@ func (inj *Injector) runTrial(ctx context.Context, def mechDef, kind Kind,
 			return degraded("free: "+err.Error(), err)
 		}
 		tr.Detail = "buffer freed, extent nullification skipped, stale tagged pointer launched"
+	case KindSpuriousElide:
+		q, detail := spuriousElide(progs.oob, r)
+		if q == nil {
+			tr.Outcome = OutcomeTolerated
+			tr.Detail = "victim carries no checkable memory instructions"
+			return tr
+		}
+		prog, tr.Detail, oobVictim = q, detail, true
 	}
 
 	params := []uint64{inPtr, outParam}
@@ -395,6 +410,11 @@ func (inj *Injector) runTrial(ctx context.Context, def mechDef, kind Kind,
 			// No violation was injected that the mechanism should
 			// report; a fault here is a false alarm.
 			tr.Outcome = OutcomeFalsePositive
+		case KindSpuriousElide:
+			// The planted E landed on an in-bounds access: skipping a
+			// check that would pass is architecturally benign, and the
+			// victim's designed out-of-bounds store was still caught.
+			tr.Outcome = OutcomeTolerated
 		default:
 			tr.Outcome = OutcomeDetected
 		}
@@ -416,7 +436,7 @@ func (inj *Injector) runTrial(ctx context.Context, def mechDef, kind Kind,
 		// Completing at all means the use-after-free executed unflagged.
 		tr.Outcome = OutcomeMissed
 		tr.Detail = withDetail(tr.Detail, "use-after-free executed unflagged")
-	case KindHintDrop, KindOCUMisdecode:
+	case KindHintDrop, KindOCUMisdecode, KindSpuriousElide:
 		base := dev.Mech.Canonical(outPtr)
 		if dev.Global.Read(base+victimBufBytes, 4) == oobMarker {
 			tr.Outcome = OutcomeMissed

@@ -65,10 +65,21 @@ const (
 	// extent nullification, then dereferences the stale tagged pointer —
 	// the use-after-free the §VIII instrumentation normally prevents.
 	KindFreeSkipNullify Kind = "free-skip-nullify"
+
+	// KindSpuriousElide sets the E (elide) microcode hint on a memory
+	// instruction the compiler never proved in bounds, making the LSU
+	// skip its extent check. Landing on the victim's out-of-bounds store
+	// this is a guaranteed silent miss at runtime — which is exactly why
+	// the lint elide audit must reject every E bit it cannot re-derive
+	// statically.
+	KindSpuriousElide Kind = "spurious-elide"
 )
 
-// Kinds returns all injection kinds in their fixed campaign order.
-func Kinds() []Kind {
+// legacyKinds returns the injection kinds of the original campaign
+// format in their fixed order. Campaign enumeration keeps these first so
+// the per-trial seeds (MixSeed of the campaign seed and the trial index)
+// of the pre-existing matrix are byte-identical across versions.
+func legacyKinds() []Kind {
 	return []Kind{
 		KindControl,
 		KindAllocMisround,
@@ -82,6 +93,11 @@ func Kinds() []Kind {
 	}
 }
 
+// Kinds returns all injection kinds in their fixed campaign order.
+func Kinds() []Kind {
+	return append(legacyKinds(), KindSpuriousElide)
+}
+
 // Stage names the pointer lifecycle stage a kind corrupts.
 func (k Kind) Stage() string {
 	switch k {
@@ -89,7 +105,8 @@ func (k Kind) Stage() string {
 		return "control"
 	case KindAllocMisround, KindAllocExhaust:
 		return "generation"
-	case KindExtentFlip, KindUMFlip, KindHintDrop, KindHintSpurious, KindOCUMisdecode:
+	case KindExtentFlip, KindUMFlip, KindHintDrop, KindHintSpurious, KindOCUMisdecode,
+		KindSpuriousElide:
 		return "propagation"
 	case KindFreeSkipNullify:
 		return "destruction"

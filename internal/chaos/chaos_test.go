@@ -137,6 +137,96 @@ func TestCampaignMatrixExpectations(t *testing.T) {
 	all("lmi", KindHintSpurious, OutcomeTolerated)
 }
 
+// TestCampaignLegacySeedStability re-derives the original campaign
+// enumeration (mechanism-major over the legacy kinds) and requires every
+// pre-existing trial to sit at exactly that index with exactly that
+// seed: adding the spurious-elide kind must not move a single legacy
+// trial, so the pre-existing detection matrix stays byte-identical.
+func TestCampaignLegacySeedStability(t *testing.T) {
+	const seed, trials = 42, 2
+	rep, err := Campaign{Seed: seed, Trials: trials}.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	for _, d := range mechDefs() {
+		for _, k := range legacyKinds() {
+			if !d.eligible(k) {
+				continue
+			}
+			for r := 0; r < trials; r++ {
+				if i >= len(rep.Trials) {
+					t.Fatalf("campaign ran %d trials; legacy enumeration needs more", len(rep.Trials))
+				}
+				tr := rep.Trials[i]
+				if tr.Mech != d.name || tr.Kind != k || tr.Rep != r || tr.Seed != MixSeed(seed, uint64(i)) {
+					t.Fatalf("trial %d: got (%s, %s, rep %d, seed %#x), want (%s, %s, rep %d, seed %#x)",
+						i, tr.Mech, tr.Kind, tr.Rep, tr.Seed, d.name, k, r, MixSeed(seed, uint64(i)))
+				}
+				i++
+			}
+		}
+	}
+	if i == len(rep.Trials) {
+		t.Fatal("campaign enumerated no spurious-elide trials after the legacy block")
+	}
+	for ; i < len(rep.Trials); i++ {
+		if rep.Trials[i].Kind != KindSpuriousElide {
+			t.Fatalf("trial %d after the legacy block has kind %s, want %s",
+				i, rep.Trials[i].Kind, KindSpuriousElide)
+		}
+	}
+}
+
+// TestSpuriousElideOutcomes: a planted E bit landing on the oob victim's
+// out-of-bounds store suppresses the only check that would catch it — a
+// guaranteed silent miss with the marker landed past the buffer — while
+// landing on an in-bounds access is benign and the designed violation is
+// still caught. Both site classes must appear across the repetitions,
+// and the kind must stay off the non-hinted mechanisms.
+func TestSpuriousElideOutcomes(t *testing.T) {
+	rep, err := Campaign{Seed: 9, Trials: 12, Mechs: []string{"lmi"}}.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	miss, tol := 0, 0
+	for _, tr := range rep.Trials {
+		if tr.Kind != KindSpuriousElide {
+			continue
+		}
+		switch tr.Outcome {
+		case OutcomeMissed:
+			miss++
+			if !strings.Contains(tr.Detail, "out-of-bounds store landed") {
+				t.Errorf("trial %d: missed without the landed-store observation: %s", tr.Index, tr.Detail)
+			}
+		case OutcomeTolerated:
+			tol++
+			if !tr.HasFault {
+				t.Errorf("trial %d: tolerated elide should still catch the designed violation: %s",
+					tr.Index, tr.Detail)
+			}
+		default:
+			t.Errorf("trial %d: spurious-elide outcome %s (%s), want missed or tolerated",
+				tr.Index, tr.Outcome, tr.Detail)
+		}
+	}
+	if miss == 0 || tol == 0 {
+		t.Fatalf("seed did not exercise both elide site classes (miss=%d tol=%d); widen Trials", miss, tol)
+	}
+	inj, err := NewInjector(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mech := range []string{"baggybounds", "gpushield"} {
+		for _, k := range inj.EligibleKinds(mech) {
+			if k == KindSpuriousElide {
+				t.Errorf("%s: spurious-elide eligible without a hinted microcode path", mech)
+			}
+		}
+	}
+}
+
 // panicCheckMech panics at the EC hook — a worst-case mechanism
 // plug-in bug injected under every trial of a campaign.
 type panicCheckMech struct {

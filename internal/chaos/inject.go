@@ -101,6 +101,45 @@ func spuriousHint(p *isa.Program, r *rng) (*isa.Program, string) {
 	return PlantSpuriousHintAt(p, idx), fmt.Sprintf("spurious A hint set on instr %d (%s)", idx, p.Instrs[idx].Op)
 }
 
+// ElideSites returns the indices of the memory instructions an E (elide)
+// hint can legally be planted on — the candidate sites for the
+// spurious-elide injection.
+func ElideSites(p *isa.Program) []int {
+	var cands []int
+	for i := range p.Instrs {
+		switch p.Instrs[i].Op {
+		case isa.LDG, isa.STG, isa.LDL, isa.STL:
+			cands = append(cands, i)
+		}
+	}
+	return cands
+}
+
+// PlantSpuriousElideAt returns a copy of p with the E hint set on
+// instruction idx, making the LSU skip that access's extent check
+// without any static proof backing the elision. The lint elide audit's
+// negative corpus uses this deterministic form; the campaign picks the
+// site by RNG.
+func PlantSpuriousElideAt(p *isa.Program, idx int) *isa.Program {
+	q := cloneProgram(p)
+	q.Instrs[idx].Hint.E = true
+	return q
+}
+
+// spuriousElide sets the E hint on one randomly chosen memory
+// instruction. Landing on the oob victim's out-of-bounds store this
+// suppresses the only check that would catch it; landing on an in-bounds
+// access it is architecturally benign. It returns nil when the program
+// has no memory instructions.
+func spuriousElide(p *isa.Program, r *rng) (*isa.Program, string) {
+	cands := ElideSites(p)
+	if len(cands) == 0 {
+		return nil, ""
+	}
+	idx := cands[r.intn(len(cands))]
+	return PlantSpuriousElideAt(p, idx), fmt.Sprintf("spurious E hint set on instr %d (%s)", idx, p.Instrs[idx].Op)
+}
+
 // StripNullification returns a copy of p with the SHL/SHR
 // extent-nullification pair removed after every FREE — the program-level
 // form of the campaign's skipped-nullification fault (§VIII), leaving

@@ -9,6 +9,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 )
 
 // Check is one integer flag whose value must be at least 1.
@@ -40,6 +41,44 @@ func Validate(tool string, fs *flag.FlagSet, checks ...Check) error {
 		return fmt.Errorf("%s: invalid -%s %d: must be >= 1", tool, c.Name, c.Value)
 	}
 	return nil
+}
+
+// EnumCheck is one string flag whose value must be in a fixed set
+// (the -mode / -elide family).
+type EnumCheck struct {
+	// Name is the flag name without the dash.
+	Name string
+	// Value is the parsed value.
+	Value string
+	// Allowed lists the legal values in display order.
+	Allowed []string
+}
+
+// ValidateEnum applies the enum checks and returns the first violation
+// as a uniform usage error (nil when every value is in its set).
+func ValidateEnum(tool string, checks ...EnumCheck) error {
+	for _, c := range checks {
+		ok := false
+		for _, a := range c.Allowed {
+			if c.Value == a {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("%s: invalid -%s %q: must be %s",
+				tool, c.Name, c.Value, strings.Join(c.Allowed, " | "))
+		}
+	}
+	return nil
+}
+
+// ValidateEnumOrExit is the main() entry point for enum flags: validate,
+// and on violation print the uniform usage error and exit 2.
+func ValidateEnumOrExit(tool string, checks ...EnumCheck) {
+	if err := ValidateEnum(tool, checks...); err != nil {
+		os.Exit(Usage(tool, err))
+	}
 }
 
 // Usage prints a uniform usage error for tool and returns exit status

@@ -69,6 +69,51 @@ func TestValidate(t *testing.T) {
 	}
 }
 
+// TestValidateEnum is the table over the enum flag shapes (-elide, the
+// lmi-compile/lmi-lint modes): legal values pass, anything else is a
+// uniform usage error naming the allowed set.
+func TestValidateEnum(t *testing.T) {
+	cases := []struct {
+		name    string
+		checks  []EnumCheck
+		wantErr string // "" = valid
+	}{
+		{"elide off", []EnumCheck{{Name: "elide", Value: "off", Allowed: []string{"off", "on"}}}, ""},
+		{"elide on", []EnumCheck{{Name: "elide", Value: "on", Allowed: []string{"off", "on"}}}, ""},
+		{"elide typo", []EnumCheck{{Name: "elide", Value: "yes", Allowed: []string{"off", "on"}}},
+			`invalid -elide "yes": must be off | on`},
+		{"elide empty", []EnumCheck{{Name: "elide", Value: "", Allowed: []string{"off", "on"}}},
+			`invalid -elide "": must be off | on`},
+		{"mode valid", []EnumCheck{{Name: "mode", Value: "lmi", Allowed: []string{"base", "lmi"}}}, ""},
+		{"mode unknown", []EnumCheck{{Name: "mode", Value: "fast", Allowed: []string{"base", "lmi"}}},
+			`invalid -mode "fast": must be base | lmi`},
+		{"first violation wins", []EnumCheck{
+			{Name: "mode", Value: "x", Allowed: []string{"base", "lmi"}},
+			{Name: "elide", Value: "y", Allowed: []string{"off", "on"}},
+		}, "invalid -mode"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateEnum("tool", tc.checks...)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected usage error %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("accepted, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q, want it to contain %q", err, tc.wantErr)
+			}
+			if !strings.HasPrefix(err.Error(), "tool: ") {
+				t.Fatalf("error %q lacks the uniform tool prefix", err)
+			}
+		})
+	}
+}
+
 // TestErrorf: hand-rolled validations share the same prefix shape.
 func TestErrorf(t *testing.T) {
 	err := Errorf("lmi-lint", "need -all or -bench")

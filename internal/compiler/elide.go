@@ -1,0 +1,60 @@
+package compiler
+
+import (
+	"fmt"
+
+	"lmi/internal/bounds"
+	"lmi/internal/ir"
+	"lmi/internal/isa"
+)
+
+// CompileElided compiles a kernel under ModeLMI with static extent-check
+// elision: the bounds analysis classifies every checkable access under
+// the launch contract, a proven-out-of-bounds access aborts compilation
+// with a positioned diagnostic, and every proven-in-bounds LDG/STG/LDL/STL
+// gets the E microcode hint so the LSU skips its extent check.
+//
+// Plain Compile/CompileWithSourceMap are deliberately untouched: callers
+// that need byte-identical unelided programs (chaos victims, the
+// baseline variants) keep getting them.
+func CompileElided(f *ir.Func, c bounds.Contract) (*isa.Program, *bounds.Result, error) {
+	p, _, res, err := CompileElidedWithSourceMap(f, c)
+	return p, res, err
+}
+
+// CompileElidedWithSourceMap is CompileElided returning the source map
+// as well, for static analyses (the lint elide audit) that re-derive the
+// hint placement.
+func CompileElidedWithSourceMap(f *ir.Func, c bounds.Contract) (*isa.Program, []SourceLoc, *bounds.Result, error) {
+	res, err := bounds.Analyze(f, c)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if oob := res.OOB(); len(oob) > 0 {
+		// Report the first proven-out-of-bounds access as a compile-time
+		// error, positioned at its IR instruction — before any simulation.
+		return nil, nil, res, &bounds.OOBError{Func: f.Name, Access: oob[0]}
+	}
+	p, src, err := CompileWithSourceMap(f, ModeLMI)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		switch in.Op {
+		case isa.LDG, isa.STG, isa.LDL, isa.STL:
+		default:
+			continue
+		}
+		// OpLoad/OpStore lower to exactly one memory instruction, so the
+		// (block, index) provenance identifies the access uniquely.
+		loc := src[i]
+		if loc.Block >= 0 && res.Proven(loc.Block, loc.Index) {
+			in.Hint.E = true
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, nil, nil, fmt.Errorf("compiler: elided program invalid: %w", err)
+	}
+	return p, src, res, nil
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lmi/internal/hwcost"
+	"lmi/internal/runner"
+	"lmi/internal/sim"
+	"lmi/internal/stats"
+	"lmi/internal/workloads"
+)
+
+// ElideRow is one benchmark under LMI with and without static
+// extent-check elision: how many checks the bounds analysis discharged
+// at compile time, and what that buys at the LSU.
+type ElideRow struct {
+	Name  string
+	Suite string
+	// StaticElided is the number of E bits in the elided program.
+	StaticElided int
+	// ECChecked and ECElided are the elided run's dynamic lane-access
+	// counts: checks still executed vs checks skipped via the E hint.
+	ECChecked uint64
+	ECElided  uint64
+	// ElidedFrac is ECElided over the total checkable accesses.
+	ElidedFrac float64
+	// LMICycles and ElideCycles are the run lengths of the two variants;
+	// CycleDelta is their ratio (elide / plain, < 1 is a win).
+	LMICycles   uint64
+	ElideCycles uint64
+	CycleDelta  float64
+	// ECEnergySavedNJ prices the skipped checks with the hwcost EC
+	// model: elided evaluations times the EC's per-op dynamic energy.
+	ECEnergySavedNJ float64
+}
+
+// ElideResult is the full static-elision experiment.
+type ElideResult struct {
+	Rows []ElideRow
+	// ElidedFracMean is the arithmetic mean of the dynamic elided
+	// fractions; CycleDeltaMean the geomean of the cycle ratios.
+	ElidedFracMean float64
+	CycleDeltaMean float64
+	// ECEnergySavedNJ totals the priced savings over the suite.
+	ECEnergySavedNJ float64
+	// Report is the sweep's per-run timing report.
+	Report *runner.Report
+}
+
+// elideVariants is the per-benchmark job order of the elision sweep.
+var elideVariants = []workloads.Variant{
+	workloads.VariantLMI,
+	workloads.VariantLMIElide,
+}
+
+// Elide measures static extent-check elision over the Table V suite:
+// every benchmark under plain LMI and under LMI with the bounds
+// analysis's proven checks elided, reporting the checks-elided fraction
+// and the cycle and EC-energy deltas.
+func Elide(cfg sim.Config) (*ElideResult, error) { return ElideJobs(cfg, 0) }
+
+// ElideJobs is Elide on a worker pool of the given size (<= 0 means
+// runner.DefaultWorkers); the rendered table is identical at any size.
+func ElideJobs(cfg sim.Config, workers int) (*ElideResult, error) {
+	specs := workloads.All()
+	var jobs []runner.Job
+	for _, s := range specs {
+		for _, v := range elideVariants {
+			jobs = append(jobs, runner.Job{Spec: s, Variant: v, Config: cfg})
+		}
+	}
+	rep := runner.RunNamed("elide", jobs, workers)
+	sts, err := rep.Stats()
+	if err != nil {
+		return nil, err
+	}
+	ecPerOpFJ := hwcost.EC().EnergyPerOpFJ()
+	res := &ElideResult{Report: rep}
+	var fracs, deltas []float64
+	for i, s := range specs {
+		group := sts[i*len(elideVariants) : (i+1)*len(elideVariants)]
+		lmi, elide := group[0], group[1]
+		prog, err := s.Compile(workloads.VariantLMIElide)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: elided compile: %w", s.Name, err)
+		}
+		row := ElideRow{
+			Name: s.Name, Suite: s.Suite,
+			StaticElided: prog.CountElided(),
+			ECChecked:    elide.ECChecked, ECElided: elide.ECElided,
+			LMICycles: lmi.Cycles, ElideCycles: elide.Cycles,
+		}
+		if total := elide.ECChecked + elide.ECElided; total > 0 {
+			row.ElidedFrac = float64(elide.ECElided) / float64(total)
+		}
+		row.CycleDelta = float64(elide.Cycles) / float64(lmi.Cycles)
+		row.ECEnergySavedNJ = float64(elide.ECElided) * ecPerOpFJ * 1e-6
+		fracs = append(fracs, row.ElidedFrac)
+		deltas = append(deltas, row.CycleDelta)
+		res.ECEnergySavedNJ += row.ECEnergySavedNJ
+		res.Rows = append(res.Rows, row)
+	}
+	res.ElidedFracMean = stats.Mean(fracs)
+	res.CycleDeltaMean = checkedMean(deltas)
+	return res, nil
+}
+
+// Table renders the result.
+func (r *ElideResult) Table() string {
+	t := stats.NewTable("benchmark", "suite", "E-sites", "checked", "elided",
+		"elided-frac", "lmi cycles", "elide cycles", "delta", "EC saved (nJ)")
+	for _, row := range r.Rows {
+		t.AddRowf(4, row.Name, row.Suite, row.StaticElided,
+			row.ECChecked, row.ECElided, row.ElidedFrac,
+			row.LMICycles, row.ElideCycles, row.CycleDelta, row.ECEnergySavedNJ)
+	}
+	t.AddRowf(4, "MEAN", "", "", "", "", r.ElidedFracMean, "", "", r.CycleDeltaMean, r.ECEnergySavedNJ)
+	return t.String()
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestElideExperiment is the elision acceptance gate: the sweep runs
+// clean, a majority of the suite elides checks both statically and
+// dynamically, elision never slows a benchmark down meaningfully, and
+// the rendered table is byte-identical across worker-pool sizes.
+func TestElideExperiment(t *testing.T) {
+	cfg := SimConfig()
+	res, err := ElideJobs(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	elidedDyn, elidedStatic := 0, 0
+	for _, row := range res.Rows {
+		if row.StaticElided > 0 {
+			elidedStatic++
+		}
+		if row.ECElided > 0 {
+			elidedDyn++
+		}
+		if row.ECElided > 0 && row.ECEnergySavedNJ <= 0 {
+			t.Errorf("%s: %d elided checks priced at zero energy", row.Name, row.ECElided)
+		}
+		// Skipping a check can only remove work; allow a small scheduling
+		// wobble but no real slowdown.
+		if row.CycleDelta > 1.01 {
+			t.Errorf("%s: elision slowed the run down: delta %.4f", row.Name, row.CycleDelta)
+		}
+	}
+	if 2*elidedStatic < len(res.Rows) || 2*elidedDyn < len(res.Rows) {
+		t.Errorf("elision reached too few benchmarks: static %d, dynamic %d of %d",
+			elidedStatic, elidedDyn, len(res.Rows))
+	}
+	if res.ElidedFracMean <= 0 {
+		t.Errorf("mean elided fraction %.4f, want > 0", res.ElidedFracMean)
+	}
+
+	par, err := ElideJobs(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table() != par.Table() {
+		t.Errorf("elide table differs between 1 and 4 workers:\n--- 1 ---\n%s\n--- 4 ---\n%s",
+			res.Table(), par.Table())
+	}
+}

@@ -34,6 +34,12 @@ const (
 	psOR2   = 45
 	psXOR2  = 55
 	psMUX2  = 48
+
+	// fJPerGE is the mean switching energy per gate equivalent per
+	// evaluation: FreePDK45-class dynamic energy at the typical corner
+	// with the activity factor folded in. It prices what a statically
+	// elided check saves — the EC evaluation that never happens.
+	fJPerGE = 0.8
 )
 
 // Component is one block of a hardware design.
@@ -69,6 +75,12 @@ func (d *Design) CriticalPathPs() int {
 		t += c.PathPs
 	}
 	return t
+}
+
+// EnergyPerOpFJ estimates the dynamic energy of one evaluation of the
+// design in femtojoules (area x per-GE switching energy).
+func (d *Design) EnergyPerOpFJ() float64 {
+	return d.TotalGE() * fJPerGE
 }
 
 // FMaxGHz is the combinational unit's maximum clock frequency.

@@ -42,7 +42,8 @@ func (p PredReg) String() string {
 	return fmt.Sprintf("P%d", uint8(p))
 }
 
-// Hint carries LMI's two microcode hint bits (paper §VI-B, Fig. 9).
+// Hint carries LMI's microcode hint bits (paper §VI-B, Fig. 9) plus the
+// elide bit carved from the adjacent reserved space.
 type Hint struct {
 	// A (Activation, microcode bit 28) marks the instruction as
 	// pointer-handling: the OCU must verify its result.
@@ -50,6 +51,11 @@ type Hint struct {
 	// S (Selection, microcode bit 27) names the source operand holding
 	// the pointer: false selects Src[0], true selects Src[1].
 	S bool
+	// E (Elide, microcode bit 29) marks a memory access whose address
+	// the compiler has statically proven in-bounds: the LSU skips the
+	// extent check. Only legal on LDG/STG/LDL/STL; soundness is
+	// re-derived independently by the lint elide audit.
+	E bool
 }
 
 // PointerOperand returns the index of the source operand the S bit
@@ -229,6 +235,9 @@ func (in *Instr) String() string {
 		}
 		fmt.Fprintf(&b, "  ; [A S=%d]", s)
 	}
+	if in.Hint.E {
+		b.WriteString("  ; [E]")
+	}
 	return b.String()
 }
 
@@ -264,6 +273,13 @@ func (in *Instr) Validate() error {
 	}
 	if in.Hint.A && !in.Op.IsInt() {
 		return fmt.Errorf("isa: %s: activation hint on non-integer instruction", in.Op)
+	}
+	if in.Hint.E {
+		switch in.Op {
+		case LDG, STG, LDL, STL:
+		default:
+			return fmt.Errorf("isa: %s: elide hint on non-checkable memory instruction", in.Op)
+		}
 	}
 	return nil
 }
@@ -369,6 +385,19 @@ func (p *Program) CountHinted() int {
 	n := 0
 	for i := range p.Instrs {
 		if p.Instrs[i].Hint.A {
+			n++
+		}
+	}
+	return n
+}
+
+// CountElided returns the number of memory instructions carrying the E
+// hint — the accesses whose extent check the compiler discharged
+// statically.
+func (p *Program) CountElided() int {
+	n := 0
+	for i := range p.Instrs {
+		if p.Instrs[i].Hint.E {
 			n++
 		}
 	}

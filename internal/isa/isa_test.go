@@ -121,6 +121,57 @@ func TestMicrocodeHintBitPositions(t *testing.T) {
 	}
 }
 
+func TestMicrocodeElideBit(t *testing.T) {
+	// The E hint must land at exactly bit 29, inside the reserved field,
+	// and round-trip through encode/decode on every checkable memory op.
+	for _, op := range []Opcode{LDG, STG, LDL, STL} {
+		in := Instr{Op: op, Dst: 1, Src: [3]Reg{2, 3, RZ}, Aux: 2, Pred: PT,
+			Hint: Hint{E: true}}
+		if op.IsStore() {
+			in.Dst = RZ
+		}
+		w, err := Encode(&in)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", op, err)
+		}
+		if w.Lo>>HintBitE&1 != 1 {
+			t.Errorf("%s: E hint not at bit %d", op, HintBitE)
+		}
+		if w.Lo&reservedMask&^hintMask != 0 {
+			t.Errorf("%s: E hint leaked outside the hint mask", op)
+		}
+		out, err := Decode(w)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", op, err)
+		}
+		if !out.Hint.E || out != in {
+			t.Errorf("%s: E round trip mismatch:\n in=%+v\nout=%+v", op, in, out)
+		}
+	}
+	// E is illegal outside LDG/STG/LDL/STL: shared and constant accesses
+	// have no extent check to elide, and ALU ops have no check at all.
+	for _, op := range []Opcode{LDS, STS, LDC, ATOMG, IADD, MOV} {
+		in := Instr{Op: op, Dst: 1, Src: [3]Reg{2, 3, RZ}, Aux: 2, Pred: PT,
+			Hint: Hint{E: true}}
+		if err := in.Validate(); err == nil {
+			t.Errorf("%s: elide hint accepted", op)
+		}
+	}
+	// Disassembly surfaces the bit.
+	in := Instr{Op: LDG, Dst: 1, Src: [3]Reg{2, RZ, RZ}, Aux: 2, Pred: PT,
+		Hint: Hint{E: true}}
+	if s := in.String(); !strings.Contains(s, "[E]") {
+		t.Errorf("disassembly missing [E]: %q", s)
+	}
+	p := &Program{Name: "e", Instrs: []Instr{
+		in,
+		{Op: EXIT, Pred: PT, Src: [3]Reg{RZ, RZ, RZ}},
+	}}
+	if p.CountElided() != 1 {
+		t.Errorf("CountElided = %d", p.CountElided())
+	}
+}
+
 func TestDecodeRejectsReservedBits(t *testing.T) {
 	in := Instr{Op: MOV, Dst: 1, HasImm: true, Imm: 5, Pred: PT, Src: [3]Reg{RZ, RZ, RZ}}
 	w, err := Encode(&in)
@@ -170,6 +221,9 @@ func randomInstr(r *rand.Rand) Instr {
 	}
 	if op.IsInt() {
 		in.Hint = Hint{A: r.Intn(2) == 0, S: r.Intn(2) == 0}
+	}
+	if op == LDG || op == STG || op == LDL || op == STL {
+		in.Hint.E = r.Intn(2) == 0
 	}
 	return in
 }

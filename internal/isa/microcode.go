@@ -18,6 +18,7 @@ import "fmt"
 //	Lo[34:21] RESERVED (14 bits)
 //	            Lo[27] = S (Selection) hint — pointer operand index
 //	            Lo[28] = A (Activation) hint — OCU check required
+//	            Lo[29] = E (Elide) hint — extent check statically discharged
 //	Lo[42:35] source register 0
 //	Lo[50:43] source register 1
 //	Lo[58:51] source register 2
@@ -26,9 +27,10 @@ import "fmt"
 //	Hi[55:32] branch target / barrier ID (24 bits)
 //	Hi[63:56] control information (8 bits)
 //
-// Bits 27 and 28 match the positions in the paper's Fig. 9. The remaining
-// twelve reserved bits must encode as zero, mirroring real hardware where
-// undefined encodings are rejected.
+// Bits 27 and 28 match the positions in the paper's Fig. 9; bit 29 is
+// carved from the adjacent reserved space for the elide hint. The
+// remaining eleven reserved bits must encode as zero, mirroring real
+// hardware where undefined encodings are rejected.
 type Word struct {
 	Lo, Hi uint64
 }
@@ -39,13 +41,16 @@ const (
 	HintBitS = 27
 	// HintBitA is the Activation bit: instruction needs a bounds check.
 	HintBitA = 28
+	// HintBitE is the Elide bit: the extent check on this memory access
+	// was statically discharged by the compiler's bounds proof.
+	HintBitE = 29
 )
 
 const (
 	reservedLoBit = 21
 	reservedBits  = 14
 	reservedMask  = ((uint64(1) << reservedBits) - 1) << reservedLoBit // Lo[34:21]
-	hintMask      = (uint64(1) << HintBitS) | (uint64(1) << HintBitA)
+	hintMask      = (uint64(1) << HintBitS) | (uint64(1) << HintBitA) | (uint64(1) << HintBitE)
 	maxTarget     = 1<<24 - 1
 	targetShift   = 32
 	ctlShift      = 56
@@ -75,6 +80,9 @@ func Encode(in *Instr) (Word, error) {
 	if in.Hint.A {
 		w.Lo |= 1 << HintBitA
 	}
+	if in.Hint.E {
+		w.Lo |= 1 << HintBitE
+	}
 	w.Lo |= uint64(in.Src[0])<<35 | uint64(in.Src[1])<<43 | uint64(in.Src[2])<<51
 	w.Lo |= uint64(in.Aux&0x1f) << 59
 	w.Hi = uint64(uint32(in.Imm)) |
@@ -98,6 +106,7 @@ func Decode(w Word) (Instr, error) {
 		Hint: Hint{
 			S: w.Lo>>HintBitS&1 == 1,
 			A: w.Lo>>HintBitA&1 == 1,
+			E: w.Lo>>HintBitE&1 == 1,
 		},
 		Src: [3]Reg{
 			Reg(w.Lo >> 35 & 0xff),

@@ -37,6 +37,11 @@ const (
 	// instruction — one of the analyses (or a tampered program) is
 	// wrong.
 	KindDifferential
+	// KindUnsoundElide: a memory instruction carries the E (elide) hint
+	// but the linter's own register-level value analysis cannot prove the
+	// access in bounds under the launch contract — eliding its extent
+	// check could mask a real violation (spurious or tampered E bit).
+	KindUnsoundElide
 )
 
 // String returns the kind name.
@@ -54,6 +59,8 @@ func (k Kind) String() string {
 		return "missing-nullify"
 	case KindDifferential:
 		return "differential"
+	case KindUnsoundElide:
+		return "unsound-elide"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

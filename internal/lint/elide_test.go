@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"testing"
+
+	"lmi/internal/bounds"
+	"lmi/internal/chaos"
+	"lmi/internal/compiler"
+	"lmi/internal/ir"
+	"lmi/internal/isa"
+	"lmi/internal/workloads"
+)
+
+// TestElideAuditCleanOnWorkloads is the audit's positive corpus: every
+// Table V workload compiled with elision carries at least one E bit, and
+// the audit — re-deriving in-bounds-ness from its own register-level
+// value analysis, independent of the compiler's IR-level proof — must
+// justify every one of them.
+func TestElideAuditCleanOnWorkloads(t *testing.T) {
+	for _, s := range workloads.All() {
+		f, err := s.Kernel()
+		if err != nil {
+			t.Fatalf("%s: kernel: %v", s.Name, err)
+		}
+		p, _, _, err := compiler.CompileElidedWithSourceMap(f, s.Contract())
+		if err != nil {
+			t.Fatalf("%s: elided compile: %v", s.Name, err)
+		}
+		if p.CountElided() == 0 {
+			t.Errorf("%s: elided compile set no E bits", s.Name)
+			continue
+		}
+		if diags := ElideAudit(p, s.Contract()); len(diags) != 0 {
+			t.Errorf("%s: audit rejects the compiler's own elisions (%d):", s.Name, len(diags))
+			for _, d := range diags {
+				t.Errorf("  %s", d)
+			}
+		}
+	}
+}
+
+// oobVictim mirrors the chaos engine's spatial-violation victim: thread
+// 0 stores one word past the 1 KiB buffer while every other thread
+// stores in bounds.
+func oobVictim() *ir.Func {
+	b := ir.NewBuilder("lint_oob_victim")
+	out := b.Param(ir.PtrGlobal)
+	gtid := b.GlobalTID()
+	b.If(b.ICmp(isa.CmpEQ, gtid, b.ConstI(ir.I32, 0)), func() {
+		b.Store(b.GEP(out, b.ConstI(ir.I32, 256), 4, 0), b.ConstI(ir.I32, 0x7A), 0)
+	}, func() {
+		b.Store(b.GEP(out, gtid, 4, 0), gtid, 0)
+	})
+	return b.Finalize()
+}
+
+// TestSpuriousElideAuditPinned is the audit's negative corpus: it
+// replays the chaos spurious-elide injection — planting an E bit the
+// compiler never emitted — over every memory instruction of the oob
+// victim and both lint victims, and requires an unsound-elide
+// diagnostic pinned to exactly the tampered instruction. None of these
+// programs were compiled under a count contract, so no planted E is
+// justifiable.
+func TestSpuriousElideAuditPinned(t *testing.T) {
+	for _, f := range []*ir.Func{oobVictim(), streamVictim(), heapVictim()} {
+		p, _ := compileLMI(t, f)
+		if n := p.CountElided(); n != 0 {
+			t.Fatalf("%s: plain LMI compile emitted %d E bits", f.Name, n)
+		}
+		if diags := ElideAudit(p, bounds.Contract{}); len(diags) != 0 {
+			t.Fatalf("%s: audit diagnoses a program with no E bits: %v", f.Name, diags)
+		}
+		sites := chaos.ElideSites(p)
+		if len(sites) == 0 {
+			t.Fatalf("%s: no memory instructions to plant on", f.Name)
+		}
+		for _, idx := range sites {
+			q := chaos.PlantSpuriousElideAt(p, idx)
+			diags := ElideAudit(q, bounds.Contract{})
+			if !hasDiag(diags, KindUnsoundElide, idx) {
+				t.Errorf("%s: spurious E planted on instr %d (%s): no unsound-elide diagnostic there; got %v",
+					f.Name, idx, p.Instrs[idx].Op, diags)
+			}
+			for _, d := range diags {
+				if d.Instr != idx {
+					t.Errorf("%s: planted on instr %d but diagnostic anchored at %d: %s",
+						f.Name, idx, d.Instr, d)
+				}
+			}
+		}
+	}
+}
+
+// TestSpuriousElideAuditOnElidedWorkloads tampers real elided programs:
+// planting an extra E on a site the compiler's bounds analysis left
+// unproven must be rejected, while re-planting an already-justified site
+// keeps the audit clean (idempotence). The probe reports how many
+// unproven sites the audit's independent analysis happens to justify
+// anyway — those are not unsoundness, just extra precision — but at
+// least one site per workload must be pinned.
+func TestSpuriousElideAuditOnElidedWorkloads(t *testing.T) {
+	for _, s := range workloads.All() {
+		f, err := s.Kernel()
+		if err != nil {
+			t.Fatalf("%s: kernel: %v", s.Name, err)
+		}
+		p, _, _, err := compiler.CompileElidedWithSourceMap(f, s.Contract())
+		if err != nil {
+			t.Fatalf("%s: elided compile: %v", s.Name, err)
+		}
+		var elided, unproven []int
+		for _, idx := range chaos.ElideSites(p) {
+			if p.Instrs[idx].Hint.E {
+				elided = append(elided, idx)
+			} else {
+				unproven = append(unproven, idx)
+			}
+		}
+		if len(elided) == 0 {
+			t.Fatalf("%s: no elided sites", s.Name)
+		}
+		// Idempotence: re-planting a justified site changes nothing.
+		if diags := ElideAudit(chaos.PlantSpuriousElideAt(p, elided[0]), s.Contract()); len(diags) != 0 {
+			t.Errorf("%s: re-planted justified site %d rejected: %v", s.Name, elided[0], diags)
+		}
+		if len(unproven) == 0 {
+			// Every memory site was proven and elided; nothing to tamper.
+			continue
+		}
+		pinned := 0
+		for _, idx := range unproven {
+			q := chaos.PlantSpuriousElideAt(p, idx)
+			diags := ElideAudit(q, s.Contract())
+			if hasDiag(diags, KindUnsoundElide, idx) {
+				pinned++
+			}
+			for _, d := range diags {
+				if d.Instr != idx {
+					t.Errorf("%s: planted on instr %d but diagnostic anchored at %d: %s",
+						s.Name, idx, d.Instr, d)
+				}
+			}
+		}
+		t.Logf("%s: %d/%d unproven sites pinned when tampered", s.Name, pinned, len(unproven))
+		if pinned == 0 {
+			t.Errorf("%s: no tampered site pinned — the audit justifies everything the compiler would not", s.Name)
+		}
+	}
+}

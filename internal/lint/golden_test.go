@@ -50,3 +50,37 @@ func TestGoldenAllKernels(t *testing.T) {
 		}
 	}
 }
+
+// TestGoldenElidedWorkloads extends the golden invariant to static
+// elision: every Table V workload compiled with the E hint under its
+// launch contract must stay clean for the full LMI microcode contract
+// (pre- and post-optimizer) AND for the elide audit — the linter's
+// independent re-derivation must justify every E bit the compiler
+// plants, including after the peephole optimizer rewrites the stream.
+func TestGoldenElidedWorkloads(t *testing.T) {
+	for _, s := range workloads.All() {
+		f, err := s.Kernel()
+		if err != nil {
+			t.Fatalf("%s: kernel: %v", s.Name, err)
+		}
+		c := s.Contract()
+		p, src, _, err := compiler.CompileElidedWithSourceMap(f, c)
+		if err != nil {
+			t.Fatalf("%s: elided compile: %v", s.Name, err)
+		}
+		report := func(stage string, diags []Diag) {
+			if len(diags) == 0 {
+				return
+			}
+			t.Errorf("%s/%s: %d diagnostics:", s.Name, stage, len(diags))
+			for _, d := range diags {
+				t.Errorf("  %s", d)
+			}
+		}
+		report("lmi-elide", CheckWithSource(p, compiler.ModeLMI, src))
+		report("lmi-elide/audit", ElideAudit(p, c))
+		opt := compiler.Optimize(p)
+		report("lmi-elide+O", Check(opt, compiler.ModeLMI))
+		report("lmi-elide+O/audit", ElideAudit(opt, c))
+	}
+}

@@ -75,6 +75,8 @@ type jobJSON struct {
 	Error        string  `json:"error,omitempty"`
 	Cycles       uint64  `json:"cycles"`
 	Instrs       uint64  `json:"instrs"`
+	ECChecked    uint64  `json:"ec_checked"`
+	ECElided     uint64  `json:"ec_elided"`
 	WallNS       int64   `json:"wall_ns"`
 	CyclesPerSec float64 `json:"cycles_per_sec"`
 }
@@ -110,6 +112,8 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 		if res.Stats != nil {
 			j.Cycles = res.Stats.Cycles
 			j.Instrs = res.Stats.Instrs
+			j.ECChecked = res.Stats.ECChecked
+			j.ECElided = res.Stats.ECElided
 		}
 		out.Jobs = append(out.Jobs, j)
 	}

@@ -80,21 +80,33 @@ func (ls *launch) memAccess(sm *smCtx, w *warp, in *isa.Instr, exec uint32, pc i
 		rawLine := raw / cfg.LineSize
 		coalesced := haveRaw && rawLine == prevRawLine
 		prevRawLine, haveRaw = rawLine, true
-		eff, extra, fault := ls.dev.Mech.CheckAccess(Access{
-			SM: sm.id, Space: space, Ptr: raw, Size: size,
-			Store: isStore, Cycle: ls.cycle, Coalesced: coalesced,
-		})
-		// Mechanism costs accumulate across lanes: shared checking
-		// structures (bounds caches, table fetch ports) serialize, which
-		// is exactly what hurts uncoalesced access patterns (§XI-A).
-		// Mechanisms with per-lane hardware (LMI's EC) return zero.
-		extraSum += extra
-		if fault != nil {
-			ls.recordFault(fault, pc, sm.id, w.globalID, lane)
-			if ls.halted {
-				return
+		var eff uint64
+		if in.Hint.E {
+			// The compiler proved this access in-bounds and the linter's
+			// elide audit independently re-derived the proof: the extent
+			// check is skipped and the address is canonicalised directly.
+			eff = ls.dev.Mech.Canonical(raw)
+			ls.stats.ECElided++
+		} else {
+			var extra uint64
+			var fault *core.Fault
+			eff, extra, fault = ls.dev.Mech.CheckAccess(Access{
+				SM: sm.id, Space: space, Ptr: raw, Size: size,
+				Store: isStore, Cycle: ls.cycle, Coalesced: coalesced,
+			})
+			ls.stats.ECChecked++
+			// Mechanism costs accumulate across lanes: shared checking
+			// structures (bounds caches, table fetch ports) serialize, which
+			// is exactly what hurts uncoalesced access patterns (§XI-A).
+			// Mechanisms with per-lane hardware (LMI's EC) return zero.
+			extraSum += extra
+			if fault != nil {
+				ls.recordFault(fault, pc, sm.id, w.globalID, lane)
+				if ls.halted {
+					return
+				}
+				continue // access suppressed for this lane
 			}
-			continue // access suppressed for this lane
 		}
 		if ls.dev.Tracer != nil {
 			ls.traceEv.Addrs = append(ls.traceEv.Addrs, eff)

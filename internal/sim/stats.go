@@ -40,6 +40,12 @@ type KernelStats struct {
 	MemInstrs map[isa.Opcode]uint64
 	// PointerChecks is the number of OCU-checked pointer operations.
 	PointerChecks uint64
+	// ECChecked is the number of lane memory accesses routed through the
+	// mechanism's extent check; ECElided counts lane accesses whose check
+	// the compiler discharged statically (the E hint), so the LSU skipped
+	// it. Their sum is the total checkable lane-access count.
+	ECChecked uint64
+	ECElided  uint64
 	// Faults holds detected violations (empty in clean runs).
 	Faults []FaultRecord
 	// Halted reports whether the kernel stopped on a fault.

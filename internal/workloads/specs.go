@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"lmi/internal/alloc"
+	"lmi/internal/bounds"
 	"lmi/internal/compiler"
 	"lmi/internal/ir"
 	"lmi/internal/isa"
@@ -80,6 +81,11 @@ const (
 	VariantLMIDBI
 	// VariantMemcheck is Compute Sanitizer's memcheck (Fig. 13).
 	VariantMemcheck
+	// VariantLMIElide is LMI with static extent-check elision: the bounds
+	// analysis proves the guarded accesses in-bounds under the launch
+	// contract and the compiler sets the E hint so the LSU skips their
+	// extent checks.
+	VariantLMIElide
 )
 
 // String returns the variant name.
@@ -97,6 +103,8 @@ func (v Variant) String() string {
 		return "lmi-dbi"
 	case VariantMemcheck:
 		return "memcheck"
+	case VariantLMIElide:
+		return "lmi-elide"
 	default:
 		return fmt.Sprintf("Variant(%d)", int(v))
 	}
@@ -118,10 +126,27 @@ func (s *Spec) Compile(v Variant) (*isa.Program, error) {
 	return p, err
 }
 
+// Contract returns the launch contract the benchmark runner honours:
+// RunAtCtx always passes two s.N-element 4-byte buffers plus the count
+// s.N, and the elide experiment launches at exactly (Grid, Block). The
+// count floor of 1 keeps the elided program valid for any smaller count
+// a caller might legally pass.
+func (s *Spec) Contract() bounds.Contract {
+	return bounds.Contract{
+		CountParam: 2, CountMin: 1, CountMax: int64(s.N),
+		PtrBytesPerCount: 4,
+		BlockDimX:        int64(s.Block), GridDimX: int64(s.Grid),
+	}
+}
+
 func (s *Spec) compileUncached(v Variant) (*isa.Program, error) {
 	f, err := s.Kernel()
 	if err != nil {
 		return nil, err
+	}
+	if v == VariantLMIElide {
+		p, _, err := compiler.CompileElided(f, s.Contract())
+		return p, err
 	}
 	mode := compiler.ModeBase
 	if v == VariantLMI || v == VariantBaggy {
@@ -145,7 +170,7 @@ func (s *Spec) compileUncached(v Variant) (*isa.Program, error) {
 // NewMechanism constructs the sim.Mechanism for a variant.
 func NewMechanism(v Variant) sim.Mechanism {
 	switch v {
-	case VariantLMI:
+	case VariantLMI, VariantLMIElide:
 		return safety.NewLMI()
 	case VariantGPUShield:
 		return safety.NewGPUShield()

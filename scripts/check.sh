@@ -32,9 +32,14 @@ go test -race -timeout 45m $short ./...
 # Static contract verification: every workload and app kernel, in both
 # modes, pre- and post-optimizer, must satisfy the LMI microcode
 # contract (hint placement, address tracing, extent containment,
-# free-path nullification). Nonzero exit on any diagnostic.
-echo "== lmi-lint -all"
-go run ./cmd/lmi-lint -all
+# free-path nullification). -elide-audit additionally recompiles every
+# workload with static extent-check elision and re-derives each planted
+# E bit from the linter's own register-level value analysis: any
+# unsound-elide diagnostic, or a proven-out-of-bounds access in a
+# shipped workload (which fails the elided compile itself), breaks the
+# gate. Nonzero exit on any diagnostic. Same run as `make analyze`.
+echo "== lmi-lint -all -elide-audit"
+go run ./cmd/lmi-lint -all -elide-audit
 
 # Chaos determinism smoke: the fault-injection campaign must render
 # byte-identical reports regardless of worker count — any divergence
@@ -63,7 +68,9 @@ echo "== CLI usage-error smoke"
 for cmdline in "./cmd/lmi-sim -sms 0 -bench nn" \
                "./cmd/lmi-sec -trials 0" \
                "./cmd/lmi-bench -jobs -1 -table 2" \
-               "./cmd/lmi-serve -soak -requests 0"; do
+               "./cmd/lmi-serve -soak -requests 0" \
+               "./cmd/lmi-compile -bench needle -elide maybe" \
+               "./cmd/lmi-lint -all -mode fast"; do
     if go run $cmdline >/dev/null 2>&1; then
         echo "check: FAIL: 'go run $cmdline' accepted an invalid flag" >&2
         exit 1
