@@ -335,7 +335,27 @@ func (an *analysis) runBlock(blk *ir.Block, st []aval, collect func(*ir.Instr, i
 		switch in.Op {
 		case ir.OpFree, ir.OpInvalidate:
 			// The pointee's extent dies here: later accesses through this
-			// value are temporal violations and must never be elided.
+			// value — or through any alias carrying the same allocation-site
+			// fact (an OpCopy/OpGEP derivative) — are temporal violations
+			// and must never be elided. When the freed value's provenance is
+			// unknown, the free could target any heap site, so every
+			// heap-site fact dies.
+			freed := st[in.Args[0]]
+			for v := range st {
+				p := st[v].ptr
+				if p == nil {
+					continue
+				}
+				if freed.ptr != nil {
+					if p.site != freed.ptr.site {
+						continue
+					}
+				} else if an.sites[p.site].kind != siteHeap {
+					continue
+				}
+				kill(ir.Value(v))
+				st[v] = topVal()
+			}
 			kill(in.Args[0])
 			st[in.Args[0]] = topVal()
 		}
@@ -817,13 +837,14 @@ func (an *analysis) judge(s site, off numv, size int64) (Verdict, string) {
 		return VerdictOOB, fmt.Sprintf("%s: access [%d, %d) entirely below the allocation base",
 			s.name, lo, satAdd(hi, size))
 	}
-	maxBytes := s.bytes
-	if s.scaled {
-		maxBytes = satMul(s.perCount, an.c.CountMax)
-	}
-	if maxBytes >= 0 && lo != negInf && satAdd(lo, size) > maxBytes {
+	// Past-the-end is only provable against a site whose requested extent
+	// is exact. A scaled parameter site carries a *minimum* guarantee ("at
+	// least perCount*n bytes") — the real buffer may be larger, so an
+	// access past the guarantee stays VerdictUnknown and keeps its
+	// runtime check instead of aborting a possibly-valid program.
+	if !s.scaled && s.bytes >= 0 && lo != negInf && satAdd(lo, size) > s.bytes {
 		return VerdictOOB, fmt.Sprintf("%s: access window ends past byte %d of the %d-byte allocation on every launch",
-			s.name, satAdd(lo, size), maxBytes)
+			s.name, satAdd(lo, size), s.bytes)
 	}
 
 	// Proven in bounds, concrete route: the window fits the guaranteed

@@ -263,6 +263,58 @@ func TestHeapMaskProvenAndFreeKillsFacts(t *testing.T) {
 	wantVerdicts(t, res, VerdictProven, VerdictUnknown)
 }
 
+func TestFreeKillsAliases(t *testing.T) {
+	// p = malloc 64; q = gep p, 0; free p; store q — the alias carries
+	// the same allocation-site fact as the freed value and must die with
+	// it, or the use-after-free would be classified proven and elided.
+	b := ir.NewBuilder("freealias")
+	_ = b.Param(ir.PtrGlobal)
+	_ = b.Param(ir.PtrGlobal)
+	_ = b.Param(ir.I32)
+	heap := b.Malloc(b.ConstI(ir.I32, 64))
+	q := b.GEP(heap, ir.NoValue, 0, 0)
+	e := b.ConstI(ir.I32, 1)
+	b.Store(q, e, 0) // before the free: proven
+	b.Free(heap)
+	b.Store(q, e, 0) // after the free, through the alias: never elidable
+	res := analyzeOrDie(t, b.MustFinish(), testContract())
+	wantVerdicts(t, res, VerdictProven, VerdictUnknown)
+}
+
+func TestFreeUnknownProvenanceKillsHeapFacts(t *testing.T) {
+	// Freeing a pointer whose provenance the analysis lost (a select of
+	// two sites joins to top) could target any heap allocation, so every
+	// heap-site fact must die — a surviving one would elide a potential
+	// use-after-free.
+	b := ir.NewBuilder("freeunknown")
+	_ = b.Param(ir.PtrGlobal)
+	_ = b.Param(ir.PtrGlobal)
+	_ = b.Param(ir.I32)
+	h1 := b.Malloc(b.ConstI(ir.I32, 64))
+	h2 := b.Malloc(b.ConstI(ir.I32, 64))
+	e := b.ConstI(ir.I32, 1)
+	mix := b.Select(b.ICmp(isa.CmpEQ, e, e), h1, h2)
+	b.Free(mix)
+	b.Store(h1, e, 0) // may be the freed allocation: unknown
+	res := analyzeOrDie(t, b.MustFinish(), testContract())
+	wantVerdicts(t, res, VerdictUnknown)
+}
+
+func TestScaledSitePastGuaranteeNotOOB(t *testing.T) {
+	// in[CountMax] lies past the contract's guaranteed minimum extent,
+	// but the guarantee is only a floor ("at least perCount*n bytes") —
+	// the real buffer may be larger, so the access is not provably OOB
+	// and compilation must keep the runtime check instead of aborting.
+	c := testContract()
+	b := ir.NewBuilder("pastguarantee")
+	in := b.Param(ir.PtrGlobal)
+	_ = b.Param(ir.PtrGlobal)
+	_ = b.Param(ir.I32)
+	b.Load(ir.F32, b.GEP(in, b.ConstI(ir.I32, c.CountMax), 4, 0), 0)
+	res := analyzeOrDie(t, b.MustFinish(), c)
+	wantVerdicts(t, res, VerdictUnknown)
+}
+
 func TestSharedAccessesNotReported(t *testing.T) {
 	b := ir.NewBuilder("shared")
 	_ = b.Param(ir.PtrGlobal)

@@ -470,6 +470,40 @@ func refineState(st *eState, f predFact, hold bool) {
 	}
 }
 
+// ckAdd, ckSub, and ckMul are overflow-checked int64 arithmetic for
+// judge's accept conditions. The audited quantities are adversarial —
+// a crafted or chaos-tampered program can drive sym.D toward 2^62 via
+// shifts and off.Hi to a large finite saturation product — so any wrap
+// must reject the elision instead of accepting an unsound one.
+func ckAdd(a, b int64) (int64, bool) {
+	s := a + b
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		return 0, false
+	}
+	return s, true
+}
+
+func ckSub(a, b int64) (int64, bool) {
+	if b == math.MinInt64 {
+		return 0, false
+	}
+	return ckAdd(a, -b)
+}
+
+func ckMul(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	if (a == math.MinInt64 && b == -1) || (b == math.MinInt64 && a == -1) {
+		return 0, false
+	}
+	p := a * b
+	if p/b != a {
+		return 0, false
+	}
+	return p, true
+}
+
 func minI64(a, b int64) int64 {
 	if a < b {
 		return a
@@ -545,12 +579,14 @@ func (a *auditor) transfer(i int, st *eState) {
 
 	case isa.FREE:
 		// The freed allocation is gone: no access through any alias of
-		// this site is justifiable afterwards (temporal soundness).
-		if v := get(in.Src[0]); v.kind == ekHeap {
-			for r := range st.regs {
-				if st.regs[r].kind == ekHeap && st.regs[r].site == v.site {
-					st.regs[r] = evTop()
-				}
+		// this site is justifiable afterwards (temporal soundness). A
+		// freed operand without traced heap provenance (a pointer
+		// laundered through memory reloads as ekTop) could target any
+		// heap site, so every heap fact dies.
+		v := get(in.Src[0])
+		for r := range st.regs {
+			if st.regs[r].kind == ekHeap && (v.kind != ekHeap || st.regs[r].site == v.site) {
+				st.regs[r] = evTop()
 			}
 		}
 		set(in.Src[0], evTop())
@@ -905,13 +941,13 @@ func (a *auditor) judge(i int, st *eState) (Diag, bool) {
 			return bad("stack buffer #%d out of range", v.site)
 		}
 		sz := int64(a.p.StackBuffers[v.site].Size)
-		if off.Hi == ePosInf || off.Hi+size > sz {
+		if end, ok := ckAdd(off.Hi, size); off.Hi == ePosInf || !ok || end > sz {
 			return bad("elided access at offset <= %s + %dB exceeds stack buffer #%d's %d reserved bytes",
 				hiStr(off.Hi), size, v.site, sz)
 		}
 		return Diag{}, true
 	case ekHeap:
-		if off.Hi == ePosInf || off.Hi+size > v.bytes {
+		if end, ok := ckAdd(off.Hi, size); off.Hi == ePosInf || !ok || end > v.bytes {
 			return bad("elided access at offset <= %s + %dB exceeds the %d-byte allocation at instr %d",
 				hiStr(off.Hi), size, v.bytes, v.site)
 		}
@@ -920,21 +956,29 @@ func (a *auditor) judge(i int, st *eState) (Diag, bool) {
 		if !a.countOK {
 			return bad("pointer parameter #%d carries no size contract", v.site)
 		}
-		floor := a.c.PtrBytesPerCount * a.c.CountMin
-		if off.Hi != ePosInf && off.Hi+size <= floor {
-			return Diag{}, true // within the smallest contract-conforming buffer
+		if floor, ok := ckMul(a.c.PtrBytesPerCount, a.c.CountMin); ok && off.Hi != ePosInf {
+			if end, ok2 := ckAdd(off.Hi, size); ok2 && end <= floor {
+				return Diag{}, true // within the smallest contract-conforming buffer
+			}
 		}
 		// Symbolic: off <= floor((A*n+C)/D) and the buffer holds at least
 		// PtrBytesPerCount*n bytes, so off+size <= bytes iff
 		// C + D*size <= (D*PtrBytesPerCount - A) * n for the worst n.
 		if symValid(sym) {
-			coeff := a.c.PtrBytesPerCount*sym.D - sym.A
-			nWorst := a.c.CountMin
-			if coeff < 0 {
-				nWorst = a.c.CountMax
-			}
-			if sym.C+sym.D*size <= coeff*nWorst {
-				return Diag{}, true
+			dp, ok1 := ckMul(a.c.PtrBytesPerCount, sym.D)
+			ds, ok2 := ckMul(sym.D, size)
+			if ok1 && ok2 {
+				if coeff, ok3 := ckSub(dp, sym.A); ok3 {
+					nWorst := a.c.CountMin
+					if coeff < 0 {
+						nWorst = a.c.CountMax
+					}
+					rhs, ok4 := ckMul(coeff, nWorst)
+					lhs, ok5 := ckAdd(sym.C, ds)
+					if ok4 && ok5 && lhs <= rhs {
+						return Diag{}, true
+					}
+				}
 			}
 		}
 		return bad("elided access at offset <= %s + %dB not provably within parameter #%d's %d-byte-per-count buffer",

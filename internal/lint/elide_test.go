@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"math"
 	"testing"
 
 	"lmi/internal/bounds"
@@ -36,6 +37,88 @@ func TestElideAuditCleanOnWorkloads(t *testing.T) {
 				t.Errorf("  %s", d)
 			}
 		}
+	}
+}
+
+// TestFreeWithoutProvenanceClearsHeapFacts covers the laundered-free
+// hole: a pointer stored to memory and reloaded audits as ekTop, so a
+// FREE through it names no site — every heap fact must die anyway, or a
+// register still holding the freed allocation would keep auditing a
+// stale elide as sound. A traced FREE stays precise: only the named
+// site dies.
+func TestFreeWithoutProvenanceClearsHeapFacts(t *testing.T) {
+	p := &isa.Program{Instrs: []isa.Instr{{Op: isa.FREE, Src: [3]isa.Reg{5, isa.RZ, isa.RZ}}}}
+	a := &auditor{p: p}
+	heapAt := func(site int) eVal {
+		return eVal{kind: ekHeap, iv: ivConst(0), sym: symConstUB(0), site: site, bytes: 64}
+	}
+	reset := func(st *eState) {
+		for r := range st.regs {
+			st.regs[r] = evTop()
+		}
+	}
+
+	var st eState
+	reset(&st)
+	st.regs[4] = heapAt(7)
+	st.regs[6] = heapAt(9)
+	a.transfer(0, &st) // FREE on r5 = ekTop: could be any heap site
+	if st.regs[4].kind == ekHeap || st.regs[6].kind == ekHeap {
+		t.Errorf("heap facts survived an unprovenanced FREE: r4=%s r6=%s",
+			st.regs[4].kind, st.regs[6].kind)
+	}
+
+	reset(&st)
+	st.regs[5] = heapAt(7)
+	st.regs[4] = heapAt(7)
+	st.regs[6] = heapAt(9)
+	a.transfer(0, &st) // FREE on r5 = heap site 7
+	if st.regs[4].kind == ekHeap {
+		t.Error("same-site alias survived a traced FREE")
+	}
+	if st.regs[6].kind != ekHeap {
+		t.Error("unrelated heap site killed by a traced FREE")
+	}
+}
+
+// TestJudgeOverflowRejects pins the audit's accept conditions to
+// overflow-checked arithmetic: a crafted program can drive the affine
+// denominator toward 2^62 (repeated shifts) and the offset bound to a
+// huge finite saturation product, and under unchecked int64 math both
+// comparisons wrap into accepting an unsound E bit.
+func TestJudgeOverflowRejects(t *testing.T) {
+	p := &isa.Program{
+		Instrs:       []isa.Instr{{Op: isa.LDG, Dst: 2, Src: [3]isa.Reg{3, isa.RZ, isa.RZ}, Aux: 2}},
+		StackBuffers: []isa.StackBuffer{{Offset: 0, Size: 64}},
+	}
+	a := &auditor{p: p, c: bounds.Contract{
+		CountParam: 2, CountMin: 1, CountMax: 1 << 15, PtrBytesPerCount: 4,
+	}, countOK: true}
+	var st eState
+	for r := range st.regs {
+		st.regs[r] = evTop()
+	}
+
+	// PtrBytesPerCount*D wraps to MinInt64, flipping the coefficient's
+	// sign, and C+D*size wraps alongside it: unchecked, lhs <= rhs holds.
+	st.regs[3] = eVal{kind: ekParam, site: 0,
+		iv:  bounds.Interval{Lo: 0, Hi: 1 << 61},
+		sym: bounds.SymUB{OK: true, A: 0, C: 0, D: 1 << 61}}
+	if _, ok := a.judge(0, &st); ok {
+		t.Error("param judge accepted a symbolic bound whose coefficient arithmetic wraps")
+	}
+
+	// off.Hi+size wraps negative, slipping under the allocation size.
+	st.regs[3] = eVal{kind: ekHeap, site: 0, bytes: 64,
+		iv: bounds.Interval{Lo: 0, Hi: math.MaxInt64 - 1}}
+	if _, ok := a.judge(0, &st); ok {
+		t.Error("heap judge accepted an offset whose end computation wraps")
+	}
+
+	st.regs[3] = eVal{kind: ekStack, site: 0,
+		iv: bounds.Interval{Lo: 0, Hi: math.MaxInt64 - 1}}
+	if _, ok := a.judge(0, &st); ok {
+		t.Error("stack judge accepted an offset whose end computation wraps")
 	}
 }
 
