@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint analyze check check-short bench serve soak
+.PHONY: build test race vet lint analyze check check-short bench serve soak fast
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,16 @@ serve:
 # violation (also part of the check gate).
 soak:
 	$(GO) run ./cmd/lmi-serve -soak -v
+
+# The fast-path tier gate: the full workload differential corpus and
+# the chaos campaign replayed through both execution tiers (the
+# compiled tier's functional projection must be bit-identical to the
+# cycle simulator), then the whole bench sweep on the compiled tier —
+# nonzero exit on any divergence or experiment failure.
+fast:
+	$(GO) test -run 'TestDifferentialWorkloadCorpus' ./internal/fastsim/
+	$(GO) test -run 'TestTierDifferentialChaosCorpus' ./internal/chaos/
+	$(GO) run ./cmd/lmi-bench -all -tier compiled
 
 # The evaluation benchmarks; LMI_BENCH_JSON=. also writes BENCH_*.json
 # trajectory points for the fig01/fig12/fig13 sweeps.

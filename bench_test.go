@@ -15,6 +15,7 @@ import (
 	"lmi/internal/chaos"
 	"lmi/internal/compiler"
 	"lmi/internal/experiments"
+	"lmi/internal/fastsim"
 	"lmi/internal/hwcost"
 	"lmi/internal/runner"
 	"lmi/internal/safety"
@@ -26,7 +27,9 @@ import (
 // writeBenchReport emits a sweep's runner report as BENCH_<name>.json in
 // the directory named by LMI_BENCH_JSON, so bench runs leave trajectory
 // points next to bench_output.txt. Unset (the default) writes nothing,
-// keeping `go test -bench` hermetic.
+// keeping `go test -bench` hermetic. It is called on failing sweeps too
+// (the experiments return their partial report alongside the error), so
+// a mid-sweep failure still leaves a trajectory point recording it.
 func writeBenchReport(b *testing.B, name string, rep *runner.Report) {
 	b.Helper()
 	dir := os.Getenv("LMI_BENCH_JSON")
@@ -46,6 +49,9 @@ func BenchmarkFig01MemoryRegionMix(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig01(experiments.SimConfig())
 		if err != nil {
+			if res != nil {
+				writeBenchReport(b, "fig01", res.Report)
+			}
 			b.Fatal(err)
 		}
 		for _, r := range res.Rows {
@@ -144,6 +150,9 @@ func BenchmarkFig12HardwareMechanisms(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig12(experiments.SimConfig())
 		if err != nil {
+			if res != nil {
+				writeBenchReport(b, "fig12", res.Report)
+			}
 			b.Fatal(err)
 		}
 		b.ReportMetric(res.LMIMean, "lmi-geomean")
@@ -164,6 +173,9 @@ func BenchmarkFig13DBIMechanisms(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig13(experiments.SimConfig())
 		if err != nil {
+			if res != nil {
+				writeBenchReport(b, "fig13", res.Report)
+			}
 			b.Fatal(err)
 		}
 		b.ReportMetric(res.LMIDBIMean, "lmi-dbi-geomean")
@@ -184,6 +196,9 @@ func BenchmarkElision(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Elide(experiments.SimConfig())
 		if err != nil {
+			if res != nil {
+				writeBenchReport(b, "elide", res.Report)
+			}
 			b.Fatal(err)
 		}
 		b.ReportMetric(res.ElidedFracMean, "elided-frac-mean")
@@ -192,6 +207,31 @@ func BenchmarkElision(b *testing.B) {
 		if i == 0 {
 			b.Log("\n" + res.Table())
 			writeBenchReport(b, "elide", res.Report)
+		}
+	}
+}
+
+// BenchmarkCompiledTierSpeedup runs the Fig. 12 sweep (the repo's
+// heaviest) on the cycle tier and on the compiled fast-path tier and
+// reports the wall-clock speedup — the tentpole's >= 5x throughput
+// target — plus the compiled sweep's simulated-work rate. Both sweeps'
+// reports land as BENCH_fig12_cycle.json / BENCH_fig12_compiled.json
+// when LMI_BENCH_JSON is set, recording the before/after trajectory.
+func BenchmarkCompiledTierSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.SimConfig()
+		cyc, err := experiments.Fig12JobsTier(cfg, 0, fastsim.TierCycle)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fast, err := experiments.Fig12JobsTier(cfg, 0, fastsim.TierCompiled)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cyc.Report.Wall.Seconds()/fast.Report.Wall.Seconds(), "compiled-tier-speedup")
+		if i == 0 {
+			writeBenchReport(b, "fig12_cycle", cyc.Report)
+			writeBenchReport(b, "fig12_compiled", fast.Report)
 		}
 	}
 }

@@ -10,6 +10,14 @@
 //	lmi-bench -all -jobs 4    # run the sweeps on 4 workers (same output)
 //	lmi-bench -all -timing    # per-run timing report on stderr
 //	lmi-bench -all -json out.json  # runner reports as a JSON trajectory point
+//	lmi-bench -all -tier compiled  # run sweeps on the compiled fast-path tier
+//
+// -tier=compiled executes every launch on internal/fastsim's compiled
+// functional tier: instruction/check counters and fault verdicts are
+// bit-identical to the cycle simulator (the differential gate in
+// scripts/check.sh enforces it), but cycle counts are estimates, so
+// timing-derived columns are only meaningful at the default
+// -tier=cycle.
 //
 // Sweeps run on internal/runner's deterministic worker pool: -jobs only
 // changes wall-clock, never a rendered byte (results are collected in
@@ -28,6 +36,7 @@ import (
 
 	"lmi/internal/cliutil"
 	"lmi/internal/experiments"
+	"lmi/internal/fastsim"
 	"lmi/internal/hwcost"
 	"lmi/internal/runner"
 	"lmi/internal/sectest"
@@ -45,10 +54,15 @@ func main() {
 	jobs := flag.Int("jobs", 0, "simulation worker pool size, >= 1 (omit for GOMAXPROCS or $LMI_JOBS)")
 	timing := flag.Bool("timing", false, "print each sweep's per-run timing report to stderr")
 	jsonPath := flag.String("json", "", "write the runner reports to this file as JSON")
+	tierName := flag.String("tier", fastsim.TierCycle.String(),
+		"execution tier: cycle (timing reference) or compiled (fast functional)")
 	flag.Parse()
 	cliutil.ValidateOrExit("lmi-bench", flag.CommandLine,
 		cliutil.Check{Name: "sms", Value: *sms},
 		cliutil.Check{Name: "jobs", Value: *jobs, AutoZero: true})
+	cliutil.ValidateEnumOrExit("lmi-bench",
+		cliutil.EnumCheck{Name: "tier", Value: *tierName, Allowed: fastsim.TierNames()})
+	tier, _ := fastsim.ParseTier(*tierName)
 
 	cfg := sim.ScaledConfig(*sms)
 	var failed []string
@@ -80,11 +94,13 @@ func main() {
 	if want(1, 0) {
 		any = true
 		run("Figure 1: memory instructions per region", func() error {
-			res, err := experiments.Fig01Jobs(cfg, *jobs)
+			res, err := experiments.Fig01JobsTier(cfg, *jobs, tier)
+			if res != nil {
+				report(res.Report)
+			}
 			if err != nil {
 				return err
 			}
-			report(res.Report)
 			fmt.Print(res.Table())
 			return nil
 		})
@@ -158,11 +174,13 @@ func main() {
 	if want(12, 0) {
 		any = true
 		run("Figure 12: hardware/compiler mechanisms", func() error {
-			res, err := experiments.Fig12Jobs(cfg, *jobs)
+			res, err := experiments.Fig12JobsTier(cfg, *jobs, tier)
+			if res != nil {
+				report(res.Report)
+			}
 			if err != nil {
 				return err
 			}
-			report(res.Report)
 			fmt.Print(res.Table())
 			fmt.Printf("\npaper shape: LMI ~0.2%%, GPUShield low with needle/LSTM outliers, Baggy ~87%% avg / ~5x peak\n")
 			return nil
@@ -171,11 +189,13 @@ func main() {
 	if want(13, 0) {
 		any = true
 		run("Figure 13: DBI mechanisms", func() error {
-			res, err := experiments.Fig13Jobs(workloads.Fig13Set(), cfg, *jobs)
+			res, err := experiments.Fig13JobsTier(workloads.Fig13Set(), cfg, *jobs, tier)
+			if res != nil {
+				report(res.Report)
+			}
 			if err != nil {
 				return err
 			}
-			report(res.Report)
 			fmt.Print(res.Table())
 			fmt.Printf("\npaper shape: LMI-DBI ~72.95x, memcheck ~32.98x geomean\n")
 			return nil
@@ -184,11 +204,13 @@ func main() {
 	if *all || *elide {
 		any = true
 		run("Static extent-check elision", func() error {
-			res, err := experiments.ElideJobs(cfg, *jobs)
+			res, err := experiments.ElideJobsTier(cfg, *jobs, tier)
+			if res != nil {
+				report(res.Report)
+			}
 			if err != nil {
 				return err
 			}
-			report(res.Report)
 			fmt.Print(res.Table())
 			fmt.Printf("\nevery E bit is audited by lmi-lint's independent register-level analysis (see EXPERIMENTS.md)\n")
 			return nil

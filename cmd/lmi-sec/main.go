@@ -15,6 +15,7 @@
 //	lmi-sec -chaos                       # the fault-injection campaign
 //	lmi-sec -chaos -seed 7 -trials 10    # larger campaign, chosen seed
 //	lmi-sec -chaos -jobs 1               # single worker (same output)
+//	lmi-sec -chaos -tier compiled        # victims on the compiled tier
 //
 // The chaos report depends only on -seed and -trials: it is
 // byte-identical for any -jobs value, and a failing trial can be
@@ -29,6 +30,7 @@ import (
 
 	"lmi/internal/chaos"
 	"lmi/internal/cliutil"
+	"lmi/internal/fastsim"
 	"lmi/internal/sectest"
 )
 
@@ -38,13 +40,18 @@ func main() {
 	seed := flag.Uint64("seed", 1, "chaos campaign master seed")
 	trials := flag.Int("trials", 6, "chaos trials per (mechanism, kind) cell")
 	jobs := flag.Int("jobs", 0, "chaos worker count, >= 1 (omit for GOMAXPROCS; output is identical for any value)")
+	tierName := flag.String("tier", fastsim.TierCycle.String(),
+		"chaos victim execution tier: cycle (timing reference) or compiled (fast functional)")
 	flag.Parse()
 	cliutil.ValidateOrExit("lmi-sec", flag.CommandLine,
 		cliutil.Check{Name: "trials", Value: *trials},
 		cliutil.Check{Name: "jobs", Value: *jobs, AutoZero: true})
+	cliutil.ValidateEnumOrExit("lmi-sec",
+		cliutil.EnumCheck{Name: "tier", Value: *tierName, Allowed: fastsim.TierNames()})
+	tier, _ := fastsim.ParseTier(*tierName)
 
 	if *chaosMode {
-		rep, err := chaos.Campaign{Seed: *seed, Trials: *trials, Workers: *jobs}.
+		rep, err := chaos.Campaign{Seed: *seed, Trials: *trials, Workers: *jobs, Tier: tier}.
 			Run(context.Background())
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lmi-sec: %v\n", err)

@@ -9,6 +9,7 @@
 //	lmi-serve -soak -seed 7 -requests 500 # bigger soak, chosen seed
 //	lmi-serve -soak -jobs 1               # single precompute worker (same report)
 //	lmi-serve -soak -v                    # plus the per-request log
+//	lmi-serve -tier compiled              # execute requests on the compiled tier
 //
 // The soak report depends only on -seed and -requests: it is
 // byte-identical for any -jobs value, and it exits nonzero if any
@@ -31,6 +32,7 @@ import (
 	"time"
 
 	"lmi/internal/cliutil"
+	"lmi/internal/fastsim"
 	"lmi/internal/serve"
 )
 
@@ -42,6 +44,8 @@ func main() {
 	jobs := flag.Int("jobs", 0, "worker pool size, >= 1 (omit for GOMAXPROCS or $LMI_JOBS)")
 	queue := flag.Int("queue", 64, "admission queue capacity")
 	sms := flag.Int("sms", 1, "simulated SM count per request")
+	tierName := flag.String("tier", fastsim.TierCycle.String(),
+		"execution tier requests simulate on: cycle (timing reference) or compiled (fast functional)")
 	verbose := flag.Bool("v", false, "verbose: per-request soak log / serve request log")
 	flag.Parse()
 	cliutil.ValidateOrExit("lmi-serve", flag.CommandLine,
@@ -49,22 +53,26 @@ func main() {
 		cliutil.Check{Name: "queue", Value: *queue},
 		cliutil.Check{Name: "sms", Value: *sms},
 		cliutil.Check{Name: "jobs", Value: *jobs, AutoZero: true})
+	cliutil.ValidateEnumOrExit("lmi-serve",
+		cliutil.EnumCheck{Name: "tier", Value: *tierName, Allowed: fastsim.TierNames()})
+	tier, _ := fastsim.ParseTier(*tierName)
 
 	if *soak {
-		os.Exit(runSoak(*seed, *requests, *jobs, *sms, *verbose))
+		os.Exit(runSoak(*seed, *requests, *jobs, *sms, tier, *verbose))
 	}
-	os.Exit(runServe(*addr, *jobs, *queue, *sms, *verbose))
+	os.Exit(runServe(*addr, *jobs, *queue, *sms, tier, *verbose))
 }
 
 // runSoak replays the seeded chaos stream and renders the
 // deterministic report; nonzero when the robustness contract is
 // violated.
-func runSoak(seed uint64, requests, jobs, sms int, verbose bool) int {
+func runSoak(seed uint64, requests, jobs, sms int, tier fastsim.Tier, verbose bool) int {
 	rep, err := serve.Soak(context.Background(), serve.SoakConfig{
 		Seed:     seed,
 		Requests: requests,
 		Workers:  jobs,
 		SMs:      sms,
+		Tier:     tier,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lmi-serve: soak: %v\n", err)
@@ -80,7 +88,7 @@ func runSoak(seed uint64, requests, jobs, sms int, verbose bool) int {
 
 // runServe hosts the HTTP service until SIGTERM/SIGINT, then drains and
 // flushes the shutdown report.
-func runServe(addr string, jobs, queue, sms int, verbose bool) int {
+func runServe(addr string, jobs, queue, sms int, tier fastsim.Tier, verbose bool) int {
 	logf := func(string, ...any) {}
 	if verbose {
 		logf = func(format string, args ...any) {
@@ -91,6 +99,7 @@ func runServe(addr string, jobs, queue, sms int, verbose bool) int {
 		Workers:       jobs,
 		QueueCapacity: queue,
 		SMs:           sms,
+		Tier:          tier,
 		Logf:          logf,
 	})
 	if err != nil {

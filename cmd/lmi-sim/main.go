@@ -5,15 +5,23 @@
 //
 //	lmi-sim -bench needle -variant lmi
 //	lmi-sim -bench bert -variant gpushield -sms 8
+//	lmi-sim -bench bert -variant lmi -tier compiled
 //	lmi-sim -list
+//
+// -tier=compiled runs the launch on internal/fastsim's compiled
+// functional tier: identical instruction/check counters and fault
+// verdicts, estimated cycle counts, and no cache/DRAM model (those
+// rows print as zero).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"lmi/internal/cliutil"
+	"lmi/internal/fastsim"
 	"lmi/internal/isa"
 	"lmi/internal/sim"
 	"lmi/internal/workloads"
@@ -33,9 +41,14 @@ func main() {
 	variant := flag.String("variant", "lmi", "baseline | lmi | gpushield | baggybounds | lmi-dbi | memcheck")
 	sms := flag.Int("sms", 4, "simulated SM count")
 	list := flag.Bool("list", false, "list benchmarks")
+	tierName := flag.String("tier", fastsim.TierCycle.String(),
+		"execution tier: cycle (timing reference) or compiled (fast functional)")
 	flag.Parse()
 	cliutil.ValidateOrExit("lmi-sim", flag.CommandLine,
 		cliutil.Check{Name: "sms", Value: *sms})
+	cliutil.ValidateEnumOrExit("lmi-sim",
+		cliutil.EnumCheck{Name: "tier", Value: *tierName, Allowed: fastsim.TierNames()})
+	tier, _ := fastsim.ParseTier(*tierName)
 
 	if *list {
 		for _, s := range workloads.All() {
@@ -54,7 +67,7 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := sim.ScaledConfig(*sms)
-	st, err := workloads.Run(s, v, cfg)
+	st, err := workloads.RunTierAtCtx(context.Background(), s, v, cfg, s.LaunchGrid(v), tier)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lmi-sim: %v\n", err)
 		os.Exit(1)

@@ -5,15 +5,24 @@
 // Usage:
 //
 //	lmi-trace -bench needle -variant lmi -o needle.lmitrace   # record
+//	lmi-trace -bench bert -tier compiled -o bert.lmitrace     # record, fast tier
 //	lmi-trace -analyze needle.lmitrace                        # mix + Fig.1 shares
 //	lmi-trace -replay needle.lmitrace -l1 98304 -l2 262144    # trace-driven caches
+//
+// -tier=compiled records on internal/fastsim's compiled functional
+// tier: the event stream carries the same instructions, lanes, and
+// addresses, but per-event cycle stamps are estimates rather than
+// cycle-accurate timings.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"lmi/internal/cliutil"
+	"lmi/internal/fastsim"
 	"lmi/internal/isa"
 	"lmi/internal/sim"
 	"lmi/internal/trace"
@@ -29,7 +38,14 @@ func main() {
 	l1 := flag.Uint64("l1", 96<<10, "replay: L1 size per SM")
 	l2 := flag.Uint64("l2", 4608<<10, "replay: L2 size")
 	sms := flag.Int("sms", 4, "recording: simulated SM count")
+	tierName := flag.String("tier", fastsim.TierCycle.String(),
+		"recording: execution tier, cycle (timing reference) or compiled (fast functional)")
 	flag.Parse()
+	cliutil.ValidateOrExit("lmi-trace", flag.CommandLine,
+		cliutil.Check{Name: "sms", Value: *sms})
+	cliutil.ValidateEnumOrExit("lmi-trace",
+		cliutil.EnumCheck{Name: "tier", Value: *tierName, Allowed: fastsim.TierNames()})
+	tier, _ := fastsim.ParseTier(*tierName)
 
 	switch {
 	case *analyze != "":
@@ -94,7 +110,8 @@ func main() {
 		fail(err)
 		outBuf, err := dev.Malloc(s.N * 4)
 		fail(err)
-		st, err := dev.Launch(prog, s.Grid, s.Block, []uint64{in, outBuf, s.N})
+		st, err := fastsim.LaunchTierCtx(context.Background(), tier, dev, prog,
+			s.Grid, s.Block, []uint64{in, outBuf, s.N})
 		fail(err)
 		fail(col.Close())
 		fmt.Printf("traced %s/%s: %d events, %d cycles -> %s\n",

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"lmi/internal/compiler"
+	"lmi/internal/fastsim"
 	"lmi/internal/isa"
 	"lmi/internal/runner"
 	"lmi/internal/safety"
@@ -74,6 +75,10 @@ type Campaign struct {
 	// Mechs restricts the campaign to the named mechanisms (nil runs
 	// all of lmi, lmi+track, baggybounds, gpushield).
 	Mechs []string
+	// Tier selects the execution tier trials simulate on (default the
+	// cycle-level simulator; the compiled tier trades cycle fidelity
+	// for throughput).
+	Tier fastsim.Tier
 
 	// wrap, when non-nil, post-processes every trial's mechanism before
 	// the device is built. It is the test hook proving the engine
@@ -116,6 +121,10 @@ type compiledVictims struct {
 type Injector struct {
 	defs  []mechDef
 	progs map[string]compiledVictims
+
+	// Tier selects the execution tier trials simulate on (default the
+	// cycle-level simulator).
+	Tier fastsim.Tier
 
 	// wrap, when non-nil, post-processes every trial's mechanism before
 	// the device is built. It is the test hook proving the engine
@@ -232,6 +241,7 @@ func (c Campaign) Run(ctx context.Context) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	inj.Tier = c.Tier
 	inj.wrap = c.wrap
 
 	type spec struct {
@@ -393,7 +403,7 @@ func (inj *Injector) runTrial(ctx context.Context, def mechDef, kind Kind,
 	if oobVictim {
 		params = []uint64{outParam}
 	}
-	st, lerr := dev.LaunchCtx(ctx, prog, 1, victimThreads, params)
+	st, lerr := fastsim.LaunchTierCtx(ctx, inj.Tier, dev, prog, 1, victimThreads, params)
 	if ocu != nil {
 		tr.InjectCycle = ocu.injectCycle
 		tr.Detail = fmt.Sprintf("OCU misdecoded %d of %d pointer checks", ocu.skips, ocu.calls)
@@ -493,7 +503,7 @@ func (inj *Injector) exhaustTrial(ctx context.Context, tr Trial, dev *sim.Device
 		return degraded("device wedged after exhaustion: "+err.Error(), err)
 	}
 	dev.WriteGlobal(inPtr, streamInput())
-	st, lerr := dev.LaunchCtx(ctx, progs.stream, 1, victimThreads, []uint64{inPtr, outPtr})
+	st, lerr := fastsim.LaunchTierCtx(ctx, inj.Tier, dev, progs.stream, 1, victimThreads, []uint64{inPtr, outPtr})
 	if lerr != nil {
 		return degraded("post-exhaustion launch failed: "+lerr.Error(), lerr)
 	}

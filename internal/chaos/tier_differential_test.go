@@ -1,0 +1,82 @@
+package chaos
+
+import (
+	"context"
+	"regexp"
+	"testing"
+
+	"lmi/internal/fastsim"
+)
+
+// faultRaceRe matches the schedule-dependent fields of a fault record
+// embedded in a trial detail: the hardware location and the faulting
+// addresses. When an injected corruption makes every lane of every warp
+// fault, which one wins the HaltOnFault race is a property of the
+// scheduling model (GTO + cache timing on the cycle tier, in-order
+// warps on the compiled tier), not of the mechanism's verdict — the
+// fault kind, pc, and violation message must still agree exactly.
+var faultRaceRe = regexp.MustCompile(`SM\d+ warp\d+ lane\d+|0x[0-9a-fA-F]+|extent=\d+`)
+
+func normalizeDetail(d string) string {
+	return faultRaceRe.ReplaceAllString(d, "*")
+}
+
+// TestTierDifferentialChaosCorpus replays the full injection matrix on
+// both execution tiers and asserts identical fault verdicts: the same
+// Outcome, fault presence, and injection detail for every (mechanism,
+// kind, seed) cell. KindOCUMisdecode is the one excluded kind: its
+// injector drops pointer checks by a hash of the dynamic call index, so
+// which check it sabotages depends on warp scheduling order — the two
+// tiers legitimately corrupt different calls. Cycle counts (Cycles,
+// FaultCycle, InjectCycle) are timing-model outputs and are not
+// compared.
+func TestTierDifferentialChaosCorpus(t *testing.T) {
+	cycleInj, err := NewInjector(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastInj, err := NewInjector(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastInj.Tier = fastsim.TierCompiled
+
+	trials := 4
+	if testing.Short() {
+		trials = 2
+	}
+	cfg := TrialConfig(1)
+	ctx := context.Background()
+	for _, mech := range cycleInj.Mechanisms() {
+		for _, kind := range cycleInj.EligibleKinds(mech) {
+			if kind == KindOCUMisdecode {
+				continue
+			}
+			for rep := 0; rep < trials; rep++ {
+				seed := MixSeed(0xD1FF, uint64(rep))
+				ct, err := cycleInj.RunTrial(ctx, mech, kind, seed, cfg)
+				if err != nil {
+					t.Fatalf("%s/%s: cycle trial: %v", mech, kind, err)
+				}
+				ft, err := fastInj.RunTrial(ctx, mech, kind, seed, cfg)
+				if err != nil {
+					t.Fatalf("%s/%s: compiled trial: %v", mech, kind, err)
+				}
+				label := string(mech) + "/" + string(kind)
+				if ct.Outcome != ft.Outcome {
+					t.Errorf("%s seed=%#x: outcome diverges: cycle=%s compiled=%s\ncycle detail: %s\ncompiled detail: %s",
+						label, seed, ct.Outcome, ft.Outcome, ct.Detail, ft.Detail)
+					continue
+				}
+				if ct.HasFault != ft.HasFault {
+					t.Errorf("%s seed=%#x: fault presence diverges: cycle=%v compiled=%v",
+						label, seed, ct.HasFault, ft.HasFault)
+				}
+				if normalizeDetail(ct.Detail) != normalizeDetail(ft.Detail) {
+					t.Errorf("%s seed=%#x: detail diverges:\ncycle:    %s\ncompiled: %s",
+						label, seed, ct.Detail, ft.Detail)
+				}
+			}
+		}
+	}
+}

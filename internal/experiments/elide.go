@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"lmi/internal/fastsim"
 	"lmi/internal/hwcost"
 	"lmi/internal/runner"
 	"lmi/internal/sim"
@@ -62,27 +63,36 @@ func Elide(cfg sim.Config) (*ElideResult, error) { return ElideJobs(cfg, 0) }
 // ElideJobs is Elide on a worker pool of the given size (<= 0 means
 // runner.DefaultWorkers); the rendered table is identical at any size.
 func ElideJobs(cfg sim.Config, workers int) (*ElideResult, error) {
+	return ElideJobsTier(cfg, workers, fastsim.TierCycle)
+}
+
+// ElideJobsTier is ElideJobs on a selected execution tier (the elided
+// fraction and EC-energy columns are functional and tier-invariant; the
+// cycle-delta column is only meaningful on the cycle tier). On a failed
+// sweep the partial result still carries the runner report alongside
+// the error.
+func ElideJobsTier(cfg sim.Config, workers int, tier fastsim.Tier) (*ElideResult, error) {
 	specs := workloads.All()
 	var jobs []runner.Job
 	for _, s := range specs {
 		for _, v := range elideVariants {
-			jobs = append(jobs, runner.Job{Spec: s, Variant: v, Config: cfg})
+			jobs = append(jobs, runner.Job{Spec: s, Variant: v, Config: cfg, Tier: tier})
 		}
 	}
 	rep := runner.RunNamed("elide", jobs, workers)
+	res := &ElideResult{Report: rep}
 	sts, err := rep.Stats()
 	if err != nil {
-		return nil, err
+		return res, err
 	}
 	ecPerOpFJ := hwcost.EC().EnergyPerOpFJ()
-	res := &ElideResult{Report: rep}
 	var fracs, deltas []float64
 	for i, s := range specs {
 		group := sts[i*len(elideVariants) : (i+1)*len(elideVariants)]
 		lmi, elide := group[0], group[1]
 		prog, err := s.Compile(workloads.VariantLMIElide)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: elided compile: %w", s.Name, err)
+			return res, fmt.Errorf("experiments: %s: elided compile: %w", s.Name, err)
 		}
 		row := ElideRow{
 			Name: s.Name, Suite: s.Suite,

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lmi/internal/fastsim"
+	"lmi/internal/runner"
+	"lmi/internal/sim"
+	"lmi/internal/workloads"
+)
+
+// TestFailedSweepStillEmitsJSON pins the trajectory-emission contract
+// for failing sweeps: an experiment whose jobs error mid-sweep must
+// still return its partial runner report alongside the error, and that
+// report must serialise to valid JSON with every failure recorded —
+// lmi-bench -json / LMI_BENCH_JSON rely on this to record failed runs
+// instead of silently dropping them.
+func TestFailedSweepStillEmitsJSON(t *testing.T) {
+	bad := sim.ScaledConfig(1)
+	bad.LineSize = 100 // not a power of two -> every NewDevice fails
+	res, err := Fig01JobsTier(bad, 2, fastsim.TierCompiled)
+	if err == nil {
+		t.Fatal("bad-config sweep reported success")
+	}
+	if res == nil || res.Report == nil {
+		t.Fatal("failed sweep dropped its partial report")
+	}
+
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := runner.WriteJSONFile(path, []*runner.Report{res.Report}); err != nil {
+		t.Fatalf("WriteJSONFile: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []struct {
+		Name string `json:"name"`
+		Jobs []struct {
+			Job   string `json:"job"`
+			Tier  string `json:"tier"`
+			Error string `json:"error"`
+		} `json:"jobs"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("emitted trajectory is not valid JSON: %v\n%s", err, data)
+	}
+	if len(decoded) != 1 || decoded[0].Name != "fig01" || len(decoded[0].Jobs) == 0 {
+		t.Fatalf("trajectory shape: %s", data)
+	}
+	for _, j := range decoded[0].Jobs {
+		if j.Error == "" {
+			t.Errorf("job %s: failure not recorded in JSON", j.Job)
+		}
+		if j.Tier != "compiled" {
+			t.Errorf("job %s: tier = %q, want \"compiled\"", j.Job, j.Tier)
+		}
+	}
+}
+
+// TestCycleTierOmittedFromJSON: default-tier job records must not grow
+// a tier field, keeping pre-tier trajectory files byte-compatible.
+func TestCycleTierOmittedFromJSON(t *testing.T) {
+	cfg := sim.ScaledConfig(1)
+	rep := runner.RunNamed("unit", []runner.Job{
+		{Spec: workloads.ByName("nn"), Variant: workloads.VariantBase, Config: cfg},
+	}, 1)
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), `"tier"`) {
+		t.Errorf("cycle-tier record leaks a tier field: %s", data)
+	}
+}

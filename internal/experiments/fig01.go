@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"lmi/internal/fastsim"
 	"lmi/internal/runner"
 	"lmi/internal/sim"
 	"lmi/internal/stats"
@@ -31,17 +32,25 @@ func Fig01(cfg sim.Config) (*Fig01Result, error) { return Fig01Jobs(cfg, 0) }
 // Fig01Jobs is Fig01 on a worker pool of the given size (<= 0 means
 // runner.DefaultWorkers); the rendered table is identical at any size.
 func Fig01Jobs(cfg sim.Config, workers int) (*Fig01Result, error) {
+	return Fig01JobsTier(cfg, workers, fastsim.TierCycle)
+}
+
+// Fig01JobsTier is Fig01Jobs on a selected execution tier. On a failed
+// sweep the partial result still carries the runner report alongside
+// the error, so trajectory emission (-json/LMI_BENCH_JSON) records the
+// failure instead of silently dropping the sweep.
+func Fig01JobsTier(cfg sim.Config, workers int, tier fastsim.Tier) (*Fig01Result, error) {
 	specs := workloads.All()
 	jobs := make([]runner.Job, len(specs))
 	for i, s := range specs {
-		jobs[i] = runner.Job{Spec: s, Variant: workloads.VariantBase, Config: cfg}
+		jobs[i] = runner.Job{Spec: s, Variant: workloads.VariantBase, Config: cfg, Tier: tier}
 	}
 	rep := runner.RunNamed("fig01", jobs, workers)
+	res := &Fig01Result{Report: rep}
 	sts, err := rep.Stats()
 	if err != nil {
-		return nil, err
+		return res, err
 	}
-	res := &Fig01Result{Report: rep}
 	for i, s := range specs {
 		g, sh, lo := sts[i].MemRegionShares()
 		res.Rows = append(res.Rows, Fig01Row{

@@ -3,6 +3,7 @@ package experiments
 import (
 	"math"
 
+	"lmi/internal/fastsim"
 	"lmi/internal/runner"
 	"lmi/internal/sim"
 	"lmi/internal/stats"
@@ -48,19 +49,28 @@ func Fig12(cfg sim.Config) (*Fig12Result, error) { return Fig12Jobs(cfg, 0) }
 // Fig12Jobs is Fig12 on a worker pool of the given size (<= 0 means
 // runner.DefaultWorkers); the rendered table is identical at any size.
 func Fig12Jobs(cfg sim.Config, workers int) (*Fig12Result, error) {
+	return Fig12JobsTier(cfg, workers, fastsim.TierCycle)
+}
+
+// Fig12JobsTier is Fig12Jobs on a selected execution tier. Normalized
+// execution times are only meaningful on the cycle tier (the compiled
+// tier's Cycles field is an estimate); the tier knob exists for
+// functional sweeps and throughput work. On a failed sweep the partial
+// result still carries the runner report alongside the error.
+func Fig12JobsTier(cfg sim.Config, workers int, tier fastsim.Tier) (*Fig12Result, error) {
 	specs := workloads.All()
 	var jobs []runner.Job
 	for _, s := range specs {
 		for _, v := range fig12Variants {
-			jobs = append(jobs, runner.Job{Spec: s, Variant: v, Config: cfg})
+			jobs = append(jobs, runner.Job{Spec: s, Variant: v, Config: cfg, Tier: tier})
 		}
 	}
 	rep := runner.RunNamed("fig12", jobs, workers)
+	res := &Fig12Result{Report: rep}
 	sts, err := rep.Stats()
 	if err != nil {
-		return nil, err
+		return res, err
 	}
-	res := &Fig12Result{Report: rep}
 	var baggyN, shieldN, lmiN []float64
 	for i, s := range specs {
 		group := sts[i*len(fig12Variants) : (i+1)*len(fig12Variants)]

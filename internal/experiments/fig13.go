@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"lmi/internal/compiler"
+	"lmi/internal/fastsim"
 	"lmi/internal/runner"
 	"lmi/internal/sim"
 	"lmi/internal/stats"
@@ -58,25 +59,33 @@ func Fig13For(specs []*workloads.Spec, cfg sim.Config) (*Fig13Result, error) {
 // pool of the given size (<= 0 means runner.DefaultWorkers); the
 // rendered table is identical at any size.
 func Fig13Jobs(specs []*workloads.Spec, cfg sim.Config, workers int) (*Fig13Result, error) {
+	return Fig13JobsTier(specs, cfg, workers, fastsim.TierCycle)
+}
+
+// Fig13JobsTier is Fig13Jobs on a selected execution tier. On a failed
+// sweep the partial result still carries the runner report alongside
+// the error, so trajectory emission records the failure instead of
+// silently dropping the sweep.
+func Fig13JobsTier(specs []*workloads.Spec, cfg sim.Config, workers int, tier fastsim.Tier) (*Fig13Result, error) {
 	var jobs []runner.Job
 	for _, s := range specs {
 		for _, v := range fig13Variants {
-			jobs = append(jobs, runner.Job{Spec: s, Variant: v, Config: cfg, AtDBIGrid: true})
+			jobs = append(jobs, runner.Job{Spec: s, Variant: v, Config: cfg, AtDBIGrid: true, Tier: tier})
 		}
 	}
 	rep := runner.RunNamed("fig13", jobs, workers)
+	res := &Fig13Result{Report: rep}
 	sts, err := rep.Stats()
 	if err != nil {
-		return nil, err
+		return res, err
 	}
-	res := &Fig13Result{Report: rep}
 	var dbiN, mcN []float64
 	for i, s := range specs {
 		group := sts[i*len(fig13Variants) : (i+1)*len(fig13Variants)]
 		base, dbi, mc := group[0], group[1], group[2]
 		lmiProg, err := s.Compile(workloads.VariantLMI)
 		if err != nil {
-			return nil, err
+			return res, err
 		}
 		checks, ldst := compiler.CheckInstructionCounts(lmiProg)
 		row := Fig13Row{

@@ -1,0 +1,184 @@
+package fastsim_test
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"testing"
+
+	"lmi/internal/compiler"
+	"lmi/internal/fastsim"
+	"lmi/internal/isa"
+	"lmi/internal/sim"
+	"lmi/internal/workloads"
+)
+
+// launchBoth runs one program on a fresh device per tier (identical
+// config, mechanism, and allocations) and returns both outcomes.
+func launchBoth(t *testing.T, prog *isa.Program, v workloads.Variant, cfg sim.Config, grid, block int, n uint64) (cycle, fast *sim.KernelStats) {
+	t.Helper()
+	run := func(tier fastsim.Tier) *sim.KernelStats {
+		dev, err := sim.NewDevice(cfg, workloads.NewMechanism(v))
+		if err != nil {
+			t.Fatalf("device: %v", err)
+		}
+		bytes := n * 4
+		in, err := dev.Malloc(bytes)
+		if err != nil {
+			t.Fatalf("malloc: %v", err)
+		}
+		out, err := dev.Malloc(bytes)
+		if err != nil {
+			t.Fatalf("malloc: %v", err)
+		}
+		st, err := fastsim.LaunchTierCtx(context.Background(), tier, dev, prog, grid, block, []uint64{in, out, n})
+		if err != nil {
+			t.Fatalf("%v tier: %v", tier, err)
+		}
+		return st
+	}
+	return run(fastsim.TierCycle), run(fastsim.TierCompiled)
+}
+
+// faultProjection renders a fault record without its scheduling
+// artifacts (SM assignment, cycle stamp), which legitimately differ
+// between tiers.
+func faultProjection(rs []sim.FaultRecord) []string {
+	out := make([]string, 0, len(rs))
+	for _, r := range rs {
+		out = append(out, fmt.Sprintf("warp%d lane%d pc=%d: %v", r.Warp, r.Lane, r.PC, r.Fault))
+	}
+	return out
+}
+
+// diffFunctional asserts the two tiers agree on the functional
+// projection of a launch: instruction and lane-instruction counts,
+// per-opcode memory instruction counts, OCU pointer checks, the
+// ECChecked/ECElided split, halt status, and the fault records (their
+// location and content, not their cycle stamps).
+func diffFunctional(t *testing.T, label string, cycle, fast *sim.KernelStats) {
+	t.Helper()
+	type row struct {
+		name   string
+		cv, fv uint64
+	}
+	for _, r := range []row{
+		{"Instrs", cycle.Instrs, fast.Instrs},
+		{"ThreadInstrs", cycle.ThreadInstrs, fast.ThreadInstrs},
+		{"PointerChecks", cycle.PointerChecks, fast.PointerChecks},
+		{"ECChecked", cycle.ECChecked, fast.ECChecked},
+		{"ECElided", cycle.ECElided, fast.ECElided},
+	} {
+		if r.cv != r.fv {
+			t.Errorf("%s: %s diverges: cycle=%d compiled=%d", label, r.name, r.cv, r.fv)
+		}
+	}
+	if cycle.Halted != fast.Halted {
+		t.Errorf("%s: Halted diverges: cycle=%v compiled=%v", label, cycle.Halted, fast.Halted)
+	}
+	ops := map[isa.Opcode]bool{}
+	for op := range cycle.MemInstrs {
+		ops[op] = true
+	}
+	for op := range fast.MemInstrs {
+		ops[op] = true
+	}
+	sorted := make([]isa.Opcode, 0, len(ops))
+	for op := range ops {
+		sorted = append(sorted, op)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, op := range sorted {
+		if cycle.MemInstrs[op] != fast.MemInstrs[op] {
+			t.Errorf("%s: MemInstrs[%s] diverges: cycle=%d compiled=%d",
+				label, op, cycle.MemInstrs[op], fast.MemInstrs[op])
+		}
+	}
+	cf, ff := faultProjection(cycle.Faults), faultProjection(fast.Faults)
+	if len(cf) != len(ff) {
+		t.Errorf("%s: fault count diverges: cycle=%d compiled=%d\ncycle: %v\ncompiled: %v",
+			label, len(cf), len(ff), cf, ff)
+		return
+	}
+	for i := range cf {
+		if cf[i] != ff[i] {
+			t.Errorf("%s: fault %d diverges:\ncycle:    %s\ncompiled: %s", label, i, cf[i], ff[i])
+		}
+	}
+}
+
+// corpusPrograms compiles the differential corpus for one benchmark:
+// base and LMI modes, each pre- and post-Optimize, plus the
+// statically-elided variant (the E-hint exerciser).
+func corpusPrograms(t *testing.T, s *workloads.Spec) map[string]struct {
+	prog *isa.Program
+	v    workloads.Variant
+} {
+	t.Helper()
+	out := map[string]struct {
+		prog *isa.Program
+		v    workloads.Variant
+	}{}
+	f, err := s.Kernel()
+	if err != nil {
+		t.Fatalf("%s: kernel: %v", s.Name, err)
+	}
+	for _, m := range []struct {
+		name string
+		mode compiler.Mode
+		v    workloads.Variant
+	}{
+		{"base", compiler.ModeBase, workloads.VariantBase},
+		{"lmi", compiler.ModeLMI, workloads.VariantLMI},
+	} {
+		p, err := compiler.Compile(f, m.mode)
+		if err != nil {
+			t.Fatalf("%s/%s: compile: %v", s.Name, m.name, err)
+		}
+		out[m.name] = struct {
+			prog *isa.Program
+			v    workloads.Variant
+		}{p, m.v}
+		out[m.name+"+opt"] = struct {
+			prog *isa.Program
+			v    workloads.Variant
+		}{compiler.Optimize(p), m.v}
+	}
+	pe, _, err := compiler.CompileElided(f, s.Contract())
+	if err != nil {
+		t.Fatalf("%s/elide: compile: %v", s.Name, err)
+	}
+	out["elide"] = struct {
+		prog *isa.Program
+		v    workloads.Variant
+	}{pe, workloads.VariantLMIElide}
+	return out
+}
+
+// TestDifferentialWorkloadCorpus runs the full 28-benchmark corpus —
+// base and LMI compiles, pre- and post-Optimize, plus the elided
+// variant — through both execution tiers and asserts the functional
+// projections are identical. This is the compiled tier's primary
+// correctness gate (wired into scripts/check.sh).
+func TestDifferentialWorkloadCorpus(t *testing.T) {
+	specs := workloads.All()
+	if testing.Short() {
+		specs = []*workloads.Spec{
+			workloads.ByName("bert"),
+			workloads.ByName("lud_cuda"),
+			workloads.ByName("particlefilter_float"),
+			workloads.ByName("sc_gpu"),
+		}
+	}
+	cfg := sim.ScaledConfig(2)
+	for _, s := range specs {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			for name, c := range corpusPrograms(t, s) {
+				cycle, fast := launchBoth(t, c.prog, c.v, cfg, s.Grid, s.Block, s.N)
+				diffFunctional(t, s.Name+"/"+name, cycle, fast)
+			}
+		})
+	}
+}

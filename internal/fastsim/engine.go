@@ -1,0 +1,495 @@
+package fastsim
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+	"runtime/debug"
+
+	"lmi/internal/alloc"
+	"lmi/internal/core"
+	"lmi/internal/isa"
+	"lmi/internal/mem"
+	"lmi/internal/sim"
+)
+
+// simtEntry is one SIMT reconvergence-stack entry (identical to the
+// cycle simulator's).
+type simtEntry struct {
+	pc, rpc int32
+	mask    uint32
+}
+
+// fwarp is one warp's functional execution state on the compiled tier.
+type fwarp struct {
+	globalID int
+	warpIdx  int
+	lanes    int
+
+	launchMask uint32
+	// rf is the warp's register file, one contiguous block of nregs
+	// registers per lane (lane l's register r lives at l*nregs+r).
+	// Closures hoist rf into a local before their lane sweep, so the
+	// per-lane cost is pure indexing — no slice-header loads.
+	rf    []uint64
+	nregs int
+	preds [8]uint32 // predicate files as lane bitmasks; preds[PT] = launchMask
+	locals     []*mem.AddrSpace
+	shared     *mem.AddrSpace // the block's shared memory
+
+	stack      []simtEntry
+	pendingSSY int32
+	exited     uint32
+
+	atBarrier bool
+	done      bool
+
+	// vtime is the warp's deterministic virtual-time estimate within its
+	// block: one unit per issued instruction plus memory/heap/OCU
+	// latency estimates. It feeds the Cycles estimate and fault
+	// timestamps; it is not part of the cross-tier functional
+	// projection.
+	vtime uint64
+	// icount counts issued warp instructions; it bounds runaway warps
+	// (the compiled tier's Config.MaxCycles analogue — a warp issues at
+	// most one instruction per cycle, so a warp exceeding MaxCycles
+	// instructions would necessarily exceed MaxCycles cycles too).
+	icount uint64
+	// sinceProg counts instructions since the last observable-progress
+	// event (memory, heap, barrier, exit) for the no-progress watchdog.
+	sinceProg uint64
+
+	lineBuf []uint64 // scratch for per-access line dedup (timing estimate)
+}
+
+// syncTop pops reconverged or fully-exited stack entries and reports
+// whether the warp still has work (mirrors the cycle simulator).
+func (w *fwarp) syncTop() bool {
+	for {
+		if len(w.stack) == 0 {
+			w.done = true
+			return false
+		}
+		top := &w.stack[len(w.stack)-1]
+		if top.mask&^w.exited == 0 {
+			w.stack = w.stack[:len(w.stack)-1]
+			continue
+		}
+		if len(w.stack) > 1 && top.pc == top.rpc {
+			w.stack = w.stack[:len(w.stack)-1]
+			continue
+		}
+		return true
+	}
+}
+
+// engine is the transient state of one compiled-tier kernel execution.
+type engine struct {
+	ctx      context.Context
+	ctxArmed bool
+	dev      *sim.Device
+	c        *Compiled
+	cfg      *sim.Config
+	mech     sim.Mechanism
+	global   *mem.AddrSpace
+	heap     *alloc.DeviceHeap
+	cbank    *mem.AddrSpace
+	tracer   sim.Tracer
+
+	grid, bdim, gridX, bdimX int
+	ctaid                    int
+	smID                     int
+
+	stats  sim.KernelStats
+	halted bool
+	runErr error
+
+	noProg    uint64 // watchdog no-progress bound (instructions)
+	maxInstrs uint64 // per-warp instruction budget (MaxCycles analogue)
+	tick      uint64 // global instruction counter for ctx polling
+
+	// memInstrs is the per-opcode executed-memory-instruction counter,
+	// array-backed so the hot path avoids a map update per warp memory
+	// instruction; it is folded into stats.MemInstrs once at launch end.
+	memInstrs [256]uint64
+
+	// blockBase is the current block's SM-timeline offset; smTime
+	// accumulates per-SM block time for the Cycles estimate.
+	blockBase uint64
+	smTime    []uint64
+
+	traceEv sim.TraceEvent
+}
+
+// Launch runs the compiled kernel to completion with a 1-D grid.
+func (c *Compiled) Launch(dev *sim.Device, gridDim, blockDim int, params []uint64) (*sim.KernelStats, error) {
+	return c.Launch2DCtx(context.Background(), dev, gridDim, 1, blockDim, 1, params)
+}
+
+// LaunchCtx is Launch bounded by a context: cancellation is observed at
+// the instruction-polling cadence and aborts with a *sim.ContextError,
+// exactly like the cycle tier.
+func (c *Compiled) LaunchCtx(ctx context.Context, dev *sim.Device, gridDim, blockDim int, params []uint64) (*sim.KernelStats, error) {
+	return c.Launch2DCtx(ctx, dev, gridDim, 1, blockDim, 1, params)
+}
+
+// Launch2DCtx runs the compiled kernel with a 2-D grid and 2-D blocks,
+// mirroring the cycle simulator's launch prelude (validation, dimension
+// checks, mechanism reset, constant-bank image) and its fault/halt/
+// error semantics. Blocks execute sequentially in ctaid order and warps
+// within a block round-robin between barrier segments, which preserves
+// the functional projection of the launch; only the timing-model fields
+// of KernelStats (Cycles, L1/L2/DRAM, fault cycle stamps) differ from
+// the cycle tier.
+func (c *Compiled) Launch2DCtx(ctx context.Context, dev *sim.Device, gridX, gridY, blockX, blockY int, params []uint64) (st *sim.KernelStats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			st, err = nil, &sim.PanicError{Op: "Launch", Value: r, Stack: debug.Stack()}
+		}
+	}()
+	p := c.prog
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if gridX <= 0 || gridY <= 0 || blockX <= 0 || blockY <= 0 {
+		return nil, fmt.Errorf("fastsim: bad launch dimensions (%d,%d) x (%d,%d)", gridX, gridY, blockX, blockY)
+	}
+	gridDim, blockDim := gridX*gridY, blockX*blockY
+	if blockDim > 1024 {
+		return nil, fmt.Errorf("fastsim: block %d x %d exceeds 1024 threads", blockX, blockY)
+	}
+	if len(params) < p.NumParams {
+		return nil, fmt.Errorf("fastsim: kernel %s expects %d params, got %d", p.Name, p.NumParams, len(params))
+	}
+	dev.Mech.Reset()
+
+	cbank := mem.NewAddrSpace()
+	cbank.Write(uint64(p.StackPtrConst), alloc.StackTop, 8)
+	for i, v := range params {
+		cbank.Write(uint64(p.ParamBase+8*i), v, 8)
+	}
+
+	e := &engine{
+		ctx:      ctx,
+		ctxArmed: ctx != nil && ctx.Done() != nil,
+		dev:      dev,
+		c:        c,
+		cfg:      &dev.Cfg,
+		mech:     dev.Mech,
+		global:   dev.Global,
+		heap:     dev.Heap(),
+		cbank:    cbank,
+		tracer:   dev.Tracer,
+		grid:     gridDim,
+		bdim:     blockDim,
+		gridX:    gridX,
+		bdimX:    blockX,
+		noProg:   dev.Cfg.Watchdog.NoProgressCycles,
+		maxInstrs: dev.Cfg.MaxCycles,
+		smTime:   make([]uint64, dev.Cfg.NumSMs),
+	}
+	e.stats.MemInstrs = make(map[isa.Opcode]uint64)
+
+	for ctaid := 0; ctaid < gridDim; ctaid++ {
+		e.runBlock(ctaid)
+		if e.runErr != nil {
+			return nil, e.runErr
+		}
+		if e.halted {
+			break
+		}
+	}
+	out := e.stats
+	for op, n := range e.memInstrs {
+		if n != 0 {
+			out.MemInstrs[isa.Opcode(op)] = n
+		}
+	}
+	out.Halted = e.halted
+	for _, t := range e.smTime {
+		if t > out.Cycles {
+			out.Cycles = t
+		}
+	}
+	return &out, nil
+}
+
+// runBlock instantiates and executes one thread block. Warps run
+// round-robin between barrier segments: each live warp runs until it
+// parks at a barrier or exits, and the barrier releases once every live
+// warp of the block is parked — the cycle simulator's release rule.
+func (e *engine) runBlock(ctaid int) {
+	e.ctaid = ctaid
+	e.smID = ctaid % e.cfg.NumSMs
+	e.blockBase = e.smTime[e.smID]
+	wpb := (e.bdim + 31) / 32
+	numRegs := e.c.prog.NumRegs
+	if numRegs < 8 {
+		numRegs = 8
+	}
+	shared := mem.NewAddrSpace()
+	warps := make([]*fwarp, 0, wpb)
+	for wi := 0; wi < wpb; wi++ {
+		lanes := e.bdim - wi*32
+		if lanes > 32 {
+			lanes = 32
+		}
+		w := &fwarp{
+			globalID:   ctaid*wpb + wi,
+			warpIdx:    wi,
+			lanes:      lanes,
+			launchMask: uint32(1)<<uint(lanes) - 1,
+			pendingSSY: -1,
+			shared:     shared,
+			locals:     make([]*mem.AddrSpace, lanes),
+		}
+		w.stack = []simtEntry{{pc: 0, rpc: -1, mask: w.launchMask}}
+		w.rf = make([]uint64, lanes*numRegs)
+		w.nregs = numRegs
+		w.preds[isa.PT] = w.launchMask
+		warps = append(warps, w)
+	}
+
+	for {
+		anyLive := false
+		for _, w := range warps {
+			if w.done {
+				continue
+			}
+			anyLive = true
+			if w.atBarrier {
+				continue
+			}
+			e.runWarp(w)
+			if e.halted || e.runErr != nil {
+				return
+			}
+		}
+		if !anyLive {
+			break
+		}
+		// Every live warp is parked (runWarp only stops at a barrier,
+		// exit, halt, or error): release the barrier.
+		for _, w := range warps {
+			if !w.done {
+				w.atBarrier = false
+				w.sinceProg = 0
+			}
+		}
+	}
+
+	// Block retired: fold its time estimate into its SM's timeline.
+	var blockTime uint64
+	for _, w := range warps {
+		if w.vtime > blockTime {
+			blockTime = w.vtime
+		}
+	}
+	e.smTime[e.smID] += blockTime
+}
+
+// runWarp executes a warp block-by-block until it exits, parks at a
+// barrier, faults the launch, or errors. Reconvergence (syncTop) is
+// checked only at block entry: every reconvergence pc is an SSY target
+// and therefore a block leader.
+func (e *engine) runWarp(w *fwarp) {
+	for {
+		if !w.syncTop() {
+			return
+		}
+		top := &w.stack[len(w.stack)-1]
+		pc := int(top.pc)
+		if pc < 0 || pc >= len(e.c.blockOf) || e.c.blockOf[pc] < 0 {
+			e.fail(fmt.Errorf("fastsim: %s: control reached pc %d outside any basic block", e.c.prog.Name, pc))
+			return
+		}
+		blk := &e.c.blocks[e.c.blockOf[pc]]
+		active := top.mask &^ w.exited
+		trace := e.tracer != nil
+
+		for k := range blk.body {
+			if trace {
+				e.traceEv.Addrs = e.traceEv.Addrs[:0]
+			}
+			exec := blk.body[k](e, w, active)
+			w.vtime++
+			if trace {
+				e.emitTrace(blk.start+k, blk.ops[k], blk.hintA[k], w, exec)
+			}
+			if e.halted || e.runErr != nil {
+				return
+			}
+			if e.step(w) {
+				return
+			}
+		}
+
+		if blk.term == termFall {
+			top.pc = blk.next
+			continue
+		}
+		// Control terminator (BRA/EXIT/BAR): counted and traced like any
+		// issued instruction.
+		exec := blk.termGuard(w, active)
+		e.count(exec)
+		w.vtime++
+		if trace {
+			e.traceEv.Addrs = e.traceEv.Addrs[:0]
+			e.emitTrace(blk.termPC, blk.termOp, false, w, exec)
+		}
+		if e.step(w) {
+			return
+		}
+		switch blk.term {
+		case termEXIT:
+			w.exited |= exec
+			w.sinceProg = 0
+			top.pc = blk.next
+		case termBAR:
+			w.atBarrier = true
+			w.sinceProg = 0
+			top.pc = blk.next
+			return
+		case termBRA:
+			e.branch(w, top, blk, active, exec)
+			if e.runErr != nil {
+				return
+			}
+		}
+	}
+}
+
+// branch implements the SIMT reconvergence-stack transform, mirroring
+// the cycle simulator's branch().
+func (e *engine) branch(w *fwarp, top *simtEntry, blk *bblock, active, taken uint32) {
+	switch {
+	case taken == active:
+		top.pc = blk.target
+	case taken == 0:
+		top.pc = blk.next
+	default:
+		rpc := w.pendingSSY
+		if rpc < 0 {
+			e.fail(fmt.Errorf("fastsim: %s: divergent branch at pc %d without SSY", e.c.prog.Name, blk.termPC))
+			return
+		}
+		top.pc = rpc
+		w.stack = append(w.stack,
+			simtEntry{pc: blk.next, rpc: rpc, mask: active &^ taken},
+			simtEntry{pc: blk.target, rpc: rpc, mask: taken},
+		)
+	}
+	w.pendingSSY = -1
+}
+
+// step performs per-instruction bookkeeping: the instruction budget,
+// the no-progress watchdog, and context-cancellation polling. It
+// reports whether the launch must stop.
+func (e *engine) step(w *fwarp) bool {
+	w.icount++
+	w.sinceProg++
+	if e.maxInstrs > 0 && w.icount > e.maxInstrs {
+		e.fail(&sim.CycleLimitError{Kernel: e.c.prog.Name, Limit: e.maxInstrs})
+		return true
+	}
+	if e.noProg > 0 && w.sinceProg > e.noProg {
+		e.runErr = &sim.WatchdogError{
+			Kind:   sim.WatchdogNoProgress,
+			Kernel: e.c.prog.Name,
+			Cycle:  e.blockBase + w.vtime,
+			Detail: fmt.Sprintf("warp%d issued %d instructions without memory/heap/barrier/exit activity", w.globalID, e.noProg),
+		}
+		e.halted = true
+		return true
+	}
+	e.tick++
+	if e.ctxArmed && e.tick&1023 == 0 {
+		if err := e.ctx.Err(); err != nil {
+			e.runErr = &sim.ContextError{Kernel: e.c.prog.Name, Cycle: e.blockBase + w.vtime, Err: err}
+			e.halted = true
+			return true
+		}
+	}
+	return false
+}
+
+// count updates the issued-instruction statistics exactly like the
+// cycle simulator's issue path.
+func (e *engine) count(exec uint32) {
+	e.stats.Instrs++
+	e.stats.ThreadInstrs += uint64(bits.OnesCount32(exec))
+}
+
+// fail aborts the launch with an error (the cycle simulator's
+// runErr+halted convention).
+func (e *engine) fail(err error) {
+	if e.runErr == nil {
+		e.runErr = err
+	}
+	e.halted = true
+}
+
+// recordFault appends a fault record and halts the launch if
+// configured. The SM index is the block's deterministic SM assignment
+// (ctaid mod NumSMs) and the cycle stamp is the virtual-time estimate;
+// both are scheduling artifacts excluded from the cross-tier
+// functional projection.
+func (e *engine) recordFault(f *core.Fault, pc int, w *fwarp, lane int) {
+	e.stats.Faults = append(e.stats.Faults, sim.FaultRecord{
+		Fault: f, PC: pc, SM: e.smID, Warp: w.globalID, Lane: lane,
+		Cycle: e.blockBase + w.vtime,
+	})
+	if e.cfg.HaltOnFault {
+		e.halted = true
+	}
+}
+
+// trap raises the TRAP software fault (one record per warp instruction).
+func (e *engine) trap(pc int, w *fwarp, lane int, code int32) {
+	e.recordFault(core.NewFault(core.FaultSpatial, 0, 0,
+		fmt.Sprintf("software bounds check trap (code %d)", code)), pc, w, lane)
+}
+
+// specialReg reads an S2R value for a lane. SRSMID reports the
+// deterministic block-to-SM assignment.
+func (e *engine) specialReg(w *fwarp, lane int, sr isa.SReg) uint64 {
+	tid := w.warpIdx*32 + lane
+	switch sr {
+	case isa.SRTidX:
+		return uint64(tid % e.bdimX)
+	case isa.SRTidY:
+		return uint64(tid / e.bdimX)
+	case isa.SRCtaidX:
+		return uint64(e.ctaid % e.gridX)
+	case isa.SRCtaidY:
+		return uint64(e.ctaid / e.gridX)
+	case isa.SRNtidX:
+		return uint64(e.bdimX)
+	case isa.SRNtidY:
+		return uint64(e.bdim / e.bdimX)
+	case isa.SRNctaidX:
+		return uint64(e.gridX)
+	case isa.SRNctaidY:
+		return uint64(e.grid / e.gridX)
+	case isa.SRLaneID:
+		return uint64(lane)
+	case isa.SRWarpID:
+		return uint64(w.warpIdx)
+	case isa.SRSMID:
+		return uint64(e.smID)
+	default:
+		return 0
+	}
+}
+
+// emitTrace delivers one executed instruction to the attached tracer
+// (memory closures have already collected lane addresses into traceEv).
+func (e *engine) emitTrace(pc int, op isa.Opcode, hintA bool, w *fwarp, exec uint32) {
+	e.traceEv.PC = pc
+	e.traceEv.Op = op
+	e.traceEv.SM = e.smID
+	e.traceEv.Warp = w.globalID
+	e.traceEv.Active = exec
+	e.traceEv.HintA = hintA
+	e.tracer.Trace(&e.traceEv)
+}

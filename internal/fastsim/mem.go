@@ -1,0 +1,358 @@
+package fastsim
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"lmi/internal/core"
+	"lmi/internal/isa"
+	"lmi/internal/mem"
+	"lmi/internal/sim"
+)
+
+// pageWin caches one AddrSpace page window across the lanes of a single
+// warp memory instruction: consecutive lanes overwhelmingly touch the
+// same page, so the per-access page-map lookup is amortised to one per
+// page transition. The cache lives only for one closure invocation —
+// the engine is single-threaded within a launch, and nothing else
+// mutates the address space between the lanes of one instruction (the
+// straddle fallback in store is the lone exception, handled by
+// invalidation).
+type pageWin struct {
+	as   *mem.AddrSpace
+	base uint64 // page base address of the cached window
+	win  []byte // nil when the page is unmapped (loads read zero)
+	ok   bool
+}
+
+// load mirrors AddrSpace.Read for in-page accesses via the cached
+// window, falling back to Read for page-straddling ones.
+func (pw *pageWin) load(addr, size uint64) uint64 {
+	base := addr &^ uint64(mem.PageWindowSize-1)
+	off := addr - base
+	if off+size <= mem.PageWindowSize {
+		if !pw.ok || base != pw.base {
+			pw.win = pw.as.PageWindow(base, false)
+			pw.base, pw.ok = base, true
+		}
+		if pw.win == nil {
+			return 0
+		}
+		w := pw.win[off:]
+		switch size {
+		case 1:
+			return uint64(w[0])
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(w))
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(w))
+		case 8:
+			return binary.LittleEndian.Uint64(w)
+		}
+	}
+	return pw.as.Read(addr, int(size))
+}
+
+// store mirrors AddrSpace.Write likewise; a nil cached window is
+// refetched with allocation since stores materialise pages.
+func (pw *pageWin) store(addr, val, size uint64) {
+	base := addr &^ uint64(mem.PageWindowSize-1)
+	off := addr - base
+	if off+size <= mem.PageWindowSize {
+		if !pw.ok || base != pw.base || pw.win == nil {
+			pw.win = pw.as.PageWindow(base, true)
+			pw.base, pw.ok = base, true
+		}
+		w := pw.win[off:]
+		switch size {
+		case 1:
+			w[0] = byte(val)
+			return
+		case 2:
+			binary.LittleEndian.PutUint16(w, uint16(val))
+			return
+		case 4:
+			binary.LittleEndian.PutUint32(w, uint32(val))
+			return
+		case 8:
+			binary.LittleEndian.PutUint64(w, val)
+			return
+		}
+	}
+	// Straddling store: the slow path may materialise the cached page
+	// behind the window cache, so drop the cache.
+	pw.as.Write(addr, val, int(size))
+	pw.ok = false
+}
+
+// countEC folds a warp memory instruction's per-lane extent-check
+// count into the launch statistics: every lane of an E-hinted site is
+// an elision, every lane of a checked site runs the extent check
+// (including faulting lanes — the check ran and failed).
+func (e *engine) countEC(hintE bool, n uint64) {
+	if hintE {
+		e.stats.ECElided += n
+	} else {
+		e.stats.ECChecked += n
+	}
+}
+
+// addLineSet records line la in the per-instruction transaction set if
+// it is not already present (the set is tiny — warp accesses coalesce
+// to a handful of lines — so linear scan beats anything fancier).
+func addLineSet(lines []uint64, la uint64) []uint64 {
+	for _, x := range lines {
+		if x == la {
+			return lines
+		}
+	}
+	return append(lines, la)
+}
+
+// memClosure compiles one warp-level memory instruction. All decode
+// decisions — memory space, access size, store/load/atomic role, the
+// operand registers, the sign-extension flag, and crucially the E-hint
+// extent-check elision — are resolved here, once; the returned closure
+// replays the cycle simulator's per-lane EC-site semantics (raw-pointer
+// coalescing judgement, Canonical on the elided path vs CheckAccess on
+// the checked path, ECElided/ECChecked accounting, per-lane fault
+// suppression) without any per-execution decoding.
+func (cc *compiler) memClosure(in *isa.Instr, pc int, g guardFn) opFn {
+	op := in.Op
+	space := op.MemSpace()
+	size := in.AccSize()
+	isStore := op.IsStore()
+	isAtom := op == isa.ATOMG || op == isa.ATOMS
+	addrReg := in.Src[0]
+	off := sx32(in.Imm)
+	dataReg := in.Src[1]
+	dst := in.Dst
+	signExt := in.SignExtend() && size == 4
+	hintE := in.Hint.E
+
+	return func(e *engine, w *fwarp, active uint32) uint32 {
+		exec := g(w, active)
+		e.count(exec)
+		if exec != 0 {
+			e.memInstrs[op]++
+		}
+		w.sinceProg = 0
+		// LineSize is validated as a power of two at device creation, so
+		// the per-lane line arithmetic reduces to shifts and masks.
+		lineSize := e.cfg.LineSize
+		lineShift := uint(bits.TrailingZeros64(lineSize))
+		lineMask := lineSize - 1
+		lines := w.lineBuf[:0]
+		var (
+			prevLine    uint64
+			havePrev    bool
+			prevRawLine uint64
+			haveRaw     bool
+			extraSum    uint64
+			ecCount     uint64
+			pw          pageWin
+		)
+		switch space {
+		case isa.SpaceGlobal:
+			pw.as = e.global
+		case isa.SpaceShared:
+			pw.as = w.shared
+		}
+		trace := e.tracer != nil
+		// Everything about the access except the pointer and the
+		// coalescing judgement is invariant across the lanes.
+		acc := sim.Access{
+			SM: e.smID, Space: space, Size: size,
+			Store: isStore, Cycle: e.blockBase + w.vtime,
+		}
+
+		rf, nr := w.rf, w.nregs
+		for m := exec; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			regs := rf[lane*nr : lane*nr+nr]
+			raw := off
+			if addrReg != isa.RZ {
+				raw += regs[addrReg]
+			}
+			// Coalescing is judged on raw (possibly tagged) pointer lines,
+			// exactly as in the cycle simulator's LSU.
+			rawLine := raw >> lineShift
+			coalesced := haveRaw && rawLine == prevRawLine
+			prevRawLine, haveRaw = rawLine, true
+			var eff uint64
+			if hintE {
+				// Compile-time-hoisted elision: the E hint proved this
+				// access in-bounds, so the address is canonicalised
+				// directly and no extent check runs.
+				eff = e.mech.Canonical(raw)
+				ecCount++
+			} else {
+				var extra uint64
+				var fault *core.Fault
+				acc.Ptr, acc.Coalesced = raw, coalesced
+				eff, extra, fault = e.mech.CheckAccess(acc)
+				ecCount++
+				extraSum += extra
+				if fault != nil {
+					e.recordFault(fault, pc, w, lane)
+					if e.halted {
+						e.countEC(hintE, ecCount)
+						w.lineBuf = lines
+						return exec
+					}
+					continue // access suppressed for this lane
+				}
+			}
+			if trace {
+				e.traceEv.Addrs = append(e.traceEv.Addrs, eff)
+			}
+
+			// Functional access (mirrors the cycle simulator's LSU).
+			switch space {
+			case isa.SpaceGlobal, isa.SpaceShared:
+				if isAtom {
+					old := pw.load(eff, size)
+					add := uint64(0)
+					if dataReg != isa.RZ {
+						add = regs[dataReg]
+					}
+					pw.store(eff, uint64(uint32(int32(old)+int32(add))), size)
+					if dst != isa.RZ {
+						regs[dst] = old
+					}
+				} else if isStore {
+					val := uint64(0)
+					if dataReg != isa.RZ {
+						val = regs[dataReg]
+					}
+					pw.store(eff, val, size)
+				} else {
+					v := pw.load(eff, size)
+					if dst != isa.RZ {
+						if signExt {
+							v = sx32(int32(uint32(v)))
+						}
+						regs[dst] = v
+					}
+				}
+			case isa.SpaceLocal:
+				lm := w.locals[lane]
+				if lm == nil {
+					lm = mem.NewAddrSpace()
+					w.locals[lane] = lm
+				}
+				if isStore {
+					val := uint64(0)
+					if dataReg != isa.RZ {
+						val = regs[dataReg]
+					}
+					lm.Write(eff, val, int(size))
+				} else {
+					v := lm.Read(eff, int(size))
+					if dst != isa.RZ {
+						if signExt {
+							v = sx32(int32(uint32(v)))
+						}
+						regs[dst] = v
+					}
+				}
+			}
+
+			// Transaction-line accounting (timing estimate).
+			la := eff >> lineShift
+			if !havePrev || la != prevLine {
+				lines = addLineSet(lines, la)
+			}
+			prevLine, havePrev = la, true
+			if (eff&lineMask)+size > lineSize {
+				lines = addLineSet(lines, la+1)
+			}
+		}
+
+		e.countEC(hintE, ecCount)
+		// Deterministic per-warp latency estimate (not part of the
+		// functional projection): one base latency plus transaction
+		// serialisation plus mechanism extras.
+		var lat uint64
+		if space == isa.SpaceShared {
+			lat = e.cfg.SharedLatency
+		} else {
+			lat = e.cfg.L1Latency
+		}
+		if n := uint64(len(lines)); n > 1 {
+			lat += n - 1
+		}
+		w.vtime += lat + extraSum
+		w.lineBuf = lines
+		return exec
+	}
+}
+
+// heapClosure compiles a device MALLOC/FREE intrinsic, mirroring the
+// cycle simulator's per-lane heap semantics: allocator errors abort the
+// launch, free-of-invalid faults are recorded per lane, and tagging is
+// skipped when MALLOC's destination is RZ.
+func (cc *compiler) heapClosure(in *isa.Instr, pc int, g guardFn) opFn {
+	op := in.Op
+	isMalloc := op == isa.MALLOC
+	srcReg := in.Src[0]
+	dst := in.Dst
+
+	return func(e *engine, w *fwarp, active uint32) uint32 {
+		exec := g(w, active)
+		e.count(exec)
+		if exec != 0 {
+			e.memInstrs[op]++
+		}
+		w.sinceProg = 0
+		lanes := uint64(0)
+		rf, nr := w.rf, w.nregs
+		for m := exec; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			lanes++
+			regs := rf[lane*nr : lane*nr+nr]
+			val := uint64(0)
+			if srcReg != isa.RZ {
+				val = regs[srcReg]
+			}
+			if isMalloc {
+				size := val
+				if int64(size) < 0 {
+					e.fail(fmt.Errorf("fastsim: %s: negative malloc size at pc %d", e.c.prog.Name, pc))
+					return exec
+				}
+				b, err := e.heap.Malloc(size)
+				if err != nil {
+					e.fail(fmt.Errorf("fastsim: %s: %w", e.c.prog.Name, err))
+					return exec
+				}
+				if dst != isa.RZ {
+					tagged, err := e.mech.TagAlloc(b, isa.SpaceHeap)
+					if err != nil {
+						e.fail(fmt.Errorf("fastsim: %s: %w", e.c.prog.Name, err))
+						return exec
+					}
+					regs[dst] = tagged
+				}
+			} else { // FREE
+				addr := e.mech.UntagFree(val, isa.SpaceHeap)
+				if err := e.heap.Free(addr); err != nil {
+					var f *core.Fault
+					if errors.As(err, &f) {
+						e.recordFault(f, pc, w, lane)
+						if e.halted {
+							return exec
+						}
+					} else {
+						e.fail(err)
+						return exec
+					}
+				}
+			}
+		}
+		w.vtime += e.cfg.MallocBaseLatency + e.cfg.MallocLaneLatency*lanes
+		return exec
+	}
+}

@@ -1,0 +1,230 @@
+package fastsim_test
+
+import (
+	"strings"
+	"testing"
+
+	"lmi/internal/compiler"
+	"lmi/internal/fastsim"
+	"lmi/internal/isa"
+	"lmi/internal/sim"
+	"lmi/internal/workloads"
+)
+
+// prog wraps a hand-built instruction sequence with the launch metadata
+// launchBoth's three-parameter convention expects.
+func prog(name string, numRegs int, instrs []isa.Instr) *isa.Program {
+	return &isa.Program{
+		Name:          name,
+		Instrs:        instrs,
+		NumRegs:       numRegs,
+		NumParams:     3,
+		ParamBase:     compiler.ParamConstBase,
+		StackPtrConst: compiler.StackPtrConstOffset,
+	}
+}
+
+// TestPredicatedEXITRetiresOnlyGuardLanes is the minimized regression
+// for the cycle-simulator divergence the differential bring-up flushed
+// out: EXIT retired every active lane regardless of its guard
+// predicate, so a @P EXIT killed the lanes where P was false too. Both
+// tiers must leave the non-guard lanes running.
+func TestPredicatedEXITRetiresOnlyGuardLanes(t *testing.T) {
+	rz := [3]isa.Reg{isa.RZ, isa.RZ, isa.RZ}
+	p := prog("pred_exit", 2, []isa.Instr{
+		// R0 = tid
+		{Op: isa.S2R, Dst: 0, Src: rz, Aux: uint8(isa.SRTidX), Pred: isa.PT},
+		// P0 = tid < 16
+		{Op: isa.SETP, Dst: 0, Src: [3]isa.Reg{0, isa.RZ, isa.RZ},
+			HasImm: true, Imm: 16, Aux: uint8(isa.CmpLT), Pred: isa.PT},
+		// Lanes 0..15 retire; lanes 16..31 must keep running.
+		{Op: isa.EXIT, Dst: isa.RZ, Src: rz, Pred: 0},
+		{Op: isa.IADD, Dst: 1, Src: rz, HasImm: true, Imm: 7, Pred: isa.PT},
+		{Op: isa.EXIT, Dst: isa.RZ, Src: rz, Pred: isa.PT},
+	})
+	cycle, fast := launchBoth(t, p, workloads.VariantBase, sim.ScaledConfig(1), 1, 32, 32)
+	diffFunctional(t, "pred_exit", cycle, fast)
+	for _, tier := range []struct {
+		name string
+		st   *sim.KernelStats
+	}{{"cycle", cycle}, {"compiled", fast}} {
+		// 32+32 lanes for the prologue, 16 for the predicated EXIT, and
+		// 16+16 for the tail only the surviving half executes.
+		if tier.st.Instrs != 5 || tier.st.ThreadInstrs != 112 {
+			t.Errorf("%s tier: Instrs=%d ThreadInstrs=%d, want 5 and 112 (predicated EXIT retired non-guard lanes?)",
+				tier.name, tier.st.Instrs, tier.st.ThreadInstrs)
+		}
+		if tier.st.Halted || len(tier.st.Faults) != 0 {
+			t.Errorf("%s tier: unexpected halt/faults: %v", tier.name, tier.st.Faults)
+		}
+	}
+}
+
+// TestPredicatedOffMemoryCountsNothing pins the S2 audit of the LSU
+// extent-check accounting: a memory instruction whose warp guard
+// predicate is false in every lane must bump neither ECChecked nor
+// ECElided (the counters are per-lane, inside the exec mask), and must
+// not count as an executed memory instruction — in either tier.
+func TestPredicatedOffMemoryCountsNothing(t *testing.T) {
+	rz := [3]isa.Reg{isa.RZ, isa.RZ, isa.RZ}
+	instrs := []isa.Instr{
+		// P0 = (0 < -1) = false in every lane.
+		{Op: isa.SETP, Dst: 0, Src: rz, HasImm: true, Imm: -1,
+			Aux: uint8(isa.CmpLT), Pred: isa.PT},
+		// All three accesses are fully predicated off.
+		{Op: isa.LDG, Dst: 1, Src: rz, Aux: 2, Pred: 0},
+		{Op: isa.STG, Dst: isa.RZ, Src: [3]isa.Reg{isa.RZ, 1, isa.RZ}, Aux: 2, Pred: 0},
+		{Op: isa.LDG, Dst: 1, Src: rz, Aux: 2, Pred: 0, Hint: isa.Hint{E: true}},
+		{Op: isa.EXIT, Dst: isa.RZ, Src: rz, Pred: isa.PT},
+	}
+	for _, v := range []workloads.Variant{workloads.VariantBase, workloads.VariantLMI} {
+		p := prog("pred_off_mem", 2, instrs)
+		cycle, fast := launchBoth(t, p, v, sim.ScaledConfig(1), 1, 32, 32)
+		diffFunctional(t, "pred_off_mem/"+v.String(), cycle, fast)
+		for _, tier := range []struct {
+			name string
+			st   *sim.KernelStats
+		}{{"cycle", cycle}, {"compiled", fast}} {
+			if tier.st.ECChecked != 0 || tier.st.ECElided != 0 {
+				t.Errorf("%s/%s tier: predicated-off accesses counted: ECChecked=%d ECElided=%d, want 0/0",
+					v, tier.name, tier.st.ECChecked, tier.st.ECElided)
+			}
+			if n := tier.st.MemInstrs[isa.LDG] + tier.st.MemInstrs[isa.STG]; n != 0 {
+				t.Errorf("%s/%s tier: predicated-off memory instructions counted as executed: %d", v, tier.name, n)
+			}
+			if tier.st.Instrs != 5 || tier.st.ThreadInstrs != 64 {
+				t.Errorf("%s/%s tier: Instrs=%d ThreadInstrs=%d, want 5 and 64",
+					v, tier.name, tier.st.Instrs, tier.st.ThreadInstrs)
+			}
+			if tier.st.Halted || len(tier.st.Faults) != 0 {
+				t.Errorf("%s/%s tier: unexpected halt/faults: %v", v, tier.name, tier.st.Faults)
+			}
+		}
+	}
+}
+
+// hintProgram is the S4 exerciser: one instruction per hint bit — an
+// A-hinted (and optionally S-hinted) pointer add, an E-elided load, and
+// an ordinary checked store — so every hint position is observable in
+// the launch counters.
+func hintProgram(sInSrc1 bool) *isa.Program {
+	rz := [3]isa.Reg{isa.RZ, isa.RZ, isa.RZ}
+	add := isa.Instr{Op: isa.IADD, Dst: 3, Src: [3]isa.Reg{2, 1, isa.RZ},
+		Aux: isa.AuxW64, Pred: isa.PT, Hint: isa.Hint{A: true}}
+	if sInSrc1 {
+		// Pointer operand in Src[1]: the S bit must select it.
+		add.Src = [3]isa.Reg{1, 2, isa.RZ}
+		add.Hint.S = true
+	}
+	return prog("hints", 5, []isa.Instr{
+		// R2 = in (tagged under LMI), R1 = tid*4, R3 = in + tid*4.
+		{Op: isa.LDC, Dst: 2, Src: rz, Imm: int32(compiler.ParamConstBase), Aux: 3, Pred: isa.PT},
+		{Op: isa.S2R, Dst: 0, Src: rz, Aux: uint8(isa.SRTidX), Pred: isa.PT},
+		{Op: isa.SHL, Dst: 1, Src: [3]isa.Reg{0, isa.RZ, isa.RZ},
+			HasImm: true, Imm: 2, Aux: isa.AuxW64, Pred: isa.PT},
+		add,
+		{Op: isa.LDG, Dst: 4, Src: [3]isa.Reg{3, isa.RZ, isa.RZ}, Aux: 2,
+			Pred: isa.PT, Hint: isa.Hint{E: true}},
+		{Op: isa.STG, Dst: isa.RZ, Src: [3]isa.Reg{3, 4, isa.RZ}, Aux: 2, Pred: isa.PT},
+		{Op: isa.EXIT, Dst: isa.RZ, Src: rz, Pred: isa.PT},
+	})
+}
+
+// TestHintBitRoundTrip drives the E/A/S hint bits through the compiled
+// tier's decode boundary: the microcode words carry the bits at their
+// architected positions (29/28/27), CompileWords consumes exactly those
+// words, and the launch counters prove each hint survived — the A hint
+// as OCU pointer checks, the E hint as elided extent checks, and the S
+// bit as a passing in-bounds check with the pointer in Src[1].
+func TestHintBitRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		sInSrc1 bool
+	}{{"pointer_in_src0", false}, {"pointer_in_src1", true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			p := hintProgram(tc.sInSrc1)
+			words, err := isa.EncodeProgram(p)
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			// The hint bits must sit at their architected word positions.
+			if words[3].Lo>>isa.HintBitA&1 != 1 {
+				t.Fatalf("A hint not at bit %d of word 3: %#x", isa.HintBitA, words[3].Lo)
+			}
+			if got := words[3].Lo >> isa.HintBitS & 1; (got == 1) != tc.sInSrc1 {
+				t.Fatalf("S hint bit %d of word 3 = %d, want %v", isa.HintBitS, got, tc.sInSrc1)
+			}
+			if words[4].Lo>>isa.HintBitE&1 != 1 {
+				t.Fatalf("E hint not at bit %d of word 4: %#x", isa.HintBitE, words[4].Lo)
+			}
+			if _, err := fastsim.CompileWords(p, words); err != nil {
+				t.Fatalf("CompileWords: %v", err)
+			}
+			cycle, fast := launchBoth(t, p, workloads.VariantLMI, sim.ScaledConfig(1), 1, 32, 32)
+			diffFunctional(t, "hints/"+tc.name, cycle, fast)
+			for _, tier := range []struct {
+				name string
+				st   *sim.KernelStats
+			}{{"cycle", cycle}, {"compiled", fast}} {
+				if tier.st.PointerChecks != 32 {
+					t.Errorf("%s tier: PointerChecks=%d, want 32 (A/S hint lost in decode?)",
+						tier.name, tier.st.PointerChecks)
+				}
+				if tier.st.ECElided != 32 || tier.st.ECChecked != 32 {
+					t.Errorf("%s tier: ECElided=%d ECChecked=%d, want 32/32 (E hint lost in decode?)",
+						tier.name, tier.st.ECElided, tier.st.ECChecked)
+				}
+				if tier.st.Halted || len(tier.st.Faults) != 0 {
+					t.Errorf("%s tier: unexpected halt/faults: %v", tier.name, tier.st.Faults)
+				}
+			}
+		})
+	}
+}
+
+// TestCompileWordsRejectsMalformed pins the decode boundary's error
+// contract: reserved microcode bits outside the E/A/S hint positions
+// and invalid opcodes are rejected with positioned "isa: word %d"
+// errors, never silently reinterpreted.
+func TestCompileWordsRejectsMalformed(t *testing.T) {
+	p := hintProgram(false)
+	encode := func() []isa.Word {
+		words, err := isa.EncodeProgram(p)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		return words
+	}
+
+	words := encode()
+	words[2].Lo |= 1 << 21 // reserved bit adjacent to the hint field
+	_, err := fastsim.CompileWords(p, words)
+	if err == nil || !strings.Contains(err.Error(), "word 2") ||
+		!strings.Contains(err.Error(), "reserved microcode bits") {
+		t.Errorf("reserved-bit word: got %v, want positioned reserved-bits error", err)
+	}
+
+	words = encode()
+	words[1].Lo = words[1].Lo&^0xff | 0xfe // invalid opcode
+	_, err = fastsim.CompileWords(p, words)
+	if err == nil || !strings.Contains(err.Error(), "word 1") {
+		t.Errorf("invalid-opcode word: got %v, want positioned decode error", err)
+	}
+}
+
+// TestTierParse pins the -tier flag vocabulary shared by the CLIs.
+func TestTierParse(t *testing.T) {
+	for _, name := range fastsim.TierNames() {
+		tier, err := fastsim.ParseTier(name)
+		if err != nil {
+			t.Errorf("ParseTier(%q): %v", name, err)
+		}
+		if tier.String() != name {
+			t.Errorf("ParseTier(%q).String() = %q", name, tier.String())
+		}
+	}
+	if _, err := fastsim.ParseTier("warp-speed"); err == nil ||
+		!strings.Contains(err.Error(), "warp-speed") {
+		t.Errorf("ParseTier(warp-speed): got %v, want named error", err)
+	}
+}

@@ -124,3 +124,21 @@ func (m *AddrSpace) Write(addr uint64, val uint64, size int) {
 // Pages returns the number of mapped pages (resident set, used for RSS
 // accounting in fragmentation experiments).
 func (m *AddrSpace) Pages() int { return len(m.pages) }
+
+// PageWindowSize is the page granularity of PageWindow results.
+const PageWindowSize = pageSize
+
+// PageWindow returns the mapped backing bytes from addr to the end of
+// its page, or nil when the page is unallocated (unmapped bytes read as
+// zero; pass alloc to materialise the page for writing). It lets a
+// tight caller — the fast-path execution tier's load/store loop — batch
+// the per-access page-map lookup across the many lanes of a warp that
+// touch the same page: accesses that fit inside the window go straight
+// to the returned slice with Read/Write's little-endian layout.
+func (m *AddrSpace) PageWindow(addr uint64, alloc bool) []byte {
+	p := m.page(addr, alloc)
+	if p == nil {
+		return nil
+	}
+	return p[addr&pageMask:]
+}

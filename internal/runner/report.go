@@ -6,6 +6,7 @@ import (
 	"os"
 	"time"
 
+	"lmi/internal/fastsim"
 	"lmi/internal/stats"
 )
 
@@ -71,7 +72,11 @@ func (r *Report) Table() string {
 
 // jobJSON is the serialised form of one Result.
 type jobJSON struct {
-	Job          string  `json:"job"`
+	Job string `json:"job"`
+	// Tier records a non-default execution tier ("compiled"); omitted
+	// for the cycle-level simulator, keeping default trajectories
+	// byte-identical to pre-tier records.
+	Tier         string  `json:"tier,omitempty"`
 	Error        string  `json:"error,omitempty"`
 	Cycles       uint64  `json:"cycles"`
 	Instrs       uint64  `json:"instrs"`
@@ -105,6 +110,9 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 			Job:          res.Job.Name(),
 			WallNS:       res.Wall.Nanoseconds(),
 			CyclesPerSec: res.CyclesPerSec(),
+		}
+		if res.Job.Tier != fastsim.TierCycle {
+			j.Tier = res.Job.Tier.String()
 		}
 		if res.Err != nil {
 			j.Error = res.Err.Error()

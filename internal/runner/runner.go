@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"lmi/internal/fastsim"
 	"lmi/internal/sim"
 	"lmi/internal/workloads"
 )
@@ -54,6 +55,10 @@ type Job struct {
 	// or recorded faults, instead of converting them into Err (the
 	// default for performance runs, which must be clean).
 	AllowFaults bool
+	// Tier selects the execution tier (default the cycle-level
+	// simulator; the compiled fast-path tier reproduces the same
+	// functional projection without the timing model).
+	Tier fastsim.Tier
 }
 
 // Name labels the job "benchmark/variant".
@@ -142,7 +147,7 @@ func runJob(ctx context.Context, j Job) (res Result) {
 			grid = j.Spec.DBIGrid
 		}
 	}
-	st, err := workloads.RunAtCtx(ctx, j.Spec, j.Variant, j.Config, grid)
+	st, err := workloads.RunTierAtCtx(ctx, j.Spec, j.Variant, j.Config, grid, j.Tier)
 	res = Result{Job: j, Stats: st, Err: err, Wall: time.Since(start)}
 	if res.Err == nil && !j.AllowFaults {
 		if ferr := FaultError(j.Name(), st); ferr != nil {

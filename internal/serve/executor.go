@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"lmi/internal/chaos"
+	"lmi/internal/fastsim"
 	"lmi/internal/workloads"
 )
 
@@ -38,22 +39,31 @@ type Outcome struct {
 // a pure function of (request, seed) — the property the soak harness's
 // determinism rests on.
 type Executor struct {
-	inj *chaos.Injector
-	sms int
+	inj  *chaos.Injector
+	sms  int
+	tier fastsim.Tier
 }
 
 // NewExecutor builds an executor whose chaos victims are compiled once
 // up front. sms sizes the simulated device for requests that do not
 // specify their own (<= 0 means 1).
 func NewExecutor(sms int) (*Executor, error) {
+	return NewExecutorTier(sms, fastsim.TierCycle)
+}
+
+// NewExecutorTier is NewExecutor with an explicit execution tier: the
+// cycle-level simulator, or the compiled fast-path tier for
+// throughput-oriented deployments.
+func NewExecutorTier(sms int, tier fastsim.Tier) (*Executor, error) {
 	inj, err := chaos.NewInjector(nil)
 	if err != nil {
 		return nil, err
 	}
+	inj.Tier = tier
 	if sms <= 0 {
 		sms = 1
 	}
-	return &Executor{inj: inj, sms: sms}, nil
+	return &Executor{inj: inj, sms: sms, tier: tier}, nil
 }
 
 // Injector exposes the underlying chaos injector (the soak stream
@@ -156,7 +166,7 @@ func (e *Executor) executeBench(ctx context.Context, req Request) Outcome {
 		sms = e.sms
 	}
 	cfg := chaos.TrialConfig(sms)
-	st, err := workloads.RunAtCtx(ctx, s, v, cfg, s.LaunchGrid(v))
+	st, err := workloads.RunTierAtCtx(ctx, s, v, cfg, s.LaunchGrid(v), e.tier)
 	if err != nil {
 		return Outcome{Err: err, Detail: err.Error()}
 	}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"lmi/internal/chaos"
+	"lmi/internal/fastsim"
 	"lmi/internal/runner"
 )
 
@@ -32,6 +33,9 @@ type Config struct {
 	// SMs sizes the simulated device for requests that do not specify
 	// their own (default 1).
 	SMs int
+	// Tier selects the execution tier attempts simulate on (default
+	// the cycle-level simulator).
+	Tier fastsim.Tier
 	// DefaultDeadline bounds one execution attempt when the request
 	// carries no deadline of its own (default 30s).
 	DefaultDeadline time.Duration
@@ -110,7 +114,7 @@ type Server struct {
 // NewServer builds and starts the worker pool.
 func NewServer(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	exec, err := NewExecutor(cfg.SMs)
+	exec, err := NewExecutorTier(cfg.SMs, cfg.Tier)
 	if err != nil {
 		return nil, err
 	}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"lmi/internal/chaos"
+	"lmi/internal/fastsim"
 	"lmi/internal/runner"
 )
 
@@ -26,6 +27,9 @@ type SoakConfig struct {
 	Workers int
 	// SMs sizes the simulated device (default 1).
 	SMs int
+	// Tier selects the execution tier attempts simulate on (default
+	// the cycle-level simulator).
+	Tier fastsim.Tier
 	// VirtualServers is how many requests execute concurrently on the
 	// virtual timeline (default 2).
 	VirtualServers int
@@ -262,7 +266,7 @@ type SoakReport struct {
 // circuit breaking — single-threaded on the virtual timeline.
 func Soak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 	cfg = cfg.withDefaults()
-	exec, err := NewExecutor(cfg.SMs)
+	exec, err := NewExecutorTier(cfg.SMs, cfg.Tier)
 	if err != nil {
 		return nil, fmt.Errorf("soak: building executor: %w", err)
 	}

@@ -272,7 +272,9 @@ func (ls *launch) issue(sm *smCtx, w *warp) {
 		w.atBarrier = true
 		w.barrierSince = ls.cycle
 	case isa.EXIT:
-		w.exited |= active
+		// Only lanes whose guard predicate held retire: a predicated
+		// @!P EXIT must leave the other lanes running.
+		w.exited |= exec
 		ls.progress()
 		top.pc++
 		w.syncTop()

@@ -8,6 +8,7 @@ import (
 	"lmi/internal/alloc"
 	"lmi/internal/bounds"
 	"lmi/internal/compiler"
+	"lmi/internal/fastsim"
 	"lmi/internal/ir"
 	"lmi/internal/isa"
 	"lmi/internal/safety"
@@ -211,6 +212,14 @@ func RunAt(s *Spec, v Variant, cfg sim.Config, grid int) (*sim.KernelStats, erro
 // stops the kernel mid-simulation with a typed *sim.ContextError (the
 // serving layer's per-request deadlines arrive through here).
 func RunAtCtx(ctx context.Context, s *Spec, v Variant, cfg sim.Config, grid int) (*sim.KernelStats, error) {
+	return RunTierAtCtx(ctx, s, v, cfg, grid, fastsim.TierCycle)
+}
+
+// RunTierAtCtx is RunAtCtx on a selected execution tier: the cycle-level
+// simulator (the reference oracle and timing model) or the compiled
+// fast-path tier, which reproduces the same functional projection of the
+// launch at a fraction of the cost.
+func RunTierAtCtx(ctx context.Context, s *Spec, v Variant, cfg sim.Config, grid int, tier fastsim.Tier) (*sim.KernelStats, error) {
 	prog, err := s.Compile(v)
 	if err != nil {
 		return nil, err
@@ -228,5 +237,5 @@ func RunAtCtx(ctx context.Context, s *Spec, v Variant, cfg sim.Config, grid int)
 	if err != nil {
 		return nil, err
 	}
-	return dev.LaunchCtx(ctx, prog, grid, s.Block, []uint64{in, out, s.N})
+	return fastsim.LaunchTierCtx(ctx, tier, dev, prog, grid, s.Block, []uint64{in, out, s.N})
 }

@@ -51,6 +51,18 @@ go run ./cmd/lmi-sec -chaos -seed 1 -trials 2 -jobs 1 > "$tmpdir/chaos-j1.txt"
 go run ./cmd/lmi-sec -chaos -seed 1 -trials 2 -jobs 4 > "$tmpdir/chaos-j4.txt"
 cmp "$tmpdir/chaos-j1.txt" "$tmpdir/chaos-j4.txt"
 
+# Compiled-tier determinism smoke: the full bench sweep on the fast
+# functional tier must render byte-identical output regardless of
+# worker count, exactly like the cycle tier — the compiled closures run
+# on the same deterministic runner pool. (The tier's bit-for-bit
+# equivalence with the cycle simulator over the whole corpus is the
+# differential gate inside `go test`: internal/fastsim and
+# internal/chaos TestTierDifferential*.)
+echo "== compiled-tier determinism smoke (-jobs 1 vs -jobs 4)"
+go run ./cmd/lmi-bench -all -tier compiled -jobs 1 > "$tmpdir/bench-compiled-j1.txt"
+go run ./cmd/lmi-bench -all -tier compiled -jobs 4 > "$tmpdir/bench-compiled-j4.txt"
+cmp "$tmpdir/bench-compiled-j1.txt" "$tmpdir/bench-compiled-j4.txt"
+
 # Serving soak smoke: 200 seeded chaos requests replayed through the
 # serving state machines (admission queue, classified retries, circuit
 # breaker) on the virtual timeline. The soak itself exits nonzero on
@@ -68,6 +80,8 @@ echo "== CLI usage-error smoke"
 for cmdline in "./cmd/lmi-sim -sms 0 -bench nn" \
                "./cmd/lmi-sec -trials 0" \
                "./cmd/lmi-bench -jobs -1 -table 2" \
+               "./cmd/lmi-bench -tier warp -table 2" \
+               "./cmd/lmi-sim -tier warp -bench nn" \
                "./cmd/lmi-serve -soak -requests 0" \
                "./cmd/lmi-compile -bench needle -elide maybe" \
                "./cmd/lmi-lint -all -mode fast"; do
