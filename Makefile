@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint analyze check check-short bench serve soak fast
+.PHONY: build test race vet lint analyze check check-short bench serve soak fleet-soak fast
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,16 @@ serve:
 # violation (also part of the check gate).
 soak:
 	$(GO) run ./cmd/lmi-serve -soak -v
+
+# The fleet soak: 100000 seeded requests consistent-hash-sharded across
+# 4 simulated device workers under scripted shard kills, rejoins, and
+# burst overloads, with every request's safety decision logged as JSONL
+# (also part of the check gate, where the report and decision log must
+# additionally be byte-identical across worker counts).
+fleet-soak:
+	$(GO) run ./cmd/lmi-serve -soak -shards 4 -requests 100000 \
+		-decision-log fleet-decisions.jsonl
+	@echo "decision log: fleet-decisions.jsonl"
 
 # The fast-path tier gate: the full workload differential corpus and
 # the chaos campaign replayed through both execution tiers (the

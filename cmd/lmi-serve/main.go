@@ -10,21 +10,27 @@
 //	lmi-serve -soak -jobs 1               # single precompute worker (same report)
 //	lmi-serve -soak -v                    # plus the per-request log
 //	lmi-serve -tier compiled              # execute requests on the compiled tier
+//	lmi-serve -soak -shards 4             # fleet soak: sharded fleet under shard-kill chaos
+//	lmi-serve -shards 4                   # serve through the sharded fleet coordinator
+//	lmi-serve -decision-log d.jsonl       # per-request safety decision records (JSONL)
 //
-// The soak report depends only on -seed and -requests: it is
-// byte-identical for any -jobs value, and it exits nonzero if any
-// robustness property is violated (an untyped per-request error, a
-// missing result, an escaped engine panic, an inconsistent breaker
-// log). The live server drains gracefully on SIGTERM/SIGINT: it stops
-// accepting, finishes everything in flight, and flushes a JSON
-// shutdown report to stdout.
+// The soak report depends only on -seed and -requests (plus -shards
+// for the fleet soak): it is byte-identical for any -jobs value, and
+// it exits nonzero if any robustness property is violated (an untyped
+// per-request error, a missing result, an escaped engine panic, an
+// inconsistent breaker log, a silently dropped request after shard
+// death, a missing decision record). The live server drains gracefully
+// on SIGTERM/SIGINT: it stops accepting, finishes everything in
+// flight, and flushes a JSON shutdown report to stdout.
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
@@ -33,6 +39,7 @@ import (
 
 	"lmi/internal/cliutil"
 	"lmi/internal/fastsim"
+	"lmi/internal/fleet"
 	"lmi/internal/serve"
 )
 
@@ -44,6 +51,9 @@ func main() {
 	jobs := flag.Int("jobs", 0, "worker pool size, >= 1 (omit for GOMAXPROCS or $LMI_JOBS)")
 	queue := flag.Int("queue", 64, "admission queue capacity")
 	sms := flag.Int("sms", 1, "simulated SM count per request")
+	shards := flag.Int("shards", 1, "simulated device shards; > 1 selects the fleet coordinator / fleet soak")
+	decisionLog := flag.String("decision-log", "", "write per-request safety decision records (JSONL) to this file")
+	logBuffer := flag.Int("log-buffer", 256, "decision-log sink buffer; overflow drops records, never blocks")
 	tierName := flag.String("tier", fastsim.TierCycle.String(),
 		"execution tier requests simulate on: cycle (timing reference) or compiled (fast functional)")
 	verbose := flag.Bool("v", false, "verbose: per-request soak log / serve request log")
@@ -52,15 +62,133 @@ func main() {
 		cliutil.Check{Name: "requests", Value: *requests},
 		cliutil.Check{Name: "queue", Value: *queue},
 		cliutil.Check{Name: "sms", Value: *sms},
+		cliutil.Check{Name: "shards", Value: *shards},
+		cliutil.Check{Name: "log-buffer", Value: *logBuffer},
 		cliutil.Check{Name: "jobs", Value: *jobs, AutoZero: true})
 	cliutil.ValidateEnumOrExit("lmi-serve",
 		cliutil.EnumCheck{Name: "tier", Value: *tierName, Allowed: fastsim.TierNames()})
 	tier, _ := fastsim.ParseTier(*tierName)
 
 	if *soak {
+		if *shards > 1 {
+			os.Exit(runFleetSoak(*seed, *requests, *shards, *jobs, *sms, tier, *decisionLog, *verbose))
+		}
 		os.Exit(runSoak(*seed, *requests, *jobs, *sms, tier, *verbose))
 	}
+	if *shards > 1 {
+		os.Exit(runFleetServe(*addr, *shards, *queue, *sms, tier, *decisionLog, *logBuffer, *verbose))
+	}
 	os.Exit(runServe(*addr, *jobs, *queue, *sms, tier, *verbose))
+}
+
+// openDecisionLog opens the decision-log destination ("" = discard).
+// The returned close flushes and reports the first error.
+func openDecisionLog(path string) (io.Writer, func() error, error) {
+	if path == "" {
+		return io.Discard, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	bw := bufio.NewWriter(f)
+	return bw, func() error {
+		ferr := bw.Flush()
+		if cerr := f.Close(); ferr == nil {
+			ferr = cerr
+		}
+		return ferr
+	}, nil
+}
+
+// runFleetSoak replays the seeded stream through the sharded fleet on
+// the virtual timeline, under scripted shard kills, rejoins, and burst
+// overloads; nonzero when the fleet robustness contract is violated.
+func runFleetSoak(seed uint64, requests, shards, jobs, sms int, tier fastsim.Tier, logPath string, verbose bool) int {
+	logW, logClose, err := openDecisionLog(logPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lmi-serve: decision log: %v\n", err)
+		return 1
+	}
+	rep, err := fleet.FleetSoak(context.Background(), fleet.SoakConfig{
+		Seed:     seed,
+		Requests: requests,
+		Shards:   shards,
+		Workers:  jobs,
+		SMs:      sms,
+		Tier:     tier,
+	}, logW)
+	if cerr := logClose(); err == nil && cerr != nil {
+		err = fmt.Errorf("decision log: %w", cerr)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lmi-serve: fleet soak: %v\n", err)
+		return 1
+	}
+	rep.Render(os.Stdout, verbose)
+	if v := rep.Violations(); len(v) > 0 {
+		fmt.Fprintf(os.Stderr, "lmi-serve: fleet soak violated %d robustness properties\n", len(v))
+		return 1
+	}
+	return 0
+}
+
+// runFleetServe hosts the sharded fleet coordinator over HTTP until
+// SIGTERM/SIGINT, then drains and flushes the shutdown report.
+func runFleetServe(addr string, shards, queue, sms int, tier fastsim.Tier, logPath string, logBuffer int, verbose bool) int {
+	logf := func(string, ...any) {}
+	if verbose {
+		logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	logW, logClose, err := openDecisionLog(logPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lmi-serve: decision log: %v\n", err)
+		return 1
+	}
+	c, err := fleet.NewCoordinator(fleet.Config{
+		Shards:        shards,
+		QueueCapacity: queue,
+		SMs:           sms,
+		Tier:          tier,
+		DecisionLog:   logW,
+		LogBuffer:     logBuffer,
+		Logf:          logf,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lmi-serve: %v\n", err)
+		return 1
+	}
+	hs := &http.Server{Addr: addr, Handler: c.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "lmi-serve: fleet of %d shards listening on %s\n", shards, addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "lmi-serve: %v: draining\n", sig)
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "lmi-serve: listener failed: %v\n", err)
+		return 1
+	}
+
+	shctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_ = hs.Shutdown(shctx)
+	rep := c.Shutdown(shctx)
+	if cerr := logClose(); cerr != nil {
+		fmt.Fprintf(os.Stderr, "lmi-serve: decision log: %v\n", cerr)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "lmi-serve: rendering shutdown report: %v\n", err)
+		return 1
+	}
+	return 0
 }
 
 // runSoak replays the seeded chaos stream and renders the

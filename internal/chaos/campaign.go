@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 
 	"lmi/internal/compiler"
 	"lmi/internal/fastsim"
@@ -126,11 +127,45 @@ type Injector struct {
 	// cycle-level simulator).
 	Tier fastsim.Tier
 
+	// cache is the fast-path tier's bounded compile cache, warmed with
+	// the stable victim programs on the first compiled-tier launch. Its
+	// capacity exactly fits the stable set, so per-trial mutated clones
+	// (fresh pointers every trial) compile but are never retained.
+	cache    *fastsim.Cache
+	warmOnce sync.Once
+
 	// wrap, when non-nil, post-processes every trial's mechanism before
 	// the device is built. It is the test hook proving the engine
 	// contains misbehaving (panicking) mechanism plug-ins.
 	wrap func(mech string, m sim.Mechanism) sim.Mechanism
 }
+
+// launchTier launches a victim on the injector's tier. The compiled
+// tier goes through the warm per-injector cache, so a long-lived
+// serving shard compiles each stable victim once and then only pays
+// simulation per request.
+func (inj *Injector) launchTier(ctx context.Context, dev *sim.Device, p *isa.Program,
+	gridDim, blockDim int, params []uint64) (*sim.KernelStats, error) {
+	if inj.Tier == fastsim.TierCycle {
+		return dev.LaunchCtx(ctx, p, gridDim, blockDim, params)
+	}
+	inj.warmOnce.Do(func() {
+		for _, d := range inj.defs {
+			pv := inj.progs[d.name]
+			inj.cache.Warm(pv.stream, pv.oob)
+		}
+	})
+	c, err := inj.cache.Get(p)
+	if err != nil {
+		return nil, err
+	}
+	return c.LaunchCtx(ctx, dev, gridDim, blockDim, params)
+}
+
+// CacheStats snapshots the compiled-tier cache counters (operational
+// telemetry; interleaving-dependent, never folded into byte-compared
+// reports).
+func (inj *Injector) CacheStats() fastsim.CacheStats { return inj.cache.Stats() }
 
 // NewInjector compiles the victim kernels for the named mechanisms
 // (nil or empty runs all of lmi, lmi+track, baggybounds, gpushield).
@@ -167,7 +202,7 @@ func NewInjector(mechs []string) (*Injector, error) {
 		}
 		progs[d.name] = compiledVictims{stream: stream, oob: oob}
 	}
-	return &Injector{defs: defs, progs: progs}, nil
+	return &Injector{defs: defs, progs: progs, cache: fastsim.NewCache(2 * len(defs))}, nil
 }
 
 // Mechanisms returns the injector's mechanism names in their fixed
@@ -403,7 +438,7 @@ func (inj *Injector) runTrial(ctx context.Context, def mechDef, kind Kind,
 	if oobVictim {
 		params = []uint64{outParam}
 	}
-	st, lerr := fastsim.LaunchTierCtx(ctx, inj.Tier, dev, prog, 1, victimThreads, params)
+	st, lerr := inj.launchTier(ctx, dev, prog, 1, victimThreads, params)
 	if ocu != nil {
 		tr.InjectCycle = ocu.injectCycle
 		tr.Detail = fmt.Sprintf("OCU misdecoded %d of %d pointer checks", ocu.skips, ocu.calls)
@@ -412,6 +447,7 @@ func (inj *Injector) runTrial(ctx context.Context, def mechDef, kind Kind,
 		return degraded("launch: "+lerr.Error(), lerr)
 	}
 	tr.Cycles = st.Cycles
+	tr.ECChecked, tr.ECElided, tr.Faults = st.ECChecked, st.ECElided, len(st.Faults)
 	if len(st.Faults) > 0 {
 		tr.HasFault, tr.FaultCycle = true, st.Faults[0].Cycle
 		obs := "fault: " + st.Faults[0].String()
@@ -503,7 +539,7 @@ func (inj *Injector) exhaustTrial(ctx context.Context, tr Trial, dev *sim.Device
 		return degraded("device wedged after exhaustion: "+err.Error(), err)
 	}
 	dev.WriteGlobal(inPtr, streamInput())
-	st, lerr := fastsim.LaunchTierCtx(ctx, inj.Tier, dev, progs.stream, 1, victimThreads, []uint64{inPtr, outPtr})
+	st, lerr := inj.launchTier(ctx, dev, progs.stream, 1, victimThreads, []uint64{inPtr, outPtr})
 	if lerr != nil {
 		return degraded("post-exhaustion launch failed: "+lerr.Error(), lerr)
 	}
@@ -511,6 +547,7 @@ func (inj *Injector) exhaustTrial(ctx context.Context, tr Trial, dev *sim.Device
 		return degraded("post-exhaustion run unhealthy", nil)
 	}
 	tr.Cycles = st.Cycles
+	tr.ECChecked, tr.ECElided = st.ECChecked, st.ECElided
 	tr.Outcome = OutcomeDetected
 	tr.Detail = withDetail(tr.Detail, "device healthy afterwards")
 	return tr

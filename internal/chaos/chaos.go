@@ -170,6 +170,15 @@ type Trial struct {
 	// the launch was killed before yielding stats. The serving layer's
 	// virtual-time soak uses it as the request's service cost.
 	Cycles uint64
+	// ECChecked and ECElided are the launch's extent-check counters
+	// (lane accesses routed through the mechanism's check vs accesses
+	// whose check was statically elided); the serving layers copy them
+	// into per-request safety decision records.
+	ECChecked uint64
+	ECElided  uint64
+	// Faults is the number of safety-fault records the launch produced
+	// (under the campaign's halt-on-fault config this is 0 or 1).
+	Faults int
 	// Err is the underlying runtime error behind a Degraded trial — a
 	// watchdog kill, cycle-limit overrun, recovered panic, or wedged
 	// allocator — preserved with its type so callers (the serving

@@ -17,6 +17,8 @@ func parserFor(t *testing.T, args []string) (*flag.FlagSet, []Check) {
 	sms := fs.Int("sms", 4, "")
 	trials := fs.Int("trials", 6, "")
 	jobs := fs.Int("jobs", 0, "")
+	shards := fs.Int("shards", 1, "")
+	logBuffer := fs.Int("log-buffer", 256, "")
 	if err := fs.Parse(args); err != nil {
 		t.Fatalf("parsing %v: %v", args, err)
 	}
@@ -24,6 +26,8 @@ func parserFor(t *testing.T, args []string) (*flag.FlagSet, []Check) {
 		{Name: "sms", Value: *sms},
 		{Name: "trials", Value: *trials},
 		{Name: "jobs", Value: *jobs, AutoZero: true},
+		{Name: "shards", Value: *shards},
+		{Name: "log-buffer", Value: *logBuffer},
 	}
 }
 
@@ -44,6 +48,12 @@ func TestValidate(t *testing.T) {
 		{"jobs negative", []string{"-jobs", "-3"}, "invalid -jobs -3: must be >= 1"},
 		{"jobs explicit zero", []string{"-jobs", "0"}, "invalid -jobs 0: must be >= 1"},
 		{"jobs default zero is auto", nil, ""},
+		{"shards valid", []string{"-shards", "4"}, ""},
+		{"shards zero", []string{"-shards", "0"}, "invalid -shards 0: must be >= 1"},
+		{"shards negative", []string{"-shards", "-2"}, "invalid -shards -2: must be >= 1"},
+		{"log-buffer valid", []string{"-log-buffer", "1"}, ""},
+		{"log-buffer zero", []string{"-log-buffer", "0"}, "invalid -log-buffer 0: must be >= 1"},
+		{"log-buffer negative", []string{"-log-buffer", "-8"}, "invalid -log-buffer -8: must be >= 1"},
 		{"first violation wins", []string{"-sms", "0", "-trials", "0"}, "invalid -sms 0"},
 	}
 	for _, tc := range cases {

@@ -1,0 +1,97 @@
+package fastsim
+
+import (
+	"sync"
+
+	"lmi/internal/isa"
+)
+
+// CacheStats is a Cache counter snapshot. The counts are operational
+// telemetry only: they depend on request interleaving, so they must
+// never be folded into byte-compared reports.
+type CacheStats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	Size   int    `json:"size"`
+	Cap    int    `json:"cap"`
+}
+
+// Cache is a bounded compile cache for the fast-path tier, keyed by
+// program identity. Programs are immutable once compiled (injection
+// kinds that rewrite code clone first), so pointer identity is a sound
+// cache key: a hit returns the exact Compiled the program produced
+// before, and per-trial mutated clones are always fresh pointers that
+// can never alias a cached entry.
+//
+// The cache never evicts — entries insert only while under capacity —
+// so a long-lived serving shard that warms its stable victim programs
+// keeps them hot forever, and the unbounded stream of per-trial clones
+// cannot wash them out. Safe for concurrent use; a racing miss may
+// compile the same program twice, but only one Compiled is retained
+// and returned to every caller thereafter.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	m        map[*isa.Program]*Compiled
+	hits     uint64
+	misses   uint64
+}
+
+// NewCache builds a cache holding at most capacity compiled programs
+// (<= 0 means 16).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = 16
+	}
+	return &Cache{capacity: capacity, m: make(map[*isa.Program]*Compiled, capacity)}
+}
+
+// Get returns the compiled form of p, compiling on miss. The result is
+// inserted only while the cache is under capacity; at capacity the
+// compile still succeeds but is not retained.
+func (c *Cache) Get(p *isa.Program) (*Compiled, error) {
+	c.mu.Lock()
+	if cp, ok := c.m[p]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return cp, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	// Compile outside the lock: a slow compile must not serialize hits
+	// on other programs.
+	cp, err := Compile(p)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.m[p]; ok {
+		return prev, nil // a racing miss beat us; keep its result
+	}
+	if len(c.m) < c.capacity {
+		c.m[p] = cp
+	}
+	return cp, nil
+}
+
+// Warm compiles and inserts the given programs up front (subject to
+// capacity), so a shard's stable victim set is hot before the first
+// request. Compile failures are skipped — the per-launch Get surfaces
+// the same error to the request that actually needs the program.
+func (c *Cache) Warm(progs ...*isa.Program) {
+	for _, p := range progs {
+		if p == nil {
+			continue
+		}
+		c.Get(p)
+	}
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Size: len(c.m), Cap: c.capacity}
+}

@@ -1,0 +1,135 @@
+package fastsim_test
+
+import (
+	"sync"
+	"testing"
+
+	"lmi/internal/fastsim"
+	"lmi/internal/isa"
+)
+
+// cacheProg builds a distinct trivial program per name (pointer
+// identity is the cache key, so each call is a fresh entry).
+func cacheProg(name string) *isa.Program {
+	rz := [3]isa.Reg{isa.RZ, isa.RZ, isa.RZ}
+	return prog(name, 2, []isa.Instr{
+		{Op: isa.IADD, Dst: 0, Src: rz, HasImm: true, Imm: 1, Pred: isa.PT},
+		{Op: isa.EXIT, Dst: isa.RZ, Src: rz, Pred: isa.PT},
+	})
+}
+
+// TestCacheHitReturnsSameCompiled: a repeat Get for the same program
+// returns the identical *Compiled and counts a hit, not a recompile.
+func TestCacheHitReturnsSameCompiled(t *testing.T) {
+	c := fastsim.NewCache(4)
+	p := cacheProg("k")
+	first, err := c.Get(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.Get(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatalf("repeat Get compiled a fresh program; cache did not hit")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 {
+		t.Fatalf("stats = %+v, want hits=1 misses=1 size=1", st)
+	}
+}
+
+// TestCacheBounded: at capacity the cache stops retaining — overflow
+// programs still compile on every Get, and the resident set never
+// exceeds the cap. This is what keeps a shard's warm victim set from
+// being washed out by the unbounded stream of per-trial clones.
+func TestCacheBounded(t *testing.T) {
+	c := fastsim.NewCache(1)
+	warm := cacheProg("warm")
+	if _, err := c.Get(warm); err != nil {
+		t.Fatal(err)
+	}
+	clone := cacheProg("clone")
+	a, err := c.Get(clone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Get(clone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatalf("overflow program was retained despite a full cache")
+	}
+	if st := c.Stats(); st.Size != 1 || st.Cap != 1 {
+		t.Fatalf("stats = %+v, want the single warm entry resident", st)
+	}
+	// The warm entry stayed hot through the overflow traffic.
+	before := c.Stats().Hits
+	if _, err := c.Get(warm); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Hits != before+1 {
+		t.Fatalf("warm entry missed after overflow traffic")
+	}
+}
+
+// TestCacheWarm: Warm pre-populates so the first real Get is a hit.
+func TestCacheWarm(t *testing.T) {
+	c := fastsim.NewCache(2)
+	p, q := cacheProg("p"), cacheProg("q")
+	c.Warm(p, q, nil) // nil programs are skipped, not a panic
+	st := c.Stats()
+	if st.Size != 2 || st.Misses != 2 {
+		t.Fatalf("stats after warm = %+v, want size=2 misses=2", st)
+	}
+	if _, err := c.Get(p); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats(); got.Hits != 1 {
+		t.Fatalf("first Get after Warm missed: %+v", got)
+	}
+}
+
+// TestCacheConcurrentGet: racing misses on one program converge on a
+// single retained Compiled; every caller gets a usable result.
+func TestCacheConcurrentGet(t *testing.T) {
+	c := fastsim.NewCache(4)
+	p := cacheProg("racy")
+	results := make([]*fastsim.Compiled, 16)
+	var wg sync.WaitGroup
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cp, err := c.Get(p)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = cp
+		}(i)
+	}
+	wg.Wait()
+	canon, err := c.Get(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cp := range results {
+		if cp == nil {
+			t.Fatalf("goroutine %d got no result", i)
+		}
+		if cp != canon {
+			// A racing miss may have compiled its own copy before the
+			// winner inserted; that copy must still be functional, but
+			// after the race settles every Get returns the canonical one.
+			if again, _ := c.Get(p); again != canon {
+				t.Fatalf("cache did not converge on one Compiled")
+			}
+		}
+	}
+	if st := c.Stats(); st.Size != 1 {
+		t.Fatalf("race left %d entries for one program", st.Size)
+	}
+}

@@ -1,0 +1,287 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lmi/internal/serve"
+)
+
+// seedOwnedBy finds request seeds a fleet of the given shape routes to
+// the wanted shard while all shards are alive.
+func seedsOwnedBy(t *testing.T, shards, replicas, shard, n int) []uint64 {
+	t.Helper()
+	r := NewRing(shards, replicas)
+	alive := allAlive(shards)
+	var out []uint64
+	for seed := uint64(1); len(out) < n && seed < 100000; seed++ {
+		req := serve.Request{Mechanism: "lmi", Kind: "control", Seed: seed}
+		if r.Owner(RequestHash(req), alive) == shard {
+			out = append(out, seed)
+		}
+	}
+	if len(out) < n {
+		t.Fatalf("found only %d of %d seeds owned by shard %d", len(out), n, shard)
+	}
+	return out
+}
+
+func testConfig(log *bytes.Buffer) Config {
+	cfg := Config{
+		Shards:          2,
+		WorkersPerShard: 1,
+		QueueCapacity:   8,
+		FleetBudget:     64,
+		Retry:           serve.RetryConfig{MaxAttempts: 1},
+	}
+	if log != nil {
+		cfg.DecisionLog = log
+		cfg.LogBuffer = 256
+	}
+	return cfg
+}
+
+func TestCoordinatorServesAndLogsDecisions(t *testing.T) {
+	var log bytes.Buffer
+	c, err := NewCoordinator(testConfig(&log))
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	const n = 6
+	for seed := uint64(1); seed <= n; seed++ {
+		res, err := c.Submit(context.Background(), serve.Request{Mechanism: "lmi", Kind: "control", Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Status != serve.StatusOK {
+			t.Fatalf("seed %d: status %s err %v", seed, res.Status, res.Err)
+		}
+	}
+	rep := c.Shutdown(context.Background())
+	if rep.Stats.Accepted != n || rep.Stats.OK != n {
+		t.Fatalf("stats = %+v, want %d accepted and ok", rep.Stats, n)
+	}
+	if rep.Decisions.Written != n || rep.Decisions.Dropped != 0 {
+		t.Fatalf("decisions = %+v, want %d written", rep.Decisions, n)
+	}
+	if exec := rep.Shards[0].Executed + rep.Shards[1].Executed; exec != n {
+		t.Fatalf("per-shard executed sums to %d, want %d", exec, n)
+	}
+	lines := 0
+	sc := bufio.NewScanner(&log)
+	for sc.Scan() {
+		var d Decision
+		if err := json.Unmarshal(sc.Bytes(), &d); err != nil {
+			t.Fatalf("decision line %d: %v", lines, err)
+		}
+		if d.Status != string(serve.StatusOK) || d.Shard < 0 || d.Shard > 1 {
+			t.Fatalf("decision %d malformed: %+v", lines, d)
+		}
+		lines++
+	}
+	if lines != n {
+		t.Fatalf("decision log has %d records, want %d", lines, n)
+	}
+}
+
+// TestCoordinatorRoutesAroundDeadShard: requests owned by a killed
+// shard execute on the survivor via the ring, and rejoin brings the
+// shard back into rotation.
+func TestCoordinatorRoutesAroundDeadShard(t *testing.T) {
+	c, err := NewCoordinator(testConfig(nil))
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	defer c.Shutdown(context.Background())
+	seeds := seedsOwnedBy(t, 2, 16, 0, 3)
+
+	c.Kill(0)
+	if a := c.Alive(); a[0] || !a[1] {
+		t.Fatalf("liveness after Kill(0) = %v", a)
+	}
+	for _, seed := range seeds {
+		res, err := c.Submit(context.Background(), serve.Request{Mechanism: "lmi", Kind: "control", Seed: seed})
+		if err != nil || res.Status != serve.StatusOK {
+			t.Fatalf("seed %d on survivor: status %s err %v", seed, res.Status, err)
+		}
+	}
+	c.Rejoin(0)
+	if a := c.Alive(); !a[0] || !a[1] {
+		t.Fatalf("liveness after Rejoin(0) = %v", a)
+	}
+	res, err := c.Submit(context.Background(), serve.Request{Mechanism: "lmi", Kind: "control", Seed: seeds[0]})
+	if err != nil || res.Status != serve.StatusOK {
+		t.Fatalf("after rejoin: status %s err %v", res.Status, err)
+	}
+}
+
+// TestCoordinatorRequeuesOnKill wedges shard 0's single worker in
+// retry backoff, queues more requests behind it, kills the shard, and
+// requires every queued request to finish OK on the survivor with the
+// requeue counted.
+func TestCoordinatorRequeuesOnKill(t *testing.T) {
+	cfg := testConfig(nil)
+	cfg.Retry = serve.RetryConfig{MaxAttempts: 2, BackoffBase: 2 * time.Second, BackoffMax: 4 * time.Second}
+	c, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	seeds := seedsOwnedBy(t, 2, 16, 0, 5)
+
+	var wg sync.WaitGroup
+	// The wedge: a 1ns attempt deadline fails fast and retryably, so
+	// shard 0's only worker sits in a multi-second backoff sleep.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Submit(context.Background(), serve.Request{
+			Mechanism: "lmi", Kind: "control", Seed: seeds[0], Deadline: time.Nanosecond,
+		})
+	}()
+	time.Sleep(300 * time.Millisecond) // the wedge is now in Sleep; the queue is idle
+
+	results := make([]serve.Result, len(seeds)-1)
+	errs := make([]error, len(seeds)-1)
+	for i, seed := range seeds[1:] {
+		i, seed := i, seed
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = c.Submit(context.Background(),
+				serve.Request{Mechanism: "lmi", Kind: "control", Seed: seed})
+		}()
+	}
+	time.Sleep(300 * time.Millisecond) // they are queued behind the wedge
+	c.Kill(0)
+	wg.Wait()
+
+	for i := range results {
+		if errs[i] != nil || results[i].Status != serve.StatusOK {
+			t.Fatalf("queued request %d: status %s err %v", i, results[i].Status, errs[i])
+		}
+	}
+	st := c.Stats()
+	if st.Requeues < uint64(len(seeds)-1) {
+		t.Fatalf("requeues = %d, want at least the %d displaced requests", st.Requeues, len(seeds)-1)
+	}
+	rep := c.Shutdown(context.Background())
+	if rep.Shards[0].Kills != 1 || rep.Shards[0].Requeued < len(seeds)-1 {
+		t.Fatalf("shard 0 summary = %+v", rep.Shards[0])
+	}
+}
+
+func TestCoordinatorAllShardsDeadIsLost(t *testing.T) {
+	var log bytes.Buffer
+	c, err := NewCoordinator(testConfig(&log))
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	c.Kill(0)
+	c.Kill(1)
+	_, err = c.Submit(context.Background(), serve.Request{Mechanism: "lmi", Kind: "control", Seed: 1})
+	if !TypedError(err) || !strings.Contains(err.Error(), "no shard alive") {
+		t.Fatalf("Submit with no shard alive = %v, want ErrShardLost", err)
+	}
+	rep := c.Shutdown(context.Background())
+	if rep.Stats.Lost != 1 {
+		t.Fatalf("stats = %+v, want 1 lost", rep.Stats)
+	}
+	sc := bufio.NewScanner(&log)
+	if !sc.Scan() {
+		t.Fatal("lost request emitted no decision record")
+	}
+	var d Decision
+	if err := json.Unmarshal(sc.Bytes(), &d); err != nil {
+		t.Fatalf("decision: %v", err)
+	}
+	if d.Status != string(StatusLost) || d.Shard != -1 {
+		t.Fatalf("lost decision = %+v, want status lost on shard -1", d)
+	}
+}
+
+func TestCoordinatorDrainingRejects(t *testing.T) {
+	c, err := NewCoordinator(testConfig(nil))
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	c.Shutdown(context.Background())
+	if _, err := c.Submit(context.Background(), serve.Request{Mechanism: "lmi", Seed: 1}); err != serve.ErrDraining {
+		t.Fatalf("Submit while draining = %v, want ErrDraining", err)
+	}
+}
+
+func TestCoordinatorHTTP(t *testing.T) {
+	c, err := NewCoordinator(testConfig(nil))
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	defer c.Shutdown(context.Background())
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Post(srv.URL+"/run", "application/json",
+		strings.NewReader(`{"mechanism":"lmi","kind":"control","seed":5}`))
+	if err != nil {
+		t.Fatalf("POST /run: %v", err)
+	}
+	var run struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&run); err != nil {
+		t.Fatalf("decode /run: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || run.Status != "ok" {
+		t.Fatalf("POST /run = %d %+v", resp.StatusCode, run)
+	}
+
+	resp, err = http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatalf("GET /stats: %v", err)
+	}
+	var stats struct {
+		Alive  []bool `json:"alive"`
+		Shards []ShardSummary
+		Stats  Stats `json:"stats"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatalf("decode /stats: %v", err)
+	}
+	resp.Body.Close()
+	if len(stats.Alive) != 2 || !stats.Alive[0] || !stats.Alive[1] {
+		t.Fatalf("/stats alive = %v", stats.Alive)
+	}
+	if stats.Stats.OK != 1 {
+		t.Fatalf("/stats counters = %+v, want 1 ok", stats.Stats)
+	}
+
+	c.Kill(0)
+	c.Kill(1)
+	resp, err = http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatalf("GET /readyz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz with no shard alive = %d, want 503", resp.StatusCode)
+	}
+}

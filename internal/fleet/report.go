@@ -1,0 +1,171 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"lmi/internal/chaos"
+	"lmi/internal/serve"
+)
+
+// Violations audits the report against the fleet's robustness
+// contract and returns one message per breach (empty = clean run).
+// The contract extends the single-server soak's: every request in the
+// stream reaches exactly one final result; a request displaced by
+// shard death is either re-executed on a survivor or abandoned with
+// the typed ErrShardLost — never silently dropped; every shed carries
+// ErrOverloaded or ErrFleetOverloaded; every failure is typed and its
+// class matches; no engine panic escapes into a result; every request
+// has a decision record (the sink dropped nothing); and each shard
+// epoch's breaker transition log is internally consistent.
+func (r *SoakReport) Violations() []string {
+	var v []string
+	for i, res := range r.Results {
+		switch res.Status {
+		case "":
+			v = append(v, fmt.Sprintf("request %d: no final result", i))
+			continue
+		case serve.StatusOK:
+			if res.Err != nil {
+				v = append(v, fmt.Sprintf("request %d: ok but err=%v", i, res.Err))
+			}
+			continue
+		case StatusLost:
+			if !errors.Is(res.Err, ErrShardLost) {
+				v = append(v, fmt.Sprintf("request %d: lost without ErrShardLost: %v", i, res.Err))
+			}
+		case serve.StatusShed:
+			if !errors.Is(res.Err, serve.ErrOverloaded) && !errors.Is(res.Err, ErrFleetOverloaded) {
+				v = append(v, fmt.Sprintf("request %d: shed without a typed overload error: %v", i, res.Err))
+			}
+		case serve.StatusRejected:
+			if !errors.Is(res.Err, serve.ErrCircuitOpen) {
+				v = append(v, fmt.Sprintf("request %d: rejected without ErrCircuitOpen: %v", i, res.Err))
+			}
+		}
+		if res.Err == nil {
+			v = append(v, fmt.Sprintf("request %d: status %s with nil error", i, res.Status))
+			continue
+		}
+		if !TypedError(res.Err) {
+			v = append(v, fmt.Sprintf("request %d: untyped error %T: %v", i, res.Err, res.Err))
+		}
+		if serve.IsPanicError(res.Err) {
+			v = append(v, fmt.Sprintf("request %d: engine panic escaped into result: %v", i, res.Err))
+		}
+		if res.Class != serve.Classify(res.Err) {
+			v = append(v, fmt.Sprintf("request %d: class %s does not match error class %s",
+				i, res.Class, serve.Classify(res.Err)))
+		}
+	}
+
+	// Decision accounting: one record per request, none dropped.
+	if want := uint64(len(r.Results)); r.Decisions.Written != want {
+		v = append(v, fmt.Sprintf("decision log: %d records written for %d requests", r.Decisions.Written, want))
+	}
+	if r.Decisions.Dropped != 0 {
+		v = append(v, fmt.Sprintf("decision log: %d records dropped in a sized-to-stream sink", r.Decisions.Dropped))
+	}
+
+	// Each shard epoch's transition chain must start from closed and be
+	// continuous (a rejoined shard starts a fresh breaker).
+	type cell struct {
+		shard, epoch int
+		key          string
+	}
+	state := make(map[cell]serve.BreakerState)
+	for i, t := range r.Transitions {
+		c := cell{t.Shard, t.Epoch, t.Key}
+		from := state[c]
+		if from == "" {
+			from = serve.BreakerClosed
+		}
+		if t.From != from {
+			v = append(v, fmt.Sprintf("transition %d: shard %d epoch %d %s from %s but cell was %s",
+				i, t.Shard, t.Epoch, t.Key, t.From, from))
+		}
+		state[c] = t.To
+	}
+	return v
+}
+
+// Render writes the deterministic text report. verbose adds the
+// per-request log.
+func (r *SoakReport) Render(w io.Writer, verbose bool) {
+	cfg := r.Config
+	fmt.Fprintf(w, "lmi-fleet soak  seed=0x%x  requests=%d  shards=%d  replicas=%d  servers/shard=%d  queue/shard=%d\n",
+		cfg.Seed, cfg.Requests, cfg.Shards, cfg.Replicas, cfg.VirtualServers, cfg.QueueCapacity)
+	fmt.Fprintf(w, "fleet budget: %d queued  max requeues: %d  arrival: %v\n",
+		cfg.FleetBudget, cfg.MaxRequeues, cfg.ArrivalEvery)
+	fmt.Fprintf(w, "retry: %d attempts, base %v, cap %v   breaker: open@%d, cooldown %v, close@%d probes\n",
+		cfg.Retry.MaxAttempts, cfg.Retry.BackoffBase, cfg.Retry.BackoffMax,
+		cfg.Breaker.FailThreshold, cfg.Breaker.Cooldown, cfg.Breaker.ProbeSuccesses)
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "fault plan (%d events):\n", len(r.Plan))
+	for _, f := range r.Plan {
+		fmt.Fprintf(w, "  [%12v] %s\n", f.At, f)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-12s %s\n", "status", "count")
+	for _, st := range []serve.Status{serve.StatusOK, serve.StatusFailed, serve.StatusExhausted,
+		serve.StatusShed, serve.StatusRejected, StatusLost} {
+		fmt.Fprintf(w, "%-12s %d\n", st, r.Counts[st])
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "chaos outcomes:")
+	for _, o := range []chaos.Outcome{chaos.OutcomeClean, chaos.OutcomeDetected, chaos.OutcomeTolerated,
+		chaos.OutcomeMissed, chaos.OutcomeFalsePositive, chaos.OutcomeDegraded} {
+		if n := r.Outcomes[o]; n > 0 {
+			fmt.Fprintf(w, "  %s=%d", o, n)
+		}
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "retries scheduled: %d\n", r.Retries)
+	fmt.Fprintf(w, "shard-death requeues: %d\n", r.Requeues)
+	fmt.Fprintf(w, "decision records: written=%d dropped=%d\n", r.Decisions.Written, r.Decisions.Dropped)
+	fmt.Fprintf(w, "fleet queue high-watermark: %d of %d\n", r.HighWater, cfg.FleetBudget)
+	fmt.Fprintf(w, "virtual makespan: %v\n", r.Makespan)
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "per-shard:")
+	for s, sh := range r.Shards {
+		fmt.Fprintf(w, "  shard %d: executed=%d requeued-away=%d kills=%d\n", s, sh.Executed, sh.Requeued, sh.Kills)
+	}
+	fmt.Fprintln(w)
+	if len(r.Transitions) == 0 {
+		fmt.Fprintln(w, "breaker transitions: none")
+	} else {
+		fmt.Fprintf(w, "breaker transitions (%d):\n", len(r.Transitions))
+		for _, t := range r.Transitions {
+			fmt.Fprintf(w, "  [%12v] shard%d/e%d %-18s %-9s -> %-9s %s\n",
+				t.At, t.Shard, t.Epoch, t.Key, t.From, t.To, t.Cause)
+		}
+	}
+	if verbose {
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "per-request log:")
+		for i, res := range r.Results {
+			req := res.Req
+			kind := req.Kind
+			if kind == "" {
+				kind = chaos.KindControl
+			}
+			fmt.Fprintf(w, "  [%05d] %-18s %-18s seed=0x%016x status=%-9s attempts=%d class=%-9s",
+				i, req.Key(), string(kind), req.Seed, res.Status, res.Attempts, res.Class)
+			if res.Outcome != "" {
+				fmt.Fprintf(w, " outcome=%s", res.Outcome)
+			}
+			if res.Err != nil {
+				fmt.Fprintf(w, " err=%q", res.Err)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	if v := r.Violations(); len(v) > 0 {
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "VIOLATIONS (%d):\n", len(v))
+		for _, msg := range v {
+			fmt.Fprintf(w, "  %s\n", msg)
+		}
+	}
+}

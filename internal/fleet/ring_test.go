@@ -1,0 +1,114 @@
+package fleet
+
+import (
+	"testing"
+
+	"lmi/internal/chaos"
+	"lmi/internal/serve"
+)
+
+// hashes returns a deterministic spread of ring positions.
+func hashes(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = chaos.MixSeed(0x5217, uint64(i))
+	}
+	return out
+}
+
+func allAlive(n int) []bool {
+	a := make([]bool, n)
+	for i := range a {
+		a[i] = true
+	}
+	return a
+}
+
+func TestRingDeterministicAndBalanced(t *testing.T) {
+	r1 := NewRing(4, 16)
+	r2 := NewRing(4, 16)
+	alive := allAlive(4)
+	per := make(map[int]int)
+	for _, h := range hashes(4000) {
+		o1, o2 := r1.Owner(h, alive), r2.Owner(h, alive)
+		if o1 != o2 {
+			t.Fatalf("two identical rings disagree: %d vs %d for %#x", o1, o2, h)
+		}
+		if o1 < 0 || o1 >= 4 {
+			t.Fatalf("owner %d out of range", o1)
+		}
+		per[o1]++
+	}
+	for s := 0; s < 4; s++ {
+		if per[s] == 0 {
+			t.Fatalf("shard %d owns nothing across 4000 hashes: %v", s, per)
+		}
+	}
+}
+
+// TestRingBoundedRedistribution is the consistent-hashing contract:
+// killing one shard moves only the keys it owned (each to an alive
+// shard), every other key keeps its owner, and a rejoin restores the
+// original assignment exactly.
+func TestRingBoundedRedistribution(t *testing.T) {
+	const shards = 4
+	r := NewRing(shards, 16)
+	alive := allAlive(shards)
+	hs := hashes(4000)
+
+	before := make([]int, len(hs))
+	for i, h := range hs {
+		before[i] = r.Owner(h, alive)
+	}
+
+	const dead = 2
+	alive[dead] = false
+	moved := 0
+	for i, h := range hs {
+		after := r.Owner(h, alive)
+		if after == dead {
+			t.Fatalf("hash %#x assigned to the dead shard", h)
+		}
+		if before[i] != dead && after != before[i] {
+			t.Fatalf("hash %#x moved %d -> %d though its owner survived", h, before[i], after)
+		}
+		if before[i] == dead {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("dead shard owned nothing; test is vacuous")
+	}
+
+	alive[dead] = true
+	for i, h := range hs {
+		if got := r.Owner(h, alive); got != before[i] {
+			t.Fatalf("hash %#x not restored on rejoin: %d != %d", h, got, before[i])
+		}
+	}
+}
+
+func TestRingNoShardAlive(t *testing.T) {
+	r := NewRing(3, 8)
+	if got := r.Owner(123, make([]bool, 3)); got != -1 {
+		t.Fatalf("Owner with no shard alive = %d, want -1", got)
+	}
+}
+
+func TestRequestHashStableAcrossRetries(t *testing.T) {
+	a := serve.Request{Mechanism: "lmi", Kind: "control", Seed: 7}
+	b := a // a retry or requeue resubmits the same request verbatim
+	if RequestHash(a) != RequestHash(b) {
+		t.Fatal("identical requests hash differently")
+	}
+	c := a
+	c.Seed = 8
+	if RequestHash(a) == RequestHash(c) {
+		t.Fatal("seed does not contribute to the ring position")
+	}
+	d := a
+	d.Mechanism = "gpushield"
+	if RequestHash(a) == RequestHash(d) {
+		t.Fatal("breaker key does not contribute to the ring position")
+	}
+}

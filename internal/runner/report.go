@@ -70,6 +70,19 @@ func (r *Report) Table() string {
 	return t.String()
 }
 
+// TierLabel renders an execution tier for reports and stats surfaces:
+// the tier's flag spelling for a non-default tier ("compiled"), and ""
+// for the cycle-level simulator so omit-empty JSON fields keep
+// default-tier records byte-identical to their pre-tier form. The
+// runner's jobJSON, the serve /stats endpoint, and the fleet decision
+// log all share this convention.
+func TierLabel(t fastsim.Tier) string {
+	if t == fastsim.TierCycle {
+		return ""
+	}
+	return t.String()
+}
+
 // jobJSON is the serialised form of one Result.
 type jobJSON struct {
 	Job string `json:"job"`
@@ -111,9 +124,7 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 			WallNS:       res.Wall.Nanoseconds(),
 			CyclesPerSec: res.CyclesPerSec(),
 		}
-		if res.Job.Tier != fastsim.TierCycle {
-			j.Tier = res.Job.Tier.String()
-		}
+		j.Tier = TierLabel(res.Job.Tier)
 		if res.Err != nil {
 			j.Error = res.Err.Error()
 		}

@@ -36,6 +36,10 @@ type BreakerConfig struct {
 	ProbeSuccesses int
 }
 
+// WithDefaults fills zero fields (for callers outside the package —
+// the fleet layer — that embed the policy in their own configs).
+func (bc BreakerConfig) WithDefaults() BreakerConfig { return bc.withDefaults() }
+
 // withDefaults fills zero fields.
 func (bc BreakerConfig) withDefaults() BreakerConfig {
 	if bc.FailThreshold <= 0 {
@@ -69,8 +73,8 @@ type breakerCell struct {
 	state     BreakerState
 	streak    int // consecutive failures while closed
 	openUntil time.Duration
-	probing   bool // a half-open probe is in flight
-	probeOK   int  // consecutive successful probes
+	probe     uint64 // nonzero: the token of the half-open probe in flight
+	probeOK   int    // consecutive successful probes
 }
 
 // Breaker is a per-key circuit breaker (closed → open → half-open →
@@ -79,10 +83,11 @@ type breakerCell struct {
 // virtual clock; all transitions are recorded for the reports. Safe
 // for concurrent use.
 type Breaker struct {
-	mu    sync.Mutex
-	cfg   BreakerConfig
-	cells map[string]*breakerCell
-	trans []Transition
+	mu     sync.Mutex
+	cfg    BreakerConfig
+	cells  map[string]*breakerCell
+	trans  []Transition
+	tokens uint64 // probe-token counter; tokens are unique per breaker
 }
 
 // NewBreaker builds a breaker; zero config fields take defaults.
@@ -106,40 +111,62 @@ func (b *Breaker) transition(key string, c *breakerCell, to BreakerState, now ti
 	c.state = to
 }
 
+// newProbe mints a fresh probe token (never zero).
+func (b *Breaker) newProbe() uint64 {
+	b.tokens++
+	return b.tokens
+}
+
 // Allow reports whether a request for key may execute at the given
 // time. An open cell whose cooldown elapsed moves to half-open and
-// admits exactly one probe at a time.
-func (b *Breaker) Allow(key string, now time.Duration) bool {
+// admits exactly one probe at a time; the admitted probe is identified
+// by the returned nonzero token, which the caller must hand back to
+// Record. Requests admitted while the cell is closed carry token 0.
+// The token is what serializes the half-open state: only the outcome of
+// the probe itself can transition the cell, so a late result from a
+// request admitted in an earlier closed epoch can neither close the
+// cell nor clear the probing flag and let a second concurrent probe in.
+func (b *Breaker) Allow(key string, now time.Duration) (bool, uint64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	c := b.cell(key)
 	switch c.state {
 	case BreakerClosed:
-		return true
+		return true, 0
 	case BreakerOpen:
 		if now < c.openUntil {
-			return false
+			return false, 0
 		}
 		b.transition(key, c, BreakerHalfOpen, now, "cooldown elapsed; probing")
-		c.probing, c.probeOK = true, 0
-		return true
+		c.probe, c.probeOK = b.newProbe(), 0
+		return true, c.probe
 	case BreakerHalfOpen:
-		if c.probing {
-			return false // one probe in flight at a time
+		if c.probe != 0 {
+			return false, 0 // one probe in flight at a time
 		}
-		c.probing = true
-		return true
+		c.probe = b.newProbe()
+		return true, c.probe
 	}
-	return false
+	return false, 0
 }
 
 // Record folds one execution outcome for key into the breaker state.
-func (b *Breaker) Record(key string, now time.Duration, success bool) {
+// token must be the value Allow returned for this execution: zero for
+// requests admitted while the cell was closed, the probe token for a
+// half-open probe. A half-open cell ignores every record that does not
+// carry its outstanding probe token — late results from earlier epochs
+// must not be mistaken for the probe's verdict.
+func (b *Breaker) Record(key string, now time.Duration, token uint64, success bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	c := b.cell(key)
 	switch c.state {
 	case BreakerClosed:
+		if token != 0 {
+			// A probe outcome can only arrive while its cell is half-open;
+			// anything else is a stale token from a dead epoch.
+			return
+		}
 		if success {
 			c.streak = 0
 			return
@@ -152,7 +179,13 @@ func (b *Breaker) Record(key string, now time.Duration, success bool) {
 			c.openUntil = now + b.cfg.Cooldown
 		}
 	case BreakerHalfOpen:
-		c.probing = false
+		if token == 0 || token != c.probe {
+			// Not the probe: a late result from a request admitted before
+			// the cell opened (or a stale probe from a previous half-open
+			// epoch). Only the probe's own outcome may transition the cell.
+			return
+		}
+		c.probe = 0
 		if !success {
 			b.transition(key, c, BreakerOpen, now, "probe failed")
 			c.openUntil = now + b.cfg.Cooldown
@@ -169,6 +202,17 @@ func (b *Breaker) Record(key string, now time.Duration, success bool) {
 		// A late result from a request admitted before the cell opened;
 		// the cooldown already accounts for the failure burst.
 	}
+}
+
+// State returns the current state of one cell (closed for a key that
+// has never recorded anything), without allocating a full snapshot.
+func (b *Breaker) State(key string) BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if c := b.cells[key]; c != nil {
+		return c.state
+	}
+	return BreakerClosed
 }
 
 // Transitions returns a copy of the recorded state changes in order.

@@ -27,6 +27,13 @@ type Outcome struct {
 	Err error
 	// Cycles is the simulated launch length when stats were produced.
 	Cycles uint64
+	// ECChecked and ECElided are the launch's extent-check counters
+	// (lane accesses checked by the mechanism vs statically elided);
+	// the fleet's safety decision records carry them per request.
+	ECChecked uint64
+	ECElided  uint64
+	// Faults is the number of recorded safety-fault records.
+	Faults int
 	// Outcome is the chaos classification for injection attempts.
 	Outcome chaos.Outcome
 	// Detail describes what happened.
@@ -132,7 +139,10 @@ func (e *Executor) executeChaos(ctx context.Context, req Request, seed uint64) O
 	if err != nil {
 		return Outcome{Err: fmt.Errorf("%w: %v", ErrBadRequest, err), Detail: err.Error()}
 	}
-	out := Outcome{Cycles: tr.Cycles, Outcome: tr.Outcome, Detail: tr.Detail}
+	out := Outcome{
+		Cycles: tr.Cycles, Outcome: tr.Outcome, Detail: tr.Detail,
+		ECChecked: tr.ECChecked, ECElided: tr.ECElided, Faults: tr.Faults,
+	}
 	switch tr.Outcome {
 	case chaos.OutcomeDetected, chaos.OutcomeTolerated, chaos.OutcomeClean:
 		// The service did its job: the injection was surfaced or was
@@ -170,7 +180,7 @@ func (e *Executor) executeBench(ctx context.Context, req Request) Outcome {
 	if err != nil {
 		return Outcome{Err: err, Detail: err.Error()}
 	}
-	out := Outcome{Cycles: st.Cycles}
+	out := Outcome{Cycles: st.Cycles, ECChecked: st.ECChecked, ECElided: st.ECElided, Faults: len(st.Faults)}
 	switch {
 	case len(st.Faults) > 0:
 		out.Err = fmt.Errorf("%w: %v", ErrSafetyViolation, st.Faults[0])

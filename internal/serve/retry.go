@@ -18,6 +18,10 @@ type RetryConfig struct {
 	BackoffMax time.Duration
 }
 
+// WithDefaults fills zero fields (for callers outside the package —
+// the fleet layer — that embed the policy in their own configs).
+func (rc RetryConfig) WithDefaults() RetryConfig { return rc.withDefaults() }
+
 // withDefaults fills zero fields.
 func (rc RetryConfig) withDefaults() RetryConfig {
 	if rc.MaxAttempts <= 0 {

@@ -184,6 +184,14 @@ type Result struct {
 	// Cycles is the simulated length of the last attempt's launch (0
 	// when no attempt produced kernel statistics).
 	Cycles uint64
+	// ECChecked and ECElided are the last attempt's extent-check
+	// counters: lane accesses routed through the mechanism's check vs
+	// accesses whose check the compiler discharged statically.
+	ECChecked uint64
+	ECElided  uint64
+	// Faults is the number of safety-fault records the last attempt's
+	// launch produced (0 for clean or pre-execution dispositions).
+	Faults int
 	// Detail is the human-readable description of the last attempt.
 	Detail string
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -102,46 +103,48 @@ func TestBreakerLifecycle(t *testing.T) {
 	// Closed: failures below the threshold keep it closed; a success
 	// resets the streak.
 	for i := 0; i < 2; i++ {
-		if !b.Allow(key, now) {
+		if ok, _ := b.Allow(key, now); !ok {
 			t.Fatalf("closed cell refused request %d", i)
 		}
-		b.Record(key, now, false)
+		b.Record(key, now, 0, false)
 	}
-	b.Record(key, now, true) // streak reset
+	b.Record(key, now, 0, true) // streak reset
 	for i := 0; i < 2; i++ {
-		b.Record(key, now, false)
+		b.Record(key, now, 0, false)
 	}
 	if st := b.Snapshot()[key]; st != BreakerClosed {
 		t.Fatalf("state after reset and 2 failures = %s, want closed", st)
 	}
 
 	// Third consecutive failure opens the cell.
-	b.Record(key, now, false)
+	b.Record(key, now, 0, false)
 	if st := b.Snapshot()[key]; st != BreakerOpen {
 		t.Fatalf("state after threshold = %s, want open", st)
 	}
-	if b.Allow(key, now+cfg.Cooldown-1) {
+	if ok, _ := b.Allow(key, now+cfg.Cooldown-1); ok {
 		t.Fatalf("open cell admitted a request inside the cooldown")
 	}
 
 	// Cooldown elapsed: exactly one probe at a time.
 	now += cfg.Cooldown
-	if !b.Allow(key, now) {
-		t.Fatalf("half-open cell refused the first probe")
+	ok, tok := b.Allow(key, now)
+	if !ok || tok == 0 {
+		t.Fatalf("half-open cell refused the first probe (ok=%v token=%d)", ok, tok)
 	}
-	if b.Allow(key, now) {
+	if ok, _ := b.Allow(key, now); ok {
 		t.Fatalf("half-open cell admitted a second concurrent probe")
 	}
 
 	// First probe succeeds; still half-open until ProbeSuccesses.
-	b.Record(key, now, true)
+	b.Record(key, now, tok, true)
 	if st := b.Snapshot()[key]; st != BreakerHalfOpen {
 		t.Fatalf("state after 1 probe success = %s, want half-open", st)
 	}
-	if !b.Allow(key, now) {
-		t.Fatalf("half-open cell refused the second probe")
+	ok, tok = b.Allow(key, now)
+	if !ok || tok == 0 {
+		t.Fatalf("half-open cell refused the second probe (ok=%v token=%d)", ok, tok)
 	}
-	b.Record(key, now, true)
+	b.Record(key, now, tok, true)
 	if st := b.Snapshot()[key]; st != BreakerClosed {
 		t.Fatalf("state after %d probe successes = %s, want closed", cfg.ProbeSuccesses, st)
 	}
@@ -165,20 +168,119 @@ func TestBreakerProbeFailureReopens(t *testing.T) {
 	cfg := BreakerConfig{FailThreshold: 1, Cooldown: 5 * time.Millisecond, ProbeSuccesses: 1}
 	b := NewBreaker(cfg)
 	const key = "chaos/gpushield"
-	b.Record(key, 0, false) // opens immediately at threshold 1
+	b.Record(key, 0, 0, false) // opens immediately at threshold 1
 	now := cfg.Cooldown
-	if !b.Allow(key, now) {
+	ok, tok := b.Allow(key, now)
+	if !ok {
 		t.Fatalf("cooldown elapsed but probe refused")
 	}
-	b.Record(key, now, false)
+	b.Record(key, now, tok, false)
 	if st := b.Snapshot()[key]; st != BreakerOpen {
 		t.Fatalf("state after failed probe = %s, want open", st)
 	}
-	if b.Allow(key, now+cfg.Cooldown-1) {
+	if ok, _ := b.Allow(key, now+cfg.Cooldown-1); ok {
 		t.Fatalf("re-opened cell admitted a request inside the fresh cooldown")
 	}
-	if !b.Allow(key, now+cfg.Cooldown) {
+	if ok, _ := b.Allow(key, now+cfg.Cooldown); !ok {
 		t.Fatalf("re-opened cell refused a probe after its fresh cooldown")
+	}
+}
+
+// TestBreakerLateResultCannotStealProbe pins the half-open race fix:
+// with a probe in flight, a late result from a request admitted back
+// when the cell was closed (token 0) must not be mistaken for the
+// probe's verdict — it must neither transition the cell nor free the
+// probe slot for a second concurrent probe.
+func TestBreakerLateResultCannotStealProbe(t *testing.T) {
+	cfg := BreakerConfig{FailThreshold: 1, Cooldown: 5 * time.Millisecond, ProbeSuccesses: 1}
+	b := NewBreaker(cfg)
+	const key = "chaos/lmi"
+	b.Record(key, 0, 0, false) // open at threshold 1
+	now := cfg.Cooldown
+	ok, tok := b.Allow(key, now)
+	if !ok || tok == 0 {
+		t.Fatalf("probe refused after cooldown (ok=%v token=%d)", ok, tok)
+	}
+
+	// Late success from the closed epoch lands mid-probe. Before the
+	// token fix this cleared the probing flag (or worse, closed the
+	// cell), admitting a second probe alongside the first.
+	b.Record(key, now, 0, true)
+	if st := b.Snapshot()[key]; st != BreakerHalfOpen {
+		t.Fatalf("late tokenless success transitioned the cell to %s", st)
+	}
+	if ok, _ := b.Allow(key, now); ok {
+		t.Fatalf("late tokenless result freed the probe slot: second concurrent probe admitted")
+	}
+	// A stale probe token from a previous half-open epoch is equally inert.
+	b.Record(key, now, tok+100, false)
+	if st := b.Snapshot()[key]; st != BreakerHalfOpen {
+		t.Fatalf("stale probe token transitioned the cell to %s", st)
+	}
+
+	// Only the real probe's outcome moves the machine.
+	b.Record(key, now, tok, true)
+	if st := b.Snapshot()[key]; st != BreakerClosed {
+		t.Fatalf("probe success did not close the cell (state %s)", st)
+	}
+	// Its token is dead after use: replaying it while closed is a no-op.
+	b.Record(key, now, tok, false)
+	if st := b.Snapshot()[key]; st != BreakerClosed {
+		t.Fatalf("replayed dead token transitioned the closed cell to %s", st)
+	}
+}
+
+// TestBreakerConcurrentProbeSerialized hammers a half-open cell from
+// many goroutines mixing Allow calls with late tokenless Records and
+// verifies the invariant the token exists to protect: at most one
+// outstanding probe at any instant, across many probe generations.
+func TestBreakerConcurrentProbeSerialized(t *testing.T) {
+	cfg := BreakerConfig{FailThreshold: 1, Cooldown: time.Millisecond, ProbeSuccesses: 1000000}
+	b := NewBreaker(cfg)
+	const key = "chaos/lmi"
+	b.Record(key, 0, 0, false) // open
+	now := cfg.Cooldown        // cooldown elapsed: first Allow goes half-open
+
+	var (
+		mu          sync.Mutex
+		outstanding int
+		admitted    int
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				// The race ingredient: late results from the closed epoch
+				// arriving between a probe's admission and its Record.
+				b.Record(key, now, 0, true)
+				ok, tok := b.Allow(key, now)
+				if !ok {
+					continue
+				}
+				mu.Lock()
+				outstanding++
+				admitted++
+				if outstanding > 1 {
+					mu.Unlock()
+					t.Errorf("%d probes outstanding concurrently", outstanding)
+					return
+				}
+				mu.Unlock()
+				b.Record(key, now, tok, true)
+				mu.Lock()
+				outstanding--
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if admitted == 0 {
+		t.Fatalf("hammer admitted no probes; test exercised nothing")
+	}
+	if st := b.Snapshot()[key]; st != BreakerHalfOpen {
+		t.Fatalf("cell left half-open sequence in state %s", st)
 	}
 }
 
@@ -186,11 +288,11 @@ func TestBreakerProbeFailureReopens(t *testing.T) {
 // key's meltdown must not reject another's traffic.
 func TestBreakerKeysIndependent(t *testing.T) {
 	b := NewBreaker(BreakerConfig{FailThreshold: 1, Cooldown: time.Hour, ProbeSuccesses: 1})
-	b.Record("chaos/lmi", 0, false)
-	if b.Allow("chaos/lmi", 0) {
+	b.Record("chaos/lmi", 0, 0, false)
+	if ok, _ := b.Allow("chaos/lmi", 0); ok {
 		t.Fatalf("failed key still admitting")
 	}
-	if !b.Allow("chaos/baggybounds", 0) {
+	if ok, _ := b.Allow("chaos/baggybounds", 0); !ok {
 		t.Fatalf("healthy key rejected because a sibling opened")
 	}
 }

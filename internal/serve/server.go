@@ -91,20 +91,14 @@ type Stats struct {
 }
 
 // Server is the live serving driver: a bounded admission queue feeding
-// a worker pool that runs the classify/retry/breaker state machines
-// against the real clock.
+// a worker pool that runs the shard-local Processor (classify, retry,
+// breaker) against the real clock.
 type Server struct {
 	cfg   Config
-	exec  *Executor
-	brk   *Breaker
+	proc  *Processor
 	queue chan task
 	start time.Time
 	wg    sync.WaitGroup
-
-	// Injectable time for tests: now is the service-relative clock fed
-	// to the breaker; sleep waits out retry backoff (ctx-aware).
-	now   func() time.Duration
-	sleep func(ctx context.Context, d time.Duration)
 
 	mu       sync.Mutex
 	draining bool
@@ -120,19 +114,29 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		cfg:   cfg,
-		exec:  exec,
-		brk:   NewBreaker(cfg.Breaker),
 		queue: make(chan task, cfg.QueueCapacity),
 		start: time.Now(),
 	}
-	s.now = func() time.Duration { return time.Since(s.start) }
-	s.sleep = func(ctx context.Context, d time.Duration) {
-		t := time.NewTimer(d)
-		defer t.Stop()
-		select {
-		case <-t.C:
-		case <-ctx.Done():
-		}
+	s.proc = &Processor{
+		Exec:            exec,
+		Brk:             NewBreaker(cfg.Breaker),
+		Retry:           cfg.Retry,
+		DefaultDeadline: cfg.DefaultDeadline,
+		Logf:            cfg.Logf,
+		Now:             func() time.Duration { return time.Since(s.start) },
+		Sleep: func(ctx context.Context, d time.Duration) {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+			}
+		},
+		OnRetry: func() {
+			s.mu.Lock()
+			s.stats.Retries++
+			s.mu.Unlock()
+		},
 	}
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -153,7 +157,7 @@ func (s *Server) worker() {
 		s.stats.Depth = len(s.queue)
 		s.stats.InFlight++
 		s.mu.Unlock()
-		res := s.process(t)
+		res := s.proc.Process(t.ctx, t.req)
 		s.mu.Lock()
 		s.stats.InFlight--
 		switch res.Status {
@@ -169,63 +173,6 @@ func (s *Server) worker() {
 		s.mu.Unlock()
 		t.done <- res
 	}
-}
-
-// process runs one request to its final Result: breaker admission,
-// then up to MaxAttempts executions with classified retries and
-// deterministic seeded backoff between them.
-func (s *Server) process(t task) Result {
-	req := t.req
-	key := req.Key()
-	res := Result{Req: req}
-	if err := s.exec.Validate(req); err != nil {
-		res.Status, res.Err, res.Class = StatusFailed, err, ClassTerminal
-		return res
-	}
-	deadline := req.Deadline
-	if deadline <= 0 {
-		deadline = s.cfg.DefaultDeadline
-	}
-	for attempt := 0; attempt < s.cfg.Retry.MaxAttempts; attempt++ {
-		if attempt > 0 {
-			d := s.cfg.Retry.Delay(req.Seed, attempt-1)
-			s.cfg.Logf("serve: %s seed=0x%x retrying attempt %d after %v", key, req.Seed, attempt, d)
-			s.sleep(t.ctx, d)
-			s.mu.Lock()
-			s.stats.Retries++
-			s.mu.Unlock()
-		}
-		if !s.brk.Allow(key, s.now()) {
-			res.Status, res.Err, res.Class = StatusRejected, ErrCircuitOpen, ClassTerminal
-			res.Attempts = attempt
-			return res
-		}
-		actx, cancel := context.WithTimeout(t.ctx, deadline)
-		out := s.exec.Execute(actx, req, AttemptSeed(req.Seed, attempt))
-		cancel()
-		s.brk.Record(key, s.now(), out.Err == nil)
-		res.Attempts = attempt + 1
-		res.Outcome, res.Cycles, res.Detail = out.Outcome, out.Cycles, out.Detail
-		cls := Classify(out.Err)
-		switch cls {
-		case ClassOK:
-			res.Status, res.Err, res.Class = StatusOK, nil, ClassOK
-			return res
-		case ClassTerminal:
-			res.Status, res.Err, res.Class = StatusFailed, out.Err, cls
-			return res
-		}
-		res.Err, res.Class = out.Err, cls
-		// If the client itself is gone, stop retrying on its behalf.
-		if t.ctx.Err() != nil {
-			res.Status = StatusFailed
-			res.Err = fmt.Errorf("serve: client gone: %w", t.ctx.Err())
-			res.Class = ClassTerminal
-			return res
-		}
-	}
-	res.Status = StatusExhausted
-	return res
 }
 
 // Submit admits one request: it either queues it (and blocks until the
@@ -309,20 +256,22 @@ func (s *Server) Shutdown(ctx context.Context) ShutdownReport {
 	return ShutdownReport{
 		Uptime:      time.Since(s.start),
 		Stats:       s.Stats(),
-		Breakers:    s.brk.Snapshot(),
-		Transitions: s.brk.Transitions(),
+		Breakers:    s.proc.Brk.Snapshot(),
+		Transitions: s.proc.Brk.Transitions(),
 	}
 }
 
 // resultJSON is the wire form of a Result.
 type resultJSON struct {
-	Status   Status        `json:"status"`
-	Attempts int           `json:"attempts"`
-	Class    Class         `json:"class,omitempty"`
-	Outcome  chaos.Outcome `json:"outcome,omitempty"`
-	Cycles   uint64        `json:"cycles,omitempty"`
-	Detail   string        `json:"detail,omitempty"`
-	Error    string        `json:"error,omitempty"`
+	Status    Status        `json:"status"`
+	Attempts  int           `json:"attempts"`
+	Class     Class         `json:"class,omitempty"`
+	Outcome   chaos.Outcome `json:"outcome,omitempty"`
+	Cycles    uint64        `json:"cycles,omitempty"`
+	ECChecked uint64        `json:"ec_checked,omitempty"`
+	ECElided  uint64        `json:"ec_elided,omitempty"`
+	Detail    string        `json:"detail,omitempty"`
+	Error     string        `json:"error,omitempty"`
 }
 
 // Handler returns the HTTP surface: POST /run, GET /healthz, /readyz,
@@ -351,11 +300,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(struct {
-			Uptime   time.Duration           `json:"uptime_ns"`
+			Uptime time.Duration `json:"uptime_ns"`
+			// Tier records a non-default execution tier ("compiled");
+			// omitted for the cycle-level simulator, matching the runner
+			// jobJSON convention so default-tier stats stay byte-identical
+			// to pre-tier deployments.
+			Tier     string                  `json:"tier,omitempty"`
 			Draining bool                    `json:"draining"`
 			Stats    Stats                   `json:"stats"`
 			Breakers map[string]BreakerState `json:"breakers"`
-		}{time.Since(s.start), s.Draining(), s.Stats(), s.brk.Snapshot()})
+		}{time.Since(s.start), runner.TierLabel(s.cfg.Tier), s.Draining(), s.Stats(), s.proc.Brk.Snapshot()})
 	})
 	return mux
 }
@@ -399,17 +353,24 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	writeResult(w, code, res)
 }
 
+// WriteResult renders a Result as JSON with the given HTTP status —
+// the single wire form shared by the single-shard server and the
+// fleet coordinator's HTTP surface.
+func WriteResult(w http.ResponseWriter, code int, res Result) { writeResult(w, code, res) }
+
 // writeResult renders a Result as JSON with the given HTTP status.
 func writeResult(w http.ResponseWriter, code int, res Result) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(resultJSON{
-		Status:   res.Status,
-		Attempts: res.Attempts,
-		Class:    res.Class,
-		Outcome:  res.Outcome,
-		Cycles:   res.Cycles,
-		Detail:   res.Detail,
-		Error:    errString(res.Err),
+		Status:    res.Status,
+		Attempts:  res.Attempts,
+		Class:     res.Class,
+		Outcome:   res.Outcome,
+		Cycles:    res.Cycles,
+		ECChecked: res.ECChecked,
+		ECElided:  res.ECElided,
+		Detail:    res.Detail,
+		Error:     errString(res.Err),
 	})
 }

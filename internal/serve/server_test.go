@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"lmi/internal/chaos"
+	"lmi/internal/fastsim"
 )
 
 // testServer builds a small live server for HTTP tests.
@@ -142,6 +144,44 @@ func TestServerHealthEndpoints(t *testing.T) {
 	}
 }
 
+// TestServerStatsTier: /stats reports a non-default execution tier and
+// omits the field entirely on the default cycle tier, matching the
+// runner's jobJSON convention.
+func TestServerStatsTier(t *testing.T) {
+	statsBody := func(cfg Config) string {
+		s, err := NewServer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			s.Shutdown(ctx)
+		}()
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		resp, err := http.Get(ts.URL + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf strings.Builder
+		if _, err := io.Copy(&buf, resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+
+	body := statsBody(Config{Workers: 1, QueueCapacity: 4, Tier: fastsim.TierCompiled})
+	if !strings.Contains(body, `"tier":"compiled"`) {
+		t.Fatalf("compiled-tier /stats missing tier field: %s", body)
+	}
+	body = statsBody(Config{Workers: 1, QueueCapacity: 4})
+	if strings.Contains(body, `"tier"`) {
+		t.Fatalf("cycle-tier /stats must omit the tier field: %s", body)
+	}
+}
+
 // idleServer builds a Server whose queue no worker drains, so admission
 // behaviour is deterministic to test.
 func idleServer(t *testing.T, capacity int) *Server {
@@ -153,13 +193,17 @@ func idleServer(t *testing.T, capacity int) *Server {
 	cfg := Config{QueueCapacity: capacity}.withDefaults()
 	s := &Server{
 		cfg:   cfg,
-		exec:  exec,
-		brk:   NewBreaker(cfg.Breaker),
 		queue: make(chan task, capacity),
 		start: time.Now(),
 	}
-	s.now = func() time.Duration { return time.Since(s.start) }
-	s.sleep = func(context.Context, time.Duration) {}
+	s.proc = &Processor{
+		Exec:            exec,
+		Brk:             NewBreaker(cfg.Breaker),
+		Retry:           cfg.Retry,
+		DefaultDeadline: cfg.DefaultDeadline,
+		Now:             func() time.Duration { return time.Since(s.start) },
+		Sleep:           func(context.Context, time.Duration) {},
+	}
 	return s
 }
 
@@ -216,19 +260,19 @@ func TestServerRetriesWithBackoff(t *testing.T) {
 		// attempt dies in the watchdog with a retryable context error.
 		DefaultDeadline: time.Nanosecond,
 	}.withDefaults()
-	s := &Server{
-		cfg:   cfg,
-		exec:  exec,
-		brk:   NewBreaker(cfg.Breaker),
-		queue: make(chan task, 1),
-		start: time.Now(),
-	}
-	s.now = func() time.Duration { return time.Since(s.start) }
+	start := time.Now()
 	var slept []time.Duration
-	s.sleep = func(_ context.Context, d time.Duration) { slept = append(slept, d) }
+	p := &Processor{
+		Exec:            exec,
+		Brk:             NewBreaker(cfg.Breaker),
+		Retry:           cfg.Retry,
+		DefaultDeadline: cfg.DefaultDeadline,
+		Now:             func() time.Duration { return time.Since(start) },
+		Sleep:           func(_ context.Context, d time.Duration) { slept = append(slept, d) },
+	}
 
 	req := Request{Mechanism: "lmi", Kind: "control", Seed: 9}
-	res := s.process(task{ctx: context.Background(), req: req})
+	res := p.Process(context.Background(), req)
 	if res.Status != StatusExhausted || res.Attempts != cfg.Retry.MaxAttempts {
 		t.Fatalf("result = %+v, want exhausted after %d attempts", res, cfg.Retry.MaxAttempts)
 	}
@@ -249,18 +293,30 @@ func TestServerRetriesWithBackoff(t *testing.T) {
 // TestServerBreakerRejects: once a key's breaker opens, subsequent
 // requests for that key are rejected without executing.
 func TestServerBreakerRejects(t *testing.T) {
-	s := idleServer(t, 4)
-	s.cfg.Breaker = BreakerConfig{FailThreshold: 1, Cooldown: time.Hour, ProbeSuccesses: 1}
-	s.brk = NewBreaker(s.cfg.Breaker)
+	exec, err := NewExecutor(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{}.withDefaults()
+	cfg.Breaker = BreakerConfig{FailThreshold: 1, Cooldown: time.Hour, ProbeSuccesses: 1}.withDefaults()
+	start := time.Now()
+	p := &Processor{
+		Exec:            exec,
+		Brk:             NewBreaker(cfg.Breaker),
+		Retry:           cfg.Retry,
+		DefaultDeadline: cfg.DefaultDeadline,
+		Now:             func() time.Duration { return time.Since(start) },
+		Sleep:           func(context.Context, time.Duration) {},
+	}
 
 	// lmi misses free-skip-nullify: one terminal failure opens the cell
 	// at threshold 1.
 	bad := Request{Mechanism: "lmi", Kind: "free-skip-nullify", Seed: 3}
-	res := s.process(task{ctx: context.Background(), req: bad})
+	res := p.Process(context.Background(), bad)
 	if res.Status != StatusFailed {
 		t.Fatalf("setup failure run = %+v", res)
 	}
-	res = s.process(task{ctx: context.Background(), req: Request{Mechanism: "lmi", Kind: "control", Seed: 4}})
+	res = p.Process(context.Background(), Request{Mechanism: "lmi", Kind: "control", Seed: 4})
 	if res.Status != StatusRejected || !errors.Is(res.Err, ErrCircuitOpen) {
 		t.Fatalf("request on open cell = %+v, want rejected with ErrCircuitOpen", res)
 	}

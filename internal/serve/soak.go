@@ -94,11 +94,11 @@ func virtDuration(cycles uint64, seed uint64) time.Duration {
 	return virtBase + time.Duration(cycles)*virtCyclePeriod + noise
 }
 
-// attemptRes is one precomputed execution attempt: its outcome and how
+// AttemptRes is one precomputed execution attempt: its outcome and how
 // long it holds a virtual server.
-type attemptRes struct {
-	out Outcome
-	dur time.Duration
+type AttemptRes struct {
+	Out Outcome
+	Dur time.Duration
 }
 
 // soakGen draws the request stream deterministically from the master
@@ -164,22 +164,24 @@ func genStream(cfg SoakConfig, inj *chaos.Injector) ([]Request, []time.Duration)
 	return reqs, arrivals
 }
 
-// precompute executes attempt waves on the worker pool. Wave 0 is every
-// request's first attempt; wave k holds only the requests whose attempt
-// k-1 failed retryably — a deterministic superset of the attempts the
-// replay will consume, regardless of how the replay's queue and breaker
-// dynamics play out. Each attempt is a pure function of (request,
-// derived seed), so worker count cannot change a single byte of it.
-func precompute(ctx context.Context, cfg SoakConfig, exec *Executor, reqs []Request) ([][]attemptRes, error) {
-	attempts := make([][]attemptRes, len(reqs))
+// PrecomputeAttempts executes attempt waves on the worker pool. Wave 0
+// is every request's first attempt; wave k holds only the requests
+// whose attempt k-1 failed retryably — a deterministic superset of the
+// attempts a virtual-time replay will consume, regardless of how the
+// replay's queue and breaker dynamics play out. Each attempt is a pure
+// function of (request, derived seed), so worker count cannot change a
+// single byte of it. Both the single-server soak and the fleet soak
+// replay over this table.
+func PrecomputeAttempts(ctx context.Context, workers int, retry RetryConfig, exec *Executor, reqs []Request) ([][]AttemptRes, error) {
+	attempts := make([][]AttemptRes, len(reqs))
 	pending := make([]int, len(reqs))
 	for i := range pending {
 		pending[i] = i
 	}
-	for a := 0; a < cfg.Retry.MaxAttempts && len(pending) > 0; a++ {
+	for a := 0; a < retry.MaxAttempts && len(pending) > 0; a++ {
 		wave := pending
-		res := make([]attemptRes, len(wave))
-		errs := runner.ForEach(ctx, len(wave), cfg.Workers, func(i int) error {
+		res := make([]AttemptRes, len(wave))
+		errs := runner.ForEach(ctx, len(wave), workers, func(i int) error {
 			req := reqs[wave[i]]
 			seed := AttemptSeed(req.Seed, a)
 			out := exec.Execute(ctx, req, seed)
@@ -194,7 +196,7 @@ func precompute(ctx context.Context, cfg SoakConfig, exec *Executor, reqs []Requ
 				}
 				dur = req.Deadline
 			}
-			res[i] = attemptRes{out: out, dur: dur}
+			res[i] = AttemptRes{Out: out, Dur: dur}
 			return nil
 		})
 		for _, err := range errs {
@@ -208,7 +210,7 @@ func precompute(ctx context.Context, cfg SoakConfig, exec *Executor, reqs []Requ
 		var next []int
 		for i, r := range wave {
 			attempts[r] = append(attempts[r], res[i])
-			if Classify(res[i].out.Err) == ClassRetryable {
+			if Classify(res[i].Out.Err) == ClassRetryable {
 				next = append(next, r)
 			}
 		}
@@ -230,6 +232,7 @@ type soakEvent struct {
 	kind    int
 	req     int
 	attempt int
+	token   uint64 // breaker probe token of the running attempt (evFinish)
 }
 
 // eventHeap orders events by (at, seq) — a total, push-order-stable
@@ -271,7 +274,7 @@ func Soak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 		return nil, fmt.Errorf("soak: building executor: %w", err)
 	}
 	reqs, arrivals := genStream(cfg, exec.Injector())
-	attempts, err := precompute(ctx, cfg, exec, reqs)
+	attempts, err := PrecomputeAttempts(ctx, cfg.Workers, cfg.Retry, exec, reqs)
 	if err != nil {
 		return nil, fmt.Errorf("soak: precompute: %w", err)
 	}
@@ -292,24 +295,27 @@ func Soak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 		seq   int
 		now   time.Duration
 	)
-	push := func(at time.Duration, kind, req, attempt int) {
-		heap.Push(&h, soakEvent{at: at, seq: seq, kind: kind, req: req, attempt: attempt})
+	push := func(at time.Duration, kind, req, attempt int, token uint64) {
+		heap.Push(&h, soakEvent{at: at, seq: seq, kind: kind, req: req, attempt: attempt, token: token})
 		seq++
 	}
 	finalize := func(req int, st Status, attemptsMade int, ferr error) {
 		ar := Outcome{}
 		if attemptsMade > 0 {
-			ar = attempts[req][attemptsMade-1].out
+			ar = attempts[req][attemptsMade-1].Out
 		}
 		rep.Results[req] = Result{
-			Req:      reqs[req],
-			Status:   st,
-			Attempts: attemptsMade,
-			Err:      ferr,
-			Class:    Classify(ferr),
-			Outcome:  ar.Outcome,
-			Cycles:   ar.Cycles,
-			Detail:   ar.Detail,
+			Req:       reqs[req],
+			Status:    st,
+			Attempts:  attemptsMade,
+			Err:       ferr,
+			Class:     Classify(ferr),
+			Outcome:   ar.Outcome,
+			Cycles:    ar.Cycles,
+			ECChecked: ar.ECChecked,
+			ECElided:  ar.ECElided,
+			Faults:    ar.Faults,
+			Detail:    ar.Detail,
 		}
 		rep.Counts[st]++
 		if ar.Outcome != "" {
@@ -320,17 +326,18 @@ func Soak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 		for free > 0 && len(queue) > 0 {
 			q := queue[0]
 			queue = queue[1:]
-			if !brk.Allow(reqs[q.req].Key(), now) {
+			ok, token := brk.Allow(reqs[q.req].Key(), now)
+			if !ok {
 				finalize(q.req, StatusRejected, q.attempt, ErrCircuitOpen)
 				continue
 			}
 			free--
-			push(now+attempts[q.req][q.attempt].dur, evFinish, q.req, q.attempt)
+			push(now+attempts[q.req][q.attempt].Dur, evFinish, q.req, q.attempt, token)
 		}
 	}
 
 	for i := range reqs {
-		push(arrivals[i], evArrive, i, 0)
+		push(arrivals[i], evArrive, i, 0, 0)
 	}
 	heap.Init(&h)
 	for h.Len() > 0 {
@@ -349,17 +356,17 @@ func Soak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 		case evFinish:
 			free++
 			ar := attempts[e.req][e.attempt]
-			brk.Record(reqs[e.req].Key(), now, ar.out.Err == nil)
-			switch cls := Classify(ar.out.Err); {
+			brk.Record(reqs[e.req].Key(), now, e.token, ar.Out.Err == nil)
+			switch cls := Classify(ar.Out.Err); {
 			case cls == ClassOK:
 				finalize(e.req, StatusOK, e.attempt+1, nil)
 			case cls == ClassRetryable && e.attempt+1 < cfg.Retry.MaxAttempts:
 				rep.Retries++
-				push(now+cfg.Retry.Delay(reqs[e.req].Seed, e.attempt), evArrive, e.req, e.attempt+1)
+				push(now+cfg.Retry.Delay(reqs[e.req].Seed, e.attempt), evArrive, e.req, e.attempt+1, 0)
 			case cls == ClassRetryable:
-				finalize(e.req, StatusExhausted, e.attempt+1, ar.out.Err)
+				finalize(e.req, StatusExhausted, e.attempt+1, ar.Out.Err)
 			default:
-				finalize(e.req, StatusFailed, e.attempt+1, ar.out.Err)
+				finalize(e.req, StatusFailed, e.attempt+1, ar.Out.Err)
 			}
 		}
 		dispatch()
@@ -494,6 +501,16 @@ func orControl(k chaos.Kind) chaos.Kind {
 	}
 	return k
 }
+
+// TypedError reports whether err is one of the serving layer's typed
+// failures (a package sentinel, a typed simulator/runner error, or a
+// context error). The fleet layer extends it with its own sentinels in
+// its robustness audit.
+func TypedError(err error) bool { return typedError(err) }
+
+// IsPanicError reports whether err carries a recovered engine panic —
+// the one failure family that must never reach a request result.
+func IsPanicError(err error) bool { return panicError(err) }
 
 // typedError reports whether err is one of the serving layer's typed
 // failures (a package sentinel, a typed simulator/runner error, or a

@@ -74,6 +74,23 @@ go run ./cmd/lmi-serve -soak -seed 1 -requests 200 -jobs 1 -v > "$tmpdir/soak-j1
 go run ./cmd/lmi-serve -soak -seed 1 -requests 200 -jobs 4 -v > "$tmpdir/soak-j4.txt"
 cmp "$tmpdir/soak-j1.txt" "$tmpdir/soak-j4.txt"
 
+# Fleet soak gate: 100000 seeded requests sharded across 4 simulated
+# device workers under scripted shard kills, rejoins, and burst
+# overloads on the virtual timeline. The soak exits nonzero on any
+# fleet robustness violation (a request silently dropped by shard
+# death, a lost request without ErrShardLost, a shed without a typed
+# overload error, a missing or dropped decision record, an
+# inconsistent per-epoch breaker log) — and both the report and the
+# per-request decision log must be byte-identical across worker
+# counts.
+echo "== fleet soak gate (100000 requests, 4 shards, -jobs 1 vs -jobs 4)"
+go run ./cmd/lmi-serve -soak -shards 4 -seed 1 -requests 100000 -jobs 1 \
+    -decision-log "$tmpdir/fleet-j1.jsonl" > "$tmpdir/fleet-j1.txt"
+go run ./cmd/lmi-serve -soak -shards 4 -seed 1 -requests 100000 -jobs 4 \
+    -decision-log "$tmpdir/fleet-j4.jsonl" > "$tmpdir/fleet-j4.txt"
+cmp "$tmpdir/fleet-j1.txt" "$tmpdir/fleet-j4.txt"
+cmp "$tmpdir/fleet-j1.jsonl" "$tmpdir/fleet-j4.jsonl"
+
 # CLI validation smoke: out-of-range flags must fail with the uniform
 # usage error (exit 2), not silent misbehavior.
 echo "== CLI usage-error smoke"
@@ -83,6 +100,8 @@ for cmdline in "./cmd/lmi-sim -sms 0 -bench nn" \
                "./cmd/lmi-bench -tier warp -table 2" \
                "./cmd/lmi-sim -tier warp -bench nn" \
                "./cmd/lmi-serve -soak -requests 0" \
+               "./cmd/lmi-serve -soak -shards 0" \
+               "./cmd/lmi-serve -log-buffer 0 -soak -shards 2 -requests 1" \
                "./cmd/lmi-compile -bench needle -elide maybe" \
                "./cmd/lmi-lint -all -mode fast"; do
     if go run $cmdline >/dev/null 2>&1; then
