@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint analyze check check-short bench serve soak fleet-soak fast
+.PHONY: build test race vet lint analyze race-oracle check check-short bench serve soak fleet-soak fast
 
 build:
 	$(GO) build ./...
@@ -17,17 +17,31 @@ race:
 	$(GO) test -race -timeout 45m ./...
 
 # Static verification of the LMI microcode contract over every lowered
-# kernel (also part of the check gate).
+# kernel, plus the custom vet pass (no raw panic( in non-test code under
+# internal/). Both are also part of the check gate.
 lint:
 	$(GO) run ./cmd/lmi-lint -all
+	$(GO) run ./scripts/vetnopanic
 
 # The full static-analysis gate: the microcode contract over the whole
 # corpus plus the elide soundness audit — every workload recompiled with
 # static extent-check elision, every E bit re-derived by the linter's
-# independent value analysis. Fails on any unsound-elide diagnostic or
-# any proven-out-of-bounds access in a shipped workload.
+# independent value analysis — plus the static shared-memory race and
+# barrier-divergence analyzer over every program (pre- and
+# post-optimizer, both modes, and the elided compiles). Fails on any
+# unsound-elide diagnostic, any proven-out-of-bounds access in a shipped
+# workload, any potential race, divergent barrier, or inexpressible
+# shared address.
 analyze:
-	$(GO) run ./cmd/lmi-lint -all -elide-audit
+	$(GO) run ./cmd/lmi-lint -all -elide-audit -race
+
+# The dynamic race-oracle overhead sweep: the Fig. 12 corpus with the
+# shared-memory race oracle off vs armed. Asserts the oracle never
+# perturbs a cycle count and reports zero races on the
+# statically-proven-race-free corpus; regenerates the committed
+# cycle-tier artifact BENCH_fig12_raceoracle.json.
+race-oracle:
+	$(GO) run ./cmd/lmi-bench -race-oracle-json BENCH_fig12_raceoracle.json
 
 # The full verification gate: vet + build + tests + race detector +
 # static contract lint.

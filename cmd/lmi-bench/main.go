@@ -49,6 +49,8 @@ func main() {
 	fig := flag.Int("fig", 0, "figure to regenerate (1, 4, 12, 13)")
 	table := flag.Int("table", 0, "table to regenerate (1, 2, 3, 4, 5, 6)")
 	elide := flag.Bool("elide", false, "run the static extent-check elision experiment")
+	raceOracle := flag.Bool("race-oracle", false, "run the Fig. 12 sweep with the dynamic race oracle off vs armed and report its overhead")
+	raceOracleJSON := flag.String("race-oracle-json", "", "write the race-oracle sweep's deterministic JSON artifact to this file (implies -race-oracle)")
 	all := flag.Bool("all", false, "regenerate everything")
 	sms := flag.Int("sms", experiments.DefaultSimSMs, "simulated SM count (Table IV machine is 80)")
 	jobs := flag.Int("jobs", 0, "simulation worker pool size, >= 1 (omit for GOMAXPROCS or $LMI_JOBS)")
@@ -213,6 +215,26 @@ func main() {
 			}
 			fmt.Print(res.Table())
 			fmt.Printf("\nevery E bit is audited by lmi-lint's independent register-level analysis (see EXPERIMENTS.md)\n")
+			return nil
+		})
+	}
+	if *all || *raceOracle || *raceOracleJSON != "" {
+		any = true
+		run("Fig. 12 + dynamic race oracle overhead", func() error {
+			res, err := experiments.Fig12RaceOracleJobsTier(cfg, *jobs, tier)
+			if res != nil {
+				for _, rep := range res.Reports {
+					report(rep)
+				}
+			}
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Table())
+			fmt.Printf("\nrace oracle is timing-invisible: armed cycles == plain cycles on every run, 0 races on the statically-proven corpus\n")
+			if *raceOracleJSON != "" {
+				return res.WriteJSON(*raceOracleJSON)
+			}
 			return nil
 		})
 	}

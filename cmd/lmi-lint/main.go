@@ -13,6 +13,7 @@
 //	lmi-lint -bench needle        # one benchmark
 //	lmi-lint -bench bfs -mode base
 //	lmi-lint -all -elide-audit    # also audit every compiler-planted E (elide) hint
+//	lmi-lint -all -race           # also run the static race & barrier-divergence analyzer
 //	lmi-lint -all -json           # machine-readable report
 //
 // Exits nonzero when any diagnostic is produced; scripts/check.sh runs
@@ -26,10 +27,12 @@ import (
 	"os"
 
 	"lmi/internal/apps"
+	"lmi/internal/bounds"
 	"lmi/internal/cliutil"
 	"lmi/internal/compiler"
 	"lmi/internal/ir"
 	"lmi/internal/lint"
+	"lmi/internal/race"
 	"lmi/internal/workloads"
 )
 
@@ -40,6 +43,10 @@ type target struct {
 	// workload (nil for apps); it supplies the launch contract the elide
 	// audit re-derives in-bounds-ness under.
 	spec *workloads.Spec
+	// contract is the launch geometry the race analysis assumes: the
+	// spec's contract for workloads, the canonical app geometry for
+	// apps.
+	contract bounds.Contract
 }
 
 // result is one linted program: a kernel in one mode, before or after
@@ -49,6 +56,9 @@ type result struct {
 	Mode      string      `json:"mode"`
 	Optimized bool        `json:"optimized"`
 	Diags     []lint.Diag `json:"diagnostics"`
+	// Races holds the static race analyzer's findings when -race is
+	// set.
+	Races []race.Diag `json:"races,omitempty"`
 }
 
 func main() {
@@ -56,6 +66,7 @@ func main() {
 	bench := flag.String("bench", "", "lint one benchmark by name")
 	modeFlag := flag.String("mode", "both", "base | lmi | both")
 	elideAudit := flag.Bool("elide-audit", false, "also compile each workload with static elision and audit every E bit against the linter's own value analysis")
+	raceFlag := flag.Bool("race", false, "also run the static shared-memory race and barrier-divergence analyzer over every program")
 	jsonOut := flag.Bool("json", false, "emit the full report as JSON")
 	flag.Parse()
 	cliutil.ValidateEnumOrExit("lmi-lint",
@@ -90,11 +101,15 @@ func main() {
 				fmt.Fprintf(os.Stderr, "lmi-lint: %s/%s: compile: %v\n", tg.name, m, err)
 				os.Exit(1)
 			}
-			pre := lint.CheckWithSource(p, m, src)
-			results = append(results, result{tg.name, m.String(), false, pre})
-			post := lint.Check(compiler.Optimize(p), m)
-			results = append(results, result{tg.name, m.String(), true, post})
-			total += len(pre) + len(post)
+			preRes := result{Kernel: tg.name, Mode: m.String(), Diags: lint.CheckWithSource(p, m, src)}
+			opt := compiler.Optimize(p)
+			postRes := result{Kernel: tg.name, Mode: m.String(), Optimized: true, Diags: lint.Check(opt, m)}
+			if *raceFlag {
+				preRes.Races = race.Analyze(p, tg.contract, src).Diags
+				postRes.Races = race.Analyze(opt, tg.contract, nil).Diags
+			}
+			results = append(results, preRes, postRes)
+			total += len(preRes.Diags) + len(postRes.Diags) + len(preRes.Races) + len(postRes.Races)
 		}
 		if *elideAudit && tg.spec != nil {
 			c := tg.spec.Contract()
@@ -105,9 +120,12 @@ func main() {
 				fmt.Fprintf(os.Stderr, "lmi-lint: %s: elided compile: %v\n", tg.name, err)
 				os.Exit(1)
 			}
-			diags := lint.ElideAudit(p, c)
-			results = append(results, result{tg.name, "lmi-elide", false, diags})
-			total += len(diags)
+			elRes := result{Kernel: tg.name, Mode: "lmi-elide", Diags: lint.ElideAudit(p, c)}
+			if *raceFlag {
+				elRes.Races = race.Analyze(p, c, nil).Diags
+			}
+			results = append(results, elRes)
+			total += len(elRes.Diags) + len(elRes.Races)
 		}
 	}
 
@@ -125,6 +143,9 @@ func main() {
 				opt = "+O"
 			}
 			for _, d := range r.Diags {
+				fmt.Printf("%s/%s%s: %s\n", r.Kernel, r.Mode, opt, d)
+			}
+			for _, d := range r.Races {
 				fmt.Printf("%s/%s%s: %s\n", r.Kernel, r.Mode, opt, d)
 			}
 		}
@@ -147,7 +168,7 @@ func gather(all bool, bench string) ([]target, error) {
 		if err != nil {
 			return nil, err
 		}
-		return []target{{s.Name, f, s}}, nil
+		return []target{{name: s.Name, f: f, spec: s, contract: s.Contract()}}, nil
 	}
 	var out []target
 	for _, s := range workloads.All() {
@@ -155,10 +176,11 @@ func gather(all bool, bench string) ([]target, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: %v", s.Name, err)
 		}
-		out = append(out, target{s.Name, f, s})
+		out = append(out, target{name: s.Name, f: f, spec: s, contract: s.Contract()})
 	}
-	for _, f := range apps.All() {
-		out = append(out, target{f.Name, f, nil})
+	contracts := apps.Contracts()
+	for i, f := range apps.All() {
+		out = append(out, target{name: f.Name, f: f, contract: contracts[i]})
 	}
 	return out, nil
 }

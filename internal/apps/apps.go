@@ -9,6 +9,7 @@
 package apps
 
 import (
+	"lmi/internal/bounds"
 	"lmi/internal/ir"
 	"lmi/internal/isa"
 )
@@ -192,5 +193,18 @@ func All() []*ir.Func {
 		ReduceSum(128),
 		BFSLevel(),
 		Stencil2D(),
+	}
+}
+
+// Contracts returns the canonical launch contract of each All() kernel,
+// index-aligned: the geometry the package tests launch with, which the
+// static analyses (elide proving, race analysis) assume. None of the
+// app kernels carries an element-count parameter contract.
+func Contracts() []bounds.Contract {
+	return []bounds.Contract{
+		{CountParam: -1, BlockDimX: 8, BlockDimY: 8, GridDimX: 4, GridDimY: 4},
+		{CountParam: -1, BlockDimX: 128, GridDimX: 48},
+		{CountParam: -1, BlockDimX: 128, GridDimX: 48},
+		{CountParam: -1, BlockDimX: 16, BlockDimY: 16, GridDimX: 8, GridDimY: 8},
 	}
 }

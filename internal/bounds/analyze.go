@@ -321,7 +321,7 @@ func (an *analysis) runBlock(blk *ir.Block, st []aval, collect func(*ir.Instr, i
 		case ir.OpRet:
 			return nil
 		}
-		if collect != nil && (in.Op == ir.OpLoad || in.Op == ir.OpStore) {
+		if collect != nil && (in.Op == ir.OpLoad || in.Op == ir.OpStore || in.Op == ir.OpAtomicAdd) {
 			collect(in, idx, st)
 		}
 		if in.Op == ir.OpICmp {
@@ -805,8 +805,10 @@ func (an *analysis) classify(in *ir.Instr, st []aval) *AccessVerdict {
 		return nil // LDS/STS and friends carry no extent check to elide
 	}
 	var size uint64
-	store := in.Op == ir.OpStore
-	if store {
+	store := in.Op == ir.OpStore || in.Op == ir.OpAtomicAdd
+	if in.Op == ir.OpStore || in.Op == ir.OpAtomicAdd {
+		// An atomic read-modify-write is a store for extent purposes: the
+		// checked window is the operand's width, same as STG.
 		size = an.f.TypeOf(in.Args[1]).Size()
 	} else {
 		size = an.f.TypeOf(in.Dst).Size()

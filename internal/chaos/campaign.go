@@ -4,12 +4,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 
+	"lmi/internal/bounds"
 	"lmi/internal/compiler"
 	"lmi/internal/fastsim"
 	"lmi/internal/isa"
+	"lmi/internal/race"
 	"lmi/internal/runner"
 	"lmi/internal/safety"
 	"lmi/internal/sim"
@@ -112,6 +115,7 @@ func TrialConfig(sms int) sim.Config {
 type compiledVictims struct {
 	stream *isa.Program
 	oob    *isa.Program
+	race   *isa.Program
 }
 
 // Injector owns the compiled victim programs and runs individual
@@ -152,7 +156,7 @@ func (inj *Injector) launchTier(ctx context.Context, dev *sim.Device, p *isa.Pro
 	inj.warmOnce.Do(func() {
 		for _, d := range inj.defs {
 			pv := inj.progs[d.name]
-			inj.cache.Warm(pv.stream, pv.oob)
+			inj.cache.Warm(pv.stream, pv.oob, pv.race)
 		}
 	})
 	c, err := inj.cache.Get(p)
@@ -197,12 +201,16 @@ func NewInjector(mechs []string) (*Injector, error) {
 		if err != nil {
 			return nil, fmt.Errorf("chaos: compile oob victim for %s: %w", d.name, err)
 		}
-		if d.instrument != nil {
-			stream, oob = d.instrument(stream), d.instrument(oob)
+		race, err := compiler.Compile(raceKernel(), d.mode)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: compile race victim for %s: %w", d.name, err)
 		}
-		progs[d.name] = compiledVictims{stream: stream, oob: oob}
+		if d.instrument != nil {
+			stream, oob, race = d.instrument(stream), d.instrument(oob), d.instrument(race)
+		}
+		progs[d.name] = compiledVictims{stream: stream, oob: oob, race: race}
 	}
-	return &Injector{defs: defs, progs: progs, cache: fastsim.NewCache(2 * len(defs))}, nil
+	return &Injector{defs: defs, progs: progs, cache: fastsim.NewCache(3 * len(defs))}, nil
 }
 
 // Mechanisms returns the injector's mechanism names in their fixed
@@ -302,6 +310,7 @@ func (c Campaign) Run(ctx context.Context) (*Report, error) {
 	// unchanged by kind additions; newer kinds append after the block.
 	add(legacyKinds())
 	add([]Kind{KindSpuriousElide})
+	add(raceKinds())
 
 	rep := &Report{Seed: c.Seed, TrialsPerCell: trials, Trials: make([]Trial, len(specs))}
 	cfg := TrialConfig(c.SMs)
@@ -361,6 +370,12 @@ func (inj *Injector) runTrial(ctx context.Context, def mechDef, kind Kind,
 		ocu = &ocuMisdecode{Mechanism: mech, seed: splitmix64(seed ^ 0xC0DE)}
 		mech = ocu
 	}
+	if kind.IsRace() {
+		// The race kinds' detector is the dynamic race oracle, armed
+		// for this trial only (it shadows every shared lane access and
+		// would perturb nothing but throughput elsewhere).
+		cfg.RaceOracle = true
+	}
 	dev, err := sim.NewDevice(cfg, mech)
 	if err != nil {
 		return degraded("device: "+err.Error(), err)
@@ -368,6 +383,9 @@ func (inj *Injector) runTrial(ctx context.Context, def mechDef, kind Kind,
 
 	if kind == KindAllocExhaust {
 		return inj.exhaustTrial(ctx, tr, dev, r, progs)
+	}
+	if kind.IsRace() {
+		return inj.raceTrial(ctx, tr, dev, r, progs, kind)
 	}
 
 	inPtr, err := dev.Malloc(victimBufBytes)
@@ -550,6 +568,141 @@ func (inj *Injector) exhaustTrial(ctx context.Context, tr Trial, dev *sim.Device
 	tr.ECChecked, tr.ECElided = st.ECChecked, st.ECElided
 	tr.Outcome = OutcomeDetected
 	tr.Detail = withDetail(tr.Detail, "device healthy afterwards")
+	return tr
+}
+
+// raceContract is the race victim's launch geometry for the static
+// analyzer: one block of victimThreads, no element-count contract (the
+// victim takes no parameters).
+func raceContract() bounds.Contract {
+	return bounds.Contract{CountParam: -1, BlockDimX: victimThreads, GridDimX: 1}
+}
+
+// staticRaceRecords runs the static race analyzer over a (mutated)
+// victim and returns its findings in the oracle's record form and
+// deterministic order. Any non-race diagnostic — an inexpressible
+// address, a divergence flag, or a blown fixpoint budget — means the
+// analyzer could not pin the planted fault to exact instructions and is
+// reported as an error.
+func staticRaceRecords(p *isa.Program) ([]sim.RaceRecord, error) {
+	res := race.Analyze(p, raceContract(), nil)
+	if !res.Converged {
+		return nil, errors.New("static race analysis did not converge")
+	}
+	var recs []sim.RaceRecord
+	for _, d := range res.Diags {
+		if d.Kind != race.KindRace {
+			return nil, fmt.Errorf("static analysis lost precision: %s", d.Msg)
+		}
+		recs = append(recs, sim.RaceRecord{Kind: d.Race, PC: int32(d.PC), OtherPC: int32(d.OtherPC)})
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].PC != recs[j].PC {
+			return recs[i].PC < recs[j].PC
+		}
+		if recs[i].OtherPC != recs[j].OtherPC {
+			return recs[i].OtherPC < recs[j].OtherPC
+		}
+		return recs[i].Kind < recs[j].Kind
+	})
+	return recs, nil
+}
+
+// formatRaceRecords renders a race record set compactly for trial
+// details: "read-write@(12,17) write-write@(9,9)".
+func formatRaceRecords(recs []sim.RaceRecord) string {
+	if len(recs) == 0 {
+		return "none"
+	}
+	parts := make([]string, len(recs))
+	for i, rc := range recs {
+		parts[i] = fmt.Sprintf("%s@(%d,%d)", rc.Kind, rc.PC, rc.OtherPC)
+	}
+	return strings.Join(parts, " ")
+}
+
+// raceRecordsEqual reports whether two sorted record sets match
+// exactly.
+func raceRecordsEqual(a, b []sim.RaceRecord) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// raceTrial plants one synchronization fault in the shared-memory race
+// victim and requires the static race analyzer and the dynamic race
+// oracle to agree on it exactly: the same conflict classes at the same
+// instruction pairs, and at least one of them. A trial is Detected only
+// on exact agreement; a finding set that diverges between the two — or
+// a mutation neither notices — is a Missed defect in the detector pair.
+func (inj *Injector) raceTrial(ctx context.Context, tr Trial, dev *sim.Device, r *rng,
+	progs compiledVictims, kind Kind) Trial {
+	degraded := func(detail string, cause error) Trial {
+		if cause == nil {
+			cause = errors.New(detail)
+		}
+		tr.Outcome, tr.Detail, tr.Err = OutcomeDegraded, withDetail(tr.Detail, detail), cause
+		return tr
+	}
+	var q *isa.Program
+	var detail string
+	switch kind {
+	case KindRaceDropBar:
+		q, detail = dropBarrier(progs.race, r)
+	case KindRaceStridePerturb:
+		q, detail = perturbStride(progs.race, r)
+	case KindRaceDemoteAtomic:
+		q, detail = demoteAtomic(progs.race, r)
+	}
+	if q == nil {
+		tr.Outcome = OutcomeTolerated
+		tr.Detail = "victim carries no applicable injection site"
+		return tr
+	}
+	tr.Detail = detail
+
+	want, err := staticRaceRecords(q)
+	if err != nil {
+		return degraded("static analyzer: "+err.Error(), err)
+	}
+	if len(want) == 0 {
+		tr.Outcome = OutcomeMissed
+		tr.Detail = withDetail(tr.Detail, "static analyzer proved the mutated victim race-free")
+		return tr
+	}
+
+	st, lerr := inj.launchTier(ctx, dev, q, 1, victimThreads, nil)
+	if lerr != nil {
+		return degraded("launch: "+lerr.Error(), lerr)
+	}
+	tr.Cycles = st.Cycles
+	tr.ECChecked, tr.ECElided, tr.Faults = st.ECChecked, st.ECElided, len(st.Faults)
+	if len(st.Faults) > 0 {
+		// The victim stays inside its shared buffer under every
+		// mutation; no bounds mechanism has anything to report.
+		tr.HasFault, tr.FaultCycle = true, st.Faults[0].Cycle
+		tr.Outcome = OutcomeFalsePositive
+		tr.Detail = withDetail(tr.Detail, "fault: "+st.Faults[0].String())
+		return tr
+	}
+	if st.Halted {
+		return degraded("halted without a recorded fault", nil)
+	}
+	if !raceRecordsEqual(want, st.Races) {
+		tr.Outcome = OutcomeMissed
+		tr.Detail = withDetail(tr.Detail, fmt.Sprintf(
+			"static/dynamic disagree: static %s, oracle %s",
+			formatRaceRecords(want), formatRaceRecords(st.Races)))
+		return tr
+	}
+	tr.Outcome = OutcomeDetected
+	tr.Detail = withDetail(tr.Detail, "static pass and race oracle agree: "+formatRaceRecords(want))
 	return tr
 }
 

@@ -73,6 +73,23 @@ const (
 	// the lint elide audit must reject every E bit it cannot re-derive
 	// statically.
 	KindSpuriousElide Kind = "spurious-elide"
+
+	// KindRaceDropBar replaces a BAR in the shared-memory race victim
+	// with a NOP, collapsing two barrier-separated phases into one
+	// epoch. The trial is detected only when the static race analyzer
+	// and the dynamic race oracle both pin the resulting races to the
+	// same instruction pairs.
+	KindRaceDropBar Kind = "race-drop-bar"
+
+	// KindRaceStridePerturb lowers one SHL-by-2 address scaling to
+	// SHL-by-1, so thread index sets that were provably disjoint
+	// collide. Static and dynamic findings must agree exactly.
+	KindRaceStridePerturb Kind = "race-stride-perturb"
+
+	// KindRaceDemoteAtomic demotes the victim's ATOMS to a plain STS:
+	// commuting atomic updates become racing plain writes at the same
+	// address. Static and dynamic findings must agree exactly.
+	KindRaceDemoteAtomic Kind = "race-demote-atomic"
 )
 
 // legacyKinds returns the injection kinds of the original campaign
@@ -93,9 +110,27 @@ func legacyKinds() []Kind {
 	}
 }
 
+// raceKinds returns the synchronization-fault kinds validated by the
+// static race analyzer and the dynamic race oracle in concert, in their
+// fixed campaign order. They enumerate after the spurious-elide block.
+func raceKinds() []Kind {
+	return []Kind{KindRaceDropBar, KindRaceStridePerturb, KindRaceDemoteAtomic}
+}
+
 // Kinds returns all injection kinds in their fixed campaign order.
 func Kinds() []Kind {
-	return append(legacyKinds(), KindSpuriousElide)
+	return append(append(legacyKinds(), KindSpuriousElide), raceKinds()...)
+}
+
+// IsRace reports whether the kind is a synchronization fault whose
+// detector is the static-analyzer/race-oracle pair rather than a memory
+// safety mechanism.
+func (k Kind) IsRace() bool {
+	switch k {
+	case KindRaceDropBar, KindRaceStridePerturb, KindRaceDemoteAtomic:
+		return true
+	}
+	return false
 }
 
 // Stage names the pointer lifecycle stage a kind corrupts.
@@ -110,6 +145,8 @@ func (k Kind) Stage() string {
 		return "propagation"
 	case KindFreeSkipNullify:
 		return "destruction"
+	case KindRaceDropBar, KindRaceStridePerturb, KindRaceDemoteAtomic:
+		return "sync"
 	}
 	return "?"
 }

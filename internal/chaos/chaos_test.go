@@ -170,11 +170,32 @@ func TestCampaignLegacySeedStability(t *testing.T) {
 	if i == len(rep.Trials) {
 		t.Fatal("campaign enumerated no spurious-elide trials after the legacy block")
 	}
-	for ; i < len(rep.Trials); i++ {
-		if rep.Trials[i].Kind != KindSpuriousElide {
-			t.Fatalf("trial %d after the legacy block has kind %s, want %s",
-				i, rep.Trials[i].Kind, KindSpuriousElide)
+	// The appended blocks enumerate in their own fixed order after the
+	// legacy matrix: first spurious-elide, then the race kinds. Each
+	// must sit at exactly its re-derived index so the seeds of every
+	// earlier block stay byte-identical across versions.
+	for _, kinds := range [][]Kind{{KindSpuriousElide}, raceKinds()} {
+		for _, d := range mechDefs() {
+			for _, k := range kinds {
+				if !d.eligible(k) {
+					continue
+				}
+				for r := 0; r < trials; r++ {
+					if i >= len(rep.Trials) {
+						t.Fatalf("campaign ran %d trials; appended-block enumeration needs more", len(rep.Trials))
+					}
+					tr := rep.Trials[i]
+					if tr.Mech != d.name || tr.Kind != k || tr.Rep != r || tr.Seed != MixSeed(seed, uint64(i)) {
+						t.Fatalf("trial %d: got (%s, %s, rep %d, seed %#x), want (%s, %s, rep %d, seed %#x)",
+							i, tr.Mech, tr.Kind, tr.Rep, tr.Seed, d.name, k, r, MixSeed(seed, uint64(i)))
+					}
+					i++
+				}
+			}
 		}
+	}
+	if i != len(rep.Trials) {
+		t.Fatalf("campaign ran %d trials beyond the enumerated blocks", len(rep.Trials)-i)
 	}
 }
 

@@ -108,7 +108,7 @@ func ElideSites(p *isa.Program) []int {
 	var cands []int
 	for i := range p.Instrs {
 		switch p.Instrs[i].Op {
-		case isa.LDG, isa.STG, isa.LDL, isa.STL:
+		case isa.LDG, isa.STG, isa.LDL, isa.STL, isa.ATOMG:
 			cands = append(cands, i)
 		}
 	}
@@ -138,6 +138,110 @@ func spuriousElide(p *isa.Program, r *rng) (*isa.Program, string) {
 	}
 	idx := cands[r.intn(len(cands))]
 	return PlantSpuriousElideAt(p, idx), fmt.Sprintf("spurious E hint set on instr %d (%s)", idx, p.Instrs[idx].Op)
+}
+
+// BarrierSites returns the instruction indices of unpredicated BAR
+// instructions — the candidate sites for the drop-barrier injection.
+func BarrierSites(p *isa.Program) []int {
+	var bars []int
+	for i := range p.Instrs {
+		if p.Instrs[i].Op == isa.BAR && p.Instrs[i].Pred == isa.PT && !p.Instrs[i].PredNeg {
+			bars = append(bars, i)
+		}
+	}
+	return bars
+}
+
+// DropBarrierAt returns a copy of p with the BAR at instruction idx
+// replaced by a NOP: the block-wide synchronization point disappears
+// but every other instruction keeps its address, so the static
+// analyzer's diagnostics and the dynamic oracle's records stay directly
+// comparable against the mutated program.
+func DropBarrierAt(p *isa.Program, idx int) *isa.Program {
+	q := cloneProgram(p)
+	q.Instrs[idx] = isa.Instr{Op: isa.NOP, Pred: p.Instrs[idx].Pred}
+	return q
+}
+
+// dropBarrier removes one randomly chosen barrier. It returns nil when
+// the program has no unpredicated BAR.
+func dropBarrier(p *isa.Program, r *rng) (*isa.Program, string) {
+	bars := BarrierSites(p)
+	if len(bars) == 0 {
+		return nil, ""
+	}
+	idx := bars[r.intn(len(bars))]
+	return DropBarrierAt(p, idx), fmt.Sprintf("BAR at instr %d replaced by NOP", idx)
+}
+
+// StrideSites returns the indices of SHL-by-2 instructions — the
+// element-index-to-byte-offset scalings of 4-byte accesses, and the
+// candidate sites for the stride-perturbation injection. The LMI
+// pointer-tagging shifts use the extent-field width and never match.
+func StrideSites(p *isa.Program) []int {
+	var cands []int
+	for i := range p.Instrs {
+		if p.Instrs[i].Op == isa.SHL && p.Instrs[i].HasImm && p.Instrs[i].Imm == 2 {
+			cands = append(cands, i)
+		}
+	}
+	return cands
+}
+
+// PerturbStrideAt returns a copy of p with the SHL immediate at
+// instruction idx lowered from 2 to 1: a 4-byte-stride index set
+// becomes a 2-byte-stride one, so accesses that were provably disjoint
+// across threads now overlap.
+func PerturbStrideAt(p *isa.Program, idx int) *isa.Program {
+	q := cloneProgram(p)
+	q.Instrs[idx].Imm = 1
+	return q
+}
+
+// perturbStride halves one randomly chosen address-scaling shift. It
+// returns nil when the program has no SHL-by-2.
+func perturbStride(p *isa.Program, r *rng) (*isa.Program, string) {
+	cands := StrideSites(p)
+	if len(cands) == 0 {
+		return nil, ""
+	}
+	idx := cands[r.intn(len(cands))]
+	return PerturbStrideAt(p, idx), fmt.Sprintf("SHL imm 2 -> 1 on instr %d (stride collision)", idx)
+}
+
+// AtomicSharedSites returns the indices of ATOMS instructions — the
+// candidate sites for the atomic-demotion injection.
+func AtomicSharedSites(p *isa.Program) []int {
+	var cands []int
+	for i := range p.Instrs {
+		if p.Instrs[i].Op == isa.ATOMS {
+			cands = append(cands, i)
+		}
+	}
+	return cands
+}
+
+// DemoteAtomicAt returns a copy of p with the ATOMS at instruction idx
+// demoted to a plain STS: the read-modify-write loses its atomicity, so
+// updates that commuted under ATOMS become racing plain writes. ATOMS
+// and STS share the operand layout (Src[0] address, Src[1] data), so
+// only the opcode and the now-meaningless destination change.
+func DemoteAtomicAt(p *isa.Program, idx int) *isa.Program {
+	q := cloneProgram(p)
+	q.Instrs[idx].Op = isa.STS
+	q.Instrs[idx].Dst = isa.RZ
+	return q
+}
+
+// demoteAtomic demotes one randomly chosen shared-memory atomic. It
+// returns nil when the program has no ATOMS.
+func demoteAtomic(p *isa.Program, r *rng) (*isa.Program, string) {
+	cands := AtomicSharedSites(p)
+	if len(cands) == 0 {
+		return nil, ""
+	}
+	idx := cands[r.intn(len(cands))]
+	return DemoteAtomicAt(p, idx), fmt.Sprintf("ATOMS demoted to STS on instr %d", idx)
 }
 
 // StripNullification returns a copy of p with the SHL/SHR

@@ -1,0 +1,209 @@
+package chaos
+
+import (
+	"context"
+	"testing"
+
+	"lmi/internal/fastsim"
+	"lmi/internal/isa"
+	"lmi/internal/race"
+	"lmi/internal/sim"
+)
+
+// opPC returns the pc of the n-th (0-based) occurrence of op.
+func opPC(t *testing.T, p *isa.Program, op isa.Opcode, n int) int32 {
+	t.Helper()
+	seen := 0
+	for i := range p.Instrs {
+		if p.Instrs[i].Op == op {
+			if seen == n {
+				return int32(i)
+			}
+			seen++
+		}
+	}
+	t.Fatalf("occurrence %d of %s not found", n, op)
+	return -1
+}
+
+func pair(k sim.RaceKind, a, b int32) sim.RaceRecord {
+	if a > b {
+		a, b = b, a
+	}
+	return sim.RaceRecord{Kind: k, PC: a, OtherPC: b}
+}
+
+// launchRaceVictim runs a (possibly mutated) race victim with the
+// oracle armed on the given tier and returns its stats.
+func launchRaceVictim(t *testing.T, tier fastsim.Tier, p *isa.Program) *sim.KernelStats {
+	t.Helper()
+	cfg := TrialConfig(1)
+	cfg.RaceOracle = true
+	dev, err := sim.NewDevice(cfg, sim.Baseline{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := fastsim.LaunchTierCtx(context.Background(), tier, dev, p, 1, victimThreads, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Halted || len(st.Faults) > 0 {
+		t.Fatalf("race victim halted or faulted: halted=%v faults=%d", st.Halted, len(st.Faults))
+	}
+	return st
+}
+
+// TestRaceVictimPristineClean: the unmutated race victim must be proved
+// race- and divergence-free by the static analyzer AND observed
+// race-free by the dynamic oracle on both tiers, for every mechanism's
+// compilation of it. This is the baseline that makes the injected
+// mutations attributable.
+func TestRaceVictimPristineClean(t *testing.T) {
+	inj, err := NewInjector(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mech := range inj.Mechanisms() {
+		p := inj.progs[mech].race
+		res := race.Analyze(p, raceContract(), nil)
+		if !res.Converged || !res.Clean() {
+			t.Errorf("%s: pristine victim not statically clean: converged=%v diags=%+v",
+				mech, res.Converged, res.Diags)
+		}
+		if res.SharedAccesses < 3 {
+			t.Errorf("%s: victim summarizes %d shared accesses, want >= 3 (STS, LDS, ATOMS)",
+				mech, res.SharedAccesses)
+		}
+		for _, tier := range []fastsim.Tier{fastsim.TierCycle, fastsim.TierCompiled} {
+			st := launchRaceVictim(t, tier, p)
+			if len(st.Races) != 0 {
+				t.Errorf("%s/%v: pristine victim raced dynamically: %v", mech, tier, st.Races)
+			}
+			if st.SharedShadowed == 0 {
+				t.Errorf("%s/%v: oracle shadowed no shared accesses", mech, tier)
+			}
+		}
+	}
+}
+
+// TestRaceKindsExactPinning exhausts every deterministic injection site
+// of every race kind and requires the static analyzer and the dynamic
+// oracle (on both tiers) to report exactly the same conflict pairs —
+// and requires those pairs to be the closed-form expectation derived
+// from the victim's shape, pinned to the mutated instructions.
+func TestRaceKindsExactPinning(t *testing.T) {
+	inj, err := NewInjector([]string{"lmi"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := inj.progs["lmi"].race
+	sts := opPC(t, p, isa.STS, 0)
+	lds := opPC(t, p, isa.LDS, 0)
+	atoms := opPC(t, p, isa.ATOMS, 0)
+
+	type site struct {
+		name string
+		prog *isa.Program
+		want []sim.RaceRecord
+	}
+	var sites []site
+
+	bars := BarrierSites(p)
+	if len(bars) != 1 {
+		t.Fatalf("race victim has %d unpredicated BARs, want exactly 1", len(bars))
+	}
+	// Dropping the barrier collapses the phases: the neighbour exchange
+	// races read-write, and thread 0's seed store collides with the
+	// atomic accumulator at sh[0].
+	sites = append(sites, site{
+		name: "drop-bar",
+		prog: DropBarrierAt(p, bars[0]),
+		want: []sim.RaceRecord{pair(sim.RaceRW, sts, lds), pair(sim.RaceAW, sts, atoms)},
+	})
+
+	strides := StrideSites(p)
+	if len(strides) != 2 {
+		t.Fatalf("race victim has %d SHL-by-2 sites, want exactly 2 (STS and LDS scaling)", len(strides))
+	}
+	for _, s := range strides {
+		if int32(s) < sts {
+			// Halving the store stride makes adjacent threads' 4-byte
+			// stores overlap: a write-write self-race at the STS.
+			sites = append(sites, site{
+				name: "stride-sts",
+				prog: PerturbStrideAt(p, s),
+				want: []sim.RaceRecord{pair(sim.RaceWW, sts, sts)},
+			})
+		} else {
+			// Halving the load stride drags thread 0's neighbour read
+			// onto the atomic accumulator's word.
+			sites = append(sites, site{
+				name: "stride-lds",
+				prog: PerturbStrideAt(p, s),
+				want: []sim.RaceRecord{pair(sim.RaceRW, lds, atoms)},
+			})
+		}
+	}
+
+	ats := AtomicSharedSites(p)
+	if len(ats) != 1 {
+		t.Fatalf("race victim has %d ATOMS sites, want exactly 1", len(ats))
+	}
+	// Demoted to a plain store, the accumulator updates race
+	// write-write against themselves at the demoted instruction.
+	sites = append(sites, site{
+		name: "demote-atoms",
+		prog: DemoteAtomicAt(p, ats[0]),
+		want: []sim.RaceRecord{pair(sim.RaceWW, atoms, atoms)},
+	})
+
+	for _, s := range sites {
+		got, err := staticRaceRecords(s.prog)
+		if err != nil {
+			t.Errorf("%s: static analysis: %v", s.name, err)
+			continue
+		}
+		if !raceRecordsEqual(got, s.want) {
+			t.Errorf("%s: static findings %s, want %s",
+				s.name, formatRaceRecords(got), formatRaceRecords(s.want))
+		}
+		for _, tier := range []fastsim.Tier{fastsim.TierCycle, fastsim.TierCompiled} {
+			st := launchRaceVictim(t, tier, s.prog)
+			if !raceRecordsEqual(st.Races, s.want) {
+				t.Errorf("%s/%v: oracle findings %s, want %s",
+					s.name, tier, formatRaceRecords(st.Races), formatRaceRecords(s.want))
+			}
+		}
+	}
+}
+
+// TestRaceTrialOutcomes: through the injector's own trial path, every
+// race kind on every mechanism must come back Detected — the static
+// pass and the oracle agreeing on at least one planted pair — for
+// several seeds, on both tiers.
+func TestRaceTrialOutcomes(t *testing.T) {
+	ctx := context.Background()
+	cfg := TrialConfig(1)
+	for _, tier := range []fastsim.Tier{fastsim.TierCycle, fastsim.TierCompiled} {
+		inj, err := NewInjector(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inj.Tier = tier
+		for _, mech := range inj.Mechanisms() {
+			for _, kind := range raceKinds() {
+				for rep := 0; rep < 3; rep++ {
+					seed := MixSeed(0xACE5, uint64(rep))
+					tr, err := inj.RunTrial(ctx, mech, kind, seed, cfg)
+					if err != nil {
+						t.Fatalf("%s/%s: %v", mech, kind, err)
+					}
+					if tr.Outcome != OutcomeDetected {
+						t.Errorf("%s/%s/%v seed=%#x: outcome %s, want detected: %s",
+							mech, kind, tier, seed, tr.Outcome, tr.Detail)
+					}
+				}
+			}
+		}
+	}
+}

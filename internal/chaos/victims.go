@@ -57,6 +57,28 @@ func oobKernel() *ir.Func {
 	return b.Finalize()
 }
 
+// raceKernel is the synchronization victim: a barrier-separated
+// neighbour exchange over shared memory. Phase one stores sh[tid],
+// phase two reads sh[tid+1] and folds the value into an atomic
+// accumulator at sh[0]. The pristine kernel is provably race-free (the
+// static analyzer and the dynamic oracle both agree), and each
+// race-injection kind breaks exactly one of its synchronization
+// invariants: dropping the BAR collapses the two phases into one epoch,
+// perturbing a stride shift makes disjoint index sets collide, and
+// demoting the ATOMS to a plain STS turns commuting updates into
+// write-write conflicts. Every candidate site of every kind produces at
+// least one race pair with statically known instruction addresses.
+func raceKernel() *ir.Func {
+	b := ir.NewBuilder("chaos_race")
+	sh := b.Shared((victimThreads + 1) * 4)
+	tid := b.TID()
+	b.Store(b.GEP(sh, tid, 4, 0), tid, 0)
+	b.Barrier()
+	v := b.Load(ir.I32, b.GEP(sh, b.Add(tid, b.ConstI(ir.I32, 1)), 4, 0), 0)
+	b.AtomicAdd(sh, v, 0)
+	return b.Finalize()
+}
+
 // streamInput is the host image of the stream victim's input buffer:
 // 32-bit word j holds j.
 func streamInput() []byte {

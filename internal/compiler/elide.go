@@ -11,8 +11,10 @@ import (
 // CompileElided compiles a kernel under ModeLMI with static extent-check
 // elision: the bounds analysis classifies every checkable access under
 // the launch contract, a proven-out-of-bounds access aborts compilation
-// with a positioned diagnostic, and every proven-in-bounds LDG/STG/LDL/STL
-// gets the E microcode hint so the LSU skips its extent check.
+// with a positioned diagnostic, and every proven-in-bounds
+// LDG/STG/LDL/STL/ATOMG gets the E microcode hint so the LSU skips its
+// extent check. (ATOMS is shared-memory and never extent-checked, so it
+// carries no hint — parity with STS.)
 //
 // Plain Compile/CompileWithSourceMap are deliberately untouched: callers
 // that need byte-identical unelided programs (chaos victims, the
@@ -42,12 +44,13 @@ func CompileElidedWithSourceMap(f *ir.Func, c bounds.Contract) (*isa.Program, []
 	for i := range p.Instrs {
 		in := &p.Instrs[i]
 		switch in.Op {
-		case isa.LDG, isa.STG, isa.LDL, isa.STL:
+		case isa.LDG, isa.STG, isa.LDL, isa.STL, isa.ATOMG:
 		default:
 			continue
 		}
-		// OpLoad/OpStore lower to exactly one memory instruction, so the
-		// (block, index) provenance identifies the access uniquely.
+		// OpLoad/OpStore/OpAtomicAdd lower to exactly one memory
+		// instruction, so the (block, index) provenance identifies the
+		// access uniquely.
 		loc := src[i]
 		if loc.Block >= 0 && res.Proven(loc.Block, loc.Index) {
 			in.Hint.E = true

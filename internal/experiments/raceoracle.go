@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"lmi/internal/fastsim"
+	"lmi/internal/runner"
+	"lmi/internal/sim"
+	"lmi/internal/stats"
+	"lmi/internal/workloads"
+)
+
+// RaceOracleRow is one (benchmark, variant) cell of the race-oracle
+// overhead sweep: the Fig. 12 job run twice, with the dynamic
+// shared-memory race oracle off and armed. The oracle is a pure
+// observer in the timing model — shadowing happens outside the
+// simulated pipeline — so the armed run must reproduce the exact cycle
+// count of the plain run, and on the statically-proven-race-free corpus
+// it must report zero races. What it does cost is bookkeeping per
+// shared lane access, reported as SharedShadowed.
+type RaceOracleRow struct {
+	Name    string `json:"name"`
+	Suite   string `json:"suite"`
+	Variant string `json:"variant"`
+	// Cycles is the simulated execution time, identical with the oracle
+	// off and on (asserted by the sweep).
+	Cycles uint64 `json:"cycles"`
+	// SharedShadowed counts the shared-memory lane accesses the armed
+	// oracle shadowed — its bookkeeping volume for this run.
+	SharedShadowed uint64 `json:"shared_shadowed"`
+	// Races is the armed oracle's finding count; 0 across the shipped
+	// corpus.
+	Races int `json:"races"`
+}
+
+// RaceOracleResult is the full race-oracle overhead sweep. Its JSON
+// form carries no wall-clock data: for a given tier and config it is
+// byte-identical across runs and worker counts.
+type RaceOracleResult struct {
+	Sweep string          `json:"sweep"`
+	Tier  string          `json:"tier"`
+	Rows  []RaceOracleRow `json:"rows"`
+	// Reports are the off/on sweeps' per-run timing reports (not part
+	// of the JSON artifact).
+	Reports []*runner.Report `json:"-"`
+}
+
+// Fig12RaceOracleJobsTier runs the Fig. 12 sweep twice on the given
+// tier — race oracle off, then armed — and cross-checks the two: any
+// cycle-count perturbation by the oracle, any dynamic race on the
+// statically-proven corpus, or any armed run that shadowed nothing on a
+// shared-memory workload is an error.
+func Fig12RaceOracleJobsTier(cfg sim.Config, workers int, tier fastsim.Tier) (*RaceOracleResult, error) {
+	specs := workloads.All()
+	offCfg, onCfg := cfg, cfg
+	offCfg.RaceOracle = false
+	onCfg.RaceOracle = true
+	var offJobs, onJobs []runner.Job
+	for _, s := range specs {
+		for _, v := range fig12Variants {
+			offJobs = append(offJobs, runner.Job{Spec: s, Variant: v, Config: offCfg, Tier: tier})
+			onJobs = append(onJobs, runner.Job{Spec: s, Variant: v, Config: onCfg, Tier: tier})
+		}
+	}
+	res := &RaceOracleResult{Sweep: "fig12-raceoracle", Tier: tier.String()}
+	offRep := runner.RunNamed("fig12-raceoracle-off", offJobs, workers)
+	res.Reports = append(res.Reports, offRep)
+	offSts, err := offRep.Stats()
+	if err != nil {
+		return res, err
+	}
+	onRep := runner.RunNamed("fig12-raceoracle-on", onJobs, workers)
+	res.Reports = append(res.Reports, onRep)
+	onSts, err := onRep.Stats()
+	if err != nil {
+		return res, err
+	}
+	shadowed := uint64(0)
+	for i := range offJobs {
+		name := offJobs[i].Name()
+		off, on := offSts[i], onSts[i]
+		if off.Cycles != on.Cycles {
+			return res, fmt.Errorf("%s: race oracle perturbed the timing model: %d cycles off, %d armed",
+				name, off.Cycles, on.Cycles)
+		}
+		if len(on.Races) != 0 {
+			return res, fmt.Errorf("%s: %d dynamic race(s) on the statically-proven-race-free corpus: %v",
+				name, len(on.Races), on.Races)
+		}
+		if off.SharedShadowed != 0 {
+			return res, fmt.Errorf("%s: disarmed oracle shadowed %d accesses", name, off.SharedShadowed)
+		}
+		shadowed += on.SharedShadowed
+		res.Rows = append(res.Rows, RaceOracleRow{
+			Name: offJobs[i].Spec.Name, Suite: offJobs[i].Spec.Suite,
+			Variant: offJobs[i].Variant.String(),
+			Cycles:  on.Cycles, SharedShadowed: on.SharedShadowed,
+		})
+	}
+	if shadowed == 0 {
+		return res, fmt.Errorf("armed oracle shadowed nothing across the whole sweep; the overhead measurement is vacuous")
+	}
+	return res, nil
+}
+
+// Table renders the sweep for the terminal (deterministic: no
+// wall-clock columns).
+func (r *RaceOracleResult) Table() string {
+	t := stats.NewTable("fig12-raceoracle ("+r.Tier+" tier)",
+		"benchmark", "variant", "cycles", "shared-shadowed", "races")
+	for _, row := range r.Rows {
+		t.AddRowf(0, row.Name, row.Variant, row.Cycles, row.SharedShadowed, row.Races)
+	}
+	return t.String()
+}
+
+// WriteJSON writes the deterministic artifact: for a given tier and
+// config the bytes are identical across runs and worker counts (no
+// wall-clock data, fixed row order).
+func (r *RaceOracleResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

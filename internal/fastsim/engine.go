@@ -104,6 +104,13 @@ type engine struct {
 	halted bool
 	runErr error
 
+	// race is the launch's dynamic race oracle and shadow the current
+	// block's per-epoch state (nil when Config.RaceOracle is off).
+	// Closures are cached across launches, so the memory closure branches
+	// on shadow at run time rather than compile time.
+	race   *sim.RaceOracle
+	shadow *sim.BlockShadow
+
 	noProg    uint64 // watchdog no-progress bound (instructions)
 	maxInstrs uint64 // per-warp instruction budget (MaxCycles analogue)
 	tick      uint64 // global instruction counter for ctx polling
@@ -189,6 +196,9 @@ func (c *Compiled) Launch2DCtx(ctx context.Context, dev *sim.Device, gridX, grid
 		smTime:   make([]uint64, dev.Cfg.NumSMs),
 	}
 	e.stats.MemInstrs = make(map[isa.Opcode]uint64)
+	if dev.Cfg.RaceOracle {
+		e.race = sim.NewRaceOracle()
+	}
 
 	for ctaid := 0; ctaid < gridDim; ctaid++ {
 		e.runBlock(ctaid)
@@ -206,6 +216,10 @@ func (c *Compiled) Launch2DCtx(ctx context.Context, dev *sim.Device, gridX, grid
 		}
 	}
 	out.Halted = e.halted
+	if e.race != nil {
+		out.Races = e.race.Records()
+		out.SharedShadowed = e.race.Shadowed()
+	}
 	for _, t := range e.smTime {
 		if t > out.Cycles {
 			out.Cycles = t
@@ -228,6 +242,9 @@ func (e *engine) runBlock(ctaid int) {
 		numRegs = 8
 	}
 	shared := mem.NewAddrSpace()
+	if e.race != nil {
+		e.shadow = e.race.NewBlockShadow()
+	}
 	warps := make([]*fwarp, 0, wpb)
 	for wi := 0; wi < wpb; wi++ {
 		lanes := e.bdim - wi*32
@@ -276,6 +293,13 @@ func (e *engine) runBlock(ctaid int) {
 				w.sinceProg = 0
 			}
 		}
+		if e.shadow != nil {
+			e.shadow.EpochEnd()
+		}
+	}
+	if e.shadow != nil {
+		e.shadow.EpochEnd()
+		e.shadow = nil
 	}
 
 	// Block retired: fold its time estimate into its SM's timeline.

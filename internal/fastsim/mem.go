@@ -131,6 +131,16 @@ func (cc *compiler) memClosure(in *isa.Instr, pc int, g guardFn) opFn {
 	dst := in.Dst
 	signExt := in.SignExtend() && size == 4
 	hintE := in.Hint.E
+	// Race-oracle access class, resolved at compile time; whether the
+	// oracle is armed is a per-launch runtime decision (closures are
+	// cached across launches).
+	shadowed := space == isa.SpaceShared
+	raceKind := sim.RaceRead
+	if op == isa.ATOMS {
+		raceKind = sim.RaceAtomic
+	} else if isStore {
+		raceKind = sim.RaceWrite
+	}
 
 	return func(e *engine, w *fwarp, active uint32) uint32 {
 		exec := g(w, active)
@@ -207,6 +217,9 @@ func (cc *compiler) memClosure(in *isa.Instr, pc int, g guardFn) opFn {
 			}
 			if trace {
 				e.traceEv.Addrs = append(e.traceEv.Addrs, eff)
+			}
+			if shadowed && e.shadow != nil {
+				e.shadow.Record(pc, w.warpIdx*32+lane, raceKind, eff, size)
 			}
 
 			// Functional access (mirrors the cycle simulator's LSU).

@@ -54,9 +54,11 @@ func TestFleetSoakSeedSensitivity(t *testing.T) {
 
 // TestFleetSoakKillsFire: with multiple shards the scripted plan must
 // contain kills, the kills must land (per-shard counters), and shard
-// death must actually displace work.
+// death must actually displace work. The seed is re-pinned whenever
+// the chaos kind set grows (the stream generator draws kinds by
+// index) to one whose kill windows still catch requests in flight.
 func TestFleetSoakKillsFire(t *testing.T) {
-	rep, _, _ := runSoak(t, SoakConfig{Seed: 7, Requests: 1200, Shards: 4})
+	rep, _, _ := runSoak(t, SoakConfig{Seed: 18, Requests: 1200, Shards: 4})
 	kills, rejoins, bursts := 0, 0, 0
 	for _, f := range rep.Plan {
 		switch f.Kind {

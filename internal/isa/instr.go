@@ -276,7 +276,7 @@ func (in *Instr) Validate() error {
 	}
 	if in.Hint.E {
 		switch in.Op {
-		case LDG, STG, LDL, STL:
+		case LDG, STG, LDL, STL, ATOMG:
 		default:
 			return fmt.Errorf("isa: %s: elide hint on non-checkable memory instruction", in.Op)
 		}

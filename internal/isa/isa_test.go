@@ -124,7 +124,7 @@ func TestMicrocodeHintBitPositions(t *testing.T) {
 func TestMicrocodeElideBit(t *testing.T) {
 	// The E hint must land at exactly bit 29, inside the reserved field,
 	// and round-trip through encode/decode on every checkable memory op.
-	for _, op := range []Opcode{LDG, STG, LDL, STL} {
+	for _, op := range []Opcode{LDG, STG, LDL, STL, ATOMG} {
 		in := Instr{Op: op, Dst: 1, Src: [3]Reg{2, 3, RZ}, Aux: 2, Pred: PT,
 			Hint: Hint{E: true}}
 		if op.IsStore() {
@@ -148,9 +148,10 @@ func TestMicrocodeElideBit(t *testing.T) {
 			t.Errorf("%s: E round trip mismatch:\n in=%+v\nout=%+v", op, in, out)
 		}
 	}
-	// E is illegal outside LDG/STG/LDL/STL: shared and constant accesses
-	// have no extent check to elide, and ALU ops have no check at all.
-	for _, op := range []Opcode{LDS, STS, LDC, ATOMG, IADD, MOV} {
+	// E is illegal outside LDG/STG/LDL/STL/ATOMG: shared and constant
+	// accesses have no extent check to elide, and ALU ops have no check
+	// at all.
+	for _, op := range []Opcode{LDS, STS, LDC, ATOMS, IADD, MOV} {
 		in := Instr{Op: op, Dst: 1, Src: [3]Reg{2, 3, RZ}, Aux: 2, Pred: PT,
 			Hint: Hint{E: true}}
 		if err := in.Validate(); err == nil {

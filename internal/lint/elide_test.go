@@ -122,6 +122,97 @@ func TestJudgeOverflowRejects(t *testing.T) {
 	}
 }
 
+// atomicVictim exercises the atomics parity path: a clamped-index global
+// ATOMG (provable under a count contract, the workloads' Min(idx, n-1)
+// route) plus a shared ATOMS, which carries no extent check and must
+// never be an elide candidate.
+func atomicVictim() *ir.Func {
+	b := ir.NewBuilder("lint_atomic_victim")
+	out := b.Param(ir.PtrGlobal)
+	n := b.Param(ir.I32)
+	gtid := b.GlobalTID()
+	one := b.ConstI(ir.I32, 1)
+	idx := b.Min(gtid, b.Sub(n, one))
+	sh := b.Shared(256)
+	b.AtomicAdd(b.GEP(sh, b.And(gtid, b.ConstI(ir.I32, 63)), 4, 0), one, 0)
+	b.AtomicAdd(b.GEP(out, idx, 4, 0), one, 0)
+	return b.MustFinish()
+}
+
+// TestAtomicElideGolden is the atomics-parity golden case: the elided
+// compile must prove and elide the contract-bounded global ATOMG exactly
+// as it would the equivalent STG, the shared ATOMS must stay hint-free,
+// and the audit must justify the planted bit from its own dataflow.
+func TestAtomicElideGolden(t *testing.T) {
+	f := atomicVictim()
+	c := bounds.Contract{CountParam: 1, CountMin: 1, CountMax: 1 << 20,
+		PtrBytesPerCount: 4, BlockDimX: 64, GridDimX: 4}
+	p, _, _, err := compiler.CompileElidedWithSourceMap(f, c)
+	if err != nil {
+		t.Fatalf("elided compile: %v", err)
+	}
+	var atomg, atoms = -1, -1
+	for i := range p.Instrs {
+		switch p.Instrs[i].Op {
+		case isa.ATOMG:
+			atomg = i
+		case isa.ATOMS:
+			atoms = i
+		}
+	}
+	if atomg < 0 || atoms < 0 {
+		t.Fatalf("victim lowering lost its atomics (ATOMG at %d, ATOMS at %d)", atomg, atoms)
+	}
+	if !p.Instrs[atomg].Hint.E {
+		t.Errorf("contract-proven global ATOMG at instr %d not elided", atomg)
+	}
+	if p.Instrs[atoms].Hint.E {
+		t.Errorf("shared ATOMS at instr %d carries an E hint (never extent-checked)", atoms)
+	}
+	if diags := ElideAudit(p, c); len(diags) != 0 {
+		t.Errorf("audit rejects the compiler's atomic elision: %v", diags)
+	}
+}
+
+// TestAtomicSpuriousElidePinned is the atomics-parity negative case:
+// with no count contract nothing justifies an E bit, so a spurious elide
+// planted on the ATOMG (now an ElideSites candidate, same as STG) must
+// be pinned by the audit, and a plant on the ATOMS must be rejected by
+// program validation itself — shared atomics are not checkable.
+func TestAtomicSpuriousElidePinned(t *testing.T) {
+	p, _ := compileLMI(t, atomicVictim())
+	var atomg, atoms = -1, -1
+	for i := range p.Instrs {
+		switch p.Instrs[i].Op {
+		case isa.ATOMG:
+			atomg = i
+		case isa.ATOMS:
+			atoms = i
+		}
+	}
+	sites := chaos.ElideSites(p)
+	foundAtomg := false
+	for _, idx := range sites {
+		if idx == atomg {
+			foundAtomg = true
+		}
+		if idx == atoms {
+			t.Errorf("ElideSites offered the shared ATOMS at instr %d", idx)
+		}
+	}
+	if !foundAtomg {
+		t.Fatalf("ElideSites skipped the global ATOMG at instr %d (sites %v)", atomg, sites)
+	}
+	q := chaos.PlantSpuriousElideAt(p, atomg)
+	if !hasDiag(ElideAudit(q, bounds.Contract{}), KindUnsoundElide, atomg) {
+		t.Errorf("spurious E on ATOMG at instr %d not pinned", atomg)
+	}
+	bad := chaos.PlantSpuriousElideAt(p, atoms)
+	if err := bad.Validate(); err == nil {
+		t.Error("program validation accepted an E hint on ATOMS")
+	}
+}
+
 // oobVictim mirrors the chaos engine's spatial-violation victim: thread
 // 0 stores one word past the 1 KiB buffer while every other thread
 // stores in bounds.

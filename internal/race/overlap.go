@@ -1,0 +1,522 @@
+package race
+
+// The overlap decision: given two same-phase shared accesses A and B,
+// can two DISTINCT threads (t1 executing A, t2 executing B) touch
+// overlapping bytes? "Distinct" is case-split into four delta regions
+// over (dx, dy) = (t1.x - t2.x, t1.y - t2.y), and each region must be
+// refuted by one of two independent engines:
+//
+//  1. Matched-structure enumeration: when A and B have identical
+//     thread/symbol coefficients, the shared symbols cancel exactly and
+//     the address difference is D = cx*dx + cy*dy + dc with dc bounded
+//     by the residual intervals and a congruence. Enumerating the
+//     (bounded) delta region decides overlap exactly under those
+//     constraints — including the congruence reasoning interval
+//     methods cannot express (grid-stride seeding loops) and the
+//     lattice-point reasoning rational methods cannot express (matmul
+//     row/column strides where D = 4dx + 32dy has rational but no
+//     integral zeros in range).
+//
+//  2. Fourier-Motzkin elimination: the fully relational fallback. The
+//     renamed path constraints of both threads (guards like tid <
+//     stride), the variable boxes, the delta-region bounds, and the
+//     overlap window on D form a linear system; rational infeasibility
+//     (which FM decides) implies integer infeasibility, so an
+//     infeasible system proves the region clean. Symbols are shared
+//     between the two threads — sound precisely because the pair
+//     executes in one barrier phase and phase constants are equal
+//     across the block.
+//
+// Either engine refuting every region proves the pair race-free; if
+// both are inconclusive for some region, the pair is reported.
+
+import "lmi/internal/bounds"
+
+// dreg is one delta region: bounds on (t1 - t2) thread coordinates.
+type dreg struct {
+	dxLo, dxHi int64
+	dyLo, dyHi int64
+}
+
+func deltaRegions(bx, by int64) []dreg {
+	var out []dreg
+	if bx > 1 {
+		out = append(out,
+			dreg{1, bx - 1, -(by - 1), by - 1},
+			dreg{-(bx - 1), -1, -(by - 1), by - 1})
+	}
+	if by > 1 {
+		out = append(out,
+			dreg{0, 0, 1, by - 1},
+			dreg{0, 0, -(by - 1), -1})
+	}
+	return out
+}
+
+// overlapPossible reports whether some pair of distinct threads can
+// overlap in accesses a and b. It only ever errs toward true.
+func (ax *analysis) overlapPossible(a, b *access) bool {
+	regions := deltaRegions(ax.bx, ax.by)
+	if len(regions) == 0 {
+		return false // single-thread blocks cannot race
+	}
+	matched := a.rv.k == rkVal && b.rv.k == rkVal &&
+		a.rv.cx == b.rv.cx && a.rv.cy == b.rv.cy &&
+		termsEqual(a.rv.terms, b.rv.terms)
+	for _, rg := range regions {
+		if matched && ax.enumClean(a, b, rg) {
+			continue
+		}
+		if ax.fmClean(a, b, rg) {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// enumCap bounds the delta-region enumeration (1024x64 and 32x32
+// blocks fit; anything larger falls through to FM).
+const enumCap = 1 << 16
+
+// enumClean decides a matched-structure pair over one delta region by
+// exhaustive enumeration of (dx, dy): for each delta the residual
+// difference dc must land in the overlap window AND in the residual
+// interval difference AND on the residual congruence. No admissible dc
+// anywhere means the region is clean.
+func (ax *analysis) enumClean(a, b *access, rg dreg) bool {
+	nx, ny := rg.dxHi-rg.dxLo+1, rg.dyHi-rg.dyLo+1
+	if nx <= 0 || ny <= 0 {
+		return true
+	}
+	if nx*ny > enumCap {
+		return false
+	}
+	ivd := a.rv.iv.Sub(b.rv.iv)
+	bm, br := congScale(b.rv.m, b.rv.r, -1)
+	g, rd := congAdd(a.rv.m, a.rv.r, bm, br)
+	for dx := rg.dxLo; dx <= rg.dxHi; dx++ {
+		for dy := rg.dyLo; dy <= rg.dyHi; dy++ {
+			ax1, ok1 := ckMul(a.rv.cx, dx)
+			ax2, ok2 := ckMul(a.rv.cy, dy)
+			if !ok1 || !ok2 {
+				return false
+			}
+			aff, ok3 := ckAdd(ax1, ax2)
+			if !ok3 {
+				return false
+			}
+			// Overlap window: D = aff + dc in [1-sizeB, sizeA-1].
+			win := bounds.Interval{Lo: 1 - b.size, Hi: a.size - 1}.AddConst(-aff)
+			lo, hi := win.Lo, win.Hi
+			if ivd.Lo > lo {
+				lo = ivd.Lo
+			}
+			if ivd.Hi < hi {
+				hi = ivd.Hi
+			}
+			if lo > hi {
+				continue
+			}
+			if congWitness(g, rd, lo, hi) {
+				return false // this delta admits an overlap
+			}
+		}
+	}
+	return true
+}
+
+// congWitness reports whether [lo, hi] contains an integer congruent
+// to rd modulo g (g == 0: exactly rd; g == 1: any integer).
+func congWitness(g, rd, lo, hi int64) bool {
+	if lo > hi {
+		return false
+	}
+	if g == 0 {
+		return rd >= lo && rd <= hi
+	}
+	if g == 1 {
+		return true
+	}
+	if lo <= negInf+1 || hi >= posInf-1 {
+		return true // saturated bounds: assume a witness
+	}
+	rr := mod(rd, g)
+	// Smallest value >= lo congruent to rr (mod g).
+	k := rr + g*ceilDiv(lo-rr, g)
+	return k <= hi
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+func ceilDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) == (b < 0) {
+		q++
+	}
+	return q
+}
+
+// --- Fourier-Motzkin ---
+
+// FM-local variable indices; symbols are appended from fmLocalBase.
+const (
+	fmX1 int32 = iota
+	fmY1
+	fmX2
+	fmY2
+	fmC1
+	fmC2
+	fmLocalBase
+)
+
+// fmCap bounds the constraint-set blowup; exceeding it makes the check
+// inconclusive (never unsound).
+const fmCap = 512
+
+type fmCon struct {
+	ts []term // sorted by v, nonzero coefs; sum(coef*v) <= c
+	c  int64
+}
+
+type fmBuilder struct {
+	ax    *analysis
+	cons  []fmCon
+	local map[int32]int32
+	next  int32
+	bad   bool // checked-arithmetic overflow: give up, report inconclusive
+}
+
+func (fb *fmBuilder) sym(v int32) int32 {
+	if id, ok := fb.local[v]; ok {
+		return id
+	}
+	id := fb.next
+	fb.next++
+	fb.local[v] = id
+	return id
+}
+
+// add normalizes and appends sum(coef*var) <= c.
+func (fb *fmBuilder) add(ts []term, c int64) {
+	nc, ok := normalizeCon(fmCon{ts: ts, c: c})
+	if !ok {
+		fb.bad = true
+		return
+	}
+	if len(nc.ts) == 0 && nc.c >= 0 {
+		return // trivially true
+	}
+	fb.cons = append(fb.cons, nc)
+}
+
+func (fb *fmBuilder) box(v int32, iv bounds.Interval) {
+	if iv.Hi < posInf {
+		fb.add([]term{{v: v, coef: 1}}, iv.Hi)
+	}
+	if iv.Lo > negInf {
+		fb.add([]term{{v: v, coef: -1}}, -iv.Lo)
+	}
+}
+
+// renameCon maps a path constraint (over tids/symbols) into FM-local
+// variables for one of the two threads.
+func (fb *fmBuilder) renameCon(c lincon, x, y int32) {
+	ts := make([]term, 0, len(c.ts))
+	for _, t := range c.ts {
+		switch t.v {
+		case varTidX:
+			ts = append(ts, term{v: x, coef: t.coef})
+		case varTidY:
+			ts = append(ts, term{v: y, coef: t.coef})
+		default:
+			ts = append(ts, term{v: fb.sym(t.v), coef: t.coef})
+		}
+	}
+	sortTerms(ts)
+	fb.add(ts, c.c)
+}
+
+func sortTerms(ts []term) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j].v < ts[j-1].v; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}
+
+// normalizeCon divides by the gcd of the coefficients with floor
+// division on the constant — the integer-strengthening step that makes
+// FM slightly sharper than pure rational reasoning.
+func normalizeCon(c fmCon) (fmCon, bool) {
+	if len(c.ts) == 0 {
+		return c, true
+	}
+	g := int64(0)
+	for _, t := range c.ts {
+		a, ok := absCk(t.coef)
+		if !ok {
+			return c, false
+		}
+		g = gcd64(g, a)
+	}
+	if g > 1 {
+		ts := make([]term, len(c.ts))
+		for i, t := range c.ts {
+			ts[i] = term{v: t.v, coef: t.coef / g}
+		}
+		c = fmCon{ts: ts, c: floorDiv(c.c, g)}
+	}
+	return c, true
+}
+
+// fmClean proves one delta region infeasible (hence clean) by
+// Fourier-Motzkin elimination over the combined linear system.
+func (ax *analysis) fmClean(a, b *access, rg dreg) bool {
+	if a.rv.k != rkVal || b.rv.k != rkVal {
+		return false
+	}
+	fb := &fmBuilder{ax: ax, local: map[int32]int32{}, next: fmLocalBase}
+
+	// D = addr1(A) - addr2(B) as FM terms; shared symbols combine.
+	coef := map[int32]int64{}
+	acc := func(v int32, c int64) {
+		s, ok := ckAdd(coef[v], c)
+		if !ok {
+			fb.bad = true
+			return
+		}
+		coef[v] = s
+	}
+	acc(fmX1, a.rv.cx)
+	acc(fmY1, a.rv.cy)
+	acc(fmC1, 1)
+	for _, t := range a.rv.terms {
+		acc(fb.sym(t.v), t.coef)
+	}
+	acc(fmX2, -b.rv.cx)
+	acc(fmY2, -b.rv.cy)
+	acc(fmC2, -1)
+	for _, t := range b.rv.terms {
+		c, ok := ckMul(t.coef, -1)
+		if !ok {
+			fb.bad = true
+			break
+		}
+		acc(fb.sym(t.v), c)
+	}
+	if fb.bad {
+		return false
+	}
+	var dts []term
+	for v, c := range coef {
+		if c != 0 {
+			dts = append(dts, term{v: v, coef: c})
+		}
+	}
+	sortTerms(dts)
+	ndts := make([]term, len(dts))
+	for i, t := range dts {
+		c, ok := ckMul(t.coef, -1)
+		if !ok {
+			return false
+		}
+		ndts[i] = term{v: t.v, coef: c}
+	}
+	// Overlap window: D <= sizeA-1 and -D <= sizeB-1.
+	fb.add(dts, a.size-1)
+	fb.add(ndts, b.size-1)
+
+	// Delta region: dxLo <= x1-x2 <= dxHi, same in y.
+	fb.add([]term{{v: fmX1, coef: -1}, {v: fmX2, coef: 1}}, -rg.dxLo)
+	fb.add([]term{{v: fmX1, coef: 1}, {v: fmX2, coef: -1}}, rg.dxHi)
+	fb.add([]term{{v: fmY1, coef: -1}, {v: fmY2, coef: 1}}, -rg.dyLo)
+	fb.add([]term{{v: fmY1, coef: 1}, {v: fmY2, coef: -1}}, rg.dyHi)
+
+	// Path constraints of each thread.
+	for _, c := range a.cons {
+		fb.renameCon(c, fmX1, fmY1)
+	}
+	for _, c := range b.cons {
+		fb.renameCon(c, fmX2, fmY2)
+	}
+
+	// Variable boxes (after renames so all symbols are registered).
+	tb := bounds.Interval{Lo: 0, Hi: ax.bx - 1}
+	ty := bounds.Interval{Lo: 0, Hi: ax.by - 1}
+	fb.box(fmX1, tb)
+	fb.box(fmX2, tb)
+	fb.box(fmY1, ty)
+	fb.box(fmY2, ty)
+	fb.box(fmC1, a.rv.iv)
+	fb.box(fmC2, b.rv.iv)
+	for vid, id := range fb.local {
+		fb.box(id, ax.varRange(vid))
+	}
+	if fb.bad {
+		return false
+	}
+	return fmInfeasible(fb.cons, fb.next)
+}
+
+// fmInfeasible runs the elimination. True means the rational system
+// has no solution (so the integer one has none either).
+func fmInfeasible(cons []fmCon, nvars int32) bool {
+	for {
+		// Constant contradictions end the search; trivial and duplicate
+		// constraints are dropped.
+		kept := cons[:0]
+		seen := map[string]bool{}
+		for _, c := range cons {
+			if len(c.ts) == 0 {
+				if c.c < 0 {
+					return true
+				}
+				continue
+			}
+			k := conKey(c)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			kept = append(kept, c)
+		}
+		cons = kept
+
+		// Pick the variable with the fewest upper*lower products.
+		bestV, bestCost := int32(-1), int64(-1)
+		for v := int32(0); v < nvars; v++ {
+			up, lo, present := 0, 0, false
+			for _, c := range cons {
+				for _, t := range c.ts {
+					if t.v == v {
+						present = true
+						if t.coef > 0 {
+							up++
+						} else {
+							lo++
+						}
+					}
+				}
+			}
+			if !present {
+				continue
+			}
+			cost := int64(up) * int64(lo)
+			if bestV < 0 || cost < bestCost {
+				bestV, bestCost = v, cost
+			}
+		}
+		if bestV < 0 {
+			return false // no variables left, no contradiction found
+		}
+
+		var uppers, lowers, rest []fmCon
+		for _, c := range cons {
+			cv := int64(0)
+			for _, t := range c.ts {
+				if t.v == bestV {
+					cv = t.coef
+				}
+			}
+			switch {
+			case cv > 0:
+				uppers = append(uppers, c)
+			case cv < 0:
+				lowers = append(lowers, c)
+			default:
+				rest = append(rest, c)
+			}
+		}
+		next := rest
+		for _, u := range uppers {
+			for _, l := range lowers {
+				nc, ok := fmCombine(u, l, bestV)
+				if !ok {
+					return false
+				}
+				next = append(next, nc)
+				if len(next) > fmCap {
+					return false
+				}
+			}
+		}
+		cons = next
+	}
+}
+
+func conKey(c fmCon) string {
+	buf := make([]byte, 0, 8+len(c.ts)*12)
+	app := func(x int64) {
+		for i := 0; i < 8; i++ {
+			buf = append(buf, byte(x>>(8*i)))
+		}
+	}
+	app(c.c)
+	for _, t := range c.ts {
+		app(int64(t.v))
+		app(t.coef)
+	}
+	return string(buf)
+}
+
+// fmCombine eliminates v between an upper (coef > 0) and lower
+// (coef < 0) constraint by cross-multiplication.
+func fmCombine(u, l fmCon, v int32) (fmCon, bool) {
+	var au, al int64
+	for _, t := range u.ts {
+		if t.v == v {
+			au = t.coef
+		}
+	}
+	for _, t := range l.ts {
+		if t.v == v {
+			al = -t.coef
+		}
+	}
+	// al*U + au*L: the v terms cancel by construction.
+	m := map[int32]int64{}
+	addScaled := func(ts []term, s int64) bool {
+		for _, t := range ts {
+			if t.v == v {
+				continue
+			}
+			p, ok := ckMul(t.coef, s)
+			if !ok {
+				return false
+			}
+			sum, ok := ckAdd(m[t.v], p)
+			if !ok {
+				return false
+			}
+			m[t.v] = sum
+		}
+		return true
+	}
+	if !addScaled(u.ts, al) || !addScaled(l.ts, au) {
+		return fmCon{}, false
+	}
+	cu, ok1 := ckMul(u.c, al)
+	cl, ok2 := ckMul(l.c, au)
+	if !ok1 || !ok2 {
+		return fmCon{}, false
+	}
+	c, ok := ckAdd(cu, cl)
+	if !ok {
+		return fmCon{}, false
+	}
+	var ts []term
+	for vv, cc := range m {
+		if cc != 0 {
+			ts = append(ts, term{v: vv, coef: cc})
+		}
+	}
+	sortTerms(ts)
+	return normalizeCon(fmCon{ts: ts, c: c})
+}

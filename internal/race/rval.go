@@ -1,0 +1,428 @@
+package race
+
+// The abstract domain of the race analyzer. Each register holds an
+// affine form of the thread coordinates and a set of launch- or
+// phase-constant symbols,
+//
+//	value = cx*tid.x + cy*tid.y + sum(coef_i * sym_i) + c0
+//
+// where the residual c0 ranges over an interval and optionally carries a
+// congruence c0 = r (mod m). The symbols are what make the domain
+// relational ACROSS threads: two threads of the same block agree on
+// every symbol (CTAID, kernel parameters, once-per-barrier-phase merge
+// values), so symbols cancel when the analyzer subtracts two threads'
+// addresses. The congruence is what proves grid-stride seeding loops
+// race-free: idx = tid + k*NTID keeps c0 = 0 (mod NTID), so two
+// distinct threads' indices can never collide even though the residual
+// interval is unbounded.
+//
+// A value additionally tracks uniformity (uni): whether all threads of
+// a block that reach the defining instruction together compute the same
+// value. Uniformity drives the barrier-divergence analysis; it is NOT
+// used to cancel residuals across threads (two threads in the same
+// barrier phase may sit at different iterations of a barrier-free loop
+// and observe different values of a "uniform" loop variable — only
+// symbols, whose definition points execute at most once per phase, are
+// safe to share).
+
+import (
+	"math"
+
+	"lmi/internal/bounds"
+)
+
+const (
+	negInf = math.MinInt64
+	posInf = math.MaxInt64
+)
+
+// rkind is the shape of an abstract value.
+type rkind uint8
+
+const (
+	rkBot rkind = iota // unreached
+	rkVal              // affine form below
+	rkTop              // unknown value
+	rkExt              // extent material: the SHL #59 tag-injection result
+)
+
+// Constraint-variable ids: the FM solver and the lincon constraints
+// index variables as 0 = tid.x, 1 = tid.y, 2 = CTAID.X, 3 = CTAID.Y,
+// 4+i = kernel parameter i, then merge-point symbols. rval term lists
+// only ever hold ids >= varCtaidX (the tid coordinates live in cx/cy).
+const (
+	varTidX   int32 = 0
+	varTidY   int32 = 1
+	varCtaidX int32 = 2
+	varCtaidY int32 = 3
+	varParam0 int32 = 4
+)
+
+// term is one symbol occurrence: coef * var.
+type term struct {
+	v    int32
+	coef int64
+}
+
+// rval is one abstract register value.
+type rval struct {
+	k   rkind
+	uni bool
+	cx  int64
+	cy  int64
+	// terms is sorted by v with nonzero coefficients, ids >= varCtaidX.
+	terms []term
+	// iv bounds the residual c0; m/r carry its congruence: m == 0 means
+	// c0 == r exactly (iv is then the singleton [r, r]), m == 1 means no
+	// congruence information, m >= 2 means c0 = r (mod m) with 0 <= r < m.
+	iv   bounds.Interval
+	m, r int64
+}
+
+func ivTop() bounds.Interval           { return bounds.Interval{Lo: negInf, Hi: posInf} }
+func ivSingle(c int64) bounds.Interval { return bounds.Interval{Lo: c, Hi: c} }
+
+func mkConst(c int64) rval {
+	return rval{k: rkVal, uni: true, iv: ivSingle(c), m: 0, r: c}
+}
+
+func mkTop(uni bool) rval { return rval{k: rkTop, uni: uni, iv: ivTop(), m: 1} }
+
+// mkResid is a residual-only value: no affine structure, c0 in iv.
+func mkResid(iv bounds.Interval, uni bool) rval {
+	if iv.IsConst() {
+		v := mkConst(iv.Lo)
+		v.uni = uni
+		return v
+	}
+	return rval{k: rkVal, uni: uni, iv: iv, m: 1}
+}
+
+// mkSym is the pure symbol value sym(v), exactly.
+func mkSym(v int32) rval {
+	return rval{k: rkVal, uni: true, terms: []term{{v: v, coef: 1}}, iv: ivSingle(0), m: 0}
+}
+
+func (a rval) isConst() (int64, bool) {
+	if a.k == rkVal && a.cx == 0 && a.cy == 0 && len(a.terms) == 0 && a.iv.IsConst() {
+		return a.iv.Lo, true
+	}
+	return 0, false
+}
+
+// hasAffine reports whether the value depends on tids or symbols.
+func (a rval) hasAffine() bool { return a.cx != 0 || a.cy != 0 || len(a.terms) > 0 }
+
+func (a rval) mentionsSym(v int32) bool {
+	for _, t := range a.terms {
+		if t.v == v {
+			return true
+		}
+	}
+	return false
+}
+
+// ckAdd / ckMul are overflow-checked int64 arithmetic.
+func ckAdd(a, b int64) (int64, bool) {
+	s := a + b
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		return 0, false
+	}
+	return s, true
+}
+
+func ckMul(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	if p/b != a || (a == -1 && b == math.MinInt64) || (b == -1 && a == math.MinInt64) {
+		return 0, false
+	}
+	return p, true
+}
+
+func absCk(a int64) (int64, bool) {
+	if a == math.MinInt64 {
+		return 0, false
+	}
+	if a < 0 {
+		return -a, true
+	}
+	return a, true
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// mod is the least non-negative residue.
+func mod(a, m int64) int64 {
+	if m <= 0 {
+		return a
+	}
+	a %= m
+	if a < 0 {
+		a += m
+	}
+	return a
+}
+
+// congruence helpers. All return a normalized (m, r) pair.
+
+func congNone() (int64, int64) { return 1, 0 }
+
+// congAdd is the congruence of a sum of two independent residuals.
+func congAdd(m1, r1, m2, r2 int64) (int64, int64) {
+	if m1 == 0 && m2 == 0 {
+		if s, ok := ckAdd(r1, r2); ok {
+			return 0, s
+		}
+		return congNone()
+	}
+	var g int64
+	switch {
+	case m1 == 0:
+		g = m2
+	case m2 == 0:
+		g = m1
+	default:
+		g = gcd64(m1, m2)
+	}
+	if g <= 1 {
+		return congNone()
+	}
+	return g, mod(mod(r1, g)+mod(r2, g), g)
+}
+
+// congScale is the congruence of c0 * s.
+func congScale(m, r, s int64) (int64, int64) {
+	if s == 0 {
+		return 0, 0
+	}
+	if m == 0 {
+		if p, ok := ckMul(r, s); ok {
+			return 0, p
+		}
+		return congNone()
+	}
+	if m == 1 {
+		return congNone()
+	}
+	as, ok := absCk(s)
+	if !ok {
+		return congNone()
+	}
+	mm, ok := ckMul(m, as)
+	if !ok {
+		return congNone()
+	}
+	rs, ok := ckMul(r, s)
+	if !ok {
+		return congNone()
+	}
+	return mm, mod(rs, mm)
+}
+
+// congJoin is the congruence holding for a value drawn from either side.
+func congJoin(m1, r1, m2, r2 int64) (int64, int64) {
+	if m1 == 0 && m2 == 0 && r1 == r2 {
+		return 0, r1
+	}
+	if m1 == 1 || m2 == 1 {
+		return congNone()
+	}
+	d, ok := ckAdd(r1, -r2)
+	if !ok {
+		return congNone()
+	}
+	ad, ok := absCk(d)
+	if !ok {
+		return congNone()
+	}
+	var g int64
+	switch {
+	case m1 == 0 && m2 == 0:
+		g = ad
+	case m1 == 0:
+		g = gcd64(m2, ad)
+	case m2 == 0:
+		g = gcd64(m1, ad)
+	default:
+		g = gcd64(gcd64(m1, m2), ad)
+	}
+	if g == 0 {
+		return 0, r1
+	}
+	if g == 1 {
+		return congNone()
+	}
+	return g, mod(r1, g)
+}
+
+// mergeTerms combines two sorted term lists with ta + sign*tb.
+func mergeTerms(ta, tb []term, sign int64) ([]term, bool) {
+	out := make([]term, 0, len(ta)+len(tb))
+	i, j := 0, 0
+	for i < len(ta) || j < len(tb) {
+		switch {
+		case j >= len(tb) || (i < len(ta) && ta[i].v < tb[j].v):
+			out = append(out, ta[i])
+			i++
+		case i >= len(ta) || tb[j].v < ta[i].v:
+			c, ok := ckMul(tb[j].coef, sign)
+			if !ok {
+				return nil, false
+			}
+			out = append(out, term{v: tb[j].v, coef: c})
+			j++
+		default:
+			sb, ok := ckMul(tb[j].coef, sign)
+			if !ok {
+				return nil, false
+			}
+			c, ok := ckAdd(ta[i].coef, sb)
+			if !ok {
+				return nil, false
+			}
+			if c != 0 {
+				out = append(out, term{v: ta[i].v, coef: c})
+			}
+			i++
+			j++
+		}
+	}
+	if len(out) == 0 {
+		return nil, true
+	}
+	return out, true
+}
+
+func termsEqual(ta, tb []term) bool {
+	if len(ta) != len(tb) {
+		return false
+	}
+	for i := range ta {
+		if ta[i] != tb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// addRV is the abstract sum. Uniformity survives exactly when both
+// inputs are uniform.
+func addRV(a, b rval) rval {
+	uni := a.uni && b.uni
+	if a.k != rkVal || b.k != rkVal {
+		return mkTop(uni)
+	}
+	cx, ok1 := ckAdd(a.cx, b.cx)
+	cy, ok2 := ckAdd(a.cy, b.cy)
+	ts, ok3 := mergeTerms(a.terms, b.terms, 1)
+	if !ok1 || !ok2 || !ok3 {
+		return mkTop(uni)
+	}
+	m, r := congAdd(a.m, a.r, b.m, b.r)
+	return rval{k: rkVal, uni: uni, cx: cx, cy: cy, terms: ts, iv: a.iv.Add(b.iv), m: m, r: r}
+}
+
+// scaleRV is the abstract product by a constant.
+func scaleRV(a rval, s int64) rval {
+	if s == 0 {
+		return mkConst(0)
+	}
+	if a.k != rkVal {
+		return mkTop(a.uni)
+	}
+	cx, ok1 := ckMul(a.cx, s)
+	cy, ok2 := ckMul(a.cy, s)
+	if !ok1 || !ok2 {
+		return mkTop(a.uni)
+	}
+	ts := make([]term, len(a.terms))
+	for i, t := range a.terms {
+		c, ok := ckMul(t.coef, s)
+		if !ok {
+			return mkTop(a.uni)
+		}
+		ts[i] = term{v: t.v, coef: c}
+	}
+	if len(ts) == 0 {
+		ts = nil
+	}
+	m, r := congScale(a.m, a.r, s)
+	return rval{k: rkVal, uni: a.uni, cx: cx, cy: cy, terms: ts,
+		iv: a.iv.Mul(ivSingle(s)), m: m, r: r}
+}
+
+func subRV(a, b rval) rval { return addRV(a, scaleRV(b, -1)) }
+
+func eqRV(a, b rval) bool {
+	if a.k != b.k || a.uni != b.uni || a.cx != b.cx || a.cy != b.cy ||
+		a.iv != b.iv || a.m != b.m || a.r != b.r {
+		return false
+	}
+	return termsEqual(a.terms, b.terms)
+}
+
+// joinRV is the lattice join. divergent marks a merge point reached
+// under an unreconverged thread-dependent branch: differing values then
+// differ per thread, so uniformity is lost even if both inputs were
+// uniform.
+func joinRV(a, b rval, divergent bool) rval {
+	if a.k == rkBot {
+		return b
+	}
+	if b.k == rkBot {
+		return a
+	}
+	if eqRV(a, b) {
+		return a
+	}
+	uni := a.uni && b.uni && !divergent
+	if a.k != rkVal || b.k != rkVal {
+		if a.k == rkExt && b.k == rkExt {
+			return rval{k: rkExt, uni: uni, iv: ivTop(), m: 1}
+		}
+		return mkTop(uni)
+	}
+	if a.cx != b.cx || a.cy != b.cy || !termsEqual(a.terms, b.terms) {
+		return mkTop(uni)
+	}
+	m, r := congJoin(a.m, a.r, b.m, b.r)
+	out := rval{k: rkVal, uni: uni, cx: a.cx, cy: a.cy, terms: a.terms,
+		iv: a.iv.Join(b.iv), m: m, r: r}
+	if m != 0 && out.iv.IsConst() {
+		// Keep the exactness invariant: a singleton interval is an exact
+		// residual.
+		out.m, out.r = 0, out.iv.Lo
+	}
+	return out
+}
+
+// widenRV accelerates a joined entry value against the previous entry:
+// any interval side that moved goes to infinity (the congruence lattice
+// is finite-height and needs no widening). An exact residual that loses
+// exactness re-derives its congruence from the old modulus.
+func widenRV(old, j rval) rval {
+	if eqRV(old, j) || old.k != j.k || j.k != rkVal {
+		return j
+	}
+	if old.cx != j.cx || old.cy != j.cy || !termsEqual(old.terms, j.terms) {
+		return j
+	}
+	if j.iv.Lo < old.iv.Lo {
+		j.iv.Lo = negInf
+	}
+	if j.iv.Hi > old.iv.Hi {
+		j.iv.Hi = posInf
+	}
+	if j.m == 0 && !j.iv.IsConst() {
+		j.m, j.r = congNone()
+	}
+	return j
+}

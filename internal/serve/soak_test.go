@@ -7,9 +7,13 @@ import (
 )
 
 // soakCfg is the pinned configuration the soak assertions run against
-// (the same seed scripts/check.sh smokes from the CLI).
+// (the same seed scripts/check.sh smokes from the CLI). The seed is
+// re-pinned whenever the chaos kind set grows — the stream generator
+// draws kinds by index, so appending kinds reshuffles the stream and
+// the emergent-dynamics assertions below need a seed where every
+// serving path still fires.
 func soakCfg(workers int) SoakConfig {
-	return SoakConfig{Seed: 1, Requests: 200, Workers: workers}
+	return SoakConfig{Seed: 2, Requests: 200, Workers: workers}
 }
 
 // TestSoakDeterministicAcrossWorkers is the tentpole guarantee: the

@@ -61,6 +61,13 @@ type Config struct {
 	// (used by the security suite); performance runs never fault.
 	HaltOnFault bool
 
+	// RaceOracle arms the dynamic shared-memory race oracle: every
+	// shared lane access is shadowed with per-barrier-epoch access
+	// summaries and conflicting pairs are reported in KernelStats.Races.
+	// Purely observational — it never changes functional results or
+	// simulated timing. Both execution tiers honour it identically.
+	RaceOracle bool
+
 	// MaxCycles aborts runaway simulations.
 	MaxCycles uint64
 

@@ -155,6 +155,9 @@ type blockCtx struct {
 	ctaid  int
 	shared *mem.AddrSpace
 	warps  []*warp
+	// race is the block's dynamic race-oracle shadow (nil when the
+	// oracle is off).
+	race *BlockShadow
 }
 
 // smCtx is one SM's runtime state.
@@ -190,6 +193,10 @@ type launch struct {
 	stats  KernelStats
 	halted bool
 	runErr error
+
+	// race is the launch's dynamic race oracle (nil when Config.RaceOracle
+	// is off).
+	race *RaceOracle
 
 	// Watchdog state: launch wall-clock start and the cycle of the last
 	// observable progress event (see WatchdogConfig).
@@ -269,6 +276,9 @@ func (d *Device) Launch2DCtx(ctx context.Context, p *isa.Program, gridX, gridY, 
 		dram:  mem.NewDRAM(d.Cfg.DRAMLatency, d.Cfg.DRAMBandwidth),
 	}
 	ls.stats.MemInstrs = make(map[isa.Opcode]uint64)
+	if d.Cfg.RaceOracle {
+		ls.race = NewRaceOracle()
+	}
 	for i := 0; i < d.Cfg.NumSMs; i++ {
 		l1, err := mem.NewCache("L1", d.Cfg.L1Size, d.Cfg.L1Assoc, d.Cfg.LineSize, d.Cfg.L1Latency)
 		if err != nil {
@@ -290,6 +300,10 @@ func (d *Device) Launch2DCtx(ctx context.Context, p *isa.Program, gridX, gridY, 
 	out := ls.stats
 	out.Cycles = ls.cycle
 	out.Halted = ls.halted
+	if ls.race != nil {
+		out.Races = ls.race.Records()
+		out.SharedShadowed = ls.race.Shadowed()
+	}
 	out.L2 = ls.l2.Stats()
 	out.DRAMAccesses = ls.dram.Stats().Accesses
 	for _, sm := range ls.sms {
@@ -338,6 +352,9 @@ func (ls *launch) fillSMs() {
 // placeBlock instantiates block ctaid on an SM.
 func (ls *launch) placeBlock(sm *smCtx, ctaid int) {
 	blk := &blockCtx{ctaid: ctaid, shared: mem.NewAddrSpace()}
+	if ls.race != nil {
+		blk.race = ls.race.NewBlockShadow()
+	}
 	wpb := ls.warpsPerBlock()
 	numRegs := ls.prog.NumRegs
 	if numRegs < 8 {
@@ -428,6 +445,9 @@ func (ls *launch) stepSM(sm *smCtx) {
 			for _, w := range blk.warps {
 				w.atBarrier = false
 			}
+			if blk.race != nil {
+				blk.race.EpochEnd()
+			}
 			ls.progress()
 		}
 	}
@@ -479,6 +499,9 @@ func (ls *launch) retireBlocks(sm *smCtx) {
 		if doneAll {
 			changed = true
 			ls.liveBlk--
+			if blk.race != nil {
+				blk.race.EpochEnd()
+			}
 			ls.progress()
 		} else {
 			keptBlocks = append(keptBlocks, blk)

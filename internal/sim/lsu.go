@@ -137,6 +137,15 @@ func (ls *launch) memAccess(sm *smCtx, w *warp, in *isa.Instr, exec uint32, pc i
 			addLine(eff)
 		case isa.SpaceShared:
 			shm := w.block.shared
+			if w.block.race != nil {
+				kind := RaceRead
+				if in.Op == isa.ATOMS {
+					kind = RaceAtomic
+				} else if isStore {
+					kind = RaceWrite
+				}
+				w.block.race.Record(pc, w.warpIdx*32+lane, kind, eff, uint64(size))
+			}
 			if in.Op == isa.ATOMS {
 				old := shm.Read(eff, int(size))
 				add := uint64(0)

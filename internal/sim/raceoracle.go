@@ -1,0 +1,205 @@
+package sim
+
+import "sort"
+
+// This file implements the dynamic shared-memory race oracle — the
+// runtime ground truth the static analyzer in internal/race is
+// differentially validated against (both execution tiers run the same
+// oracle; internal/fastsim reuses these types).
+//
+// The oracle shadows every shared-memory lane access with per-byte
+// access summaries scoped to one barrier epoch: the interval between two
+// block-wide barrier releases, within one thread block. Two accesses to
+// the same byte in the same epoch by (possibly) distinct threads race
+// when at least one is a write and they are not both atomic
+// (ATOMS-vs-ATOMS commutes; ATOMS-vs-STS does not).
+//
+// Detection is deliberately order-insensitive: instead of a last-writer
+// shadow cell — whose recorded pairs depend on warp interleaving, which
+// differs between the cycle and compiled tiers — each byte accumulates
+// the *set* of (pc, access-kind) classes that touched it during the
+// epoch, with enough thread-identity to decide whether two classes can
+// come from distinct threads. Pairs are extracted when the epoch closes
+// (barrier release or block retirement). Because the functional
+// projection of a launch is bit-identical across tiers, the per-epoch
+// event sets — and therefore the extracted pairs — agree no matter how
+// the tiers interleave warps.
+
+// RaceAccessKind classifies one shared-memory lane access for the
+// oracle.
+type RaceAccessKind uint8
+
+const (
+	// RaceRead is an LDS lane access.
+	RaceRead RaceAccessKind = iota
+	// RaceWrite is an STS lane access.
+	RaceWrite
+	// RaceAtomic is an ATOMS lane access (an atomic read-modify-write;
+	// commutes with other atomics, conflicts with plain accesses).
+	RaceAtomic
+)
+
+// RaceKind names the conflict class of a detected race pair.
+type RaceKind uint8
+
+const (
+	// RaceWW is a plain-write vs plain-write conflict.
+	RaceWW RaceKind = iota
+	// RaceRW is a read vs (plain or atomic) write conflict.
+	RaceRW
+	// RaceAW is an atomic vs plain-write conflict: the atomic's
+	// read-modify-write does not commute with a racing plain store.
+	RaceAW
+)
+
+// String names the conflict class.
+func (k RaceKind) String() string {
+	switch k {
+	case RaceWW:
+		return "write-write"
+	case RaceRW:
+		return "read-write"
+	case RaceAW:
+		return "atomic-write"
+	}
+	return "race"
+}
+
+// RaceRecord is one deduplicated dynamic race finding: a conflict class
+// and the two program counters involved, normalised so PC <= OtherPC. A
+// self-race (the same instruction executed by two threads hitting the
+// same byte) has PC == OtherPC.
+type RaceRecord struct {
+	Kind RaceKind
+	// PC and OtherPC are instruction indexes into the program.
+	PC, OtherPC int32
+}
+
+// raceEntry summarises the accesses of one (pc, kind) class to one byte
+// within the current epoch. tid is the first accessing thread's
+// block-relative thread ID; multi records whether a second, distinct
+// thread also accessed (from then on the class can race with anything,
+// including itself).
+type raceEntry struct {
+	pc    int32
+	kind  RaceAccessKind
+	tid   int32
+	multi bool
+}
+
+// RaceOracle accumulates deduplicated race records across the blocks
+// and epochs of one kernel launch.
+type RaceOracle struct {
+	found    map[RaceRecord]struct{}
+	shadowed uint64
+}
+
+// NewRaceOracle returns an empty oracle for one launch.
+func NewRaceOracle() *RaceOracle {
+	return &RaceOracle{found: make(map[RaceRecord]struct{})}
+}
+
+// Shadowed returns the number of shared-memory lane accesses recorded.
+func (o *RaceOracle) Shadowed() uint64 { return o.shadowed }
+
+// Records returns the deduplicated findings in deterministic order.
+func (o *RaceOracle) Records() []RaceRecord {
+	recs := make([]RaceRecord, 0, len(o.found))
+	for r := range o.found {
+		recs = append(recs, r)
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].PC != recs[j].PC {
+			return recs[i].PC < recs[j].PC
+		}
+		if recs[i].OtherPC != recs[j].OtherPC {
+			return recs[i].OtherPC < recs[j].OtherPC
+		}
+		return recs[i].Kind < recs[j].Kind
+	})
+	return recs
+}
+
+// BlockShadow is the per-thread-block shadow state: per-byte access
+// summaries for the current barrier epoch.
+type BlockShadow struct {
+	o     *RaceOracle
+	bytes map[uint64][]raceEntry
+}
+
+// NewBlockShadow returns the shadow for one resident thread block.
+func (o *RaceOracle) NewBlockShadow() *BlockShadow {
+	return &BlockShadow{o: o, bytes: make(map[uint64][]raceEntry)}
+}
+
+// Record notes one shared-memory lane access: thread tid (block-relative)
+// executing instruction pc touched bytes [addr, addr+size).
+func (s *BlockShadow) Record(pc int, tid int, kind RaceAccessKind, addr, size uint64) {
+	s.o.shadowed++
+	p, t := int32(pc), int32(tid)
+	for b := addr; b < addr+size; b++ {
+		ents := s.bytes[b]
+		hit := false
+		for i := range ents {
+			if ents[i].pc == p && ents[i].kind == kind {
+				if ents[i].tid != t {
+					ents[i].multi = true
+				}
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			s.bytes[b] = append(ents, raceEntry{pc: p, kind: kind, tid: t})
+		}
+	}
+}
+
+// EpochEnd closes the current barrier epoch: conflicting access-class
+// pairs are folded into the oracle's record set and the shadow resets.
+// Called at every block-wide barrier release and at block retirement.
+func (s *BlockShadow) EpochEnd() {
+	for b, ents := range s.bytes {
+		for i := 0; i < len(ents); i++ {
+			for j := i; j < len(ents); j++ {
+				if k, ok := classify(ents[i], ents[j], i == j); ok {
+					pc1, pc2 := ents[i].pc, ents[j].pc
+					if pc1 > pc2 {
+						pc1, pc2 = pc2, pc1
+					}
+					s.o.found[RaceRecord{Kind: k, PC: pc1, OtherPC: pc2}] = struct{}{}
+				}
+			}
+		}
+		delete(s.bytes, b)
+	}
+}
+
+// classify decides whether two access classes on the same byte in the
+// same epoch conflict, and with which conflict class. self marks the
+// class paired with itself, where only a multi-thread class races.
+func classify(a, b raceEntry, self bool) (RaceKind, bool) {
+	if a.kind == RaceRead && b.kind == RaceRead {
+		return 0, false
+	}
+	if a.kind == RaceAtomic && b.kind == RaceAtomic {
+		return 0, false // atomics commute
+	}
+	// Distinct-thread feasibility: a pair drawn from two singleton
+	// same-thread classes is a program-order dependence, not a race.
+	if self {
+		if !a.multi {
+			return 0, false
+		}
+	} else if !a.multi && !b.multi && a.tid == b.tid {
+		return 0, false
+	}
+	switch {
+	case a.kind == RaceRead || b.kind == RaceRead:
+		return RaceRW, true
+	case a.kind == RaceAtomic || b.kind == RaceAtomic:
+		return RaceAW, true
+	default:
+		return RaceWW, true
+	}
+}

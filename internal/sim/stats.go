@@ -48,6 +48,12 @@ type KernelStats struct {
 	ECElided  uint64
 	// Faults holds detected violations (empty in clean runs).
 	Faults []FaultRecord
+	// Races holds the dynamic race oracle's deduplicated findings
+	// (Config.RaceOracle), sorted; empty when the oracle is off or the
+	// kernel is race-free. SharedShadowed counts the shared-memory lane
+	// accesses the oracle shadowed.
+	Races          []RaceRecord
+	SharedShadowed uint64
 	// Halted reports whether the kernel stopped on a fault.
 	Halted bool
 	// L1 aggregates per-SM L1 statistics; L2 is the shared L2.

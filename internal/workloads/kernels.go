@@ -156,17 +156,20 @@ func BuildKernel(name string, p KernelParams) *ir.Func {
 			b.Assign(acc, b.FFMA(acc, c, d))
 		}
 
-		// Shared-memory compute.
+		// Shared-memory compute. Each thread read-modify-writes its own
+		// tile slot (tid & (words-1)): SharedWords is a power of two of at
+		// least the block size, so distinct threads in a block never share
+		// a slot and the loop is race-free without per-iteration barriers
+		// — the usual register-blocked accumulator pattern.
 		if p.SharedWords > 0 && p.SharedIters > 0 {
 			tid := b.TID()
 			words1 := b.ConstI(ir.I32, int64(p.SharedWords-1))
+			slot := b.And(tid, words1)
 			si := b.Var(b.ConstI(ir.I32, 0))
 			lim := b.ConstI(ir.I32, int64(p.SharedIters))
 			b.While(func() ir.Value { return b.ICmp(isa.CmpLT, si, lim) }, func() {
-				a0 := b.And(b.Add(tid, si), words1)
-				a1 := b.And(b.Add(tid, b.Add(si, one)), words1)
-				x := b.Load(ir.I32, b.GEP(sh, a0, 4, 0), 0)
-				b.Store(b.GEP(sh, a1, 4, 0), b.Add(x, one), 0)
+				x := b.Load(ir.I32, b.GEP(sh, slot, 4, 0), 0)
+				b.Store(b.GEP(sh, slot, 4, 0), b.Add(x, one), 0)
 				b.Assign(si, b.Add(si, one))
 			})
 		}

@@ -18,6 +18,12 @@ fi
 echo "== go vet ./..."
 go vet ./...
 
+# Custom vet pass: no raw panic( in non-test code under internal/ —
+# runtime layers recover panics only at hardened pool boundaries;
+# everywhere else failures must be typed errors.
+echo "== vetnopanic"
+go run ./scripts/vetnopanic
+
 echo "== go build ./..."
 go build ./...
 
@@ -37,9 +43,14 @@ go test -race -timeout 45m $short ./...
 # E bit from the linter's own register-level value analysis: any
 # unsound-elide diagnostic, or a proven-out-of-bounds access in a
 # shipped workload (which fails the elided compile itself), breaks the
-# gate. Nonzero exit on any diagnostic. Same run as `make analyze`.
-echo "== lmi-lint -all -elide-audit"
-go run ./cmd/lmi-lint -all -elide-audit
+# gate. -race additionally runs the static shared-memory race and
+# barrier-divergence analyzer over every program in the corpus (both
+# modes, pre- and post-optimizer, plus the elided compiles): any
+# potential race, divergent barrier, or inexpressible shared address is
+# a diagnostic. Nonzero exit on any diagnostic. Same run as
+# `make analyze`.
+echo "== lmi-lint -all -elide-audit -race"
+go run ./cmd/lmi-lint -all -elide-audit -race
 
 # Chaos determinism smoke: the fault-injection campaign must render
 # byte-identical reports regardless of worker count — any divergence
@@ -50,6 +61,38 @@ trap 'rm -rf "$tmpdir"' EXIT
 go run ./cmd/lmi-sec -chaos -seed 1 -trials 2 -jobs 1 > "$tmpdir/chaos-j1.txt"
 go run ./cmd/lmi-sec -chaos -seed 1 -trials 2 -jobs 4 > "$tmpdir/chaos-j4.txt"
 cmp "$tmpdir/chaos-j1.txt" "$tmpdir/chaos-j4.txt"
+
+# The campaign above also replays the three synchronization-fault kinds
+# (race-drop-bar, race-stride-perturb, race-demote-atomic); a trial only
+# counts as detected when the static race analyzer and the dynamic race
+# oracle agree on the planted conflict pairs at the exact instructions
+# (the pinning itself is asserted instruction-by-instruction in
+# internal/chaos TestRaceKindsExactPinning). Every race-kind matrix row
+# must score det == n for every mechanism — any miss, toleration,
+# false positive, or degradation on a race injection breaks the gate.
+echo "== chaos race kinds all detected"
+if ! grep -q 'race-drop-bar' "$tmpdir/chaos-j1.txt"; then
+    echo "check: FAIL: chaos campaign did not run the race kinds" >&2
+    exit 1
+fi
+awk '$2 ~ /^race-/ && $5 != $4 {
+        print "check: FAIL: chaos race injection not fully detected: " $0
+        bad = 1
+     }
+     END { exit bad }' "$tmpdir/chaos-j1.txt" >&2
+
+# Race-oracle overhead sweep: the Fig. 12 corpus with the dynamic race
+# oracle off vs armed. The sweep itself asserts the oracle never
+# perturbs a cycle count and finds zero races on the statically-proven
+# corpus; the JSON artifact carries no wall-clock data and must be
+# byte-identical across worker counts. (BENCH_fig12_raceoracle.json is
+# the committed cycle-tier artifact.)
+echo "== race-oracle sweep determinism (-jobs 1 vs -jobs 4)"
+go run ./cmd/lmi-bench -tier compiled -jobs 1 \
+    -race-oracle-json "$tmpdir/raceoracle-j1.json" > /dev/null
+go run ./cmd/lmi-bench -tier compiled -jobs 4 \
+    -race-oracle-json "$tmpdir/raceoracle-j4.json" > /dev/null
+cmp "$tmpdir/raceoracle-j1.json" "$tmpdir/raceoracle-j4.json"
 
 # Compiled-tier determinism smoke: the full bench sweep on the fast
 # functional tier must render byte-identical output regardless of
@@ -70,8 +113,8 @@ cmp "$tmpdir/bench-compiled-j1.txt" "$tmpdir/bench-compiled-j4.txt"
 # escaped panic), and the verbose report — every count, timestamp, and
 # per-request line — must be byte-identical across worker counts.
 echo "== serving soak smoke (-jobs 1 vs -jobs 4)"
-go run ./cmd/lmi-serve -soak -seed 1 -requests 200 -jobs 1 -v > "$tmpdir/soak-j1.txt"
-go run ./cmd/lmi-serve -soak -seed 1 -requests 200 -jobs 4 -v > "$tmpdir/soak-j4.txt"
+go run ./cmd/lmi-serve -soak -seed 2 -requests 200 -jobs 1 -v > "$tmpdir/soak-j1.txt"
+go run ./cmd/lmi-serve -soak -seed 2 -requests 200 -jobs 4 -v > "$tmpdir/soak-j4.txt"
 cmp "$tmpdir/soak-j1.txt" "$tmpdir/soak-j4.txt"
 
 # Fleet soak gate: 100000 seeded requests sharded across 4 simulated

@@ -1,0 +1,98 @@
+// Command vetnopanic is the repository's custom vet pass: it rejects
+// raw panic( calls in non-test code under internal/. The runtime
+// layers recover panics only at hardened pool boundaries (the runner's
+// workers, the serving shards) where they are classified as Degraded
+// outcomes; everywhere else a raw panic escalates a per-request failure
+// into a process crash, so internal code must return typed errors
+// instead. Test files are exempt — tests panic freely in helpers and
+// deliberately-misbehaving fixtures (the chaos engine's panicking
+// mechanism plug-ins).
+//
+// The pass is pure standard library (go/ast, go/parser): it parses
+// every non-test .go file under the root and flags call expressions
+// whose callee is the panic identifier. A file-local function or
+// variable shadowing the builtin would be flagged too; the repository
+// style forbids that shadowing anyway.
+//
+// Usage: go run ./scripts/vetnopanic [-root internal]
+//
+// Exits 1 when any raw panic is found, listing each as
+// file:line:column. scripts/check.sh and `make lint` run it as a gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	root := flag.String("root", "internal", "directory tree to scan for raw panics")
+	flag.Parse()
+	findings, nfiles, err := scan(*root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vetnopanic: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "vetnopanic: %d raw panic(s) in non-test code under %s\n",
+			len(findings), *root)
+		os.Exit(1)
+	}
+	fmt.Printf("vetnopanic: %d files scanned, no raw panics\n", nfiles)
+}
+
+// scan walks root, parses every non-test .go file, and returns one
+// finding per raw panic call plus the number of files scanned.
+func scan(root string) (findings []string, nfiles int, err error) {
+	fset := token.NewFileSet()
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, werr error) error {
+		if werr != nil {
+			return werr
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, perr := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if perr != nil {
+			return perr
+		}
+		nfiles++
+		findings = append(findings, checkFile(fset, f)...)
+		return nil
+	})
+	return findings, nfiles, err
+}
+
+// checkFile returns one finding per raw panic call expression in the
+// parsed file. Only direct calls of the bare identifier count:
+// method values (x.panic), other identifiers, and mentions in strings
+// or comments never match.
+func checkFile(fset *token.FileSet, f *ast.File) []string {
+	var findings []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "panic" {
+			return true
+		}
+		pos := fset.Position(call.Pos())
+		findings = append(findings, fmt.Sprintf(
+			"%s:%d:%d: raw panic in non-test code; return a typed error instead",
+			pos.Filename, pos.Line, pos.Column))
+		return true
+	})
+	return findings
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func check(t *testing.T, src string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "synthetic.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return checkFile(fset, f)
+}
+
+func TestFlagsRawPanic(t *testing.T) {
+	got := check(t, `package p
+func f() { panic("boom") }
+`)
+	if len(got) != 1 || !strings.Contains(got[0], "synthetic.go:2:12") {
+		t.Fatalf("want one finding at 2:12, got %v", got)
+	}
+}
+
+func TestIgnoresNonPanicCalls(t *testing.T) {
+	got := check(t, `package p
+type r struct{}
+func (r) panic(string) {}
+func f(x r) {
+	x.panic("method, not builtin")
+	panicky()
+	_ = "panic(in a string)"
+	// panic(in a comment)
+}
+func panicky() {}
+`)
+	if len(got) != 0 {
+		t.Fatalf("want no findings, got %v", got)
+	}
+}
+
+func TestScanSkipsTestFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("a.go", "package p\nfunc f() { panic(1) }\n")
+	write("a_test.go", "package p\nfunc g() { panic(2) }\n")
+	findings, n, err := scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("scanned %d files, want 1 (test file exempt)", n)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0], "a.go:2:12") {
+		t.Fatalf("want one finding in a.go, got %v", findings)
+	}
+}
+
+// TestRepositoryInvariant runs the real gate: no raw panic in non-test
+// code under internal/.
+func TestRepositoryInvariant(t *testing.T) {
+	findings, n, err := scan("../../internal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("scanned no files; wrong working directory?")
+	}
+	if len(findings) != 0 {
+		t.Fatalf("raw panics in internal/:\n%s", strings.Join(findings, "\n"))
+	}
+}
