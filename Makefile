@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint analyze race-oracle check check-short bench serve soak fleet-soak fast
+.PHONY: build test race vet lint analyze race-oracle check check-short bench serve soak fleet-soak fast bundle
 
 build:
 	$(GO) build ./...
@@ -72,6 +72,19 @@ fleet-soak:
 	$(GO) run ./cmd/lmi-serve -soak -shards 4 -requests 100000 \
 		-decision-log fleet-decisions.jsonl
 	@echo "decision log: fleet-decisions.jsonl"
+
+# Build and self-verify a signed artifact bundle of the default
+# workload trio with the dev signing key (a fixture, not a secret; set
+# LMI_BUNDLE_KEY or KEY= for a real one). The artifact bytes are a pure
+# function of (workload list, key) — the check gate additionally pins
+# -jobs 1 vs -jobs 4 byte-identity and single-byte tamper rejection.
+# Serve it with: lmi-serve -bundle lmi-bundle.json -bundle-pub <signer>.
+KEY ?= 0101010101010101010101010101010101010101010101010101010101010101
+bundle:
+	@out=$$($(GO) run ./cmd/lmi-compile -bundle lmi-bundle.json -key $(KEY)) && \
+	echo "$$out" && \
+	$(GO) run ./cmd/lmi-compile -verify-bundle lmi-bundle.json \
+		-pub $$(echo "$$out" | awk '$$1 == "signer" { print $$2 }')
 
 # The fast-path tier gate: the full workload differential corpus and
 # the chaos campaign replayed through both execution tiers (the

@@ -59,11 +59,15 @@ func main() {
 	tierName := flag.String("tier", fastsim.TierCycle.String(),
 		"execution tier: cycle (timing reference) or compiled (fast functional)")
 	flag.Parse()
-	cliutil.ValidateOrExit("lmi-bench", flag.CommandLine,
+	if err := cliutil.Validate("lmi-bench", flag.CommandLine,
 		cliutil.Check{Name: "sms", Value: *sms},
-		cliutil.Check{Name: "jobs", Value: *jobs, AutoZero: true})
-	cliutil.ValidateEnumOrExit("lmi-bench",
-		cliutil.EnumCheck{Name: "tier", Value: *tierName, Allowed: fastsim.TierNames()})
+		cliutil.Check{Name: "jobs", Value: *jobs, AutoZero: true}); err != nil {
+		os.Exit(cliutil.Usage("lmi-bench", err))
+	}
+	if err := cliutil.ValidateEnum("lmi-bench",
+		cliutil.EnumCheck{Name: "tier", Value: *tierName, Allowed: fastsim.TierNames()}); err != nil {
+		os.Exit(cliutil.Usage("lmi-bench", err))
+	}
 	tier, _ := fastsim.ParseTier(*tierName)
 
 	cfg := sim.ScaledConfig(*sms)

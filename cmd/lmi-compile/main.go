@@ -8,13 +8,27 @@
 //	lmi-compile -bench needle -mode base
 //	lmi-compile -bench gaussian -instrument baggy
 //	lmi-compile -bench needle -elide on  # static bounds proving + check elision
+//
+// Bundle mode compiles workloads into a content-addressed, signed
+// artifact bundle (programs + launch contracts + lint/elide/race
+// certificates) that lmi-serve hot-reloads fail-closed:
+//
+//	lmi-compile -bundle out.json -key @seed.hex
+//	lmi-compile -bundle out.json -bundle-workloads backprop,needle:elide
+//	lmi-compile -verify-bundle out.json -pub <hex>
+//
+// Keys are 32-byte hex (an ed25519 seed / public key), @file, or the
+// LMI_BUNDLE_KEY / LMI_BUNDLE_PUB environment. The bundle bytes are a
+// pure function of (workload list, key): -jobs never changes a byte.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"lmi/internal/bundle"
 	"lmi/internal/cliutil"
 	"lmi/internal/compiler"
 	"lmi/internal/ir"
@@ -40,10 +54,34 @@ func main() {
 	grid := flag.Int("grid", 4, "-run: grid blocks")
 	block := flag.Int("block", 128, "-run: threads per block")
 	n := flag.Int("n", 1024, "-run: elements per auto-allocated buffer / value of scalar params")
+	bundleOut := flag.String("bundle", "", "build a signed artifact bundle and write it to this path")
+	bundleWorkloads := flag.String("bundle-workloads", "backprop:elide,needle:elide,nn:elide",
+		"-bundle: comma-separated workloads, each optionally suffixed :elide")
+	verifyBundle := flag.String("verify-bundle", "", "verify a bundle file against the trusted key and exit")
+	key := flag.String("key", "", "-bundle: ed25519 signing seed (32-byte hex, @file, or $LMI_BUNDLE_KEY)")
+	pub := flag.String("pub", "", "-verify-bundle: trusted public key (32-byte hex, @file, or $LMI_BUNDLE_PUB)")
+	jobs := flag.Int("jobs", 0, "-bundle: build worker count, >= 1 (omit for GOMAXPROCS or $LMI_JOBS)")
 	flag.Parse()
-	cliutil.ValidateEnumOrExit("lmi-compile",
+	if err := cliutil.Validate("lmi-compile", flag.CommandLine,
+		cliutil.Check{Name: "jobs", Value: *jobs, AutoZero: true}); err != nil {
+		os.Exit(cliutil.Usage("lmi-compile", err))
+	}
+	if err := cliutil.ValidateEnum("lmi-compile",
 		cliutil.EnumCheck{Name: "mode", Value: *mode, Allowed: []string{"base", "lmi"}},
-		cliutil.EnumCheck{Name: "elide", Value: *elide, Allowed: []string{"off", "on"}})
+		cliutil.EnumCheck{Name: "elide", Value: *elide, Allowed: []string{"off", "on"}}); err != nil {
+		os.Exit(cliutil.Usage("lmi-compile", err))
+	}
+	if err := cliutil.ValidateKeys("lmi-compile",
+		cliutil.KeyCheck{Name: "key", Value: *key, Bytes: 32},
+		cliutil.KeyCheck{Name: "pub", Value: *pub, Bytes: 32}); err != nil {
+		os.Exit(cliutil.Usage("lmi-compile", err))
+	}
+	if *verifyBundle != "" {
+		os.Exit(runVerifyBundle(*verifyBundle, *pub))
+	}
+	if *bundleOut != "" {
+		os.Exit(runBuildBundle(*bundleOut, *bundleWorkloads, *key, *jobs))
+	}
 
 	var f *ir.Func
 	var spec *workloads.Spec
@@ -212,6 +250,89 @@ func main() {
 	if *runIt {
 		runProgram(f, prog, m, *grid, *block, *n)
 	}
+}
+
+// parseBundleSpecs turns the -bundle-workloads list ("backprop,needle:elide")
+// into build specs.
+func parseBundleSpecs(list string) ([]bundle.BuildSpec, error) {
+	var specs []bundle.BuildSpec
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, opt, hasOpt := strings.Cut(part, ":")
+		bs := bundle.BuildSpec{Workload: name}
+		if hasOpt {
+			if opt != "elide" {
+				return nil, fmt.Errorf("workload %q: unknown option %q (only :elide)", name, opt)
+			}
+			bs.Elide = true
+		}
+		specs = append(specs, bs)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("-bundle-workloads is empty")
+	}
+	return specs, nil
+}
+
+// runBuildBundle compiles the workload list into a signed bundle. The
+// output bytes are a pure function of (workload list, key): entries are
+// built in canonical order on the deterministic runner pool and ed25519
+// signatures are deterministic, so -jobs never changes a byte.
+func runBuildBundle(out, workloadList, keyFlag string, jobs int) int {
+	specs, err := parseBundleSpecs(workloadList)
+	if err != nil {
+		return cliutil.Usage("lmi-compile", cliutil.Errorf("lmi-compile", "%v", err))
+	}
+	priv, err := bundle.ParseSigningKey(keyFlag)
+	if err != nil {
+		return cliutil.Usage("lmi-compile", cliutil.Errorf("lmi-compile", "-key: %v", err))
+	}
+	b, err := bundle.Build(specs, jobs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lmi-compile: bundle build: %v\n", err)
+		return 1
+	}
+	if err := b.Seal(priv); err != nil {
+		fmt.Fprintf(os.Stderr, "lmi-compile: bundle seal: %v\n", err)
+		return 1
+	}
+	if err := b.WriteFile(out); err != nil {
+		fmt.Fprintf(os.Stderr, "lmi-compile: %v\n", err)
+		return 1
+	}
+	fmt.Printf("bundle %s\n  digest  %s\n  signer  %s\n  entries %d\n",
+		out, b.Digest, bundle.PublicHex(priv), len(b.Entries))
+	for _, e := range b.Entries {
+		fmt.Printf("    %-10s %-10s elided=%-5v %s\n", e.Name, e.Mechanism, e.Elided, e.Digest)
+	}
+	return 0
+}
+
+// runVerifyBundle re-checks a bundle's whole chain of trust against the
+// trusted public key and exits nonzero on any typed rejection.
+func runVerifyBundle(path, pubFlag string) int {
+	trusted, err := bundle.ParsePublicKey(pubFlag)
+	if err != nil {
+		return cliutil.Usage("lmi-compile", cliutil.Errorf("lmi-compile", "-pub: %v", err))
+	}
+	b, err := bundle.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lmi-compile: bundle rejected: %v\n", err)
+		return 1
+	}
+	v, err := bundle.Verify(b, trusted)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lmi-compile: bundle rejected: %v\n", err)
+		return 1
+	}
+	fmt.Printf("bundle %s verified\n  digest  %s\n  entries %d\n", path, v.Digest(), len(v.Entries()))
+	for _, e := range v.Entries() {
+		fmt.Printf("    %-10s %-10s elided=%-5v %s\n", e.Name, e.Mechanism, e.Elided, e.Digest)
+	}
+	return 0
 }
 
 // runProgram executes a compiled kernel with auto-allocated buffers: every

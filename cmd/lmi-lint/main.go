@@ -69,8 +69,10 @@ func main() {
 	raceFlag := flag.Bool("race", false, "also run the static shared-memory race and barrier-divergence analyzer over every program")
 	jsonOut := flag.Bool("json", false, "emit the full report as JSON")
 	flag.Parse()
-	cliutil.ValidateEnumOrExit("lmi-lint",
-		cliutil.EnumCheck{Name: "mode", Value: *modeFlag, Allowed: []string{"base", "lmi", "both"}})
+	if err := cliutil.ValidateEnum("lmi-lint",
+		cliutil.EnumCheck{Name: "mode", Value: *modeFlag, Allowed: []string{"base", "lmi", "both"}}); err != nil {
+		os.Exit(cliutil.Usage("lmi-lint", err))
+	}
 
 	if !*all && *bench == "" {
 		os.Exit(cliutil.Usage("lmi-lint", cliutil.Errorf("lmi-lint", "need -all or -bench")))

@@ -43,11 +43,15 @@ func main() {
 	tierName := flag.String("tier", fastsim.TierCycle.String(),
 		"chaos victim execution tier: cycle (timing reference) or compiled (fast functional)")
 	flag.Parse()
-	cliutil.ValidateOrExit("lmi-sec", flag.CommandLine,
+	if err := cliutil.Validate("lmi-sec", flag.CommandLine,
 		cliutil.Check{Name: "trials", Value: *trials},
-		cliutil.Check{Name: "jobs", Value: *jobs, AutoZero: true})
-	cliutil.ValidateEnumOrExit("lmi-sec",
-		cliutil.EnumCheck{Name: "tier", Value: *tierName, Allowed: fastsim.TierNames()})
+		cliutil.Check{Name: "jobs", Value: *jobs, AutoZero: true}); err != nil {
+		os.Exit(cliutil.Usage("lmi-sec", err))
+	}
+	if err := cliutil.ValidateEnum("lmi-sec",
+		cliutil.EnumCheck{Name: "tier", Value: *tierName, Allowed: fastsim.TierNames()}); err != nil {
+		os.Exit(cliutil.Usage("lmi-sec", err))
+	}
 	tier, _ := fastsim.ParseTier(*tierName)
 
 	if *chaosMode {

@@ -13,6 +13,17 @@
 //	lmi-serve -soak -shards 4             # fleet soak: sharded fleet under shard-kill chaos
 //	lmi-serve -shards 4                   # serve through the sharded fleet coordinator
 //	lmi-serve -decision-log d.jsonl       # per-request safety decision records (JSONL)
+//	lmi-serve -bundle b.json -bundle-pub <hex>  # serve signed compiled artifacts
+//
+// Bundle-backed serving is fail-closed: the bundle is verified (signature,
+// digests, and all three static passes re-run against the embedded
+// certificates) before the listener opens, and a rejected bundle is a
+// nonzero exit, not a degraded server. SIGHUP re-reads the -bundle file
+// and hot-reloads it through the same verification; a rejected reload
+// leaves the serving table untouched. POST /reload does the same with
+// the request body. The trusted key (-bundle-pub, 32-byte hex, @file, or
+// $LMI_BUNDLE_PUB) is the only key accepted — there is no
+// trust-on-first-use.
 //
 // The soak report depends only on -seed and -requests (plus -shards
 // for the fleet soak): it is byte-identical for any -jobs value, and
@@ -27,6 +38,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"crypto/ed25519"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -37,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"lmi/internal/bundle"
 	"lmi/internal/cliutil"
 	"lmi/internal/fastsim"
 	"lmi/internal/fleet"
@@ -56,18 +69,40 @@ func main() {
 	logBuffer := flag.Int("log-buffer", 256, "decision-log sink buffer; overflow drops records, never blocks")
 	tierName := flag.String("tier", fastsim.TierCycle.String(),
 		"execution tier requests simulate on: cycle (timing reference) or compiled (fast functional)")
+	bundlePath := flag.String("bundle", "", "serve compiled programs from this signed bundle file (SIGHUP re-reads and hot-reloads it)")
+	bundlePubFlag := flag.String("bundle-pub", "", "trusted bundle-signing public key (32-byte hex, @file, or $LMI_BUNDLE_PUB); required with -bundle")
 	verbose := flag.Bool("v", false, "verbose: per-request soak log / serve request log")
 	flag.Parse()
-	cliutil.ValidateOrExit("lmi-serve", flag.CommandLine,
+	if err := cliutil.Validate("lmi-serve", flag.CommandLine,
 		cliutil.Check{Name: "requests", Value: *requests},
 		cliutil.Check{Name: "queue", Value: *queue},
 		cliutil.Check{Name: "sms", Value: *sms},
 		cliutil.Check{Name: "shards", Value: *shards},
 		cliutil.Check{Name: "log-buffer", Value: *logBuffer},
-		cliutil.Check{Name: "jobs", Value: *jobs, AutoZero: true})
-	cliutil.ValidateEnumOrExit("lmi-serve",
-		cliutil.EnumCheck{Name: "tier", Value: *tierName, Allowed: fastsim.TierNames()})
+		cliutil.Check{Name: "jobs", Value: *jobs, AutoZero: true}); err != nil {
+		os.Exit(cliutil.Usage("lmi-serve", err))
+	}
+	if err := cliutil.ValidateEnum("lmi-serve",
+		cliutil.EnumCheck{Name: "tier", Value: *tierName, Allowed: fastsim.TierNames()}); err != nil {
+		os.Exit(cliutil.Usage("lmi-serve", err))
+	}
+	if err := cliutil.ValidateKeys("lmi-serve",
+		cliutil.KeyCheck{Name: "bundle-pub", Value: *bundlePubFlag, Bytes: 32, Required: *bundlePath != ""}); err != nil {
+		os.Exit(cliutil.Usage("lmi-serve", err))
+	}
 	tier, _ := fastsim.ParseTier(*tierName)
+
+	// Fail closed before anything serves: parse the trusted key and
+	// verify the bundle now, so a bad artifact is a startup error, never
+	// a live server with an empty table.
+	var pub ed25519.PublicKey
+	if *bundlePath != "" {
+		var err error
+		pub, err = bundle.ParsePublicKey(*bundlePubFlag)
+		if err != nil {
+			os.Exit(cliutil.Usage("lmi-serve", cliutil.Errorf("lmi-serve", "-bundle-pub: %v", err)))
+		}
+	}
 
 	if *soak {
 		if *shards > 1 {
@@ -76,9 +111,20 @@ func main() {
 		os.Exit(runSoak(*seed, *requests, *jobs, *sms, tier, *verbose))
 	}
 	if *shards > 1 {
-		os.Exit(runFleetServe(*addr, *shards, *queue, *sms, tier, *decisionLog, *logBuffer, *verbose))
+		os.Exit(runFleetServe(*addr, *shards, *queue, *sms, tier, *decisionLog, *logBuffer, *bundlePath, pub, *verbose))
 	}
-	os.Exit(runServe(*addr, *jobs, *queue, *sms, tier, *verbose))
+	os.Exit(runServe(*addr, *jobs, *queue, *sms, tier, *bundlePath, pub, *verbose))
+}
+
+// loadBundle re-reads the -bundle file and installs it through reload,
+// which verifies the whole chain of trust before any table swap. Used
+// both for the fail-closed startup load and for SIGHUP hot reloads.
+func loadBundle(path string, reload func(*bundle.Bundle) error) error {
+	b, err := bundle.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return reload(b)
 }
 
 // openDecisionLog opens the decision-log destination ("" = discard).
@@ -134,8 +180,10 @@ func runFleetSoak(seed uint64, requests, shards, jobs, sms int, tier fastsim.Tie
 }
 
 // runFleetServe hosts the sharded fleet coordinator over HTTP until
-// SIGTERM/SIGINT, then drains and flushes the shutdown report.
-func runFleetServe(addr string, shards, queue, sms int, tier fastsim.Tier, logPath string, logBuffer int, verbose bool) int {
+// SIGTERM/SIGINT, then drains and flushes the shutdown report. With a
+// bundle, startup verification is fail-closed and SIGHUP hot-reloads
+// the bundle file across every shard.
+func runFleetServe(addr string, shards, queue, sms int, tier fastsim.Tier, logPath string, logBuffer int, bundlePath string, pub ed25519.PublicKey, verbose bool) int {
 	logf := func(string, ...any) {}
 	if verbose {
 		logf = func(format string, args ...any) {
@@ -154,11 +202,19 @@ func runFleetServe(addr string, shards, queue, sms int, tier fastsim.Tier, logPa
 		Tier:          tier,
 		DecisionLog:   logW,
 		LogBuffer:     logBuffer,
+		BundlePub:     pub,
 		Logf:          logf,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lmi-serve: %v\n", err)
 		return 1
+	}
+	if bundlePath != "" {
+		if err := loadBundle(bundlePath, c.Reload); err != nil {
+			fmt.Fprintf(os.Stderr, "lmi-serve: bundle rejected: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "lmi-serve: serving bundle %s\n", c.BundleDigest())
 	}
 	hs := &http.Server{Addr: addr, Handler: c.Handler()}
 	errc := make(chan error, 1)
@@ -167,12 +223,26 @@ func runFleetServe(addr string, shards, queue, sms int, tier fastsim.Tier, logPa
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
-	select {
-	case sig := <-sigc:
-		fmt.Fprintf(os.Stderr, "lmi-serve: %v: draining\n", sig)
-	case err := <-errc:
-		fmt.Fprintf(os.Stderr, "lmi-serve: listener failed: %v\n", err)
-		return 1
+	hup := make(chan os.Signal, 1)
+	if bundlePath != "" {
+		signal.Notify(hup, syscall.SIGHUP)
+	}
+drain:
+	for {
+		select {
+		case sig := <-sigc:
+			fmt.Fprintf(os.Stderr, "lmi-serve: %v: draining\n", sig)
+			break drain
+		case <-hup:
+			if err := loadBundle(bundlePath, c.Reload); err != nil {
+				fmt.Fprintf(os.Stderr, "lmi-serve: reload rejected (still serving %s): %v\n", c.BundleDigest(), err)
+			} else {
+				fmt.Fprintf(os.Stderr, "lmi-serve: reloaded bundle %s\n", c.BundleDigest())
+			}
+		case err := <-errc:
+			fmt.Fprintf(os.Stderr, "lmi-serve: listener failed: %v\n", err)
+			return 1
+		}
 	}
 
 	shctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -215,8 +285,9 @@ func runSoak(seed uint64, requests, jobs, sms int, tier fastsim.Tier, verbose bo
 }
 
 // runServe hosts the HTTP service until SIGTERM/SIGINT, then drains and
-// flushes the shutdown report.
-func runServe(addr string, jobs, queue, sms int, tier fastsim.Tier, verbose bool) int {
+// flushes the shutdown report. With a bundle, startup verification is
+// fail-closed and SIGHUP hot-reloads the bundle file.
+func runServe(addr string, jobs, queue, sms int, tier fastsim.Tier, bundlePath string, pub ed25519.PublicKey, verbose bool) int {
 	logf := func(string, ...any) {}
 	if verbose {
 		logf = func(format string, args ...any) {
@@ -228,11 +299,19 @@ func runServe(addr string, jobs, queue, sms int, tier fastsim.Tier, verbose bool
 		QueueCapacity: queue,
 		SMs:           sms,
 		Tier:          tier,
+		BundlePub:     pub,
 		Logf:          logf,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lmi-serve: %v\n", err)
 		return 1
+	}
+	if bundlePath != "" {
+		if err := loadBundle(bundlePath, s.Reload); err != nil {
+			fmt.Fprintf(os.Stderr, "lmi-serve: bundle rejected: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "lmi-serve: serving bundle %s\n", s.BundleDigest())
 	}
 	hs := &http.Server{Addr: addr, Handler: s.Handler()}
 	errc := make(chan error, 1)
@@ -241,12 +320,26 @@ func runServe(addr string, jobs, queue, sms int, tier fastsim.Tier, verbose bool
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
-	select {
-	case sig := <-sigc:
-		fmt.Fprintf(os.Stderr, "lmi-serve: %v: draining\n", sig)
-	case err := <-errc:
-		fmt.Fprintf(os.Stderr, "lmi-serve: listener failed: %v\n", err)
-		return 1
+	hup := make(chan os.Signal, 1)
+	if bundlePath != "" {
+		signal.Notify(hup, syscall.SIGHUP)
+	}
+drain:
+	for {
+		select {
+		case sig := <-sigc:
+			fmt.Fprintf(os.Stderr, "lmi-serve: %v: draining\n", sig)
+			break drain
+		case <-hup:
+			if err := loadBundle(bundlePath, s.Reload); err != nil {
+				fmt.Fprintf(os.Stderr, "lmi-serve: reload rejected (still serving %s): %v\n", s.BundleDigest(), err)
+			} else {
+				fmt.Fprintf(os.Stderr, "lmi-serve: reloaded bundle %s\n", s.BundleDigest())
+			}
+		case err := <-errc:
+			fmt.Fprintf(os.Stderr, "lmi-serve: listener failed: %v\n", err)
+			return 1
+		}
 	}
 
 	// Stop the listener first (no new connections), then drain the

@@ -44,10 +44,14 @@ func main() {
 	tierName := flag.String("tier", fastsim.TierCycle.String(),
 		"execution tier: cycle (timing reference) or compiled (fast functional)")
 	flag.Parse()
-	cliutil.ValidateOrExit("lmi-sim", flag.CommandLine,
-		cliutil.Check{Name: "sms", Value: *sms})
-	cliutil.ValidateEnumOrExit("lmi-sim",
-		cliutil.EnumCheck{Name: "tier", Value: *tierName, Allowed: fastsim.TierNames()})
+	if err := cliutil.Validate("lmi-sim", flag.CommandLine,
+		cliutil.Check{Name: "sms", Value: *sms}); err != nil {
+		os.Exit(cliutil.Usage("lmi-sim", err))
+	}
+	if err := cliutil.ValidateEnum("lmi-sim",
+		cliutil.EnumCheck{Name: "tier", Value: *tierName, Allowed: fastsim.TierNames()}); err != nil {
+		os.Exit(cliutil.Usage("lmi-sim", err))
+	}
 	tier, _ := fastsim.ParseTier(*tierName)
 
 	if *list {

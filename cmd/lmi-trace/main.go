@@ -41,10 +41,14 @@ func main() {
 	tierName := flag.String("tier", fastsim.TierCycle.String(),
 		"recording: execution tier, cycle (timing reference) or compiled (fast functional)")
 	flag.Parse()
-	cliutil.ValidateOrExit("lmi-trace", flag.CommandLine,
-		cliutil.Check{Name: "sms", Value: *sms})
-	cliutil.ValidateEnumOrExit("lmi-trace",
-		cliutil.EnumCheck{Name: "tier", Value: *tierName, Allowed: fastsim.TierNames()})
+	if err := cliutil.Validate("lmi-trace", flag.CommandLine,
+		cliutil.Check{Name: "sms", Value: *sms}); err != nil {
+		os.Exit(cliutil.Usage("lmi-trace", err))
+	}
+	if err := cliutil.ValidateEnum("lmi-trace",
+		cliutil.EnumCheck{Name: "tier", Value: *tierName, Allowed: fastsim.TierNames()}); err != nil {
+		os.Exit(cliutil.Usage("lmi-trace", err))
+	}
 	tier, _ := fastsim.ParseTier(*tierName)
 
 	switch {

@@ -1,0 +1,133 @@
+package bundle
+
+import (
+	"context"
+	"fmt"
+
+	"lmi/internal/compiler"
+	"lmi/internal/isa"
+	"lmi/internal/lint"
+	"lmi/internal/race"
+	"lmi/internal/runner"
+	"lmi/internal/workloads"
+)
+
+// BuildSpec selects one workload compile for a bundle entry.
+type BuildSpec struct {
+	// Workload is the Table V benchmark name.
+	Workload string
+	// Elide compiles with static extent-check elision under the
+	// workload's launch contract.
+	Elide bool
+}
+
+// Build compiles the given workloads in LMI mode, runs the three static
+// passes, and assembles the (unsealed) bundle. Compilation fans out
+// over jobs workers through the deterministic runner pool; entries are
+// produced in a canonical order regardless, so Build(specs, 1) and
+// Build(specs, 4) seal to byte-identical bundles.
+//
+// A workload whose static passes are not clean cannot be bundled: the
+// certificates certify absence of diagnostics, and Build refuses to
+// fabricate a certificate for a violating program.
+func Build(specs []BuildSpec, jobs int) (*Bundle, error) {
+	entries := make([]Entry, len(specs))
+	errs := runner.ForEach(context.Background(), len(specs), jobs, func(i int) error {
+		e, err := buildEntry(specs[i])
+		if err != nil {
+			return err
+		}
+		entries[i] = *e
+		return nil
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Bundle{Version: Version, Entries: entries}, nil
+}
+
+// buildEntry compiles one workload and fills in its certificates.
+func buildEntry(bs BuildSpec) (*Entry, error) {
+	s := workloads.ByName(bs.Workload)
+	if s == nil {
+		return nil, fmt.Errorf("bundle: unknown workload %q", bs.Workload)
+	}
+	f, err := s.Kernel()
+	if err != nil {
+		return nil, err
+	}
+	contract := s.Contract()
+	var prog *compilerProgram
+	if bs.Elide {
+		p, srcMap, _, err := compiler.CompileElidedWithSourceMap(f, contract)
+		if err != nil {
+			return nil, fmt.Errorf("bundle: %s: %w", bs.Workload, err)
+		}
+		prog = &compilerProgram{p: p, srcMap: srcMap}
+	} else {
+		p, srcMap, err := compiler.CompileWithSourceMap(f, compiler.ModeLMI)
+		if err != nil {
+			return nil, fmt.Errorf("bundle: %s: %w", bs.Workload, err)
+		}
+		prog = &compilerProgram{p: p, srcMap: srcMap}
+	}
+	code, err := EncodeWords(prog.p)
+	if err != nil {
+		return nil, fmt.Errorf("bundle: %s: %w", bs.Workload, err)
+	}
+	e := &Entry{
+		Name:      bs.Workload,
+		Mechanism: "lmi",
+		Mode:      "lmi",
+		Elided:    bs.Elide,
+		Code:      code,
+		Meta: ProgramMeta{
+			FrameSize:     prog.p.FrameSize,
+			SharedSize:    prog.p.SharedSize,
+			NumRegs:       prog.p.NumRegs,
+			NumParams:     prog.p.NumParams,
+			ParamPtrs:     prog.p.ParamPtrs,
+			StackPtrConst: prog.p.StackPtrConst,
+			ParamBase:     prog.p.ParamBase,
+			StackBuffers:  prog.p.StackBuffers,
+		},
+		SourceMap: prog.srcMap,
+		Contract:  contract,
+	}
+	cd, err := CodeDigest(e)
+	if err != nil {
+		return nil, err
+	}
+
+	// Run the passes the certificates will certify. Build is the honest
+	// signer: a diagnostic here is a build failure, never a certificate.
+	if diags := lint.CheckWithSource(prog.p, compiler.ModeLMI, prog.srcMap); len(diags) > 0 {
+		return nil, fmt.Errorf("bundle: %s: lint: %d diagnostics: %s", bs.Workload, len(diags), diags[0])
+	}
+	e.Lint = &LintCert{CodeDigest: cd, Diags: 0}
+	if diags := lint.ElideAudit(prog.p, contract); len(diags) > 0 {
+		return nil, fmt.Errorf("bundle: %s: elide audit: %d diagnostics: %s", bs.Workload, len(diags), diags[0])
+	}
+	e.Audit = &AuditCert{CodeDigest: cd, Diags: 0, Elided: prog.p.CountElided()}
+	rr := race.Analyze(prog.p, contract, prog.srcMap)
+	if !rr.Clean() || !rr.Converged {
+		n := len(rr.Diags)
+		return nil, fmt.Errorf("bundle: %s: race analysis: %d diagnostics (converged=%v)", bs.Workload, n, rr.Converged)
+	}
+	e.Race = &RaceCert{
+		CodeDigest:     cd,
+		Diags:          0,
+		SharedAccesses: rr.SharedAccesses,
+		PairsTested:    rr.PairsTested,
+		Phases:         rr.Phases,
+	}
+	return e, nil
+}
+
+// compilerProgram pairs a compiled program with its source map.
+type compilerProgram struct {
+	p      *isa.Program
+	srcMap []compiler.SourceLoc
+}

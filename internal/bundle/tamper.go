@@ -1,0 +1,140 @@
+package bundle
+
+import (
+	"crypto/ed25519"
+	"fmt"
+)
+
+// Tamper kinds: adversarial mutations of a signed artifact bundle,
+// each pinned to the typed rejection reason Verify must produce. The
+// first kind models an in-flight bit flip (no resigning); the rest
+// model an insider who holds the real signing key (or a
+// plausible-looking wrong one) and reseals the bundle consistently —
+// the attacks the content-addressed certificate binding exists to
+// stop. The fleet reload soak replays every kind against the serving
+// path; the kinds live here rather than in internal/chaos so the chaos
+// engine (imported by the static passes' own tests) never depends back
+// on this package.
+const (
+	// TamperFlipByte flips one byte of a program body without
+	// resealing: the recomputed bundle digest no longer matches.
+	TamperFlipByte = "bundle-flip-byte"
+	// TamperStripCert removes a race certificate and reseals with the
+	// right key: a signature cannot substitute for a missing pass.
+	TamperStripCert = "bundle-strip-cert"
+	// TamperWrongKey reseals the untouched content with a different
+	// key: internally consistent, but not the trusted signer.
+	TamperWrongKey = "bundle-wrong-key"
+	// TamperStaleAudit replays an older bundle's certificates against
+	// newer code for the same entry and reseals with the right key: the
+	// certificate CodeDigest binding breaks.
+	TamperStaleAudit = "bundle-stale-audit"
+)
+
+// TamperKinds lists the tamper kinds in campaign order.
+func TamperKinds() []string {
+	return []string{TamperFlipByte, TamperStripCert, TamperWrongKey, TamperStaleAudit}
+}
+
+// ExpectedTamperRejection is the typed reason Verify must produce for
+// a tamper kind; the reload soak asserts the pairing per rejection.
+func ExpectedTamperRejection(kind string) RejectReason {
+	switch kind {
+	case TamperFlipByte:
+		return ReasonDigestMismatch
+	case TamperStripCert:
+		return ReasonCertMissing
+	case TamperWrongKey:
+		return ReasonWrongKey
+	case TamperStaleAudit:
+		return ReasonCertStale
+	default:
+		return ""
+	}
+}
+
+// Tamper applies one tamper kind to a clone of cur and returns the
+// tampered artifact. older supplies the replayed certificates for
+// TamperStaleAudit (it needs an entry with the same key as cur but
+// different code); priv is the genuine signing key, wrongPriv the
+// attacker's key for TamperWrongKey.
+func Tamper(kind string, cur, older *Bundle, priv, wrongPriv ed25519.PrivateKey) (*Bundle, error) {
+	b := cur.Clone()
+	if len(b.Entries) == 0 {
+		return nil, fmt.Errorf("bundle: tamper %s: empty bundle", kind)
+	}
+	switch kind {
+	case TamperFlipByte:
+		e := &b.Entries[0]
+		if len(e.Code) == 0 || len(e.Code[0]) == 0 {
+			return nil, fmt.Errorf("bundle: tamper %s: entry %s has no code", kind, e.Key())
+		}
+		w := []byte(e.Code[0])
+		if w[0] == '0' {
+			w[0] = '1'
+		} else {
+			w[0] = '0'
+		}
+		e.Code[0] = string(w)
+		// No reseal: the stored digests and signature still describe the
+		// original bytes.
+		return b, nil
+	case TamperStripCert:
+		b.Entries[0].Race = nil
+		if err := b.Seal(priv); err != nil {
+			return nil, err
+		}
+		return b, nil
+	case TamperWrongKey:
+		if err := b.Seal(wrongPriv); err != nil {
+			return nil, err
+		}
+		return b, nil
+	case TamperStaleAudit:
+		if older == nil {
+			return nil, fmt.Errorf("bundle: tamper %s: no older bundle to replay from", kind)
+		}
+		spliced := false
+		for i := range b.Entries {
+			e := &b.Entries[i]
+			oe := findEntry(older, e.Key())
+			if oe == nil || oe.Lint == nil || oe.Audit == nil || oe.Race == nil {
+				continue
+			}
+			ocd, err := CodeDigest(oe)
+			if err != nil {
+				return nil, err
+			}
+			cd, err := CodeDigest(e)
+			if err != nil {
+				return nil, err
+			}
+			if ocd == cd {
+				continue // identical code: the replay would be valid
+			}
+			lint, audit, race := *oe.Lint, *oe.Audit, *oe.Race
+			e.Lint, e.Audit, e.Race = &lint, &audit, &race
+			spliced = true
+			break
+		}
+		if !spliced {
+			return nil, fmt.Errorf("bundle: tamper %s: no entry with changed code between bundle versions", kind)
+		}
+		if err := b.Seal(priv); err != nil {
+			return nil, err
+		}
+		return b, nil
+	default:
+		return nil, fmt.Errorf("bundle: unknown tamper kind %q", kind)
+	}
+}
+
+// findEntry locates an entry by key.
+func findEntry(b *Bundle, key string) *Entry {
+	for i := range b.Entries {
+		if b.Entries[i].Key() == key {
+			return &b.Entries[i]
+		}
+	}
+	return nil
+}

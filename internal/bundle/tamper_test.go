@@ -1,0 +1,108 @@
+package bundle
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"errors"
+	"sync"
+	"testing"
+)
+
+var (
+	tamperKey  = ed25519.NewKeyFromSeed(bytes.Repeat([]byte{0x11}, ed25519.SeedSize))
+	attackKey  = ed25519.NewKeyFromSeed(bytes.Repeat([]byte{0x99}, ed25519.SeedSize))
+	tamperOnce = sync.OnceValues(func() ([2]*Bundle, error) {
+		var out [2]*Bundle
+		// v1 serves nn plain; v2 serves it elided — same key, changed
+		// code, the raw material for the stale-certificate replay.
+		v1, err := Build([]BuildSpec{{Workload: "nn"}, {Workload: "needle", Elide: true}}, 2)
+		if err != nil {
+			return out, err
+		}
+		v2, err := Build([]BuildSpec{{Workload: "nn", Elide: true}, {Workload: "needle", Elide: true}}, 2)
+		if err != nil {
+			return out, err
+		}
+		if err := v1.Seal(tamperKey); err != nil {
+			return out, err
+		}
+		if err := v2.Seal(tamperKey); err != nil {
+			return out, err
+		}
+		out = [2]*Bundle{v1, v2}
+		return out, nil
+	})
+)
+
+func tamperBundles(t *testing.T) (*Bundle, *Bundle) {
+	t.Helper()
+	bs, err := tamperOnce()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return bs[0], bs[1]
+}
+
+// TestTamperKindsPinned drives every tamper kind through Verify and
+// pins each to its typed rejection reason — the fail-closed contract
+// the reload soak replays at fleet scale.
+func TestTamperKindsPinned(t *testing.T) {
+	older, cur := tamperBundles(t)
+	pub := tamperKey.Public().(ed25519.PublicKey)
+	if _, err := Verify(cur, pub); err != nil {
+		t.Fatalf("untampered bundle rejected: %v", err)
+	}
+	for _, kind := range TamperKinds() {
+		t.Run(kind, func(t *testing.T) {
+			want := ExpectedTamperRejection(kind)
+			if want == "" {
+				t.Fatalf("no expected rejection for kind %s", kind)
+			}
+			tb, err := Tamper(kind, cur, older, tamperKey, attackKey)
+			if err != nil {
+				t.Fatalf("tamper: %v", err)
+			}
+			v, err := Verify(tb, pub)
+			if v != nil || err == nil {
+				t.Fatalf("tampered bundle (%s) verified", kind)
+			}
+			var re *RejectError
+			if !errors.As(err, &re) {
+				t.Fatalf("untyped rejection for %s: %v", kind, err)
+			}
+			if re.Reason != want {
+				t.Fatalf("kind %s rejected with %q, want %q (%v)", kind, re.Reason, want, err)
+			}
+		})
+	}
+}
+
+// TestTamperLeavesOriginalIntact: tampering clones; the serving bundle
+// is never mutated in place.
+func TestTamperLeavesOriginalIntact(t *testing.T) {
+	older, cur := tamperBundles(t)
+	before := cur.Digest
+	for _, kind := range TamperKinds() {
+		if _, err := Tamper(kind, cur, older, tamperKey, attackKey); err != nil {
+			t.Fatalf("tamper %s: %v", kind, err)
+		}
+	}
+	if cur.Digest != before {
+		t.Fatalf("tampering mutated the source bundle")
+	}
+	if _, err := Verify(cur, tamperKey.Public().(ed25519.PublicKey)); err != nil {
+		t.Fatalf("source bundle no longer verifies after tamper runs: %v", err)
+	}
+}
+
+// TestStaleAuditNeedsChangedCode: when no entry's code changed between
+// versions the replay is not constructible (it would be valid).
+func TestStaleAuditNeedsChangedCode(t *testing.T) {
+	_, cur := tamperBundles(t)
+	if _, err := Tamper(TamperStaleAudit, cur, cur, tamperKey, attackKey); err == nil {
+		t.Fatalf("stale-audit replay built against identical code")
+	}
+	if _, err := Tamper("no-such-kind", cur, cur, tamperKey, attackKey); err == nil {
+		t.Fatalf("unknown tamper kind accepted")
+	}
+}

@@ -6,6 +6,7 @@
 package cliutil
 
 import (
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"os"
@@ -73,29 +74,57 @@ func ValidateEnum(tool string, checks ...EnumCheck) error {
 	return nil
 }
 
-// ValidateEnumOrExit is the main() entry point for enum flags: validate,
-// and on violation print the uniform usage error and exit 2.
-func ValidateEnumOrExit(tool string, checks ...EnumCheck) {
-	if err := ValidateEnum(tool, checks...); err != nil {
-		os.Exit(Usage(tool, err))
+// KeyCheck is one key-material flag (the -key / -pub family): its
+// value is empty (fall back to the environment, unless Required), an
+// @path file reference (read later, at use), or a hex literal that
+// must decode to exactly Bytes bytes.
+type KeyCheck struct {
+	// Name is the flag name without the dash.
+	Name string
+	// Value is the parsed value.
+	Value string
+	// Bytes is the required decoded length of a hex literal.
+	Bytes int
+	// Required rejects an empty value (tools with no env fallback).
+	Required bool
+}
+
+// ValidateKeys applies the key checks and returns the first violation
+// as a uniform usage error. It validates flag syntax only — whether an
+// @path file exists or an env fallback is set is the key parser's
+// business, at use time.
+func ValidateKeys(tool string, checks ...KeyCheck) error {
+	for _, c := range checks {
+		switch {
+		case c.Value == "":
+			if c.Required {
+				return fmt.Errorf("%s: missing required -%s", tool, c.Name)
+			}
+		case strings.HasPrefix(c.Value, "@"):
+			if len(c.Value) == 1 {
+				return fmt.Errorf("%s: invalid -%s %q: @ needs a file path", tool, c.Name, c.Value)
+			}
+		default:
+			raw, err := hex.DecodeString(c.Value)
+			if err != nil {
+				return fmt.Errorf("%s: invalid -%s: not a hex key or @path", tool, c.Name)
+			}
+			if len(raw) != c.Bytes {
+				return fmt.Errorf("%s: invalid -%s: %d key bytes, want %d", tool, c.Name, len(raw), c.Bytes)
+			}
+		}
 	}
+	return nil
 }
 
 // Usage prints a uniform usage error for tool and returns exit status
 // 2 (the conventional flag-error status), leaving the exit itself to
-// the caller so tests can intercept it.
+// the caller so tests can intercept it — and so no os.Exit hides in
+// library code (the repository invariant vetnopanic enforces).
 func Usage(tool string, err error) int {
 	fmt.Fprintf(os.Stderr, "%v\n", err)
 	fmt.Fprintf(os.Stderr, "run '%s -h' for usage\n", tool)
 	return 2
-}
-
-// ValidateOrExit is the main() entry point: validate, and on violation
-// print the uniform usage error and exit 2.
-func ValidateOrExit(tool string, fs *flag.FlagSet, checks ...Check) {
-	if err := Validate(tool, fs, checks...); err != nil {
-		os.Exit(Usage(tool, err))
-	}
 }
 
 // Errorf builds a tool-prefixed usage error for conditions that are

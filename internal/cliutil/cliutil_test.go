@@ -124,6 +124,59 @@ func TestValidateEnum(t *testing.T) {
 	}
 }
 
+// TestValidateKeys is the table over the key-material flag shapes
+// (-key, -pub, -bundle-pub): empty defers to the environment unless
+// Required, @path defers to the file read, and a hex literal must
+// decode to exactly the key length.
+func TestValidateKeys(t *testing.T) {
+	hex32 := strings.Repeat("ab", 32)
+	cases := []struct {
+		name    string
+		checks  []KeyCheck
+		wantErr string // "" = valid
+	}{
+		{"empty defers to env", []KeyCheck{{Name: "key", Value: "", Bytes: 32}}, ""},
+		{"empty but required", []KeyCheck{{Name: "bundle-pub", Value: "", Bytes: 32, Required: true}},
+			"missing required -bundle-pub"},
+		{"file reference", []KeyCheck{{Name: "key", Value: "@seed.hex", Bytes: 32}}, ""},
+		{"bare at sign", []KeyCheck{{Name: "key", Value: "@", Bytes: 32}},
+			`invalid -key "@": @ needs a file path`},
+		{"exact hex literal", []KeyCheck{{Name: "pub", Value: hex32, Bytes: 32}}, ""},
+		{"not hex", []KeyCheck{{Name: "key", Value: "not-a-key", Bytes: 32}},
+			"invalid -key: not a hex key or @path"},
+		{"odd-length hex", []KeyCheck{{Name: "key", Value: "abc", Bytes: 32}},
+			"invalid -key: not a hex key or @path"},
+		{"short hex", []KeyCheck{{Name: "pub", Value: "abcd", Bytes: 32}},
+			"invalid -pub: 2 key bytes, want 32"},
+		{"long hex", []KeyCheck{{Name: "pub", Value: hex32 + "ff", Bytes: 32}},
+			"invalid -pub: 33 key bytes, want 32"},
+		{"first violation wins", []KeyCheck{
+			{Name: "key", Value: "zz", Bytes: 32},
+			{Name: "pub", Value: "yy", Bytes: 32},
+		}, "invalid -key"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateKeys("tool", tc.checks...)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected usage error %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("accepted, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q, want it to contain %q", err, tc.wantErr)
+			}
+			if !strings.HasPrefix(err.Error(), "tool: ") {
+				t.Fatalf("error %q lacks the uniform tool prefix", err)
+			}
+		})
+	}
+}
+
 // TestErrorf: hand-rolled validations share the same prefix shape.
 func TestErrorf(t *testing.T) {
 	err := Errorf("lmi-lint", "need -all or -bench")

@@ -33,6 +33,7 @@ type Cache struct {
 	mu       sync.Mutex
 	capacity int
 	m        map[*isa.Program]*Compiled
+	byDigest map[string]*Compiled
 	hits     uint64
 	misses   uint64
 }
@@ -43,7 +44,11 @@ func NewCache(capacity int) *Cache {
 	if capacity <= 0 {
 		capacity = 16
 	}
-	return &Cache{capacity: capacity, m: make(map[*isa.Program]*Compiled, capacity)}
+	return &Cache{
+		capacity: capacity,
+		m:        make(map[*isa.Program]*Compiled, capacity),
+		byDigest: make(map[string]*Compiled),
+	}
 }
 
 // Get returns the compiled form of p, compiling on miss. The result is
@@ -76,6 +81,55 @@ func (c *Cache) Get(p *isa.Program) (*Compiled, error) {
 	return cp, nil
 }
 
+// GetDigest returns the compiled form of the program identified by a
+// content digest (a bundle entry digest), compiling p on miss. Digest
+// keys exist for bundle-backed serving, where a hot reload decodes an
+// equal-but-distinct *isa.Program: identical content reloads under the
+// same digest and stays warm, while changed content arrives under a new
+// digest and can never be served the old closure. Digest entries
+// always insert (a reload must be able to warm its table even on a
+// full cache); their population is bounded by the bundle size, because
+// RetainDigests drops stale digests at every swap.
+func (c *Cache) GetDigest(digest string, p *isa.Program) (*Compiled, error) {
+	if digest == "" {
+		return c.Get(p)
+	}
+	c.mu.Lock()
+	if cp, ok := c.byDigest[digest]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return cp, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	cp, err := Compile(p)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.byDigest[digest]; ok {
+		return prev, nil
+	}
+	c.byDigest[digest] = cp
+	return cp, nil
+}
+
+// RetainDigests drops every digest-keyed entry whose digest is not in
+// keep — the reload-time invalidation: entries shared between the old
+// and new bundle stay warm, entries for changed or removed programs
+// become unreachable with the table swap.
+func (c *Cache) RetainDigests(keep map[string]bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for d := range c.byDigest {
+		if !keep[d] {
+			delete(c.byDigest, d)
+		}
+	}
+}
+
 // Warm compiles and inserts the given programs up front (subject to
 // capacity), so a shard's stable victim set is hot before the first
 // request. Compile failures are skipped — the per-launch Get surfaces
@@ -93,5 +147,5 @@ func (c *Cache) Warm(progs ...*isa.Program) {
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Size: len(c.m), Cap: c.capacity}
+	return CacheStats{Hits: c.hits, Misses: c.misses, Size: len(c.m) + len(c.byDigest), Cap: c.capacity}
 }

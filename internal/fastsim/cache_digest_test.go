@@ -1,0 +1,124 @@
+package fastsim_test
+
+import (
+	"testing"
+
+	"lmi/internal/fastsim"
+	"lmi/internal/isa"
+)
+
+// cacheProgN builds a trivial program of n+1 instructions so distinct
+// contents exist for distinct digests.
+func cacheProgN(name string, n int) *isa.Program {
+	rz := [3]isa.Reg{isa.RZ, isa.RZ, isa.RZ}
+	instrs := make([]isa.Instr, 0, n+1)
+	for i := 0; i < n; i++ {
+		instrs = append(instrs, isa.Instr{Op: isa.IADD, Dst: 0, Src: rz, HasImm: true, Imm: int32(i + 1), Pred: isa.PT})
+	}
+	instrs = append(instrs, isa.Instr{Op: isa.EXIT, Dst: isa.RZ, Src: rz, Pred: isa.PT})
+	return prog(name, 2, instrs)
+}
+
+// TestCacheDigestWarmAcrossReload: the bundle-reload regression. A hot
+// reload decodes an equal-but-distinct *isa.Program; under the same
+// content digest the cache must stay warm (no recompile), and under a
+// changed digest it must never serve the old closure.
+func TestCacheDigestWarmAcrossReload(t *testing.T) {
+	c := fastsim.NewCache(4)
+	v1 := cacheProgN("k", 1)
+	first, err := c.GetDigest("digest-a", v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical reload: same content, fresh pointer. Pointer-keyed
+	// lookup would cold-start here; digest-keyed must hit.
+	reloaded := cacheProgN("k", 1)
+	if reloaded == v1 {
+		t.Fatalf("test needs distinct pointers")
+	}
+	second, err := c.GetDigest("digest-a", reloaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second != first {
+		t.Fatalf("identical reload cold-started: cache recompiled under an unchanged digest")
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want hits=1 misses=1", st)
+	}
+
+	// Changed program, new digest: must compile fresh — the old closure
+	// must be unreachable for the new content.
+	v2 := cacheProgN("k", 3)
+	third, err := c.GetDigest("digest-b", v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third == first {
+		t.Fatalf("changed program served the old closure")
+	}
+}
+
+// TestCacheDigestInsertsAtCapacity: a reload must warm its table even
+// on a full cache — digest entries are bounded by RetainDigests, not by
+// the pointer-cache capacity.
+func TestCacheDigestInsertsAtCapacity(t *testing.T) {
+	c := fastsim.NewCache(1)
+	if _, err := c.Get(cacheProgN("fill", 1)); err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.GetDigest("d1", cacheProgN("k", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.GetDigest("d1", cacheProgN("k", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("digest entry was not retained on a full cache")
+	}
+}
+
+// TestCacheRetainDigests: swap-time invalidation keeps shared entries
+// warm and evicts stale ones; an empty digest falls back to the
+// pointer-keyed path.
+func TestCacheRetainDigests(t *testing.T) {
+	c := fastsim.NewCache(8)
+	keep, _ := c.GetDigest("keep", cacheProgN("a", 1))
+	if _, err := c.GetDigest("stale", cacheProgN("b", 2)); err != nil {
+		t.Fatal(err)
+	}
+	c.RetainDigests(map[string]bool{"keep": true})
+	if st := c.Stats(); st.Size != 1 {
+		t.Fatalf("size %d after retain, want 1", st.Size)
+	}
+	again, err := c.GetDigest("keep", cacheProgN("a", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != keep {
+		t.Fatalf("retained digest was evicted")
+	}
+	hitsBefore := c.Stats().Hits
+	if _, err := c.GetDigest("stale", cacheProgN("b", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Hits != hitsBefore {
+		t.Fatalf("stale digest survived RetainDigests")
+	}
+
+	p := cacheProgN("ptr", 1)
+	x, err := c.GetDigest("", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := c.Get(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x != y {
+		t.Fatalf("empty digest did not fall back to the pointer-keyed entry")
+	}
+}

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"context"
+	"crypto/ed25519"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"lmi/internal/bundle"
 	"lmi/internal/fastsim"
 	"lmi/internal/runner"
 	"lmi/internal/serve"
@@ -44,6 +46,10 @@ type Config struct {
 	// Breaker and Retry are the per-shard serving policies.
 	Breaker serve.BreakerConfig
 	Retry   serve.RetryConfig
+	// BundlePub is the trusted artifact-signing key. Reload (and POST
+	// /reload) verifies every incoming bundle against it; with no key
+	// configured every bundle is refused.
+	BundlePub ed25519.PublicKey
 	// DecisionLog receives the JSONL safety decision records (nil
 	// discards them); LogBuffer bounds the async sink (default 256).
 	DecisionLog io.Writer
@@ -151,6 +157,14 @@ type Coordinator struct {
 	seq      int
 	retired  []ShardTransition
 	epochs   []int
+
+	// reloadMu serializes Reload; verification and per-shard bring-up
+	// run under it, never on the serving path. serving is the fleet's
+	// current verified bundle (guarded by mu for readers).
+	reloadMu   sync.Mutex
+	serving    *bundle.Verified
+	reloads    uint64
+	lastReload string
 }
 
 // NewCoordinator builds the fleet: one executor, processor, queue, and
@@ -299,6 +313,76 @@ func (c *Coordinator) Rejoin(shard int) {
 	wg.Wait() // the dead pool must finish answering its tasks first
 	c.startShard(sh)
 	c.cfg.Logf("fleet: shard %d rejoined", shard)
+}
+
+// Reload verifies b against the trusted key and, only on success,
+// atomically swaps it in as every shard's program table. Verification
+// and compiled-tier bring-up run off the serving path under reloadMu;
+// each shard's swap is a single atomic store, and in-flight attempts
+// finish on the table they loaded at dispatch. Dead shards get the new
+// table too — a Rejoin racing the reload serves the current epoch, and
+// can never resurrect programs from before it. Any verification or
+// bring-up failure is a typed, fail-closed rejection: shards already
+// swapped are rolled back to the previous bundle and the prior digest
+// keeps serving everywhere.
+func (c *Coordinator) Reload(b *bundle.Bundle) error {
+	c.reloadMu.Lock()
+	defer c.reloadMu.Unlock()
+	v, err := bundle.Verify(b, c.cfg.BundlePub)
+	if err == nil {
+		c.mu.Lock()
+		prev := c.serving
+		c.mu.Unlock()
+		for i, sh := range c.shards {
+			if serr := sh.exec.SetBundle(v); serr != nil {
+				err = fmt.Errorf("fleet: shard %d: %w", i, serr)
+				for j := 0; j < i; j++ {
+					// prev brought up on these shards before; reinstalling it
+					// cannot fail a compile.
+					c.shards[j].exec.SetBundle(prev)
+				}
+				break
+			}
+		}
+		if err == nil {
+			c.mu.Lock()
+			c.serving = v
+			c.mu.Unlock()
+		}
+	}
+	c.mu.Lock()
+	c.reloads++
+	if err != nil {
+		c.lastReload = err.Error()
+	} else {
+		c.lastReload = "ok"
+	}
+	c.mu.Unlock()
+	if err != nil {
+		c.cfg.Logf("fleet: reload rejected (still serving %q): %v", c.BundleDigest(), err)
+		return err
+	}
+	c.cfg.Logf("fleet: reload ok, serving bundle %s on %d shards", v.Digest(), len(c.shards))
+	return nil
+}
+
+// BundleDigest is the fleet's serving bundle digest ("" when not
+// bundle-backed).
+func (c *Coordinator) BundleDigest() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.serving == nil {
+		return ""
+	}
+	return c.serving.Digest()
+}
+
+// ReloadStats returns the reload attempt count and the last reload's
+// status ("" before the first attempt).
+func (c *Coordinator) ReloadStats() (uint64, string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reloads, c.lastReload
 }
 
 // Alive reports each shard's liveness.
@@ -564,20 +648,57 @@ func (c *Coordinator) Handler() http.Handler {
 			}
 			sh.mu.Unlock()
 		}
+		reloads, lastReload := c.ReloadStats()
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(struct {
-			Uptime    time.Duration                   `json:"uptime_ns"`
-			Tier      string                          `json:"tier,omitempty"`
-			Draining  bool                            `json:"draining"`
-			Alive     []bool                          `json:"alive"`
-			Stats     Stats                           `json:"stats"`
-			Shards    []ShardSummary                  `json:"shards"`
-			Breakers  []map[string]serve.BreakerState `json:"breakers"`
-			Decisions SinkStats                       `json:"decisions"`
-		}{time.Since(c.start), runner.TierLabel(c.cfg.Tier), c.Draining(), c.Alive(),
+			Uptime   time.Duration `json:"uptime_ns"`
+			Tier     string        `json:"tier,omitempty"`
+			Draining bool          `json:"draining"`
+			// The bundle fields are omitted entirely when the fleet is
+			// not bundle-backed and no reload was ever attempted.
+			BundleDigest     string                          `json:"bundle_digest,omitempty"`
+			ReloadCount      uint64                          `json:"reload_count,omitempty"`
+			LastReloadStatus string                          `json:"last_reload_status,omitempty"`
+			Alive            []bool                          `json:"alive"`
+			Stats            Stats                           `json:"stats"`
+			Shards           []ShardSummary                  `json:"shards"`
+			Breakers         []map[string]serve.BreakerState `json:"breakers"`
+			Decisions        SinkStats                       `json:"decisions"`
+		}{time.Since(c.start), runner.TierLabel(c.cfg.Tier), c.Draining(),
+			c.BundleDigest(), reloads, lastReload, c.Alive(),
 			c.Stats(), shards, breakers, c.sink.Stats()})
 	})
+	mux.HandleFunc("/reload", c.handleReload)
 	return mux
+}
+
+// handleReload is POST /reload: decode a bundle from the body, verify,
+// and swap fleet-wide. A rejected bundle answers 422 with the typed
+// reason; the previous table keeps serving on every shard.
+func (c *Coordinator) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	b, err := bundle.Decode(r.Body)
+	if err == nil {
+		err = c.Reload(b)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err != nil {
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		json.NewEncoder(w).Encode(struct {
+			Status  string              `json:"status"`
+			Reason  bundle.RejectReason `json:"reason,omitempty"`
+			Error   string              `json:"error"`
+			Serving string              `json:"serving_bundle_digest,omitempty"`
+		}{"rejected", bundle.RejectionReason(err), err.Error(), c.BundleDigest()})
+		return
+	}
+	json.NewEncoder(w).Encode(struct {
+		Status  string `json:"status"`
+		Serving string `json:"serving_bundle_digest"`
+	}{"ok", c.BundleDigest()})
 }
 
 // handleRun is POST /run with the same status mapping as the

@@ -54,6 +54,10 @@ type Decision struct {
 	// Tier is the execution tier ("" for the default cycle simulator,
 	// matching the runner's omit-empty convention).
 	Tier string `json:"tier,omitempty"`
+	// Bundle is the digest of the verified bundle that served the last
+	// attempt's program ("" when the shard compiled in-process) — the
+	// per-request provenance link to the signed artifact.
+	Bundle string `json:"bundle_digest,omitempty"`
 	// Error is the final typed error ("" on success).
 	Error string `json:"error,omitempty"`
 }
@@ -179,6 +183,7 @@ func decisionFrom(seq int, res serve.Result, shard, requeues int,
 		Faults:    res.Faults,
 		Breaker:   string(breaker),
 		Tier:      tier,
+		Bundle:    res.BundleDigest,
 	}
 	for a := 0; a+1 < res.Attempts; a++ {
 		d.RetryNS = append(d.RetryNS, int64(retry.Delay(res.Req.Seed, a)))

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"lmi/internal/bundle"
 	"lmi/internal/chaos"
 	"lmi/internal/serve"
 )
@@ -68,6 +69,52 @@ func (r *SoakReport) Violations() []string {
 		v = append(v, fmt.Sprintf("decision log: %d records dropped in a sized-to-stream sink", r.Decisions.Dropped))
 	}
 
+	// Reload contract: genuine reloads install a known-good digest;
+	// every tampered reload is rejected with exactly the typed reason
+	// its kind pins, and a rejection never moves the serving digest.
+	good := make(map[string]bool, len(r.BundleDigests))
+	for _, d := range r.BundleDigests {
+		good[d] = true
+	}
+	serving := ""
+	if len(r.BundleDigests) > 0 {
+		serving = r.BundleDigests[0]
+	}
+	for i, rr := range r.Reloads {
+		if rr.Kind == "genuine" {
+			if rr.Status != "ok" || !good[rr.Digest] {
+				v = append(v, fmt.Sprintf("reload %d: genuine reload status %s digest %s", i, rr.Status, rr.Digest))
+			}
+			serving = rr.Digest
+		} else {
+			want := bundle.ExpectedTamperRejection(rr.Kind)
+			if want == "" {
+				v = append(v, fmt.Sprintf("reload %d: unknown tamper kind %q", i, rr.Kind))
+			} else if rr.Status != "rejected" || rr.Reason != string(want) {
+				v = append(v, fmt.Sprintf("reload %d: tamper %s status=%s reason=%s, want rejected/%s",
+					i, rr.Kind, rr.Status, rr.Reason, want))
+			}
+		}
+		if rr.Serving != serving {
+			v = append(v, fmt.Sprintf("reload %d (%s): serving digest %s, want %s — a rejection moved the table",
+				i, rr.Kind, rr.Serving, serving))
+		}
+	}
+	// Torn-table audit: every result's digest is either empty (chaos
+	// requests, never-executed requests) or one of the good versions;
+	// every executed bundle-served bench request carries one.
+	for i, res := range r.Results {
+		switch {
+		case res.BundleDigest != "" && !good[res.BundleDigest]:
+			v = append(v, fmt.Sprintf("request %d: served from unknown bundle digest %s", i, res.BundleDigest))
+		case res.BundleDigest != "" && res.Req.Workload == "":
+			v = append(v, fmt.Sprintf("request %d: chaos request carries bundle digest %s", i, res.BundleDigest))
+		case len(r.BundleDigests) > 0 && res.Req.Workload != "" &&
+			res.Status == serve.StatusOK && res.BundleDigest == "":
+			v = append(v, fmt.Sprintf("request %d: bench request executed outside the bundle table", i))
+		}
+	}
+
 	// Each shard epoch's transition chain must start from closed and be
 	// continuous (a rejoined shard starts a fresh breaker).
 	type cell struct {
@@ -105,6 +152,23 @@ func (r *SoakReport) Render(w io.Writer, verbose bool) {
 	fmt.Fprintf(w, "fault plan (%d events):\n", len(r.Plan))
 	for _, f := range r.Plan {
 		fmt.Fprintf(w, "  [%12v] %s\n", f.At, f)
+	}
+	if len(r.BundleDigests) > 0 {
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "bundle versions:")
+		for i, d := range r.BundleDigests {
+			fmt.Fprintf(w, "  v%d=%s", i+1, shortDigest(d))
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "reload events (%d):\n", len(r.Reloads))
+		for _, rr := range r.Reloads {
+			fmt.Fprintf(w, "  [%12v] %-20s %-8s digest=%s serving=%s",
+				rr.At, rr.Kind, rr.Status, shortDigest(rr.Digest), shortDigest(rr.Serving))
+			if rr.Reason != "" {
+				fmt.Fprintf(w, " reason=%s", rr.Reason)
+			}
+			fmt.Fprintln(w)
+		}
 	}
 	fmt.Fprintln(w)
 	fmt.Fprintf(w, "%-12s %s\n", "status", "count")
@@ -154,6 +218,9 @@ func (r *SoakReport) Render(w io.Writer, verbose bool) {
 				i, req.Key(), string(kind), req.Seed, res.Status, res.Attempts, res.Class)
 			if res.Outcome != "" {
 				fmt.Fprintf(w, " outcome=%s", res.Outcome)
+			}
+			if res.BundleDigest != "" {
+				fmt.Fprintf(w, " bundle=%s", shortDigest(res.BundleDigest))
 			}
 			if res.Err != nil {
 				fmt.Fprintf(w, " err=%q", res.Err)

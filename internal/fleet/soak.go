@@ -7,6 +7,7 @@ import (
 	"io"
 	"time"
 
+	"lmi/internal/bundle"
 	"lmi/internal/chaos"
 	"lmi/internal/fastsim"
 	"lmi/internal/runner"
@@ -54,6 +55,11 @@ type SoakConfig struct {
 	// Breaker and Retry are the per-shard serving policies.
 	Breaker serve.BreakerConfig
 	Retry   serve.RetryConfig
+	// DisableBundles turns off the signed-bundle reload campaign. By
+	// default the soak serves a bench trio from signed bundles and
+	// scripts genuine reloads (mid-burst, mid-shard-kill) plus one
+	// tampered reload per chaos bundle-tamper kind.
+	DisableBundles bool
 }
 
 // withDefaults fills zero fields with soak-scale values.
@@ -106,8 +112,11 @@ func (sc SoakConfig) withDefaults() SoakConfig {
 // a shard down. Content mixes mechanisms and injection kinds with
 // occasional same-cell runs (the pattern that trips a breaker) and
 // occasional tight per-attempt deadlines (the pattern that exercises
-// retries).
-func genStream(cfg SoakConfig, inj *chaos.Injector, plan []chaos.ShardFault) ([]serve.Request, []time.Duration) {
+// retries). With bundles enabled, about an eighth of the stream is
+// bench requests for the bundle-served trio — deadline-free, so their
+// dispositions depend only on admission and shard survival, and every
+// executed one must carry its dispatch epoch's bundle digest.
+func genStream(cfg SoakConfig, inj *chaos.Injector, plan []chaos.ShardFault, bench bool) ([]serve.Request, []time.Duration) {
 	gseed := chaos.MixSeed(cfg.Seed, 0xF1EE75)
 	n := uint64(0)
 	next := func() uint64 { n++; return chaos.MixSeed(gseed, n) }
@@ -141,6 +150,12 @@ func genStream(cfg SoakConfig, inj *chaos.Injector, plan []chaos.ShardFault) ([]
 			gap = cfg.ArrivalEvery / 5
 		}
 		now += gap
+		if bench && runLeft == 0 && intn(8) == 0 {
+			w := soakBundleWorkloads[intn(len(soakBundleWorkloads))]
+			reqs[i] = serve.Request{Workload: w, Mechanism: "lmi", Seed: next()}
+			arrivals[i] = now
+			continue
+		}
 		var mech string
 		var kind chaos.Kind
 		switch {
@@ -178,6 +193,7 @@ const (
 	evFinish        // an attempt releases its shard's virtual server
 	evKill          // scripted shard death
 	evRejoin        // scripted shard recovery
+	evReload        // scripted bundle reload (genuine or tampered)
 )
 
 // soakEvent is one scheduled occurrence on the virtual timeline.
@@ -190,6 +206,7 @@ type soakEvent struct {
 	shard   int
 	epoch   int    // shard epoch the attempt was dispatched in (evFinish)
 	token   uint64 // breaker probe token of the running attempt (evFinish)
+	rkind   string // bundle-tamper kind of an evReload ("" = genuine)
 }
 
 type eventHeap []soakEvent
@@ -256,6 +273,11 @@ type SoakReport struct {
 	HighWater   int // max total queued across the fleet
 	Makespan    time.Duration
 	Decisions   SinkStats
+	// BundleDigests are the good (signed, verified) bundle versions in
+	// version order; Reloads is the reload campaign log. Both empty when
+	// bundles are disabled.
+	BundleDigests []string
+	Reloads       []ReloadRecord
 }
 
 // FleetSoak runs the sharded chaos soak: generate the seeded stream
@@ -275,10 +297,32 @@ func FleetSoak(ctx context.Context, cfg SoakConfig, decisionLog io.Writer) (*Soa
 	}
 	horizon := cfg.ArrivalEvery * time.Duration(cfg.Requests)
 	plan := chaos.ShardFaultPlan(cfg.Seed, cfg.Shards, horizon)
-	reqs, arrivals := genStream(cfg, exec.Injector(), plan)
-	attempts, err := serve.PrecomputeAttempts(ctx, cfg.Workers, cfg.Retry, exec, reqs)
+	var sb *soakBundles
+	if !cfg.DisableBundles {
+		if sb, err = prepareSoakBundles(ctx, cfg, exec); err != nil {
+			return nil, fmt.Errorf("fleet soak: bundles: %w", err)
+		}
+	}
+	reqs, arrivals := genStream(cfg, exec.Injector(), plan, sb != nil)
+	// Chaos attempts precompute in parallel waves; bundle-served bench
+	// attempts are instead derived at dispatch time from the per-
+	// (workload, version) outcomes, because their result depends on the
+	// bundle epoch serving at that instant.
+	var chaosIdx []int
+	creqs := make([]serve.Request, 0, len(reqs))
+	for i := range reqs {
+		if reqs[i].Workload == "" {
+			chaosIdx = append(chaosIdx, i)
+			creqs = append(creqs, reqs[i])
+		}
+	}
+	catt, err := serve.PrecomputeAttempts(ctx, cfg.Workers, cfg.Retry, exec, creqs)
 	if err != nil {
 		return nil, fmt.Errorf("fleet soak: precompute: %w", err)
+	}
+	attempts := make([][]serve.AttemptRes, len(reqs))
+	for i, idx := range chaosIdx {
+		attempts[idx] = catt[i]
 	}
 
 	if decisionLog == nil {
@@ -294,6 +338,9 @@ func FleetSoak(ctx context.Context, cfg SoakConfig, decisionLog io.Writer) (*Soa
 		Shards:   make([]ShardSummary, cfg.Shards),
 		Counts:   make(map[serve.Status]int),
 		Outcomes: make(map[chaos.Outcome]int),
+	}
+	if sb != nil {
+		rep.BundleDigests = sb.digests
 	}
 
 	ring := NewRing(cfg.Shards, cfg.Replicas)
@@ -318,6 +365,7 @@ func FleetSoak(ctx context.Context, cfg SoakConfig, decisionLog io.Writer) (*Soa
 		seq         int
 		now         time.Duration
 		queuedTotal int
+		servingVer  int // index into sb.digests of the serving bundle
 	)
 	push := func(at time.Duration, e soakEvent) {
 		e.at, e.seq = at, seq
@@ -351,6 +399,8 @@ func FleetSoak(ctx context.Context, cfg SoakConfig, decisionLog io.Writer) (*Soa
 			ECElided:  ar.ECElided,
 			Faults:    ar.Faults,
 			Detail:    ar.Detail,
+
+			BundleDigest: ar.BundleDigest,
 		}
 		rep.Results[req] = res
 		rep.Counts[st]++
@@ -392,6 +442,18 @@ func FleetSoak(ctx context.Context, cfg SoakConfig, decisionLog io.Writer) (*Soa
 				finalize(q.req, s, serve.StatusRejected, q.attempt, serve.ErrCircuitOpen)
 				continue
 			}
+			if sb != nil && reqs[q.req].Workload != "" {
+				// A bundle-served attempt binds to the epoch serving at its
+				// dispatch instant: the attempt (outcome, digest, duration)
+				// derives from that version's table and stays bound even if
+				// a reload swaps mid-flight. A shard-death requeue
+				// re-derives on re-dispatch, under whatever is serving then.
+				ar := serve.BenchAttempt(reqs[q.req], q.attempt, sb.benchOut[reqs[q.req].Workload][servingVer])
+				for len(attempts[q.req]) <= q.attempt {
+					attempts[q.req] = append(attempts[q.req], serve.AttemptRes{})
+				}
+				attempts[q.req][q.attempt] = ar
+			}
 			sh.free--
 			sh.inflight[q.req] = q.attempt
 			push(now+attempts[q.req][q.attempt].Dur,
@@ -405,13 +467,24 @@ func FleetSoak(ctx context.Context, cfg SoakConfig, decisionLog io.Writer) (*Soa
 	}
 
 	// Scripted fleet faults enter the timeline first (lower seq than
-	// same-instant arrivals: a kill at t pre-empts work arriving at t).
+	// same-instant arrivals: a kill at t pre-empts work arriving at t),
+	// then the reload campaign, then the request stream.
 	for _, f := range plan {
 		switch f.Kind {
 		case chaos.ShardKill:
 			push(f.At, soakEvent{kind: evKill, shard: f.Shard})
 		case chaos.ShardRejoin:
 			push(f.At, soakEvent{kind: evRejoin, shard: f.Shard})
+		}
+	}
+	if sb != nil {
+		for _, at := range genuineReloadTimes(plan, horizon) {
+			push(at, soakEvent{kind: evReload})
+		}
+		kinds := bundle.TamperKinds()
+		for i, k := range kinds {
+			push(horizon*time.Duration(2*i+1)/time.Duration(2*len(kinds)),
+				soakEvent{kind: evReload, rkind: k})
 		}
 	}
 	for i := range reqs {
@@ -495,6 +568,28 @@ func FleetSoak(ctx context.Context, cfg SoakConfig, decisionLog io.Writer) (*Soa
 				requeue(q.req, q.attempt)
 			}
 			sh.queue, sh.free = nil, 0
+		case evReload:
+			if e.rkind == "" {
+				// A genuine reload verified off-path: the swap is the whole
+				// on-path cost, and it applies to every shard at once — dead
+				// ones included, so a rejoin can only come back on the new
+				// epoch. In-flight attempts keep the version they dispatched
+				// on (their AttemptRes was bound at dispatch).
+				servingVer = 1 - servingVer
+				rep.Reloads = append(rep.Reloads, ReloadRecord{
+					At: now, Kind: "genuine", Digest: sb.digests[servingVer],
+					Status: "ok", Serving: sb.digests[servingVer],
+				})
+				break
+			}
+			// A tampered reload: rejected at Verify, before any lane could
+			// execute from it. The serving table is untouched.
+			tr := sb.tampered[e.rkind]
+			rep.Reloads = append(rep.Reloads, ReloadRecord{
+				At: now, Kind: e.rkind, Digest: tr.digest,
+				Status: "rejected", Reason: string(tr.reason), Error: tr.err.Error(),
+				Serving: sb.digests[servingVer],
+			})
 		case evRejoin:
 			sh := shards[e.shard]
 			if sh.alive {

@@ -3,9 +3,12 @@ package serve
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
+	"lmi/internal/bundle"
 	"lmi/internal/chaos"
 	"lmi/internal/fastsim"
+	"lmi/internal/sim"
 	"lmi/internal/workloads"
 )
 
@@ -38,6 +41,9 @@ type Outcome struct {
 	Outcome chaos.Outcome
 	// Detail describes what happened.
 	Detail string
+	// BundleDigest is the digest of the verified bundle the attempt's
+	// program came from ("" when the executor compiled in-process).
+	BundleDigest string
 }
 
 // Executor runs one request attempt on the simulation stack. It is
@@ -49,6 +55,15 @@ type Executor struct {
 	inj  *chaos.Injector
 	sms  int
 	tier fastsim.Tier
+
+	// table is the serving program table: a verified bundle swapped
+	// atomically by Reload. Each attempt loads one snapshot at dispatch
+	// and finishes on it — in-flight requests never observe a swap.
+	table atomic.Pointer[bundle.Verified]
+	// cache holds compiled closures keyed by bundle-entry digest, so an
+	// identical reload stays warm and a changed program can never be
+	// served a stale closure.
+	cache *fastsim.Cache
 }
 
 // NewExecutor builds an executor whose chaos victims are compiled once
@@ -70,7 +85,46 @@ func NewExecutorTier(sms int, tier fastsim.Tier) (*Executor, error) {
 	if sms <= 0 {
 		sms = 1
 	}
-	return &Executor{inj: inj, sms: sms, tier: tier}, nil
+	return &Executor{inj: inj, sms: sms, tier: tier, cache: fastsim.NewCache(0)}, nil
+}
+
+// SetBundle installs a verified bundle as the serving program table.
+// On the compiled tier every entry is brought up (compiled through the
+// digest-keyed cache) before the swap — a bring-up failure leaves the
+// previous table serving, which is the per-shard half of rollback. The
+// swap itself is a single atomic store; attempts that loaded the old
+// table finish on it. A nil v reverts to in-process compilation.
+func (e *Executor) SetBundle(v *bundle.Verified) error {
+	if v != nil {
+		keep := make(map[string]bool, len(v.Entries()))
+		for _, ve := range v.Entries() {
+			keep[ve.Digest] = true
+			if e.tier == fastsim.TierCompiled {
+				if _, err := e.cache.GetDigest(ve.Digest, ve.Prog); err != nil {
+					return fmt.Errorf("serve: bundle bring-up: %s: %w", ve.Name+"/"+ve.Mechanism, err)
+				}
+			}
+		}
+		e.table.Store(v)
+		e.cache.RetainDigests(keep)
+		return nil
+	}
+	e.table.Store(nil)
+	e.cache.RetainDigests(nil)
+	return nil
+}
+
+// Bundle returns the serving program table (nil when not
+// bundle-backed).
+func (e *Executor) Bundle() *bundle.Verified { return e.table.Load() }
+
+// BundleDigest returns the serving bundle digest ("" when not
+// bundle-backed).
+func (e *Executor) BundleDigest() string {
+	if v := e.table.Load(); v != nil {
+		return v.Digest()
+	}
+	return ""
 }
 
 // Injector exposes the underlying chaos injector (the soak stream
@@ -176,11 +230,34 @@ func (e *Executor) executeBench(ctx context.Context, req Request) Outcome {
 		sms = e.sms
 	}
 	cfg := chaos.TrialConfig(sms)
-	st, err := workloads.RunTierAtCtx(ctx, s, v, cfg, s.LaunchGrid(v), e.tier)
-	if err != nil {
-		return Outcome{Err: err, Detail: err.Error()}
+
+	// One snapshot per attempt: the whole attempt runs on the table it
+	// loaded here, even if a Reload swaps mid-flight.
+	var st *sim.KernelStats
+	var err error
+	var digest string
+	if snap := e.table.Load(); snap != nil {
+		if ve, ok := snap.Lookup(req.Workload, req.Mechanism); ok {
+			var cp *fastsim.Compiled
+			if e.tier == fastsim.TierCompiled {
+				cp, err = e.cache.GetDigest(ve.Digest, ve.Prog)
+				if err != nil {
+					return Outcome{Err: fmt.Errorf("%w: %v", ErrEngineDegraded, err), Detail: err.Error()}
+				}
+			}
+			st, err = workloads.RunProgramTierAtCtx(ctx, s, v, cfg, s.LaunchGrid(v), e.tier, ve.Prog, cp)
+			digest = snap.Digest()
+		} else {
+			st, err = workloads.RunTierAtCtx(ctx, s, v, cfg, s.LaunchGrid(v), e.tier)
+		}
+	} else {
+		st, err = workloads.RunTierAtCtx(ctx, s, v, cfg, s.LaunchGrid(v), e.tier)
 	}
-	out := Outcome{Cycles: st.Cycles, ECChecked: st.ECChecked, ECElided: st.ECElided, Faults: len(st.Faults)}
+	if err != nil {
+		return Outcome{Err: err, Detail: err.Error(), BundleDigest: digest}
+	}
+	out := Outcome{Cycles: st.Cycles, ECChecked: st.ECChecked, ECElided: st.ECElided,
+		Faults: len(st.Faults), BundleDigest: digest}
 	switch {
 	case len(st.Faults) > 0:
 		out.Err = fmt.Errorf("%w: %v", ErrSafetyViolation, st.Faults[0])

@@ -75,6 +75,7 @@ func (p *Processor) Process(ctx context.Context, req Request) Result {
 		res.Attempts = attempt + 1
 		res.Outcome, res.Cycles, res.Detail = out.Outcome, out.Cycles, out.Detail
 		res.ECChecked, res.ECElided, res.Faults = out.ECChecked, out.ECElided, out.Faults
+		res.BundleDigest = out.BundleDigest
 		cls := Classify(out.Err)
 		switch cls {
 		case ClassOK:

@@ -194,6 +194,10 @@ type Result struct {
 	Faults int
 	// Detail is the human-readable description of the last attempt.
 	Detail string
+	// BundleDigest is the digest of the verified bundle that served the
+	// last attempt's program ("" when the executor compiled in-process
+	// or no attempt executed).
+	BundleDigest string
 }
 
 // errString renders an error for reports; nil-safe.

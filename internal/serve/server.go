@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"crypto/ed25519"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"lmi/internal/bundle"
 	"lmi/internal/chaos"
 	"lmi/internal/fastsim"
 	"lmi/internal/runner"
@@ -42,6 +44,11 @@ type Config struct {
 	// Breaker and Retry are the serving policies.
 	Breaker BreakerConfig
 	Retry   RetryConfig
+	// BundlePub is the trusted artifact-signing key. Reload (and POST
+	// /reload) verifies every incoming bundle against it; with no key
+	// configured every bundle is refused — there is no
+	// trust-on-first-use mode.
+	BundlePub ed25519.PublicKey
 	// Logf receives operational log lines (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -103,6 +110,12 @@ type Server struct {
 	mu       sync.Mutex
 	draining bool
 	stats    Stats
+
+	// reloadMu serializes Reload; verification and bring-up run under
+	// it, off the serving path (workers never take it).
+	reloadMu   sync.Mutex
+	reloads    uint64
+	lastReload string
 }
 
 // NewServer builds and starts the worker pool.
@@ -210,6 +223,48 @@ func (s *Server) Submit(ctx context.Context, req Request) (Result, error) {
 	}
 }
 
+// Reload verifies b against the trusted key and, only on success,
+// atomically swaps it in as the serving program table (compiled-tier
+// bring-up included). Any verification or bring-up failure is a typed,
+// fail-closed rejection that leaves the previous table serving —
+// rollback is the absence of the swap. In-flight requests finish on
+// the table they loaded at dispatch. Reloads are counted whether they
+// succeed or not; the last status is "ok" or the rejection text.
+func (s *Server) Reload(b *bundle.Bundle) error {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	v, err := bundle.Verify(b, s.cfg.BundlePub)
+	if err == nil {
+		err = s.proc.Exec.SetBundle(v)
+	}
+	s.mu.Lock()
+	s.reloads++
+	if err != nil {
+		s.lastReload = err.Error()
+	} else {
+		s.lastReload = "ok"
+	}
+	s.mu.Unlock()
+	if err != nil {
+		s.cfg.Logf("serve: reload rejected (still serving %q): %v", s.BundleDigest(), err)
+		return err
+	}
+	s.cfg.Logf("serve: reload ok, serving bundle %s", v.Digest())
+	return nil
+}
+
+// BundleDigest is the serving bundle digest ("" when not
+// bundle-backed).
+func (s *Server) BundleDigest() string { return s.proc.Exec.BundleDigest() }
+
+// ReloadStats returns the reload attempt count and the last reload's
+// status ("" before the first attempt).
+func (s *Server) ReloadStats() (uint64, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reloads, s.lastReload
+}
+
 // Draining reports whether graceful shutdown has begun.
 func (s *Server) Draining() bool {
 	s.mu.Lock()
@@ -272,6 +327,7 @@ type resultJSON struct {
 	ECElided  uint64        `json:"ec_elided,omitempty"`
 	Detail    string        `json:"detail,omitempty"`
 	Error     string        `json:"error,omitempty"`
+	Bundle    string        `json:"bundle_digest,omitempty"`
 }
 
 // Handler returns the HTTP surface: POST /run, GET /healthz, /readyz,
@@ -298,6 +354,7 @@ func (s *Server) Handler() http.Handler {
 		}
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		reloads, lastReload := s.ReloadStats()
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(struct {
 			Uptime time.Duration `json:"uptime_ns"`
@@ -305,13 +362,49 @@ func (s *Server) Handler() http.Handler {
 			// omitted for the cycle-level simulator, matching the runner
 			// jobJSON convention so default-tier stats stay byte-identical
 			// to pre-tier deployments.
-			Tier     string                  `json:"tier,omitempty"`
-			Draining bool                    `json:"draining"`
-			Stats    Stats                   `json:"stats"`
-			Breakers map[string]BreakerState `json:"breakers"`
-		}{time.Since(s.start), runner.TierLabel(s.cfg.Tier), s.Draining(), s.Stats(), s.proc.Brk.Snapshot()})
+			Tier     string `json:"tier,omitempty"`
+			Draining bool   `json:"draining"`
+			// The bundle fields are omitted entirely when the server is
+			// not bundle-backed and no reload was ever attempted.
+			BundleDigest     string                  `json:"bundle_digest,omitempty"`
+			ReloadCount      uint64                  `json:"reload_count,omitempty"`
+			LastReloadStatus string                  `json:"last_reload_status,omitempty"`
+			Stats            Stats                   `json:"stats"`
+			Breakers         map[string]BreakerState `json:"breakers"`
+		}{time.Since(s.start), runner.TierLabel(s.cfg.Tier), s.Draining(),
+			s.BundleDigest(), reloads, lastReload, s.Stats(), s.proc.Brk.Snapshot()})
 	})
+	mux.HandleFunc("/reload", s.handleReload)
 	return mux
+}
+
+// handleReload is POST /reload: decode a bundle from the body, verify,
+// and swap. A rejected bundle answers 422 with the typed reason; the
+// previous table keeps serving.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	b, err := bundle.Decode(r.Body)
+	if err == nil {
+		err = s.Reload(b)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err != nil {
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		json.NewEncoder(w).Encode(struct {
+			Status  string              `json:"status"`
+			Reason  bundle.RejectReason `json:"reason,omitempty"`
+			Error   string              `json:"error"`
+			Serving string              `json:"serving_bundle_digest,omitempty"`
+		}{"rejected", bundle.RejectionReason(err), err.Error(), s.BundleDigest()})
+		return
+	}
+	json.NewEncoder(w).Encode(struct {
+		Status  string `json:"status"`
+		Serving string `json:"serving_bundle_digest"`
+	}{"ok", s.BundleDigest()})
 }
 
 // handleRun is POST /run: decode, submit, map the disposition onto an
@@ -372,5 +465,6 @@ func writeResult(w http.ResponseWriter, code int, res Result) {
 		ECElided:  res.ECElided,
 		Detail:    res.Detail,
 		Error:     errString(res.Err),
+		Bundle:    res.BundleDigest,
 	})
 }

@@ -183,20 +183,8 @@ func PrecomputeAttempts(ctx context.Context, workers int, retry RetryConfig, exe
 		res := make([]AttemptRes, len(wave))
 		errs := runner.ForEach(ctx, len(wave), workers, func(i int) error {
 			req := reqs[wave[i]]
-			seed := AttemptSeed(req.Seed, a)
-			out := exec.Execute(ctx, req, seed)
-			dur := virtDuration(out.Cycles, seed)
-			if req.Deadline > 0 && dur > req.Deadline {
-				// The virtual clock kills the attempt at its deadline,
-				// before any terminal verdict could have been produced.
-				out = Outcome{
-					Err: fmt.Errorf("serve: attempt %d exceeded virtual deadline %v: %w",
-						a, req.Deadline, context.DeadlineExceeded),
-					Detail: fmt.Sprintf("virtual deadline %v exceeded (needed %v)", req.Deadline, dur),
-				}
-				dur = req.Deadline
-			}
-			res[i] = AttemptRes{Out: out, Dur: dur}
+			out := exec.Execute(ctx, req, AttemptSeed(req.Seed, a))
+			res[i] = BenchAttempt(req, a, out)
 			return nil
 		})
 		for _, err := range errs {
@@ -217,6 +205,28 @@ func PrecomputeAttempts(ctx context.Context, workers int, retry RetryConfig, exe
 		pending = next
 	}
 	return attempts, nil
+}
+
+// BenchAttempt derives one attempt's AttemptRes from its executed
+// outcome: the virtual service time (a pure function of the request
+// seed, attempt number, and simulated cycles) plus virtual-deadline
+// truncation — an attempt that would outlive its deadline is killed at
+// the deadline, before any terminal verdict could have been produced.
+// The fleet soak uses it to derive attempts for bundle-backed bench
+// requests, whose outcomes are precomputed once per (cell, bundle
+// version) rather than per request.
+func BenchAttempt(req Request, attempt int, out Outcome) AttemptRes {
+	seed := AttemptSeed(req.Seed, attempt)
+	dur := virtDuration(out.Cycles, seed)
+	if req.Deadline > 0 && dur > req.Deadline {
+		out = Outcome{
+			Err: fmt.Errorf("serve: attempt %d exceeded virtual deadline %v: %w",
+				attempt, req.Deadline, context.DeadlineExceeded),
+			Detail: fmt.Sprintf("virtual deadline %v exceeded (needed %v)", req.Deadline, dur),
+		}
+		dur = req.Deadline
+	}
+	return AttemptRes{Out: out, Dur: dur}
 }
 
 // Event kinds on the virtual timeline.
@@ -316,6 +326,8 @@ func Soak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 			ECElided:  ar.ECElided,
 			Faults:    ar.Faults,
 			Detail:    ar.Detail,
+
+			BundleDigest: ar.BundleDigest,
 		}
 		rep.Counts[st]++
 		if ar.Outcome != "" {

@@ -224,6 +224,16 @@ func RunTierAtCtx(ctx context.Context, s *Spec, v Variant, cfg sim.Config, grid 
 	if err != nil {
 		return nil, err
 	}
+	return RunProgramTierAtCtx(ctx, s, v, cfg, grid, tier, prog, nil)
+}
+
+// RunProgramTierAtCtx launches an explicit program under the
+// benchmark's device setup and buffer protocol — the bundle-backed
+// serving path, where the program comes from a verified artifact
+// rather than an in-process compile. A non-nil cp (the program's
+// cached compiled closure) runs on the compiled tier directly;
+// otherwise the launch goes through the tier dispatch.
+func RunProgramTierAtCtx(ctx context.Context, s *Spec, v Variant, cfg sim.Config, grid int, tier fastsim.Tier, prog *isa.Program, cp *fastsim.Compiled) (*sim.KernelStats, error) {
 	dev, err := sim.NewDevice(cfg, NewMechanism(v))
 	if err != nil {
 		return nil, err
@@ -237,5 +247,9 @@ func RunTierAtCtx(ctx context.Context, s *Spec, v Variant, cfg sim.Config, grid 
 	if err != nil {
 		return nil, err
 	}
-	return fastsim.LaunchTierCtx(ctx, tier, dev, prog, grid, s.Block, []uint64{in, out, s.N})
+	params := []uint64{in, out, s.N}
+	if cp != nil {
+		return cp.LaunchCtx(ctx, dev, grid, s.Block, params)
+	}
+	return fastsim.LaunchTierCtx(ctx, tier, dev, prog, grid, s.Block, params)
 }

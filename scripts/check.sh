@@ -134,6 +134,43 @@ go run ./cmd/lmi-serve -soak -shards 4 -seed 1 -requests 100000 -jobs 4 \
 cmp "$tmpdir/fleet-j1.txt" "$tmpdir/fleet-j4.txt"
 cmp "$tmpdir/fleet-j1.jsonl" "$tmpdir/fleet-j4.jsonl"
 
+# Signed-bundle gate. A fixed dev signing key (a test fixture, not a
+# secret) builds the default workload trio into a bundle twice, at
+# -jobs 1 and -jobs 4: the artifact bytes must be identical — entries
+# build in canonical order on the deterministic runner pool and
+# ed25519 signatures are deterministic, so parallelism must never
+# change a byte. The bundle must then verify against the matching
+# public key (signature, per-entry digests, and the three static
+# passes re-run against the embedded certificates), and flipping a
+# single byte of the artifact must be a typed fail-closed rejection
+# (nonzero exit, "bundle rejected" on stderr) — the same path
+# lmi-serve takes before opening its listener or accepting a reload.
+echo "== signed bundle gate (build determinism, verify, tamper rejection)"
+devkey=0101010101010101010101010101010101010101010101010101010101010101
+devpub=$(go run ./cmd/lmi-compile -bundle "$tmpdir/bundle-j1.json" -key "$devkey" -jobs 1 \
+    | awk '$1 == "signer" { print $2 }')
+go run ./cmd/lmi-compile -bundle "$tmpdir/bundle-j4.json" -key "$devkey" -jobs 4 > /dev/null
+cmp "$tmpdir/bundle-j1.json" "$tmpdir/bundle-j4.json"
+go run ./cmd/lmi-compile -verify-bundle "$tmpdir/bundle-j1.json" -pub "$devpub" > /dev/null
+# Flip one byte of the single-line artifact (the first '4' is a hex
+# digit inside a digest or program word) and demand the typed
+# rejection.
+sed 's/4/5/' "$tmpdir/bundle-j1.json" > "$tmpdir/bundle-tampered.json"
+if cmp -s "$tmpdir/bundle-j1.json" "$tmpdir/bundle-tampered.json"; then
+    echo "check: FAIL: tamper edit changed nothing" >&2
+    exit 1
+fi
+if go run ./cmd/lmi-compile -verify-bundle "$tmpdir/bundle-tampered.json" -pub "$devpub" \
+    > /dev/null 2> "$tmpdir/bundle-reject.txt"; then
+    echo "check: FAIL: tampered bundle verified" >&2
+    exit 1
+fi
+if ! grep -q 'bundle rejected' "$tmpdir/bundle-reject.txt"; then
+    echo "check: FAIL: tampered bundle not rejected with the typed error:" >&2
+    cat "$tmpdir/bundle-reject.txt" >&2
+    exit 1
+fi
+
 # CLI validation smoke: out-of-range flags must fail with the uniform
 # usage error (exit 2), not silent misbehavior.
 echo "== CLI usage-error smoke"
@@ -145,7 +182,12 @@ for cmdline in "./cmd/lmi-sim -sms 0 -bench nn" \
                "./cmd/lmi-serve -soak -requests 0" \
                "./cmd/lmi-serve -soak -shards 0" \
                "./cmd/lmi-serve -log-buffer 0 -soak -shards 2 -requests 1" \
+               "./cmd/lmi-serve -bundle b.json" \
+               "./cmd/lmi-serve -bundle b.json -bundle-pub zz" \
                "./cmd/lmi-compile -bench needle -elide maybe" \
+               "./cmd/lmi-compile -bundle b.json -key abcd" \
+               "./cmd/lmi-compile -bundle b.json -key @" \
+               "./cmd/lmi-compile -bundle b.json -key $devkey -bundle-workloads nn:fast" \
                "./cmd/lmi-lint -all -mode fast"; do
     if go run $cmdline >/dev/null 2>&1; then
         echo "check: FAIL: 'go run $cmdline' accepted an invalid flag" >&2

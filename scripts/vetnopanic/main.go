@@ -1,22 +1,28 @@
 // Command vetnopanic is the repository's custom vet pass: it rejects
-// raw panic( calls in non-test code under internal/. The runtime
-// layers recover panics only at hardened pool boundaries (the runner's
-// workers, the serving shards) where they are classified as Degraded
-// outcomes; everywhere else a raw panic escalates a per-request failure
-// into a process crash, so internal code must return typed errors
-// instead. Test files are exempt — tests panic freely in helpers and
+// raw panic( and os.Exit( calls in non-test code under internal/. The
+// runtime layers recover panics only at hardened pool boundaries (the
+// runner's workers, the serving shards) where they are classified as
+// Degraded outcomes; everywhere else a raw panic escalates a
+// per-request failure into a process crash, so internal code must
+// return typed errors instead. os.Exit in a library bypasses those same
+// boundaries — and every deferred flush — so process exit belongs to
+// the cmd/ mains alone: internal code returns an error (or an exit
+// status for the main to apply), as internal/cliutil's Usage does. Test
+// files are exempt — tests panic freely in helpers and
 // deliberately-misbehaving fixtures (the chaos engine's panicking
 // mechanism plug-ins).
 //
 // The pass is pure standard library (go/ast, go/parser): it parses
 // every non-test .go file under the root and flags call expressions
-// whose callee is the panic identifier. A file-local function or
-// variable shadowing the builtin would be flagged too; the repository
-// style forbids that shadowing anyway.
+// whose callee is the panic identifier or the Exit selector on the
+// file's "os" import (under whatever local name it is imported). A
+// file-local function or variable shadowing the builtin or the import
+// would be flagged too; the repository style forbids that shadowing
+// anyway.
 //
 // Usage: go run ./scripts/vetnopanic [-root internal]
 //
-// Exits 1 when any raw panic is found, listing each as
+// Exits 1 when any violation is found, listing each as
 // file:line:column. scripts/check.sh and `make lint` run it as a gate.
 package main
 
@@ -44,15 +50,15 @@ func main() {
 		fmt.Println(f)
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "vetnopanic: %d raw panic(s) in non-test code under %s\n",
+		fmt.Fprintf(os.Stderr, "vetnopanic: %d violation(s) in non-test code under %s\n",
 			len(findings), *root)
 		os.Exit(1)
 	}
-	fmt.Printf("vetnopanic: %d files scanned, no raw panics\n", nfiles)
+	fmt.Printf("vetnopanic: %d files scanned, no raw panics or os.Exit calls\n", nfiles)
 }
 
 // scan walks root, parses every non-test .go file, and returns one
-// finding per raw panic call plus the number of files scanned.
+// finding per violation plus the number of files scanned.
 func scan(root string) (findings []string, nfiles int, err error) {
 	fset := token.NewFileSet()
 	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, werr error) error {
@@ -73,26 +79,57 @@ func scan(root string) (findings []string, nfiles int, err error) {
 	return findings, nfiles, err
 }
 
-// checkFile returns one finding per raw panic call expression in the
-// parsed file. Only direct calls of the bare identifier count:
-// method values (x.panic), other identifiers, and mentions in strings
-// or comments never match.
+// checkFile returns one finding per raw panic call and per os.Exit
+// call in the parsed file. Only direct calls count: for panic the bare
+// identifier (method values x.panic never match), for Exit a selector
+// on the file's "os" import under its local name. Mentions in strings
+// or comments never match either.
 func checkFile(fset *token.FileSet, f *ast.File) []string {
+	osName := osImportName(f)
 	var findings []string
 	ast.Inspect(f, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true
 		}
-		id, ok := call.Fun.(*ast.Ident)
-		if !ok || id.Name != "panic" {
-			return true
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if fun.Name != "panic" {
+				return true
+			}
+			pos := fset.Position(call.Pos())
+			findings = append(findings, fmt.Sprintf(
+				"%s:%d:%d: raw panic in non-test code; return a typed error instead",
+				pos.Filename, pos.Line, pos.Column))
+		case *ast.SelectorExpr:
+			pkg, ok := fun.X.(*ast.Ident)
+			if !ok || osName == "" || pkg.Name != osName || fun.Sel.Name != "Exit" {
+				return true
+			}
+			pos := fset.Position(call.Pos())
+			findings = append(findings, fmt.Sprintf(
+				"%s:%d:%d: os.Exit in non-test code; process exit belongs to cmd/ mains — return an error or exit status instead",
+				pos.Filename, pos.Line, pos.Column))
 		}
-		pos := fset.Position(call.Pos())
-		findings = append(findings, fmt.Sprintf(
-			"%s:%d:%d: raw panic in non-test code; return a typed error instead",
-			pos.Filename, pos.Line, pos.Column))
 		return true
 	})
 	return findings
+}
+
+// osImportName returns the local name the file imports the "os"
+// package under ("" when it is not imported, or imported blank).
+func osImportName(f *ast.File) string {
+	for _, imp := range f.Imports {
+		if imp.Path.Value != `"os"` {
+			continue
+		}
+		if imp.Name == nil {
+			return "os"
+		}
+		if imp.Name.Name == "_" {
+			return ""
+		}
+		return imp.Name.Name
+	}
+	return ""
 }

@@ -45,6 +45,58 @@ func panicky() {}
 	}
 }
 
+func TestFlagsOsExit(t *testing.T) {
+	got := check(t, `package p
+import "os"
+func f() { os.Exit(1) }
+`)
+	if len(got) != 1 || !strings.Contains(got[0], "synthetic.go:3:12") ||
+		!strings.Contains(got[0], "os.Exit in non-test code") {
+		t.Fatalf("want one os.Exit finding at 3:12, got %v", got)
+	}
+}
+
+func TestFlagsOsExitRenamedImport(t *testing.T) {
+	got := check(t, `package p
+import sys "os"
+func f() { sys.Exit(3) }
+`)
+	if len(got) != 1 || !strings.Contains(got[0], "os.Exit in non-test code") {
+		t.Fatalf("want one finding through the renamed import, got %v", got)
+	}
+}
+
+func TestIgnoresNonOsExit(t *testing.T) {
+	got := check(t, `package p
+import (
+	"os"
+	"q/proc"
+)
+func f() {
+	proc.Exit(1)        // Exit on some other package
+	_, _ = os.Open("x") // os, but not Exit
+	_ = "os.Exit(in a string)"
+	// os.Exit(in a comment)
+}
+`)
+	if len(got) != 0 {
+		t.Fatalf("want no findings, got %v", got)
+	}
+}
+
+func TestIgnoresExitWhenOsNotImported(t *testing.T) {
+	// An identifier spelled "os" that is not the "os" import (here a
+	// parameter) must not match.
+	got := check(t, `package p
+type fakeOS struct{}
+func (fakeOS) Exit(int) {}
+func f(os fakeOS) { os.Exit(1) }
+`)
+	if len(got) != 0 {
+		t.Fatalf("want no findings, got %v", got)
+	}
+}
+
 func TestScanSkipsTestFiles(t *testing.T) {
 	dir := t.TempDir()
 	write := func(name, src string) {
@@ -67,8 +119,8 @@ func TestScanSkipsTestFiles(t *testing.T) {
 	}
 }
 
-// TestRepositoryInvariant runs the real gate: no raw panic in non-test
-// code under internal/.
+// TestRepositoryInvariant runs the real gate: no raw panic and no
+// os.Exit in non-test code under internal/.
 func TestRepositoryInvariant(t *testing.T) {
 	findings, n, err := scan("../../internal")
 	if err != nil {
@@ -78,6 +130,6 @@ func TestRepositoryInvariant(t *testing.T) {
 		t.Fatal("scanned no files; wrong working directory?")
 	}
 	if len(findings) != 0 {
-		t.Fatalf("raw panics in internal/:\n%s", strings.Join(findings, "\n"))
+		t.Fatalf("raw panics / os.Exit calls in internal/:\n%s", strings.Join(findings, "\n"))
 	}
 }
