@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint analyze race-oracle check check-short bench serve soak fleet-soak fast bundle
+.PHONY: build test race vet lint analyze race-oracle peval check check-short bench serve soak fleet-soak fast bundle
 
 build:
 	$(GO) build ./...
@@ -17,8 +17,9 @@ race:
 	$(GO) test -race -timeout 45m ./...
 
 # Static verification of the LMI microcode contract over every lowered
-# kernel, plus the custom vet pass (no raw panic( in non-test code under
-# internal/). Both are also part of the check gate.
+# kernel, plus the custom vet pass (no raw panic(, os.Exit(, ambient
+# clock read, or math/rand import in non-test code under internal/).
+# Both are also part of the check gate.
 lint:
 	$(GO) run ./cmd/lmi-lint -all
 	$(GO) run ./scripts/vetnopanic
@@ -28,12 +29,15 @@ lint:
 # static extent-check elision, every E bit re-derived by the linter's
 # independent value analysis — plus the static shared-memory race and
 # barrier-divergence analyzer over every program (pre- and
-# post-optimizer, both modes, and the elided compiles). Fails on any
-# unsound-elide diagnostic, any proven-out-of-bounds access in a shipped
-# workload, any potential race, divergent barrier, or inexpressible
-# shared address.
+# post-optimizer, both modes, and the elided compiles), plus the
+# specialization audit — every workload partially evaluated against its
+# concrete launch contract and the certificate's every transform
+# re-judged. Fails on any unsound-elide diagnostic, any
+# proven-out-of-bounds access in a shipped workload, any potential
+# race, divergent barrier, inexpressible shared address, or unsound
+# specialization.
 analyze:
-	$(GO) run ./cmd/lmi-lint -all -elide-audit -race
+	$(GO) run ./cmd/lmi-lint -all -elide-audit -race -spec-audit
 
 # The dynamic race-oracle overhead sweep: the Fig. 12 corpus with the
 # shared-memory race oracle off vs armed. Asserts the oracle never
@@ -42,6 +46,14 @@ analyze:
 # cycle-tier artifact BENCH_fig12_raceoracle.json.
 race-oracle:
 	$(GO) run ./cmd/lmi-bench -race-oracle-json BENCH_fig12_raceoracle.json
+
+# The contract-specialization sweep: every workload's general elided
+# program vs its certified residual under the same launch, with the
+# cycle and avoided-check deltas priced by the hardware-cost model;
+# regenerates the committed cycle-tier artifact BENCH_fig12_peval.json
+# (byte-identical across -jobs; the check gate pins it).
+peval:
+	$(GO) run ./cmd/lmi-bench -peval-json BENCH_fig12_peval.json
 
 # The full verification gate: vet + build + tests + race detector +
 # static contract lint.

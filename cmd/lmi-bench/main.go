@@ -6,6 +6,7 @@
 //	lmi-bench -fig 12         # one figure (1, 4, 12, 13)
 //	lmi-bench -table 3        # one table (2, 3, 4, 5, 6)
 //	lmi-bench -elide          # static extent-check elision experiment
+//	lmi-bench -peval -peval-json out.json  # contract-specialization sweep + artifact
 //	lmi-bench -sms 8          # scale the simulated GPU
 //	lmi-bench -all -jobs 4    # run the sweeps on 4 workers (same output)
 //	lmi-bench -all -timing    # per-run timing report on stderr
@@ -51,6 +52,8 @@ func main() {
 	elide := flag.Bool("elide", false, "run the static extent-check elision experiment")
 	raceOracle := flag.Bool("race-oracle", false, "run the Fig. 12 sweep with the dynamic race oracle off vs armed and report its overhead")
 	raceOracleJSON := flag.String("race-oracle-json", "", "write the race-oracle sweep's deterministic JSON artifact to this file (implies -race-oracle)")
+	peval := flag.Bool("peval", false, "run the contract-specialization sweep: general elided programs vs certified residuals")
+	pevalJSON := flag.String("peval-json", "", "write the specialization sweep's deterministic JSON artifact to this file (implies -peval)")
 	all := flag.Bool("all", false, "regenerate everything")
 	sms := flag.Int("sms", experiments.DefaultSimSMs, "simulated SM count (Table IV machine is 80)")
 	jobs := flag.Int("jobs", 0, "simulation worker pool size, >= 1 (omit for GOMAXPROCS or $LMI_JOBS)")
@@ -238,6 +241,21 @@ func main() {
 			fmt.Printf("\nrace oracle is timing-invisible: armed cycles == plain cycles on every run, 0 races on the statically-proven corpus\n")
 			if *raceOracleJSON != "" {
 				return res.WriteJSON(*raceOracleJSON)
+			}
+			return nil
+		})
+	}
+	if *all || *peval || *pevalJSON != "" {
+		any = true
+		run("Fig. 12 contract specialization", func() error {
+			res, err := experiments.Fig12PevalJobsTier(cfg, *jobs, tier)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Table())
+			fmt.Printf("\nevery residual is certified (internal/peval) and re-audited by lmi-lint -spec-audit's independent judge\n")
+			if *pevalJSON != "" {
+				return res.WriteJSON(*pevalJSON)
 			}
 			return nil
 		})

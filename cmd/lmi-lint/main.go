@@ -13,6 +13,7 @@
 //	lmi-lint -bench needle        # one benchmark
 //	lmi-lint -bench bfs -mode base
 //	lmi-lint -all -elide-audit    # also audit every compiler-planted E (elide) hint
+//	lmi-lint -all -spec-audit     # also re-judge every specialization certificate
 //	lmi-lint -all -race           # also run the static race & barrier-divergence analyzer
 //	lmi-lint -all -json           # machine-readable report
 //
@@ -66,6 +67,7 @@ func main() {
 	bench := flag.String("bench", "", "lint one benchmark by name")
 	modeFlag := flag.String("mode", "both", "base | lmi | both")
 	elideAudit := flag.Bool("elide-audit", false, "also compile each workload with static elision and audit every E bit against the linter's own value analysis")
+	specAudit := flag.Bool("spec-audit", false, "also specialize each workload against its concrete launch contract and re-judge the certificate's every transform")
 	raceFlag := flag.Bool("race", false, "also run the static shared-memory race and barrier-divergence analyzer over every program")
 	jsonOut := flag.Bool("json", false, "emit the full report as JSON")
 	flag.Parse()
@@ -128,6 +130,20 @@ func main() {
 			}
 			results = append(results, elRes)
 			total += len(elRes.Diags) + len(elRes.Races)
+		}
+		if *specAudit && tg.spec != nil {
+			res, err := tg.spec.Specialized()
+			if err != nil {
+				// A workload the specializer cannot handle is a gate
+				// failure: the serving path would silently lose its
+				// residual.
+				fmt.Fprintf(os.Stderr, "lmi-lint: %s: specialize: %v\n", tg.name, err)
+				os.Exit(1)
+			}
+			spRes := result{Kernel: tg.name, Mode: "lmi-spec",
+				Diags: lint.SpecializeAudit(res.Original, res.Residual, res.Cert, tg.spec.ConcreteContract())}
+			results = append(results, spRes)
+			total += len(spRes.Diags)
 		}
 	}
 

@@ -14,6 +14,7 @@
 //	lmi-serve -shards 4                   # serve through the sharded fleet coordinator
 //	lmi-serve -decision-log d.jsonl       # per-request safety decision records (JSONL)
 //	lmi-serve -bundle b.json -bundle-pub <hex>  # serve signed compiled artifacts
+//	lmi-serve -specialize                 # serve contract-specialized residuals on contract match
 //
 // Bundle-backed serving is fail-closed: the bundle is verified (signature,
 // digests, and all three static passes re-run against the embedded
@@ -71,6 +72,8 @@ func main() {
 		"execution tier requests simulate on: cycle (timing reference) or compiled (fast functional)")
 	bundlePath := flag.String("bundle", "", "serve compiled programs from this signed bundle file (SIGHUP re-reads and hot-reloads it)")
 	bundlePubFlag := flag.String("bundle-pub", "", "trusted bundle-signing public key (32-byte hex, @file, or $LMI_BUNDLE_PUB); required with -bundle")
+	specialize := flag.Bool("specialize", false,
+		"serve contract-specialized residual programs for launches matching an entry's concrete contract (general-program fallback on mismatch)")
 	verbose := flag.Bool("v", false, "verbose: per-request soak log / serve request log")
 	flag.Parse()
 	if err := cliutil.Validate("lmi-serve", flag.CommandLine,
@@ -111,9 +114,9 @@ func main() {
 		os.Exit(runSoak(*seed, *requests, *jobs, *sms, tier, *verbose))
 	}
 	if *shards > 1 {
-		os.Exit(runFleetServe(*addr, *shards, *queue, *sms, tier, *decisionLog, *logBuffer, *bundlePath, pub, *verbose))
+		os.Exit(runFleetServe(*addr, *shards, *queue, *sms, tier, *specialize, *decisionLog, *logBuffer, *bundlePath, pub, *verbose))
 	}
-	os.Exit(runServe(*addr, *jobs, *queue, *sms, tier, *bundlePath, pub, *verbose))
+	os.Exit(runServe(*addr, *jobs, *queue, *sms, tier, *specialize, *bundlePath, pub, *verbose))
 }
 
 // loadBundle re-reads the -bundle file and installs it through reload,
@@ -183,7 +186,7 @@ func runFleetSoak(seed uint64, requests, shards, jobs, sms int, tier fastsim.Tie
 // SIGTERM/SIGINT, then drains and flushes the shutdown report. With a
 // bundle, startup verification is fail-closed and SIGHUP hot-reloads
 // the bundle file across every shard.
-func runFleetServe(addr string, shards, queue, sms int, tier fastsim.Tier, logPath string, logBuffer int, bundlePath string, pub ed25519.PublicKey, verbose bool) int {
+func runFleetServe(addr string, shards, queue, sms int, tier fastsim.Tier, specialize bool, logPath string, logBuffer int, bundlePath string, pub ed25519.PublicKey, verbose bool) int {
 	logf := func(string, ...any) {}
 	if verbose {
 		logf = func(format string, args ...any) {
@@ -200,6 +203,7 @@ func runFleetServe(addr string, shards, queue, sms int, tier fastsim.Tier, logPa
 		QueueCapacity: queue,
 		SMs:           sms,
 		Tier:          tier,
+		Specialize:    specialize,
 		DecisionLog:   logW,
 		LogBuffer:     logBuffer,
 		BundlePub:     pub,
@@ -287,7 +291,7 @@ func runSoak(seed uint64, requests, jobs, sms int, tier fastsim.Tier, verbose bo
 // runServe hosts the HTTP service until SIGTERM/SIGINT, then drains and
 // flushes the shutdown report. With a bundle, startup verification is
 // fail-closed and SIGHUP hot-reloads the bundle file.
-func runServe(addr string, jobs, queue, sms int, tier fastsim.Tier, bundlePath string, pub ed25519.PublicKey, verbose bool) int {
+func runServe(addr string, jobs, queue, sms int, tier fastsim.Tier, specialize bool, bundlePath string, pub ed25519.PublicKey, verbose bool) int {
 	logf := func(string, ...any) {}
 	if verbose {
 		logf = func(format string, args ...any) {
@@ -299,6 +303,7 @@ func runServe(addr string, jobs, queue, sms int, tier fastsim.Tier, bundlePath s
 		QueueCapacity: queue,
 		SMs:           sms,
 		Tier:          tier,
+		Specialize:    specialize,
 		BundlePub:     pub,
 		Logf:          logf,
 	})

@@ -7,6 +7,7 @@ import (
 	"lmi/internal/compiler"
 	"lmi/internal/isa"
 	"lmi/internal/lint"
+	"lmi/internal/peval"
 	"lmi/internal/race"
 	"lmi/internal/runner"
 	"lmi/internal/workloads"
@@ -19,10 +20,17 @@ type BuildSpec struct {
 	// Elide compiles with static extent-check elision under the
 	// workload's launch contract.
 	Elide bool
+	// Specialize additionally partially evaluates the elided program
+	// against the workload's concrete contract and ships the residual,
+	// its contract, and its audited specialization certificate
+	// alongside the general program. Requires Elide: the specializer's
+	// general program is the elided compile.
+	Specialize bool
 }
 
-// Build compiles the given workloads in LMI mode, runs the three static
-// passes, and assembles the (unsealed) bundle. Compilation fans out
+// Build compiles the given workloads in LMI mode, runs the static
+// passes (lint, elide audit, race, and the specialization audit for
+// specialized entries), and assembles the (unsealed) bundle. Compilation fans out
 // over jobs workers through the deterministic runner pool; entries are
 // produced in a canonical order regardless, so Build(specs, 1) and
 // Build(specs, 4) seal to byte-identical bundles.
@@ -96,6 +104,42 @@ func buildEntry(bs BuildSpec) (*Entry, error) {
 		SourceMap: prog.srcMap,
 		Contract:  contract,
 	}
+
+	// The specialization payload goes in before the code digest is
+	// taken: the residual and its certificate are part of what every
+	// certificate binds to.
+	var specRes *peval.Result
+	if bs.Specialize {
+		if !bs.Elide {
+			return nil, fmt.Errorf("bundle: %s: Specialize requires Elide (the specializer's general program is the elided compile)", bs.Workload)
+		}
+		concrete := s.ConcreteContract()
+		res, err := peval.Specialize(f, contract, concrete, peval.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("bundle: %s: specialize: %w", bs.Workload, err)
+		}
+		// The specializer recompiles internally; its general program
+		// must be the very program this entry ships, or the certificate
+		// would certify a different starting point.
+		if len(res.Original.Instrs) != len(prog.p.Instrs) {
+			return nil, fmt.Errorf("bundle: %s: specializer general program diverged from entry program", bs.Workload)
+		}
+		for i := range res.Original.Instrs {
+			if res.Original.Instrs[i] != prog.p.Instrs[i] {
+				return nil, fmt.Errorf("bundle: %s: specializer general program diverged from entry program at %d", bs.Workload, i)
+			}
+		}
+		specCode, err := EncodeWords(res.Residual)
+		if err != nil {
+			return nil, fmt.Errorf("bundle: %s: encode residual: %w", bs.Workload, err)
+		}
+		sc := concrete
+		e.SpecCode = specCode
+		e.SpecContract = &sc
+		e.SpecCertificate = res.Cert
+		specRes = res
+	}
+
 	cd, err := CodeDigest(e)
 	if err != nil {
 		return nil, err
@@ -122,6 +166,18 @@ func buildEntry(bs BuildSpec) (*Entry, error) {
 		SharedAccesses: rr.SharedAccesses,
 		PairsTested:    rr.PairsTested,
 		Phases:         rr.Phases,
+	}
+	if specRes != nil {
+		if diags := lint.SpecializeAudit(prog.p, specRes.Residual, specRes.Cert, *e.SpecContract); len(diags) > 0 {
+			return nil, fmt.Errorf("bundle: %s: specialize audit: %d diagnostics: %s", bs.Workload, len(diags), diags[0])
+		}
+		e.Spec = &SpecCert{
+			CodeDigest:     cd,
+			Diags:          0,
+			Shape:          specRes.Cert.Shape,
+			Transforms:     len(specRes.Cert.Transforms),
+			ResidualInstrs: len(specRes.Residual.Instrs),
+		}
 	}
 	return e, nil
 }

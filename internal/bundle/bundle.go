@@ -1,7 +1,8 @@
 // Package bundle is the signed compiled-artifact format: a
 // content-addressed container of compiled isa.Programs, their source
 // maps, launch contracts, and the static-analysis certificates (lint,
-// elide audit, race) that the compile produced, sealed under an
+// elide audit, race, and — for specialized entries — the
+// specialization audit) that the compile produced, sealed under an
 // ed25519 signature. It is what turns the workload corpus into a
 // deployable artifact stream: lmi-compile -bundle builds and signs
 // one, and the serving fleet verifies and hot-reloads it without ever
@@ -18,7 +19,10 @@
 //
 //	code digest   = sha256 over the entry with certificates and Digest cleared
 //	                (name, mechanism, mode, code words, program metadata,
-//	                source map, contract) — what the certificates certify
+//	                source map, contract, and — when present — the
+//	                specialization payload: residual code, concrete
+//	                contract, specialization certificate) — what the
+//	                certificates certify
 //	entry digest  = sha256 over the entry with Digest cleared (certs included)
 //	bundle digest = sha256 over {version, public key, entry digests}
 //	signature     = ed25519 over the bundle digest hex
@@ -43,6 +47,7 @@ import (
 	"lmi/internal/bounds"
 	"lmi/internal/compiler"
 	"lmi/internal/isa"
+	"lmi/internal/peval"
 )
 
 // Version is the current bundle format version.
@@ -80,6 +85,24 @@ type RaceCert struct {
 	Phases         int `json:"phases"`
 }
 
+// SpecCert certifies the specialization audit: the residual program
+// (SpecCode) is a sound specialization of the entry's general program
+// under the concrete contract, every transform in the specialization
+// certificate independently re-derived by lint.SpecializeAudit.
+type SpecCert struct {
+	// CodeDigest binds to the code digest of the entry the audit ran
+	// over — which covers the specialization payload, so a replayed
+	// residual or certificate breaks the binding.
+	CodeDigest string `json:"code_digest"`
+	Diags      int    `json:"diags"`
+	// Shape is the canonical contract-shape key (the fastsim cache key
+	// component); Transforms and ResidualInstrs pin the certificate
+	// extent against the payload.
+	Shape          string `json:"shape"`
+	Transforms     int    `json:"transforms"`
+	ResidualInstrs int    `json:"residual_instrs"`
+}
+
 // ProgramMeta carries the isa.Program fields outside the instruction
 // stream (the instruction stream itself travels as microcode words).
 type ProgramMeta struct {
@@ -113,11 +136,24 @@ type Entry struct {
 	SourceMap []compiler.SourceLoc `json:"source_map"`
 	// Contract is the launch contract the certificates hold under.
 	Contract bounds.Contract `json:"contract"`
-	// The three certificates. All are mandatory for a verifiable entry;
-	// a stripped certificate is a typed rejection, not a downgrade.
+	// The specialization payload: a contract-specialized residual of
+	// the program above, present only for entries built with
+	// BuildSpec.Specialize. The four spec fields are all-or-none — a
+	// partial record is a typed rejection. They ride inside the code
+	// digest (unlike the certificate attestations below), so splicing
+	// an older residual under newer code breaks every certificate
+	// binding at once. Entries without a payload marshal identically
+	// to the pre-specialization format: old digests are unchanged.
+	SpecCode        []string           `json:"spec_code,omitempty"`
+	SpecContract    *bounds.Contract   `json:"spec_contract,omitempty"`
+	SpecCertificate *peval.Certificate `json:"spec_certificate,omitempty"`
+	// The three mandatory certificates plus the specialization audit
+	// (mandatory exactly when the payload is present); a stripped
+	// certificate is a typed rejection, not a downgrade.
 	Lint  *LintCert  `json:"lint_cert,omitempty"`
 	Audit *AuditCert `json:"audit_cert,omitempty"`
 	Race  *RaceCert  `json:"race_cert,omitempty"`
+	Spec  *SpecCert  `json:"spec_cert,omitempty"`
 	// Digest is the entry digest (sha256 over the entry with this field
 	// cleared).
 	Digest string `json:"digest"`
@@ -146,11 +182,12 @@ func sha256hex(b []byte) string {
 }
 
 // CodeDigest computes the digest the certificates bind to: the entry
-// with its certificates and Digest cleared — the code, metadata,
-// source map, and contract, exactly what the static passes consumed.
+// with its certificate attestations and Digest cleared — the code,
+// metadata, source map, contract, and (when present) the
+// specialization payload, exactly what the static passes consumed.
 func CodeDigest(e *Entry) (string, error) {
 	c := *e
-	c.Lint, c.Audit, c.Race = nil, nil, nil
+	c.Lint, c.Audit, c.Race, c.Spec = nil, nil, nil, nil
 	c.Digest = ""
 	raw, err := json.Marshal(&c)
 	if err != nil {
@@ -203,8 +240,25 @@ func EncodeWords(p *isa.Program) ([]string, error) {
 // DecodeProgram reconstructs the isa.Program an entry carries and
 // validates it.
 func (e *Entry) DecodeProgram() (*isa.Program, error) {
-	words := make([]isa.Word, len(e.Code))
-	for i, s := range e.Code {
+	return e.decodeWords(e.Code)
+}
+
+// DecodeSpecProgram reconstructs the specialized residual program from
+// the entry's specialization payload. The residual shares the general
+// program's metadata (frame, shared, registers, parameters) — the
+// specializer only rewrites the instruction stream.
+func (e *Entry) DecodeSpecProgram() (*isa.Program, error) {
+	if len(e.SpecCode) == 0 {
+		return nil, fmt.Errorf("bundle: %s: no specialization payload", e.Key())
+	}
+	return e.decodeWords(e.SpecCode)
+}
+
+// decodeWords rebuilds a program from microcode word hex under the
+// entry's metadata and validates it.
+func (e *Entry) decodeWords(code []string) (*isa.Program, error) {
+	words := make([]isa.Word, len(code))
+	for i, s := range code {
 		if len(s) != 32 {
 			return nil, fmt.Errorf("bundle: %s: word %d: %d hex chars, want 32", e.Key(), i, len(s))
 		}
@@ -259,6 +313,25 @@ func (b *Bundle) Clone() *Bundle {
 		e.SourceMap = append([]compiler.SourceLoc(nil), e.SourceMap...)
 		e.Meta.ParamPtrs = append([]bool(nil), e.Meta.ParamPtrs...)
 		e.Meta.StackBuffers = append([]isa.StackBuffer(nil), e.Meta.StackBuffers...)
+		e.SpecCode = append([]string(nil), e.SpecCode...)
+		if e.SpecContract != nil {
+			sc := *e.SpecContract
+			e.SpecContract = &sc
+		}
+		if e.SpecCertificate != nil {
+			cert := *e.SpecCertificate
+			cert.Transforms = append([]peval.Transform(nil), cert.Transforms...)
+			for i := range cert.Transforms {
+				t := &cert.Transforms[i]
+				t.Drops = append([]peval.Drop(nil), t.Drops...)
+				if t.Unroll != nil {
+					u := *t.Unroll
+					t.Unroll = &u
+				}
+			}
+			cert.Provenance = append([]int(nil), cert.Provenance...)
+			e.SpecCertificate = &cert
+		}
 		if e.Lint != nil {
 			l := *e.Lint
 			e.Lint = &l
@@ -270,6 +343,10 @@ func (b *Bundle) Clone() *Bundle {
 		if e.Race != nil {
 			r := *e.Race
 			e.Race = &r
+		}
+		if e.Spec != nil {
+			s := *e.Spec
+			e.Spec = &s
 		}
 		c.Entries[i] = e
 	}

@@ -1,0 +1,229 @@
+package bundle
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"lmi/internal/chaos"
+	"lmi/internal/peval"
+)
+
+// specSpecs builds one specialized entry next to two plain ones.
+var specSpecs = []BuildSpec{
+	{Workload: "nn", Elide: true},
+	{Workload: "needle", Elide: true, Specialize: true},
+	{Workload: "backprop", Elide: true},
+}
+
+var specBuildOnce = sync.OnceValues(func() (*Bundle, error) {
+	b, err := Build(specSpecs, 2)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.Seal(testKey); err != nil {
+		return nil, err
+	}
+	return b, nil
+})
+
+func sealedSpecBundle(t *testing.T) *Bundle {
+	t.Helper()
+	b, err := specBuildOnce()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return b.Clone()
+}
+
+// specEntry locates the specialized needle entry in a cloned bundle.
+func specEntry(t *testing.T, b *Bundle) *Entry {
+	t.Helper()
+	e := findEntry(b, "needle/lmi")
+	if e == nil || len(e.SpecCode) == 0 || e.Spec == nil {
+		t.Fatalf("needle entry has no specialization record")
+	}
+	return e
+}
+
+// TestSpecRoundTripVerify: a bundle with a specialized entry verifies,
+// and the verified view exposes the residual program, its concrete
+// contract, and the contract-shape cache key.
+func TestSpecRoundTripVerify(t *testing.T) {
+	v, err := Verify(sealedSpecBundle(t), trusted())
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	ve, ok := v.Lookup("needle", "lmi")
+	if !ok {
+		t.Fatalf("needle/lmi not served")
+	}
+	if ve.SpecProg == nil || ve.SpecContract == nil || ve.SpecShape == "" {
+		t.Fatalf("specialization payload not surfaced: prog=%v contract=%v shape=%q",
+			ve.SpecProg, ve.SpecContract, ve.SpecShape)
+	}
+	if got := peval.ShapeOf(*ve.SpecContract); got != ve.SpecShape {
+		t.Fatalf("served shape %q, contract shape %q", ve.SpecShape, got)
+	}
+	if err := ve.SpecProg.Validate(); err != nil {
+		t.Fatalf("served residual invalid: %v", err)
+	}
+	plain, ok := v.Lookup("nn", "lmi")
+	if !ok || plain.SpecProg != nil || plain.SpecContract != nil || plain.SpecShape != "" {
+		t.Fatalf("unspecialized entry grew a specialization payload")
+	}
+}
+
+// TestSpecDigestStability: the specialization record is strictly
+// additive — an entry without one marshals without any spec keys and
+// digests identically whether or not a sibling entry is specialized.
+func TestSpecDigestStability(t *testing.T) {
+	with := sealedSpecBundle(t)
+	without, err := Build([]BuildSpec{
+		{Workload: "nn", Elide: true},
+		{Workload: "needle", Elide: true},
+		{Workload: "backprop", Elide: true},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := without.Seal(testKey); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"nn/lmi", "backprop/lmi"} {
+		a, b := findEntry(with, name), findEntry(without, name)
+		if a == nil || b == nil {
+			t.Fatalf("%s missing", name)
+		}
+		if a.Digest != b.Digest {
+			t.Fatalf("%s digest changed when a sibling was specialized: %s vs %s", name, a.Digest, b.Digest)
+		}
+	}
+	var buf bytes.Buffer
+	if err := with.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one entry carries spec keys in the encoded artifact.
+	if got := strings.Count(buf.String(), `"spec_code"`); got != 1 {
+		t.Fatalf("%d entries carry spec_code, want 1", got)
+	}
+}
+
+// TestSpecBuildDeterministic: -jobs never changes a byte, specialized
+// entries included.
+func TestSpecBuildDeterministic(t *testing.T) {
+	var encoded [][]byte
+	for _, jobs := range []int{1, 4} {
+		b, err := Build(specSpecs, jobs)
+		if err != nil {
+			t.Fatalf("build jobs=%d: %v", jobs, err)
+		}
+		if err := b.Seal(testKey); err != nil {
+			t.Fatal(err)
+		}
+		encoded = append(encoded, encodeBytes(t, b))
+	}
+	if !bytes.Equal(encoded[0], encoded[1]) {
+		t.Fatalf("specialized bundle bytes differ between -jobs 1 and -jobs 4")
+	}
+}
+
+// TestSpecBuildRequiresElide: the specializer's general program is the
+// elided compile; Build refuses the inconsistent request.
+func TestSpecBuildRequiresElide(t *testing.T) {
+	if _, err := Build([]BuildSpec{{Workload: "nn", Specialize: true}}, 1); err == nil {
+		t.Fatalf("built a specialized entry without elision")
+	}
+}
+
+// TestSpecVerifyRejections pins the specialization tamper classes to
+// their typed reasons.
+func TestSpecVerifyRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(t *testing.T, b *Bundle)
+		want   RejectReason
+	}{
+		{"stripped spec attestation, honest reseal", func(t *testing.T, b *Bundle) {
+			specEntry(t, b).Spec = nil
+		}, ReasonCertMissing},
+		{"stripped residual code, honest reseal", func(t *testing.T, b *Bundle) {
+			specEntry(t, b).SpecCode = nil
+		}, ReasonCertMissing},
+		{"stripped concrete contract, honest reseal", func(t *testing.T, b *Bundle) {
+			specEntry(t, b).SpecContract = nil
+		}, ReasonCertMissing},
+		{"tampered residual word, honest reseal", func(t *testing.T, b *Bundle) {
+			// Certificate bindings still reference the pre-tamper code
+			// digest: the binding check catches the splice.
+			e := specEntry(t, b)
+			w := []byte(e.SpecCode[0])
+			if w[0] == '0' {
+				w[0] = '1'
+			} else {
+				w[0] = '0'
+			}
+			e.SpecCode[0] = string(w)
+		}, ReasonCertStale},
+		{"forged transform count, honest reseal", func(t *testing.T, b *Bundle) {
+			// Forging the attestation alone breaks its code binding.
+			specEntry(t, b).Spec.Transforms++
+		}, ReasonCertStale},
+		{"swapped concrete contract, honest reseal", func(t *testing.T, b *Bundle) {
+			specEntry(t, b).SpecContract.CountMin--
+		}, ReasonCertStale},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := sealedSpecBundle(t)
+			tc.mutate(t, b)
+			if err := b.Seal(testKey); err != nil {
+				t.Fatal(err)
+			}
+			v, err := Verify(b, trusted())
+			if v != nil {
+				t.Fatalf("fail-closed violated: Verify returned a usable view with error %v", err)
+			}
+			if got := reason(t, err); got != tc.want {
+				t.Fatalf("reason %q, want %q (err: %v)", got, tc.want, err)
+			}
+		})
+	}
+}
+
+// TestSpecViolationInsiderResign models the strongest attacker: mutate
+// one residual instruction, recompute every code-digest binding, and
+// reseal with the genuine key. Every digest and binding checks out —
+// only the re-run specialization audit catches the divergence, with
+// the typed spec-violation reason.
+func TestSpecViolationInsiderResign(t *testing.T) {
+	b := sealedSpecBundle(t)
+	e := specEntry(t, b)
+	res, err := e.DecodeSpecProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := len(res.Instrs) / 2
+	mutated := chaos.PlantSpecMutationAt(res, idx)
+	code, err := EncodeWords(mutated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SpecCode = code
+	cd, err := CodeDigest(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Lint.CodeDigest, e.Audit.CodeDigest, e.Race.CodeDigest, e.Spec.CodeDigest = cd, cd, cd, cd
+	if err := b.Seal(testKey); err != nil {
+		t.Fatal(err)
+	}
+	v, err := Verify(b, trusted())
+	if v != nil {
+		t.Fatalf("fail-closed violated: insider resign produced a usable view")
+	}
+	if got := reason(t, err); got != ReasonSpecViolation {
+		t.Fatalf("reason %q, want %q (err: %v)", got, ReasonSpecViolation, err)
+	}
+}

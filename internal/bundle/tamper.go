@@ -29,11 +29,19 @@ const (
 	// newer code for the same entry and reseals with the right key: the
 	// certificate CodeDigest binding breaks.
 	TamperStaleAudit = "bundle-stale-audit"
+	// TamperStaleSpec grafts one entry's specialization record
+	// (residual code, concrete contract, specialization certificate,
+	// audit attestation) onto a different entry and reseals with the
+	// right key: the payload rides inside the code digest, so the
+	// target's certificate bindings all break at once — a
+	// specialization certificate cannot be replayed against code it
+	// does not certify.
+	TamperStaleSpec = "bundle-stale-spec"
 )
 
 // TamperKinds lists the tamper kinds in campaign order.
 func TamperKinds() []string {
-	return []string{TamperFlipByte, TamperStripCert, TamperWrongKey, TamperStaleAudit}
+	return []string{TamperFlipByte, TamperStripCert, TamperWrongKey, TamperStaleAudit, TamperStaleSpec}
 }
 
 // ExpectedTamperRejection is the typed reason Verify must produce for
@@ -47,6 +55,8 @@ func ExpectedTamperRejection(kind string) RejectReason {
 	case TamperWrongKey:
 		return ReasonWrongKey
 	case TamperStaleAudit:
+		return ReasonCertStale
+	case TamperStaleSpec:
 		return ReasonCertStale
 	default:
 		return ""
@@ -120,6 +130,38 @@ func Tamper(kind string, cur, older *Bundle, priv, wrongPriv ed25519.PrivateKey)
 		if !spliced {
 			return nil, fmt.Errorf("bundle: tamper %s: no entry with changed code between bundle versions", kind)
 		}
+		if err := b.Seal(priv); err != nil {
+			return nil, err
+		}
+		return b, nil
+	case TamperStaleSpec:
+		var src *Entry
+		for i := range b.Entries {
+			if len(b.Entries[i].SpecCode) > 0 {
+				src = &b.Entries[i]
+				break
+			}
+		}
+		if src == nil {
+			return nil, fmt.Errorf("bundle: tamper %s: no specialized entry to replay from", kind)
+		}
+		var dst *Entry
+		for i := range b.Entries {
+			if e := &b.Entries[i]; e != src && len(e.SpecCode) == 0 {
+				dst = e
+				break
+			}
+		}
+		if dst == nil {
+			return nil, fmt.Errorf("bundle: tamper %s: no unspecialized entry to graft onto", kind)
+		}
+		dst.SpecCode = append([]string(nil), src.SpecCode...)
+		sc := *src.SpecContract
+		dst.SpecContract = &sc
+		cert := *src.SpecCertificate
+		dst.SpecCertificate = &cert
+		sp := *src.Spec
+		dst.Spec = &sp
 		if err := b.Seal(priv); err != nil {
 			return nil, err
 		}

@@ -15,11 +15,13 @@ var (
 		var out [2]*Bundle
 		// v1 serves nn plain; v2 serves it elided — same key, changed
 		// code, the raw material for the stale-certificate replay.
-		v1, err := Build([]BuildSpec{{Workload: "nn"}, {Workload: "needle", Elide: true}}, 2)
+		// needle ships specialized in both: the raw material for the
+		// stale-spec graft (and nn is the unspecialized graft target).
+		v1, err := Build([]BuildSpec{{Workload: "nn"}, {Workload: "needle", Elide: true, Specialize: true}}, 2)
 		if err != nil {
 			return out, err
 		}
-		v2, err := Build([]BuildSpec{{Workload: "nn", Elide: true}, {Workload: "needle", Elide: true}}, 2)
+		v2, err := Build([]BuildSpec{{Workload: "nn", Elide: true}, {Workload: "needle", Elide: true, Specialize: true}}, 2)
 		if err != nil {
 			return out, err
 		}

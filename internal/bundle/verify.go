@@ -6,9 +6,11 @@ import (
 	"errors"
 	"fmt"
 
+	"lmi/internal/bounds"
 	"lmi/internal/compiler"
 	"lmi/internal/isa"
 	"lmi/internal/lint"
+	"lmi/internal/peval"
 	"lmi/internal/race"
 )
 
@@ -38,12 +40,13 @@ const (
 	// (CodeDigest mismatch, or certified counts contradicting the
 	// re-run) — the replayed-older-certificate attack.
 	ReasonCertStale RejectReason = "cert-stale"
-	// ReasonLintViolation / ReasonAuditViolation / ReasonRaceViolation:
-	// the re-run static pass found diagnostics the certificate claims
-	// are absent.
+	// ReasonLintViolation / ReasonAuditViolation / ReasonRaceViolation /
+	// ReasonSpecViolation: the re-run static pass found diagnostics the
+	// certificate claims are absent.
 	ReasonLintViolation  RejectReason = "lint-violation"
 	ReasonAuditViolation RejectReason = "audit-violation"
 	ReasonRaceViolation  RejectReason = "race-violation"
+	ReasonSpecViolation  RejectReason = "spec-violation"
 )
 
 // RejectError is a typed, fail-closed bundle rejection.
@@ -87,6 +90,14 @@ type VerifiedEntry struct {
 	Digest string
 	Elided bool
 	Prog   *isa.Program
+	// SpecProg / SpecContract / SpecShape carry the verified
+	// specialization payload, when the entry ships one: the residual
+	// program, the concrete contract it is valid under, and the
+	// canonical contract-shape cache key. All nil/empty for a general
+	// entry.
+	SpecProg     *isa.Program
+	SpecContract *bounds.Contract
+	SpecShape    string
 }
 
 // Verified is an immutable, fully verified bundle: the serving layers
@@ -114,8 +125,9 @@ func (v *Verified) Lookup(workload, mechanism string) (*VerifiedEntry, bool) {
 // a rejected bundle is usable (fail closed). The checks run in
 // trust-boundary order: structure, signer identity, signature, bundle
 // digest, per-entry digests, program decode, certificate presence,
-// certificate binding, and finally the three static passes re-run
-// from scratch against the embedded certificates.
+// certificate binding, and finally the static passes re-run from
+// scratch against the embedded certificates (including the
+// specialization audit for entries shipping a residual).
 //
 // trusted is the key the caller trusts; a bundle signed by any other
 // key is ReasonWrongKey even when its signature is internally valid.
@@ -222,6 +234,16 @@ func verifyEntry(e *Entry, recomputed string) (*VerifiedEntry, error) {
 		}
 		return nil, reject(ReasonCertMissing, "no %s certificate", missing)
 	}
+	// The specialization record is all-or-none: residual code, concrete
+	// contract, specialization certificate, and the audit attestation
+	// travel together or not at all.
+	hasSpec := len(e.SpecCode) > 0
+	if spec2 := e.SpecContract != nil; hasSpec != spec2 ||
+		hasSpec != (e.SpecCertificate != nil) || hasSpec != (e.Spec != nil) {
+		return nil, reject(ReasonCertMissing,
+			"partial specialization record (code=%v contract=%v certificate=%v attestation=%v)",
+			hasSpec, e.SpecContract != nil, e.SpecCertificate != nil, e.Spec != nil)
+	}
 	cd, err := CodeDigest(e)
 	if err != nil {
 		return nil, reject(ReasonMalformed, "%v", err)
@@ -234,6 +256,10 @@ func verifyEntry(e *Entry, recomputed string) (*VerifiedEntry, error) {
 			return nil, reject(ReasonCertStale,
 				"%s certificate binds code %s, entry code is %s", bind.pass, bind.got, cd)
 		}
+	}
+	if hasSpec && e.Spec.CodeDigest != cd {
+		return nil, reject(ReasonCertStale,
+			"spec certificate binds code %s, entry code is %s", e.Spec.CodeDigest, cd)
 	}
 
 	// Re-run the static chain of trust from scratch; the certificates
@@ -264,9 +290,41 @@ func verifyEntry(e *Entry, recomputed string) (*VerifiedEntry, error) {
 			e.Race.SharedAccesses, e.Race.PairsTested, e.Race.Phases,
 			rr.SharedAccesses, rr.PairsTested, rr.Phases)
 	}
-	return &VerifiedEntry{
+
+	ve := &VerifiedEntry{
 		Name: e.Name, Mechanism: e.Mechanism, Digest: e.Digest, Elided: e.Elided, Prog: prog,
-	}, nil
+	}
+	if hasSpec {
+		specProg, err := e.DecodeSpecProgram()
+		if err != nil {
+			return nil, reject(ReasonMalformed, "%v", err)
+		}
+		if !peval.Covers(e.Contract, *e.SpecContract) {
+			return nil, reject(ReasonCertStale,
+				"specialization contract is not a specialization of the entry contract")
+		}
+		if shape := peval.ShapeOf(*e.SpecContract); e.Spec.Shape != shape {
+			return nil, reject(ReasonCertStale,
+				"spec certificate shape %q, contract shape is %q", e.Spec.Shape, shape)
+		}
+		if e.Spec.Transforms != len(e.SpecCertificate.Transforms) {
+			return nil, reject(ReasonCertStale,
+				"spec certificate counts %d transforms, certificate log has %d",
+				e.Spec.Transforms, len(e.SpecCertificate.Transforms))
+		}
+		if e.Spec.ResidualInstrs != len(specProg.Instrs) {
+			return nil, reject(ReasonCertStale,
+				"spec certificate counts %d residual instructions, residual has %d",
+				e.Spec.ResidualInstrs, len(specProg.Instrs))
+		}
+		if diags := lint.SpecializeAudit(prog, specProg, e.SpecCertificate, *e.SpecContract); len(diags) != e.Spec.Diags || len(diags) > 0 {
+			return nil, reject(ReasonSpecViolation, "specialize audit re-run: %d diagnostics (certified %d): %v",
+				len(diags), e.Spec.Diags, firstDiag(diags))
+		}
+		sc := *e.SpecContract
+		ve.SpecProg, ve.SpecContract, ve.SpecShape = specProg, &sc, e.Spec.Shape
+	}
+	return ve, nil
 }
 
 // firstDiag renders the first diagnostic for rejection detail.

@@ -126,6 +126,17 @@ func PlantSpuriousElideAt(p *isa.Program, idx int) *isa.Program {
 	return q
 }
 
+// PlantSpecMutationAt returns a copy of p with instruction idx's guard
+// sense inverted — a minimal, always-valid mutation of a specialized
+// residual that the certificate replay cannot have produced. The lint
+// specialize audit's negative corpus uses it to pin a tampered
+// residual to the exact instruction.
+func PlantSpecMutationAt(p *isa.Program, idx int) *isa.Program {
+	q := cloneProgram(p)
+	q.Instrs[idx].PredNeg = !q.Instrs[idx].PredNeg
+	return q
+}
+
 // spuriousElide sets the E hint on one randomly chosen memory
 // instruction. Landing on the oob victim's out-of-bounds store this
 // suppresses the only check that would catch it; landing on an in-bounds

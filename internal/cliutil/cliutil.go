@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 )
 
@@ -111,6 +112,52 @@ func ValidateKeys(tool string, checks ...KeyCheck) error {
 			}
 			if len(raw) != c.Bytes {
 				return fmt.Errorf("%s: invalid -%s: %d key bytes, want %d", tool, c.Name, len(raw), c.Bytes)
+			}
+		}
+	}
+	return nil
+}
+
+// ShapeCheck is one contract-shape flag (the -contract family): a
+// comma-separated "key=value" list whose keys must come from a fixed
+// set and whose values must be integers. Like ValidateKeys it polices
+// flag syntax only — semantic constraints (count-range sanity,
+// coverage under the general contract) belong to the shape consumer.
+type ShapeCheck struct {
+	// Name is the flag name without the dash.
+	Name string
+	// Value is the parsed value ("" means no overrides: always valid).
+	Value string
+	// Keys lists the legal override keys in display order.
+	Keys []string
+}
+
+// ValidateShapes applies the shape checks and returns the first
+// violation as a uniform usage error (nil when every list parses).
+func ValidateShapes(tool string, checks ...ShapeCheck) error {
+	for _, c := range checks {
+		if strings.TrimSpace(c.Value) == "" {
+			continue
+		}
+		for _, part := range strings.Split(c.Value, ",") {
+			k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+			if !ok {
+				return fmt.Errorf("%s: invalid -%s: %q is not key=value", tool, c.Name, strings.TrimSpace(part))
+			}
+			k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+			known := false
+			for _, a := range c.Keys {
+				if k == a {
+					known = true
+					break
+				}
+			}
+			if !known {
+				return fmt.Errorf("%s: invalid -%s: unknown key %q: must be %s",
+					tool, c.Name, k, strings.Join(c.Keys, " | "))
+			}
+			if _, err := strconv.ParseInt(v, 10, 64); err != nil {
+				return fmt.Errorf("%s: invalid -%s: %s=%q: value is not an integer", tool, c.Name, k, v)
 			}
 		}
 	}

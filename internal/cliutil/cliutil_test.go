@@ -124,6 +124,55 @@ func TestValidateEnum(t *testing.T) {
 	}
 }
 
+// TestValidateShapes is the table over the contract-shape flag
+// (lmi-compile -contract): well-formed key=value lists pass, malformed
+// entries are uniform usage errors (the exit-2 path).
+func TestValidateShapes(t *testing.T) {
+	keys := []string{"n", "nmin", "nmax", "block", "grid"}
+	cases := []struct {
+		name    string
+		checks  []ShapeCheck
+		wantErr string // "" = valid
+	}{
+		{"empty is no overrides", []ShapeCheck{{Name: "contract", Value: "", Keys: keys}}, ""},
+		{"single pin", []ShapeCheck{{Name: "contract", Value: "n=4096", Keys: keys}}, ""},
+		{"list with spaces", []ShapeCheck{{Name: "contract", Value: " nmin=1 , nmax=65536 ", Keys: keys}}, ""},
+		{"negative value", []ShapeCheck{{Name: "contract", Value: "grid=-1", Keys: keys}}, ""},
+		{"missing equals", []ShapeCheck{{Name: "contract", Value: "n4096", Keys: keys}},
+			`invalid -contract: "n4096" is not key=value`},
+		{"unknown key", []ShapeCheck{{Name: "contract", Value: "warp=32", Keys: keys}},
+			`invalid -contract: unknown key "warp": must be n | nmin | nmax | block | grid`},
+		{"non-integer value", []ShapeCheck{{Name: "contract", Value: "n=lots", Keys: keys}},
+			`invalid -contract: n="lots": value is not an integer`},
+		{"bad entry after good", []ShapeCheck{{Name: "contract", Value: "n=1,block=", Keys: keys}},
+			`invalid -contract: block="": value is not an integer`},
+		{"first violation wins", []ShapeCheck{
+			{Name: "contract", Value: "oops", Keys: keys},
+			{Name: "other", Value: "also-bad", Keys: keys},
+		}, "invalid -contract"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateShapes("tool", tc.checks...)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected usage error %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("accepted, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q, want it to contain %q", err, tc.wantErr)
+			}
+			if !strings.HasPrefix(err.Error(), "tool: ") {
+				t.Fatalf("error %q lacks the uniform tool prefix", err)
+			}
+		})
+	}
+}
+
 // TestValidateKeys is the table over the key-material flag shapes
 // (-key, -pub, -bundle-pub): empty defers to the environment unless
 // Required, @path defers to the file read, and a hex literal must

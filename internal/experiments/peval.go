@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"lmi/internal/fastsim"
+	"lmi/internal/hwcost"
+	"lmi/internal/runner"
+	"lmi/internal/sim"
+	"lmi/internal/stats"
+	"lmi/internal/workloads"
+)
+
+// PevalRow is one benchmark of the contract-specialization sweep: the
+// general elided program and its contract-specialized residual run
+// under identical launches, with the cycle and extent-check deltas the
+// specialization buys priced against the hardware-cost model.
+type PevalRow struct {
+	Name  string `json:"name"`
+	Suite string `json:"suite"`
+	// Shape is the concrete contract shape the residual is valid under
+	// (the serving cache key component).
+	Shape string `json:"shape"`
+	// OrigInstrs/ResidualInstrs are the static program lengths;
+	// Transforms is the certificate log length.
+	OrigInstrs     int `json:"orig_instrs"`
+	ResidualInstrs int `json:"residual_instrs"`
+	Transforms     int `json:"transforms"`
+	// GeneralCycles/SpecCycles are the simulated launch lengths.
+	GeneralCycles uint64 `json:"general_cycles"`
+	SpecCycles    uint64 `json:"spec_cycles"`
+	// GeneralElided/SpecElided are the per-launch elided-lane-check
+	// counters; ChecksAvoided is their difference — the extent checks
+	// the concrete contract proves away beyond what the general
+	// contract already did.
+	GeneralElided uint64 `json:"general_elided"`
+	SpecElided    uint64 `json:"spec_elided"`
+	ChecksAvoided uint64 `json:"checks_avoided"`
+	// EnergySavedNJ prices the avoided checks at the EC's modeled
+	// per-evaluation switching energy.
+	EnergySavedNJ float64 `json:"energy_saved_nj"`
+}
+
+// PevalTotals aggregates the sweep.
+type PevalTotals struct {
+	GeneralCycles uint64  `json:"general_cycles"`
+	SpecCycles    uint64  `json:"spec_cycles"`
+	CyclesSaved   uint64  `json:"cycles_saved"`
+	ChecksAvoided uint64  `json:"checks_avoided"`
+	EnergySavedNJ float64 `json:"energy_saved_nj"`
+}
+
+// PevalResult is the full contract-specialization sweep. Its JSON form
+// carries no wall-clock data: for a given tier and config it is
+// byte-identical across runs and worker counts.
+type PevalResult struct {
+	Sweep string `json:"sweep"`
+	Tier  string `json:"tier"`
+	// ECEnergyPerOpFJ is the modeled per-evaluation extent-checker
+	// energy the avoided checks are priced at.
+	ECEnergyPerOpFJ float64     `json:"ec_energy_per_op_fj"`
+	Rows            []PevalRow  `json:"rows"`
+	Totals          PevalTotals `json:"totals"`
+}
+
+// Fig12PevalJobsTier runs the Fig. 12-style specialization sweep on
+// the given tier: every workload's general elided program and its
+// contract-specialized residual execute under the same launch, and the
+// sweep cross-checks the functional invariants the specializer
+// certifies (same fault count, same halt state, same total lane-access
+// volume) while measuring what the residual saves. A corpus on which
+// specialization saves neither cycles nor checks is an error — the
+// sweep exists to price the optimization, and a vacuous measurement
+// means the specializer regressed.
+func Fig12PevalJobsTier(cfg sim.Config, workers int, tier fastsim.Tier) (*PevalResult, error) {
+	specs := workloads.All()
+	ec := hwcost.EC()
+	res := &PevalResult{
+		Sweep:           "fig12-peval",
+		Tier:            tier.String(),
+		ECEnergyPerOpFJ: ec.EnergyPerOpFJ(),
+		Rows:            make([]PevalRow, len(specs)),
+	}
+	errs := runner.ForEach(context.Background(), len(specs), workers, func(i int) error {
+		s := specs[i]
+		sp, err := s.Specialized()
+		if err != nil {
+			return fmt.Errorf("%s: specialize: %w", s.Name, err)
+		}
+		v := workloads.VariantLMIElide
+		grid := s.LaunchGrid(v)
+		gen, err := workloads.RunProgramTierAtCtx(context.Background(), s, v, cfg, grid, tier, sp.Original, nil)
+		if err != nil {
+			return fmt.Errorf("%s: general run: %w", s.Name, err)
+		}
+		spec, err := workloads.RunProgramTierAtCtx(context.Background(), s, v, cfg, grid, tier, sp.Residual, nil)
+		if err != nil {
+			return fmt.Errorf("%s: specialized run: %w", s.Name, err)
+		}
+		if len(gen.Faults) != len(spec.Faults) || gen.Halted != spec.Halted {
+			return fmt.Errorf("%s: residual diverged: %d faults halted=%v vs %d faults halted=%v",
+				s.Name, len(gen.Faults), gen.Halted, len(spec.Faults), spec.Halted)
+		}
+		if gt, st := gen.ECChecked+gen.ECElided, spec.ECChecked+spec.ECElided; gt != st {
+			return fmt.Errorf("%s: residual changed the lane-access volume: %d vs %d", s.Name, gt, st)
+		}
+		if spec.ECElided < gen.ECElided {
+			return fmt.Errorf("%s: residual elided fewer checks than the general program (%d < %d)",
+				s.Name, spec.ECElided, gen.ECElided)
+		}
+		avoided := spec.ECElided - gen.ECElided
+		res.Rows[i] = PevalRow{
+			Name: s.Name, Suite: s.Suite, Shape: sp.Cert.Shape,
+			OrigInstrs: len(sp.Original.Instrs), ResidualInstrs: len(sp.Residual.Instrs),
+			Transforms:    len(sp.Cert.Transforms),
+			GeneralCycles: gen.Cycles, SpecCycles: spec.Cycles,
+			GeneralElided: gen.ECElided, SpecElided: spec.ECElided,
+			ChecksAvoided: avoided,
+			EnergySavedNJ: float64(avoided) * ec.EnergyPerOpFJ() / 1e6,
+		}
+		return nil
+	})
+	for _, err := range errs {
+		if err != nil {
+			return res, err
+		}
+	}
+	for _, row := range res.Rows {
+		res.Totals.GeneralCycles += row.GeneralCycles
+		res.Totals.SpecCycles += row.SpecCycles
+		res.Totals.ChecksAvoided += row.ChecksAvoided
+		res.Totals.EnergySavedNJ += row.EnergySavedNJ
+	}
+	if res.Totals.SpecCycles >= res.Totals.GeneralCycles {
+		return res, fmt.Errorf("specialization saved no cycles across the corpus (%d general, %d specialized)",
+			res.Totals.GeneralCycles, res.Totals.SpecCycles)
+	}
+	res.Totals.CyclesSaved = res.Totals.GeneralCycles - res.Totals.SpecCycles
+	if res.Totals.ChecksAvoided == 0 {
+		return res, fmt.Errorf("specialization avoided no extent checks across the corpus; the energy measurement is vacuous")
+	}
+	return res, nil
+}
+
+// Table renders the sweep for the terminal (deterministic: no
+// wall-clock columns).
+func (r *PevalResult) Table() string {
+	t := stats.NewTable("fig12-peval ("+r.Tier+" tier)",
+		"benchmark", "instrs", "residual", "xforms", "cycles", "spec-cycles", "avoided", "energy-nJ")
+	for _, row := range r.Rows {
+		t.AddRowf(0, row.Name, row.OrigInstrs, row.ResidualInstrs, row.Transforms,
+			row.GeneralCycles, row.SpecCycles, row.ChecksAvoided, fmt.Sprintf("%.3f", row.EnergySavedNJ))
+	}
+	return t.String() + fmt.Sprintf(
+		"totals: %d -> %d cycles (%d saved), %d checks avoided, %.3f nJ saved (EC %.1f fJ/op)\n",
+		r.Totals.GeneralCycles, r.Totals.SpecCycles, r.Totals.CyclesSaved,
+		r.Totals.ChecksAvoided, r.Totals.EnergySavedNJ, r.ECEnergyPerOpFJ)
+}
+
+// WriteJSON writes the deterministic artifact: for a given tier and
+// config the bytes are identical across runs and worker counts (no
+// wall-clock data, fixed row order).
+func (r *PevalResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

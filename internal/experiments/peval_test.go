@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lmi/internal/fastsim"
+)
+
+// TestFig12PevalDeterministicAcrossWorkers: the specialization sweep's
+// JSON artifact is byte-identical across worker counts, reports a
+// strictly positive cycle and energy saving, and covers the whole
+// corpus.
+func TestFig12PevalDeterministicAcrossWorkers(t *testing.T) {
+	cfg := SimConfig()
+	seq, err := Fig12PevalJobsTier(cfg, 1, fastsim.TierCycle)
+	if err != nil {
+		t.Fatalf("workers=1: %v", err)
+	}
+	par, err := Fig12PevalJobsTier(cfg, 4, fastsim.TierCycle)
+	if err != nil {
+		t.Fatalf("workers=4: %v", err)
+	}
+	dir := t.TempDir()
+	p1, p4 := filepath.Join(dir, "j1.json"), filepath.Join(dir, "j4.json")
+	if err := seq.WriteJSON(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.WriteJSON(p4); err != nil {
+		t.Fatal(err)
+	}
+	b1, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b4, err := os.ReadFile(p4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b4) {
+		t.Fatalf("sweep JSON differs between -jobs 1 and -jobs 4")
+	}
+	if len(b1) == 0 || b1[len(b1)-1] != '\n' {
+		t.Fatalf("artifact missing trailing newline")
+	}
+	var back PevalResult
+	if err := json.Unmarshal(b1, &back); err != nil {
+		t.Fatalf("artifact does not round-trip: %v", err)
+	}
+	if seq.Totals.CyclesSaved == 0 || seq.Totals.EnergySavedNJ <= 0 {
+		t.Fatalf("sweep reports no saving: %+v", seq.Totals)
+	}
+	for _, row := range seq.Rows {
+		if row.Name == "" || row.Shape == "" {
+			t.Fatalf("sweep left a hole in the rows: %+v", row)
+		}
+		if row.ResidualInstrs == 0 || row.OrigInstrs == 0 {
+			t.Fatalf("%s: zero-length program in the sweep", row.Name)
+		}
+	}
+	if got := seq.Table(); got == "" {
+		t.Fatal("empty table render")
+	}
+}

@@ -116,6 +116,15 @@ func (c *Cache) GetDigest(digest string, p *isa.Program) (*Compiled, error) {
 	return cp, nil
 }
 
+// SpecKey derives the digest-cache key for a bundle entry's
+// contract-specialized residual: the entry digest qualified by the
+// canonical contract shape. The residual is a different program from
+// the general one under the same entry, and the same entry could in
+// principle ship residuals for several shapes — the composite key keeps
+// every (program, shape) pair its own cache line while RetainDigests
+// still drops them with their entry on reload.
+func SpecKey(digest, shape string) string { return digest + "+" + shape }
+
 // RetainDigests drops every digest-keyed entry whose digest is not in
 // keep — the reload-time invalidation: entries shared between the old
 // and new bundle stay warm, entries for changed or removed programs

@@ -41,6 +41,10 @@ type Config struct {
 	SMs int
 	// Tier selects the execution tier (default the cycle simulator).
 	Tier fastsim.Tier
+	// Specialize has every shard serve contract-specialized residuals
+	// for launches matching an entry's concrete contract (general
+	// fallback on mismatch).
+	Specialize bool
 	// DefaultDeadline bounds one execution attempt (default 30s).
 	DefaultDeadline time.Duration
 	// Breaker and Retry are the per-shard serving policies.
@@ -189,6 +193,7 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 			c.sink.Close()
 			return nil, fmt.Errorf("fleet: shard %d executor: %w", i, err)
 		}
+		exec.SetSpecialize(cfg.Specialize)
 		sh := &liveShard{id: i, exec: exec}
 		c.shards[i] = sh
 		c.startShard(sh)

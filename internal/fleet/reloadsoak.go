@@ -81,7 +81,9 @@ func prepareSoakBundles(ctx context.Context, cfg SoakConfig, exec *serve.Executo
 	specs := func(elideBackprop bool) []bundle.BuildSpec {
 		return []bundle.BuildSpec{
 			{Workload: "backprop", Elide: elideBackprop},
-			{Workload: "needle", Elide: true},
+			// needle ships with a specialization record in both versions:
+			// the material the stale-spec tamper grafts onto backprop.
+			{Workload: "needle", Elide: true, Specialize: true},
 			{Workload: "nn", Elide: true},
 		}
 	}

@@ -42,6 +42,12 @@ const (
 	// access in bounds under the launch contract — eliding its extent
 	// check could mask a real violation (spurious or tampered E bit).
 	KindUnsoundElide
+	// KindUnsoundSpec: a specialization certificate's transformation
+	// cannot be independently justified under its contract, or the
+	// shipped residual diverges from the certified replay — the
+	// specialized program may not preserve the general program's faults
+	// and safety decisions (unsound or tampered specialization).
+	KindUnsoundSpec
 )
 
 // String returns the kind name.
@@ -61,6 +67,8 @@ func (k Kind) String() string {
 		return "differential"
 	case KindUnsoundElide:
 		return "unsound-elide"
+	case KindUnsoundSpec:
+		return "unsound-spec"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

@@ -1,0 +1,76 @@
+package lint_test
+
+import (
+	"testing"
+
+	"lmi/internal/chaos"
+	"lmi/internal/lint"
+	"lmi/internal/peval"
+	"lmi/internal/workloads"
+)
+
+// TestSpecializeAuditCorpus is the acceptance gate: every workload's
+// specialization must audit clean — the linter's own analysis
+// re-derives every transform in every certificate over the full
+// corpus.
+func TestSpecializeAuditCorpus(t *testing.T) {
+	for _, s := range workloads.All() {
+		res, err := s.Specialized()
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		diags := lint.SpecializeAudit(res.Original, res.Residual, res.Cert, s.ConcreteContract())
+		for _, d := range diags {
+			t.Errorf("%s: %s", s.Name, d)
+		}
+	}
+}
+
+// TestSpecializeAuditPinsMutation plants a single-instruction mutation
+// in each workload's residual and checks the audit rejects it with the
+// first diagnostic pinned to exactly the planted instruction.
+func TestSpecializeAuditPinsMutation(t *testing.T) {
+	for _, s := range workloads.All() {
+		res, err := s.Specialized()
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		idx := len(res.Residual.Instrs) / 2
+		tampered := chaos.PlantSpecMutationAt(res.Residual, idx)
+		diags := lint.SpecializeAudit(res.Original, tampered, res.Cert, s.ConcreteContract())
+		if len(diags) == 0 {
+			t.Fatalf("%s: mutated residual audited clean", s.Name)
+		}
+		if diags[0].Kind != lint.KindUnsoundSpec || diags[0].Instr != idx {
+			t.Fatalf("%s: mutation at %d pinned to %v", s.Name, idx, diags[0])
+		}
+	}
+}
+
+// TestSpecializeAuditStructural covers the certificate-shape
+// judgments: a missing certificate, a contract swap, and a forged
+// transform all reject.
+func TestSpecializeAuditStructural(t *testing.T) {
+	s := workloads.All()[0]
+	res, err := s.Specialized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.ConcreteContract()
+	if diags := lint.SpecializeAudit(res.Original, res.Residual, nil, c); len(diags) == 0 {
+		t.Error("nil certificate audited clean")
+	}
+	other := c
+	other.CountMax++
+	if diags := lint.SpecializeAudit(res.Original, res.Residual, res.Cert, other); len(diags) == 0 {
+		t.Error("contract mismatch audited clean")
+	}
+	forged := *res.Cert
+	forged.Transforms = append([]peval.Transform(nil), res.Cert.Transforms...)
+	if len(forged.Transforms) > 0 {
+		forged.Transforms[0].Imm++
+		if diags := lint.SpecializeAudit(res.Original, res.Residual, &forged, c); len(diags) == 0 {
+			t.Error("forged transform immediate audited clean")
+		}
+	}
+}

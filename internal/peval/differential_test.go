@@ -1,0 +1,130 @@
+package peval_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"lmi/internal/fastsim"
+	"lmi/internal/isa"
+	"lmi/internal/sim"
+	"lmi/internal/workloads"
+)
+
+// launchOutcome is the safety-functional projection of one launch: the
+// output buffer contents, the fault records (location and content, not
+// cycle stamps), the halt status, and the safety decisions (pointer
+// checks, total extent-check decisions, race findings). Instruction
+// and cycle counts are deliberately excluded: the residual is supposed
+// to reduce them.
+type launchOutcome struct {
+	out           []byte
+	faults        []string
+	halted        bool
+	pointerChecks uint64
+	ecTotal       uint64
+	races         int
+}
+
+// launch runs one program on a fresh device and captures the outcome.
+func launch(t *testing.T, prog *isa.Program, cfg sim.Config, tier fastsim.Tier, grid, block int, n uint64) launchOutcome {
+	t.Helper()
+	dev, err := sim.NewDevice(cfg, workloads.NewMechanism(workloads.VariantLMIElide))
+	if err != nil {
+		t.Fatalf("device: %v", err)
+	}
+	in, err := dev.Malloc(n * 4)
+	if err != nil {
+		t.Fatalf("malloc: %v", err)
+	}
+	out, err := dev.Malloc(n * 4)
+	if err != nil {
+		t.Fatalf("malloc: %v", err)
+	}
+	st, err := fastsim.LaunchTierCtx(context.Background(), tier, dev, prog, grid, block, []uint64{in, out, n})
+	if err != nil {
+		t.Fatalf("%v tier: launch: %v", tier, err)
+	}
+	o := launchOutcome{
+		out:           dev.ReadGlobal(out, int(n*4)),
+		halted:        st.Halted,
+		pointerChecks: st.PointerChecks,
+		ecTotal:       st.ECChecked + st.ECElided,
+		races:         len(st.Races),
+	}
+	for _, r := range st.Faults {
+		o.faults = append(o.faults, fmt.Sprintf("warp%d lane%d: %v", r.Warp, r.Lane, r.Fault))
+	}
+	return o
+}
+
+// diffOutcome asserts the residual's outcome matches the general
+// program's: same output bytes, same faults, same halt status, same
+// safety decisions. The ECChecked/ECElided split may legitimately
+// shift toward elided (that is the point of E pre-resolution), but the
+// total number of guarded-access decisions must be preserved — no
+// check may silently disappear except by a proven elision, and the
+// residual may not resurrect any.
+func diffOutcome(t *testing.T, label string, gen, res launchOutcome) {
+	t.Helper()
+	if gen.halted != res.halted {
+		t.Errorf("%s: Halted diverges: general=%v residual=%v", label, gen.halted, res.halted)
+	}
+	if gen.pointerChecks != res.pointerChecks {
+		t.Errorf("%s: PointerChecks diverges: general=%d residual=%d", label, gen.pointerChecks, res.pointerChecks)
+	}
+	if gen.ecTotal != res.ecTotal {
+		t.Errorf("%s: extent-check decisions diverge: general=%d residual=%d", label, gen.ecTotal, res.ecTotal)
+	}
+	if gen.races != res.races {
+		t.Errorf("%s: race findings diverge: general=%d residual=%d", label, gen.races, res.races)
+	}
+	if len(gen.faults) != len(res.faults) {
+		t.Errorf("%s: fault count diverges: general=%v residual=%v", label, gen.faults, res.faults)
+	} else {
+		for i := range gen.faults {
+			if gen.faults[i] != res.faults[i] {
+				t.Errorf("%s: fault %d diverges:\ngeneral:  %s\nresidual: %s", label, i, gen.faults[i], res.faults[i])
+			}
+		}
+	}
+	if len(gen.out) != len(res.out) {
+		t.Fatalf("%s: output length diverges", label)
+	}
+	for i := range gen.out {
+		if gen.out[i] != res.out[i] {
+			t.Errorf("%s: output byte %d diverges: general=%#x residual=%#x", label, i, gen.out[i], res.out[i])
+			return
+		}
+	}
+}
+
+// TestDifferentialSpecializedCorpus is the specializer's primary
+// correctness gate (wired into scripts/check.sh): for every workload,
+// the residual program specialized against the concrete contract must
+// be observationally identical to the general program under that
+// contract's launch — same output bytes, faults, halt status, and
+// safety decisions — on both execution tiers.
+func TestDifferentialSpecializedCorpus(t *testing.T) {
+	specs := workloads.All()
+	if testing.Short() {
+		specs = specs[:6]
+	}
+	cfg := sim.ScaledConfig(2)
+	cfg.RaceOracle = true
+	for _, s := range specs {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			res, err := s.Specialized()
+			if err != nil {
+				t.Fatalf("specialize: %v", err)
+			}
+			for _, tier := range []fastsim.Tier{fastsim.TierCycle, fastsim.TierCompiled} {
+				gen := launch(t, res.Original, cfg, tier, s.Grid, s.Block, s.N)
+				spec := launch(t, res.Residual, cfg, tier, s.Grid, s.Block, s.N)
+				diffOutcome(t, fmt.Sprintf("%s/%v", s.Name, tier), gen, spec)
+			}
+		})
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"lmi/internal/bundle"
 	"lmi/internal/chaos"
 	"lmi/internal/fastsim"
+	"lmi/internal/isa"
+	"lmi/internal/peval"
 	"lmi/internal/sim"
 	"lmi/internal/workloads"
 )
@@ -44,6 +46,10 @@ type Outcome struct {
 	// BundleDigest is the digest of the verified bundle the attempt's
 	// program came from ("" when the executor compiled in-process).
 	BundleDigest string
+	// Specialized records that the attempt ran a contract-specialized
+	// residual program rather than the general one (the launch matched
+	// the residual's concrete contract).
+	Specialized bool
 }
 
 // Executor runs one request attempt on the simulation stack. It is
@@ -55,6 +61,10 @@ type Executor struct {
 	inj  *chaos.Injector
 	sms  int
 	tier fastsim.Tier
+	// specialize enables serving contract-specialized residuals for
+	// launches that match an entry's concrete contract (general-program
+	// fallback on any mismatch). Set before serving starts.
+	specialize bool
 
 	// table is the serving program table: a verified bundle swapped
 	// atomically by Reload. Each attempt loads one snapshot at dispatch
@@ -88,6 +98,15 @@ func NewExecutorTier(sms int, tier fastsim.Tier) (*Executor, error) {
 	return &Executor{inj: inj, sms: sms, tier: tier, cache: fastsim.NewCache(0)}, nil
 }
 
+// SetSpecialize turns serving of contract-specialized residuals on or
+// off. Launches that match a residual's concrete contract run the
+// residual; everything else falls back to the general program. Call
+// before the executor starts taking requests.
+func (e *Executor) SetSpecialize(on bool) { e.specialize = on }
+
+// Specializing reports whether residual serving is enabled.
+func (e *Executor) Specializing() bool { return e.specialize }
+
 // SetBundle installs a verified bundle as the serving program table.
 // On the compiled tier every entry is brought up (compiled through the
 // digest-keyed cache) before the swap — a bring-up failure leaves the
@@ -102,6 +121,18 @@ func (e *Executor) SetBundle(v *bundle.Verified) error {
 			if e.tier == fastsim.TierCompiled {
 				if _, err := e.cache.GetDigest(ve.Digest, ve.Prog); err != nil {
 					return fmt.Errorf("serve: bundle bring-up: %s: %w", ve.Name+"/"+ve.Mechanism, err)
+				}
+			}
+			// A specialized residual is its own program under its own
+			// (digest, contract-shape) cache key; bring it up alongside
+			// the general program so the swap is warm for both paths.
+			if ve.SpecProg != nil {
+				sk := fastsim.SpecKey(ve.Digest, ve.SpecShape)
+				keep[sk] = true
+				if e.tier == fastsim.TierCompiled {
+					if _, err := e.cache.GetDigest(sk, ve.SpecProg); err != nil {
+						return fmt.Errorf("serve: bundle bring-up: %s (specialized): %w", ve.Name+"/"+ve.Mechanism, err)
+					}
 				}
 			}
 		}
@@ -236,28 +267,49 @@ func (e *Executor) executeBench(ctx context.Context, req Request) Outcome {
 	var st *sim.KernelStats
 	var err error
 	var digest string
+	var specialized bool
+	grid := s.LaunchGrid(v)
 	if snap := e.table.Load(); snap != nil {
 		if ve, ok := snap.Lookup(req.Workload, req.Mechanism); ok {
+			prog, key := ve.Prog, ve.Digest
+			// Serve the residual only when the launch actually matches
+			// its concrete contract; any mismatch silently falls back to
+			// the general program — specialization is an optimization,
+			// never a serving constraint.
+			if e.specialize && ve.SpecProg != nil && peval.Match(*ve.SpecContract, s.N, grid, s.Block) {
+				prog, key = ve.SpecProg, fastsim.SpecKey(ve.Digest, ve.SpecShape)
+				specialized = true
+			}
 			var cp *fastsim.Compiled
 			if e.tier == fastsim.TierCompiled {
-				cp, err = e.cache.GetDigest(ve.Digest, ve.Prog)
+				cp, err = e.cache.GetDigest(key, prog)
 				if err != nil {
 					return Outcome{Err: fmt.Errorf("%w: %v", ErrEngineDegraded, err), Detail: err.Error()}
 				}
 			}
-			st, err = workloads.RunProgramTierAtCtx(ctx, s, v, cfg, s.LaunchGrid(v), e.tier, ve.Prog, cp)
+			st, err = workloads.RunProgramTierAtCtx(ctx, s, v, cfg, grid, e.tier, prog, cp)
 			digest = snap.Digest()
 		} else {
-			st, err = workloads.RunTierAtCtx(ctx, s, v, cfg, s.LaunchGrid(v), e.tier)
+			st, err = workloads.RunTierAtCtx(ctx, s, v, cfg, grid, e.tier)
 		}
+	} else if prog := e.directSpecialized(s, req.Mechanism, grid); prog != nil {
+		var cp *fastsim.Compiled
+		if e.tier == fastsim.TierCompiled {
+			cp, err = e.cache.Get(prog)
+			if err != nil {
+				return Outcome{Err: fmt.Errorf("%w: %v", ErrEngineDegraded, err), Detail: err.Error()}
+			}
+		}
+		specialized = true
+		st, err = workloads.RunProgramTierAtCtx(ctx, s, v, cfg, grid, e.tier, prog, cp)
 	} else {
-		st, err = workloads.RunTierAtCtx(ctx, s, v, cfg, s.LaunchGrid(v), e.tier)
+		st, err = workloads.RunTierAtCtx(ctx, s, v, cfg, grid, e.tier)
 	}
 	if err != nil {
-		return Outcome{Err: err, Detail: err.Error(), BundleDigest: digest}
+		return Outcome{Err: err, Detail: err.Error(), BundleDigest: digest, Specialized: specialized}
 	}
 	out := Outcome{Cycles: st.Cycles, ECChecked: st.ECChecked, ECElided: st.ECElided,
-		Faults: len(st.Faults), BundleDigest: digest}
+		Faults: len(st.Faults), BundleDigest: digest, Specialized: specialized}
 	switch {
 	case len(st.Faults) > 0:
 		out.Err = fmt.Errorf("%w: %v", ErrSafetyViolation, st.Faults[0])
@@ -269,4 +321,20 @@ func (e *Executor) executeBench(ctx context.Context, req Request) Outcome {
 		out.Detail = fmt.Sprintf("completed in %d cycles", st.Cycles)
 	}
 	return out
+}
+
+// directSpecialized returns the in-process specialized residual for a
+// workload when residual serving is on, the mechanism is the LMI one
+// the specializer targets, and the launch matches the workload's
+// concrete contract; nil otherwise (callers fall back to the general
+// compile path).
+func (e *Executor) directSpecialized(s *workloads.Spec, mechanism string, grid int) *isa.Program {
+	if !e.specialize || mechanism != "lmi" {
+		return nil
+	}
+	res, err := s.Specialized()
+	if err != nil || !peval.Match(res.Cert.Contract, s.N, grid, s.Block) {
+		return nil
+	}
+	return res.Residual
 }

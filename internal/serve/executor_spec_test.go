@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"crypto/ed25519"
+	"testing"
+
+	"lmi/internal/bundle"
+	"lmi/internal/fastsim"
+)
+
+// specServeBundle builds and verifies a bundle whose needle entry
+// ships a specialization record (nn stays general).
+func specServeBundle(t *testing.T) *bundle.Verified {
+	t.Helper()
+	key := ed25519.NewKeyFromSeed(bytes.Repeat([]byte{0x17}, ed25519.SeedSize))
+	b, err := bundle.Build([]bundle.BuildSpec{
+		{Workload: "needle", Elide: true, Specialize: true},
+		{Workload: "nn", Elide: true},
+	}, 2)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if err := b.Seal(key); err != nil {
+		t.Fatalf("seal: %v", err)
+	}
+	v, err := bundle.Verify(b, key.Public().(ed25519.PublicKey))
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return v
+}
+
+// TestExecutorServesSpecializedBundle: with residual serving on, a
+// bundle-backed launch matching the concrete contract runs the
+// residual; an entry without a record, or an executor with the feature
+// off, serves the general program. Both paths complete cleanly on both
+// tiers.
+func TestExecutorServesSpecializedBundle(t *testing.T) {
+	v := specServeBundle(t)
+	for _, tier := range []fastsim.Tier{fastsim.TierCycle, fastsim.TierCompiled} {
+		t.Run(tier.String(), func(t *testing.T) {
+			exec, err := NewExecutorTier(1, tier)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exec.SetSpecialize(true)
+			if err := exec.SetBundle(v); err != nil {
+				t.Fatalf("set bundle: %v", err)
+			}
+			out := exec.Execute(context.Background(), Request{Workload: "needle", Mechanism: "lmi"}, 0)
+			if out.Err != nil {
+				t.Fatalf("specialized attempt failed: %v", out.Err)
+			}
+			if !out.Specialized {
+				t.Fatalf("matching launch did not serve the residual")
+			}
+			if out.BundleDigest != v.Digest() {
+				t.Fatalf("specialized attempt lost the bundle digest")
+			}
+			out = exec.Execute(context.Background(), Request{Workload: "nn", Mechanism: "lmi"}, 0)
+			if out.Err != nil || out.Specialized {
+				t.Fatalf("general entry mis-served: err=%v specialized=%v", out.Err, out.Specialized)
+			}
+
+			off, err := NewExecutorTier(1, tier)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := off.SetBundle(v); err != nil {
+				t.Fatal(err)
+			}
+			out = off.Execute(context.Background(), Request{Workload: "needle", Mechanism: "lmi"}, 0)
+			if out.Err != nil || out.Specialized {
+				t.Fatalf("feature-off executor served the residual: err=%v specialized=%v", out.Err, out.Specialized)
+			}
+		})
+	}
+}
+
+// TestExecutorDirectSpecialized: without a bundle table, residual
+// serving specializes in-process for the LMI mechanism only, and the
+// general mechanisms are untouched.
+func TestExecutorDirectSpecialized(t *testing.T) {
+	exec, err := NewExecutor(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec.SetSpecialize(true)
+	out := exec.Execute(context.Background(), Request{Workload: "needle", Mechanism: "lmi"}, 0)
+	if out.Err != nil {
+		t.Fatalf("direct specialized attempt failed: %v", out.Err)
+	}
+	if !out.Specialized {
+		t.Fatalf("direct LMI launch did not serve the residual")
+	}
+	out = exec.Execute(context.Background(), Request{Workload: "needle", Mechanism: "baseline"}, 0)
+	if out.Err != nil || out.Specialized {
+		t.Fatalf("baseline mechanism specialized: err=%v specialized=%v", out.Err, out.Specialized)
+	}
+}

@@ -38,6 +38,10 @@ type Config struct {
 	// Tier selects the execution tier attempts simulate on (default
 	// the cycle-level simulator).
 	Tier fastsim.Tier
+	// Specialize serves contract-specialized residual programs for
+	// launches that match an entry's concrete contract, with
+	// general-program fallback on any mismatch.
+	Specialize bool
 	// DefaultDeadline bounds one execution attempt when the request
 	// carries no deadline of its own (default 30s).
 	DefaultDeadline time.Duration
@@ -125,6 +129,7 @@ func NewServer(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	exec.SetSpecialize(cfg.Specialize)
 	s := &Server{
 		cfg:   cfg,
 		queue: make(chan task, cfg.QueueCapacity),

@@ -1,0 +1,38 @@
+package workloads
+
+import (
+	"lmi/internal/bounds"
+	"lmi/internal/peval"
+)
+
+// ConcreteContract is the benchmark's fully-pinned launch contract:
+// the general Contract with the element count fixed to exactly s.N —
+// what a deployment that always launches the benchmark shape would
+// declare, and what the specialization experiments evaluate under.
+func (s *Spec) ConcreteContract() bounds.Contract {
+	c := s.Contract()
+	c.CountMin = int64(s.N)
+	return c
+}
+
+type specEntry struct {
+	res *peval.Result
+	err error
+}
+
+// Specialized returns (and caches) the benchmark's partial evaluation
+// against its concrete contract: the general lmi-elide program, the
+// residual specialized for the exact launch shape, and the
+// certificate tying them together.
+func (s *Spec) Specialized() (*peval.Result, error) {
+	s.specOnce.Do(func() {
+		f, err := s.Kernel()
+		if err != nil {
+			s.spec = specEntry{err: err}
+			return
+		}
+		res, err := peval.Specialize(f, s.Contract(), s.ConcreteContract(), peval.Options{})
+		s.spec = specEntry{res: res, err: err}
+	})
+	return s.spec.res, s.spec.err
+}

@@ -43,6 +43,9 @@ type Spec struct {
 
 	progMu sync.Mutex
 	progs  map[Variant]*progEntry
+
+	specOnce sync.Once
+	spec     specEntry
 }
 
 type progEntry struct {

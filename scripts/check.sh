@@ -18,9 +18,12 @@ fi
 echo "== go vet ./..."
 go vet ./...
 
-# Custom vet pass: no raw panic( in non-test code under internal/ —
-# runtime layers recover panics only at hardened pool boundaries;
-# everywhere else failures must be typed errors.
+# Custom vet pass: no raw panic( or os.Exit( in non-test code under
+# internal/ — runtime layers recover panics only at hardened pool
+# boundaries; everywhere else failures must be typed errors — and no
+# ambient clock reads (time.Now/time.Since outside the sanctioned
+# wall-clock packages) or math/rand imports: every rendered artifact
+# must be a pure function of its inputs.
 echo "== vetnopanic"
 go run ./scripts/vetnopanic
 
@@ -47,10 +50,14 @@ go test -race -timeout 45m $short ./...
 # barrier-divergence analyzer over every program in the corpus (both
 # modes, pre- and post-optimizer, plus the elided compiles): any
 # potential race, divergent barrier, or inexpressible shared address is
-# a diagnostic. Nonzero exit on any diagnostic. Same run as
-# `make analyze`.
-echo "== lmi-lint -all -elide-audit -race"
-go run ./cmd/lmi-lint -all -elide-audit -race
+# a diagnostic. -spec-audit additionally partially evaluates every
+# workload against its concrete launch contract and re-judges the
+# specialization certificate's every transform with the independent
+# audit (mechanical replay of the log plus a from-scratch re-proof of
+# each elision and fold): any unsound specialization is a diagnostic.
+# Nonzero exit on any diagnostic. Same run as `make analyze`.
+echo "== lmi-lint -all -elide-audit -race -spec-audit"
+go run ./cmd/lmi-lint -all -elide-audit -race -spec-audit
 
 # Chaos determinism smoke: the fault-injection campaign must render
 # byte-identical reports regardless of worker count — any divergence
@@ -93,6 +100,20 @@ go run ./cmd/lmi-bench -tier compiled -jobs 1 \
 go run ./cmd/lmi-bench -tier compiled -jobs 4 \
     -race-oracle-json "$tmpdir/raceoracle-j4.json" > /dev/null
 cmp "$tmpdir/raceoracle-j1.json" "$tmpdir/raceoracle-j4.json"
+
+# Contract-specialization sweep gate: the Fig. 12 corpus's general
+# elided programs vs their certified residuals. The sweep itself
+# asserts every residual preserves the fault/halt projection and the
+# lane-access volume while strictly reducing total cycles and avoiding
+# extent checks; its JSON artifact carries no wall-clock data, must be
+# byte-identical across worker counts, and must match the committed
+# cycle-tier artifact BENCH_fig12_peval.json (regenerate with
+# `make peval` after a deliberate compiler/specializer change).
+echo "== contract-specialization sweep determinism (-jobs 1 vs -jobs 4, committed artifact)"
+go run ./cmd/lmi-bench -jobs 1 -peval-json "$tmpdir/peval-j1.json" > /dev/null
+go run ./cmd/lmi-bench -jobs 4 -peval-json "$tmpdir/peval-j4.json" > /dev/null
+cmp "$tmpdir/peval-j1.json" "$tmpdir/peval-j4.json"
+cmp "$tmpdir/peval-j1.json" BENCH_fig12_peval.json
 
 # Compiled-tier determinism smoke: the full bench sweep on the fast
 # functional tier must render byte-identical output regardless of
@@ -171,6 +192,36 @@ if ! grep -q 'bundle rejected' "$tmpdir/bundle-reject.txt"; then
     exit 1
 fi
 
+# Specialized-bundle gate. A bundle carrying a specialization record
+# (the :spec suffix: residual program + concrete contract + certificate
+# + the fourth, spec-audit certificate) must verify clean, and a
+# single-byte tamper inside the specialization record must be the same
+# typed fail-closed rejection as any other bundle corruption — the
+# record rides inside the entry's code digest, so every certificate
+# binding breaks at once.
+echo "== specialized bundle gate (verify, single-byte spec-record tamper rejection)"
+go run ./cmd/lmi-compile -bundle "$tmpdir/bundle-spec.json" -key "$devkey" \
+    -bundle-workloads "backprop:elide,needle:spec,nn:elide" > /dev/null
+go run ./cmd/lmi-compile -verify-bundle "$tmpdir/bundle-spec.json" -pub "$devpub" > /dev/null
+# One byte inside the record's key material ("spec_code" ->
+# "spec_c0de") makes the residual payload unreadable; the verifier
+# must reject, not fall back to the general program.
+sed 's/"spec_code"/"spec_c0de"/' "$tmpdir/bundle-spec.json" > "$tmpdir/bundle-spec-tampered.json"
+if cmp -s "$tmpdir/bundle-spec.json" "$tmpdir/bundle-spec-tampered.json"; then
+    echo "check: FAIL: spec tamper edit changed nothing" >&2
+    exit 1
+fi
+if go run ./cmd/lmi-compile -verify-bundle "$tmpdir/bundle-spec-tampered.json" -pub "$devpub" \
+    > /dev/null 2> "$tmpdir/bundle-spec-reject.txt"; then
+    echo "check: FAIL: tampered specialized bundle verified" >&2
+    exit 1
+fi
+if ! grep -q 'bundle rejected' "$tmpdir/bundle-spec-reject.txt"; then
+    echo "check: FAIL: tampered specialized bundle not rejected with the typed error:" >&2
+    cat "$tmpdir/bundle-spec-reject.txt" >&2
+    exit 1
+fi
+
 # CLI validation smoke: out-of-range flags must fail with the uniform
 # usage error (exit 2), not silent misbehavior.
 echo "== CLI usage-error smoke"
@@ -185,6 +236,9 @@ for cmdline in "./cmd/lmi-sim -sms 0 -bench nn" \
                "./cmd/lmi-serve -bundle b.json" \
                "./cmd/lmi-serve -bundle b.json -bundle-pub zz" \
                "./cmd/lmi-compile -bench needle -elide maybe" \
+               "./cmd/lmi-compile -bench needle -elide on -specialize -contract warp=32" \
+               "./cmd/lmi-compile -bench needle -specialize" \
+               "./cmd/lmi-compile -bench needle -elide on -contract n=64" \
                "./cmd/lmi-compile -bundle b.json -key abcd" \
                "./cmd/lmi-compile -bundle b.json -key @" \
                "./cmd/lmi-compile -bundle b.json -key $devkey -bundle-workloads nn:fast" \

@@ -12,15 +12,28 @@
 // deliberately-misbehaving fixtures (the chaos engine's panicking
 // mechanism plug-ins).
 //
+// It also polices the repository's determinism contract: every
+// rendered table, JSON artifact, bundle, and benchmark row must be a
+// pure function of its inputs (byte-identical across runs and -jobs).
+// Ambient wall-clock reads (time.Now / time.Since) are therefore
+// confined to the sanctioned timing packages (-wallclock, default
+// runner,serve,sim,fleet) whose measurements never reach a
+// deterministic artifact — anywhere else under internal/ they are
+// violations. Ambient randomness has no sanctioned owner at all: a
+// math/rand (or math/rand/v2) import in non-test internal code is
+// always a violation — derive pseudo-random state from explicit seeds
+// instead.
+//
 // The pass is pure standard library (go/ast, go/parser): it parses
 // every non-test .go file under the root and flags call expressions
 // whose callee is the panic identifier or the Exit selector on the
-// file's "os" import (under whatever local name it is imported). A
-// file-local function or variable shadowing the builtin or the import
-// would be flagged too; the repository style forbids that shadowing
-// anyway.
+// file's "os" import (under whatever local name it is imported), plus
+// Now/Since selectors on the "time" import outside the wall-clock
+// allowlist. A file-local function or variable shadowing the builtin
+// or an import would be flagged too; the repository style forbids that
+// shadowing anyway.
 //
-// Usage: go run ./scripts/vetnopanic [-root internal]
+// Usage: go run ./scripts/vetnopanic [-root internal] [-wallclock runner,serve,sim,fleet]
 //
 // Exits 1 when any violation is found, listing each as
 // file:line:column. scripts/check.sh and `make lint` run it as a gate.
@@ -38,10 +51,19 @@ import (
 	"strings"
 )
 
+// defaultWallclock lists the packages (directories relative to -root)
+// sanctioned to read the host wall clock: the runner's timing reports,
+// the serving/fleet uptime counters, and the simulator's watchdog
+// deadline — all measurements that never reach a deterministic
+// artifact.
+const defaultWallclock = "runner,serve,sim,fleet"
+
 func main() {
 	root := flag.String("root", "internal", "directory tree to scan for raw panics")
+	wallclock := flag.String("wallclock", defaultWallclock,
+		"comma-separated directories under -root sanctioned to call time.Now/time.Since")
 	flag.Parse()
-	findings, nfiles, err := scan(*root)
+	findings, nfiles, err := scan(*root, *wallclock)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vetnopanic: %v\n", err)
 		os.Exit(2)
@@ -54,12 +76,19 @@ func main() {
 			len(findings), *root)
 		os.Exit(1)
 	}
-	fmt.Printf("vetnopanic: %d files scanned, no raw panics or os.Exit calls\n", nfiles)
+	fmt.Printf("vetnopanic: %d files scanned, no raw panics, os.Exit calls, stray clock reads, or ambient randomness\n", nfiles)
 }
 
 // scan walks root, parses every non-test .go file, and returns one
-// finding per violation plus the number of files scanned.
-func scan(root string) (findings []string, nfiles int, err error) {
+// finding per violation plus the number of files scanned. wallclock
+// names the root-relative directories exempt from the clock rule.
+func scan(root, wallclock string) (findings []string, nfiles int, err error) {
+	exempt := make(map[string]bool)
+	for _, d := range strings.Split(wallclock, ",") {
+		if d = strings.TrimSpace(d); d != "" {
+			exempt[d] = true
+		}
+	}
 	fset := token.NewFileSet()
 	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, werr error) error {
 		if werr != nil {
@@ -72,21 +101,35 @@ func scan(root string) (findings []string, nfiles int, err error) {
 		if perr != nil {
 			return perr
 		}
+		rel, rerr := filepath.Rel(root, path)
+		if rerr != nil {
+			rel = path
+		}
 		nfiles++
-		findings = append(findings, checkFile(fset, f)...)
+		findings = append(findings, checkFile(fset, f, exempt[filepath.ToSlash(filepath.Dir(rel))])...)
 		return nil
 	})
 	return findings, nfiles, err
 }
 
-// checkFile returns one finding per raw panic call and per os.Exit
-// call in the parsed file. Only direct calls count: for panic the bare
-// identifier (method values x.panic never match), for Exit a selector
-// on the file's "os" import under its local name. Mentions in strings
-// or comments never match either.
-func checkFile(fset *token.FileSet, f *ast.File) []string {
-	osName := osImportName(f)
+// checkFile returns one finding per raw panic call, per os.Exit call,
+// per clock read outside the wall-clock allowlist (clockExempt), and
+// per math/rand import in the parsed file. Only direct calls count:
+// for panic the bare identifier (method values x.panic never match),
+// for Exit/Now/Since a selector on the file's "os"/"time" import
+// under its local name. Mentions in strings or comments never match.
+func checkFile(fset *token.FileSet, f *ast.File, clockExempt bool) []string {
+	osName := importName(f, "os")
+	timeName := importName(f, "time")
 	var findings []string
+	for _, imp := range f.Imports {
+		if imp.Path.Value == `"math/rand"` || imp.Path.Value == `"math/rand/v2"` {
+			pos := fset.Position(imp.Pos())
+			findings = append(findings, fmt.Sprintf(
+				"%s:%d:%d: math/rand import in non-test code; deterministic outputs forbid ambient randomness — derive pseudo-random state from explicit seeds",
+				pos.Filename, pos.Line, pos.Column))
+		}
+	}
 	ast.Inspect(f, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
@@ -103,28 +146,39 @@ func checkFile(fset *token.FileSet, f *ast.File) []string {
 				pos.Filename, pos.Line, pos.Column))
 		case *ast.SelectorExpr:
 			pkg, ok := fun.X.(*ast.Ident)
-			if !ok || osName == "" || pkg.Name != osName || fun.Sel.Name != "Exit" {
+			if !ok {
 				return true
 			}
-			pos := fset.Position(call.Pos())
-			findings = append(findings, fmt.Sprintf(
-				"%s:%d:%d: os.Exit in non-test code; process exit belongs to cmd/ mains — return an error or exit status instead",
-				pos.Filename, pos.Line, pos.Column))
+			if osName != "" && pkg.Name == osName && fun.Sel.Name == "Exit" {
+				pos := fset.Position(call.Pos())
+				findings = append(findings, fmt.Sprintf(
+					"%s:%d:%d: os.Exit in non-test code; process exit belongs to cmd/ mains — return an error or exit status instead",
+					pos.Filename, pos.Line, pos.Column))
+				return true
+			}
+			if !clockExempt && timeName != "" && pkg.Name == timeName &&
+				(fun.Sel.Name == "Now" || fun.Sel.Name == "Since") {
+				pos := fset.Position(call.Pos())
+				findings = append(findings, fmt.Sprintf(
+					"%s:%d:%d: time.%s outside the wall-clock allowlist; deterministic outputs forbid ambient clock reads — inject the time or keep it out of internal logic",
+					pos.Filename, pos.Line, pos.Column, fun.Sel.Name))
+			}
 		}
 		return true
 	})
 	return findings
 }
 
-// osImportName returns the local name the file imports the "os"
-// package under ("" when it is not imported, or imported blank).
-func osImportName(f *ast.File) string {
+// importName returns the local name the file imports the given
+// standard-library package under ("" when it is not imported, or
+// imported blank).
+func importName(f *ast.File, path string) string {
 	for _, imp := range f.Imports {
-		if imp.Path.Value != `"os"` {
+		if imp.Path.Value != `"`+path+`"` {
 			continue
 		}
 		if imp.Name == nil {
-			return "os"
+			return path
 		}
 		if imp.Name.Name == "_" {
 			return ""

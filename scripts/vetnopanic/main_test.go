@@ -11,12 +11,17 @@ import (
 
 func check(t *testing.T, src string) []string {
 	t.Helper()
+	return checkExempt(t, src, false)
+}
+
+func checkExempt(t *testing.T, src string, clockExempt bool) []string {
+	t.Helper()
 	fset := token.NewFileSet()
 	f, err := parser.ParseFile(fset, "synthetic.go", src, parser.SkipObjectResolution)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return checkFile(fset, f)
+	return checkFile(fset, f, clockExempt)
 }
 
 func TestFlagsRawPanic(t *testing.T) {
@@ -97,6 +102,73 @@ func f(os fakeOS) { os.Exit(1) }
 	}
 }
 
+func TestFlagsClockReads(t *testing.T) {
+	src := `package p
+import "time"
+func f() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+`
+	got := check(t, src)
+	if len(got) != 2 ||
+		!strings.Contains(got[0], "time.Now outside the wall-clock allowlist") ||
+		!strings.Contains(got[1], "time.Since outside the wall-clock allowlist") {
+		t.Fatalf("want Now+Since findings, got %v", got)
+	}
+	if got := checkExempt(t, src, true); len(got) != 0 {
+		t.Fatalf("allowlisted package still flagged: %v", got)
+	}
+}
+
+func TestIgnoresNonClockTimeUse(t *testing.T) {
+	got := check(t, `package p
+import "time"
+func f() {
+	time.Sleep(time.Millisecond) // blocks, but reads no clock value
+	_ = 3 * time.Second
+	_ = "time.Now(in a string)"
+	// time.Now(in a comment)
+}
+`)
+	if len(got) != 0 {
+		t.Fatalf("want no findings, got %v", got)
+	}
+}
+
+func TestIgnoresNowWhenTimeNotImported(t *testing.T) {
+	got := check(t, `package p
+type fakeClock struct{}
+func (fakeClock) Now() int { return 0 }
+func f(time fakeClock) { _ = time.Now() }
+`)
+	if len(got) != 0 {
+		t.Fatalf("want no findings, got %v", got)
+	}
+}
+
+func TestFlagsMathRandImport(t *testing.T) {
+	got := check(t, `package p
+import "math/rand"
+func f() int { return rand.Int() }
+`)
+	if len(got) != 1 || !strings.Contains(got[0], "math/rand import in non-test code") {
+		t.Fatalf("want one import finding, got %v", got)
+	}
+	// v2 and renamed imports are the same violation; crypto/rand (key
+	// material, never a simulation input) is not.
+	if got := check(t, "package p\nimport mrand \"math/rand/v2\"\nvar _ = mrand.Int\n"); len(got) != 1 {
+		t.Fatalf("want one v2 finding, got %v", got)
+	}
+	// Clock exemption does not extend to randomness.
+	if got := checkExempt(t, "package p\nimport \"math/rand\"\nvar _ = rand.Int\n", true); len(got) != 1 {
+		t.Fatalf("want rand flagged even in wall-clock packages, got %v", got)
+	}
+	if got := check(t, "package p\nimport \"crypto/rand\"\nvar _ = rand.Reader\n"); len(got) != 0 {
+		t.Fatalf("crypto/rand wrongly flagged: %v", got)
+	}
+}
+
 func TestScanSkipsTestFiles(t *testing.T) {
 	dir := t.TempDir()
 	write := func(name, src string) {
@@ -107,7 +179,7 @@ func TestScanSkipsTestFiles(t *testing.T) {
 	}
 	write("a.go", "package p\nfunc f() { panic(1) }\n")
 	write("a_test.go", "package p\nfunc g() { panic(2) }\n")
-	findings, n, err := scan(dir)
+	findings, n, err := scan(dir, defaultWallclock)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,10 +191,37 @@ func TestScanSkipsTestFiles(t *testing.T) {
 	}
 }
 
-// TestRepositoryInvariant runs the real gate: no raw panic and no
-// os.Exit in non-test code under internal/.
+// TestWallclockScanExemption: the allowlist is directory-scoped —
+// the same clock read passes in an exempt directory and fails
+// elsewhere.
+func TestWallclockScanExemption(t *testing.T) {
+	dir := t.TempDir()
+	src := "package p\nimport \"time\"\nvar _ = time.Now\nfunc f() { _ = time.Now() }\n"
+	for _, sub := range []string{"runner", "other"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, sub, "a.go"), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	findings, n, err := scan(dir, defaultWallclock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("scanned %d files, want 2", n)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0], filepath.Join("other", "a.go")) {
+		t.Fatalf("want exactly the non-exempt file flagged, got %v", findings)
+	}
+}
+
+// TestRepositoryInvariant runs the real gate: no raw panic, os.Exit,
+// stray clock read, or math/rand import in non-test code under
+// internal/.
 func TestRepositoryInvariant(t *testing.T) {
-	findings, n, err := scan("../../internal")
+	findings, n, err := scan("../../internal", defaultWallclock)
 	if err != nil {
 		t.Fatal(err)
 	}
